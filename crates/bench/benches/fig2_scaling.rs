@@ -1,0 +1,82 @@
+//! **Figure 2** — strong and weak scaling of ImageSort and MaterialsIO
+//! extraction on Theta, 512–8 192 worker containers.
+//!
+//! Paper shape: (a) strong scaling of 200 000 requests — ImageSort stops
+//! improving past 2 048 workers (short tasks, dispatch-limited);
+//! MaterialsIO keeps improving to 4 096. (b) weak scaling at 24 tasks per
+//! worker holds to 2 048 workers, with MaterialsIO degrading less at
+//! 4 096+. §5.2.3: max throughput 357.5 tasks/s (ImageSort), 249.3
+//! (MaterialsIO).
+
+use xtract_bench::{image_sort_profiles, matio_profiles, vs};
+use xtract_core::campaign::{Campaign, CampaignConfig};
+use xtract_sim::sites;
+
+const WORKERS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
+
+fn run(profiles: Vec<xtract_workloads::FamilyProfile>, workers: usize, xb: usize) -> (f64, f64) {
+    let mut cfg = CampaignConfig::new(sites::theta(), workers, 2026);
+    cfg.xtract_batch = xb; // paper: 2 for ImageSort, 8 for MaterialsIO
+    cfg.funcx_batch = 16;
+    let report = Campaign::new(cfg, profiles).run();
+    (report.makespan, report.throughput())
+}
+
+fn main() {
+    xtract_bench::banner(
+        "Figure 2: strong & weak scaling on Theta",
+        "ImageSort flattens past 2048 workers; MaterialsIO improves to 4096; \
+         max throughput 357.5 / 249.3 tasks/s (§5.2.3)",
+    );
+
+    println!("\n(a) strong scaling: 200 000 extractor requests, completion time (s)");
+    println!("  workers   ImageSort        ideal    MaterialsIO        ideal");
+    let n = 200_000u64;
+    let (img_base, mat_base) = (
+        run(image_sort_profiles(n, 1), WORKERS[0], 2).0,
+        run(matio_profiles(n, 1), WORKERS[0], 8).0,
+    );
+    let mut best_img_tput = 0.0f64;
+    let mut best_mat_tput = 0.0f64;
+    let mut img_times = Vec::new();
+    let mut mat_times = Vec::new();
+    for (i, &w) in WORKERS.iter().enumerate() {
+        let (img_t, img_tp) = run(image_sort_profiles(n, 1), w, 2);
+        let (mat_t, mat_tp) = run(matio_profiles(n, 1), w, 8);
+        best_img_tput = best_img_tput.max(img_tp);
+        best_mat_tput = best_mat_tput.max(mat_tp);
+        img_times.push(img_t);
+        mat_times.push(mat_t);
+        let scale = (1 << i) as f64;
+        println!(
+            "  {w:>7}   {img_t:>9.0}   {:>10.0}   {mat_t:>11.0}   {:>10.0}",
+            img_base / scale,
+            mat_base / scale
+        );
+    }
+    // Shape assertions, printed as checks.
+    let img_gain_past_2048 = img_times[2] / img_times[4];
+    let mat_gain_2048_to_4096 = mat_times[2] / mat_times[3];
+    println!(
+        "\n  check: ImageSort 2048->8192 speedup {img_gain_past_2048:.2}x (paper: ~1x, flattened)"
+    );
+    println!(
+        "  check: MaterialsIO 2048->4096 speedup {mat_gain_2048_to_4096:.2}x (paper: >1x, still scaling)"
+    );
+
+    println!("\n(§5.2.3) peak throughput, successful invocations per second:");
+    println!("  ImageSort   {}", vs(357.5, best_img_tput));
+    println!("  MaterialsIO {}", vs(249.3, best_mat_tput));
+
+    println!("\n(b) weak scaling: 24 tasks per worker, completion time (s)");
+    println!("  workers   ImageSort   MaterialsIO");
+    for &w in &WORKERS {
+        let n = 24 * w as u64;
+        let (img_t, _) = run(image_sort_profiles(n, 2), w, 2);
+        let (mat_t, _) = run(matio_profiles(n, 2), w, 8);
+        println!("  {w:>7}   {img_t:>9.0}   {mat_t:>11.0}");
+    }
+    println!("\n  (flat rows = perfect weak scaling; rising ImageSort at high worker");
+    println!("   counts = the dispatch ceiling, exactly the paper's conclusion that");
+    println!("   Xtract is 'limited by the rate at which funcX delivers tasks')");
+}

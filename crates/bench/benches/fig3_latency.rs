@@ -1,0 +1,112 @@
+//! **Figure 3** — per-component latency breakdown for a single unbatched
+//! keyword-extraction task against a River endpoint (no shared FS, so the
+//! file must be fetched over Globus HTTPS or the Drive API).
+//!
+//! Two columns: the calibrated component model (the paper's measured
+//! bars, §5.3) and live in-process measurements where a real component
+//! exists (keyword extraction over a real document, payload
+//! serialization, queue hand-off). The WAN components have no live
+//! counterpart — their constants *are* the reproduction.
+
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::Instant;
+use xtract_core::batcher::XtractBatch;
+use xtract_core::payload::{decode_results, encode_batch, make_function_body};
+use xtract_datafabric::{DataFabric, MemFs, StorageBackend};
+use xtract_extractors::library;
+use xtract_sim::calibration::fig3;
+use xtract_sim::RngStreams;
+use xtract_types::{
+    EndpointId, ExtractorKind, Family, FamilyId, FileRecord, FileType, Group, GroupId,
+};
+
+fn main() {
+    xtract_bench::banner(
+        "Figure 3: latency breakdown, single unbatched keyword task on River",
+        "crawler ~0.75s (Globus auth+ls) · SQS report 539ms · Xtract service \
+         ~0.32s (RDS, cached later) · funcX invoke ~0.41s · keyword ~0.9s · \
+         fetch t_gh=1.38s / t_gd>t_gh",
+    );
+
+    // Live pieces: a real ~0.5 MB document through the real pipeline
+    // stages that exist in-process.
+    let mut rng = RngStreams::new(5).stream("fig3");
+    let doc = xtract_workloads::materialize::prose(&mut rng, 60_000);
+    let fabric = Arc::new(DataFabric::new());
+    let ep = EndpointId::new(0);
+    let fs = Arc::new(MemFs::new(ep));
+    fs.write("/papers/thesis.txt", Bytes::from(doc.into_bytes())).unwrap();
+    fabric.register(ep, "river", fs);
+
+    let rec = FileRecord::new("/papers/thesis.txt", 0, ep, FileType::FreeText);
+    let group = Group::new(GroupId::new(0), vec![rec.path.clone()]);
+    let family = Family::new(FamilyId::new(0), vec![rec], vec![group], ep);
+    let batch = XtractBatch {
+        endpoint: ep,
+        extractor: ExtractorKind::Keyword,
+        families: vec![family],
+    };
+
+    // Serialization (part of t_xs).
+    let t0 = Instant::now();
+    let payload = encode_batch(&batch, false);
+    let serialize_live = t0.elapsed().as_secs_f64();
+
+    // Extraction (t_ke): run the real function body end to end.
+    let body = make_function_body(library()[&ExtractorKind::Keyword].clone(), fabric);
+    let t0 = Instant::now();
+    let out = body(payload).expect("extraction succeeds");
+    let extract_live = t0.elapsed().as_secs_f64();
+    let results = decode_results(&out).expect("decodable");
+    assert!(results[0].error.is_none());
+
+    // Queue hand-off (the SQS analogue): an in-process channel round trip.
+    let (tx, rx) = crossbeam_channel::unbounded();
+    let t0 = Instant::now();
+    tx.send(out).unwrap();
+    let _ = rx.recv().unwrap();
+    let queue_live = t0.elapsed().as_secs_f64();
+
+    println!("\n  component                      modeled(s)   live-measured(s)");
+    let rows: &[(&str, f64, Option<f64>)] = &[
+        ("crawler service t_cs (auth+ls)", fig3::CRAWLER_SERVICE_S, None),
+        ("crawler compute (group+mincut)", fig3::CRAWLER_COMPUTE_S, None),
+        ("report to Xtract (SQS)", fig3::SQS_REPORT_S, Some(queue_live)),
+        ("Xtract service t_xs (uncached)", fig3::XTRACT_SERVICE_S, Some(serialize_live)),
+        ("Xtract service t_xs (cached)", fig3::XTRACT_SERVICE_CACHED_S, None),
+        ("funcX invoke t_fx", fig3::FUNCX_INVOKE_S, None),
+        ("fetch via Globus HTTPS t_gh", fig3::GLOBUS_HTTPS_FETCH_S, None),
+        ("fetch via Drive API t_gd", fig3::GDRIVE_FETCH_S, None),
+        ("keyword extract t_ke", fig3::KEYWORD_EXTRACT_S, Some(extract_live)),
+        ("result return", fig3::RESULT_RETURN_S, None),
+    ];
+    for (name, modeled, live) in rows {
+        match live {
+            Some(l) => println!("  {name:<30} {modeled:>9.3}   {l:>13.4}"),
+            None => println!("  {name:<30} {modeled:>9.3}   {:>13}", "-"),
+        }
+    }
+
+    let e2e_globus: f64 = fig3::CRAWLER_SERVICE_S
+        + fig3::CRAWLER_COMPUTE_S
+        + fig3::SQS_REPORT_S
+        + fig3::XTRACT_SERVICE_S
+        + fig3::FUNCX_INVOKE_S
+        + fig3::GLOBUS_HTTPS_FETCH_S
+        + fig3::KEYWORD_EXTRACT_S
+        + fig3::RESULT_RETURN_S;
+    let e2e_drive = e2e_globus - fig3::GLOBUS_HTTPS_FETCH_S + fig3::GDRIVE_FETCH_S;
+    println!("\n  end-to-end (Globus fetch): {e2e_globus:.2}s; (Drive fetch): {e2e_drive:.2}s");
+    println!("  checks: t_gh ({:.2}s) > t_ke ({:.2}s) and t_gd > t_gh — the paper's",
+             fig3::GLOBUS_HTTPS_FETCH_S, fig3::KEYWORD_EXTRACT_S);
+    println!("  'moving a file ... is more costly than the extraction itself' (§5.3)");
+    const _: () = assert!(fig3::GLOBUS_HTTPS_FETCH_S > fig3::KEYWORD_EXTRACT_S);
+    const _: () = assert!(fig3::GDRIVE_FETCH_S > fig3::GLOBUS_HTTPS_FETCH_S);
+    println!(
+        "  live in-process keyword extraction of the ~360 KB document: {extract_live:.4}s —\n\
+         \x20 far below the paper's Python t_ke (native parsing, no container, no\n\
+         \x20 interpreter); the simulation therefore uses the calibrated t_ke, not\n\
+         \x20 the live number"
+    );
+}

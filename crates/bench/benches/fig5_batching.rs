@@ -1,0 +1,79 @@
+//! **Figure 5** — extraction tasks per second as a function of the Xtract
+//! batch size (1–32 families per task) and the funcX batch size (1–32
+//! tasks per web request), for 100 000 MaterialsIO tasks on 224 Midway
+//! workers.
+//!
+//! Paper shape: "overall throughput is maximized by extracting 8
+//! extraction tasks per batch and sending 8–16 of these batches at a time
+//! to funcX" (§5.5), topping out a bit above 300 tasks/s, with (1,1)
+//! nearly an order of magnitude slower and very large batches bending
+//! back down.
+
+use xtract_bench::matio_lite_profiles;
+use xtract_core::campaign::{Campaign, CampaignConfig};
+use xtract_sim::sites;
+
+const SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const TASKS: u64 = 100_000;
+
+fn throughput(xb: usize, fb: usize) -> f64 {
+    let mut cfg = CampaignConfig::new(sites::midway(), 224, 55);
+    cfg.xtract_batch = xb;
+    cfg.funcx_batch = fb;
+    let report = Campaign::new(cfg, matio_lite_profiles(TASKS, 5)).run();
+    report.throughput()
+}
+
+fn main() {
+    xtract_bench::banner(
+        "Figure 5: two-level batching sweep (tasks/s), 100k MaterialsIO tasks, 224 Midway workers",
+        "optimum at Xtract batch 8 x funcX batch 8-16, 300+ tasks/s; (1,1) is ~20x slower",
+    );
+
+    println!("\n  tasks/second; rows = Xtract batch size, cols = funcX batch size");
+    print!("  xb\\fb ");
+    for fb in SIZES {
+        print!("  {fb:>6}");
+    }
+    println!();
+    let mut best = (0usize, 0usize, 0.0f64);
+    let mut grid = Vec::new();
+    for xb in SIZES {
+        print!("  {xb:>5} ");
+        let mut row = Vec::new();
+        for fb in SIZES {
+            let tput = throughput(xb, fb);
+            if tput > best.2 {
+                best = (xb, fb, tput);
+            }
+            row.push(tput);
+            print!("  {tput:>6.1}");
+        }
+        grid.push(row);
+        println!();
+    }
+    println!(
+        "\n  argmax cell: Xtract batch {} x funcX batch {} -> {:.1} tasks/s",
+        best.0, best.1, best.2
+    );
+    let at_8_8 = grid[3][3];
+    let at_8_16 = grid[3][4];
+    println!(
+        "  paper optimum cell (8, 8-16): {:.1}-{:.1} tasks/s here — within {:.0}% of the\n\
+         \x20 plateau maximum (cells with >=64 families per request are all worker-bound;\n\
+         \x20 the paper reports ~300+ tasks/s at its optimum)",
+        at_8_8,
+        at_8_16,
+        (1.0 - at_8_16.min(at_8_8) / best.2) * 100.0
+    );
+    println!(
+        "  (1,1) -> {:.1} tasks/s; optimum/(1,1) = {:.1}x (paper: order-of-magnitude)",
+        grid[0][0],
+        best.2 / grid[0][0]
+    );
+    let at_32_32 = grid[5][5];
+    println!(
+        "  (32,32) -> {at_32_32:.1} tasks/s ({} the optimum — the paper's fall-off at oversized batches)",
+        if at_32_32 < best.2 { "below" } else { "NOT below" }
+    );
+}

@@ -1,0 +1,101 @@
+//! **Figure 6** — prefetch-then-extract: an MDF subset (200 000 files,
+//! 1.1 TB) moved from Petrel to Midway over 10 concurrent Globus transfer
+//! jobs, with extraction on 4 / 8 / 16 / 32 Midway nodes of 28 workers.
+//!
+//! Paper shape: crawl time is small against prefetch and extraction;
+//! transfer incurs the majority of the time; and on 32 nodes "Xtract
+//! processes the data nearly as quickly as it arrives" — extraction
+//! finishes within a whisker of the last transfer.
+
+use xtract_core::campaign::{Campaign, CampaignConfig, PrefetchPlan};
+use xtract_core::crawlmodel::CrawlModel;
+use xtract_sim::dist::{lognormal_clamped, Categorical};
+use xtract_sim::{sites, RngStreams};
+use xtract_workloads::FamilyProfile;
+
+/// The Fig. 6 subset is "200 000 MDF files ... chosen uniformly at
+/// random" — a *file* sample, which breaks groups apart: no multi-hour
+/// ASE families, just individual files averaging ≈2.4 reference
+/// core-seconds and ≈5.5 MB (1.1 TB / 200 k).
+const FILE_MIX: &[(&str, f64)] = &[
+    ("keyword", 0.30),
+    ("hierarchical", 0.25),
+    ("matio", 0.10),
+    ("images", 0.10),
+    ("csv", 0.10),
+    ("json", 0.10),
+    ("xml", 0.05),
+];
+
+fn main() {
+    xtract_bench::banner(
+        "Figure 6: prefetch + extract, Petrel -> Midway, MDF subset (200k files, 1.1 TB)",
+        "crawl small; transfer dominates; at 32 nodes extraction keeps pace with arrival",
+    );
+
+    // 200 000 uniformly random files, 1.1 TB total.
+    let streams = RngStreams::new(66);
+    let mut rng = streams.stream("fig6-files");
+    let dist = Categorical::new(&FILE_MIX.iter().map(|c| c.1).collect::<Vec<_>>());
+    let files = 200_000u64;
+    let sigma = 1.3f64;
+    let profiles: Vec<FamilyProfile> = (0..files)
+        .map(|_| FamilyProfile {
+            class: FILE_MIX[dist.sample(&mut rng)].0,
+            files: 1,
+            bytes: lognormal_clamped(&mut rng, (5.5e6f64).ln() - sigma * sigma / 2.0, sigma, 1e3, 2e9)
+                as u64,
+        })
+        .collect();
+    let bytes: u64 = profiles.iter().map(|p| p.bytes).sum();
+    let _ = &mut rng as &mut dyn rand::RngCore;
+    println!(
+        "\n  subset: {} files, {:.2} TB (paper: 200k files, 1.1 TB)",
+        files,
+        bytes as f64 / 1e12
+    );
+
+    let crawl = CrawlModel::from_stats(files / 74, files, profiles.len() as u64);
+    println!(
+        "  crawl (16 workers): {:.0} s — small against what follows (paper: 'small')",
+        crawl.completion_time(16).as_secs()
+    );
+
+    println!("\n  nodes  workers  transfer-done(s)  extract-done(s)  extract-after-arrival(s)");
+    let mut lag32 = 0.0;
+    let mut extract_times = Vec::new();
+    for &nodes in &[4usize, 8, 16, 32] {
+        let workers = nodes * 28;
+        let mut cfg = CampaignConfig::new(sites::midway(), workers, 67);
+        cfg.crawl = Some((crawl, 16));
+        cfg.prefetch = Some(PrefetchPlan {
+            link: sites::link("petrel", "midway"),
+            slots: 10, // "10 concurrent Globus transfer jobs"
+            families_per_job: 256,
+        });
+        let report = Campaign::new(cfg, profiles.clone()).run();
+        let lag = report.makespan - report.transfer_finish;
+        if nodes == 32 {
+            lag32 = lag;
+        }
+        extract_times.push(report.makespan);
+        println!(
+            "  {nodes:>5}  {workers:>7}  {:>16.0}  {:>15.0}  {lag:>24.0}",
+            report.transfer_finish, report.makespan
+        );
+    }
+
+    println!("\n  shape checks:");
+    println!(
+        "    completion shrinks with nodes: {}",
+        if extract_times.windows(2).all(|w| w[1] <= w[0]) {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    println!(
+        "    at 32 nodes extraction trails the last byte by {lag32:.0} s — \
+         'nearly as quickly as it arrives'"
+    );
+}

@@ -1,0 +1,124 @@
+//! **Figure 7** — min-transfers vs the regular (per-group) approach:
+//! crawl 100 000 files on Midway2 and on Petrel, then transfer the
+//! resulting families to four Jetstream instances.
+//!
+//! Paper: regular crawls took 913 s / 1005 s; min-transfers added only
+//! 19 s / 7 s (<1 %). 3 246 families contained multiple files; 20 258
+//! files (32 GB of 161 GB) were redundant under the regular scheme.
+//! Transfer time fell 24 % from Midway2 (8291→6290 s @ ≈26 MB/s) and
+//! 16 % from Petrel (2464→2060 s @ ≈79 MB/s).
+//!
+//! This harness runs the *real* pipeline on a generated tree: threaded
+//! crawl with materials-aware grouping, real Karger min-cut per
+//! directory (its wall-clock measured as the crawl overhead), byte
+//! accounting for both schemes, and transfer times over the calibrated
+//! links.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use xtract_bench::vs;
+use xtract_core::families::{build_families, naive_families};
+use xtract_core::crawlmodel::CrawlModel;
+use xtract_crawler::{Crawler, CrawlerConfig};
+use xtract_datafabric::{MemFs, StorageBackend};
+use xtract_sim::{calibration::links, RngStreams};
+use xtract_types::id::IdAllocator;
+use xtract_types::{EndpointId, FileRecord, GroupingStrategy};
+
+fn main() {
+    xtract_bench::banner(
+        "Figure 7: min-transfers vs regular, 100k files -> 4 Jetstream instances",
+        "crawl overhead <1% (+19s/+7s); transfer -24% from Midway2, -16% from Petrel; \
+         3246 multi-file families; 20258 redundant files (32 GB)",
+    );
+
+    // One 100k-file tree; crawled twice (the paper crawls the same data on
+    // the two source systems).
+    let ep = EndpointId::new(0);
+    let fs: Arc<dyn StorageBackend> = Arc::new(MemFs::new(ep));
+    let stats = xtract_workloads::mdf::generate_tree(fs.as_ref(), 100_000, &RngStreams::new(70));
+    println!(
+        "\n  tree: {} files, {:.0} GB (paper: 100k files, 161 GB)",
+        stats.files,
+        stats.bytes as f64 / 1e9
+    );
+
+    let crawler = Crawler::new(CrawlerConfig {
+        workers: 8,
+        grouping: GroupingStrategy::MaterialsAware,
+    });
+    let (tx, rx) = crossbeam_channel::unbounded();
+    crawler.crawl(ep, &fs, &["/".to_string()], tx).unwrap();
+    let dirs: Vec<_> = rx.into_iter().filter(|d| !d.groups.is_empty()).collect();
+
+    // Regular scheme: each group ships separately.
+    let ids = IdAllocator::new();
+    let mut regular_bytes = 0u64;
+    let mut redundant_files = 0u64;
+    let mut redundant_bytes = 0u64;
+    for d in &dirs {
+        let file_map: HashMap<String, FileRecord> =
+            d.files.iter().map(|f| (f.path.clone(), f.clone())).collect();
+        let set = naive_families(&file_map, d.groups.clone(), ep, &ids);
+        regular_bytes += set.families.iter().map(|f| f.total_bytes()).sum::<u64>();
+        redundant_files += set.redundant_files;
+        redundant_bytes += set.redundant_bytes;
+    }
+
+    // Min-transfers: real Karger min-cut; its wall time is the crawl
+    // overhead the paper measures.
+    let streams = RngStreams::new(71);
+    let ids2 = IdAllocator::new();
+    let mut min_bytes = 0u64;
+    let mut multi_file_families = 0usize;
+    let mut residual_redundant = 0u64;
+    let t0 = Instant::now();
+    for (i, d) in dirs.iter().enumerate() {
+        let file_map: HashMap<String, FileRecord> =
+            d.files.iter().map(|f| (f.path.clone(), f.clone())).collect();
+        let mut rng = streams.substream("cut", i as u64);
+        let set = build_families(&file_map, d.groups.clone(), ep, 256, &ids2, &mut rng);
+        min_bytes += set.transfer_bytes();
+        multi_file_families += set.multi_file_families();
+        residual_redundant += set.redundant_files;
+    }
+    let mincut_wall = t0.elapsed().as_secs_f64();
+
+    // Crawl-time model for the two source systems (the live in-memory
+    // crawl has no WAN listing latency; the calibrated model does).
+    let model = CrawlModel::from_stats(stats.directories, stats.files, stats.groups);
+    let crawl_s = model.completion_time(2).as_secs();
+    println!("\n  crawl + min-transfers overhead:");
+    println!("    modeled 2-worker crawl: {crawl_s:.0} s (paper: 913 s Midway2 / 1005 s Petrel)");
+    println!(
+        "    min-transfers overhead: {:.1} s = {:.2}% of crawl (paper: +19 s / +7 s, <1%)",
+        mincut_wall,
+        mincut_wall / crawl_s * 100.0
+    );
+
+    println!("\n  redundancy under the regular scheme:");
+    println!("    multi-file families: {}", vs(3246.0, multi_file_families as f64));
+    println!("    redundant files:     {}", vs(20258.0, redundant_files as f64));
+    println!(
+        "    redundant bytes:     {} GB (paper: 32 GB); residual after min-cut: {} files",
+        redundant_bytes / 1_000_000_000,
+        residual_redundant
+    );
+
+    println!("\n  transfer to 4 Jetstream instances (regular vs min-transfers):");
+    for (src, bw, p_reg, p_min) in [
+        ("midway2", links::MIDWAY_TO_JETSTREAM_BPS, 8291.0, 6290.0),
+        ("petrel", links::PETREL_TO_JETSTREAM_BPS, 2464.0, 2060.0),
+    ] {
+        let t_reg = regular_bytes as f64 / bw;
+        let t_min = min_bytes as f64 / bw;
+        println!("    {src:<8} regular {}", vs(p_reg, t_reg));
+        println!("    {src:<8} min     {}", vs(p_min, t_min));
+        println!(
+            "    {src:<8} saving  {:>9.1}% (paper: {:.0}%)",
+            (1.0 - t_min / t_reg) * 100.0,
+            (1.0 - p_min / p_reg) * 100.0
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! **Figure 8 / §5.8.1** — the full-MDF campaign: 2.5 M file groups on
+//! 4 096 Theta workers, six-hour allocations, checkpoint/restart.
+//!
+//! Paper: crawl 26.3 min with 16 crawlers; extraction begins within 3 s
+//! of crawl start; 26 200 core-hours over 6.4 h walltime; one restart
+//! (dashed line at 6 h); throughput peaks early because long tasks are
+//! submitted first; total metadata 14 GB; transferring the 61 TB to Theta
+//! would take 13.3 h — double the extraction walltime.
+//!
+//! Pass a group count as `--`-argument to scale down (default 2.5 M, which
+//! runs in well under a minute of wall-clock).
+
+use xtract_bench::vs;
+use xtract_core::campaign::{Campaign, CampaignConfig};
+use xtract_core::crawlmodel::CrawlModel;
+use xtract_sim::calibration::links;
+use xtract_sim::{sites, RngStreams};
+use xtract_workloads::mdf;
+
+fn main() {
+    let groups: u64 = std::env::args()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(2_500_000);
+    xtract_bench::banner(
+        "Figure 8: full-MDF campaign on Theta (4096 workers, 6h allocations, checkpointing)",
+        "crawl 26.3 min; 26 200 core-hours; 6.4 h walltime; one restart; \
+         extraction beats transfer-only by 2x",
+    );
+    println!("\n  simulating {groups} groups (paper: 2 500 000)");
+
+    let streams = RngStreams::new(588);
+    let profiles: Vec<_> = mdf::profiles(groups, &streams).collect();
+    let scale = groups as f64 / 2_500_000.0;
+    let crawl = CrawlModel::from_stats(
+        ((33_500.0 * scale) as u64).max(1),
+        groups,
+        groups,
+    );
+
+    let mut cfg = CampaignConfig::new(sites::theta(), 4096, 42);
+    cfg.crawl = Some((crawl, 16));
+    cfg.checkpoint = true;
+    let report = Campaign::new(cfg, profiles).run();
+
+    println!("\n  headline numbers:");
+    println!("    crawl (min)        {}", vs(26.3 * scale, report.crawl_finish / 60.0));
+    let first_ready = report.outcomes.iter().map(|o| o.ready).fold(f64::MAX, f64::min);
+    println!(
+        "    first family ready {first_ready:.1} s after crawl start (paper: extraction begins within 3 s)"
+    );
+    println!("    walltime (h)       {}", vs(6.4 * scale.max(0.05), report.makespan / 3600.0));
+    println!("    core-hours         {}", vs(26_200.0 * scale, report.core_hours()));
+    println!(
+        "    restarts           {} (paper: 1); families resubmitted: {}",
+        report.restarts, report.lost_families
+    );
+
+    // Fig. 8 top: throughput and cumulative groups.
+    println!("\n  throughput over time (K groups/s) and cumulative (M):");
+    println!("    t(h)    Kgrp/s    cumulative(M)");
+    let bucket = 1800.0;
+    let timeline = report.completion_timeline(bucket);
+    let mut cum = 0u64;
+    for (t, n) in &timeline {
+        cum += n;
+        println!(
+            "    {:>4.1}    {:>6.2}    {:>10.3}",
+            t / 3600.0,
+            *n as f64 / bucket / 1e3,
+            cum as f64 / 1e6
+        );
+    }
+
+    // Fig. 8 bottom: duration vs start, per class.
+    println!("\n  per-class longest family (duration s) and latest start (s):");
+    println!("    class   n          longest   latest-start");
+    let mut by_class: std::collections::BTreeMap<&str, (u64, f64, f64)> = Default::default();
+    for o in &report.outcomes {
+        let e = by_class.entry(o.class).or_insert((0, 0.0, 0.0));
+        e.0 += 1;
+        e.1 = e.1.max(o.service);
+        e.2 = e.2.max(o.start);
+    }
+    for (class, (n, longest, latest)) in &by_class {
+        println!("    {class:<6}  {n:>9}  {longest:>9.0}  {latest:>13.0}");
+    }
+    let ase_longest = by_class.get("ase").map(|v| v.1).unwrap_or(0.0);
+    println!(
+        "\n  checks: longest ASE family {:.1} h (Fig. 8 shows multi-hour families,",
+        ase_longest / 3600.0
+    );
+    println!("  max ~4 h); long tasks start early (LPT submission, §5.8.1 note).");
+
+    // The headline comparison: extraction vs transfer-only.
+    let transfer_only_h = 61.0e12 * scale / links::PETREL_TO_THETA_BPS / 3600.0;
+    println!(
+        "\n  transferring the {} TB to Theta would take {:.1} h vs {:.1} h extraction:",
+        (61.0 * scale) as u64,
+        transfer_only_h,
+        report.makespan / 3600.0
+    );
+    println!(
+        "  extraction-in-place finishes in {:.0}% of transfer-only time (paper: ~50%)",
+        report.makespan / 3600.0 / transfer_only_h * 100.0
+    );
+
+    // Metadata volume (paper: 14 GB over 2.5 M groups ≈ 5.6 KB/group).
+    println!(
+        "  estimated metadata volume at 5.6 KB/group: {:.1} GB (paper: 14 GB)",
+        groups as f64 * 5.6e3 / 1e9
+    );
+}

@@ -1,0 +1,67 @@
+//! `micro_batching` — ablation: why batching amortizes (§4.3.2). Measures
+//! the real per-family costs on the live path — payload serialization,
+//! batcher accounting, FaaS submission — as a function of batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xtract_core::batcher::{Batcher, XtractBatch};
+use xtract_core::payload::encode_batch;
+use xtract_types::{
+    EndpointId, ExtractorKind, Family, FamilyId, FileRecord, FileType, Group, GroupId,
+};
+
+fn family(id: u64) -> Family {
+    let f = FileRecord::new(format!("/d/f{id}.txt"), 4096, EndpointId::new(0), FileType::FreeText);
+    let g = Group::new(GroupId::new(id), vec![f.path.clone()]);
+    Family::new(FamilyId::new(id), vec![f], vec![g], EndpointId::new(0))
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payload_serialize");
+    group.sample_size(30);
+    for &batch_size in &[1usize, 8, 32, 128] {
+        let batch = XtractBatch {
+            endpoint: EndpointId::new(0),
+            extractor: ExtractorKind::Keyword,
+            families: (0..batch_size as u64).map(family).collect(),
+        };
+        group.throughput(Throughput::Elements(batch_size as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
+            &batch,
+            |b, batch| b.iter(|| black_box(encode_batch(batch, false))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_batcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batcher_throughput");
+    group.sample_size(20);
+    for &(xb, fb) in &[(1usize, 1usize), (8, 16), (32, 32)] {
+        group.throughput(Throughput::Elements(4096));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("xb{xb}_fb{fb}")),
+            &(xb, fb),
+            |b, &(xb, fb)| {
+                b.iter(|| {
+                    let mut batcher = Batcher::new(xb, fb);
+                    let mut out = Vec::new();
+                    for i in 0..4096u64 {
+                        out.extend(batcher.push(
+                            family(i),
+                            ExtractorKind::Keyword,
+                            EndpointId::new(0),
+                        ));
+                    }
+                    out.extend(batcher.flush());
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialization, bench_batcher);
+criterion_main!(benches);

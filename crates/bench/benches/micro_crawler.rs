@@ -1,0 +1,53 @@
+//! `micro_crawler` — listing + grouping throughput of the threaded
+//! crawler over generated trees, by worker count and grouping function.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use xtract_crawler::{Crawler, CrawlerConfig};
+use xtract_datafabric::{MemFs, StorageBackend};
+use xtract_sim::RngStreams;
+use xtract_types::{EndpointId, GroupingStrategy};
+
+fn tree(files: u64) -> Arc<dyn StorageBackend> {
+    let fs: Arc<dyn StorageBackend> = Arc::new(MemFs::new(EndpointId::new(0)));
+    xtract_workloads::mdf::generate_tree(fs.as_ref(), files, &RngStreams::new(12));
+    fs
+}
+
+fn crawl(backend: &Arc<dyn StorageBackend>, workers: usize, grouping: GroupingStrategy) -> usize {
+    let crawler = Crawler::new(CrawlerConfig { workers, grouping });
+    let (tx, rx) = crossbeam_channel::unbounded();
+    crawler
+        .crawl(EndpointId::new(0), backend, &["/".to_string()], tx)
+        .unwrap();
+    rx.into_iter().map(|d| d.files.len()).sum()
+}
+
+fn bench_crawler(c: &mut Criterion) {
+    let backend = tree(10_000);
+    let mut group = c.benchmark_group("crawler_10k_files");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(10_000));
+    for &w in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("workers", w), &w, |b, &w| {
+            b.iter(|| black_box(crawl(&backend, w, GroupingStrategy::SingleFile)))
+        });
+    }
+    for (name, g) in [
+        ("single_file", GroupingStrategy::SingleFile),
+        ("extension", GroupingStrategy::Extension),
+        ("materials_aware", GroupingStrategy::MaterialsAware),
+        ("directory", GroupingStrategy::Directory),
+    ] {
+        group.bench_with_input(BenchmarkId::new("grouping", name), &g, |b, &g| {
+            b.iter(|| black_box(crawl(&backend, 8, g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crawler);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! `micro_index` — search-index substrate throughput: ingestion rate and
+//! query latency over extracted-record-shaped documents (the downstream
+//! half of the findability story).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::Rng;
+use serde_json::json;
+use std::hint::black_box;
+use xtract_index::{Filter, Query, SearchIndex};
+use xtract_sim::RngStreams;
+use xtract_types::{FamilyId, Metadata, MetadataRecord};
+
+const WORDS: &[&str] = &[
+    "perovskite", "graphene", "bandgap", "anneal", "lattice", "phonon", "spectra", "zeolite",
+    "isotope", "plasma", "quantum", "polymer", "crystal", "diffusion", "exciton", "substrate",
+];
+
+fn record(i: u64, rng: &mut rand::rngs::SmallRng) -> MetadataRecord {
+    let kw: Vec<_> = (0..6)
+        .map(|_| json!({"word": WORDS[rng.gen_range(0..WORDS.len())], "weight": rng.gen_range(0.0..1.0)}))
+        .collect();
+    let mut doc = Metadata::new();
+    doc.insert("keyword", json!({"keywords": kw, "token_count": rng.gen_range(50..5000)}));
+    doc.insert(
+        "matio",
+        json!({"formula": format!("Si{}", rng.gen_range(2..64)),
+               "converged": rng.gen_bool(0.8),
+               "final_energy_ev": -rng.gen_range(10.0..500.0)}),
+    );
+    MetadataRecord {
+        family: FamilyId::new(i),
+        schema: "passthrough".into(),
+        document: doc,
+        extractors: vec!["keyword".into(), "matio".into()],
+    }
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut rng = RngStreams::new(7).stream("index-bench");
+    let records: Vec<MetadataRecord> = (0..10_000).map(|i| record(i, &mut rng)).collect();
+
+    let mut group = c.benchmark_group("search_index");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("ingest_10k", |b| {
+        b.iter(|| {
+            let idx = SearchIndex::new();
+            idx.ingest_all(records.iter().cloned());
+            black_box(idx.stats())
+        })
+    });
+
+    let idx = SearchIndex::new();
+    idx.ingest_all(records.iter().cloned());
+    group.throughput(Throughput::Elements(1));
+    for (name, query) in [
+        ("term", Query::terms(&["perovskite"])),
+        (
+            "term_and_filter",
+            Query {
+                terms: vec!["graphene".into()],
+                filters: vec![Filter::eq("matio.converged", json!(true))],
+                require_all_terms: false,
+                limit: 20,
+            },
+        ),
+        (
+            "range_filter_only",
+            Query {
+                terms: vec![],
+                filters: vec![Filter::lt("matio.final_energy_ev", -400.0)],
+                require_all_terms: false,
+                limit: 20,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("query", name), &query, |b, q| {
+            b.iter(|| black_box(idx.search(q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! `micro_mincut` — ablation: the Karger min-transfers pass must stay a
+//! sub-percent overhead on crawling (§4.3.1 / Fig. 7's "+19 s on a 913 s
+//! crawl"). Measures family construction over directories of increasing
+//! size and overlap, plus the naive baseline for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hint::black_box;
+use xtract_core::families::{build_families, naive_families};
+use xtract_types::id::IdAllocator;
+use xtract_types::{EndpointId, FileRecord, FileType, Group, GroupId};
+
+/// A directory of `n` files in overlapping groups: every k-th file is a
+/// "descriptive" member joining every group.
+fn directory(n: usize, groups_of: usize) -> (HashMap<String, FileRecord>, Vec<Group>) {
+    let files: HashMap<String, FileRecord> = (0..n)
+        .map(|i| {
+            let p = format!("/d/f{i}");
+            (
+                p.clone(),
+                FileRecord::new(p, 1_000 + i as u64, EndpointId::new(0), FileType::FreeText),
+            )
+        })
+        .collect();
+    let shared = "/d/f0".to_string();
+    let groups: Vec<Group> = (0..n / groups_of)
+        .map(|g| {
+            let mut members: Vec<String> = (0..groups_of)
+                .map(|j| format!("/d/f{}", (g * groups_of + j) % n))
+                .collect();
+            members.push(shared.clone()); // overlap fuel
+            Group::new(GroupId::new(g as u64), members)
+        })
+        .collect();
+    (files, groups)
+}
+
+fn bench_mincut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_transfers");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 1024, 4096] {
+        let (files, groups) = directory(n, 8);
+        group.bench_with_input(BenchmarkId::new("karger", n), &n, |b, _| {
+            b.iter(|| {
+                let ids = IdAllocator::new();
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+                black_box(build_families(
+                    &files,
+                    groups.clone(),
+                    EndpointId::new(0),
+                    16,
+                    &ids,
+                    &mut rng,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let ids = IdAllocator::new();
+                black_box(naive_families(&files, groups.clone(), EndpointId::new(0), &ids))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mincut);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! `micro_sniff` — the content-aware-vs-MIME routing ablation (§6): how
+//! often does each routing tier send a file to the right parser, and what
+//! does each tier cost?
+//!
+//! Prints an accuracy table over a materialized repository (ground truth
+//! known by construction), then Criterion-times the two sniffing tiers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use xtract_datafabric::{MemFs, StorageBackend};
+use xtract_sim::RngStreams;
+use xtract_tika::server::routing_accuracy;
+use xtract_types::{sniff_bytes, sniff_path, EndpointId, FileType};
+
+type GroundTruth = (Vec<(String, FileType)>, Vec<(String, Vec<u8>)>);
+
+fn truth() -> GroundTruth {
+    let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+    let (manifest, _) = xtract_workloads::materialize::sample_repo(
+        fs.as_ref(),
+        "/repo",
+        400,
+        &RngStreams::new(44),
+    );
+    let truth: Vec<(String, FileType)> = manifest
+        .iter()
+        .map(|f| {
+            let t = match f.class {
+                "keyword" => FileType::FreeText,
+                "tabular" => FileType::Tabular,
+                "semi-structured" => sniff_path(&f.path),
+                "images" => FileType::Image,
+                "hierarchical" => FileType::Hierarchical,
+                _ => sniff_path(&f.path), // VASP members keep their roles
+            };
+            (f.path.clone(), t)
+        })
+        .collect();
+    let bytes: Vec<(String, Vec<u8>)> = manifest
+        .iter()
+        .map(|f| (f.path.clone(), fs.read(&f.path).unwrap().to_vec()))
+        .collect();
+    (truth, bytes)
+}
+
+fn accuracy_report() {
+    let (truth, bytes) = truth();
+    let (mime_ok, path_ok) = routing_accuracy(&truth);
+    let content_ok = truth
+        .iter()
+        .zip(&bytes)
+        .filter(|((_, want), (_, b))| {
+            let sniffed = sniff_bytes(&b[..b.len().min(4096)]);
+            // Same extractor family counts as correct routing.
+            xtract_types::ExtractorKind::initial_plan(sniffed).first()
+                == xtract_types::ExtractorKind::initial_plan(*want).first()
+        })
+        .count();
+    let n = truth.len();
+    println!("\nrouting accuracy over {n} ground-truth files:");
+    println!("  MIME-only (Tika-style):        {mime_ok:>4} / {n}  ({:.1}%)", mime_ok as f64 / n as f64 * 100.0);
+    println!("  path sniffing (crawler tier):  {path_ok:>4} / {n}  ({:.1}%)", path_ok as f64 / n as f64 * 100.0);
+    println!("  content sniffing (byte tier):  {content_ok:>4} / {n}  ({:.1}%)", content_ok as f64 / n as f64 * 100.0);
+    println!("  (the paper's §6 criticism: MIME misroutes scientific files — here the");
+    println!("   gap is driven by extension-less VASP members and tables-in-.txt)\n");
+}
+
+fn bench_sniff(c: &mut Criterion) {
+    accuracy_report();
+    let (_, bytes) = truth();
+    let mut group = c.benchmark_group("sniffing");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(bytes.len() as u64));
+    group.bench_function("path_tier", |b| {
+        b.iter(|| {
+            for (p, _) in &bytes {
+                black_box(sniff_path(p));
+            }
+        })
+    });
+    group.bench_function("content_tier_4k_prefix", |b| {
+        b.iter(|| {
+            for (_, data) in &bytes {
+                black_box(sniff_bytes(&data[..data.len().min(4096)]));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sniff);
+criterion_main!(benches);

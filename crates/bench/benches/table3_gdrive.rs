@@ -1,0 +1,166 @@
+//! **Table 3 / §5.8.2** — the graduate-student Google Drive case study:
+//! 4 443 files extracted on 30 River Kubernetes pods, with every file
+//! fetched from the Drive (pods have no shared disk) and ≈70 s container
+//! cold starts.
+//!
+//! Paper rows (invocations / avg extract s / avg transfer s / avg MB):
+//! keyword 3539 / 2.76 / 1.38 / 0.559 · tabular 333 / 0.21 / 0.31 / 0.024
+//! · null-value 333 / 0.84 / 0.30 / 0.024 · images 774 / 1.06 / 0.80 /
+//! 4.0 · hierarchical 1 / 2.2 / 5.9 / 14.0. Totals: 4 980 invocations
+//! over 4 443 files, ≈35 minutes, ≈23 pod-hours.
+
+use rand::Rng;
+use xtract_bench::vs;
+use xtract_sim::calibration::{extractor_cost, faas, table3_transfer};
+use xtract_sim::dist::lognormal;
+use xtract_sim::RngStreams;
+use xtract_workloads::gdrive::PAPER_CENSUS;
+
+/// One extractor invocation in the case study.
+#[derive(Clone, Copy)]
+struct Invocation {
+    extractor: &'static str,
+    extract_s: f64,
+    transfer_s: f64,
+    bytes: u64,
+}
+
+fn main() {
+    xtract_bench::banner(
+        "Table 3: Google Drive case study (4443 files, 30 River pods, no shared disk)",
+        "4980 invocations; keyword 3539, tabular 333, null-value 333, images 774, \
+         hierarchical 1; ~35 min, ~23 pod-hours, ~70 s cold starts",
+    );
+
+    let census = PAPER_CENSUS;
+    let streams = RngStreams::new(33);
+    let mut rng = streams.stream("table3");
+
+    // Build the invocation census the paper's plan structure implies:
+    // keyword covers text + presentations + untyped (3539); 210 of the
+    // untyped are discovered to be images mid-plan, which is what lifts
+    // the images extractor to 774 invocations over 564 image files;
+    // every tabular file also gets the null-value extractor.
+    let keyword_n = census.text + census.presentations + census.untyped; // 3539
+    let images_n = census.images + 210; // 774
+    let mut invocations: Vec<Invocation> = Vec::new();
+    let mut push = |rng: &mut rand::rngs::SmallRng, n: u64, class: &'static str, mean_mb: f64| {
+        for _ in 0..n {
+            let (mu, sigma) = extractor_cost::lognormal_params(class);
+            let sigma_b = 1.0f64;
+            let bytes = (mean_mb * 1e6 * (sigma_b * rand_normal(rng)).exp()
+                / (sigma_b * sigma_b / 2.0).exp())
+            .max(48.0) as u64;
+            let t_mean = table3_transfer::mean_s(class);
+            let transfer_s = lognormal(rng, t_mean.ln() - 0.18, 0.6);
+            invocations.push(Invocation {
+                extractor: class,
+                extract_s: lognormal(rng, mu, sigma),
+                transfer_s,
+                bytes,
+            });
+        }
+    };
+    push(&mut rng, keyword_n, "keyword", 0.559);
+    push(&mut rng, census.tabular, "tabular", 0.024);
+    push(&mut rng, census.tabular, "null-value", 0.024);
+    push(&mut rng, images_n, "images", 4.0);
+    push(&mut rng, census.hierarchical, "hierarchical", 14.0);
+
+    // Pod-level execution with container churn: 30 pods pull Xtract
+    // batches (8 same-extractor invocations per task, §4.3.2); switching
+    // a pod to a different extractor's container costs ≈70 s (§5.8.2).
+    // Batches of different extractors interleave as the per-file plans
+    // progress, so churn stays frequent — the paper: "a significant
+    // portion of this time was spent transferring data and starting new
+    // extractors".
+    let pods = 30usize;
+    // Shuffle, then regroup into same-extractor runs of 4 (the Xtract
+    // batches; FREE parameter — chosen so the container churn matches the
+    // paper's accounting: ≈35 min of walltime over ≈4.6 pod-hours of
+    // useful extract+transfer work implies several hundred seventy-second
+    // cold starts), then shuffle the batches.
+    for i in (1..invocations.len()).rev() {
+        invocations.swap(i, rng.gen_range(0..=i));
+    }
+    let mut by_class: std::collections::BTreeMap<&str, Vec<Invocation>> = Default::default();
+    for inv in &invocations {
+        by_class.entry(inv.extractor).or_default().push(*inv);
+    }
+    let mut batches: Vec<Vec<Invocation>> = Vec::new();
+    for (_, invs) in by_class {
+        for chunk in invs.chunks(4) {
+            batches.push(chunk.to_vec());
+        }
+    }
+    for i in (1..batches.len()).rev() {
+        batches.swap(i, rng.gen_range(0..=i));
+    }
+    let mut pod_free = vec![0.0f64; pods];
+    let mut pod_warm: Vec<Option<&'static str>> = vec![None; pods];
+    let mut cold_starts = 0u64;
+    let mut busy = 0.0f64;
+    for batch in &batches {
+        // A whole Xtract batch executes serially on the earliest-free pod.
+        let (pi, _) = pod_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("pods");
+        let mut t = pod_free[pi];
+        let class = batch[0].extractor;
+        if pod_warm[pi] != Some(class) {
+            cold_starts += 1;
+            t += faas::CONTAINER_COLD_START_S;
+            pod_warm[pi] = Some(class);
+        }
+        for inv in batch {
+            t += inv.transfer_s + inv.extract_s;
+        }
+        busy += t - pod_free[pi];
+        pod_free[pi] = t;
+    }
+    let makespan = pod_free.iter().copied().fold(0.0, f64::max);
+    invocations = batches.into_iter().flatten().collect();
+
+    // Table rows.
+    println!("\n  extractor     invocations          avg extract(s)        avg transfer(s)       avg size(MB)");
+    let paper: &[(&str, f64, f64, f64, f64)] = &[
+        ("keyword", 3539.0, 2.76, 1.38, 0.559),
+        ("tabular", 333.0, 0.21, 0.31, 0.024),
+        ("null-value", 333.0, 0.84, 0.30, 0.024),
+        ("images", 774.0, 1.06, 0.80, 4.0),
+        ("hierarchical", 1.0, 2.2, 5.9, 14.0),
+    ];
+    let mut total = 0u64;
+    for &(class, p_n, p_ex, p_tr, p_mb) in paper {
+        let rows: Vec<&Invocation> = invocations.iter().filter(|i| i.extractor == class).collect();
+        let n = rows.len() as f64;
+        total += rows.len() as u64;
+        let ex = rows.iter().map(|i| i.extract_s).sum::<f64>() / n;
+        let tr = rows.iter().map(|i| i.transfer_s).sum::<f64>() / n;
+        let mb = rows.iter().map(|i| i.bytes as f64).sum::<f64>() / n / 1e6;
+        println!(
+            "  {class:<12}  {:>6.0} (p {p_n:>5.0})   {ex:>7.2} (p {p_ex:>5.2})   {tr:>7.2} (p {p_tr:>5.2})   {mb:>6.3} (p {p_mb:>6.3})",
+            n
+        );
+    }
+    println!("\n  totals:");
+    println!("    invocations   {}", vs(4980.0, total as f64));
+    println!("    makespan(min) {}", vs(35.0, makespan / 60.0));
+    println!("    pod-hours     {}", vs(23.0, pods as f64 * makespan / 3600.0));
+    println!(
+        "    cold starts   {cold_starts} x {:.0} s = {:.1} pod-hours of churn (the paper's \
+         'significant portion')",
+        faas::CONTAINER_COLD_START_S,
+        cold_starts as f64 * faas::CONTAINER_COLD_START_S / 3600.0
+    );
+    let _ = busy;
+}
+
+/// Standard normal draw (Box–Muller).
+fn rand_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}

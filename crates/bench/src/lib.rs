@@ -1,0 +1,88 @@
+//! # xtract-bench
+//!
+//! Benchmark harnesses reproducing **every table and figure** of the
+//! HPDC '21 Xtract evaluation (§5). Each `[[bench]]` target with
+//! `harness = false` regenerates one table/figure: it builds the workload,
+//! runs the experiment (simulation-mode at paper scale, live-mode where
+//! the paper's numbers are micro-scale), and prints the same rows/series
+//! the paper reports, side by side with the paper's values.
+//!
+//! Run them all with `cargo bench`, or one with
+//! `cargo bench --bench fig2_scaling`. `EXPERIMENTS.md` records the
+//! outputs.
+//!
+//! The `micro_*` targets are Criterion micro-benchmarks ablating the
+//! design choices `DESIGN.md` calls out (min-cut cost, batching overhead,
+//! extractor throughput, crawler listing, type-sniffing accuracy).
+
+use xtract_workloads::FamilyProfile;
+
+/// Prints a harness banner.
+pub fn banner(name: &str, claim: &str) {
+    println!("\n================================================================");
+    println!("{name}");
+    println!("paper: {claim}");
+    println!("================================================================");
+}
+
+/// Formats a paper-vs-measured pair with the relative delta.
+pub fn vs(paper: f64, measured: f64) -> String {
+    if paper == 0.0 {
+        return format!("{measured:>10.1} (paper: n/a)");
+    }
+    let delta = (measured / paper - 1.0) * 100.0;
+    format!("{measured:>10.1} (paper {paper:>10.1}, {delta:>+6.1}%)")
+}
+
+/// `n` single-image ImageSort profiles (§5.2's COCO workload).
+pub fn image_sort_profiles(n: u64, seed: u64) -> Vec<FamilyProfile> {
+    xtract_sim::RngStreams::new(seed);
+    xtract_workloads::coco::profiles(n, &xtract_sim::RngStreams::new(seed)).collect()
+}
+
+/// `n` long-duration MaterialsIO group profiles (§5.2's MDF subset:
+/// 200 000 groups, 1.1 TB ⇒ ≈5.5 MB per group).
+pub fn matio_profiles(n: u64, seed: u64) -> Vec<FamilyProfile> {
+    use rand::Rng;
+    let mut rng = xtract_sim::RngStreams::new(seed).stream("matio-profiles");
+    (0..n)
+        .map(|_| FamilyProfile {
+            class: "matio",
+            files: rng.gen_range(2..9),
+            bytes: xtract_sim::dist::lognormal_clamped(&mut rng, 15.0, 1.0, 1.0e4, 1.0e9) as u64,
+        })
+        .collect()
+}
+
+/// `n` small MaterialsIO task profiles (the Fig. 5 batching workload).
+pub fn matio_lite_profiles(n: u64, seed: u64) -> Vec<FamilyProfile> {
+    use rand::Rng;
+    let mut rng = xtract_sim::RngStreams::new(seed).stream("matio-lite");
+    (0..n)
+        .map(|_| FamilyProfile {
+            class: "matio-lite",
+            files: 1,
+            bytes: rng.gen_range(10_000..200_000),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_formats_delta() {
+        let s = vs(100.0, 110.0);
+        assert!(s.contains("+10.0%"), "{s}");
+        assert!(vs(0.0, 5.0).contains("n/a"));
+    }
+
+    #[test]
+    fn profile_builders_produce_requested_counts() {
+        assert_eq!(image_sort_profiles(100, 1).len(), 100);
+        assert_eq!(matio_profiles(50, 1).len(), 50);
+        assert_eq!(matio_lite_profiles(50, 1).len(), 50);
+        assert!(matio_profiles(50, 1).iter().all(|p| p.class == "matio"));
+    }
+}

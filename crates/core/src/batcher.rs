@@ -1,0 +1,262 @@
+//! Two-level batching (§4.3.2).
+//!
+//! Level 1 — **Xtract batching**: families that share an `(endpoint,
+//! extractor)` pair fuse into one FaaS task of up to
+//! `xtract_batch_size` families ("combines families that use the same
+//! extractors into a single funcX task ... transparent to funcX").
+//!
+//! Level 2 — **funcX batching**: up to `funcx_batch_size` such tasks are
+//! submitted in a single web-service request ("funcX expands the batch
+//! into a set of individual function invocations").
+//!
+//! The batcher is an accumulator: families stream in (from the planner),
+//! full batches stream out; `flush` drains stragglers at end of job.
+
+use std::collections::HashMap;
+use xtract_types::{EndpointId, ExtractorKind, Family};
+
+/// One Xtract batch: families bound for the same endpoint + extractor,
+/// executed as a single FaaS task (serially, by one worker).
+#[derive(Debug, Clone)]
+pub struct XtractBatch {
+    /// Target endpoint.
+    pub endpoint: EndpointId,
+    /// Extractor to apply.
+    pub extractor: ExtractorKind,
+    /// Member families.
+    pub families: Vec<Family>,
+}
+
+impl XtractBatch {
+    /// Total files across member families.
+    pub fn file_count(&self) -> usize {
+        self.families.iter().map(Family::file_count).sum()
+    }
+}
+
+/// One funcX batch: Xtract batches submitted in a single web request.
+#[derive(Debug, Clone)]
+pub struct FuncxBatch {
+    /// The member tasks.
+    pub tasks: Vec<XtractBatch>,
+}
+
+impl FuncxBatch {
+    /// Total families across tasks.
+    pub fn family_count(&self) -> usize {
+        self.tasks.iter().map(|t| t.families.len()).sum()
+    }
+}
+
+/// The streaming two-level batcher.
+///
+/// ```
+/// use xtract_core::Batcher;
+/// use xtract_types::{EndpointId, ExtractorKind, Family, FamilyId};
+///
+/// let mut batcher = Batcher::new(2, 2); // Xtract batch 2, funcX batch 2
+/// let ep = EndpointId::new(0);
+/// let fam = |i| Family::new(FamilyId::new(i), vec![], vec![], ep);
+/// let mut emitted = Vec::new();
+/// for i in 0..8 {
+///     emitted.extend(batcher.push(fam(i), ExtractorKind::Keyword, ep));
+/// }
+/// emitted.extend(batcher.flush());
+/// // 8 families -> 4 Xtract batches -> 2 funcX requests.
+/// assert_eq!(emitted.len(), 2);
+/// assert_eq!(emitted[0].family_count(), 4);
+/// ```
+#[derive(Debug)]
+pub struct Batcher {
+    xtract_batch_size: usize,
+    funcx_batch_size: usize,
+    // Accumulating level-1 batches.
+    open: HashMap<(EndpointId, ExtractorKind), Vec<Family>>,
+    // Completed level-1 batches awaiting level-2 fusion.
+    ready: Vec<XtractBatch>,
+}
+
+impl Batcher {
+    /// A batcher with the two §4.3.2 knobs (Fig. 5 sweeps both 1–32).
+    pub fn new(xtract_batch_size: usize, funcx_batch_size: usize) -> Self {
+        assert!(xtract_batch_size > 0 && funcx_batch_size > 0);
+        Self {
+            xtract_batch_size,
+            funcx_batch_size,
+            open: HashMap::new(),
+            ready: Vec::new(),
+        }
+    }
+
+    /// Offers one (family, extractor, endpoint) unit of work; returns any
+    /// funcX batches that became full.
+    pub fn push(
+        &mut self,
+        family: Family,
+        extractor: ExtractorKind,
+        endpoint: EndpointId,
+    ) -> Vec<FuncxBatch> {
+        let slot = self.open.entry((endpoint, extractor)).or_default();
+        slot.push(family);
+        if slot.len() >= self.xtract_batch_size {
+            let families = std::mem::take(slot);
+            self.ready.push(XtractBatch {
+                endpoint,
+                extractor,
+                families,
+            });
+        }
+        self.drain_full()
+    }
+
+    fn drain_full(&mut self) -> Vec<FuncxBatch> {
+        let mut out = Vec::new();
+        while self.ready.len() >= self.funcx_batch_size {
+            let tasks = self.ready.drain(..self.funcx_batch_size).collect();
+            out.push(FuncxBatch { tasks });
+        }
+        out
+    }
+
+    /// Drains every partial batch (end of job). Families never get stuck.
+    pub fn flush(&mut self) -> Vec<FuncxBatch> {
+        let mut keys: Vec<_> = self.open.keys().copied().collect();
+        keys.sort(); // deterministic flush order
+        for key in keys {
+            if let Some(families) = self.open.remove(&key) {
+                if !families.is_empty() {
+                    self.ready.push(XtractBatch {
+                        endpoint: key.0,
+                        extractor: key.1,
+                        families,
+                    });
+                }
+            }
+        }
+        let mut out = self.drain_full();
+        if !self.ready.is_empty() {
+            out.push(FuncxBatch {
+                tasks: std::mem::take(&mut self.ready),
+            });
+        }
+        out
+    }
+
+    /// Families currently buffered (not yet emitted).
+    pub fn buffered(&self) -> usize {
+        self.open.values().map(Vec::len).sum::<usize>()
+            + self.ready.iter().map(|t| t.families.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use xtract_types::{FamilyId, FileRecord, FileType, Group, GroupId};
+
+    fn family(id: u64) -> Family {
+        let f = FileRecord::new(format!("/f{id}"), 1, EndpointId::new(0), FileType::FreeText);
+        let g = Group::new(GroupId::new(id), vec![f.path.clone()]);
+        Family::new(FamilyId::new(id), vec![f], vec![g], EndpointId::new(0))
+    }
+
+    #[test]
+    fn batches_fill_at_both_levels() {
+        let mut b = Batcher::new(2, 3);
+        let ep = EndpointId::new(0);
+        let mut emitted = Vec::new();
+        for i in 0..12 {
+            emitted.extend(b.push(family(i), ExtractorKind::Keyword, ep));
+        }
+        // 12 families → 6 Xtract batches → 2 funcX batches of 3.
+        assert_eq!(emitted.len(), 2);
+        for fb in &emitted {
+            assert_eq!(fb.tasks.len(), 3);
+            assert!(fb.tasks.iter().all(|t| t.families.len() == 2));
+        }
+        assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    fn distinct_extractors_never_share_a_task() {
+        let mut b = Batcher::new(4, 1);
+        let ep = EndpointId::new(0);
+        let mut out = Vec::new();
+        for i in 0..4 {
+            let kind = if i % 2 == 0 {
+                ExtractorKind::Keyword
+            } else {
+                ExtractorKind::Tabular
+            };
+            out.extend(b.push(family(i), kind, ep));
+        }
+        out.extend(b.flush());
+        for fb in &out {
+            for t in &fb.tasks {
+                // Every family in a task shares the task's extractor.
+                assert!(t.families.len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_endpoints_never_share_a_task() {
+        let mut b = Batcher::new(8, 8);
+        let mut out = Vec::new();
+        out.extend(b.push(family(0), ExtractorKind::Keyword, EndpointId::new(0)));
+        out.extend(b.push(family(1), ExtractorKind::Keyword, EndpointId::new(1)));
+        out.extend(b.flush());
+        let tasks: Vec<&XtractBatch> = out.iter().flat_map(|f| f.tasks.iter()).collect();
+        assert_eq!(tasks.len(), 2);
+        assert_ne!(tasks[0].endpoint, tasks[1].endpoint);
+    }
+
+    #[test]
+    fn flush_emits_stragglers() {
+        let mut b = Batcher::new(8, 4);
+        let ep = EndpointId::new(0);
+        assert!(b.push(family(0), ExtractorKind::Keyword, ep).is_empty());
+        assert_eq!(b.buffered(), 1);
+        let out = b.flush();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].family_count(), 1);
+        assert_eq!(b.buffered(), 0);
+        assert!(b.flush().is_empty());
+    }
+
+    proptest! {
+        /// No family is lost or duplicated, for any batch-size pair and
+        /// any work sequence.
+        #[test]
+        fn conservation(
+            xb in 1usize..6,
+            fb in 1usize..6,
+            work in proptest::collection::vec((0u64..4, 0usize..3), 0..80),
+        ) {
+            let kinds = [ExtractorKind::Keyword, ExtractorKind::Tabular, ExtractorKind::Images];
+            let mut b = Batcher::new(xb, fb);
+            let mut out = Vec::new();
+            for (i, (ep, k)) in work.iter().enumerate() {
+                out.extend(b.push(family(i as u64), kinds[*k], EndpointId::new(*ep)));
+            }
+            out.extend(b.flush());
+            let mut ids: Vec<u64> = out
+                .iter()
+                .flat_map(|f| f.tasks.iter())
+                .flat_map(|t| t.families.iter())
+                .map(|fam| fam.id.raw())
+                .collect();
+            ids.sort_unstable();
+            let expected: Vec<u64> = (0..work.len() as u64).collect();
+            prop_assert_eq!(ids, expected);
+            // Size bounds respected.
+            for f in &out {
+                prop_assert!(f.tasks.len() <= fb);
+                for t in &f.tasks {
+                    prop_assert!(t.families.len() <= xb);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,759 @@
+//! The campaign simulator: paper-scale experiments on a virtual clock.
+//!
+//! Runs the same pipeline as the live service — crawl hand-off, optional
+//! prefetch, two-level batching, FaaS dispatch, worker execution,
+//! allocation expiry + checkpointed restart — against
+//! [`xtract_workloads::FamilyProfile`] streams and the calibrated cost
+//! models in `xtract_sim::calibration`. A 2.5 M-group MDF campaign
+//! (Fig. 8) simulates in seconds of wall-clock.
+//!
+//! Model structure (each stage feeds the next stage's ready time):
+//!
+//! 1. **Crawl** — family *i* becomes visible at
+//!    [`CrawlModel::family_ready_time`] (families stream out
+//!    asynchronously, §5.8.1).
+//! 2. **Prefetch** (optional) — families chunk into Globus-style transfer
+//!    jobs over a fair-share link with a concurrent-job cap (Fig. 6's "10
+//!    concurrent Globus transfer jobs").
+//! 3. **Batching** — families fuse into Xtract batches per extractor
+//!    class, then into funcX requests (§4.3.2); the dispatcher is a
+//!    serial resource costing `WS_REQUEST_S` + per-family serialization.
+//! 4. **Execution** — an [`xtract_sim::ServerPool`] of worker containers;
+//!    an Xtract batch runs serially on one worker (that is what makes
+//!    oversized batches straggle in Fig. 5).
+//! 5. **Allocation windows** — with a scheduler limit (Theta's 6 h),
+//!    work in flight at expiry is lost and resubmitted; the checkpoint
+//!    flag preserves finished families inside lost tasks (§5.8.1).
+
+use crate::crawlmodel::CrawlModel;
+use rand::rngs::SmallRng;
+
+use xtract_sim::calibration::{extractor_cost, faas};
+use xtract_sim::dist::lognormal;
+use xtract_sim::net::{simulate_transfers, TransferJob, TransferSlots};
+use xtract_sim::sites::{LinkSpec, Site};
+use xtract_sim::{RngStreams, ServerPool, SimTime};
+use xtract_workloads::FamilyProfile;
+
+/// Optional prefetch stage: move family bytes across a link before
+/// extraction (Fig. 6, Table 2, Fig. 7 use this).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchPlan {
+    /// The wide-area path.
+    pub link: LinkSpec,
+    /// Concurrent transfer jobs (Globus setting; Fig. 6 uses 10).
+    pub slots: usize,
+    /// Families bundled per transfer job.
+    pub families_per_job: usize,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Facility the workers live at.
+    pub site: Site,
+    /// Worker containers in use (≤ site capacity).
+    pub workers: usize,
+    /// Families per Xtract batch (§4.3.2).
+    pub xtract_batch: usize,
+    /// Xtract batches per funcX request (§4.3.2).
+    pub funcx_batch: usize,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Crawl model for staged family arrival (`None` = all ready at 0).
+    pub crawl: Option<(CrawlModel, usize)>,
+    /// Prefetch stage (`None` = data already local).
+    pub prefetch: Option<PrefetchPlan>,
+    /// Scheduler allocation limit override (defaults to the site's).
+    pub allocation_limit_s: Option<f64>,
+    /// Checkpoint flag (§5.8.1).
+    pub checkpoint: bool,
+    /// Delay between an allocation expiring and the next one starting.
+    pub restart_overhead_s: f64,
+    /// Cold-start cost paid by every worker before its first task
+    /// (§5.8.2's ≈70 s; 0 when containers are pre-warmed).
+    pub cold_start_s: f64,
+    /// Give up on a family after this many lost attempts (it is possible
+    /// for a non-checkpointed family's service time to exceed the
+    /// allocation window, in which case it can never finish).
+    pub max_attempts: u32,
+}
+
+impl CampaignConfig {
+    /// A minimal config for `site` with pre-warmed containers and no
+    /// allocation limit.
+    pub fn new(site: Site, workers: usize, seed: u64) -> Self {
+        assert!(workers > 0);
+        Self {
+            site,
+            workers,
+            xtract_batch: 8,
+            funcx_batch: 16,
+            seed,
+            crawl: None,
+            prefetch: None,
+            allocation_limit_s: None,
+            checkpoint: false,
+            restart_overhead_s: 120.0,
+            cold_start_s: 0.0,
+            max_attempts: 10,
+        }
+    }
+}
+
+/// One family's simulated outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyOutcome {
+    /// Extractor class.
+    pub class: &'static str,
+    /// When the family became available (crawl + prefetch done).
+    pub ready: f64,
+    /// When its (final, successful) task started on a worker.
+    pub start: f64,
+    /// When its extraction finished.
+    pub finish: f64,
+    /// Execution attempts (>1 means it was lost to an expiry).
+    pub attempts: u32,
+    /// Sampled service seconds (final attempt's remaining work).
+    pub service: f64,
+}
+
+/// Aggregate results.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-family outcomes, in completion order.
+    pub outcomes: Vec<FamilyOutcome>,
+    /// Last finish instant.
+    pub makespan: f64,
+    /// Aggregate worker-busy seconds ("core hours" × 3600).
+    pub busy_core_seconds: f64,
+    /// funcX web-service requests issued.
+    pub ws_requests: u64,
+    /// Allocation restarts taken.
+    pub restarts: u32,
+    /// Families lost at least once.
+    pub lost_families: u64,
+    /// Families abandoned after `max_attempts` losses.
+    pub failed_families: u64,
+    /// When the crawl finished feeding families.
+    pub crawl_finish: f64,
+    /// When the last prefetch job finished (0 when no prefetch).
+    pub transfer_finish: f64,
+    /// Total bytes moved by prefetch.
+    pub bytes_transferred: u64,
+}
+
+impl CampaignReport {
+    /// Overall completed-families-per-second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.outcomes.len() as f64 / self.makespan
+        }
+    }
+
+    /// Completions per `bucket_s`-second bucket: the Fig. 8 throughput
+    /// curve.
+    pub fn completion_timeline(&self, bucket_s: f64) -> Vec<(f64, u64)> {
+        assert!(bucket_s > 0.0);
+        let buckets = (self.makespan / bucket_s).ceil() as usize + 1;
+        let mut counts = vec![0u64; buckets];
+        for o in &self.outcomes {
+            counts[(o.finish / bucket_s) as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (i as f64 * bucket_s, c))
+            .collect()
+    }
+
+    /// Core hours consumed (§5.8.1 reports 26 200 for full MDF).
+    pub fn core_hours(&self) -> f64 {
+        self.busy_core_seconds / 3600.0
+    }
+}
+
+struct SimTask {
+    family_idx: Vec<usize>,
+    services: Vec<f64>,
+    ready: SimTime,
+}
+
+/// Expected reference-core service seconds for a class (the lognormal
+/// mean `e^{mu + sigma^2/2}`).
+fn mean_ref_service(class: &str) -> f64 {
+    let (mu, sigma) = extractor_cost::lognormal_params(class);
+    (mu + sigma * sigma / 2.0).exp()
+}
+
+/// The simulator.
+pub struct Campaign {
+    config: CampaignConfig,
+    profiles: Vec<FamilyProfile>,
+}
+
+impl Campaign {
+    /// A campaign over `profiles` under `config`.
+    pub fn new(config: CampaignConfig, profiles: Vec<FamilyProfile>) -> Self {
+        assert!(
+            config.workers <= config.site.max_workers().max(config.workers),
+            "worker count exceeds site capacity"
+        );
+        Self { config, profiles }
+    }
+
+    /// Samples one family's service time on this site's cores.
+    ///
+    /// The lognormal tail is capped at 8 250 reference-core-seconds
+    /// (≈15 000 s on Theta's 0.55-speed cores — the longest per-family
+    /// duration visible in Fig. 8's scatter): no real family exceeded a
+    /// single six-hour allocation, and an uncapped tail would make some
+    /// families physically unfinishable under §5.8.1's restart model.
+    fn sample_service(&self, class: &str, rng: &mut SmallRng) -> f64 {
+        const REF_SERVICE_CAP_S: f64 = 8_250.0;
+        let (mu, sigma) = extractor_cost::lognormal_params(class);
+        lognormal(rng, mu, sigma).min(REF_SERVICE_CAP_S) / self.config.site.core_speed
+    }
+
+    /// Runs the campaign.
+    pub fn run(&self) -> CampaignReport {
+        let cfg = &self.config;
+        let streams = RngStreams::new(cfg.seed);
+        let mut service_rng = streams.stream("campaign-service");
+        let n = self.profiles.len();
+
+        // Stage 1: crawl arrival times.
+        let mut ready: Vec<SimTime> = match &cfg.crawl {
+            Some((model, crawl_workers)) => (0..n as u64)
+                .map(|i| model.family_ready_time(*crawl_workers, i))
+                .collect(),
+            None => vec![SimTime::ZERO; n],
+        };
+        let crawl_finish = ready.iter().copied().max().unwrap_or(SimTime::ZERO);
+
+        // Stage 2: prefetch.
+        let mut transfer_finish = SimTime::ZERO;
+        let mut bytes_transferred = 0u64;
+        if let Some(plan) = &cfg.prefetch {
+            let mut jobs: Vec<TransferJob> = Vec::new();
+            let mut job_members: Vec<Vec<usize>> = Vec::new();
+            let mut cur = Vec::new();
+            let mut cur_bytes = 0u64;
+            let mut cur_ready = SimTime::ZERO;
+            for (i, r) in ready.iter().enumerate().take(n) {
+                cur.push(i);
+                cur_bytes += self.profiles[i].bytes;
+                cur_ready = cur_ready.max(*r);
+                if cur.len() >= plan.families_per_job || i + 1 == n {
+                    jobs.push(TransferJob {
+                        ready: cur_ready + SimTime::from_secs(plan.link.startup_s),
+                        bytes: cur_bytes,
+                    });
+                    job_members.push(std::mem::take(&mut cur));
+                    cur_bytes = 0;
+                    cur_ready = SimTime::ZERO;
+                }
+            }
+            let outcomes = simulate_transfers(
+                plan.link.bandwidth_bps,
+                plan.link.per_stream_bps,
+                TransferSlots::new(plan.slots),
+                &jobs,
+            );
+            for (job, members) in outcomes.iter().zip(&job_members) {
+                transfer_finish = transfer_finish.max(job.finish);
+                for &i in members {
+                    ready[i] = job.finish;
+                }
+            }
+            bytes_transferred = jobs.iter().map(|j| j.bytes).sum();
+        }
+
+        // Stage 3: batching + dispatch. Families in ready order fuse into
+        // per-class Xtract batches; full batches fuse into funcX requests
+        // through a serial dispatcher.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| ready[a].cmp(&ready[b]).then(a.cmp(&b)));
+
+        let mut open: std::collections::HashMap<&'static str, (Vec<usize>, Vec<f64>, SimTime)> =
+            Default::default();
+        let mut tasks: Vec<SimTask> = Vec::new();
+        let mut close_order: Vec<usize> = Vec::new(); // indices into tasks
+        for &i in &order {
+            let p = &self.profiles[i];
+            let svc = self.sample_service(p.class, &mut service_rng);
+            // Xtract batching amortizes per-task overhead for *short*
+            // tasks; serializing several multi-hour extractor invocations
+            // behind one worker would manufacture exactly the stragglers
+            // §4.3.1 warns about (and Fig. 8's per-family durations show
+            // heavy MDF families executing as their own tasks). Classes
+            // whose expected service dwarfs the dispatch overhead
+            // therefore ship one family per task.
+            let batch_cap = if mean_ref_service(p.class) > 60.0 {
+                1
+            } else {
+                cfg.xtract_batch
+            };
+            let entry = open.entry(p.class).or_insert_with(|| (Vec::new(), Vec::new(), SimTime::ZERO));
+            entry.0.push(i);
+            entry.1.push(svc);
+            entry.2 = entry.2.max(ready[i]);
+            if entry.0.len() >= batch_cap {
+                let (family_idx, services, batch_ready) = open.remove(p.class).expect("open");
+                close_order.push(tasks.len());
+                tasks.push(SimTask {
+                    family_idx,
+                    services,
+                    ready: batch_ready,
+                });
+            }
+        }
+        // Flush stragglers deterministically.
+        let mut leftovers: Vec<&'static str> = open.keys().copied().collect();
+        leftovers.sort_unstable();
+        for class in leftovers {
+            let (family_idx, services, batch_ready) = open.remove(class).expect("open");
+            close_order.push(tasks.len());
+            tasks.push(SimTask {
+                family_idx,
+                services,
+                ready: batch_ready,
+            });
+        }
+
+        // funcX requests over the serial dispatcher. Heavy-class tasks
+        // are prioritized in the submission queue — the paper's MDF run
+        // visibly submitted its long-duration tasks first ("many
+        // long-duration tasks saturate multiple funcX workers" in the
+        // first hour, §5.8.1), which is what keeps the multi-hour ASE
+        // tail from starting late and overhanging the makespan.
+        let mut dispatch_order = close_order.clone();
+        dispatch_order.sort_by(|&a, &b| {
+            let heavy = |t: &SimTask| {
+                t.family_idx
+                    .iter()
+                    .any(|&fi| mean_ref_service(self.profiles[fi].class) > 60.0)
+            };
+            heavy(&tasks[b])
+                .cmp(&heavy(&tasks[a]))
+                .then(a.cmp(&b))
+        });
+        let mut ws_requests = 0u64;
+        let mut dispatcher_free = SimTime::ZERO;
+        let mut task_worker_ready: Vec<SimTime> = vec![SimTime::ZERO; tasks.len()];
+        for chunk in dispatch_order.chunks(cfg.funcx_batch) {
+            let members_ready = chunk
+                .iter()
+                .map(|&t| tasks[t].ready)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let families: usize = chunk.iter().map(|&t| tasks[t].family_idx.len()).sum();
+            // Superlinear payload cost (see calibration::faas): huge
+            // requests serialize worse than linearly.
+            let payload_factor = 1.0 + families as f64 / faas::PAYLOAD_KNEE_FAMILIES;
+            let duration = SimTime::from_secs(
+                faas::WS_REQUEST_S
+                    + families as f64 * faas::SERIALIZE_PER_FAMILY_S * payload_factor,
+            );
+            let start = dispatcher_free.max(members_ready);
+            dispatcher_free = start + duration;
+            ws_requests += 1;
+            for &t in chunk {
+                task_worker_ready[t] = dispatcher_free;
+            }
+        }
+
+        // Stage 4/5: execution in allocation windows.
+        let alloc_limit = cfg
+            .allocation_limit_s
+            .or(cfg.site.allocation_limit_s)
+            .unwrap_or(f64::INFINITY);
+        // Execution queue: (task, remaining services per family, attempt).
+        struct Pending {
+            task: usize,
+            remaining: Vec<(usize, f64)>, // (family idx, remaining service)
+            ready: SimTime,
+            attempt: u32,
+        }
+        let mut queue: std::collections::VecDeque<Pending> = dispatch_order
+            .iter()
+            .map(|&t| Pending {
+                task: t,
+                remaining: tasks[t]
+                    .family_idx
+                    .iter()
+                    .copied()
+                    .zip(tasks[t].services.iter().copied())
+                    .collect(),
+                ready: task_worker_ready[t],
+                attempt: 1,
+            })
+            .collect();
+        // Heavy-class tasks run longest-processing-time-first: "The
+        // higher throughput in the first hour is due to the order of task
+        // submission, as many long-duration tasks saturate multiple funcX
+        // workers" (§5.8.1) — Fig. 8's multi-hour families all start
+        // early, and LPT is what keeps a lone four-hour family from
+        // straddling the allocation boundary. Light tasks stay in
+        // dispatch (FIFO) order so the millions of small families flow
+        // continuously — the paper's early throughput peak.
+        let heavy_pending = |p: &Pending, profiles: &[FamilyProfile]| {
+            p.remaining
+                .iter()
+                .any(|&(fi, _)| mean_ref_service(profiles[fi].class) > 60.0)
+        };
+        queue.make_contiguous().sort_by(|a, b| {
+            let (ha, hb) = (
+                heavy_pending(a, &self.profiles),
+                heavy_pending(b, &self.profiles),
+            );
+            hb.cmp(&ha)
+                .then_with(|| {
+                    if ha && hb {
+                        let sa: f64 = a.remaining.iter().map(|(_, s)| s).sum();
+                        let sb: f64 = b.remaining.iter().map(|(_, s)| s).sum();
+                        sb.total_cmp(&sa)
+                    } else {
+                        a.ready.cmp(&b.ready)
+                    }
+                })
+                .then(a.task.cmp(&b.task))
+        });
+
+        let mut outcomes: Vec<FamilyOutcome> = Vec::with_capacity(n);
+        let mut busy = 0.0f64;
+        let mut restarts = 0u32;
+        let mut lost_once: std::collections::HashSet<usize> = Default::default();
+        let mut failed_families = 0u64;
+        let mut window_start = SimTime::ZERO;
+        let mut safety = 0u32;
+        while !queue.is_empty() {
+            safety += 1;
+            assert!(safety < 100_000, "campaign failed to converge");
+            // An allocation is requested when there is runnable work: if
+            // everything in the queue only becomes ready later (transfers
+            // in flight), the window starts then.
+            let min_ready = queue
+                .iter()
+                .map(|p| p.ready)
+                .min()
+                .unwrap_or(window_start);
+            window_start = window_start.max(min_ready);
+            // `alloc_limit` may be infinite; keep the boundary as raw f64.
+            let window_end_s = window_start.as_secs() + alloc_limit;
+            // Workers split between heavy-class and light-class work in
+            // proportion to their shares of remaining service: heavy
+            // families (the multi-hour ASE grind) would otherwise starve
+            // the millions of light families until the end, inverting
+            // Fig. 8's high-early-throughput curve. In the pull-based
+            // real system light tasks flow through whatever workers the
+            // heavy tasks leave free, continuously.
+            let is_heavy = |p: &Pending| {
+                p.remaining
+                    .iter()
+                    .any(|&(fi, _)| mean_ref_service(self.profiles[fi].class) > 60.0)
+            };
+            let heavy_work: f64 = queue
+                .iter()
+                .filter(|p| is_heavy(p))
+                .flat_map(|p| p.remaining.iter().map(|(_, s)| s))
+                .sum();
+            let light_work: f64 = queue
+                .iter()
+                .filter(|p| !is_heavy(p))
+                .flat_map(|p| p.remaining.iter().map(|(_, s)| s))
+                .sum();
+            let total_work = heavy_work + light_work;
+            let heavy_workers = if heavy_work == 0.0 || light_work == 0.0 {
+                if heavy_work > 0.0 { cfg.workers } else { 0 }
+            } else {
+                ((cfg.workers as f64 * heavy_work / total_work).round() as usize)
+                    .clamp(1, cfg.workers - 1)
+            };
+            let pool_start = window_start + SimTime::from_secs(cfg.cold_start_s);
+            let mut pool_heavy = if heavy_workers > 0 {
+                Some(ServerPool::free_from(heavy_workers, pool_start))
+            } else {
+                None
+            };
+            let mut pool_light = if cfg.workers - heavy_workers > 0 {
+                Some(ServerPool::free_from(cfg.workers - heavy_workers, pool_start))
+            } else {
+                None
+            };
+            let mut next_queue: std::collections::VecDeque<Pending> = Default::default();
+            while let Some(p) = queue.pop_front() {
+                let pool: &mut ServerPool = if is_heavy(&p) {
+                    pool_heavy.as_mut().expect("heavy pool exists for heavy work")
+                } else {
+                    pool_light.as_mut().expect("light pool exists for light work")
+                };
+                let service: f64 =
+                    faas::ENDPOINT_DISPATCH_S + p.remaining.iter().map(|(_, s)| s).sum::<f64>();
+                // Boundary backfill: the service tracks expected per-class
+                // durations, and does not *start* a task whose estimate
+                // cannot finish before the allocation expires — it is
+                // resubmitted on the next allocation instead. (Estimates
+                // are class means, not the true sampled duration, so
+                // heavy-tailed tasks can still genuinely straddle and be
+                // lost, as in §5.8.1.)
+                let estimate: f64 = p
+                    .remaining
+                    .iter()
+                    .map(|&(fi, _)| mean_ref_service(self.profiles[fi].class))
+                    .sum::<f64>()
+                    / cfg.site.core_speed;
+                let would_start = p.ready.max(window_start).max(pool.earliest_free());
+                let defer = would_start.as_secs() >= window_end_s
+                    || (would_start.as_secs() + estimate > window_end_s && estimate < alloc_limit);
+                if defer {
+                    next_queue.push_back(Pending {
+                        ready: SimTime::from_secs(
+                            (window_end_s + cfg.restart_overhead_s).min(f64::MAX / 4.0),
+                        )
+                        .max(p.ready),
+                        ..p
+                    });
+                    continue;
+                }
+                let a = pool.assign(p.ready.max(window_start), SimTime::from_secs(service));
+                if a.finish.as_secs() <= window_end_s {
+                    // Whole task fits: all member families complete.
+                    let mut t = a.start.as_secs() + faas::ENDPOINT_DISPATCH_S;
+                    busy += service;
+                    for &(fi, svc) in &p.remaining {
+                        t += svc;
+                        outcomes.push(FamilyOutcome {
+                            class: self.profiles[fi].class,
+                            ready: ready[fi].as_secs(),
+                            start: a.start.as_secs(),
+                            finish: t,
+                            attempts: p.attempt,
+                            service: svc,
+                        });
+                    }
+                } else {
+                    // Task straddles the expiry: in-flight work is lost
+                    // (§5.8.1). With the checkpoint flag, member families
+                    // whose metadata already flushed survive.
+                    let ran = (window_end_s - a.start.as_secs() - faas::ENDPOINT_DISPATCH_S)
+                        .max(0.0);
+                    busy += ran.min(service);
+                    let mut elapsed = 0.0;
+                    let mut survivors: Vec<(usize, f64)> = Vec::new();
+                    for &(fi, svc) in &p.remaining {
+                        let done_at = elapsed + svc;
+                        if cfg.checkpoint && done_at <= ran {
+                            // Flushed before the expiry: completed.
+                            outcomes.push(FamilyOutcome {
+                                class: self.profiles[fi].class,
+                                ready: ready[fi].as_secs(),
+                                start: a.start.as_secs(),
+                                finish: a.start.as_secs() + faas::ENDPOINT_DISPATCH_S + done_at,
+                                attempts: p.attempt,
+                                service: svc,
+                            });
+                        } else {
+                            lost_once.insert(fi);
+                            survivors.push((fi, svc));
+                        }
+                        elapsed = done_at;
+                    }
+                    if !survivors.is_empty() {
+                        if p.attempt >= cfg.max_attempts {
+                            failed_families += survivors.len() as u64;
+                        } else {
+                            next_queue.push_back(Pending {
+                                task: p.task,
+                                remaining: survivors,
+                                ready: SimTime::from_secs(window_end_s + cfg.restart_overhead_s),
+                                attempt: p.attempt + 1,
+                            });
+                        }
+                    }
+                }
+            }
+            if next_queue.is_empty() {
+                break;
+            }
+            restarts += 1;
+            ws_requests += next_queue.len().div_ceil(cfg.funcx_batch) as u64;
+            window_start = SimTime::from_secs(window_end_s + cfg.restart_overhead_s);
+            queue = next_queue;
+        }
+
+        outcomes.sort_by(|a, b| a.finish.total_cmp(&b.finish));
+        let makespan = outcomes.last().map_or(0.0, |o| o.finish);
+        CampaignReport {
+            outcomes,
+            makespan,
+            busy_core_seconds: busy,
+            ws_requests,
+            restarts,
+            lost_families: lost_once.len() as u64,
+            failed_families,
+            crawl_finish: crawl_finish.as_secs(),
+            transfer_finish: transfer_finish.as_secs(),
+            bytes_transferred,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtract_sim::sites;
+
+    fn profiles(n: usize, class: &'static str) -> Vec<FamilyProfile> {
+        (0..n)
+            .map(|_| FamilyProfile {
+                class,
+                files: 1,
+                bytes: 100_000,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn more_workers_shorter_makespan() {
+        let run = |workers| {
+            let cfg = CampaignConfig::new(sites::midway(), workers, 1);
+            Campaign::new(cfg, profiles(2000, "csv")).run().makespan
+        };
+        let m56 = run(56);
+        let m224 = run(224);
+        assert!(m224 < m56, "224 workers {m224} !< 56 workers {m56}");
+    }
+
+    #[test]
+    fn all_families_complete_exactly_once() {
+        let cfg = CampaignConfig::new(sites::midway(), 28, 2);
+        let report = Campaign::new(cfg, profiles(500, "json")).run();
+        assert_eq!(report.outcomes.len(), 500);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.lost_families, 0);
+        assert!(report.makespan > 0.0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = || {
+            let cfg = CampaignConfig::new(sites::midway(), 28, 7);
+            let r = Campaign::new(cfg, profiles(300, "csv")).run();
+            (r.makespan, r.busy_core_seconds, r.ws_requests)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn allocation_expiry_forces_restart_and_loses_work() {
+        // ASE families (mean ≈4 000 s on Theta) against a 3 000 s window:
+        // the duration estimate exceeds the window, so backfill cannot
+        // defer them — they run, straddle the expiry, and are lost
+        // (§5.8.1). Families whose true duration exceeds every window can
+        // never finish and are abandoned after max_attempts.
+        let mut cfg = CampaignConfig::new(sites::theta(), 4, 3);
+        cfg.allocation_limit_s = Some(3000.0);
+        cfg.checkpoint = false;
+        cfg.max_attempts = 3;
+        let report = Campaign::new(cfg, profiles(40, "ase")).run();
+        assert_eq!(
+            report.outcomes.len() as u64 + report.failed_families,
+            40
+        );
+        assert!(report.restarts > 0, "no restart happened");
+        assert!(report.lost_families > 0);
+        assert!(report.failed_families > 0, "some ASE families cannot fit 3000 s");
+    }
+
+    #[test]
+    fn checkpointing_reduces_rework() {
+        // bert tasks of 8 families estimate ≈87 s against a 120 s window:
+        // the estimate admits them, the heavy-tailed truth straddles, and
+        // the checkpoint flag preserves the families that flushed before
+        // the expiry (§5.8.1) — less re-execution, never a longer
+        // campaign.
+        let run = |checkpoint| {
+            let mut cfg = CampaignConfig::new(sites::theta(), 4, 3);
+            cfg.allocation_limit_s = Some(120.0);
+            cfg.restart_overhead_s = 5.0;
+            cfg.checkpoint = checkpoint;
+            Campaign::new(cfg, profiles(200, "bert")).run()
+        };
+        let base = run(false);
+        let ckpt = run(true);
+        assert!(base.restarts > 0 && ckpt.restarts > 0);
+        assert!(base.lost_families > 0);
+        assert!(
+            ckpt.busy_core_seconds < base.busy_core_seconds,
+            "checkpointing did not reduce busy time: {} vs {}",
+            ckpt.busy_core_seconds,
+            base.busy_core_seconds
+        );
+        // Checkpointing never makes the campaign slower.
+        assert!(ckpt.makespan <= base.makespan + 1.0);
+    }
+
+    #[test]
+    fn prefetch_delays_execution_until_bytes_arrive() {
+        let mut cfg = CampaignConfig::new(sites::midway(), 28, 4);
+        cfg.prefetch = Some(PrefetchPlan {
+            link: sites::link("petrel", "midway"),
+            slots: 10,
+            families_per_job: 50,
+        });
+        let report = Campaign::new(cfg, profiles(500, "csv")).run();
+        assert!(report.transfer_finish > 0.0);
+        assert!(report.bytes_transferred == 500 * 100_000);
+        // No family starts before any bytes could arrive.
+        let earliest = report.outcomes.iter().map(|o| o.start).fold(f64::MAX, f64::min);
+        assert!(earliest > 0.0);
+    }
+
+    #[test]
+    fn crawl_staggers_readiness() {
+        let mut cfg = CampaignConfig::new(sites::midway(), 28, 5);
+        let model = CrawlModel::from_stats(100, 5_000, 500);
+        cfg.crawl = Some((model, 4));
+        let report = Campaign::new(cfg, profiles(500, "yaml")).run();
+        assert!(report.crawl_finish > 0.0);
+        let first = report.outcomes.iter().map(|o| o.ready).fold(f64::MAX, f64::min);
+        let last = report.outcomes.iter().map(|o| o.ready).fold(0.0, f64::max);
+        assert!(last > first, "readiness should be staggered");
+    }
+
+    #[test]
+    fn batch_size_one_costs_more_requests() {
+        let run = |xb, fb| {
+            let mut cfg = CampaignConfig::new(sites::midway(), 28, 6);
+            cfg.xtract_batch = xb;
+            cfg.funcx_batch = fb;
+            Campaign::new(cfg, profiles(256, "csv")).run().ws_requests
+        };
+        assert!(run(1, 1) > run(8, 16));
+        assert_eq!(run(1, 1), 256);
+    }
+
+    #[test]
+    fn cold_start_shifts_first_completion() {
+        let warm = CampaignConfig::new(sites::river(), 30, 8);
+        let mut cold = CampaignConfig::new(sites::river(), 30, 8);
+        cold.cold_start_s = 70.0;
+        let w = Campaign::new(warm, profiles(64, "keyword")).run();
+        let c = Campaign::new(cold, profiles(64, "keyword")).run();
+        let wf = w.outcomes.iter().map(|o| o.start).fold(f64::MAX, f64::min);
+        let cf = c.outcomes.iter().map(|o| o.start).fold(f64::MAX, f64::min);
+        assert!(cf >= wf + 69.0, "cold start not applied: {cf} vs {wf}");
+    }
+
+    #[test]
+    fn timeline_buckets_sum_to_total() {
+        let cfg = CampaignConfig::new(sites::midway(), 28, 9);
+        let report = Campaign::new(cfg, profiles(300, "xml")).run();
+        let total: u64 = report.completion_timeline(10.0).iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 300);
+    }
+}

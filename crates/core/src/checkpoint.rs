@@ -1,0 +1,178 @@
+//! Checkpointing (§5.8.1).
+//!
+//! "For this experiment we checkpointed progress via a 'checkpoint-flag'
+//! in the extractor that, when present, flushes each processed group's
+//! metadata to disk on completion. When funcX returns a heartbeat ...
+//! stating that a family's task id is lost (i.e., the allocation ended),
+//! then the entire family is resubmitted, and in the presence of the
+//! 'checkpoint-flag', the metadata are re-loaded."
+//!
+//! The store is keyed by `(family, extractor)` so a resubmitted family
+//! skips extractors whose output already flushed — only unfinished steps
+//! re-execute. Serialization round-trips through JSON so a checkpoint can
+//! live on any data layer.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xtract_types::{FamilyId, Metadata, Result, XtractError};
+
+/// One flushed entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointEntry {
+    /// The family.
+    pub family: FamilyId,
+    /// Extractor name whose output this is.
+    pub extractor: String,
+    /// The flushed metadata.
+    pub metadata: Metadata,
+}
+
+/// A thread-safe checkpoint store for one job.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    entries: RwLock<HashMap<(FamilyId, String), Metadata>>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flushes one completed extractor's output for a family.
+    pub fn flush(&self, family: FamilyId, extractor: &str, metadata: Metadata) {
+        self.entries
+            .write()
+            .insert((family, extractor.to_string()), metadata);
+    }
+
+    /// Loads a previously-flushed output, if any.
+    pub fn load(&self, family: FamilyId, extractor: &str) -> Option<Metadata> {
+        self.entries
+            .read()
+            .get(&(family, extractor.to_string()))
+            .cloned()
+    }
+
+    /// Extractor names already completed for `family`.
+    pub fn completed_extractors(&self, family: FamilyId) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .entries
+            .read()
+            .keys()
+            .filter(|(f, _)| *f == family)
+            .map(|(_, e)| e.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of flushed entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when nothing has flushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Serializes the whole store (for persisting to a data layer).
+    pub fn serialize(&self) -> Vec<u8> {
+        let entries: Vec<CheckpointEntry> = self
+            .entries
+            .read()
+            .iter()
+            .map(|((family, extractor), metadata)| CheckpointEntry {
+                family: *family,
+                extractor: extractor.clone(),
+                metadata: metadata.clone(),
+            })
+            .collect();
+        serde_json::to_vec(&entries).expect("checkpoint serialization is infallible")
+    }
+
+    /// Restores a store from serialized bytes.
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        let entries: Vec<CheckpointEntry> =
+            serde_json::from_slice(bytes).map_err(|e| XtractError::CheckpointCorrupt {
+                reason: e.to_string(),
+            })?;
+        let store = Self::new();
+        {
+            let mut map = store.entries.write();
+            for e in entries {
+                map.insert((e.family, e.extractor), e.metadata);
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn md(k: &str) -> Metadata {
+        let mut m = Metadata::new();
+        m.insert(k, 1);
+        m
+    }
+
+    #[test]
+    fn flush_then_load() {
+        let store = CheckpointStore::new();
+        store.flush(FamilyId::new(1), "keyword", md("kw"));
+        assert_eq!(store.load(FamilyId::new(1), "keyword"), Some(md("kw")));
+        assert_eq!(store.load(FamilyId::new(1), "tabular"), None);
+        assert_eq!(store.load(FamilyId::new(2), "keyword"), None);
+    }
+
+    #[test]
+    fn completed_extractors_per_family() {
+        let store = CheckpointStore::new();
+        store.flush(FamilyId::new(1), "keyword", md("a"));
+        store.flush(FamilyId::new(1), "tabular", md("b"));
+        store.flush(FamilyId::new(2), "keyword", md("c"));
+        assert_eq!(
+            store.completed_extractors(FamilyId::new(1)),
+            vec!["keyword".to_string(), "tabular".to_string()]
+        );
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn reflush_overwrites() {
+        let store = CheckpointStore::new();
+        store.flush(FamilyId::new(1), "keyword", md("old"));
+        store.flush(FamilyId::new(1), "keyword", md("new"));
+        assert_eq!(store.load(FamilyId::new(1), "keyword"), Some(md("new")));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let store = CheckpointStore::new();
+        store.flush(FamilyId::new(7), "matio", md("energy"));
+        store.flush(FamilyId::new(8), "images", md("class"));
+        let bytes = store.serialize();
+        let restored = CheckpointStore::deserialize(&bytes).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.load(FamilyId::new(7), "matio"), Some(md("energy")));
+    }
+
+    #[test]
+    fn corrupt_bytes_are_an_error() {
+        let err = CheckpointStore::deserialize(b"{broken").unwrap_err();
+        assert!(matches!(err, XtractError::CheckpointCorrupt { .. }));
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = CheckpointStore::new();
+        assert!(store.is_empty());
+        let restored = CheckpointStore::deserialize(&store.serialize()).unwrap();
+        assert!(restored.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Duplicate and near-duplicate detection (§7, future work: "To
+//! facilitate efficient file storage use, we will explore methods for
+//! identifying duplicated or nearly-duplicated data"; §6 situates
+//! file-level deduplication as the classic content-blind analysis).
+//!
+//! Two tiers, both content-based:
+//!
+//! * **Exact** — a 64-bit FNV-1a digest of the full byte stream groups
+//!   byte-identical files (the "are equivalent" relation of §6).
+//! * **Near** — MinHash over 8-byte shingles: `k` independent permutations
+//!   approximate Jaccard similarity of the shingle sets, so two files
+//!   differing by a small edit still land above the similarity threshold.
+//!   This is the "nearly-duplicated" extension the paper defers.
+
+use std::collections::HashMap;
+
+/// Number of MinHash permutations (64 gives ±~12 % Jaccard error at 95 %
+/// confidence — plenty for a duplicate screen).
+pub const MINHASH_PERMUTATIONS: usize = 64;
+
+/// A file's content signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Exact 64-bit content digest.
+    pub digest: u64,
+    /// Byte length.
+    pub len: u64,
+    /// MinHash sketch over 8-byte shingles.
+    pub minhash: [u64; MINHASH_PERMUTATIONS],
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64: cheap independent hash families for the permutations.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Computes a signature for a byte stream.
+pub fn signature(bytes: &[u8]) -> Signature {
+    let mut minhash = [u64::MAX; MINHASH_PERMUTATIONS];
+    if bytes.len() >= 8 {
+        for window in bytes.windows(8).step_by(4) {
+            let shingle = u64::from_le_bytes(window.try_into().expect("8-byte window"));
+            let base = mix(shingle);
+            for (i, slot) in minhash.iter_mut().enumerate() {
+                let h = mix(base ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+    } else {
+        // Tiny files: hash the whole content into every slot so identical
+        // tiny files still match.
+        let base = mix(fnv1a(bytes));
+        for (i, slot) in minhash.iter_mut().enumerate() {
+            *slot = mix(base ^ i as u64);
+        }
+    }
+    Signature {
+        digest: fnv1a(bytes),
+        len: bytes.len() as u64,
+        minhash,
+    }
+}
+
+/// Estimated Jaccard similarity of two signatures' shingle sets.
+pub fn similarity(a: &Signature, b: &Signature) -> f64 {
+    let agree = a
+        .minhash
+        .iter()
+        .zip(&b.minhash)
+        .filter(|(x, y)| x == y)
+        .count();
+    agree as f64 / MINHASH_PERMUTATIONS as f64
+}
+
+/// A cluster of paths considered duplicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateCluster {
+    /// Member paths (≥ 2).
+    pub paths: Vec<String>,
+    /// True if members are byte-identical; false for near-duplicates.
+    pub exact: bool,
+    /// Reclaimable bytes if all but one copy were dropped (exact clusters
+    /// only; near-duplicates report 0).
+    pub reclaimable_bytes: u64,
+}
+
+/// The duplicate detector: feed signatures, then ask for clusters.
+///
+/// ```
+/// use xtract_core::dedup::Deduplicator;
+///
+/// let mut d = Deduplicator::new();
+/// d.add_bytes("/a/orig.csv", b"year,co2\n1990,354\n");
+/// d.add_bytes("/backup/orig.csv", b"year,co2\n1990,354\n");
+/// let clusters = d.exact_clusters();
+/// assert_eq!(clusters[0].paths.len(), 2);
+/// assert!(clusters[0].exact);
+/// ```
+#[derive(Debug, Default)]
+pub struct Deduplicator {
+    entries: Vec<(String, Signature)>,
+}
+
+impl Deduplicator {
+    /// An empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one file's signature.
+    pub fn add(&mut self, path: impl Into<String>, sig: Signature) {
+        self.entries.push((path.into(), sig));
+    }
+
+    /// Convenience: signature + add.
+    pub fn add_bytes(&mut self, path: impl Into<String>, bytes: &[u8]) {
+        self.add(path, signature(bytes));
+    }
+
+    /// Files recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Exact clusters: groups with identical digests (and lengths — a
+    /// 64-bit digest alone is not a collision-free identity claim).
+    pub fn exact_clusters(&self) -> Vec<DuplicateCluster> {
+        let mut groups: HashMap<(u64, u64), Vec<&str>> = HashMap::new();
+        for (path, sig) in &self.entries {
+            groups.entry((sig.digest, sig.len)).or_default().push(path);
+        }
+        let mut out: Vec<DuplicateCluster> = groups
+            .into_iter()
+            .filter(|(_, paths)| paths.len() > 1)
+            .map(|((_, len), mut paths)| {
+                paths.sort_unstable();
+                DuplicateCluster {
+                    reclaimable_bytes: len * (paths.len() as u64 - 1),
+                    paths: paths.into_iter().map(str::to_string).collect(),
+                    exact: true,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.paths[0].cmp(&b.paths[0]));
+        out
+    }
+
+    /// Near-duplicate clusters at the given Jaccard `threshold` (0–1):
+    /// connected components of the pairwise similarity graph, with exact
+    /// duplicates subsumed. Pairwise over candidate buckets (files within
+    /// 2× length of each other) — fine for repository-audit scale.
+    pub fn near_clusters(&self, threshold: f64) -> Vec<DuplicateCluster> {
+        assert!((0.0..=1.0).contains(&threshold));
+        let n = self.entries.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (&self.entries[i].1, &self.entries[j].1);
+                // Length pre-filter: very different sizes cannot be near
+                // duplicates.
+                if a.len.max(b.len) > 2 * a.len.min(b.len).max(1) {
+                    continue;
+                }
+                if similarity(a, b) >= threshold {
+                    let (ra, rb) = (find(&mut parent, i), find(&mut parent, j));
+                    if ra != rb {
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+        let mut out: Vec<DuplicateCluster> = groups
+            .into_values()
+            .filter(|members| members.len() > 1)
+            .map(|members| {
+                let exact = members
+                    .windows(2)
+                    .all(|w| self.entries[w[0]].1.digest == self.entries[w[1]].1.digest);
+                let mut paths: Vec<String> =
+                    members.iter().map(|&i| self.entries[i].0.clone()).collect();
+                paths.sort_unstable();
+                let reclaimable = if exact {
+                    self.entries[members[0]].1.len * (members.len() as u64 - 1)
+                } else {
+                    0
+                };
+                DuplicateCluster {
+                    paths,
+                    exact,
+                    reclaimable_bytes: reclaimable,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.paths[0].cmp(&b.paths[0]));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_bytes_are_exact_duplicates() {
+        let mut d = Deduplicator::new();
+        d.add_bytes("/a/report.txt", b"the same content in both files");
+        d.add_bytes("/b/copy.txt", b"the same content in both files");
+        d.add_bytes("/c/other.txt", b"something different entirely!!");
+        let clusters = d.exact_clusters();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].paths, vec!["/a/report.txt", "/b/copy.txt"]);
+        assert!(clusters[0].exact);
+        assert_eq!(clusters[0].reclaimable_bytes, 30);
+    }
+
+    #[test]
+    fn near_duplicates_survive_small_edits() {
+        let base: String = "observation record line with co2 and temp values\n".repeat(60);
+        let mut edited = base.clone();
+        edited.push_str("one appended trailer line\n");
+        let sim = similarity(&signature(base.as_bytes()), &signature(edited.as_bytes()));
+        assert!(sim > 0.8, "similarity {sim}");
+        let mut d = Deduplicator::new();
+        d.add_bytes("/orig", base.as_bytes());
+        d.add_bytes("/edited", edited.as_bytes());
+        d.add_bytes("/unrelated", "completely different words are present here only".repeat(60).as_bytes());
+        let clusters = d.near_clusters(0.7);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].paths, vec!["/edited", "/orig"]);
+        assert!(!clusters[0].exact);
+    }
+
+    #[test]
+    fn unrelated_content_is_dissimilar() {
+        let a = signature("alpha beta gamma delta ".repeat(100).as_bytes());
+        let b = signature("zero one two three four ".repeat(100).as_bytes());
+        assert!(similarity(&a, &b) < 0.2);
+    }
+
+    #[test]
+    fn length_prefilter_blocks_absurd_pairs() {
+        let mut d = Deduplicator::new();
+        let short = "abcdefgh".repeat(4);
+        let long = "abcdefgh".repeat(500);
+        d.add_bytes("/short", short.as_bytes());
+        d.add_bytes("/long", long.as_bytes());
+        // High shingle overlap (same repeating unit) but 100x length gap.
+        assert!(d.near_clusters(0.5).is_empty());
+    }
+
+    #[test]
+    fn tiny_files_match_only_exactly() {
+        let a = signature(b"abc");
+        let b = signature(b"abc");
+        let c = signature(b"abd");
+        assert_eq!(similarity(&a, &b), 1.0);
+        assert!(similarity(&a, &c) < 0.5);
+    }
+
+    proptest! {
+        /// Similarity is reflexive, symmetric, and bounded.
+        #[test]
+        fn similarity_properties(a in proptest::collection::vec(any::<u8>(), 0..600),
+                                 b in proptest::collection::vec(any::<u8>(), 0..600)) {
+            let sa = signature(&a);
+            let sb = signature(&b);
+            prop_assert!((similarity(&sa, &sa) - 1.0).abs() < 1e-12);
+            let ab = similarity(&sa, &sb);
+            let ba = similarity(&sb, &sa);
+            prop_assert_eq!(ab.to_bits(), ba.to_bits());
+            prop_assert!((0.0..=1.0).contains(&ab));
+        }
+
+        /// Exact clustering groups equal byte strings and nothing else
+        /// (up to 64-bit digest collisions, astronomically unlikely in
+        /// these inputs).
+        #[test]
+        fn exact_clusters_partition_correctly(
+            contents in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..20)
+        ) {
+            let mut d = Deduplicator::new();
+            for (i, c) in contents.iter().enumerate() {
+                d.add_bytes(format!("/f{i}"), c);
+            }
+            let clusters = d.exact_clusters();
+            for cluster in &clusters {
+                prop_assert!(cluster.paths.len() > 1);
+                let idx = |p: &str| p[2..].parse::<usize>().unwrap();
+                let first = &contents[idx(&cluster.paths[0])];
+                for p in &cluster.paths {
+                    prop_assert_eq!(&contents[idx(p)], first);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The asynchronous job interface (§3 "Xtract User Interface").
+//!
+//! "Xtract offers an asynchronous interface via which users can ...
+//! execute extraction and validation jobs; monitor the status of
+//! extraction jobs; and retrieve or deposit the extracted metadata" —
+//! Listing 2's `xmc.submit(...)`, `get_crawl_status`, `get_extract_status`
+//! flow.
+//!
+//! [`JobManager`] wraps the synchronous [`XtractService`] in a background
+//! worker per job: `submit` returns a [`JobId`] immediately; status reads
+//! observe live crawl/extraction counters (shared with the service's
+//! crawler metrics); results become available when the job completes.
+
+use crate::service::{JobReport, XtractService};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use xtract_datafabric::Token;
+use xtract_types::id::IdAllocator;
+use xtract_types::{JobId, JobSpec, Result, XtractError};
+
+/// Observable lifecycle of a submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Queued, not yet started.
+    Pending,
+    /// Crawling and extracting (the two overlap: "file groups are
+    /// returned asynchronously", §5.8.1).
+    Running,
+    /// Finished; the report is available.
+    Complete {
+        /// Validated record count.
+        records: u64,
+        /// Permanent failures.
+        failures: u64,
+    },
+    /// The job failed before producing a report.
+    Failed {
+        /// The error's description.
+        reason: String,
+    },
+}
+
+impl JobStatus {
+    /// True for Complete/Failed.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Complete { .. } | JobStatus::Failed { .. })
+    }
+}
+
+#[derive(Default)]
+struct JobSlot {
+    status: Option<JobStatus>,
+    report: Option<std::result::Result<JobReport, String>>,
+}
+
+struct Shared {
+    slots: Mutex<HashMap<JobId, JobSlot>>,
+    cv: Condvar,
+}
+
+/// The asynchronous job manager.
+pub struct JobManager {
+    service: Arc<XtractService>,
+    shared: Arc<Shared>,
+    ids: IdAllocator,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl JobManager {
+    /// A manager over a service.
+    pub fn new(service: Arc<XtractService>) -> Self {
+        Self {
+            service,
+            shared: Arc::new(Shared {
+                slots: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+            }),
+            ids: IdAllocator::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Submits a job; returns immediately with its id (Listing 2's
+    /// `task_id = xmc.submit(...)`). Validation errors surface here, not
+    /// in the background.
+    pub fn submit(&self, token: Token, spec: JobSpec) -> Result<JobId> {
+        spec.validate().map_err(|reason| XtractError::InvalidJob { reason })?;
+        let id = JobId::new(self.ids.next());
+        {
+            let mut slots = self.shared.slots.lock();
+            slots.insert(
+                id,
+                JobSlot {
+                    status: Some(JobStatus::Pending),
+                    report: None,
+                },
+            );
+        }
+        let service = self.service.clone();
+        let shared = self.shared.clone();
+        let handle = std::thread::spawn(move || {
+            {
+                let mut slots = shared.slots.lock();
+                if let Some(slot) = slots.get_mut(&id) {
+                    slot.status = Some(JobStatus::Running);
+                }
+            }
+            let outcome = service.run_job(token, &spec);
+            let mut slots = shared.slots.lock();
+            if let Some(slot) = slots.get_mut(&id) {
+                match outcome {
+                    Ok(report) => {
+                        slot.status = Some(JobStatus::Complete {
+                            records: report.records.len() as u64,
+                            failures: report.failures.len() as u64,
+                        });
+                        slot.report = Some(Ok(report));
+                    }
+                    Err(e) => {
+                        slot.status = Some(JobStatus::Failed {
+                            reason: e.to_string(),
+                        });
+                        slot.report = Some(Err(e.to_string()));
+                    }
+                }
+            }
+            shared.cv.notify_all();
+        });
+        self.handles.lock().push(handle);
+        Ok(id)
+    }
+
+    /// Current status (Listing 2's `get_crawl_status` /
+    /// `get_extract_status` rolled into one view).
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.shared.slots.lock().get(&id).and_then(|s| s.status.clone())
+    }
+
+    /// Blocks until the job is terminal or `timeout` passes; returns the
+    /// final status on success.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slots = self.shared.slots.lock();
+        loop {
+            match slots.get(&id).and_then(|s| s.status.clone()) {
+                Some(status) if status.is_terminal() => return Some(status),
+                None => return None,
+                _ => {}
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return slots.get(&id).and_then(|s| s.status.clone());
+            }
+            self.shared.cv.wait_for(&mut slots, deadline - now);
+        }
+    }
+
+    /// Takes the finished report (Listing 2's metadata retrieval). `None`
+    /// until terminal; consumes the report.
+    pub fn take_report(&self, id: JobId) -> Option<std::result::Result<JobReport, String>> {
+        self.shared.slots.lock().get_mut(&id).and_then(|s| s.report.take())
+    }
+
+    /// Ids of all known jobs, sorted.
+    pub fn jobs(&self) -> Vec<JobId> {
+        let mut ids: Vec<JobId> = self.shared.slots.lock().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+}
+
+impl Drop for JobManager {
+    fn drop(&mut self) {
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope};
+    use xtract_sim::RngStreams;
+    use xtract_types::config::ContainerRuntime;
+    use xtract_types::{EndpointId, EndpointSpec};
+
+    fn rig(files: u64) -> (JobManager, Token, JobSpec) {
+        let fabric = Arc::new(DataFabric::new());
+        let ep = EndpointId::new(0);
+        let fs = Arc::new(MemFs::new(ep));
+        xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", files, &RngStreams::new(60));
+        fabric.register(ep, "midway", fs);
+        let auth = Arc::new(AuthService::new());
+        let token = auth.login(
+            "async-user",
+            &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        );
+        let service = Arc::new(XtractService::new(fabric, auth, 9));
+        let spec = JobSpec::single_endpoint(
+            EndpointSpec {
+                endpoint: ep,
+                read_path: "/data".into(),
+                store_path: Some("/stage".into()),
+                available_bytes: 1 << 30,
+                workers: Some(4),
+                runtime: ContainerRuntime::Docker,
+            },
+            "/data",
+        );
+        service.connect_endpoint(&spec.endpoints[0]).unwrap();
+        (JobManager::new(service), token, spec)
+    }
+
+    #[test]
+    fn submit_wait_take_report() {
+        let (mgr, token, spec) = rig(20);
+        let id = mgr.submit(token, spec).unwrap();
+        let status = mgr.wait(id, Duration::from_secs(30)).unwrap();
+        match status {
+            JobStatus::Complete { records, failures } => {
+                assert!(records > 0);
+                assert_eq!(failures, 0);
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+        let report = mgr.take_report(id).unwrap().unwrap();
+        assert!(!report.records.is_empty());
+        // Reports are consumed once.
+        assert!(mgr.take_report(id).is_none());
+    }
+
+    #[test]
+    fn invalid_jobs_fail_at_submit_not_in_background() {
+        let (mgr, token, mut spec) = rig(2);
+        spec.max_family_size = 0;
+        assert!(matches!(
+            mgr.submit(token, spec),
+            Err(XtractError::InvalidJob { .. })
+        ));
+        assert!(mgr.jobs().is_empty());
+    }
+
+    #[test]
+    fn concurrent_jobs_are_isolated() {
+        let (mgr, token, spec) = rig(24);
+        let a = mgr.submit(token, spec.clone()).unwrap();
+        let b = mgr.submit(token, spec).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(mgr.jobs().len(), 2);
+        let sa = mgr.wait(a, Duration::from_secs(30)).unwrap();
+        let sb = mgr.wait(b, Duration::from_secs(30)).unwrap();
+        assert!(sa.is_terminal() && sb.is_terminal());
+        let ra = mgr.take_report(a).unwrap().unwrap();
+        let rb = mgr.take_report(b).unwrap().unwrap();
+        assert_eq!(ra.records.len(), rb.records.len());
+    }
+
+    #[test]
+    fn unknown_job_has_no_status() {
+        let (mgr, _token, _spec) = rig(2);
+        assert!(mgr.status(JobId::new(99)).is_none());
+        assert!(mgr.wait(JobId::new(99), Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn bad_token_surfaces_as_failed_job() {
+        let (mgr, _token, spec) = rig(4);
+        let foreign = AuthService::new().login("other", &[Scope::Crawl]);
+        let id = mgr.submit(foreign, spec).unwrap();
+        match mgr.wait(id, Duration::from_secs(30)).unwrap() {
+            JobStatus::Failed { reason } => assert!(reason.contains("authorization")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(mgr.take_report(id).unwrap().is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # xtract-core
+//!
+//! The Xtract orchestrator — the paper's primary contribution (§3, §4).
+//!
+//! Pure policy modules (shared by both execution modes):
+//!
+//! * [`families`] — the **min-transfers** algorithm (§4.3.1, Alg. 1):
+//!   Karger randomized min-cut over the group-overlap multigraph, plus the
+//!   naive per-group baseline it is evaluated against in Fig. 7;
+//! * [`planner`] — dynamic extraction plans: `next(E, g)` seeded at crawl
+//!   time and extended as extractors report discoveries (§3);
+//! * [`batcher`] — two-level batching: Xtract batches fused into funcX
+//!   batches (§4.3.2, swept in Fig. 5);
+//! * [`offload`] — the ONB and RAND offloading policies (§4.3.3,
+//!   Table 2);
+//! * [`validator`] — schema validation/transformation of finished records
+//!   (§3 "Validation");
+//! * [`checkpoint`] — the checkpoint-flag store behind the §5.8.1
+//!   restart;
+//! * [`jobs`] — the asynchronous submit/monitor/retrieve interface of §3
+//!   (Listing 2's `XtractClient` flow);
+//! * [`dedup`] — exact + MinHash near-duplicate detection (§7 future
+//!   work);
+//! * [`utility`] — metadata utility scoring for utility-cost tradeoffs
+//!   (§2.2, §7 future work).
+//!
+//! Execution shells:
+//!
+//! * [`service`] — the **live** `XtractService`: real crawler threads,
+//!   real FaaS workers parsing real bytes, real transfers between
+//!   in-memory endpoints;
+//! * [`campaign`] — the **simulated** campaign runner: the same policies
+//!   driven by `xtract-sim`'s calibrated clock for paper-scale
+//!   experiments (8 192 workers, 2.5 M groups) — see `DESIGN.md`,
+//!   "Two execution modes share one policy core";
+//! * [`crawlmodel`] — the calibrated analytic crawl-time model behind
+//!   Fig. 4.
+
+pub mod batcher;
+pub mod campaign;
+pub mod checkpoint;
+pub mod crawlmodel;
+pub mod dedup;
+pub mod families;
+pub mod jobs;
+pub mod offload;
+pub mod payload;
+pub mod planner;
+pub mod service;
+pub mod utility;
+pub mod validator;
+
+pub use batcher::{Batcher, FuncxBatch, XtractBatch};
+pub use jobs::{JobManager, JobStatus};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use families::{build_families, naive_families, FamilySet};
+pub use planner::ExtractionPlan;
+pub use service::{JobReport, XtractService};

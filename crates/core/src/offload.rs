@@ -1,0 +1,186 @@
+//! Offloading policies (§4.3.3).
+//!
+//! "Xtract can offload tasks to other idle resources in order to maximize
+//! total task throughput. ... These rules are implemented as
+//! user-configurable modes: offload n bytes (ONB) and random (RAND)."
+//!
+//! * **ONB(max)** — when the home endpoint is saturated, families larger
+//!   than the byte limit move to the secondary endpoint.
+//! * **ONB(min)** — same, for families *smaller* than the limit.
+//! * **RAND(p)** — a fixed percentage of families, chosen at random, move
+//!   (the Table 2 policy: 0 / 10 / 20 % from Midway to Jetstream).
+//!
+//! Per §4.3.3, transfers are initiated before extractors ship: the
+//! decision is made once per family, up front.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use xtract_types::{EndpointId, Family, OffloadMode};
+
+/// Where a family should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Stay at the home (primary) compute endpoint.
+    Home,
+    /// Move to the secondary endpoint.
+    Offload,
+}
+
+/// A stateful offload decider for one job.
+#[derive(Debug)]
+pub struct Offloader {
+    mode: OffloadMode,
+    home: EndpointId,
+    secondary: Option<EndpointId>,
+    rng: SmallRng,
+    /// Is the home endpoint currently saturated? (ONB only applies then.)
+    pub home_saturated: bool,
+    decisions: u64,
+    offloaded: u64,
+}
+
+impl Offloader {
+    /// A decider routing between `home` and `secondary` under `mode`.
+    /// `seed` drives RAND reproducibly.
+    pub fn new(mode: OffloadMode, home: EndpointId, secondary: Option<EndpointId>, seed: u64) -> Self {
+        use rand::SeedableRng;
+        Self {
+            mode,
+            home,
+            secondary,
+            rng: SmallRng::seed_from_u64(seed),
+            home_saturated: true,
+            decisions: 0,
+            offloaded: 0,
+        }
+    }
+
+    /// Decides a family's placement and returns the endpoint to run on.
+    pub fn place(&mut self, family: &Family) -> EndpointId {
+        self.decisions += 1;
+        let Some(secondary) = self.secondary else {
+            return self.home;
+        };
+        let placement = match self.mode {
+            OffloadMode::None => Placement::Home,
+            OffloadMode::OnbMax { limit_bytes } => {
+                if self.home_saturated && family.total_bytes() > limit_bytes {
+                    Placement::Offload
+                } else {
+                    Placement::Home
+                }
+            }
+            OffloadMode::OnbMin { limit_bytes } => {
+                if self.home_saturated && family.total_bytes() < limit_bytes {
+                    Placement::Offload
+                } else {
+                    Placement::Home
+                }
+            }
+            OffloadMode::Rand { percent } => {
+                if self.rng.gen_range(0.0..100.0) < percent {
+                    Placement::Offload
+                } else {
+                    Placement::Home
+                }
+            }
+        };
+        match placement {
+            Placement::Home => self.home,
+            Placement::Offload => {
+                self.offloaded += 1;
+                secondary
+            }
+        }
+    }
+
+    /// Fraction of decisions that offloaded, in percent.
+    pub fn offload_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.offloaded as f64 / self.decisions as f64 * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtract_types::{FamilyId, FileRecord, FileType, Group, GroupId};
+
+    fn family(bytes: u64) -> Family {
+        let f = FileRecord::new("/f", bytes, EndpointId::new(0), FileType::FreeText);
+        let g = Group::new(GroupId::new(0), vec![f.path.clone()]);
+        Family::new(FamilyId::new(0), vec![f], vec![g], EndpointId::new(0))
+    }
+
+    const HOME: EndpointId = EndpointId(10);
+    const SEC: EndpointId = EndpointId(20);
+
+    #[test]
+    fn none_never_offloads() {
+        let mut o = Offloader::new(OffloadMode::None, HOME, Some(SEC), 1);
+        for _ in 0..100 {
+            assert_eq!(o.place(&family(1 << 30)), HOME);
+        }
+        assert_eq!(o.offload_rate(), 0.0);
+    }
+
+    #[test]
+    fn rand_hits_the_requested_rate() {
+        let mut o = Offloader::new(OffloadMode::Rand { percent: 10.0 }, HOME, Some(SEC), 42);
+        let n = 100_000;
+        let mut off = 0;
+        for _ in 0..n {
+            if o.place(&family(1)) == SEC {
+                off += 1;
+            }
+        }
+        let rate = off as f64 / n as f64 * 100.0;
+        assert!((rate - 10.0).abs() < 0.5, "rate {rate}%");
+        assert!((o.offload_rate() - rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn onb_max_moves_big_families_when_saturated() {
+        let mut o = Offloader::new(
+            OffloadMode::OnbMax { limit_bytes: 1000 },
+            HOME,
+            Some(SEC),
+            1,
+        );
+        assert_eq!(o.place(&family(2000)), SEC);
+        assert_eq!(o.place(&family(500)), HOME);
+        o.home_saturated = false;
+        assert_eq!(o.place(&family(2000)), HOME); // idle home keeps work
+    }
+
+    #[test]
+    fn onb_min_moves_small_families() {
+        let mut o = Offloader::new(
+            OffloadMode::OnbMin { limit_bytes: 1000 },
+            HOME,
+            Some(SEC),
+            1,
+        );
+        assert_eq!(o.place(&family(10)), SEC);
+        assert_eq!(o.place(&family(5000)), HOME);
+    }
+
+    #[test]
+    fn missing_secondary_disables_offload() {
+        let mut o = Offloader::new(OffloadMode::Rand { percent: 100.0 }, HOME, None, 1);
+        assert_eq!(o.place(&family(1)), HOME);
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut o = Offloader::new(OffloadMode::Rand { percent: 50.0 }, HOME, Some(SEC), seed);
+            (0..64).map(|_| o.place(&family(1)) == SEC).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

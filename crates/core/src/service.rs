@@ -1,0 +1,618 @@
+//! The live Xtract service: the end-to-end orchestrator of §3/§4.1,
+//! running against real threads, real bytes, and real extractors.
+//!
+//! Pipeline per job (§3's numbered flow):
+//!
+//! 1. validate the job and the caller's scopes (Globus-Auth-style);
+//! 2. **crawl** every root with the parallel crawler, grouping at crawl
+//!    time;
+//! 3. pack groups into **min-transfers families** (§4.3.1);
+//! 4. **place** each family (source-local if it has compute, otherwise
+//!    the primary compute endpoint; the offloader may redirect, §4.3.3);
+//! 5. **prefetch** families whose bytes are not at their execution site
+//!    (batch transfer + path rewrite, §4.1 "The prefetcher");
+//! 6. run the **extraction waves**: each wave batches every family's next
+//!    pending extractor two-level (§4.3.2), submits through the FaaS
+//!    fabric, polls, merges results, extends plans with discoveries, and
+//!    resubmits lost tasks (heartbeat semantics, §5.8.1) — with the
+//!    checkpoint store skipping work that already flushed;
+//! 7. **validate** finished records and ship them to the destination
+//!    endpoint's `/metadata/` prefix (§3 "Validation").
+
+use crate::batcher::Batcher;
+use crate::checkpoint::CheckpointStore;
+use crate::families::build_families;
+use crate::offload::Offloader;
+use crate::payload::{decode_results, encode_batch, make_function_body};
+use crate::planner::ExtractionPlan;
+use crate::validator::{encode_record, validate};
+use bytes::Bytes;
+use crossbeam_channel::unbounded;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use xtract_crawler::{Crawler, CrawlerConfig};
+use xtract_datafabric::{
+    AuthService, DataFabric, Scope, Token, TransferRequest, TransferService,
+};
+use xtract_extractors::{library, Extractor};
+use xtract_faas::{
+    EndpointConfig, FaasService, FunctionRegistry, TaskSpec, TaskStatus,
+};
+use xtract_sim::RngStreams;
+use xtract_types::id::IdAllocator;
+use xtract_types::{
+    ContainerId, EndpointId, EndpointSpec, ExtractorKind, Family, FamilyId, FunctionId, JobSpec,
+    Metadata, MetadataRecord, Result, XtractError,
+};
+
+/// Maximum resubmissions of a lost family-extractor step before recording
+/// a permanent failure. Allocation expiries can hit many consecutive
+/// waves (§5.8.1's restart took one retry; a chaotic scheduler could take
+/// several), so this is generous — loss is always transient.
+const MAX_ATTEMPTS: u32 = 12;
+
+/// Outcome of one job.
+#[derive(Debug, Default)]
+pub struct JobReport {
+    /// Files discovered by the crawl.
+    pub crawled_files: u64,
+    /// Groups emitted by grouping functions.
+    pub groups: u64,
+    /// Families after min-transfers.
+    pub families: u64,
+    /// Validated metadata records, by family.
+    pub records: Vec<MetadataRecord>,
+    /// Permanent failures: `(family, description)`.
+    pub failures: Vec<(FamilyId, String)>,
+    /// Extractor invocations by name (Table 3's "Total Invocations").
+    pub invocations: HashMap<String, u64>,
+    /// Bytes the prefetcher moved.
+    pub bytes_prefetched: u64,
+    /// Redundant transfers min-transfers could not avoid.
+    pub redundant_files: u64,
+    /// Extraction waves executed.
+    pub waves: u32,
+    /// Families that were lost to an expiry at least once and resubmitted.
+    pub resubmitted: u64,
+}
+
+struct ActiveFamily {
+    family: Family,
+    plan: ExtractionPlan,
+    merged: Metadata,
+    ran: Vec<String>,
+    exec: EndpointId,
+    attempts: HashMap<ExtractorKind, u32>,
+    failed: Option<String>,
+}
+
+/// The live Xtract service.
+pub struct XtractService {
+    fabric: Arc<DataFabric>,
+    auth: Arc<AuthService>,
+    transfer: Arc<TransferService>,
+    faas: Arc<FaasService>,
+    library: HashMap<ExtractorKind, Arc<dyn Extractor>>,
+    functions: parking_lot::RwLock<HashMap<(ExtractorKind, EndpointId), FunctionId>>,
+    containers: parking_lot::RwLock<HashMap<ExtractorKind, Vec<ContainerId>>>,
+    family_ids: IdAllocator,
+    streams: RngStreams,
+}
+
+impl XtractService {
+    /// A service over a data fabric and auth provider.
+    pub fn new(fabric: Arc<DataFabric>, auth: Arc<AuthService>, seed: u64) -> Self {
+        let registry = Arc::new(FunctionRegistry::new());
+        let faas = Arc::new(FaasService::new(registry));
+        Self {
+            transfer: Arc::new(TransferService::new(fabric.clone(), auth.clone())),
+            fabric,
+            auth,
+            faas,
+            library: library(),
+            functions: parking_lot::RwLock::new(HashMap::new()),
+            containers: parking_lot::RwLock::new(HashMap::new()),
+            family_ids: IdAllocator::new(),
+            streams: RngStreams::new(seed),
+        }
+    }
+
+    /// The underlying transfer service (byte accounting for experiments).
+    pub fn transfer_service(&self) -> &Arc<TransferService> {
+        &self.transfer
+    }
+
+    /// The underlying FaaS fabric (statistics, fault injection).
+    pub fn faas(&self) -> &Arc<FaasService> {
+        &self.faas
+    }
+
+    /// Connects an endpoint's compute layer and registers every extractor
+    /// for it (the §4.1 `function:container:endpoints` tuples).
+    pub fn connect_endpoint(&self, spec: &EndpointSpec) -> Result<()> {
+        let Some(workers) = spec.workers.filter(|&w| w > 0) else {
+            return Ok(()); // storage-only endpoint: nothing to connect
+        };
+        self.faas.registry().declare_endpoint(spec.endpoint, spec.runtime);
+        self.faas
+            .connect_endpoint(EndpointConfig::instant(spec.endpoint, workers));
+        for (&kind, extractor) in &self.library {
+            let container = self.faas.registry().register_container(
+                format!("xtract-{}:{:?}", kind.name(), spec.runtime),
+                spec.runtime,
+                256 << 20,
+            );
+            self.containers.write().entry(kind).or_default().push(container);
+            let body = make_function_body(extractor.clone(), self.fabric.clone());
+            let function = self.faas.registry().register_function(
+                kind.name(),
+                container,
+                &[spec.endpoint],
+                body,
+            )?;
+            self.functions.write().insert((kind, spec.endpoint), function);
+        }
+        Ok(())
+    }
+
+    fn function_for(&self, kind: ExtractorKind, endpoint: EndpointId) -> Result<FunctionId> {
+        self.functions
+            .read()
+            .get(&(kind, endpoint))
+            .copied()
+            .ok_or(XtractError::NoCompatibleEndpoint {
+                container: format!("{} @ {endpoint}", kind.name()),
+            })
+    }
+
+    /// Runs a bulk extraction job to completion.
+    pub fn run_job(&self, token: Token, spec: &JobSpec) -> Result<JobReport> {
+        spec.validate().map_err(|reason| XtractError::InvalidJob { reason })?;
+        self.auth.check(token, Scope::Crawl)?;
+        self.auth.check(token, Scope::Extract)?;
+
+        let mut report = JobReport::default();
+        let checkpoint = CheckpointStore::new();
+
+        // --- Stages 2+3, overlapped: crawl on background threads while the
+        // service packages min-transfers families from directories as they
+        // stream in ("the crawler asynchronously enqueues it for processing
+        // by the Xtract service", §4.3.1; §5.8.1: extraction state is ready
+        // "within 3 seconds of the crawler being initiated"). ---------------
+        let (tx, rx) = unbounded();
+        let mut crawl_threads = Vec::with_capacity(spec.roots.len());
+        for (ep, root) in &spec.roots {
+            let backend = self.fabric.get(*ep)?.backend;
+            let tx = tx.clone();
+            let ep = *ep;
+            let root = root.clone();
+            let workers = spec.crawl_workers;
+            let grouping = spec.grouping;
+            crawl_threads.push(std::thread::spawn(move || {
+                let crawler = Crawler::new(CrawlerConfig { workers, grouping });
+                crawler.crawl(ep, &backend, &[root], tx)
+            }));
+        }
+        drop(tx);
+
+        let mut families: Vec<Family> = Vec::new();
+        for (dir_i, dir) in rx.into_iter().enumerate() {
+            report.crawled_files += dir.files.len() as u64;
+            report.groups += dir.groups.len() as u64;
+            if dir.groups.is_empty() {
+                continue;
+            }
+            let file_map: HashMap<String, xtract_types::FileRecord> = dir
+                .files
+                .iter()
+                .map(|f| (f.path.clone(), f.clone()))
+                .collect();
+            let mut rng = self.streams.substream("min-transfers", dir_i as u64);
+            let set = build_families(
+                &file_map,
+                dir.groups,
+                dir.endpoint,
+                spec.max_family_size,
+                &self.family_ids,
+                &mut rng,
+            );
+            report.redundant_files += set.redundant_files;
+            families.extend(set.families);
+        }
+        for handle in crawl_threads {
+            handle.join().expect("crawl thread panicked")?;
+        }
+        report.families = families.len() as u64;
+
+        // --- Stage 4: placement. -------------------------------------------
+        let primary = spec
+            .endpoints
+            .iter()
+            .find(|e| e.has_compute())
+            .expect("validated: at least one compute endpoint");
+        let secondary = spec
+            .endpoints
+            .iter()
+            .filter(|e| e.has_compute())
+            .nth(1)
+            .map(|e| e.endpoint);
+        let mut offloader = Offloader::new(
+            spec.offload,
+            primary.endpoint,
+            secondary,
+            self.streams.seed() ^ 0x0ff1,
+        );
+        let by_endpoint: HashMap<EndpointId, &EndpointSpec> =
+            spec.endpoints.iter().map(|e| (e.endpoint, e)).collect();
+
+        let mut active: Vec<ActiveFamily> = Vec::with_capacity(families.len());
+        for mut family in families {
+            let source_spec = by_endpoint.get(&family.source);
+            let local_ok = source_spec.is_some_and(|e| e.has_compute());
+            let mut exec = if local_ok { family.source } else { primary.endpoint };
+            // The offloader may redirect anywhere (§4.3.3 RAND applies a
+            // percentage of all files).
+            let placed = offloader.place(&family);
+            if placed != primary.endpoint {
+                exec = placed;
+            }
+            // --- Stage 5: prefetch if bytes are elsewhere. ----------------
+            if exec != family.source {
+                let dest_spec =
+                    by_endpoint
+                        .get(&exec)
+                        .copied()
+                        .ok_or(XtractError::NoComputeLayer { endpoint: exec })?;
+                let store = dest_spec.store_path.clone().ok_or(XtractError::NoComputeLayer {
+                    endpoint: exec,
+                })?;
+                let base = format!("{store}/fam-{}", family.id.raw());
+                let moves: Vec<(String, String)> = family
+                    .files
+                    .iter()
+                    .map(|f| (f.path.clone(), format!("{base}{}", f.path)))
+                    .collect();
+                let id = self.transfer.submit(
+                    token,
+                    &TransferRequest {
+                        source: family.source,
+                        destination: exec,
+                        files: moves,
+                    },
+                )?;
+                let receipt = self.transfer.status(id).expect("just submitted");
+                if !receipt.is_complete() {
+                    // Retry failures once ("polls each transfer task until
+                    // it is completed"); then give up on the family.
+                    let retry: Vec<(String, String)> = receipt
+                        .failed
+                        .iter()
+                        .map(|(p, _)| (p.clone(), format!("{base}{p}")))
+                        .collect();
+                    let id2 = self.transfer.submit(
+                        token,
+                        &TransferRequest {
+                            source: family.source,
+                            destination: exec,
+                            files: retry,
+                        },
+                    )?;
+                    let second = self.transfer.status(id2).expect("just submitted");
+                    report.bytes_prefetched += second.bytes_moved;
+                    if !second.is_complete() {
+                        report.failures.push((
+                            family.id,
+                            format!("prefetch failed for {} files", second.failed.len()),
+                        ));
+                        continue;
+                    }
+                }
+                report.bytes_prefetched += receipt.bytes_moved;
+                // Rewrite records to the staged location.
+                for f in &mut family.files {
+                    f.path = format!("{base}{}", f.path);
+                    f.endpoint = exec;
+                }
+                family.base_path = Some(base);
+                // The files now live at the execution endpoint.
+                family.source = exec;
+            }
+            let plan = ExtractionPlan::for_family(&family);
+            active.push(ActiveFamily {
+                family,
+                plan,
+                merged: Metadata::new(),
+                ran: Vec::new(),
+                exec,
+                attempts: HashMap::new(),
+                failed: None,
+            });
+        }
+
+        // --- Stage 6: extraction waves. ------------------------------------
+        loop {
+            let mut batcher = Batcher::new(spec.xtract_batch_size, spec.funcx_batch_size);
+            let mut wave = Vec::new();
+            let mut index: HashMap<FamilyId, usize> = HashMap::new();
+            let mut kind_of: HashMap<FamilyId, ExtractorKind> = HashMap::new();
+            for (i, af) in active.iter_mut().enumerate() {
+                if af.failed.is_some() {
+                    continue;
+                }
+                let Some(kind) = af.plan.next() else { continue };
+                // Checkpointed output short-circuits re-execution after a
+                // loss (§5.8.1: "the metadata are re-loaded").
+                if spec.checkpoint {
+                    if let Some(md) = checkpoint.load(af.family.id, kind.name()) {
+                        af.merged.merge(&md);
+                        af.ran.push(kind.name().to_string());
+                        af.plan.complete_simple(kind);
+                        continue;
+                    }
+                }
+                index.insert(af.family.id, i);
+                kind_of.insert(af.family.id, kind);
+                wave.extend(batcher.push(af.family.clone(), kind, af.exec));
+            }
+            wave.extend(batcher.flush());
+            if wave.is_empty() {
+                // Re-check: checkpoint short-circuits may have advanced
+                // plans; loop once more if anything is still pending.
+                if active
+                    .iter()
+                    .all(|af| af.failed.is_some() || af.plan.is_done())
+                {
+                    break;
+                }
+                continue;
+            }
+            report.waves += 1;
+
+            // Submit: one batch_submit per funcX batch (§4.3.2).
+            let mut submitted: Vec<(xtract_types::TaskId, ExtractorKind, Vec<FamilyId>)> =
+                Vec::new();
+            for funcx_batch in &wave {
+                let mut specs = Vec::with_capacity(funcx_batch.tasks.len());
+                let mut members: Vec<(ExtractorKind, Vec<FamilyId>)> = Vec::new();
+                for task in &funcx_batch.tasks {
+                    let function = self.function_for(task.extractor, task.endpoint)?;
+                    // Staged copies are cleaned after the *whole plan*
+                    // finishes (a family may still need them for later
+                    // extractors), so the per-batch flag stays off here.
+                    specs.push(TaskSpec {
+                        function,
+                        endpoint: task.endpoint,
+                        payload: encode_batch(task, false),
+                    });
+                    members.push((
+                        task.extractor,
+                        task.families.iter().map(|f| f.id).collect(),
+                    ));
+                }
+                let ids = self.faas.batch_submit(&specs);
+                for (id, (kind, fams)) in ids.into_iter().zip(members) {
+                    *report.invocations.entry(kind.name().to_string()).or_insert(0) +=
+                        fams.len() as u64;
+                    submitted.push((id, kind, fams));
+                }
+            }
+
+            // Poll until terminal (batched polling, §4.3.2).
+            let ids: Vec<_> = submitted.iter().map(|(id, _, _)| *id).collect();
+            if !self.faas.wait_all(&ids, Duration::from_secs(120)) {
+                return Err(XtractError::InvalidJob {
+                    reason: "FaaS wave timed out".to_string(),
+                });
+            }
+            let polled = self.faas.batch_poll(&ids);
+            for (p, (_, kind, fams)) in polled.iter().zip(&submitted) {
+                match &p.status {
+                    TaskStatus::Done(out) => {
+                        let results = decode_results(&out.value)?;
+                        for r in results {
+                            let af = &mut active[index[&r.family]];
+                            if let Some(err) = r.error {
+                                // A poisoned family: record and stop its
+                                // plan (§2.3's junk files must not wedge
+                                // the job).
+                                af.failed = Some(format!("{}: {err}", kind.name()));
+                                continue;
+                            }
+                            if spec.checkpoint {
+                                checkpoint.flush(r.family, kind.name(), r.metadata.clone());
+                            }
+                            af.merged.merge(&r.metadata);
+                            af.ran.push(kind.name().to_string());
+                            af.plan.complete(*kind, &r.discoveries);
+                        }
+                    }
+                    TaskStatus::Failed(e) => {
+                        for fid in fams {
+                            let af = &mut active[index[fid]];
+                            af.failed = Some(e.to_string());
+                        }
+                    }
+                    TaskStatus::Lost => {
+                        // Allocation expired under the task: renew the
+                        // endpoint ("resubmit remaining tasks on a second
+                        // allocation", §5.8.1) and leave the step pending
+                        // so the next wave resubmits.
+                        for fid in fams {
+                            let af = &mut active[index[fid]];
+                            let n = af.attempts.entry(*kind).or_insert(0);
+                            *n += 1;
+                            report.resubmitted += 1;
+                            if *n >= MAX_ATTEMPTS {
+                                af.failed =
+                                    Some(format!("{} lost {n} times", kind.name()));
+                            }
+                        }
+                        if let Some(fid) = fams.first() {
+                            let ep = active[index[fid]].exec;
+                            self.faas.renew_endpoint(ep);
+                        }
+                    }
+                    other => {
+                        return Err(XtractError::InvalidJob {
+                            reason: format!("non-terminal status after wait: {other:?}"),
+                        })
+                    }
+                }
+            }
+        }
+
+        // --- Stage 6.5: clean staged copies once plans are done. -----------
+        if spec.delete_after_extraction {
+            for af in &active {
+                if let Some(base) = &af.family.base_path {
+                    if let Ok(ep) = self.fabric.get(af.exec) {
+                        let _ = ep.backend.remove(base);
+                    }
+                }
+            }
+        }
+
+        // --- Stage 7: validate and ship records to the user's chosen
+        // endpoint (§3). -----------------------------------------------------
+        self.auth.check(token, Scope::Validate)?;
+        let dest = self.fabric.get(spec.results_endpoint.unwrap_or(primary.endpoint))?;
+        for af in &active {
+            if let Some(reason) = &af.failed {
+                report.failures.push((af.family.id, reason.clone()));
+                continue;
+            }
+            match validate(&af.family, &af.merged, &af.ran, &spec.validation) {
+                Ok(record) => {
+                    let path = format!("/metadata/fam-{}.json", af.family.id.raw());
+                    dest.backend.write(&path, Bytes::from(encode_record(&record)))?;
+                    report.records.push(record);
+                }
+                Err(e) => report.failures.push((af.family.id, e.to_string())),
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtract_datafabric::{MemFs, StorageBackend};
+    use xtract_types::config::ContainerRuntime;
+
+    fn rig(files: u64) -> (XtractService, Token, JobSpec, Arc<DataFabric>) {
+        let fabric = Arc::new(DataFabric::new());
+        let ep = EndpointId::new(0);
+        let fs = Arc::new(MemFs::new(ep));
+        xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", files, &RngStreams::new(5));
+        fabric.register(ep, "midway", fs);
+        let auth = Arc::new(AuthService::new());
+        let token = auth.login(
+            "grad-student",
+            &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        );
+        let svc = XtractService::new(fabric.clone(), auth, 1);
+        let spec = JobSpec::single_endpoint(
+            EndpointSpec {
+                endpoint: ep,
+                read_path: "/data".into(),
+                store_path: Some("/stage".into()),
+                available_bytes: 1 << 30,
+                workers: Some(4),
+                runtime: ContainerRuntime::Docker,
+            },
+            "/data",
+        );
+        svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+        (svc, token, spec, fabric)
+    }
+
+    #[test]
+    fn end_to_end_extraction_over_real_bytes() {
+        let (svc, token, spec, fabric) = rig(30);
+        let report = svc.run_job(token, &spec).unwrap();
+        assert!(report.crawled_files >= 30);
+        assert_eq!(report.failures, vec![]);
+        assert_eq!(report.records.len() as u64, report.families);
+        assert!(report.waves >= 1);
+        // Metadata landed on the destination endpoint.
+        let dest = fabric.get(EndpointId::new(0)).unwrap();
+        let listed = dest.backend.list("/metadata").unwrap();
+        assert_eq!(listed.len(), report.records.len());
+        // Keyword extraction actually ran over prose.
+        assert!(report.invocations.get("keyword").copied().unwrap_or(0) > 0);
+        let has_keywords = report.records.iter().any(|r| {
+            r.document
+                .get("keyword")
+                .and_then(|k| k.get("files"))
+                .is_some()
+        });
+        assert!(has_keywords, "no keyword output in records");
+    }
+
+    #[test]
+    fn discoveries_trigger_second_wave() {
+        // A .txt file with CSV content: keyword discovers tabular, the
+        // planner appends tabular + null-value (§5.8.2).
+        let fabric = Arc::new(DataFabric::new());
+        let ep = EndpointId::new(0);
+        let fs = Arc::new(MemFs::new(ep));
+        fs.write("/data/disguised.txt", Bytes::from_static(b"a,b\n1,2\n3,4\n"))
+            .unwrap();
+        fabric.register(ep, "midway", fs);
+        let auth = Arc::new(AuthService::new());
+        let token = auth.login("u", &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate]);
+        let svc = XtractService::new(fabric, auth, 2);
+        let spec = JobSpec::single_endpoint(
+            EndpointSpec {
+                endpoint: ep,
+                read_path: "/data".into(),
+                store_path: Some("/stage".into()),
+                available_bytes: 1 << 30,
+                workers: Some(2),
+                runtime: ContainerRuntime::Docker,
+            },
+            "/data",
+        );
+        svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+        let report = svc.run_job(token, &spec).unwrap();
+        assert!(report.waves >= 2, "discovery needs a second wave");
+        let rec = &report.records[0];
+        assert!(rec.document.contains("keyword"));
+        assert!(rec.document.contains("tabular"));
+        assert!(rec.document.contains("null-value"));
+        assert_eq!(report.invocations["tabular"], 1);
+    }
+
+    #[test]
+    fn missing_scope_is_denied() {
+        let (svc, _token, spec, _fabric) = rig(5);
+        let auth = AuthService::new();
+        let weak = auth.login("u", &[Scope::Crawl]);
+        // Token from a different AuthService entirely — denied either way.
+        assert!(matches!(
+            svc.run_job(weak, &spec),
+            Err(XtractError::AuthDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_job_is_rejected_before_any_work() {
+        let (svc, token, mut spec, _fabric) = rig(5);
+        spec.max_family_size = 0;
+        assert!(matches!(
+            svc.run_job(token, &spec),
+            Err(XtractError::InvalidJob { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpointing_job_completes_identically() {
+        let (svc, token, mut spec, _fabric) = rig(24);
+        spec.checkpoint = true;
+        let report = svc.run_job(token, &spec).unwrap();
+        assert!(report.failures.is_empty());
+        assert_eq!(report.records.len() as u64, report.families);
+    }
+}

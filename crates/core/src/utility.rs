@@ -1,0 +1,187 @@
+//! Metadata utility scoring (§7, future work: "We will also evaluate the
+//! utility of extracted metadata, so that we can explore utility-cost
+//! tradeoffs"; §2.2 frames extraction as maximizing "some measure of
+//! utility of the extracted metadata ... subject to limits on incurred
+//! costs").
+//!
+//! We implement a concrete, defensible utility measure over a validated
+//! record:
+//!
+//! * **coverage** — how many distinct metadata facets (extractor
+//!   namespaces) contributed;
+//! * **depth** — scalar leaf count, log-scaled (more fields → more
+//!   findable, with diminishing returns);
+//! * **searchability** — distinct index-able terms, log-scaled (what a
+//!   search index can actually match);
+//! * **error penalty** — per-file error records subtract.
+//!
+//! The `ablation_utility_cost` bench sweeps extraction plans of growing
+//! cost and plots the resulting utility — the paper's deferred
+//! utility-cost curve.
+
+use serde_json::Value;
+use std::collections::HashSet;
+use xtract_types::MetadataRecord;
+
+/// A scored record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilityScore {
+    /// Distinct extractor namespaces that produced output.
+    pub facets: usize,
+    /// Scalar leaves in the document.
+    pub leaves: usize,
+    /// Distinct searchable terms.
+    pub terms: usize,
+    /// Per-file error entries found.
+    pub errors: usize,
+    /// The combined score (≥ 0).
+    pub score: f64,
+}
+
+fn walk(value: &Value, leaves: &mut usize, terms: &mut HashSet<String>, errors: &mut usize) {
+    match value {
+        Value::Object(m) => {
+            for (k, v) in m {
+                if k == "error" {
+                    // Error text is diagnostics, not findable metadata:
+                    // count the failure, skip its contents.
+                    *errors += 1;
+                    continue;
+                }
+                for t in k.split(|c: char| !c.is_alphanumeric()).filter(|t| t.len() >= 2) {
+                    terms.insert(t.to_lowercase());
+                }
+                walk(v, leaves, terms, errors);
+            }
+        }
+        Value::Array(a) => {
+            for v in a {
+                walk(v, leaves, terms, errors);
+            }
+        }
+        Value::String(s) => {
+            *leaves += 1;
+            for t in s.split(|c: char| !c.is_alphanumeric()).filter(|t| t.len() >= 2) {
+                terms.insert(t.to_lowercase());
+            }
+        }
+        Value::Number(_) | Value::Bool(_) => *leaves += 1,
+        Value::Null => {}
+    }
+}
+
+/// Scores one record.
+pub fn score(record: &MetadataRecord) -> UtilityScore {
+    let mut leaves = 0usize;
+    let mut terms = HashSet::new();
+    let mut errors = 0usize;
+    // Facets: top-level extractor namespaces with non-empty output (the
+    // MDF envelope's `extracted` object counts per inner namespace).
+    let doc = &record.document.0;
+    let namespaces: &serde_json::Map<String, Value> = match doc.get("extracted") {
+        Some(Value::Object(inner)) => inner,
+        _ => doc,
+    };
+    // A facet is an extractor namespace: a top-level *object* with
+    // content. Scalar housekeeping fields (path, size) are not facets —
+    // that is precisely the filesystem-metadata baseline the paper says
+    // "do[es] little more than de-duplicate files" (§1).
+    let facets = namespaces
+        .iter()
+        .filter(|(_, v)| v.as_object().is_some_and(|m| !m.is_empty()))
+        .count();
+    for v in doc.values() {
+        walk(v, &mut leaves, &mut terms, &mut errors);
+    }
+    // Diminishing returns on sheer volume; errors subtract half a facet
+    // each but never push below zero.
+    let score = (facets as f64
+        + (1.0 + leaves as f64).ln()
+        + 0.5 * (1.0 + terms.len() as f64).ln()
+        - 0.5 * errors as f64)
+        .max(0.0);
+    UtilityScore {
+        facets,
+        leaves,
+        terms: terms.len(),
+        errors,
+        score,
+    }
+}
+
+/// Mean score across records (0 for an empty set).
+pub fn mean_score(records: &[MetadataRecord]) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records.iter().map(|r| score(r).score).sum::<f64>() / records.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+    use xtract_types::{FamilyId, Metadata};
+
+    fn record(doc: Value) -> MetadataRecord {
+        MetadataRecord {
+            family: FamilyId::new(0),
+            schema: "passthrough".into(),
+            document: match doc {
+                Value::Object(m) => Metadata(m),
+                _ => panic!("object"),
+            },
+            extractors: vec![],
+        }
+    }
+
+    #[test]
+    fn richer_records_score_higher() {
+        let thin = record(json!({"keyword": {"token_count": 3}}));
+        let rich = record(json!({
+            "keyword": {"keywords": [{"word": "perovskite", "weight": 0.8}], "token_count": 900},
+            "tabular": {"rows": 40, "columns": 5, "column_stats": [{"name": "t", "mean": 3.2}]},
+            "matio": {"formula": "Si8", "final_energy_ev": -43.2, "converged": true}
+        }));
+        let (s_thin, s_rich) = (score(&thin), score(&rich));
+        assert!(s_rich.score > s_thin.score);
+        assert_eq!(s_rich.facets, 3);
+        assert_eq!(s_thin.facets, 1);
+        assert!(s_rich.terms > s_thin.terms);
+    }
+
+    #[test]
+    fn errors_reduce_utility() {
+        let clean = record(json!({"images": {"class": "plot", "width": 64}}));
+        let broken = record(json!({"images": {"error": "missing XIMG magic", "class": "plot", "width": 64}}));
+        assert!(score(&broken).score < score(&clean).score);
+        assert_eq!(score(&broken).errors, 1);
+    }
+
+    #[test]
+    fn mdf_envelope_counts_inner_facets() {
+        let rec = record(json!({
+            "mdf": {"schema": "mdf-generic"},
+            "extracted": {"keyword": {"k": 1}, "tabular": {"rows": 2}}
+        }));
+        assert_eq!(score(&rec).facets, 2);
+    }
+
+    #[test]
+    fn empty_record_scores_zero_facets() {
+        let rec = record(json!({}));
+        let s = score(&rec);
+        assert_eq!(s.facets, 0);
+        assert_eq!(s.leaves, 0);
+        assert!(s.score >= 0.0);
+    }
+
+    #[test]
+    fn mean_score_aggregates() {
+        let a = record(json!({"keyword": {"token_count": 10}}));
+        let b = record(json!({"keyword": {"token_count": 10}}));
+        let m = mean_score(&[a.clone(), b]);
+        assert!((m - score(&a).score).abs() < 1e-12);
+        assert_eq!(mean_score(&[]), 0.0);
+    }
+}

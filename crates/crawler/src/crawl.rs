@@ -1,0 +1,374 @@
+//! The parallel breadth-first crawler.
+//!
+//! A shared work queue of directory paths feeds `workers` threads; each
+//! thread lists one directory, types its files (path sniffing — the only
+//! information a crawler has, §4.1), applies the grouping function, emits
+//! a [`CrawledDirectory`] to the consumer channel, and enqueues
+//! subdirectories. Termination uses an outstanding-work counter: the
+//! crawl is done when the queue is empty *and* no directory is being
+//! listed.
+
+use crate::grouping::group_directory;
+use crate::metrics::CrawlMetrics;
+use crossbeam_channel::Sender;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xtract_types::id::IdAllocator;
+use xtract_types::{
+    sniff_path, EndpointId, FileRecord, Group, GroupingStrategy, Result, XtractError,
+};
+
+use xtract_datafabric::StorageBackend;
+
+/// One listed directory with its grouped files — what the crawler streams
+/// to the Xtract service ("the crawler asynchronously enqueues it for
+/// processing", §4.3.1).
+#[derive(Debug, Clone)]
+pub struct CrawledDirectory {
+    /// Directory path.
+    pub path: String,
+    /// Storage system crawled.
+    pub endpoint: EndpointId,
+    /// Files directly in this directory.
+    pub files: Vec<FileRecord>,
+    /// Groups produced by the grouping function.
+    pub groups: Vec<Group>,
+}
+
+/// Crawler configuration.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// Worker thread count (swept 2–32 in Fig. 4).
+    pub workers: usize,
+    /// Grouping function.
+    pub grouping: GroupingStrategy,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            grouping: GroupingStrategy::SingleFile,
+        }
+    }
+}
+
+struct WorkQueue {
+    queue: Mutex<VecDeque<String>>,
+    cv: Condvar,
+    outstanding: AtomicU64, // queued + in-flight directories
+}
+
+impl WorkQueue {
+    fn push(&self, path: String) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.queue.lock().push_back(path);
+        self.cv.notify_one();
+    }
+
+    /// Pops the next directory, or `None` when the crawl has drained.
+    fn pop(&self) -> Option<String> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(p) = q.pop_front() {
+                return Some(p);
+            }
+            if self.outstanding.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Marks one directory finished; wakes sleepers if that drained the
+    /// crawl.
+    ///
+    /// The notify happens *under the queue lock*: a waiter reads
+    /// `outstanding` while holding the lock and then parks atomically, so
+    /// firing the wakeup lock-free could land in the gap between its read
+    /// and its park — a missed wakeup that leaves the waiter (and the
+    /// crawl) hung forever. Taking the lock forces the decrement-notify
+    /// to serialize against the check-then-wait.
+    fn finish(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.queue.lock();
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The crawler service for one extraction job.
+pub struct Crawler {
+    config: CrawlerConfig,
+    metrics: Arc<CrawlMetrics>,
+    group_ids: Arc<IdAllocator>,
+}
+
+impl Crawler {
+    /// A crawler with the given configuration.
+    pub fn new(config: CrawlerConfig) -> Self {
+        assert!(config.workers > 0, "need at least one crawl worker");
+        Self {
+            config,
+            metrics: Arc::new(CrawlMetrics::new()),
+            group_ids: Arc::new(IdAllocator::new()),
+        }
+    }
+
+    /// Live metrics (shared; safe to read while crawling).
+    pub fn metrics(&self) -> Arc<CrawlMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Crawls `roots` on `backend` (owned by `endpoint`), streaming
+    /// results into `sink`. Blocks until the crawl completes; returns the
+    /// first hard error if any worker hit one (listing a vanished
+    /// directory is *not* hard — repositories mutate under crawls).
+    pub fn crawl(
+        &self,
+        endpoint: EndpointId,
+        backend: &Arc<dyn StorageBackend>,
+        roots: &[String],
+        sink: Sender<CrawledDirectory>,
+    ) -> Result<()> {
+        let wq = Arc::new(WorkQueue {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            outstanding: AtomicU64::new(0),
+        });
+        for r in roots {
+            wq.push(r.clone());
+        }
+        let first_error: Arc<Mutex<Option<XtractError>>> = Arc::new(Mutex::new(None));
+        std::thread::scope(|s| {
+            for _ in 0..self.config.workers {
+                let wq = wq.clone();
+                let sink = sink.clone();
+                let backend = backend.clone();
+                let metrics = self.metrics.clone();
+                let ids = self.group_ids.clone();
+                let grouping = self.config.grouping;
+                let first_error = first_error.clone();
+                s.spawn(move || {
+                    while let Some(dir) = wq.pop() {
+                        match backend.list(&dir) {
+                            Ok(entries) => {
+                                let mut files = Vec::new();
+                                for e in entries {
+                                    let child = if dir == "/" {
+                                        format!("/{}", e.name)
+                                    } else {
+                                        format!("{dir}/{}", e.name)
+                                    };
+                                    if e.is_dir {
+                                        wq.push(child);
+                                    } else {
+                                        files.push(FileRecord {
+                                            hint: sniff_path(&child),
+                                            path: child,
+                                            size: e.size,
+                                            endpoint,
+                                            created_at: 0,
+                                        });
+                                    }
+                                }
+                                let groups = group_directory(grouping, &files, &ids);
+                                let bytes: u64 = files.iter().map(|f| f.size).sum();
+                                metrics.record_dir(files.len() as u64, bytes, groups.len() as u64);
+                                // A closed sink means the consumer is gone;
+                                // stop producing but keep draining the
+                                // queue so termination stays correct.
+                                let _ = sink.send(CrawledDirectory {
+                                    path: dir,
+                                    endpoint,
+                                    files,
+                                    groups,
+                                });
+                            }
+                            Err(XtractError::NotFound { .. }) => {
+                                // Deleted underneath us: skip.
+                            }
+                            Err(e) => {
+                                first_error.lock().get_or_insert(e);
+                            }
+                        }
+                        wq.finish();
+                    }
+                });
+            }
+        });
+        let error = first_error.lock().take();
+        match error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use crossbeam_channel::unbounded;
+    use xtract_datafabric::MemFs;
+
+    fn fs_with(paths: &[&str]) -> Arc<dyn StorageBackend> {
+        let fs = MemFs::new(EndpointId::new(0));
+        for p in paths {
+            fs.write(p, Bytes::from_static(b"x")).unwrap();
+        }
+        Arc::new(fs)
+    }
+
+    fn crawl_all(
+        backend: &Arc<dyn StorageBackend>,
+        workers: usize,
+        grouping: GroupingStrategy,
+    ) -> Vec<CrawledDirectory> {
+        let crawler = Crawler::new(CrawlerConfig { workers, grouping });
+        let (tx, rx) = unbounded();
+        crawler
+            .crawl(EndpointId::new(0), backend, &["/".to_string()], tx)
+            .unwrap();
+        rx.into_iter().collect()
+    }
+
+    #[test]
+    fn finds_every_file_once() {
+        let backend = fs_with(&[
+            "/a/1.txt",
+            "/a/2.csv",
+            "/a/deep/3.json",
+            "/b/4.txt",
+            "/5.txt",
+        ]);
+        let dirs = crawl_all(&backend, 4, GroupingStrategy::SingleFile);
+        let mut files: Vec<String> = dirs
+            .iter()
+            .flat_map(|d| d.files.iter().map(|f| f.path.clone()))
+            .collect();
+        files.sort();
+        assert_eq!(
+            files,
+            vec!["/5.txt", "/a/1.txt", "/a/2.csv", "/a/deep/3.json", "/b/4.txt"]
+        );
+        // Every group id unique across directories.
+        let mut gids: Vec<_> = dirs.iter().flat_map(|d| d.groups.iter().map(|g| g.id)).collect();
+        gids.sort();
+        gids.dedup();
+        assert_eq!(gids.len(), 5);
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let backend = fs_with(&[
+            "/x/a.txt", "/x/b.txt", "/y/c.txt", "/y/z/d.txt", "/w/e.txt",
+        ]);
+        let single: usize = crawl_all(&backend, 1, GroupingStrategy::SingleFile)
+            .iter()
+            .map(|d| d.files.len())
+            .sum();
+        let many: usize = crawl_all(&backend, 8, GroupingStrategy::SingleFile)
+            .iter()
+            .map(|d| d.files.len())
+            .sum();
+        assert_eq!(single, 5);
+        assert_eq!(many, 5);
+    }
+
+    #[test]
+    fn metrics_match_reality() {
+        let backend = fs_with(&["/d/a.txt", "/d/b.txt", "/e/c.txt"]);
+        let crawler = Crawler::new(CrawlerConfig {
+            workers: 2,
+            grouping: GroupingStrategy::Directory,
+        });
+        let (tx, rx) = unbounded();
+        crawler
+            .crawl(EndpointId::new(0), &backend, &["/".to_string()], tx)
+            .unwrap();
+        drop(rx);
+        let (dirs, files, bytes, groups) = crawler.metrics().snapshot();
+        assert_eq!(dirs, 3); // "/", "/d", "/e"
+        assert_eq!(files, 3);
+        assert_eq!(bytes, 3);
+        assert_eq!(groups, 2); // one per non-empty directory
+    }
+
+    #[test]
+    fn file_types_are_sniffed_at_crawl_time() {
+        let backend = fs_with(&["/r/INCAR", "/r/obs.csv"]);
+        let dirs = crawl_all(&backend, 2, GroupingStrategy::SingleFile);
+        let all: Vec<&FileRecord> = dirs.iter().flat_map(|d| d.files.iter()).collect();
+        let incar = all.iter().find(|f| f.path == "/r/INCAR").unwrap();
+        assert!(incar.hint.is_materials());
+        let csv = all.iter().find(|f| f.path == "/r/obs.csv").unwrap();
+        assert_eq!(csv.hint, xtract_types::FileType::Tabular);
+    }
+
+    #[test]
+    fn missing_root_is_a_hard_error() {
+        let backend = fs_with(&["/real/a.txt"]);
+        let crawler = Crawler::new(CrawlerConfig::default());
+        let (tx, _rx) = unbounded();
+        // A root that is a *file* (wrong kind) is a hard error...
+        let err = crawler.crawl(
+            EndpointId::new(0),
+            &backend,
+            &["/real/a.txt".to_string()],
+            tx,
+        );
+        assert!(matches!(err, Err(XtractError::WrongKind { .. })));
+    }
+
+    #[test]
+    fn drain_race_stress() {
+        // Regression test for a missed-wakeup deadlock at crawl drain:
+        // `finish`'s notify used to fire without the queue lock, so a
+        // worker could read `outstanding == 1`, lose the race to the
+        // decrement, and park forever. Many short many-worker crawls make
+        // the window reachable; with the fix this completes instantly.
+        let backend = fs_with(&["/a/x.txt", "/b/y.txt", "/z.txt"]);
+        for round in 0..300 {
+            let crawler = Crawler::new(CrawlerConfig {
+                workers: 16,
+                grouping: GroupingStrategy::SingleFile,
+            });
+            let (tx, rx) = unbounded();
+            crawler
+                .crawl(EndpointId::new(0), &backend, &["/".to_string()], tx)
+                .unwrap();
+            let files: usize = rx.into_iter().map(|d| d.files.len()).sum();
+            assert_eq!(files, 3, "round {round}");
+        }
+    }
+
+    #[test]
+    fn crawl_scales_to_generated_repositories() {
+        let fs: Arc<dyn StorageBackend> = Arc::new(MemFs::new(EndpointId::new(0)));
+        let stats = xtract_workloads::mdf::generate_tree(
+            fs.as_ref(),
+            2_000,
+            &xtract_sim::RngStreams::new(4),
+        );
+        let dirs = crawl_all(&fs, 8, GroupingStrategy::MaterialsAware);
+        let found: usize = dirs.iter().map(|d| d.files.len()).sum();
+        assert_eq!(found as u64, stats.files);
+        // Materials-aware grouping must produce VASP groups with the
+        // dataset README attached (overlap).
+        let has_overlap = dirs.iter().any(|d| {
+            let counts: std::collections::HashMap<&str, usize> =
+                d.groups.iter().flat_map(|g| g.files.iter()).fold(
+                    std::collections::HashMap::new(),
+                    |mut m, p| {
+                        *m.entry(p.as_str()).or_insert(0) += 1;
+                        m
+                    },
+                );
+            counts.values().any(|&c| c > 1)
+        });
+        assert!(has_overlap, "materials-aware grouping produced no overlap");
+    }
+}

@@ -1,0 +1,205 @@
+//! Crawl-time grouping functions.
+//!
+//! §4.1: "grouping functions consider only metadata available from the
+//! crawler (e.g., filenames, extensions, paths, size)" — no bytes are
+//! read. A grouping function maps one directory's files to a set of
+//! groups; group membership is non-exclusive (§2.1), which is what makes
+//! min-transfers (§4.3.1) worthwhile.
+
+use xtract_types::id::IdAllocator;
+use xtract_types::{FileRecord, Group, GroupId, GroupingStrategy};
+
+/// VASP-style run members that belong to one atomistic-simulation group.
+fn is_vasp_member(f: &FileRecord) -> bool {
+    f.hint.is_materials()
+}
+
+/// Descriptive files that contextualize *every* group in their directory
+/// (READMEs, metadata sidecars, manifest spreadsheets) — the §2.1 example
+/// of a file in more than one group.
+fn is_descriptive(f: &FileRecord) -> bool {
+    let name = f.name().to_ascii_lowercase();
+    name.starts_with("readme")
+        || name == "metadata.json"
+        || name == "manifest.csv"
+        || name.ends_with(".md")
+}
+
+/// Applies the grouping function to one directory's files, minting group
+/// ids from `ids`.
+pub fn group_directory(
+    strategy: GroupingStrategy,
+    files: &[FileRecord],
+    ids: &IdAllocator,
+) -> Vec<Group> {
+    match strategy {
+        GroupingStrategy::SingleFile => files
+            .iter()
+            .map(|f| Group::new(GroupId::new(ids.next()), vec![f.path.clone()]))
+            .collect(),
+        GroupingStrategy::Directory => {
+            if files.is_empty() {
+                Vec::new()
+            } else {
+                vec![Group::new(
+                    GroupId::new(ids.next()),
+                    files.iter().map(|f| f.path.clone()).collect(),
+                )]
+            }
+        }
+        GroupingStrategy::Extension => {
+            let mut by_ext: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+            for f in files {
+                by_ext
+                    .entry(f.extension().unwrap_or_else(|| "<none>".to_string()))
+                    .or_default()
+                    .push(f.path.clone());
+            }
+            by_ext
+                .into_values()
+                .map(|paths| Group::new(GroupId::new(ids.next()), paths))
+                .collect()
+        }
+        GroupingStrategy::MaterialsAware => materials_aware(files, ids),
+    }
+}
+
+/// The materials-aware grouping function (§4.2): VASP members form one
+/// run-group; remaining files group by extension; descriptive files join
+/// **every** group in the directory, creating the overlaps min-transfers
+/// later collapses.
+fn materials_aware(files: &[FileRecord], ids: &IdAllocator) -> Vec<Group> {
+    let mut vasp: Vec<String> = Vec::new();
+    let mut descriptive: Vec<String> = Vec::new();
+    let mut by_ext: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+    for f in files {
+        if is_vasp_member(f) {
+            vasp.push(f.path.clone());
+        } else if is_descriptive(f) {
+            descriptive.push(f.path.clone());
+        } else {
+            by_ext
+                .entry(f.extension().unwrap_or_else(|| "<none>".to_string()))
+                .or_default()
+                .push(f.path.clone());
+        }
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    if !vasp.is_empty() {
+        groups.push(Group::new(GroupId::new(ids.next()), vasp));
+    }
+    for paths in by_ext.into_values() {
+        groups.push(Group::new(GroupId::new(ids.next()), paths));
+    }
+    if groups.is_empty() {
+        if !descriptive.is_empty() {
+            groups.push(Group::new(GroupId::new(ids.next()), descriptive));
+        }
+        return groups;
+    }
+    for g in &mut groups {
+        g.files.extend(descriptive.iter().cloned());
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtract_types::{sniff_path, EndpointId};
+
+    fn rec(path: &str) -> FileRecord {
+        FileRecord::new(path, 10, EndpointId::new(0), sniff_path(path))
+    }
+
+    fn files(paths: &[&str]) -> Vec<FileRecord> {
+        paths.iter().map(|p| rec(p)).collect()
+    }
+
+    #[test]
+    fn single_file_grouping() {
+        let ids = IdAllocator::new();
+        let groups = group_directory(
+            GroupingStrategy::SingleFile,
+            &files(&["/d/a.txt", "/d/b.csv"]),
+            &ids,
+        );
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn directory_grouping() {
+        let ids = IdAllocator::new();
+        let groups = group_directory(
+            GroupingStrategy::Directory,
+            &files(&["/d/a.txt", "/d/b.csv"]),
+            &ids,
+        );
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+        assert!(group_directory(GroupingStrategy::Directory, &[], &ids).is_empty());
+    }
+
+    #[test]
+    fn extension_grouping() {
+        let ids = IdAllocator::new();
+        let groups = group_directory(
+            GroupingStrategy::Extension,
+            &files(&["/d/a.csv", "/d/b.csv", "/d/c.txt", "/d/noext"]),
+            &ids,
+        );
+        assert_eq!(groups.len(), 3); // csv, txt, <none>
+        let csv = groups.iter().find(|g| g.len() == 2).unwrap();
+        assert!(csv.files.iter().all(|p| p.ends_with(".csv")));
+    }
+
+    #[test]
+    fn materials_aware_creates_overlap() {
+        let ids = IdAllocator::new();
+        let groups = group_directory(
+            GroupingStrategy::MaterialsAware,
+            &files(&[
+                "/d/INCAR",
+                "/d/POSCAR",
+                "/d/OUTCAR",
+                "/d/plot.png",
+                "/d/data.csv",
+                "/d/README.md",
+            ]),
+            &ids,
+        );
+        // VASP group + png group + csv group, each containing the README.
+        assert_eq!(groups.len(), 3);
+        for g in &groups {
+            assert!(
+                g.files.contains(&"/d/README.md".to_string()),
+                "README missing from {:?}",
+                g.files
+            );
+        }
+        let total_memberships: usize = groups.iter().map(Group::len).sum();
+        // 6 files but 8 memberships: README counted 3×.
+        assert_eq!(total_memberships, 5 + 3);
+    }
+
+    #[test]
+    fn descriptive_only_directory_forms_one_group() {
+        let ids = IdAllocator::new();
+        let groups = group_directory(
+            GroupingStrategy::MaterialsAware,
+            &files(&["/d/README.md", "/d/notes.md"]),
+            &ids,
+        );
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn group_ids_are_unique_across_calls() {
+        let ids = IdAllocator::new();
+        let a = group_directory(GroupingStrategy::SingleFile, &files(&["/x/1.txt"]), &ids);
+        let b = group_directory(GroupingStrategy::SingleFile, &files(&["/y/2.txt"]), &ids);
+        assert_ne!(a[0].id, b[0].id);
+    }
+}

@@ -1,0 +1,29 @@
+//! # xtract-crawler
+//!
+//! The elastic parallel crawler (§3 "Crawling", §4.1 "The crawler").
+//!
+//! "The crawler service deploys a pool of crawl worker threads and a
+//! shared work queue for each metadata extraction job ... Worker threads
+//! retrieve a path from the queue, perform a list operation on it, apply
+//! the grouping function to discovered files, and add newly-discovered
+//! directories to the work queue."
+//!
+//! Three pieces:
+//!
+//! * [`grouping`] — the crawl-time grouping functions (§3: from
+//!   "single file group" to whole directories, including the
+//!   materials-aware function that creates the *overlapping* groups
+//!   min-transfers exists for);
+//! * [`crawl`] — the multi-threaded breadth-first crawler over any
+//!   [`xtract_datafabric::StorageBackend`], streaming
+//!   [`crawl::CrawledDirectory`] records to a consumer as they are
+//!   produced ("le groups are returned asynchronously", §5.8.1);
+//! * [`metrics`] — counters the Fig. 4 experiment reads.
+
+pub mod crawl;
+pub mod grouping;
+pub mod metrics;
+
+pub use crawl::{CrawledDirectory, Crawler, CrawlerConfig};
+pub use grouping::group_directory;
+pub use metrics::CrawlMetrics;

@@ -1,0 +1,58 @@
+//! Crawl metrics — the counters behind Fig. 4 and the §5.8.1 crawl-rate
+//! claims.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe crawl counters.
+#[derive(Debug, Default)]
+pub struct CrawlMetrics {
+    /// Directories listed.
+    pub directories: AtomicU64,
+    /// Files discovered.
+    pub files: AtomicU64,
+    /// Bytes represented by discovered files.
+    pub bytes: AtomicU64,
+    /// Groups emitted by the grouping function.
+    pub groups: AtomicU64,
+    /// List operations issued (≥ directories when stores paginate).
+    pub list_ops: AtomicU64,
+}
+
+impl CrawlMetrics {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot as plain numbers `(directories, files, bytes, groups)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.directories.load(Ordering::Relaxed),
+            self.files.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            self.groups.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn record_dir(&self, files: u64, bytes: u64, groups: u64) {
+        self.directories.fetch_add(1, Ordering::Relaxed);
+        self.files.fetch_add(files, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.groups.fetch_add(groups, Ordering::Relaxed);
+        self.list_ops.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let m = CrawlMetrics::new();
+        m.record_dir(10, 1000, 3);
+        m.record_dir(5, 500, 2);
+        assert_eq!(m.snapshot(), (2, 15, 1500, 5));
+        assert_eq!(m.list_ops.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! A Globus-Auth-like token and scope model (§3 "security model").
+//!
+//! The paper: "Users must provide valid authentication tokens with
+//! appropriate authorization to initiate crawls, extractions, and
+//! validations" and "Xtract has associated Globus Auth scopes via which
+//! other clients ... may obtain authorizations". We model identities,
+//! scoped tokens, and per-service scope checks; cryptography is out of
+//! scope (tokens are opaque random u128s).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use xtract_types::{Result, XtractError};
+
+/// Authorization scopes, one per privileged operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// List directories on storage endpoints.
+    Crawl,
+    /// Move bytes between endpoints.
+    Transfer,
+    /// Dispatch extractor functions to compute endpoints.
+    Extract,
+    /// Submit/transform metadata through the validator.
+    Validate,
+}
+
+impl Scope {
+    /// Scope string, Globus-style.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scope::Crawl => "urn:xtract:scope:crawl",
+            Scope::Transfer => "urn:xtract:scope:transfer",
+            Scope::Extract => "urn:xtract:scope:extract",
+            Scope::Validate => "urn:xtract:scope:validate",
+        }
+    }
+}
+
+/// An opaque bearer token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(u128);
+
+#[derive(Debug, Clone)]
+struct Grant {
+    identity: String,
+    scopes: Vec<Scope>,
+}
+
+/// The identity provider + resource server rolled into one.
+#[derive(Debug, Default)]
+pub struct AuthService {
+    grants: RwLock<HashMap<Token, Grant>>,
+    counter: RwLock<u128>,
+    checks: RwLock<u64>,
+}
+
+impl AuthService {
+    /// An empty auth service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Authenticates `identity` and issues a token carrying `scopes`
+    /// (the native-client OAuth flow's outcome).
+    pub fn login(&self, identity: &str, scopes: &[Scope]) -> Token {
+        let mut c = self.counter.write();
+        // Deterministic token values keep live-mode tests reproducible; a
+        // simple LCG-style mix stands in for randomness.
+        *c = c.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let token = Token(*c ^ ((identity.len() as u128) << 96));
+        self.grants.write().insert(
+            token,
+            Grant {
+                identity: identity.to_string(),
+                scopes: scopes.to_vec(),
+            },
+        );
+        token
+    }
+
+    /// Verifies that `token` carries `scope`; returns the identity.
+    pub fn check(&self, token: Token, scope: Scope) -> Result<String> {
+        *self.checks.write() += 1;
+        let grants = self.grants.read();
+        let grant = grants.get(&token).ok_or_else(|| XtractError::AuthDenied {
+            scope: scope.as_str().to_string(),
+        })?;
+        if grant.scopes.contains(&scope) {
+            Ok(grant.identity.clone())
+        } else {
+            Err(XtractError::AuthDenied {
+                scope: scope.as_str().to_string(),
+            })
+        }
+    }
+
+    /// Revokes a token.
+    pub fn revoke(&self, token: Token) {
+        self.grants.write().remove(&token);
+    }
+
+    /// Dependent-token flow: a service holding `token` obtains a narrower
+    /// token for a downstream service (how the Xtract service calls
+    /// transfer on the user's behalf).
+    pub fn dependent_token(&self, token: Token, scope: Scope) -> Result<Token> {
+        let identity = self.check(token, scope)?;
+        Ok(self.login(&identity, &[scope]))
+    }
+
+    /// Number of scope checks performed (each costs an auth round trip in
+    /// the latency model, §5.3).
+    pub fn checks_performed(&self) -> u64 {
+        *self.checks.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn login_then_check() {
+        let auth = AuthService::new();
+        let t = auth.login("tyler@uchicago.edu", &[Scope::Crawl, Scope::Extract]);
+        assert_eq!(auth.check(t, Scope::Crawl).unwrap(), "tyler@uchicago.edu");
+        assert!(auth.check(t, Scope::Transfer).is_err());
+    }
+
+    #[test]
+    fn unknown_token_is_denied() {
+        let auth = AuthService::new();
+        let t = auth.login("a", &[Scope::Crawl]);
+        auth.revoke(t);
+        assert!(matches!(
+            auth.check(t, Scope::Crawl),
+            Err(XtractError::AuthDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn dependent_tokens_narrow_scope() {
+        let auth = AuthService::new();
+        let t = auth.login("svc", &[Scope::Transfer, Scope::Extract]);
+        let dep = auth.dependent_token(t, Scope::Transfer).unwrap();
+        assert!(auth.check(dep, Scope::Transfer).is_ok());
+        assert!(auth.check(dep, Scope::Extract).is_err());
+        // Cannot mint a dependent token for a scope the parent lacks.
+        assert!(auth.dependent_token(t, Scope::Crawl).is_err());
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let auth = AuthService::new();
+        let a = auth.login("x", &[Scope::Crawl]);
+        let b = auth.login("x", &[Scope::Crawl]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn check_counter_accumulates() {
+        let auth = AuthService::new();
+        let t = auth.login("x", &[Scope::Crawl]);
+        for _ in 0..5 {
+            let _ = auth.check(t, Scope::Crawl);
+        }
+        assert_eq!(auth.checks_performed(), 5);
+    }
+}

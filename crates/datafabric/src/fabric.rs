@@ -1,0 +1,135 @@
+//! The endpoint registry.
+//!
+//! A [`DataFabric`] maps [`EndpointId`]s to their data layers and facility
+//! names — the bookkeeping Xtract's RDS database holds in the paper
+//! (§4.1). The facility name keys into `xtract_sim::sites` to resolve
+//! wide-area link calibration between any two endpoints.
+
+use crate::storage::StorageBackend;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xtract_types::{EndpointId, Result, XtractError};
+
+/// One registered endpoint's data layer.
+#[derive(Clone)]
+pub struct DataEndpoint {
+    /// Endpoint identity.
+    pub id: EndpointId,
+    /// Facility name ("theta", "midway", "petrel", ...) for link
+    /// calibration.
+    pub site: String,
+    /// The storage backend.
+    pub backend: Arc<dyn StorageBackend>,
+}
+
+impl std::fmt::Debug for DataEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataEndpoint")
+            .field("id", &self.id)
+            .field("site", &self.site)
+            .field("files", &self.backend.file_count())
+            .finish()
+    }
+}
+
+/// Registry of all endpoints a deployment knows about.
+#[derive(Debug, Default)]
+pub struct DataFabric {
+    endpoints: RwLock<HashMap<EndpointId, DataEndpoint>>,
+}
+
+impl DataFabric {
+    /// An empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an endpoint's data layer.
+    pub fn register(
+        &self,
+        id: EndpointId,
+        site: impl Into<String>,
+        backend: Arc<dyn StorageBackend>,
+    ) {
+        self.endpoints.write().insert(
+            id,
+            DataEndpoint {
+                id,
+                site: site.into(),
+                backend,
+            },
+        );
+    }
+
+    /// Looks up an endpoint.
+    pub fn get(&self, id: EndpointId) -> Result<DataEndpoint> {
+        self.endpoints
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(XtractError::NotFound {
+                endpoint: id,
+                path: "<endpoint>".to_string(),
+            })
+    }
+
+    /// All registered endpoint ids, sorted.
+    pub fn endpoint_ids(&self) -> Vec<EndpointId> {
+        let mut ids: Vec<_> = self.endpoints.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.read().len()
+    }
+
+    /// True when no endpoint is registered.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemFs;
+
+    #[test]
+    fn register_and_lookup() {
+        let fabric = DataFabric::new();
+        let id = EndpointId::new(5);
+        fabric.register(id, "petrel", Arc::new(MemFs::new(id)));
+        let ep = fabric.get(id).unwrap();
+        assert_eq!(ep.site, "petrel");
+        assert_eq!(ep.id, id);
+        assert!(fabric.get(EndpointId::new(6)).is_err());
+    }
+
+    #[test]
+    fn ids_are_sorted() {
+        let fabric = DataFabric::new();
+        for raw in [3u64, 1, 2] {
+            let id = EndpointId::new(raw);
+            fabric.register(id, "x", Arc::new(MemFs::new(id)));
+        }
+        assert_eq!(
+            fabric.endpoint_ids(),
+            vec![EndpointId::new(1), EndpointId::new(2), EndpointId::new(3)]
+        );
+        assert_eq!(fabric.len(), 3);
+        assert!(!fabric.is_empty());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let fabric = DataFabric::new();
+        let id = EndpointId::new(0);
+        fabric.register(id, "a", Arc::new(MemFs::new(id)));
+        fabric.register(id, "b", Arc::new(MemFs::new(id)));
+        assert_eq!(fabric.get(id).unwrap().site, "b");
+        assert_eq!(fabric.len(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # xtract-datafabric
+//!
+//! The data layer of an Xtract endpoint (§3 "Endpoints": "The data layer
+//! abstracts the remote storage system (e.g., file system, object store)
+//! and makes data accessible to the endpoint").
+//!
+//! This crate substitutes for Globus Transfer/HTTPS and the Google Drive
+//! API (see `DESIGN.md`): it provides
+//!
+//! * [`storage`] — storage backends behind one trait: a hierarchical
+//!   in-memory filesystem ([`storage::MemFs`]), a flat object store
+//!   ([`storage::ObjectStore`]), a Drive-like paged API store
+//!   ([`storage::DriveStore`]), and a real-disk view
+//!   ([`localfs::LocalFs`]) for the CLI;
+//! * [`auth`] — a Globus-Auth-like token/scope model (§3 "security
+//!   model");
+//! * [`fabric`] — the endpoint registry binding [`xtract_types::EndpointId`]s
+//!   to backends and facility names;
+//! * [`transfer`] — the batch transfer service the prefetcher drives, plus
+//!   single-file HTTPS/Drive-style fetches, with byte accounting and fault
+//!   injection.
+//!
+//! Backends store either real bytes (live-mode experiments actually parse
+//! them) or statistical *stubs* (size/type only) so multi-million-file
+//! repositories fit in memory for crawl- and simulation-scale experiments.
+
+pub mod auth;
+pub mod fabric;
+pub mod localfs;
+pub mod storage;
+pub mod transfer;
+
+pub use auth::{AuthService, Scope, Token};
+pub use fabric::{DataEndpoint, DataFabric};
+pub use localfs::LocalFs;
+pub use storage::{DirEntry, DriveStore, MemFs, ObjectStore, StorageBackend};
+pub use transfer::{FetchKind, TransferReceipt, TransferRequest, TransferService};

@@ -1,0 +1,256 @@
+//! A real-filesystem backend: the bridge from in-memory experiments to
+//! actually useful tooling (`xtract-cli extract ./dir` crawls a real
+//! directory with the same code paths as every test and benchmark).
+//!
+//! [`LocalFs`] roots all operations under one directory: paths in the
+//! [`StorageBackend`] API are `/`-rooted *within* that directory, and any
+//! traversal escaping it (`..`) is rejected — the data layer of an
+//! endpoint must not wander the host.
+
+use crate::storage::{DirEntry, StorageBackend};
+use bytes::Bytes;
+use std::path::{Component, Path, PathBuf};
+use xtract_types::{EndpointId, Result, XtractError};
+
+/// A read-write view of one host directory.
+pub struct LocalFs {
+    endpoint: EndpointId,
+    root: PathBuf,
+}
+
+impl LocalFs {
+    /// A backend rooted at `root` (must exist and be a directory).
+    pub fn new(endpoint: EndpointId, root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        if !root.is_dir() {
+            return Err(XtractError::NotFound {
+                endpoint,
+                path: root.display().to_string(),
+            });
+        }
+        Ok(Self { endpoint, root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn not_found(&self, path: &str) -> XtractError {
+        XtractError::NotFound {
+            endpoint: self.endpoint,
+            path: path.to_string(),
+        }
+    }
+
+    /// Resolves a virtual path to a host path, rejecting escapes.
+    fn resolve(&self, path: &str) -> Result<PathBuf> {
+        let mut out = self.root.clone();
+        for comp in Path::new(path.trim_start_matches('/')).components() {
+            match comp {
+                Component::Normal(c) => out.push(c),
+                Component::CurDir => {}
+                _ => {
+                    return Err(XtractError::WrongKind {
+                        endpoint: self.endpoint,
+                        path: path.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl StorageBackend for LocalFs {
+    fn list(&self, path: &str) -> Result<Vec<DirEntry>> {
+        let host = self.resolve(path)?;
+        if host.is_file() {
+            return Err(XtractError::WrongKind {
+                endpoint: self.endpoint,
+                path: path.to_string(),
+            });
+        }
+        let read = std::fs::read_dir(&host).map_err(|_| self.not_found(path))?;
+        let mut entries = Vec::new();
+        for item in read {
+            let Ok(item) = item else { continue };
+            let Ok(meta) = item.metadata() else { continue };
+            let Ok(name) = item.file_name().into_string() else {
+                continue; // non-UTF-8 names are skipped, like the crawler's adapters
+            };
+            entries.push(DirEntry {
+                name,
+                is_dir: meta.is_dir(),
+                size: if meta.is_dir() { 0 } else { meta.len() },
+            });
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(entries)
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        let host = self.resolve(path)?;
+        std::fs::read(&host)
+            .map(Bytes::from)
+            .map_err(|_| self.not_found(path))
+    }
+
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        let host = self.resolve(path)?;
+        if let Some(parent) = host.parent() {
+            std::fs::create_dir_all(parent).map_err(|_| self.not_found(path))?;
+        }
+        std::fs::write(&host, &data).map_err(|_| self.not_found(path))
+    }
+
+    fn write_stub(&self, path: &str, _size: u64) -> Result<()> {
+        // A real filesystem has no stub concept; represent it as an empty
+        // marker file so transfers of statistical repositories still land.
+        self.write(path, Bytes::new())
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        let host = self.resolve(path)?;
+        if host.is_dir() {
+            std::fs::remove_dir_all(&host).map_err(|_| self.not_found(path))
+        } else {
+            std::fs::remove_file(&host).map_err(|_| self.not_found(path))
+        }
+    }
+
+    fn stat(&self, path: &str) -> Result<u64> {
+        let host = self.resolve(path)?;
+        let meta = std::fs::metadata(&host).map_err(|_| self.not_found(path))?;
+        if meta.is_dir() {
+            return Err(XtractError::WrongKind {
+                endpoint: self.endpoint,
+                path: path.to_string(),
+            });
+        }
+        Ok(meta.len())
+    }
+
+    fn file_count(&self) -> usize {
+        fn count(dir: &Path) -> usize {
+            std::fs::read_dir(dir)
+                .map(|rd| {
+                    rd.flatten()
+                        .map(|e| {
+                            let p = e.path();
+                            if p.is_dir() {
+                                count(&p)
+                            } else {
+                                1
+                            }
+                        })
+                        .sum()
+                })
+                .unwrap_or(0)
+        }
+        count(&self.root)
+    }
+
+    fn total_bytes(&self) -> u64 {
+        fn sum(dir: &Path) -> u64 {
+            std::fs::read_dir(dir)
+                .map(|rd| {
+                    rd.flatten()
+                        .map(|e| {
+                            let p = e.path();
+                            if p.is_dir() {
+                                sum(&p)
+                            } else {
+                                e.metadata().map(|m| m.len()).unwrap_or(0)
+                            }
+                        })
+                        .sum()
+                })
+                .unwrap_or(0)
+        }
+        sum(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xtract-localfs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_on_real_disk() {
+        let dir = tempdir();
+        let fs = LocalFs::new(EndpointId::new(0), &dir).unwrap();
+        fs.write("/a/b/notes.txt", Bytes::from_static(b"real bytes")).unwrap();
+        assert_eq!(fs.read("/a/b/notes.txt").unwrap(), Bytes::from_static(b"real bytes"));
+        assert_eq!(fs.stat("/a/b/notes.txt").unwrap(), 10);
+        let listed = fs.list("/a").unwrap();
+        assert_eq!(listed.len(), 1);
+        assert!(listed[0].is_dir);
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.total_bytes(), 10);
+        fs.remove("/a").unwrap();
+        assert_eq!(fs.file_count(), 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn traversal_is_rejected() {
+        let dir = tempdir();
+        let fs = LocalFs::new(EndpointId::new(0), &dir).unwrap();
+        assert!(matches!(
+            fs.read("/../etc/passwd"),
+            Err(XtractError::WrongKind { .. })
+        ));
+        assert!(matches!(
+            fs.write("/../../evil", Bytes::new()),
+            Err(XtractError::WrongKind { .. })
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        assert!(LocalFs::new(EndpointId::new(0), "/definitely/not/a/dir/xyz").is_err());
+    }
+
+    #[test]
+    fn crawler_runs_over_local_fs() {
+        use crossbeam_channel::unbounded;
+        let dir = tempdir();
+        let fs = LocalFs::new(EndpointId::new(0), &dir).unwrap();
+        fs.write("/proj/a.txt", Bytes::from_static(b"alpha")).unwrap();
+        fs.write("/proj/b.csv", Bytes::from_static(b"x,y\n1,2\n")).unwrap();
+        fs.write("/c.md", Bytes::from_static(b"# readme")).unwrap();
+        let backend: std::sync::Arc<dyn StorageBackend> = std::sync::Arc::new(fs);
+        // The datafabric crate cannot depend on the crawler; exercise the
+        // same recursive walk inline.
+        let (tx, rx) = unbounded::<String>();
+        let mut stack = vec!["/".to_string()];
+        while let Some(d) = stack.pop() {
+            for e in backend.list(&d).unwrap() {
+                let full = if d == "/" { format!("/{}", e.name) } else { format!("{d}/{}", e.name) };
+                if e.is_dir {
+                    stack.push(full);
+                } else {
+                    tx.send(full).unwrap();
+                }
+            }
+        }
+        drop(tx);
+        let mut files: Vec<String> = rx.into_iter().collect();
+        files.sort();
+        assert_eq!(files, vec!["/c.md", "/proj/a.txt", "/proj/b.csv"]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

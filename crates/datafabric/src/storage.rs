@@ -1,0 +1,648 @@
+//! Storage backends.
+//!
+//! One trait, three implementations mirroring the storage systems the
+//! paper crawls (§4.1: "implementations for Globus, S3, and Google Drive
+//! ... and remote POSIX file systems"):
+//!
+//! * [`MemFs`] — hierarchical POSIX-like tree (Globus-mounted cluster
+//!   filesystems: Petrel, Lustre, Midway scratch);
+//! * [`ObjectStore`] — flat keys with prefix listing (S3);
+//! * [`DriveStore`] — id-addressed nodes with paged folder listings
+//!   (Google Drive).
+//!
+//! Files hold either real bytes or a **stub** (size only): statistical
+//! repositories at paper scale (19.97 M files) keep only stubs, which is
+//! enough for crawling, grouping, scheduling, and simulation; live
+//! extraction requires materialized bytes and fails loudly on stubs.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use xtract_types::{EndpointId, Result, XtractError};
+
+/// One listing entry, as a crawler sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (not full path).
+    pub name: String,
+    /// True for directories/folders/prefixes.
+    pub is_dir: bool,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+}
+
+/// Content of a stored file.
+#[derive(Debug, Clone)]
+enum Content {
+    /// Real bytes, parseable by extractors.
+    Bytes(Bytes),
+    /// Statistical stub: only the size is known.
+    Stub(u64),
+}
+
+impl Content {
+    fn size(&self) -> u64 {
+        match self {
+            Content::Bytes(b) => b.len() as u64,
+            Content::Stub(s) => *s,
+        }
+    }
+}
+
+/// The data-layer abstraction every Xtract endpoint exposes.
+///
+/// Paths are `/`-separated and rooted at `/`. Implementations are
+/// internally synchronized: the crawler lists from many threads while the
+/// transfer service writes.
+pub trait StorageBackend: Send + Sync {
+    /// Lists the direct children of `path`.
+    fn list(&self, path: &str) -> Result<Vec<DirEntry>>;
+    /// Reads a file's bytes. Fails with
+    /// [`XtractError::ContentsNotMaterialized`] on stubs.
+    fn read(&self, path: &str) -> Result<Bytes>;
+    /// Creates or replaces a file with real bytes, creating parents.
+    fn write(&self, path: &str, data: Bytes) -> Result<()>;
+    /// Creates or replaces a file stub of `size` bytes, creating parents.
+    fn write_stub(&self, path: &str, size: u64) -> Result<()>;
+    /// Removes a file or (recursively) a directory.
+    fn remove(&self, path: &str) -> Result<()>;
+    /// Size of the file at `path`.
+    fn stat(&self, path: &str) -> Result<u64>;
+    /// Number of files stored (for capacity accounting and tests).
+    fn file_count(&self) -> usize;
+    /// Total bytes stored (stubs count their nominal size).
+    fn total_bytes(&self) -> u64;
+}
+
+fn normalize(path: &str) -> Vec<String> {
+    path.split('/')
+        .filter(|c| !c.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn join(components: &[String]) -> String {
+    let mut s = String::with_capacity(components.iter().map(|c| c.len() + 1).sum());
+    for c in components {
+        s.push('/');
+        s.push_str(c);
+    }
+    if s.is_empty() {
+        s.push('/');
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// MemFs
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Node {
+    Dir(BTreeMap<String, Node>),
+    File(Content),
+}
+
+impl Node {
+    fn as_dir(&self) -> Option<&BTreeMap<String, Node>> {
+        match self {
+            Node::Dir(m) => Some(m),
+            Node::File(_) => None,
+        }
+    }
+}
+
+/// A hierarchical in-memory filesystem.
+pub struct MemFs {
+    endpoint: EndpointId,
+    root: RwLock<BTreeMap<String, Node>>,
+}
+
+impl MemFs {
+    /// An empty filesystem owned by `endpoint` (used in error messages).
+    pub fn new(endpoint: EndpointId) -> Self {
+        Self {
+            endpoint,
+            root: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn not_found(&self, path: &str) -> XtractError {
+        XtractError::NotFound {
+            endpoint: self.endpoint,
+            path: path.to_string(),
+        }
+    }
+
+    fn wrong_kind(&self, path: &str) -> XtractError {
+        XtractError::WrongKind {
+            endpoint: self.endpoint,
+            path: path.to_string(),
+        }
+    }
+
+    fn insert(&self, path: &str, content: Content) -> Result<()> {
+        let comps = normalize(path);
+        let Some((file_name, dirs)) = comps.split_last() else {
+            return Err(self.wrong_kind(path)); // writing to "/"
+        };
+        let mut guard = self.root.write();
+        let mut cur: &mut BTreeMap<String, Node> = &mut guard;
+        for d in dirs {
+            let entry = cur
+                .entry(d.clone())
+                .or_insert_with(|| Node::Dir(BTreeMap::new()));
+            match entry {
+                Node::Dir(m) => cur = m,
+                Node::File(_) => return Err(self.wrong_kind(path)),
+            }
+        }
+        match cur.get(file_name) {
+            Some(Node::Dir(_)) => Err(self.wrong_kind(path)),
+            _ => {
+                cur.insert(file_name.clone(), Node::File(content));
+                Ok(())
+            }
+        }
+    }
+
+    /// Walks to a node, applying `f`.
+    fn with_node<T>(&self, path: &str, f: impl FnOnce(&Node) -> Result<T>) -> Result<T> {
+        let comps = normalize(path);
+        let guard = self.root.read();
+        if comps.is_empty() {
+            // Root as a synthetic dir node: handle in list() directly.
+            return Err(self.wrong_kind(path));
+        }
+        let mut cur: &BTreeMap<String, Node> = &guard;
+        for (i, c) in comps.iter().enumerate() {
+            let node = cur.get(c).ok_or_else(|| self.not_found(path))?;
+            if i + 1 == comps.len() {
+                return f(node);
+            }
+            cur = node.as_dir().ok_or_else(|| self.wrong_kind(path))?;
+        }
+        unreachable!()
+    }
+}
+
+fn dir_entries(m: &BTreeMap<String, Node>) -> Vec<DirEntry> {
+    m.iter()
+        .map(|(name, node)| match node {
+            Node::Dir(_) => DirEntry {
+                name: name.clone(),
+                is_dir: true,
+                size: 0,
+            },
+            Node::File(c) => DirEntry {
+                name: name.clone(),
+                is_dir: false,
+                size: c.size(),
+            },
+        })
+        .collect()
+}
+
+fn count_files(m: &BTreeMap<String, Node>) -> usize {
+    m.values()
+        .map(|n| match n {
+            Node::Dir(d) => count_files(d),
+            Node::File(_) => 1,
+        })
+        .sum()
+}
+
+fn sum_bytes(m: &BTreeMap<String, Node>) -> u64 {
+    m.values()
+        .map(|n| match n {
+            Node::Dir(d) => sum_bytes(d),
+            Node::File(c) => c.size(),
+        })
+        .sum()
+}
+
+impl StorageBackend for MemFs {
+    fn list(&self, path: &str) -> Result<Vec<DirEntry>> {
+        let comps = normalize(path);
+        let guard = self.root.read();
+        if comps.is_empty() {
+            return Ok(dir_entries(&guard));
+        }
+        let mut cur: &BTreeMap<String, Node> = &guard;
+        for (i, c) in comps.iter().enumerate() {
+            let node = cur.get(c).ok_or_else(|| self.not_found(path))?;
+            match node {
+                Node::Dir(m) => {
+                    if i + 1 == comps.len() {
+                        return Ok(dir_entries(m));
+                    }
+                    cur = m;
+                }
+                Node::File(_) => return Err(self.wrong_kind(path)),
+            }
+        }
+        unreachable!()
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        self.with_node(path, |n| match n {
+            Node::File(Content::Bytes(b)) => Ok(b.clone()),
+            Node::File(Content::Stub(_)) => Err(XtractError::ContentsNotMaterialized {
+                endpoint: self.endpoint,
+                path: path.to_string(),
+            }),
+            Node::Dir(_) => Err(self.wrong_kind(path)),
+        })
+    }
+
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        self.insert(path, Content::Bytes(data))
+    }
+
+    fn write_stub(&self, path: &str, size: u64) -> Result<()> {
+        self.insert(path, Content::Stub(size))
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        let comps = normalize(path);
+        let Some((last, dirs)) = comps.split_last() else {
+            return Err(self.wrong_kind(path));
+        };
+        let mut guard = self.root.write();
+        let mut cur: &mut BTreeMap<String, Node> = &mut guard;
+        for d in dirs {
+            match cur.get_mut(d) {
+                Some(Node::Dir(m)) => cur = m,
+                Some(Node::File(_)) => return Err(self.wrong_kind(path)),
+                None => return Err(self.not_found(path)),
+            }
+        }
+        cur.remove(last)
+            .map(|_| ())
+            .ok_or_else(|| self.not_found(path))
+    }
+
+    fn stat(&self, path: &str) -> Result<u64> {
+        self.with_node(path, |n| match n {
+            Node::File(c) => Ok(c.size()),
+            Node::Dir(_) => Err(self.wrong_kind(path)),
+        })
+    }
+
+    fn file_count(&self) -> usize {
+        count_files(&self.root.read())
+    }
+
+    fn total_bytes(&self) -> u64 {
+        sum_bytes(&self.root.read())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ObjectStore
+// ---------------------------------------------------------------------------
+
+/// A flat, S3-like object store. "Directories" are key prefixes ending in
+/// `/`; `list` performs prefix listing with `/`-delimiter semantics.
+pub struct ObjectStore {
+    endpoint: EndpointId,
+    objects: RwLock<BTreeMap<String, Content>>,
+}
+
+impl ObjectStore {
+    /// An empty store owned by `endpoint`.
+    pub fn new(endpoint: EndpointId) -> Self {
+        Self {
+            endpoint,
+            objects: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn key(path: &str) -> String {
+        join(&normalize(path))
+    }
+}
+
+impl StorageBackend for ObjectStore {
+    fn list(&self, path: &str) -> Result<Vec<DirEntry>> {
+        let prefix = {
+            let k = Self::key(path);
+            if k == "/" {
+                "/".to_string()
+            } else {
+                format!("{k}/")
+            }
+        };
+        let objects = self.objects.read();
+        let mut entries: BTreeMap<String, DirEntry> = BTreeMap::new();
+        for (key, content) in objects.range(prefix.clone()..) {
+            let Some(rest) = key.strip_prefix(&prefix) else {
+                break; // past the prefix range
+            };
+            match rest.find('/') {
+                Some(i) => {
+                    let dir = rest[..i].to_string();
+                    entries.entry(dir.clone()).or_insert(DirEntry {
+                        name: dir,
+                        is_dir: true,
+                        size: 0,
+                    });
+                }
+                None => {
+                    entries.insert(
+                        rest.to_string(),
+                        DirEntry {
+                            name: rest.to_string(),
+                            is_dir: false,
+                            size: content.size(),
+                        },
+                    );
+                }
+            }
+        }
+        // S3 prefix listings on a missing prefix are empty, not errors —
+        // but an empty listing of a never-written prefix is surprising for
+        // crawlers, so mirror that behaviour faithfully.
+        Ok(entries.into_values().collect())
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        let key = Self::key(path);
+        match self.objects.read().get(&key) {
+            Some(Content::Bytes(b)) => Ok(b.clone()),
+            Some(Content::Stub(_)) => Err(XtractError::ContentsNotMaterialized {
+                endpoint: self.endpoint,
+                path: key,
+            }),
+            None => Err(XtractError::NotFound {
+                endpoint: self.endpoint,
+                path: key,
+            }),
+        }
+    }
+
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        self.objects.write().insert(Self::key(path), Content::Bytes(data));
+        Ok(())
+    }
+
+    fn write_stub(&self, path: &str, size: u64) -> Result<()> {
+        self.objects.write().insert(Self::key(path), Content::Stub(size));
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        let key = Self::key(path);
+        let mut objects = self.objects.write();
+        if objects.remove(&key).is_some() {
+            return Ok(());
+        }
+        // Recursive prefix removal.
+        let prefix = format!("{key}/");
+        let doomed: Vec<String> = objects
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        if doomed.is_empty() {
+            return Err(XtractError::NotFound {
+                endpoint: self.endpoint,
+                path: key,
+            });
+        }
+        for k in doomed {
+            objects.remove(&k);
+        }
+        Ok(())
+    }
+
+    fn stat(&self, path: &str) -> Result<u64> {
+        let key = Self::key(path);
+        self.objects
+            .read()
+            .get(&key)
+            .map(Content::size)
+            .ok_or(XtractError::NotFound {
+                endpoint: self.endpoint,
+                path: key,
+            })
+    }
+
+    fn file_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(Content::size).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DriveStore
+// ---------------------------------------------------------------------------
+
+/// A Google-Drive-like store: the API is folder-id based and paginated;
+/// we expose the same path-based trait on top (the crawler's Drive adapter
+/// does path→id resolution internally, as Xtract's does with the Drive
+/// API). Listings are served in pages of [`DriveStore::PAGE_SIZE`] to
+/// preserve the per-page round-trip cost structure.
+pub struct DriveStore {
+    inner: MemFs,
+    pages_served: RwLock<u64>,
+}
+
+impl DriveStore {
+    /// Drive API default page size.
+    pub const PAGE_SIZE: usize = 100;
+
+    /// An empty Drive owned by `endpoint`.
+    pub fn new(endpoint: EndpointId) -> Self {
+        Self {
+            inner: MemFs::new(endpoint),
+            pages_served: RwLock::new(0),
+        }
+    }
+
+    /// How many listing pages the API has served — each one costs a
+    /// round trip in the cost model.
+    pub fn pages_served(&self) -> u64 {
+        *self.pages_served.read()
+    }
+}
+
+impl StorageBackend for DriveStore {
+    fn list(&self, path: &str) -> Result<Vec<DirEntry>> {
+        let all = self.inner.list(path)?;
+        let pages = all.len().div_ceil(Self::PAGE_SIZE).max(1);
+        *self.pages_served.write() += pages as u64;
+        Ok(all)
+    }
+
+    fn read(&self, path: &str) -> Result<Bytes> {
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &str, data: Bytes) -> Result<()> {
+        self.inner.write(path, data)
+    }
+
+    fn write_stub(&self, path: &str, size: u64) -> Result<()> {
+        self.inner.write_stub(path, size)
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn stat(&self, path: &str) -> Result<u64> {
+        self.inner.stat(path)
+    }
+
+    fn file_count(&self) -> usize {
+        self.inner.file_count()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep() -> EndpointId {
+        EndpointId::new(0)
+    }
+
+    #[test]
+    fn memfs_roundtrip() {
+        let fs = MemFs::new(ep());
+        fs.write("/a/b/file.txt", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(fs.read("/a/b/file.txt").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(fs.stat("/a/b/file.txt").unwrap(), 5);
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.total_bytes(), 5);
+    }
+
+    #[test]
+    fn memfs_listing_separates_dirs_and_files() {
+        let fs = MemFs::new(ep());
+        fs.write("/d/x.txt", Bytes::from_static(b"1")).unwrap();
+        fs.write("/d/sub/y.txt", Bytes::from_static(b"22")).unwrap();
+        let mut names: Vec<(String, bool)> = fs
+            .list("/d")
+            .unwrap()
+            .into_iter()
+            .map(|e| (e.name, e.is_dir))
+            .collect();
+        names.sort();
+        assert_eq!(names, vec![("sub".into(), true), ("x.txt".into(), false)]);
+        assert_eq!(fs.list("/").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn memfs_errors_are_precise() {
+        let fs = MemFs::new(ep());
+        fs.write("/f.txt", Bytes::from_static(b"x")).unwrap();
+        assert!(matches!(fs.read("/g.txt"), Err(XtractError::NotFound { .. })));
+        assert!(matches!(fs.list("/f.txt"), Err(XtractError::WrongKind { .. })));
+        assert!(matches!(
+            fs.write("/f.txt/child", Bytes::new()),
+            Err(XtractError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn memfs_stub_reads_fail_loudly() {
+        let fs = MemFs::new(ep());
+        fs.write_stub("/big/sim.dat", 1 << 30).unwrap();
+        assert_eq!(fs.stat("/big/sim.dat").unwrap(), 1 << 30);
+        assert!(matches!(
+            fs.read("/big/sim.dat"),
+            Err(XtractError::ContentsNotMaterialized { .. })
+        ));
+        assert_eq!(fs.total_bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn memfs_remove_is_recursive() {
+        let fs = MemFs::new(ep());
+        fs.write("/d/a.txt", Bytes::new()).unwrap();
+        fs.write("/d/s/b.txt", Bytes::new()).unwrap();
+        fs.remove("/d").unwrap();
+        assert_eq!(fs.file_count(), 0);
+        assert!(fs.remove("/d").is_err());
+    }
+
+    #[test]
+    fn memfs_overwrite_replaces() {
+        let fs = MemFs::new(ep());
+        fs.write("/f", Bytes::from_static(b"one")).unwrap();
+        fs.write("/f", Bytes::from_static(b"two!")).unwrap();
+        assert_eq!(fs.stat("/f").unwrap(), 4);
+        assert_eq!(fs.file_count(), 1);
+    }
+
+    #[test]
+    fn object_store_prefix_listing() {
+        let s = ObjectStore::new(ep());
+        s.write("/data/2020/a.csv", Bytes::from_static(b"x")).unwrap();
+        s.write("/data/2020/b.csv", Bytes::from_static(b"y")).unwrap();
+        s.write("/data/2021/c.csv", Bytes::from_static(b"z")).unwrap();
+        s.write("/other/d.csv", Bytes::from_static(b"w")).unwrap();
+        let top = s.list("/data").unwrap();
+        assert_eq!(
+            top.iter().map(|e| (&*e.name, e.is_dir)).collect::<Vec<_>>(),
+            vec![("2020", true), ("2021", true)]
+        );
+        let leaf = s.list("/data/2020").unwrap();
+        assert_eq!(leaf.len(), 2);
+        assert!(leaf.iter().all(|e| !e.is_dir));
+    }
+
+    #[test]
+    fn object_store_missing_prefix_lists_empty() {
+        let s = ObjectStore::new(ep());
+        assert!(s.list("/nope").unwrap().is_empty());
+    }
+
+    #[test]
+    fn object_store_remove_prefix() {
+        let s = ObjectStore::new(ep());
+        s.write("/p/a", Bytes::new()).unwrap();
+        s.write("/p/b", Bytes::new()).unwrap();
+        s.remove("/p").unwrap();
+        assert_eq!(s.file_count(), 0);
+        assert!(s.remove("/p").is_err());
+    }
+
+    #[test]
+    fn drive_store_counts_pages() {
+        let d = DriveStore::new(ep());
+        for i in 0..250 {
+            d.write(&format!("/folder/file{i}.txt"), Bytes::from_static(b".")).unwrap();
+        }
+        let listed = d.list("/folder").unwrap();
+        assert_eq!(listed.len(), 250);
+        assert_eq!(d.pages_served(), 3); // ceil(250 / 100)
+        d.list("/").unwrap();
+        assert_eq!(d.pages_served(), 4);
+    }
+
+    #[test]
+    fn backends_are_shareable_across_threads() {
+        let fs = std::sync::Arc::new(MemFs::new(ep()));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let fs = fs.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        fs.write(&format!("/t{t}/f{i}"), Bytes::from_static(b"d")).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(fs.file_count(), 400);
+    }
+}

@@ -1,0 +1,438 @@
+//! The transfer service: batch file movement between endpoints plus
+//! single-file HTTPS/Drive fetches.
+//!
+//! Mirrors the prefetcher-facing surface of Globus Transfer (§4.1): the
+//! caller authenticates against both sides, submits a *batch* of files,
+//! and polls the task until completion. Live mode copies bytes (or stubs)
+//! between in-memory backends immediately; what matters to the
+//! orchestrator is the receipt — files moved, bytes moved, per-file
+//! failures — and the byte accounting the Fig. 7 experiment audits.
+//!
+//! Fault injection: a configurable per-file failure probability exercises
+//! the retry path ("The prefetcher polls each transfer task until it is
+//! completed").
+
+use crate::auth::{AuthService, Scope, Token};
+use crate::fabric::DataFabric;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use xtract_types::id::IdAllocator;
+use xtract_types::{EndpointId, Result, TransferId, XtractError};
+
+/// How a single-file fetch reaches the data (§5.3: `t_gh` vs `t_gd`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchKind {
+    /// Globus HTTPS download from a Globus endpoint.
+    GlobusHttps,
+    /// Google Drive API download.
+    DriveApi,
+}
+
+/// A batch transfer job.
+#[derive(Debug, Clone)]
+pub struct TransferRequest {
+    /// Source endpoint.
+    pub source: EndpointId,
+    /// Destination endpoint.
+    pub destination: EndpointId,
+    /// `(source_path, destination_path)` pairs.
+    pub files: Vec<(String, String)>,
+}
+
+/// Outcome of a batch transfer.
+#[derive(Debug, Clone)]
+pub struct TransferReceipt {
+    /// Job id.
+    pub id: TransferId,
+    /// Files copied successfully.
+    pub files_moved: usize,
+    /// Bytes copied successfully.
+    pub bytes_moved: u64,
+    /// Per-file failures `(source_path, error)`.
+    pub failed: Vec<(String, XtractError)>,
+}
+
+impl TransferReceipt {
+    /// True when every file arrived.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Aggregate counters per (source, destination) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairStats {
+    /// Files moved on this path.
+    pub files: u64,
+    /// Bytes moved on this path.
+    pub bytes: u64,
+}
+
+/// The transfer service.
+pub struct TransferService {
+    fabric: Arc<DataFabric>,
+    auth: Arc<AuthService>,
+    ids: IdAllocator,
+    receipts: RwLock<HashMap<TransferId, TransferReceipt>>,
+    pair_stats: RwLock<HashMap<(EndpointId, EndpointId), PairStats>>,
+    fetches: RwLock<HashMap<FetchKind, u64>>,
+    fault: Mutex<Option<(f64, SmallRng)>>,
+}
+
+impl TransferService {
+    /// A service over the given fabric and auth provider.
+    pub fn new(fabric: Arc<DataFabric>, auth: Arc<AuthService>) -> Self {
+        Self {
+            fabric,
+            auth,
+            ids: IdAllocator::new(),
+            receipts: RwLock::new(HashMap::new()),
+            pair_stats: RwLock::new(HashMap::new()),
+            fetches: RwLock::new(HashMap::new()),
+            fault: Mutex::new(None),
+        }
+    }
+
+    /// Enables per-file fault injection with the given probability.
+    pub fn inject_faults(&self, probability: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&probability));
+        *self.fault.lock() = Some((probability, SmallRng::seed_from_u64(seed)));
+    }
+
+    /// Disables fault injection.
+    pub fn clear_faults(&self) {
+        *self.fault.lock() = None;
+    }
+
+    fn roll_fault(&self) -> bool {
+        let mut guard = self.fault.lock();
+        match guard.as_mut() {
+            Some((p, rng)) => rng.gen_bool(*p),
+            None => false,
+        }
+    }
+
+    /// Submits a batch transfer and runs it to completion, returning the
+    /// job id. The receipt is retrievable via [`Self::status`] — the
+    /// submit/poll split mirrors the real service even though live-mode
+    /// execution is synchronous.
+    pub fn submit(&self, token: Token, request: &TransferRequest) -> Result<TransferId> {
+        // "the prefetcher first authenticates with the data layer on both
+        // the source and destination endpoints" (§4.1).
+        self.auth.check(token, Scope::Transfer)?;
+        let src = self.fabric.get(request.source)?;
+        let dst = self.fabric.get(request.destination)?;
+
+        let id = TransferId::new(self.ids.next());
+        let mut receipt = TransferReceipt {
+            id,
+            files_moved: 0,
+            bytes_moved: 0,
+            failed: Vec::new(),
+        };
+
+        for (from, to) in &request.files {
+            if self.roll_fault() {
+                receipt.failed.push((
+                    from.clone(),
+                    XtractError::TransferFailed {
+                        transfer: id,
+                        reason: "injected link fault".to_string(),
+                    },
+                ));
+                continue;
+            }
+            let outcome = match src.backend.read(from) {
+                Ok(bytes) => {
+                    let n = bytes.len() as u64;
+                    dst.backend.write(to, bytes).map(|()| n)
+                }
+                // Stubs move as stubs: simulation-scale repositories are
+                // never materialized, but their byte sizes still count.
+                Err(XtractError::ContentsNotMaterialized { .. }) => src
+                    .backend
+                    .stat(from)
+                    .and_then(|size| dst.backend.write_stub(to, size).map(|()| size)),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(n) => {
+                    receipt.files_moved += 1;
+                    receipt.bytes_moved += n;
+                }
+                Err(e) => receipt.failed.push((from.clone(), e)),
+            }
+        }
+
+        let mut stats = self.pair_stats.write();
+        let entry = stats
+            .entry((request.source, request.destination))
+            .or_default();
+        entry.files += receipt.files_moved as u64;
+        entry.bytes += receipt.bytes_moved;
+        drop(stats);
+
+        self.receipts.write().insert(id, receipt);
+        Ok(id)
+    }
+
+    /// Polls a transfer job (always `Some` once submitted; the prefetcher
+    /// loop treats `None` as still-unknown).
+    pub fn status(&self, id: TransferId) -> Option<TransferReceipt> {
+        self.receipts.read().get(&id).cloned()
+    }
+
+    /// Single-file fetch over HTTPS or the Drive API — the path Fig. 3's
+    /// `t_gh`/`t_gd` components measure, used by endpoints without a
+    /// shared filesystem (§5.8.2).
+    pub fn fetch(
+        &self,
+        token: Token,
+        endpoint: EndpointId,
+        path: &str,
+        kind: FetchKind,
+    ) -> Result<Bytes> {
+        self.auth.check(token, Scope::Transfer)?;
+        let ep = self.fabric.get(endpoint)?;
+        let bytes = ep.backend.read(path)?;
+        *self.fetches.write().entry(kind).or_insert(0) += 1;
+        Ok(bytes)
+    }
+
+    /// Cumulative stats for a (source, destination) pair.
+    pub fn pair_stats(&self, source: EndpointId, destination: EndpointId) -> PairStats {
+        self.pair_stats
+            .read()
+            .get(&(source, destination))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total bytes moved across all pairs.
+    pub fn total_bytes_moved(&self) -> u64 {
+        self.pair_stats.read().values().map(|s| s.bytes).sum()
+    }
+
+    /// Number of single-file fetches of the given kind.
+    pub fn fetch_count(&self, kind: FetchKind) -> u64 {
+        self.fetches.read().get(&kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemFs;
+
+    struct Rig {
+        fabric: Arc<DataFabric>,
+        auth: Arc<AuthService>,
+        svc: TransferService,
+        token: Token,
+        a: EndpointId,
+        b: EndpointId,
+    }
+
+    fn rig() -> Rig {
+        let fabric = Arc::new(DataFabric::new());
+        let a = EndpointId::new(0);
+        let b = EndpointId::new(1);
+        fabric.register(a, "petrel", Arc::new(MemFs::new(a)));
+        fabric.register(b, "midway", Arc::new(MemFs::new(b)));
+        let auth = Arc::new(AuthService::new());
+        let token = auth.login("user", &[Scope::Transfer]);
+        let svc = TransferService::new(fabric.clone(), auth.clone());
+        Rig {
+            fabric,
+            auth,
+            svc,
+            token,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn batch_transfer_moves_bytes() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        src.backend.write("/d/x.txt", Bytes::from_static(b"12345")).unwrap();
+        src.backend.write("/d/y.txt", Bytes::from_static(b"678")).unwrap();
+        let id = r
+            .svc
+            .submit(
+                r.token,
+                &TransferRequest {
+                    source: r.a,
+                    destination: r.b,
+                    files: vec![
+                        ("/d/x.txt".into(), "/stage/x.txt".into()),
+                        ("/d/y.txt".into(), "/stage/y.txt".into()),
+                    ],
+                },
+            )
+            .unwrap();
+        let receipt = r.svc.status(id).unwrap();
+        assert!(receipt.is_complete());
+        assert_eq!(receipt.files_moved, 2);
+        assert_eq!(receipt.bytes_moved, 8);
+        let dst = r.fabric.get(r.b).unwrap();
+        assert_eq!(dst.backend.read("/stage/x.txt").unwrap(), Bytes::from_static(b"12345"));
+        assert_eq!(r.svc.pair_stats(r.a, r.b).bytes, 8);
+        assert_eq!(r.svc.total_bytes_moved(), 8);
+    }
+
+    #[test]
+    fn missing_scope_is_denied() {
+        let r = rig();
+        let bad = r.auth.login("user2", &[Scope::Crawl]);
+        let err = r
+            .svc
+            .submit(
+                bad,
+                &TransferRequest {
+                    source: r.a,
+                    destination: r.b,
+                    files: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, XtractError::AuthDenied { .. }));
+    }
+
+    #[test]
+    fn missing_files_fail_individually() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        src.backend.write("/ok.txt", Bytes::from_static(b"ok")).unwrap();
+        let id = r
+            .svc
+            .submit(
+                r.token,
+                &TransferRequest {
+                    source: r.a,
+                    destination: r.b,
+                    files: vec![
+                        ("/ok.txt".into(), "/ok.txt".into()),
+                        ("/missing.txt".into(), "/missing.txt".into()),
+                    ],
+                },
+            )
+            .unwrap();
+        let receipt = r.svc.status(id).unwrap();
+        assert_eq!(receipt.files_moved, 1);
+        assert_eq!(receipt.failed.len(), 1);
+        assert!(!receipt.is_complete());
+    }
+
+    #[test]
+    fn stubs_move_as_stubs_and_count_bytes() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        src.backend.write_stub("/sim/big.dat", 1_000_000).unwrap();
+        let id = r
+            .svc
+            .submit(
+                r.token,
+                &TransferRequest {
+                    source: r.a,
+                    destination: r.b,
+                    files: vec![("/sim/big.dat".into(), "/stage/big.dat".into())],
+                },
+            )
+            .unwrap();
+        let receipt = r.svc.status(id).unwrap();
+        assert_eq!(receipt.bytes_moved, 1_000_000);
+        let dst = r.fabric.get(r.b).unwrap();
+        assert_eq!(dst.backend.stat("/stage/big.dat").unwrap(), 1_000_000);
+        assert!(matches!(
+            dst.backend.read("/stage/big.dat"),
+            Err(XtractError::ContentsNotMaterialized { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_injection_fails_some_files_retryably() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        let files: Vec<(String, String)> = (0..200)
+            .map(|i| {
+                let p = format!("/f{i}");
+                src.backend.write(&p, Bytes::from_static(b"x")).unwrap();
+                (p.clone(), p)
+            })
+            .collect();
+        r.svc.inject_faults(0.3, 42);
+        let id = r
+            .svc
+            .submit(
+                r.token,
+                &TransferRequest {
+                    source: r.a,
+                    destination: r.b,
+                    files,
+                },
+            )
+            .unwrap();
+        let receipt = r.svc.status(id).unwrap();
+        assert!(!receipt.failed.is_empty());
+        assert!(receipt.files_moved > 0);
+        assert!(receipt.failed.iter().all(|(_, e)| e.is_retryable()));
+        // Retry just the failures with faults off: everything arrives.
+        r.svc.clear_faults();
+        let retry: Vec<(String, String)> = receipt
+            .failed
+            .iter()
+            .map(|(p, _)| (p.clone(), p.clone()))
+            .collect();
+        let id2 = r
+            .svc
+            .submit(
+                r.token,
+                &TransferRequest {
+                    source: r.a,
+                    destination: r.b,
+                    files: retry,
+                },
+            )
+            .unwrap();
+        assert!(r.svc.status(id2).unwrap().is_complete());
+        let dst = r.fabric.get(r.b).unwrap();
+        assert_eq!(dst.backend.file_count(), 200);
+    }
+
+    #[test]
+    fn fetch_reads_and_counts() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        src.backend.write("/doc.txt", Bytes::from_static(b"words")).unwrap();
+        let bytes = r
+            .svc
+            .fetch(r.token, r.a, "/doc.txt", FetchKind::GlobusHttps)
+            .unwrap();
+        assert_eq!(bytes, Bytes::from_static(b"words"));
+        assert_eq!(r.svc.fetch_count(FetchKind::GlobusHttps), 1);
+        assert_eq!(r.svc.fetch_count(FetchKind::DriveApi), 0);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_an_error() {
+        let r = rig();
+        let err = r
+            .svc
+            .submit(
+                r.token,
+                &TransferRequest {
+                    source: EndpointId::new(99),
+                    destination: r.b,
+                    files: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, XtractError::NotFound { .. }));
+    }
+}

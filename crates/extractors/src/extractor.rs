@@ -1,0 +1,141 @@
+//! The extractor interface.
+//!
+//! §2.1: "An extractor is a function `e` that when applied to a group `g`,
+//! with its associated files `g.f` and metadata `g.m`, may update the
+//! group metadata `g.m` and/or the metadata associated with one or more of
+//! the files in the group."
+//!
+//! Implementations receive a [`Family`] (the transfer/execution unit that
+//! packages one or more groups) and a [`FileSource`] to obtain bytes, and
+//! return an [`ExtractOutput`]: family-level metadata, per-file metadata,
+//! and any *discovered* file types that should extend the extraction plan
+//! (the dynamic `next(E, g)` of §3).
+
+use bytes::Bytes;
+use std::collections::HashMap;
+use xtract_types::{ExtractorKind, Family, FileRecord, FileType, Metadata, Result, XtractError};
+
+/// Where an extractor reads file bytes from.
+///
+/// The fabric guarantees the family's files are *reachable* before the
+/// extractor runs (staged locally or readable from the endpoint's data
+/// layer); this trait hides which of those happened.
+pub trait FileSource: Send + Sync {
+    /// Reads the bytes of one of the family's files.
+    fn read(&self, file: &FileRecord) -> Result<Bytes>;
+}
+
+/// An in-memory source for tests and generators: path → bytes.
+#[derive(Debug, Default, Clone)]
+pub struct MapSource(pub HashMap<String, Bytes>);
+
+impl MapSource {
+    /// An empty source.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a file.
+    pub fn insert(&mut self, path: impl Into<String>, bytes: impl Into<Bytes>) {
+        self.0.insert(path.into(), bytes.into());
+    }
+}
+
+impl FileSource for MapSource {
+    fn read(&self, file: &FileRecord) -> Result<Bytes> {
+        self.0
+            .get(&file.path)
+            .cloned()
+            .ok_or_else(|| XtractError::NotFound {
+                endpoint: file.endpoint,
+                path: file.path.clone(),
+            })
+    }
+}
+
+/// What one extractor invocation produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExtractOutput {
+    /// Family-level metadata, merged into the family record under the
+    /// extractor's namespace.
+    pub family_metadata: Metadata,
+    /// Per-file metadata: `(path, metadata)`.
+    pub per_file: Vec<(String, Metadata)>,
+    /// Types this extractor *discovered* while reading (e.g. the keyword
+    /// extractor finding a free-text file is actually tabular). The
+    /// planner appends the corresponding extractors to the plan (§3:
+    /// "the plan may be updated as metadata are obtained").
+    pub discovered: Vec<(String, FileType)>,
+}
+
+impl ExtractOutput {
+    /// Output carrying only family metadata.
+    pub fn family(metadata: Metadata) -> Self {
+        Self {
+            family_metadata: metadata,
+            ..Self::default()
+        }
+    }
+}
+
+/// One of the library's extractors.
+pub trait Extractor: Send + Sync {
+    /// Which extractor this is.
+    fn kind(&self) -> ExtractorKind;
+
+    /// Applies the extractor to a family. Implementations should process
+    /// every file in the family they understand and skip (not fail on)
+    /// files of other types; a parse error on a file they *do* own is an
+    /// [`XtractError::ExtractorFailed`].
+    fn extract(&self, family: &Family, source: &dyn FileSource) -> Result<ExtractOutput>;
+
+    /// Which file types this extractor wants (used by planners and the
+    /// Tika-style baseline's routing comparison).
+    fn accepts(&self, file_type: FileType) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtract_types::{EndpointId, FamilyId, GroupId};
+
+    #[test]
+    fn map_source_roundtrip() {
+        let mut src = MapSource::new();
+        src.insert("/a.txt", Bytes::from_static(b"hello"));
+        let rec = FileRecord::new("/a.txt", 5, EndpointId::new(0), FileType::FreeText);
+        assert_eq!(src.read(&rec).unwrap(), Bytes::from_static(b"hello"));
+        let missing = FileRecord::new("/b.txt", 0, EndpointId::new(0), FileType::FreeText);
+        assert!(matches!(src.read(&missing), Err(XtractError::NotFound { .. })));
+    }
+
+    #[test]
+    fn extract_output_family_constructor() {
+        let mut m = Metadata::new();
+        m.insert("k", 1);
+        let out = ExtractOutput::family(m.clone());
+        assert_eq!(out.family_metadata, m);
+        assert!(out.per_file.is_empty());
+        assert!(out.discovered.is_empty());
+    }
+
+    // Shared test helper for extractor implementations.
+    pub(crate) fn family_of(paths: &[(&str, FileType, u64)]) -> Family {
+        let files: Vec<FileRecord> = paths
+            .iter()
+            .map(|(p, t, s)| FileRecord::new(*p, *s, EndpointId::new(0), *t))
+            .collect();
+        let group = xtract_types::Group::new(
+            GroupId::new(0),
+            files.iter().map(|f| f.path.clone()).collect(),
+        );
+        Family::new(FamilyId::new(0), files, vec![group], EndpointId::new(0))
+    }
+
+    #[test]
+    fn family_helper_builds_consistent_families() {
+        let f = family_of(&[("/x.csv", FileType::Tabular, 10)]);
+        assert_eq!(f.file_count(), 1);
+        assert_eq!(f.groups[0].files, vec!["/x.csv".to_string()]);
+    }
+}

@@ -1,0 +1,172 @@
+//! `XZIP`: a member-table archive format for the compressed-file extractor.
+//!
+//! Layout: `b"XZIP"` · `u32le member_count` · per member:
+//! `u16le name_len` · name bytes (UTF-8) · `u64le stored_size` ·
+//! `u64le original_size`.
+//!
+//! The extractor reports the member census (names, sizes, compression
+//! ratio) without decompressing — exactly the metadata a listing of a real
+//! zip/tar provides.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use xtract_types::XtractError;
+
+/// One archive member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// Member path within the archive.
+    pub name: String,
+    /// Compressed (stored) size.
+    pub stored_size: u64,
+    /// Uncompressed size.
+    pub original_size: u64,
+}
+
+/// A parsed archive listing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Archive {
+    /// Members in stored order.
+    pub members: Vec<Member>,
+}
+
+impl Archive {
+    /// Total stored bytes.
+    pub fn stored_bytes(&self) -> u64 {
+        self.members.iter().map(|m| m.stored_size).sum()
+    }
+
+    /// Total original bytes.
+    pub fn original_bytes(&self) -> u64 {
+        self.members.iter().map(|m| m.original_size).sum()
+    }
+
+    /// Compression ratio (original / stored), `None` when empty.
+    pub fn ratio(&self) -> Option<f64> {
+        let stored = self.stored_bytes();
+        (stored > 0).then(|| self.original_bytes() as f64 / stored as f64)
+    }
+}
+
+fn fail(reason: impl Into<String>) -> XtractError {
+    XtractError::ExtractorFailed {
+        extractor: "xzip-codec".to_string(),
+        path: String::new(),
+        reason: reason.into(),
+    }
+}
+
+/// Encodes an archive listing.
+pub fn encode(archive: &Archive) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(b"XZIP");
+    buf.put_u32_le(archive.members.len() as u32);
+    for m in &archive.members {
+        buf.put_u16_le(m.name.len() as u16);
+        buf.put_slice(m.name.as_bytes());
+        buf.put_u64_le(m.stored_size);
+        buf.put_u64_le(m.original_size);
+    }
+    buf.freeze()
+}
+
+/// Parses an archive listing.
+pub fn parse(bytes: &[u8]) -> Result<Archive, XtractError> {
+    let mut cur = bytes;
+    if cur.len() < 8 || &cur[..4] != b"XZIP" {
+        return Err(fail("missing XZIP magic"));
+    }
+    cur.advance(4);
+    let count = cur.get_u32_le() as usize;
+    if count > 1_000_000 {
+        return Err(fail("implausible member count"));
+    }
+    let mut members = Vec::with_capacity(count.min(4096));
+    for i in 0..count {
+        if cur.len() < 2 {
+            return Err(fail(format!("truncated at member {i}")));
+        }
+        let name_len = cur.get_u16_le() as usize;
+        if cur.len() < name_len + 16 {
+            return Err(fail(format!("truncated name/sizes at member {i}")));
+        }
+        let name = std::str::from_utf8(&cur[..name_len])
+            .map_err(|_| fail(format!("member {i} name is not UTF-8")))?
+            .to_string();
+        cur.advance(name_len);
+        let stored_size = cur.get_u64_le();
+        let original_size = cur.get_u64_le();
+        members.push(Member {
+            name,
+            stored_size,
+            original_size,
+        });
+    }
+    if !cur.is_empty() {
+        return Err(fail("trailing bytes after member table"));
+    }
+    Ok(Archive { members })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Archive {
+        Archive {
+            members: vec![
+                Member {
+                    name: "data/run1.csv".into(),
+                    stored_size: 1200,
+                    original_size: 4800,
+                },
+                Member {
+                    name: "README".into(),
+                    stored_size: 300,
+                    original_size: 640,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = sample();
+        let bytes = encode(&a);
+        assert_eq!(&bytes[..4], b"XZIP");
+        assert_eq!(parse(&bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn aggregates() {
+        let a = sample();
+        assert_eq!(a.stored_bytes(), 1500);
+        assert_eq!(a.original_bytes(), 5440);
+        let ratio = a.ratio().unwrap();
+        assert!((ratio - 5440.0 / 1500.0).abs() < 1e-12);
+        assert_eq!(Archive::default().ratio(), None);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(parse(b"PK..").is_err());
+        assert!(parse(b"XZIP").is_err());
+        let mut bytes = encode(&sample()).to_vec();
+        bytes.truncate(bytes.len() - 3);
+        assert!(parse(&bytes).is_err());
+        bytes.extend_from_slice(&[0; 40]); // wrong length now
+        assert!(parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_archive_is_legal() {
+        let empty = Archive::default();
+        assert_eq!(parse(&encode(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn implausible_count_rejected_before_allocation() {
+        let mut bytes = Vec::from(&b"XZIP"[..]);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(parse(&bytes).is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! `XHDF`: a hierarchical self-describing container (NetCDF/HDF stand-in)
+//! for the hierarchical extractor (§4.2: "hierarchical for NetCDF and HDF
+//! files").
+//!
+//! Layout: a `XHDF` magic line followed by one record per line:
+//!
+//! ```text
+//! XHDF
+//! group /climate
+//! attr /climate institution "CDIAC"
+//! dataset /climate/temp shape=360x180x12 dtype=f32
+//! attr /climate/temp units "K"
+//! ```
+//!
+//! Groups nest by path; datasets declare a shape (element counts per
+//! dimension) and dtype. The parser validates that every object's parent
+//! group exists — real HDF5 files are similarly self-consistent, and a
+//! violated invariant is how the extractor detects corruption.
+
+use std::collections::{BTreeMap, BTreeSet};
+use xtract_types::XtractError;
+
+/// A dataset's declared element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dtype {
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+    /// 32-bit signed int.
+    I32,
+    /// 64-bit signed int.
+    I64,
+    /// Variable-length string.
+    Str,
+}
+
+impl Dtype {
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "f32" => Dtype::F32,
+            "f64" => Dtype::F64,
+            "i32" => Dtype::I32,
+            "i64" => Dtype::I64,
+            "str" => Dtype::Str,
+            _ => return None,
+        })
+    }
+
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+            Dtype::I32 => "i32",
+            Dtype::I64 => "i64",
+            Dtype::Str => "str",
+        }
+    }
+
+    /// Bytes per element (8 for variable-length strings, by convention).
+    pub fn element_bytes(self) -> u64 {
+        match self {
+            Dtype::F32 | Dtype::I32 => 4,
+            Dtype::F64 | Dtype::I64 | Dtype::Str => 8,
+        }
+    }
+}
+
+/// One dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Full path.
+    pub path: String,
+    /// Dimension sizes.
+    pub shape: Vec<u64>,
+    /// Element type.
+    pub dtype: Dtype,
+}
+
+impl Dataset {
+    /// Total element count.
+    pub fn elements(&self) -> u64 {
+        self.shape.iter().product()
+    }
+
+    /// Nominal payload bytes.
+    pub fn nbytes(&self) -> u64 {
+        self.elements() * self.dtype.element_bytes()
+    }
+}
+
+/// A parsed container.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Container {
+    /// All group paths (sorted).
+    pub groups: BTreeSet<String>,
+    /// All datasets by path.
+    pub datasets: BTreeMap<String, Dataset>,
+    /// Attributes: object path → (name → value).
+    pub attrs: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+impl Container {
+    /// Maximum nesting depth across objects.
+    pub fn max_depth(&self) -> usize {
+        self.groups
+            .iter()
+            .chain(self.datasets.keys())
+            .map(|p| p.matches('/').count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total nominal payload bytes across datasets.
+    pub fn total_bytes(&self) -> u64 {
+        self.datasets.values().map(Dataset::nbytes).sum()
+    }
+}
+
+fn fail(reason: impl Into<String>) -> XtractError {
+    XtractError::ExtractorFailed {
+        extractor: "xhdf-codec".to_string(),
+        path: String::new(),
+        reason: reason.into(),
+    }
+}
+
+fn parent(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) => "/",
+        Some(i) => &path[..i],
+        None => "/",
+    }
+}
+
+/// Parses an XHDF container, validating structural invariants.
+pub fn parse(text: &str) -> Result<Container, XtractError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("XHDF") {
+        return Err(fail("missing XHDF magic"));
+    }
+    let mut c = Container::default();
+    c.groups.insert("/".to_string());
+    for (lineno, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, ' ');
+        let kind = parts.next().expect("split yields at least one");
+        let rest = parts.next().unwrap_or("");
+        match kind {
+            "group" => {
+                let path = rest.trim();
+                if !path.starts_with('/') {
+                    return Err(fail(format!("line {lineno}: group path must be absolute")));
+                }
+                if !c.groups.contains(parent(path)) {
+                    return Err(fail(format!("line {lineno}: orphan group {path}")));
+                }
+                c.groups.insert(path.to_string());
+            }
+            "dataset" => {
+                let mut fields = rest.split_whitespace();
+                let path = fields.next().ok_or_else(|| fail("dataset missing path"))?;
+                if !c.groups.contains(parent(path)) {
+                    return Err(fail(format!("line {lineno}: orphan dataset {path}")));
+                }
+                let mut shape: Option<Vec<u64>> = None;
+                let mut dtype: Option<Dtype> = None;
+                for f in fields {
+                    if let Some(s) = f.strip_prefix("shape=") {
+                        let dims: Result<Vec<u64>, _> =
+                            s.split('x').map(str::parse::<u64>).collect();
+                        shape = Some(dims.map_err(|_| {
+                            fail(format!("line {lineno}: bad shape {s:?}"))
+                        })?);
+                    } else if let Some(d) = f.strip_prefix("dtype=") {
+                        dtype = Some(
+                            Dtype::parse(d)
+                                .ok_or_else(|| fail(format!("line {lineno}: bad dtype {d:?}")))?,
+                        );
+                    }
+                }
+                let ds = Dataset {
+                    path: path.to_string(),
+                    shape: shape.ok_or_else(|| fail(format!("line {lineno}: missing shape")))?,
+                    dtype: dtype.ok_or_else(|| fail(format!("line {lineno}: missing dtype")))?,
+                };
+                c.datasets.insert(path.to_string(), ds);
+            }
+            "attr" => {
+                let mut fields = rest.splitn(3, ' ');
+                let path = fields.next().ok_or_else(|| fail("attr missing path"))?;
+                let name = fields.next().ok_or_else(|| fail("attr missing name"))?;
+                let value = fields.next().unwrap_or("").trim_matches('"').to_string();
+                if !c.groups.contains(path) && !c.datasets.contains_key(path) {
+                    return Err(fail(format!("line {lineno}: attr on unknown object {path}")));
+                }
+                c.attrs
+                    .entry(path.to_string())
+                    .or_default()
+                    .insert(name.to_string(), value);
+            }
+            other => return Err(fail(format!("line {lineno}: unknown record {other:?}"))),
+        }
+    }
+    Ok(c)
+}
+
+/// Encodes a container back to text (for generators).
+pub fn encode(c: &Container) -> String {
+    let mut out = String::from("XHDF\n");
+    for g in &c.groups {
+        if g != "/" {
+            out.push_str(&format!("group {g}\n"));
+        }
+    }
+    for ds in c.datasets.values() {
+        let shape = ds
+            .shape
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join("x");
+        out.push_str(&format!(
+            "dataset {} shape={} dtype={}\n",
+            ds.path,
+            shape,
+            ds.dtype.name()
+        ));
+    }
+    for (path, attrs) in &c.attrs {
+        for (name, value) in attrs {
+            out.push_str(&format!("attr {path} {name} \"{value}\"\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "XHDF\n\
+        group /climate\n\
+        attr /climate institution \"CDIAC\"\n\
+        dataset /climate/temp shape=360x180x12 dtype=f32\n\
+        attr /climate/temp units \"K\"\n\
+        group /climate/monthly\n\
+        dataset /climate/monthly/precip shape=100 dtype=f64\n";
+
+    #[test]
+    fn parses_sample() {
+        let c = parse(SAMPLE).unwrap();
+        assert_eq!(c.groups.len(), 3); // /, /climate, /climate/monthly
+        assert_eq!(c.datasets.len(), 2);
+        let temp = &c.datasets["/climate/temp"];
+        assert_eq!(temp.shape, vec![360, 180, 12]);
+        assert_eq!(temp.elements(), 360 * 180 * 12);
+        assert_eq!(temp.nbytes(), 360 * 180 * 12 * 4);
+        assert_eq!(c.attrs["/climate/temp"]["units"], "K");
+        assert_eq!(c.max_depth(), 3);
+    }
+
+    #[test]
+    fn orphans_are_rejected() {
+        assert!(parse("XHDF\ndataset /missing/ds shape=1 dtype=f32\n").is_err());
+        assert!(parse("XHDF\ngroup /a/b\n").is_err());
+        assert!(parse("XHDF\nattr /nope k \"v\"\n").is_err());
+    }
+
+    #[test]
+    fn bad_records_are_rejected() {
+        assert!(parse("not hdf").is_err());
+        assert!(parse("XHDF\nwhatever /x\n").is_err());
+        assert!(parse("XHDF\ndataset /d shape=axb dtype=f32\n").is_err());
+        assert!(parse("XHDF\ndataset /d shape=3 dtype=q8\n").is_err());
+        assert!(parse("XHDF\ndataset /d dtype=f32\n").is_err());
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let c = parse(SAMPLE).unwrap();
+        let c2 = parse(&encode(&c)).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn total_bytes_sums_datasets() {
+        let c = parse(SAMPLE).unwrap();
+        assert_eq!(c.total_bytes(), 360 * 180 * 12 * 4 + 100 * 8);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let c = parse("XHDF\n# comment\n\ngroup /g\n").unwrap();
+        assert!(c.groups.contains("/g"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Materials-science formats for the MaterialsIO extractor set (§4.2):
+//! VASP-style atomistic simulation files (INCAR / POSCAR / OUTCAR) and
+//! CIF crystal structures.
+//!
+//! "Since many file types generally used in materials science are
+//! processed in groups (e.g., VASP files generated from atomistic
+//! simulations), we have written a grouping function that executes at
+//! crawl-time and matches groups of files to a MaterialsIO extractor."
+//!
+//! These parsers cover exactly the fields the extractor reports: run
+//! parameters from INCAR, composition and lattice from POSCAR, convergence
+//! and final energy from OUTCAR, cell parameters from CIF.
+
+use std::collections::BTreeMap;
+use xtract_types::XtractError;
+
+fn fail(which: &str, reason: impl Into<String>) -> XtractError {
+    XtractError::ExtractorFailed {
+        extractor: format!("matio-{which}"),
+        path: String::new(),
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// INCAR
+// ---------------------------------------------------------------------------
+
+/// Parsed INCAR: `KEY = value` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Incar {
+    /// Raw parameters.
+    pub params: BTreeMap<String, String>,
+}
+
+impl Incar {
+    /// Plane-wave cutoff, if present.
+    pub fn encut(&self) -> Option<f64> {
+        self.params.get("ENCUT").and_then(|v| v.parse().ok())
+    }
+}
+
+/// Parses an INCAR file.
+pub fn parse_incar(text: &str) -> Result<Incar, XtractError> {
+    let mut params = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(fail("incar", format!("not a KEY = value line: {line:?}")));
+        };
+        params.insert(k.trim().to_uppercase(), v.trim().to_string());
+    }
+    if params.is_empty() {
+        return Err(fail("incar", "no parameters"));
+    }
+    Ok(Incar { params })
+}
+
+// ---------------------------------------------------------------------------
+// POSCAR
+// ---------------------------------------------------------------------------
+
+/// Parsed POSCAR: comment, scaled lattice, species and counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Poscar {
+    /// First comment line (often the system name).
+    pub comment: String,
+    /// 3×3 lattice vectors (already scaled).
+    pub lattice: [[f64; 3]; 3],
+    /// Species symbols.
+    pub species: Vec<String>,
+    /// Atom counts per species.
+    pub counts: Vec<u32>,
+}
+
+impl Poscar {
+    /// Total atoms.
+    pub fn total_atoms(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Reduced chemical formula string, e.g. "Si8 O16".
+    pub fn formula(&self) -> String {
+        self.species
+            .iter()
+            .zip(&self.counts)
+            .map(|(s, c)| format!("{s}{c}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Cell volume from the scalar triple product.
+    pub fn volume(&self) -> f64 {
+        let [a, b, c] = self.lattice;
+        let cross = [
+            b[1] * c[2] - b[2] * c[1],
+            b[2] * c[0] - b[0] * c[2],
+            b[0] * c[1] - b[1] * c[0],
+        ];
+        (a[0] * cross[0] + a[1] * cross[1] + a[2] * cross[2]).abs()
+    }
+}
+
+/// Parses a POSCAR file.
+pub fn parse_poscar(text: &str) -> Result<Poscar, XtractError> {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() < 8 {
+        return Err(fail("poscar", "too few lines"));
+    }
+    let comment = lines[0].trim().to_string();
+    let scale: f64 = lines[1]
+        .trim()
+        .parse()
+        .map_err(|_| fail("poscar", "bad scale factor"))?;
+    let mut lattice = [[0.0; 3]; 3];
+    for (i, row) in lattice.iter_mut().enumerate() {
+        let vals: Vec<f64> = lines[2 + i]
+            .split_whitespace()
+            .map(|t| t.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| fail("poscar", format!("bad lattice row {i}")))?;
+        if vals.len() != 3 {
+            return Err(fail("poscar", format!("lattice row {i} needs 3 values")));
+        }
+        for (j, v) in vals.into_iter().enumerate() {
+            row[j] = v * scale;
+        }
+    }
+    let species: Vec<String> = lines[5].split_whitespace().map(str::to_string).collect();
+    let counts: Vec<u32> = lines[6]
+        .split_whitespace()
+        .map(|t| t.parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| fail("poscar", "bad species counts"))?;
+    if species.is_empty() || species.len() != counts.len() {
+        return Err(fail("poscar", "species/count mismatch"));
+    }
+    Ok(Poscar {
+        comment,
+        lattice,
+        species,
+        counts,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// OUTCAR
+// ---------------------------------------------------------------------------
+
+/// Parsed OUTCAR summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcar {
+    /// Electronic-step energies, in order.
+    pub energies: Vec<f64>,
+    /// Whether the run reached the required accuracy.
+    pub converged: bool,
+}
+
+impl Outcar {
+    /// Final free energy, if any steps were recorded.
+    pub fn final_energy(&self) -> Option<f64> {
+        self.energies.last().copied()
+    }
+}
+
+/// Parses an OUTCAR file: lines of the form
+/// `free energy TOTEN = -123.456 eV`, and the convergence marker
+/// `reached required accuracy`.
+pub fn parse_outcar(text: &str) -> Result<Outcar, XtractError> {
+    let mut energies = Vec::new();
+    let mut converged = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("free energy TOTEN =") {
+            let v: f64 = rest
+                .trim()
+                .trim_end_matches("eV")
+                .trim()
+                .parse()
+                .map_err(|_| fail("outcar", format!("bad energy line {line:?}")))?;
+            energies.push(v);
+        } else if line.contains("reached required accuracy") {
+            converged = true;
+        }
+    }
+    if energies.is_empty() {
+        return Err(fail("outcar", "no TOTEN lines"));
+    }
+    Ok(Outcar {
+        energies,
+        converged,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CIF
+// ---------------------------------------------------------------------------
+
+/// Parsed CIF cell summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cif {
+    /// `data_` block name.
+    pub name: String,
+    /// a, b, c cell lengths (Å).
+    pub cell_lengths: [f64; 3],
+    /// Chemical formula if declared.
+    pub formula: Option<String>,
+}
+
+/// Parses a (minimal) CIF file.
+pub fn parse_cif(text: &str) -> Result<Cif, XtractError> {
+    let mut name = None;
+    let mut lengths = [None::<f64>; 3];
+    let mut formula = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(n) = line.strip_prefix("data_") {
+            name = Some(n.to_string());
+        } else if let Some((key, value)) = line.split_once(char::is_whitespace) {
+            let value = value.trim().trim_matches('\'').trim_matches('"');
+            match key {
+                "_cell_length_a" => lengths[0] = value.parse().ok(),
+                "_cell_length_b" => lengths[1] = value.parse().ok(),
+                "_cell_length_c" => lengths[2] = value.parse().ok(),
+                "_chemical_formula_sum" => formula = Some(value.to_string()),
+                _ => {}
+            }
+        }
+    }
+    let name = name.ok_or_else(|| fail("cif", "missing data_ block"))?;
+    let cell_lengths = match lengths {
+        [Some(a), Some(b), Some(c)] => [a, b, c],
+        _ => return Err(fail("cif", "incomplete cell lengths")),
+    };
+    Ok(Cif {
+        name,
+        cell_lengths,
+        formula,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INCAR: &str = "ENCUT = 520\nISMEAR = 0 # gaussian smearing\nSIGMA = 0.05\n";
+    const POSCAR: &str = "cubic Si\n1.0\n5.43 0.0 0.0\n0.0 5.43 0.0\n0.0 0.0 5.43\nSi O\n8 16\nDirect\n0.0 0.0 0.0\n";
+    const OUTCAR: &str = "iteration 1\nfree energy TOTEN = -100.5 eV\niteration 2\nfree energy TOTEN = -102.25 eV\nreached required accuracy\n";
+    const CIF: &str = "data_quartz\n_cell_length_a 4.913\n_cell_length_b 4.913\n_cell_length_c 5.405\n_chemical_formula_sum 'Si O2'\n";
+
+    #[test]
+    fn incar_parses_params_and_strips_comments() {
+        let i = parse_incar(INCAR).unwrap();
+        assert_eq!(i.encut(), Some(520.0));
+        assert_eq!(i.params["ISMEAR"], "0");
+        assert_eq!(i.params.len(), 3);
+    }
+
+    #[test]
+    fn incar_rejects_prose() {
+        assert!(parse_incar("this is not an incar\n").is_err());
+        assert!(parse_incar("").is_err());
+    }
+
+    #[test]
+    fn poscar_parses_lattice_and_formula() {
+        let p = parse_poscar(POSCAR).unwrap();
+        assert_eq!(p.comment, "cubic Si");
+        assert_eq!(p.total_atoms(), 24);
+        assert_eq!(p.formula(), "Si8 O16");
+        assert!((p.volume() - 5.43f64.powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poscar_scale_multiplies_lattice() {
+        let scaled = POSCAR.replacen("1.0", "2.0", 1);
+        let p = parse_poscar(&scaled).unwrap();
+        assert!((p.lattice[0][0] - 10.86).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poscar_rejects_mismatched_species() {
+        let bad = POSCAR.replace("8 16", "8");
+        assert!(parse_poscar(&bad).is_err());
+        assert!(parse_poscar("short\n").is_err());
+    }
+
+    #[test]
+    fn outcar_tracks_convergence() {
+        let o = parse_outcar(OUTCAR).unwrap();
+        assert_eq!(o.energies.len(), 2);
+        assert_eq!(o.final_energy(), Some(-102.25));
+        assert!(o.converged);
+    }
+
+    #[test]
+    fn outcar_without_convergence_marker() {
+        let o = parse_outcar("free energy TOTEN = -1.0 eV\n").unwrap();
+        assert!(!o.converged);
+        assert!(parse_outcar("nothing here").is_err());
+    }
+
+    #[test]
+    fn cif_parses_cell() {
+        let c = parse_cif(CIF).unwrap();
+        assert_eq!(c.name, "quartz");
+        assert_eq!(c.cell_lengths, [4.913, 4.913, 5.405]);
+        assert_eq!(c.formula.as_deref(), Some("Si O2"));
+    }
+
+    #[test]
+    fn cif_requires_complete_cell() {
+        assert!(parse_cif("data_x\n_cell_length_a 1.0\n").is_err());
+        assert!(parse_cif("_cell_length_a 1.0\n").is_err());
+    }
+}

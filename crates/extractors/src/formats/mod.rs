@@ -1,0 +1,26 @@
+//! Synthetic scientific file formats.
+//!
+//! The paper's corpora hold TIFF micrographs, HDF5 containers, VASP runs,
+//! zip archives, spreadsheets, and so on — formats whose *parsers* are the
+//! substance of the extractor library. We define compact, fully-specified
+//! stand-ins with the same structural properties (magic numbers, headers,
+//! hierarchies, per-entry records) so extractors do real parsing work and
+//! can really fail on corrupt input:
+//!
+//! * [`image`] — `XIMG`, a raw RGB raster with generators for the five
+//!   image classes of the ImageSort classifier (§4.2);
+//! * [`table`] — CSV reading with header detection and column statistics;
+//! * [`hdf`] — `XHDF`, a hierarchical group/dataset container (NetCDF/HDF
+//!   stand-in);
+//! * [`materials`] — VASP-style INCAR/POSCAR/OUTCAR files and CIF crystal
+//!   structures for the MaterialsIO extractor set;
+//! * [`archive`] — `XZIP`, a member-table archive format.
+//!
+//! Every codec round-trips (`encode` then `parse`) and rejects malformed
+//! input with a descriptive error — both property-tested.
+
+pub mod archive;
+pub mod hdf;
+pub mod image;
+pub mod materials;
+pub mod table;

@@ -1,0 +1,179 @@
+//! The entity extractor (§4.2): "BERT to extract key entities from text."
+//!
+//! Substitution: a gazetteer + capitalization tagger. It recognizes three
+//! entity classes the scientific corpora care about — locations, chemical
+//! elements, and organizations — plus capitalized multi-word spans as
+//! generic named entities. Same output shape as a transformer NER head
+//! (typed spans), none of the weights.
+
+use crate::extractor::{ExtractOutput, Extractor, FileSource};
+use serde_json::json;
+use std::collections::BTreeSet;
+use xtract_types::{ExtractorKind, Family, FileType, Metadata, Result};
+
+const LOCATIONS: &[&str] = &[
+    "antarctica", "argonne", "arctic", "atlantic", "australia", "brazil", "california",
+    "chicago", "china", "europe", "germany", "greenland", "hawaii", "india", "japan",
+    "minnesota", "pacific", "siberia", "texas", "tibet", "virginia",
+];
+
+const ORGANIZATIONS: &[&str] = &[
+    "anl", "cdiac", "cern", "doe", "epa", "mdf", "nasa", "ncsa", "nist", "noaa", "nsf",
+    "ornl", "uchicago", "usgs",
+];
+
+const ELEMENTS: &[&str] = &[
+    "hydrogen", "helium", "lithium", "carbon", "nitrogen", "oxygen", "silicon", "iron",
+    "nickel", "copper", "gallium", "arsenic", "cadmium", "tellurium", "lead", "uranium",
+    "titanium", "perovskite", // honorary member: ubiquitous in MDF
+];
+
+/// Gazetteer entity tagger.
+#[derive(Debug, Clone, Default)]
+pub struct BertExtractor {
+    /// Maximum generic named-entity spans to keep per document.
+    pub max_spans: usize,
+}
+
+impl BertExtractor {
+    fn max_spans(&self) -> usize {
+        if self.max_spans == 0 {
+            12
+        } else {
+            self.max_spans
+        }
+    }
+}
+
+/// Capitalized multi-word spans ("Materials Data Facility") that do not
+/// start a sentence.
+fn capitalized_spans(text: &str, limit: usize) -> Vec<String> {
+    let mut spans = BTreeSet::new();
+    for line in text.lines() {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let mut i = 1; // skip sentence-initial word
+        while i < words.len() {
+            let is_cap = |w: &str| {
+                w.chars().next().is_some_and(char::is_uppercase)
+                    && w.chars().skip(1).any(char::is_lowercase)
+            };
+            if is_cap(words[i]) {
+                let mut j = i;
+                while j + 1 < words.len() && is_cap(words[j + 1]) {
+                    j += 1;
+                }
+                if j > i {
+                    let span: String = words[i..=j]
+                        .iter()
+                        .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    spans.insert(span);
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        if spans.len() >= limit {
+            break;
+        }
+    }
+    spans.into_iter().take(limit).collect()
+}
+
+impl Extractor for BertExtractor {
+    fn kind(&self) -> ExtractorKind {
+        ExtractorKind::Bert
+    }
+
+    fn accepts(&self, t: FileType) -> bool {
+        matches!(t, FileType::FreeText | FileType::Presentation)
+    }
+
+    fn extract(&self, family: &Family, source: &dyn FileSource) -> Result<ExtractOutput> {
+        let mut out = ExtractOutput::default();
+        for file in family.files.iter().filter(|f| self.accepts(f.hint)) {
+            let bytes = source.read(file)?;
+            let mut md = Metadata::new();
+            let Ok(text) = std::str::from_utf8(&bytes) else {
+                md.insert("error", "not UTF-8");
+                out.per_file.push((file.path.clone(), md));
+                continue;
+            };
+            let lower = text.to_lowercase();
+            let hit = |gazetteer: &[&str]| -> Vec<String> {
+                gazetteer
+                    .iter()
+                    .filter(|term| {
+                        lower
+                            .split(|c: char| !c.is_alphanumeric())
+                            .any(|w| w == **term)
+                    })
+                    .map(|s| s.to_string())
+                    .collect()
+            };
+            md.insert("locations", json!(hit(LOCATIONS)));
+            md.insert("organizations", json!(hit(ORGANIZATIONS)));
+            md.insert("elements", json!(hit(ELEMENTS)));
+            md.insert("named_spans", json!(capitalized_spans(text, self.max_spans())));
+            out.per_file.push((file.path.clone(), md));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::MapSource;
+    use xtract_types::{EndpointId, FamilyId, FileRecord, Group, GroupId};
+
+    fn family(path: &str) -> Family {
+        let f = FileRecord::new(path, 0, EndpointId::new(0), FileType::FreeText);
+        let g = Group::new(GroupId::new(0), vec![f.path.clone()]);
+        Family::new(FamilyId::new(0), vec![f], vec![g], EndpointId::new(0))
+    }
+
+    #[test]
+    fn gazetteer_entities_are_found() {
+        let text = "Emissions data from CDIAC cover Siberia and the Pacific. \
+                    Samples contained carbon and uranium traces, says NOAA.";
+        let mut src = MapSource::new();
+        src.insert("/doc.txt", text.as_bytes().to_vec());
+        let out = BertExtractor::default().extract(&family("/doc.txt"), &src).unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("locations").unwrap(), &json!(["pacific", "siberia"]));
+        assert_eq!(md.get("organizations").unwrap(), &json!(["cdiac", "noaa"]));
+        assert_eq!(md.get("elements").unwrap(), &json!(["carbon", "uranium"]));
+    }
+
+    #[test]
+    fn capitalized_spans_are_tagged() {
+        let text = "We deposited data in the Materials Data Facility yesterday.";
+        let mut src = MapSource::new();
+        src.insert("/d.txt", text.as_bytes().to_vec());
+        let out = BertExtractor::default().extract(&family("/d.txt"), &src).unwrap();
+        let spans = out.per_file[0].1.get("named_spans").unwrap().as_array().unwrap();
+        assert!(spans.iter().any(|s| s == "Materials Data Facility"), "{spans:?}");
+    }
+
+    #[test]
+    fn substring_matches_do_not_count() {
+        // "carbonate" must not match the element "carbon".
+        let mut src = MapSource::new();
+        src.insert("/d.txt", b"carbonate minerals only".to_vec());
+        let out = BertExtractor::default().extract(&family("/d.txt"), &src).unwrap();
+        assert_eq!(out.per_file[0].1.get("elements").unwrap(), &json!([]));
+    }
+
+    #[test]
+    fn span_limit_is_enforced() {
+        let text = "x Alpha Beta y Gamma Delta z Epsilon Zeta w Eta Theta";
+        let mut src = MapSource::new();
+        src.insert("/d.txt", text.as_bytes().to_vec());
+        let out = BertExtractor { max_spans: 2 }.extract(&family("/d.txt"), &src).unwrap();
+        let spans = out.per_file[0].1.get("named_spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! The C source extractor (§4.2): includes, function definitions, and
+//! comment volume.
+
+use crate::extractor::{ExtractOutput, Extractor, FileSource};
+use serde_json::json;
+use xtract_types::{ExtractorKind, Family, FileType, Metadata, Result};
+
+/// Function/include/comment census over C sources.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CCodeExtractor;
+
+/// Heuristic: a top-level function definition line looks like
+/// `type name(args) {` or `type name(args)` followed by `{`.
+fn function_name(line: &str) -> Option<String> {
+    let line = line.trim();
+    if line.starts_with('#') || line.starts_with("//") || line.starts_with('*') || line.starts_with('{')
+    {
+        return None;
+    }
+    let open = line.find('(')?;
+    let before = line[..open].trim_end();
+    let name = before.rsplit(|c: char| c.is_whitespace() || c == '*').next()?;
+    if name.is_empty() || !name.chars().next()?.is_ascii_alphabetic() && !name.starts_with('_') {
+        return None;
+    }
+    // Must look like a definition: `{` later on the line or a bare `)` end
+    // (K&R style picks up the `{` next line; we only accept same-line
+    // braces to avoid counting prototypes).
+    let after = &line[open..];
+    if after.contains(';') {
+        return None; // prototype or call statement
+    }
+    if !line.ends_with('{') && !after.ends_with(')') {
+        return None;
+    }
+    // Needs a return type before the name.
+    if before.len() == name.len() {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+impl Extractor for CCodeExtractor {
+    fn kind(&self) -> ExtractorKind {
+        ExtractorKind::CCode
+    }
+
+    fn accepts(&self, t: FileType) -> bool {
+        t == FileType::CSource
+    }
+
+    fn extract(&self, family: &Family, source: &dyn FileSource) -> Result<ExtractOutput> {
+        let mut out = ExtractOutput::default();
+        for file in family.files.iter().filter(|f| self.accepts(f.hint)) {
+            let bytes = source.read(file)?;
+            let mut md = Metadata::new();
+            let Ok(text) = std::str::from_utf8(&bytes) else {
+                md.insert("error", "not UTF-8");
+                out.per_file.push((file.path.clone(), md));
+                continue;
+            };
+            let mut includes = Vec::new();
+            let mut functions = Vec::new();
+            let mut comment_lines = 0u64;
+            let mut code_lines = 0u64;
+            let mut in_block_comment = false;
+            for line in text.lines() {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if in_block_comment {
+                    comment_lines += 1;
+                    if trimmed.contains("*/") {
+                        in_block_comment = false;
+                    }
+                    continue;
+                }
+                if trimmed.starts_with("//") {
+                    comment_lines += 1;
+                    continue;
+                }
+                if trimmed.starts_with("/*") {
+                    comment_lines += 1;
+                    if !trimmed.contains("*/") {
+                        in_block_comment = true;
+                    }
+                    continue;
+                }
+                code_lines += 1;
+                if let Some(inc) = trimmed.strip_prefix("#include") {
+                    includes.push(
+                        inc.trim()
+                            .trim_matches(|c| c == '<' || c == '>' || c == '"')
+                            .to_string(),
+                    );
+                } else if let Some(name) = function_name(line) {
+                    functions.push(name);
+                }
+            }
+            md.insert("includes", json!(includes));
+            md.insert("functions", json!(functions));
+            md.insert("comment_lines", comment_lines);
+            md.insert("code_lines", code_lines);
+            out.per_file.push((file.path.clone(), md));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::MapSource;
+    use xtract_types::{EndpointId, FamilyId, FileRecord, Group, GroupId};
+
+    fn family(path: &str) -> Family {
+        let f = FileRecord::new(path, 0, EndpointId::new(0), FileType::CSource);
+        let g = Group::new(GroupId::new(0), vec![f.path.clone()]);
+        Family::new(FamilyId::new(0), vec![f], vec![g], EndpointId::new(0))
+    }
+
+    const SRC: &str = r#"
+#include <stdio.h>
+#include "solver.h"
+
+/* Tridiagonal solver
+   for the heat equation. */
+static double step(double dt) {
+    return dt * 0.5; // halve
+}
+
+int main(int argc, char **argv) {
+    double x = step(0.1);
+    printf("%f\n", x);
+    return 0;
+}
+"#;
+
+    #[test]
+    fn census_is_correct() {
+        let mut src = MapSource::new();
+        src.insert("/heat.c", SRC.as_bytes().to_vec());
+        let out = CCodeExtractor.extract(&family("/heat.c"), &src).unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("includes").unwrap(), &json!(["stdio.h", "solver.h"]));
+        assert_eq!(md.get("functions").unwrap(), &json!(["step", "main"]));
+        assert_eq!(md.get("comment_lines").unwrap(), 2);
+    }
+
+    #[test]
+    fn prototypes_and_calls_are_not_functions() {
+        let text = "int f(void);\nint main(void) {\n    f();\n    return 0;\n}\n";
+        let mut src = MapSource::new();
+        src.insert("/p.c", text.as_bytes().to_vec());
+        let out = CCodeExtractor.extract(&family("/p.c"), &src).unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("functions").unwrap(), &json!(["main"]));
+    }
+}

@@ -1,0 +1,103 @@
+//! The compressed-archive extractor: member census without extraction —
+//! names, sizes, compression ratio, and a type census of member
+//! extensions (useful for planning whether unpacking would pay off).
+
+use crate::extractor::{ExtractOutput, Extractor, FileSource};
+use crate::formats::archive;
+use serde_json::json;
+use std::collections::BTreeMap;
+use xtract_types::{sniff_path, ExtractorKind, Family, FileType, Metadata, Result};
+
+/// Archive listing extractor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompressedExtractor;
+
+impl Extractor for CompressedExtractor {
+    fn kind(&self) -> ExtractorKind {
+        ExtractorKind::Compressed
+    }
+
+    fn accepts(&self, t: FileType) -> bool {
+        t == FileType::Compressed
+    }
+
+    fn extract(&self, family: &Family, source: &dyn FileSource) -> Result<ExtractOutput> {
+        let mut out = ExtractOutput::default();
+        for file in family.files.iter().filter(|f| self.accepts(f.hint)) {
+            let bytes = source.read(file)?;
+            let mut md = Metadata::new();
+            match archive::parse(&bytes) {
+                Ok(a) => {
+                    md.insert("members", a.members.len());
+                    md.insert("stored_bytes", a.stored_bytes());
+                    md.insert("original_bytes", a.original_bytes());
+                    if let Some(r) = a.ratio() {
+                        md.insert("compression_ratio", r);
+                    }
+                    let mut types: BTreeMap<&'static str, u64> = BTreeMap::new();
+                    for m in &a.members {
+                        *types.entry(sniff_path(&m.name).label()).or_insert(0) += 1;
+                    }
+                    md.insert("member_types", json!(types));
+                    let mut by_size: Vec<&archive::Member> = a.members.iter().collect();
+                    by_size.sort_by_key(|m| std::cmp::Reverse(m.original_size));
+                    let largest: Vec<_> = by_size
+                        .into_iter()
+                        .take(5)
+                        .map(|m| json!({"name": m.name, "bytes": m.original_size}))
+                        .collect();
+                    md.insert("largest_members", json!(largest));
+                }
+                Err(e) => {
+                    md.insert("error", e.to_string());
+                }
+            }
+            out.per_file.push((file.path.clone(), md));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::MapSource;
+    use crate::formats::archive::{Archive, Member};
+    use xtract_types::{EndpointId, FamilyId, FileRecord, Group, GroupId};
+
+    fn family(path: &str) -> Family {
+        let f = FileRecord::new(path, 0, EndpointId::new(0), FileType::Compressed);
+        let g = Group::new(GroupId::new(0), vec![f.path.clone()]);
+        Family::new(FamilyId::new(0), vec![f], vec![g], EndpointId::new(0))
+    }
+
+    #[test]
+    fn member_census() {
+        let a = Archive {
+            members: vec![
+                Member { name: "d/x.csv".into(), stored_size: 10, original_size: 100 },
+                Member { name: "d/y.csv".into(), stored_size: 20, original_size: 60 },
+                Member { name: "readme.txt".into(), stored_size: 5, original_size: 8 },
+            ],
+        };
+        let mut src = MapSource::new();
+        src.insert("/pack.xzip", archive::encode(&a).to_vec());
+        let out = CompressedExtractor.extract(&family("/pack.xzip"), &src).unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("members").unwrap(), 3);
+        assert_eq!(md.get("member_types").unwrap()["csv"], 2);
+        assert_eq!(md.get("member_types").unwrap()["text"], 1);
+        let largest = md.get("largest_members").unwrap().as_array().unwrap();
+        assert_eq!(largest[0]["name"], "d/x.csv");
+        let ratio = md.get("compression_ratio").unwrap().as_f64().unwrap();
+        assert!((ratio - 168.0 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_archive_is_recorded() {
+        let mut src = MapSource::new();
+        src.insert("/bad.xzip", b"XZIPxxxx".to_vec());
+        let out = CompressedExtractor.extract(&family("/bad.xzip"), &src).unwrap();
+        assert!(out.per_file[0].1.contains("error"));
+    }
+}

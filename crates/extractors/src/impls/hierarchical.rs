@@ -1,0 +1,109 @@
+//! The hierarchical extractor (§4.2): "hierarchical for NetCDF and HDF
+//! files" — walks the container's group/dataset tree and reports its
+//! structure, dimensions, and attributes.
+
+use crate::extractor::{ExtractOutput, Extractor, FileSource};
+use crate::formats::hdf;
+use serde_json::json;
+use std::collections::BTreeMap;
+use xtract_types::{ExtractorKind, Family, FileType, Metadata, Result};
+
+/// Structure census over XHDF containers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchicalExtractor;
+
+impl Extractor for HierarchicalExtractor {
+    fn kind(&self) -> ExtractorKind {
+        ExtractorKind::Hierarchical
+    }
+
+    fn accepts(&self, t: FileType) -> bool {
+        t == FileType::Hierarchical
+    }
+
+    fn extract(&self, family: &Family, source: &dyn FileSource) -> Result<ExtractOutput> {
+        let mut out = ExtractOutput::default();
+        for file in family.files.iter().filter(|f| self.accepts(f.hint)) {
+            let bytes = source.read(file)?;
+            let mut md = Metadata::new();
+            let parsed = std::str::from_utf8(&bytes)
+                .map_err(|e| e.to_string())
+                .and_then(|t| hdf::parse(t).map_err(|e| e.to_string()));
+            match parsed {
+                Ok(c) => {
+                    md.insert("groups", c.groups.len());
+                    md.insert("datasets", c.datasets.len());
+                    md.insert("max_depth", c.max_depth());
+                    md.insert("payload_bytes", c.total_bytes());
+                    let mut dtypes: BTreeMap<&str, u64> = BTreeMap::new();
+                    for ds in c.datasets.values() {
+                        *dtypes.entry(ds.dtype.name()).or_insert(0) += 1;
+                    }
+                    md.insert("dtypes", json!(dtypes));
+                    md.insert(
+                        "datasets_index",
+                        json!(c
+                            .datasets
+                            .values()
+                            .map(|d| json!({
+                                "path": d.path,
+                                "shape": d.shape,
+                                "dtype": d.dtype.name(),
+                            }))
+                            .collect::<Vec<_>>()),
+                    );
+                    // Root/group attributes often carry the dataset's
+                    // provenance (institution, conventions).
+                    let root_attrs: BTreeMap<&String, &String> = c
+                        .attrs
+                        .iter()
+                        .filter(|(path, _)| c.groups.contains(*path))
+                        .flat_map(|(_, kv)| kv.iter())
+                        .collect();
+                    md.insert("group_attributes", json!(root_attrs));
+                }
+                Err(e) => {
+                    md.insert("error", e);
+                }
+            }
+            out.per_file.push((file.path.clone(), md));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::MapSource;
+    use xtract_types::{EndpointId, FamilyId, FileRecord, Group, GroupId};
+
+    fn family(path: &str) -> Family {
+        let f = FileRecord::new(path, 0, EndpointId::new(0), FileType::Hierarchical);
+        let g = Group::new(GroupId::new(0), vec![f.path.clone()]);
+        Family::new(FamilyId::new(0), vec![f], vec![g], EndpointId::new(0))
+    }
+
+    const SAMPLE: &str = "XHDF\ngroup /obs\nattr /obs institution \"NOAA\"\ndataset /obs/t shape=10x2 dtype=f64\ndataset /obs/q shape=10 dtype=i32\n";
+
+    #[test]
+    fn reports_structure() {
+        let mut src = MapSource::new();
+        src.insert("/c.xhdf", SAMPLE.as_bytes().to_vec());
+        let out = HierarchicalExtractor.extract(&family("/c.xhdf"), &src).unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("groups").unwrap(), 2);
+        assert_eq!(md.get("datasets").unwrap(), 2);
+        assert_eq!(md.get("payload_bytes").unwrap(), 10 * 2 * 8 + 10 * 4);
+        assert_eq!(md.get("dtypes").unwrap()["f64"], 1);
+        assert_eq!(md.get("group_attributes").unwrap()["institution"], "NOAA");
+    }
+
+    #[test]
+    fn corrupt_container_is_recorded() {
+        let mut src = MapSource::new();
+        src.insert("/bad.xhdf", b"XHDF\ndataset /orphan/x shape=1 dtype=f32\n".to_vec());
+        let out = HierarchicalExtractor.extract(&family("/bad.xhdf"), &src).unwrap();
+        assert!(out.per_file[0].1.contains("error"));
+    }
+}

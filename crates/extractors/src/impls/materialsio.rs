@@ -1,0 +1,210 @@
+//! The MaterialsIO extractor set (§4.2): parses VASP-style atomistic
+//! simulation groups (INCAR / POSCAR / OUTCAR), CIF crystal structures,
+//! and electron-microscopy outputs. Group-aware by design: "many file
+//! types generally used in materials science are processed in groups".
+
+use crate::extractor::{ExtractOutput, Extractor, FileSource};
+use crate::formats::materials;
+use serde_json::json;
+use xtract_types::{ExtractorKind, Family, FileType, Metadata, Result};
+
+/// The MaterialsIO parser set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaterialsIoExtractor;
+
+fn file_role(path: &str) -> Option<&'static str> {
+    let name = path.rsplit('/').next().unwrap_or(path).to_ascii_lowercase();
+    let base = name.split('.').next().unwrap_or(&name);
+    Some(match base {
+        "incar" => "incar",
+        "poscar" | "contcar" => "poscar",
+        "outcar" => "outcar",
+        _ if name == "vasprun.xml" => "vasprun",
+        _ if name.ends_with(".cif") => "cif",
+        _ if name.ends_with(".dm3") || name.ends_with(".dm4") || name.ends_with(".emd") => "em",
+        _ => return None,
+    })
+}
+
+impl Extractor for MaterialsIoExtractor {
+    fn kind(&self) -> ExtractorKind {
+        ExtractorKind::MaterialsIo
+    }
+
+    fn accepts(&self, t: FileType) -> bool {
+        t.is_materials()
+    }
+
+    fn extract(&self, family: &Family, source: &dyn FileSource) -> Result<ExtractOutput> {
+        let mut out = ExtractOutput::default();
+        let mut fam = Metadata::new();
+        let mut parsed_roles: Vec<&'static str> = Vec::new();
+        for file in family
+            .files
+            .iter()
+            .filter(|f| self.accepts(f.hint) || file_role(&f.path).is_some())
+        {
+            let Some(role) = file_role(&file.path) else {
+                continue;
+            };
+            let bytes = source.read(file)?;
+            let mut md = Metadata::new();
+            md.insert("role", role);
+            let text = std::str::from_utf8(&bytes).unwrap_or("");
+            match role {
+                "incar" => match materials::parse_incar(text) {
+                    Ok(incar) => {
+                        if let Some(encut) = incar.encut() {
+                            fam.insert("encut", encut);
+                        }
+                        md.insert("parameters", json!(incar.params));
+                    }
+                    Err(e) => md.insert("error", e.to_string()),
+                },
+                "poscar" => match materials::parse_poscar(text) {
+                    Ok(p) => {
+                        fam.insert("formula", p.formula());
+                        fam.insert("total_atoms", p.total_atoms());
+                        fam.insert("cell_volume", p.volume());
+                        md.insert("comment", p.comment);
+                        md.insert("species", json!(p.species));
+                    }
+                    Err(e) => md.insert("error", e.to_string()),
+                },
+                "outcar" => match materials::parse_outcar(text) {
+                    Ok(o) => {
+                        fam.insert("final_energy_ev", o.final_energy());
+                        fam.insert("converged", o.converged);
+                        md.insert("scf_steps", o.energies.len());
+                    }
+                    Err(e) => md.insert("error", e.to_string()),
+                },
+                "vasprun" => {
+                    // Structural sanity only; the OUTCAR carries energies.
+                    md.insert("xml_bytes", bytes.len());
+                }
+                "cif" => match materials::parse_cif(text) {
+                    Ok(c) => {
+                        md.insert("structure", c.name);
+                        md.insert("cell_lengths", json!(c.cell_lengths));
+                        if let Some(f) = c.formula {
+                            fam.insert("formula", f);
+                        }
+                    }
+                    Err(e) => md.insert("error", e.to_string()),
+                },
+                "em" => {
+                    // Electron-microscopy binaries: size-only summary (the
+                    // paper's EM parsers read instrument headers we have no
+                    // analogue for).
+                    md.insert("em_bytes", bytes.len());
+                }
+                _ => unreachable!(),
+            }
+            if !md.contains("error") {
+                parsed_roles.push(role);
+            }
+            out.per_file.push((file.path.clone(), md));
+        }
+        parsed_roles.sort_unstable();
+        parsed_roles.dedup();
+        fam.insert("parsed_roles", json!(parsed_roles));
+        fam.insert(
+            "complete_vasp_run",
+            ["incar", "poscar", "outcar"]
+                .iter()
+                .all(|r| parsed_roles.contains(r)),
+        );
+        out.family_metadata = fam;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::MapSource;
+    use xtract_types::{EndpointId, FamilyId, FileRecord, Group, GroupId};
+
+    fn family(paths: &[&str]) -> Family {
+        let files: Vec<FileRecord> = paths
+            .iter()
+            .map(|p| {
+                FileRecord::new(*p, 0, EndpointId::new(0), xtract_types::sniff_path(p))
+            })
+            .collect();
+        let g = Group::new(GroupId::new(0), files.iter().map(|f| f.path.clone()).collect());
+        Family::new(FamilyId::new(0), files, vec![g], EndpointId::new(0))
+    }
+
+    fn vasp_source() -> MapSource {
+        let mut src = MapSource::new();
+        src.insert("/run/INCAR", b"ENCUT = 520\nISMEAR = 0\n".to_vec());
+        src.insert(
+            "/run/POSCAR",
+            b"si bulk\n1.0\n5.4 0 0\n0 5.4 0\n0 0 5.4\nSi\n8\nDirect\n0 0 0\n".to_vec(),
+        );
+        src.insert(
+            "/run/OUTCAR",
+            b"free energy TOTEN = -43.1 eV\nfree energy TOTEN = -43.9 eV\nreached required accuracy\n".to_vec(),
+        );
+        src
+    }
+
+    #[test]
+    fn complete_vasp_run_is_synthesized() {
+        let src = vasp_source();
+        let fam = family(&["/run/INCAR", "/run/POSCAR", "/run/OUTCAR"]);
+        let out = MaterialsIoExtractor.extract(&fam, &src).unwrap();
+        let md = &out.family_metadata;
+        assert_eq!(md.get("encut").unwrap(), 520.0);
+        assert_eq!(md.get("formula").unwrap(), "Si8");
+        assert_eq!(md.get("final_energy_ev").unwrap(), -43.9);
+        assert_eq!(md.get("converged").unwrap(), true);
+        assert_eq!(md.get("complete_vasp_run").unwrap(), true);
+        assert_eq!(out.per_file.len(), 3);
+    }
+
+    #[test]
+    fn partial_run_is_flagged_incomplete() {
+        let src = vasp_source();
+        let fam = family(&["/run/INCAR", "/run/POSCAR"]);
+        let out = MaterialsIoExtractor.extract(&fam, &src).unwrap();
+        assert_eq!(out.family_metadata.get("complete_vasp_run").unwrap(), false);
+    }
+
+    #[test]
+    fn cif_contributes_formula() {
+        let mut src = MapSource::new();
+        src.insert(
+            "/x/quartz.cif",
+            b"data_quartz\n_cell_length_a 4.9\n_cell_length_b 4.9\n_cell_length_c 5.4\n_chemical_formula_sum 'Si O2'\n".to_vec(),
+        );
+        let fam = family(&["/x/quartz.cif"]);
+        let out = MaterialsIoExtractor.extract(&fam, &src).unwrap();
+        assert_eq!(out.family_metadata.get("formula").unwrap(), "Si O2");
+        assert_eq!(out.per_file[0].1.get("structure").unwrap(), "quartz");
+    }
+
+    #[test]
+    fn corrupt_member_recorded_not_fatal() {
+        let mut src = vasp_source();
+        src.insert("/run/INCAR", b"garbage without equals\n".to_vec());
+        let fam = family(&["/run/INCAR", "/run/OUTCAR"]);
+        let out = MaterialsIoExtractor.extract(&fam, &src).unwrap();
+        assert!(out.per_file[0].1.contains("error"));
+        assert_eq!(out.family_metadata.get("final_energy_ev").unwrap(), -43.9);
+        let roles = out.family_metadata.get("parsed_roles").unwrap();
+        assert_eq!(roles, &json!(["outcar"]));
+    }
+
+    #[test]
+    fn em_files_get_size_summary() {
+        let mut src = MapSource::new();
+        src.insert("/em/scan.dm3", vec![0u8; 2048]);
+        let mut fam = family(&["/em/scan.dm3"]);
+        fam.files[0].hint = FileType::ElectronMicroscopy;
+        let out = MaterialsIoExtractor.extract(&fam, &src).unwrap();
+        assert_eq!(out.per_file[0].1.get("em_bytes").unwrap(), 2048);
+    }
+}

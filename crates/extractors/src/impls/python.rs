@@ -1,0 +1,154 @@
+//! The Python source extractor (§4.2): "Python and C for isolating
+//! comment and function names from programs."
+
+use crate::extractor::{ExtractOutput, Extractor, FileSource};
+use serde_json::json;
+use xtract_types::{ExtractorKind, Family, FileType, Metadata, Result};
+
+/// Function/class/import/comment census over Python sources.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PythonCodeExtractor;
+
+fn ident_after<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.trim_start().strip_prefix(keyword)?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+impl Extractor for PythonCodeExtractor {
+    fn kind(&self) -> ExtractorKind {
+        ExtractorKind::PythonCode
+    }
+
+    fn accepts(&self, t: FileType) -> bool {
+        t == FileType::PythonSource
+    }
+
+    fn extract(&self, family: &Family, source: &dyn FileSource) -> Result<ExtractOutput> {
+        let mut out = ExtractOutput::default();
+        for file in family.files.iter().filter(|f| self.accepts(f.hint)) {
+            let bytes = source.read(file)?;
+            let mut md = Metadata::new();
+            let Ok(text) = std::str::from_utf8(&bytes) else {
+                md.insert("error", "not UTF-8");
+                out.per_file.push((file.path.clone(), md));
+                continue;
+            };
+            let mut functions = Vec::new();
+            let mut classes = Vec::new();
+            let mut imports = Vec::new();
+            let mut comment_lines = 0u64;
+            let mut code_lines = 0u64;
+            let mut in_docstring = false;
+            let mut docstrings = 0u64;
+            for line in text.lines() {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                // Triple-quote tracking (coarse: one per line boundary).
+                let quotes = trimmed.matches("\"\"\"").count() + trimmed.matches("'''").count();
+                if quotes > 0 {
+                    if !in_docstring {
+                        docstrings += 1;
+                    }
+                    if quotes % 2 == 1 {
+                        in_docstring = !in_docstring;
+                    }
+                    comment_lines += 1;
+                    continue;
+                }
+                if in_docstring {
+                    comment_lines += 1;
+                    continue;
+                }
+                if trimmed.starts_with('#') {
+                    comment_lines += 1;
+                    continue;
+                }
+                code_lines += 1;
+                if let Some(name) = ident_after(line, "def ") {
+                    functions.push(name.to_string());
+                } else if let Some(name) = ident_after(line, "class ") {
+                    classes.push(name.to_string());
+                } else if let Some(name) = ident_after(line, "import ") {
+                    imports.push(name.to_string());
+                } else if let Some(name) = ident_after(line, "from ") {
+                    imports.push(name.to_string());
+                }
+            }
+            md.insert("functions", json!(functions));
+            md.insert("classes", json!(classes));
+            md.insert("imports", json!(imports));
+            md.insert("comment_lines", comment_lines);
+            md.insert("code_lines", code_lines);
+            md.insert("docstrings", docstrings);
+            out.per_file.push((file.path.clone(), md));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::MapSource;
+    use xtract_types::{EndpointId, FamilyId, FileRecord, Group, GroupId};
+
+    fn family(path: &str) -> Family {
+        let f = FileRecord::new(path, 0, EndpointId::new(0), FileType::PythonSource);
+        let g = Group::new(GroupId::new(0), vec![f.path.clone()]);
+        Family::new(FamilyId::new(0), vec![f], vec![g], EndpointId::new(0))
+    }
+
+    const SRC: &str = r#"
+import numpy
+from scipy import optimize
+
+# fit the decay curve
+def fit_decay(xs, ys):
+    """Least-squares fit."""
+    return optimize.curve_fit(model, xs, ys)
+
+class DecayModel:
+    def rate(self):
+        return self.k
+"#;
+
+    #[test]
+    fn census_is_correct() {
+        let mut src = MapSource::new();
+        src.insert("/fit.py", SRC.as_bytes().to_vec());
+        let out = PythonCodeExtractor.extract(&family("/fit.py"), &src).unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("functions").unwrap(), &json!(["fit_decay", "rate"]));
+        assert_eq!(md.get("classes").unwrap(), &json!(["DecayModel"]));
+        assert_eq!(md.get("imports").unwrap(), &json!(["numpy", "scipy"]));
+        assert_eq!(md.get("comment_lines").unwrap(), 2); // '#' + docstring
+        assert_eq!(md.get("docstrings").unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_file_yields_empty_census() {
+        let mut src = MapSource::new();
+        src.insert("/e.py", Vec::new());
+        let out = PythonCodeExtractor.extract(&family("/e.py"), &src).unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("functions").unwrap(), &json!([]));
+        assert_eq!(md.get("code_lines").unwrap(), 0);
+    }
+
+    #[test]
+    fn multiline_docstrings_count_as_comments() {
+        let text = "def f():\n    \"\"\"\n    long docstring\n    \"\"\"\n    return 1\n";
+        let mut src = MapSource::new();
+        src.insert("/d.py", text.as_bytes().to_vec());
+        let out = PythonCodeExtractor.extract(&family("/d.py"), &src).unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("comment_lines").unwrap(), 3);
+        assert_eq!(md.get("docstrings").unwrap(), 1);
+    }
+}

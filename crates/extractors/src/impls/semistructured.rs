@@ -1,0 +1,292 @@
+//! The semi-structured extractor (§4.2): "semi-structured for data in
+//! .json and .xml formats" (plus YAML, common in MDF per Fig. 8).
+//!
+//! Reports structural summaries: depth, key/tag census, value-type mix —
+//! enough to make a blob of JSON findable without schema knowledge.
+
+use crate::extractor::{ExtractOutput, Extractor, FileSource};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use xtract_types::{ExtractorKind, Family, FileType, Metadata, Result};
+
+/// Structural summaries of JSON/XML/YAML documents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SemiStructuredExtractor;
+
+fn json_depth(v: &Value) -> usize {
+    match v {
+        Value::Object(m) => 1 + m.values().map(json_depth).max().unwrap_or(0),
+        Value::Array(a) => 1 + a.iter().map(json_depth).max().unwrap_or(0),
+        _ => 0,
+    }
+}
+
+fn json_census(v: &Value, keys: &mut BTreeMap<String, u64>, types: &mut BTreeMap<&'static str, u64>) {
+    let label = match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    };
+    *types.entry(label).or_insert(0) += 1;
+    match v {
+        Value::Object(m) => {
+            for (k, child) in m {
+                *keys.entry(k.clone()).or_insert(0) += 1;
+                json_census(child, keys, types);
+            }
+        }
+        Value::Array(a) => {
+            for child in a {
+                json_census(child, keys, types);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A minimal XML walker: counts tags and tracks nesting depth. Not a
+/// validating parser — mirrors Tika-style tolerant metadata extraction.
+fn xml_summary(text: &str) -> std::result::Result<Metadata, String> {
+    let mut tags: BTreeMap<String, u64> = BTreeMap::new();
+    let mut depth = 0usize;
+    let mut max_depth = 0usize;
+    let mut pos = 0usize;
+    let bytes = text.as_bytes();
+    let mut saw_any = false;
+    while let Some(open) = text[pos..].find('<') {
+        let start = pos + open + 1;
+        let Some(close) = text[start..].find('>') else {
+            return Err("unterminated tag".to_string());
+        };
+        let tag_body = &text[start..start + close];
+        pos = start + close + 1;
+        if tag_body.starts_with('?') || tag_body.starts_with('!') {
+            continue;
+        }
+        saw_any = true;
+        if let Some(name) = tag_body.strip_prefix('/') {
+            depth = depth.saturating_sub(1);
+            let _ = name;
+        } else {
+            let name: String = tag_body
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .trim_end_matches('/')
+                .to_string();
+            if name.is_empty() {
+                return Err("empty tag name".to_string());
+            }
+            *tags.entry(name).or_insert(0) += 1;
+            if !tag_body.ends_with('/') {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+        }
+    }
+    if !saw_any {
+        return Err("no XML tags found".to_string());
+    }
+    let _ = bytes;
+    let mut md = Metadata::new();
+    md.insert("format", "xml");
+    md.insert("distinct_tags", tags.len());
+    md.insert("total_tags", tags.values().sum::<u64>());
+    md.insert("max_depth", max_depth);
+    md.insert("tags", json!(tags));
+    Ok(md)
+}
+
+/// Line-oriented YAML summary: top-level keys, list items, nesting by
+/// indentation.
+fn yaml_summary(text: &str) -> std::result::Result<Metadata, String> {
+    let mut top_keys: Vec<String> = Vec::new();
+    let mut list_items = 0u64;
+    let mut max_indent = 0usize;
+    let mut keyish_lines = 0u64;
+    let mut lines = 0u64;
+    for line in text.lines() {
+        if line.trim().is_empty() || line.trim_start().starts_with('#') || line.trim() == "---" {
+            continue;
+        }
+        lines += 1;
+        let indent = line.len() - line.trim_start().len();
+        max_indent = max_indent.max(indent);
+        let body = line.trim_start();
+        if body.starts_with("- ") {
+            list_items += 1;
+            continue;
+        }
+        if let Some(colon) = body.find(':') {
+            let key = &body[..colon];
+            if !key.is_empty() && !key.contains(' ') {
+                keyish_lines += 1;
+                if indent == 0 {
+                    top_keys.push(key.to_string());
+                }
+            }
+        }
+    }
+    if lines == 0 || keyish_lines * 2 < lines {
+        return Err("not YAML-shaped".to_string());
+    }
+    let mut md = Metadata::new();
+    md.insert("format", "yaml");
+    md.insert("top_level_keys", json!(top_keys));
+    md.insert("list_items", list_items);
+    md.insert("max_indent", max_indent);
+    Ok(md)
+}
+
+impl Extractor for SemiStructuredExtractor {
+    fn kind(&self) -> ExtractorKind {
+        ExtractorKind::SemiStructured
+    }
+
+    fn accepts(&self, t: FileType) -> bool {
+        matches!(t, FileType::Json | FileType::Xml | FileType::Yaml)
+    }
+
+    fn extract(&self, family: &Family, source: &dyn FileSource) -> Result<ExtractOutput> {
+        let mut out = ExtractOutput::default();
+        for file in family.files.iter().filter(|f| self.accepts(f.hint)) {
+            let bytes = source.read(file)?;
+            let mut md = Metadata::new();
+            let text = match std::str::from_utf8(&bytes) {
+                Ok(t) => t,
+                Err(_) => {
+                    md.insert("error", "not UTF-8");
+                    out.per_file.push((file.path.clone(), md));
+                    continue;
+                }
+            };
+            let summary = match file.hint {
+                FileType::Json => serde_json::from_str::<Value>(text)
+                    .map_err(|e| e.to_string())
+                    .map(|v| {
+                        let mut keys = BTreeMap::new();
+                        let mut types = BTreeMap::new();
+                        json_census(&v, &mut keys, &mut types);
+                        let mut m = Metadata::new();
+                        m.insert("format", "json");
+                        m.insert("max_depth", json_depth(&v));
+                        m.insert("distinct_keys", keys.len());
+                        m.insert("value_types", json!(types));
+                        let mut top: Vec<(String, u64)> = keys.into_iter().collect();
+                        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                        top.truncate(16);
+                        m.insert(
+                            "frequent_keys",
+                            json!(top.iter().map(|(k, _)| k).collect::<Vec<_>>()),
+                        );
+                        m
+                    }),
+                FileType::Xml => xml_summary(text),
+                FileType::Yaml => yaml_summary(text),
+                _ => unreachable!("filtered by accepts"),
+            };
+            match summary {
+                Ok(s) => md.merge(&s),
+                Err(e) => md.insert("error", e),
+            }
+            out.per_file.push((file.path.clone(), md));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::MapSource;
+    use xtract_types::{EndpointId, FamilyId, FileRecord, Group, GroupId};
+
+    fn family(path: &str, t: FileType) -> Family {
+        let f = FileRecord::new(path, 0, EndpointId::new(0), t);
+        let g = Group::new(GroupId::new(0), vec![f.path.clone()]);
+        Family::new(FamilyId::new(0), vec![f], vec![g], EndpointId::new(0))
+    }
+
+    #[test]
+    fn json_summary() {
+        let mut src = MapSource::new();
+        src.insert(
+            "/m.json",
+            br#"{"sample": {"id": 1, "tags": ["a", "b"]}, "id": 2}"#.to_vec(),
+        );
+        let out = SemiStructuredExtractor
+            .extract(&family("/m.json", FileType::Json), &src)
+            .unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("format").unwrap(), "json");
+        assert_eq!(md.get("max_depth").unwrap(), 3); // obj -> obj -> array
+        assert_eq!(md.get("distinct_keys").unwrap(), 3); // sample, id, tags
+        assert_eq!(md.get("value_types").unwrap()["string"], 2);
+        let freq = md.get("frequent_keys").unwrap().as_array().unwrap();
+        assert_eq!(freq[0], "id"); // appears twice
+    }
+
+    #[test]
+    fn xml_summary_counts_tags() {
+        let mut src = MapSource::new();
+        src.insert(
+            "/d.xml",
+            b"<?xml version=\"1.0\"?><run><step n=\"1\"/><step n=\"2\"><out>3</out></step></run>".to_vec(),
+        );
+        let out = SemiStructuredExtractor
+            .extract(&family("/d.xml", FileType::Xml), &src)
+            .unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("format").unwrap(), "xml");
+        assert_eq!(md.get("tags").unwrap()["step"], 2);
+        assert_eq!(md.get("max_depth").unwrap(), 3); // run > step > out
+    }
+
+    #[test]
+    fn yaml_summary_reports_keys() {
+        let mut src = MapSource::new();
+        src.insert(
+            "/c.yaml",
+            b"---\nname: run42\nparams:\n  encut: 520\n  kpoints: 8\noutputs:\n  - energy\n  - forces\n".to_vec(),
+        );
+        let out = SemiStructuredExtractor
+            .extract(&family("/c.yaml", FileType::Yaml), &src)
+            .unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("format").unwrap(), "yaml");
+        let keys = md.get("top_level_keys").unwrap().as_array().unwrap();
+        assert_eq!(keys.len(), 3);
+        assert_eq!(md.get("list_items").unwrap(), 2);
+    }
+
+    #[test]
+    fn malformed_inputs_record_errors() {
+        let mut src = MapSource::new();
+        src.insert("/bad.json", b"{not json".to_vec());
+        src.insert("/bad.xml", b"just text, no tags".to_vec());
+        src.insert("/bad.yaml", b"prose line one\nprose line two\n".to_vec());
+        for (path, t) in [
+            ("/bad.json", FileType::Json),
+            ("/bad.xml", FileType::Xml),
+            ("/bad.yaml", FileType::Yaml),
+        ] {
+            let out = SemiStructuredExtractor.extract(&family(path, t), &src).unwrap();
+            assert!(out.per_file[0].1.contains("error"), "{path} should error");
+        }
+    }
+
+    #[test]
+    fn self_closing_and_declaration_tags() {
+        let mut src = MapSource::new();
+        src.insert("/s.xml", b"<!DOCTYPE x><a><b/><b/></a>".to_vec());
+        let out = SemiStructuredExtractor
+            .extract(&family("/s.xml", FileType::Xml), &src)
+            .unwrap();
+        let md = &out.per_file[0].1;
+        assert_eq!(md.get("tags").unwrap()["b"], 2);
+        assert_eq!(md.get("max_depth").unwrap(), 1);
+    }
+}

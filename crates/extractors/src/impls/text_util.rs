@@ -1,0 +1,104 @@
+//! Shared text machinery: tokenization, stopwords, and the background
+//! frequency table the keyword scorer uses as its IDF stand-in.
+
+/// English stopwords (compact but covers the high-frequency head).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "and", "or", "but", "if", "then", "else", "of", "in", "on", "at", "to",
+    "from", "by", "with", "without", "for", "as", "is", "are", "was", "were", "be", "been",
+    "being", "it", "its", "this", "that", "these", "those", "we", "our", "you", "your", "they",
+    "their", "he", "she", "his", "her", "i", "me", "my", "not", "no", "nor", "so", "such", "than",
+    "too", "very", "can", "could", "may", "might", "must", "shall", "should", "will", "would",
+    "do", "does", "did", "done", "have", "has", "had", "which", "what", "who", "whom", "when",
+    "where", "why", "how", "all", "any", "both", "each", "few", "more", "most", "other", "some",
+    "into", "through", "during", "before", "after", "above", "below", "up", "down", "out", "off",
+    "over", "under", "again", "further", "also", "there", "here", "between", "because", "while",
+    "about", "against", "et", "al", "using", "used", "use", "one", "two", "however",
+];
+
+/// Common academic/scientific filler that carries little descriptive
+/// power: down-weighted rather than dropped.
+pub const COMMON_ACADEMIC: &[&str] = &[
+    "data", "results", "method", "methods", "figure", "table", "section", "paper", "study",
+    "analysis", "model", "value", "values", "based", "show", "shown", "present", "work",
+    "approach", "system", "systems", "number", "different", "large", "given", "new", "first",
+    "second", "time", "file", "files", "set",
+];
+
+/// True when the word is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok() || STOPWORDS.contains(&word)
+}
+
+/// Lowercased alphabetic tokens of length ≥ 3.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphabetic() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            if cur.len() >= 3 {
+                tokens.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if cur.len() >= 3 {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// A crude "inverse document frequency": rarer-looking words score higher.
+/// Real Xtract uses word embeddings (§4.2); this preserves the observable
+/// behaviour (distinctive domain words out-rank filler).
+pub fn rarity_weight(word: &str) -> f64 {
+    if is_stopword(word) {
+        return 0.0;
+    }
+    if COMMON_ACADEMIC.contains(&word) {
+        return 0.3;
+    }
+    // Longer and rarer-lettered words are likelier to be domain terms.
+    let len_factor = (word.len() as f64 / 6.0).min(2.0);
+    let rare_letters = word
+        .chars()
+        .filter(|c| matches!(c, 'q' | 'x' | 'z' | 'j' | 'k' | 'v' | 'w' | 'y'))
+        .count() as f64;
+    1.0 + 0.5 * len_factor + 0.15 * rare_letters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_filters_short() {
+        assert_eq!(
+            tokenize("The CO2 Flux, at 3 sites!"),
+            vec!["the", "flux", "sites"]
+        );
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("a b c"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn stopwords_score_zero() {
+        assert_eq!(rarity_weight("the"), 0.0);
+        assert_eq!(rarity_weight("because"), 0.0);
+        assert!(rarity_weight("spectroscopy") > rarity_weight("data"));
+    }
+
+    #[test]
+    fn domain_terms_outrank_filler() {
+        assert!(rarity_weight("perovskite") > rarity_weight("results"));
+        assert!(rarity_weight("xanthophyll") > rarity_weight("set"));
+    }
+
+    #[test]
+    fn unicode_tokens_survive() {
+        let toks = tokenize("métadonnées über alles");
+        assert!(toks.contains(&"métadonnées".to_string()));
+    }
+}

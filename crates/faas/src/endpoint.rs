@@ -1,0 +1,412 @@
+//! A compute endpoint: real worker threads, warm-container caches, and
+//! allocation expiry.
+//!
+//! §3: "The compute layer is tasked with allocating compute resources
+//! (e.g., local cores, HPC nodes, or cloud instances), invoking the
+//! metadata extractors on the files, and sending results back to the
+//! Xtract service."
+//!
+//! Each worker thread keeps **one warm container**: executing a task whose
+//! function needs a different container pays the cold-start cost
+//! ([`EndpointConfig::cold_start`]; §5.8.2 measured ≈70 s in production —
+//! tests scale it down to microseconds, the *accounting* is what matters).
+//! When the endpoint's allocation expires (§5.8.1), queued and running
+//! tasks are marked [`TaskStatus::Lost`] for the orchestrator's heartbeat
+//! logic to resubmit.
+
+use crate::task::{TaskOutput, TaskStatus};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xtract_types::{ContainerId, EndpointId, TaskId, XtractError};
+
+use crate::task::FunctionBody;
+
+/// Endpoint configuration.
+#[derive(Debug, Clone)]
+pub struct EndpointConfig {
+    /// The endpoint this compute layer belongs to.
+    pub endpoint: EndpointId,
+    /// Worker (container slot) count.
+    pub workers: usize,
+    /// Wall-clock cost of starting a container that is not warm on the
+    /// worker. Production: ~70 s (§5.8.2). Tests: microseconds.
+    pub cold_start: Duration,
+    /// Per-task dispatch overhead at the endpoint (unpacking, routing).
+    pub dispatch_delay: Duration,
+}
+
+impl EndpointConfig {
+    /// A test-friendly config: `workers` workers, zero simulated latency.
+    pub fn instant(endpoint: EndpointId, workers: usize) -> Self {
+        Self {
+            endpoint,
+            workers,
+            cold_start: Duration::ZERO,
+            dispatch_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// One unit of work routed to a worker.
+pub(crate) struct WorkItem {
+    pub task: TaskId,
+    pub container: ContainerId,
+    pub body: FunctionBody,
+    pub payload: serde_json::Value,
+}
+
+/// Counters shared between workers and observers.
+#[derive(Debug, Default)]
+pub struct EndpointCounters {
+    /// Tasks that found their container warm.
+    pub warm_hits: AtomicU64,
+    /// Tasks that paid a cold start.
+    pub cold_starts: AtomicU64,
+    /// Tasks fully executed (any terminal state except Lost).
+    pub executed: AtomicU64,
+    /// Tasks marked lost due to allocation expiry.
+    pub lost: AtomicU64,
+}
+
+/// The live compute layer of one endpoint.
+pub struct ComputeEndpoint {
+    config: EndpointConfig,
+    tx: Option<Sender<WorkItem>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    expired: Arc<AtomicBool>,
+    counters: Arc<EndpointCounters>,
+    statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
+}
+
+impl ComputeEndpoint {
+    /// Starts the worker pool. `statuses` is the service-owned task table
+    /// that workers write terminal states into.
+    pub fn start(
+        config: EndpointConfig,
+        statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
+    ) -> Self {
+        assert!(config.workers > 0, "endpoint needs at least one worker");
+        let (tx, rx) = unbounded::<WorkItem>();
+        let expired = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(EndpointCounters::default());
+        let handles = (0..config.workers)
+            .map(|_| {
+                let rx: Receiver<WorkItem> = rx.clone();
+                let statuses = statuses.clone();
+                let expired = expired.clone();
+                let counters = counters.clone();
+                let cfg = config.clone();
+                std::thread::spawn(move || worker_loop(&rx, &statuses, &expired, &counters, &cfg))
+            })
+            .collect();
+        Self {
+            config,
+            tx: Some(tx),
+            handles,
+            expired,
+            counters,
+            statuses,
+        }
+    }
+
+    /// The endpoint id.
+    pub fn id(&self) -> EndpointId {
+        self.config.endpoint
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Enqueues a task. Returns an error immediately if the allocation has
+    /// expired (the task would only be marked lost anyway).
+    pub(crate) fn enqueue(&self, item: WorkItem) -> Result<(), XtractError> {
+        if self.expired.load(Ordering::Acquire) {
+            self.statuses.write().insert(item.task, TaskStatus::Lost);
+            self.counters.lost.fetch_add(1, Ordering::Relaxed);
+            return Err(XtractError::TaskLost { task: item.task });
+        }
+        self.tx
+            .as_ref()
+            .expect("endpoint running")
+            .send(item)
+            .map_err(|e| XtractError::TaskLost { task: e.into_inner().task })
+    }
+
+    /// Expires the allocation: queued and in-flight tasks become
+    /// [`TaskStatus::Lost`] (§5.8.1). Worker threads stay alive so the
+    /// allocation can be renewed.
+    pub fn expire_allocation(&self) {
+        self.expired.store(true, Ordering::Release);
+    }
+
+    /// Grants a fresh allocation after an expiry.
+    pub fn renew_allocation(&self) {
+        self.expired.store(false, Ordering::Release);
+    }
+
+    /// True while the allocation is expired.
+    pub fn is_expired(&self) -> bool {
+        self.expired.load(Ordering::Acquire)
+    }
+
+    /// Shared counters.
+    pub fn counters(&self) -> &EndpointCounters {
+        &self.counters
+    }
+}
+
+impl Drop for ComputeEndpoint {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain and exit.
+        self.tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Receiver<WorkItem>,
+    statuses: &RwLock<HashMap<TaskId, TaskStatus>>,
+    expired: &AtomicBool,
+    counters: &EndpointCounters,
+    cfg: &EndpointConfig,
+) {
+    // The container this worker currently has warm.
+    let mut warm: Option<ContainerId> = None;
+    while let Ok(item) = rx.recv() {
+        if expired.load(Ordering::Acquire) {
+            statuses.write().insert(item.task, TaskStatus::Lost);
+            counters.lost.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        statuses.write().insert(item.task, TaskStatus::Running);
+        if !cfg.dispatch_delay.is_zero() {
+            std::thread::sleep(cfg.dispatch_delay);
+        }
+        let was_warm = warm == Some(item.container);
+        if was_warm {
+            counters.warm_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.cold_starts.fetch_add(1, Ordering::Relaxed);
+            if !cfg.cold_start.is_zero() {
+                std::thread::sleep(cfg.cold_start);
+            }
+            warm = Some(item.container);
+        }
+        let body = item.body.clone();
+        let payload = item.payload.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(move || body(payload)));
+        // If the allocation expired while we were running, the result never
+        // makes it back (§5.8.1) — the family must be resubmitted.
+        let status = if expired.load(Ordering::Acquire) {
+            counters.lost.fetch_add(1, Ordering::Relaxed);
+            TaskStatus::Lost
+        } else {
+            counters.executed.fetch_add(1, Ordering::Relaxed);
+            match outcome {
+                Ok(Ok(value)) => TaskStatus::Done(TaskOutput {
+                    value,
+                    container: item.container,
+                    warm_start: was_warm,
+                }),
+                Ok(Err(e)) => TaskStatus::Failed(e),
+                Err(_) => TaskStatus::Failed(XtractError::ExtractorFailed {
+                    extractor: "<panicked>".to_string(),
+                    path: String::new(),
+                    reason: "function body panicked".to_string(),
+                }),
+            }
+        };
+        statuses.write().insert(item.task, status);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn statuses() -> Arc<RwLock<HashMap<TaskId, TaskStatus>>> {
+        Arc::new(RwLock::new(HashMap::new()))
+    }
+
+    fn body_ok() -> FunctionBody {
+        Arc::new(|v| Ok(json!({"echo": v})))
+    }
+
+    fn wait_terminal(statuses: &RwLock<HashMap<TaskId, TaskStatus>>, id: TaskId) -> TaskStatus {
+        for _ in 0..2000 {
+            if let Some(s) = statuses.read().get(&id) {
+                if s.is_terminal() {
+                    return s.clone();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("task {id} never reached a terminal state");
+    }
+
+    #[test]
+    fn executes_tasks_on_workers() {
+        let table = statuses();
+        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 4), table.clone());
+        for i in 0..16 {
+            ep.enqueue(WorkItem {
+                task: TaskId::new(i),
+                container: ContainerId::new(0),
+                body: body_ok(),
+                payload: json!(i),
+            })
+            .unwrap();
+        }
+        for i in 0..16 {
+            match wait_terminal(&table, TaskId::new(i)) {
+                TaskStatus::Done(out) => assert_eq!(out.value, json!({"echo": i})),
+                other => panic!("unexpected status {other:?}"),
+            }
+        }
+        assert_eq!(ep.counters().executed.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn cold_and_warm_starts_are_counted() {
+        let table = statuses();
+        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 1), table.clone());
+        // Same container three times: 1 cold, 2 warm.
+        for i in 0..3 {
+            ep.enqueue(WorkItem {
+                task: TaskId::new(i),
+                container: ContainerId::new(7),
+                body: body_ok(),
+                payload: json!(null),
+            })
+            .unwrap();
+        }
+        // Different container: another cold start.
+        ep.enqueue(WorkItem {
+            task: TaskId::new(3),
+            container: ContainerId::new(8),
+            body: body_ok(),
+            payload: json!(null),
+        })
+        .unwrap();
+        for i in 0..4 {
+            wait_terminal(&table, TaskId::new(i));
+        }
+        assert_eq!(ep.counters().cold_starts.load(Ordering::Relaxed), 2);
+        assert_eq!(ep.counters().warm_hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        let table = statuses();
+        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 1), table.clone());
+        let failing: FunctionBody = Arc::new(|_| {
+            Err(XtractError::ExtractorFailed {
+                extractor: "tabular".into(),
+                path: "/bad.csv".into(),
+                reason: "ragged rows".into(),
+            })
+        });
+        ep.enqueue(WorkItem {
+            task: TaskId::new(0),
+            container: ContainerId::new(0),
+            body: failing,
+            payload: json!(null),
+        })
+        .unwrap();
+        assert!(matches!(
+            wait_terminal(&table, TaskId::new(0)),
+            TaskStatus::Failed(XtractError::ExtractorFailed { .. })
+        ));
+        // The worker survives and runs the next task.
+        ep.enqueue(WorkItem {
+            task: TaskId::new(1),
+            container: ContainerId::new(0),
+            body: body_ok(),
+            payload: json!(1),
+        })
+        .unwrap();
+        assert!(matches!(
+            wait_terminal(&table, TaskId::new(1)),
+            TaskStatus::Done(_)
+        ));
+    }
+
+    #[test]
+    fn panicking_body_becomes_failed() {
+        let table = statuses();
+        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 1), table.clone());
+        let bomb: FunctionBody = Arc::new(|_| panic!("kaboom"));
+        ep.enqueue(WorkItem {
+            task: TaskId::new(0),
+            container: ContainerId::new(0),
+            body: bomb,
+            payload: json!(null),
+        })
+        .unwrap();
+        assert!(matches!(
+            wait_terminal(&table, TaskId::new(0)),
+            TaskStatus::Failed(XtractError::ExtractorFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn expiry_loses_queued_tasks_and_renewal_recovers() {
+        let table = statuses();
+        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 1), table.clone());
+        ep.expire_allocation();
+        assert!(ep.is_expired());
+        let err = ep.enqueue(WorkItem {
+            task: TaskId::new(0),
+            container: ContainerId::new(0),
+            body: body_ok(),
+            payload: json!(null),
+        });
+        assert!(matches!(err, Err(XtractError::TaskLost { .. })));
+        assert_eq!(
+            table.read().get(&TaskId::new(0)),
+            Some(&TaskStatus::Lost)
+        );
+        ep.renew_allocation();
+        ep.enqueue(WorkItem {
+            task: TaskId::new(1),
+            container: ContainerId::new(0),
+            body: body_ok(),
+            payload: json!(2),
+        })
+        .unwrap();
+        assert!(matches!(
+            wait_terminal(&table, TaskId::new(1)),
+            TaskStatus::Done(_)
+        ));
+        assert_eq!(ep.counters().lost.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_pending_work() {
+        let table = statuses();
+        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 2), table.clone());
+        for i in 0..64 {
+            ep.enqueue(WorkItem {
+                task: TaskId::new(i),
+                container: ContainerId::new(0),
+                body: body_ok(),
+                payload: json!(i),
+            })
+            .unwrap();
+        }
+        drop(ep); // joins workers; all queued work drains first
+        let table = table.read();
+        assert!(table.values().all(TaskStatus::is_terminal));
+        assert_eq!(table.len(), 64);
+    }
+}

@@ -1,0 +1,34 @@
+//! # xtract-faas
+//!
+//! A federated Function-as-a-Service fabric — the workspace's funcX
+//! substitute (§3 "Endpoints", §4.1; see `DESIGN.md`, "Reproduction
+//! posture").
+//!
+//! The surface mirrors what the Xtract orchestrator sees of funcX:
+//!
+//! * a **registry** of functions and containers
+//!   ([`registry::FunctionRegistry`]): registering an extractor yields a
+//!   `function:container:endpoints` tuple (§4.1 "The extractor library");
+//! * **compute endpoints** ([`endpoint::ComputeEndpoint`]): real worker
+//!   threads pulling tasks from a queue, each keeping one *warm* container
+//!   and paying a cold-start cost to switch (§5.8.2 measures ≈70 s cold
+//!   starts — scaled down in live tests via
+//!   [`endpoint::EndpointConfig::cold_start`]);
+//! * the **service** ([`service::FaasService`]): batch submit, batch poll,
+//!   heartbeats, and task-loss detection when an endpoint's allocation
+//!   expires (§5.8.1) — with web-service request counters that the
+//!   batching experiments audit.
+//!
+//! Functions are real Rust closures over a JSON payload, so live-mode
+//! extraction actually parses bytes; the campaign simulator replaces this
+//! whole crate with calibrated costs.
+
+pub mod endpoint;
+pub mod registry;
+pub mod service;
+pub mod task;
+
+pub use endpoint::{ComputeEndpoint, EndpointConfig};
+pub use registry::{ContainerSpec, FunctionRegistry, FunctionSpec};
+pub use service::{FaasService, ServiceStats};
+pub use task::{FunctionBody, TaskOutput, TaskSpec, TaskStatus};

@@ -1,0 +1,247 @@
+//! The function and container registry.
+//!
+//! §4.1: "When users register a custom extractor they provide an
+//! extraction function ..., a path to a container, and a list of endpoint
+//! IDs on which the function is able to run. These
+//! function:container:endpoints address tuples are registered with funcX."
+//!
+//! Containers carry a runtime family (Docker vs Singularity); resolving a
+//! function for an endpoint whose runtime cannot host the container is a
+//! registration-time error — the paper's "extractors whose containers are
+//! only available in Docker may not be run on Singularity-only systems".
+
+use crate::task::FunctionBody;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use xtract_types::config::ContainerRuntime;
+use xtract_types::id::IdAllocator;
+use xtract_types::{ContainerId, EndpointId, FunctionId, Result, XtractError};
+
+/// A registered container image.
+#[derive(Debug, Clone)]
+pub struct ContainerSpec {
+    /// Container identity.
+    pub id: ContainerId,
+    /// Human name ("xtract-keyword:1.4").
+    pub name: String,
+    /// Runtime family the image is built for.
+    pub runtime: ContainerRuntime,
+    /// Image size in bytes (first cold start on a node may need to pull
+    /// it; cost modeled by the endpoint).
+    pub image_bytes: u64,
+}
+
+/// A registered function (extractor) and where it may run.
+#[derive(Clone)]
+pub struct FunctionSpec {
+    /// Function identity.
+    pub id: FunctionId,
+    /// Human name ("keyword").
+    pub name: String,
+    /// The container it must run inside.
+    pub container: ContainerId,
+    /// Endpoints the owner registered it for.
+    pub endpoints: Vec<EndpointId>,
+    /// The executable body.
+    pub body: FunctionBody,
+}
+
+impl std::fmt::Debug for FunctionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionSpec")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("container", &self.container)
+            .field("endpoints", &self.endpoints)
+            .finish()
+    }
+}
+
+/// The registry: containers, functions, and endpoint runtimes.
+#[derive(Default)]
+pub struct FunctionRegistry {
+    containers: RwLock<HashMap<ContainerId, ContainerSpec>>,
+    functions: RwLock<HashMap<FunctionId, FunctionSpec>>,
+    endpoint_runtimes: RwLock<HashMap<EndpointId, ContainerRuntime>>,
+    container_ids: IdAllocator,
+    function_ids: IdAllocator,
+}
+
+impl FunctionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an endpoint's container runtime (done when the endpoint
+    /// connects).
+    pub fn declare_endpoint(&self, endpoint: EndpointId, runtime: ContainerRuntime) {
+        self.endpoint_runtimes.write().insert(endpoint, runtime);
+    }
+
+    /// Registers a container image.
+    pub fn register_container(
+        &self,
+        name: impl Into<String>,
+        runtime: ContainerRuntime,
+        image_bytes: u64,
+    ) -> ContainerId {
+        let id = ContainerId::new(self.container_ids.next());
+        self.containers.write().insert(
+            id,
+            ContainerSpec {
+                id,
+                name: name.into(),
+                runtime,
+                image_bytes,
+            },
+        );
+        id
+    }
+
+    /// Registers a function:container:endpoints tuple. Fails if the
+    /// container is unknown or *none* of the listed endpoints can host its
+    /// runtime.
+    pub fn register_function(
+        &self,
+        name: impl Into<String>,
+        container: ContainerId,
+        endpoints: &[EndpointId],
+        body: FunctionBody,
+    ) -> Result<FunctionId> {
+        let name = name.into();
+        let containers = self.containers.read();
+        let spec = containers
+            .get(&container)
+            .ok_or_else(|| XtractError::NoCompatibleEndpoint {
+                container: format!("{container}"),
+            })?;
+        let runtimes = self.endpoint_runtimes.read();
+        let compatible: Vec<EndpointId> = endpoints
+            .iter()
+            .copied()
+            .filter(|ep| runtimes.get(ep) == Some(&spec.runtime))
+            .collect();
+        if compatible.is_empty() {
+            return Err(XtractError::NoCompatibleEndpoint {
+                container: spec.name.clone(),
+            });
+        }
+        drop(containers);
+        drop(runtimes);
+        let id = FunctionId::new(self.function_ids.next());
+        self.functions.write().insert(
+            id,
+            FunctionSpec {
+                id,
+                name,
+                container,
+                endpoints: compatible,
+                body,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Resolves a function, checking it may run on `endpoint`.
+    pub fn resolve(&self, function: FunctionId, endpoint: EndpointId) -> Result<FunctionSpec> {
+        let functions = self.functions.read();
+        let spec = functions
+            .get(&function)
+            .ok_or_else(|| XtractError::NoCompatibleEndpoint {
+                container: format!("{function}"),
+            })?;
+        if !spec.endpoints.contains(&endpoint) {
+            return Err(XtractError::NoCompatibleEndpoint {
+                container: spec.name.clone(),
+            });
+        }
+        Ok(spec.clone())
+    }
+
+    /// Looks up a container spec.
+    pub fn container(&self, id: ContainerId) -> Option<ContainerSpec> {
+        self.containers.read().get(&id).cloned()
+    }
+
+    /// Endpoints on which `function` may run.
+    pub fn endpoints_for(&self, function: FunctionId) -> Vec<EndpointId> {
+        self.functions
+            .read()
+            .get(&function)
+            .map(|f| f.endpoints.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of registered functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+    use std::sync::Arc;
+
+    fn noop() -> FunctionBody {
+        Arc::new(|v: Value| Ok(v))
+    }
+
+    fn registry_with_endpoints() -> FunctionRegistry {
+        let r = FunctionRegistry::new();
+        r.declare_endpoint(EndpointId::new(0), ContainerRuntime::Docker);
+        r.declare_endpoint(EndpointId::new(1), ContainerRuntime::Singularity);
+        r
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let r = registry_with_endpoints();
+        let c = r.register_container("kw:1", ContainerRuntime::Docker, 1 << 28);
+        let f = r
+            .register_function("keyword", c, &[EndpointId::new(0)], noop())
+            .unwrap();
+        let spec = r.resolve(f, EndpointId::new(0)).unwrap();
+        assert_eq!(spec.name, "keyword");
+        assert_eq!(r.function_count(), 1);
+    }
+
+    #[test]
+    fn runtime_mismatch_filters_endpoints() {
+        let r = registry_with_endpoints();
+        let docker = r.register_container("kw:1", ContainerRuntime::Docker, 0);
+        // Registering for both endpoints keeps only the Docker one.
+        let f = r
+            .register_function("kw", docker, &[EndpointId::new(0), EndpointId::new(1)], noop())
+            .unwrap();
+        assert_eq!(r.endpoints_for(f), vec![EndpointId::new(0)]);
+        assert!(r.resolve(f, EndpointId::new(1)).is_err());
+    }
+
+    #[test]
+    fn docker_only_container_cannot_target_singularity_site() {
+        let r = registry_with_endpoints();
+        let docker = r.register_container("kw:1", ContainerRuntime::Docker, 0);
+        let err = r
+            .register_function("kw", docker, &[EndpointId::new(1)], noop())
+            .unwrap_err();
+        assert!(matches!(err, XtractError::NoCompatibleEndpoint { .. }));
+    }
+
+    #[test]
+    fn unknown_container_is_rejected() {
+        let r = registry_with_endpoints();
+        let err = r
+            .register_function("kw", ContainerId::new(99), &[EndpointId::new(0)], noop())
+            .unwrap_err();
+        assert!(matches!(err, XtractError::NoCompatibleEndpoint { .. }));
+    }
+
+    #[test]
+    fn unknown_function_does_not_resolve() {
+        let r = registry_with_endpoints();
+        assert!(r.resolve(FunctionId::new(7), EndpointId::new(0)).is_err());
+    }
+}

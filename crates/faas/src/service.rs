@@ -1,0 +1,344 @@
+//! The FaaS web service: batch submission, batch polling, heartbeats.
+//!
+//! §4.3.2: "we exploit funcX batching to reduce the number of funcX web
+//! service requests. ... funcX expands the batch into a set of individual
+//! function invocations. We also use funcX's batch polling functionality."
+//!
+//! Every [`FaasService::batch_submit`] and [`FaasService::batch_poll`]
+//! call counts as **one web-service request** regardless of batch size —
+//! the accounting the Fig. 5 batching sweep and `micro_batching` ablation
+//! rely on. Heartbeats surface allocation expiry: after
+//! [`FaasService::expire_endpoint`], polls report in-flight tasks as
+//! [`TaskStatus::Lost`], and the orchestrator resubmits (§5.8.1).
+
+use crate::endpoint::{ComputeEndpoint, EndpointConfig, WorkItem};
+use crate::registry::FunctionRegistry;
+use crate::task::{PolledTask, TaskSpec, TaskStatus};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xtract_types::id::IdAllocator;
+use xtract_types::{EndpointId, Result, TaskId, XtractError};
+
+/// Aggregate service statistics.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Web-service round trips (submits + polls).
+    pub ws_requests: AtomicU64,
+    /// Individual tasks submitted.
+    pub tasks_submitted: AtomicU64,
+    /// Batch submissions.
+    pub batches_submitted: AtomicU64,
+}
+
+/// The federated FaaS service.
+pub struct FaasService {
+    registry: Arc<FunctionRegistry>,
+    endpoints: RwLock<HashMap<EndpointId, Arc<ComputeEndpoint>>>,
+    statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
+    task_endpoint: RwLock<HashMap<TaskId, EndpointId>>,
+    ids: IdAllocator,
+    stats: ServiceStats,
+}
+
+impl FaasService {
+    /// A service over the given registry.
+    pub fn new(registry: Arc<FunctionRegistry>) -> Self {
+        Self {
+            registry,
+            endpoints: RwLock::new(HashMap::new()),
+            statuses: Arc::new(RwLock::new(HashMap::new())),
+            task_endpoint: RwLock::new(HashMap::new()),
+            ids: IdAllocator::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The registry this service resolves functions from.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// Connects an endpoint's compute layer (spawns its worker pool).
+    pub fn connect_endpoint(&self, config: EndpointConfig) -> Arc<ComputeEndpoint> {
+        let ep = Arc::new(ComputeEndpoint::start(config, self.statuses.clone()));
+        self.endpoints.write().insert(ep.id(), ep.clone());
+        ep
+    }
+
+    /// Looks up a connected endpoint.
+    pub fn endpoint(&self, id: EndpointId) -> Option<Arc<ComputeEndpoint>> {
+        self.endpoints.read().get(&id).cloned()
+    }
+
+    /// Submits a batch of tasks in one web-service request. Tasks are
+    /// expanded into individual invocations, resolved against the
+    /// registry, and routed to their endpoints' queues. Per-task failures
+    /// (unknown function, incompatible or disconnected endpoint) surface
+    /// as immediately-`Failed` tasks rather than failing the batch, so one
+    /// bad spec cannot sink its batch-mates.
+    pub fn batch_submit(&self, specs: &[TaskSpec]) -> Vec<TaskId> {
+        self.stats.ws_requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.batches_submitted.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .tasks_submitted
+            .fetch_add(specs.len() as u64, Ordering::Relaxed);
+        let mut out = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let id = TaskId::new(self.ids.next());
+            out.push(id);
+            self.task_endpoint.write().insert(id, spec.endpoint);
+            match self.route(id, spec) {
+                Ok(()) => {}
+                Err(e) => {
+                    // Lost is recorded by the endpoint itself; everything
+                    // else becomes Failed here.
+                    if !matches!(e, XtractError::TaskLost { .. }) {
+                        self.statuses.write().insert(id, TaskStatus::Failed(e));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn route(&self, id: TaskId, spec: &TaskSpec) -> Result<()> {
+        let function = self.registry.resolve(spec.function, spec.endpoint)?;
+        let ep = self
+            .endpoint(spec.endpoint)
+            .ok_or(XtractError::NoComputeLayer {
+                endpoint: spec.endpoint,
+            })?;
+        self.statuses.write().insert(id, TaskStatus::Pending);
+        ep.enqueue(WorkItem {
+            task: id,
+            container: function.container,
+            body: function.body,
+            payload: spec.payload.clone(),
+        })
+    }
+
+    /// Polls a batch of tasks in one web-service request.
+    pub fn batch_poll(&self, ids: &[TaskId]) -> Vec<PolledTask> {
+        self.stats.ws_requests.fetch_add(1, Ordering::Relaxed);
+        let statuses = self.statuses.read();
+        ids.iter()
+            .map(|&id| PolledTask {
+                id,
+                status: statuses.get(&id).cloned().unwrap_or(TaskStatus::Pending),
+            })
+            .collect()
+    }
+
+    /// Blocks until every listed task is terminal or `timeout` elapses.
+    /// Returns true when all finished. Test/benchmark convenience; the
+    /// orchestrator uses [`Self::batch_poll`] loops.
+    pub fn wait_all(&self, ids: &[TaskId], timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            {
+                let statuses = self.statuses.read();
+                if ids
+                    .iter()
+                    .all(|id| statuses.get(id).is_some_and(TaskStatus::is_terminal))
+                {
+                    return true;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Simulates an allocation expiry at `endpoint` (§5.8.1): queued and
+    /// running tasks there are lost; subsequent polls report them as such.
+    pub fn expire_endpoint(&self, endpoint: EndpointId) {
+        if let Some(ep) = self.endpoint(endpoint) {
+            ep.expire_allocation();
+        }
+        // Tasks already queued inside the channel get marked Lost by the
+        // workers; tasks that are Pending in the table but racing the flag
+        // are handled identically. Mark Pending/Running now for
+        // deterministic heartbeat visibility.
+        let owners = self.task_endpoint.read();
+        let mut statuses = self.statuses.write();
+        for (task, ep) in owners.iter() {
+            if *ep == endpoint {
+                if let Some(s) = statuses.get_mut(task) {
+                    if !s.is_terminal() {
+                        *s = TaskStatus::Lost;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renews an endpoint's allocation after expiry.
+    pub fn renew_endpoint(&self, endpoint: EndpointId) {
+        if let Some(ep) = self.endpoint(endpoint) {
+            ep.renew_allocation();
+        }
+    }
+
+    /// Heartbeat view: ids among `ids` currently reported lost.
+    pub fn lost_tasks(&self, ids: &[TaskId]) -> Vec<TaskId> {
+        let statuses = self.statuses.read();
+        ids.iter()
+            .copied()
+            .filter(|id| matches!(statuses.get(id), Some(TaskStatus::Lost)))
+            .collect()
+    }
+
+    /// Service statistics.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::FunctionBody;
+    use serde_json::json;
+    use xtract_types::config::ContainerRuntime;
+    use xtract_types::FunctionId;
+
+    struct Rig {
+        svc: FaasService,
+        ep: EndpointId,
+        f: FunctionId,
+    }
+
+    fn rig(workers: usize) -> Rig {
+        let registry = Arc::new(FunctionRegistry::new());
+        let ep = EndpointId::new(0);
+        registry.declare_endpoint(ep, ContainerRuntime::Docker);
+        let c = registry.register_container("kw:1", ContainerRuntime::Docker, 0);
+        let body: FunctionBody = Arc::new(|v| Ok(json!({"out": v})));
+        let f = registry.register_function("kw", c, &[ep], body).unwrap();
+        let svc = FaasService::new(registry);
+        svc.connect_endpoint(EndpointConfig::instant(ep, workers));
+        Rig { svc, ep, f }
+    }
+
+    fn specs(r: &Rig, n: usize) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| TaskSpec {
+                function: r.f,
+                endpoint: r.ep,
+                payload: json!(i),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_submit_and_poll() {
+        let r = rig(4);
+        let ids = r.svc.batch_submit(&specs(&r, 10));
+        assert_eq!(ids.len(), 10);
+        assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+        let polled = r.svc.batch_poll(&ids);
+        for (i, p) in polled.iter().enumerate() {
+            match &p.status {
+                TaskStatus::Done(out) => assert_eq!(out.value, json!({"out": i})),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // 1 submit + N polls; at least 2 requests total.
+        assert!(r.svc.stats().ws_requests.load(Ordering::Relaxed) >= 2);
+        assert_eq!(r.svc.stats().tasks_submitted.load(Ordering::Relaxed), 10);
+        assert_eq!(r.svc.stats().batches_submitted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn one_request_per_batch_regardless_of_size() {
+        let r = rig(2);
+        let before = r.svc.stats().ws_requests.load(Ordering::Relaxed);
+        let ids = r.svc.batch_submit(&specs(&r, 64));
+        assert_eq!(
+            r.svc.stats().ws_requests.load(Ordering::Relaxed),
+            before + 1
+        );
+        assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn unknown_function_fails_only_its_task() {
+        let r = rig(1);
+        let mut batch = specs(&r, 2);
+        batch.push(TaskSpec {
+            function: FunctionId::new(999),
+            endpoint: r.ep,
+            payload: json!(null),
+        });
+        let ids = r.svc.batch_submit(&batch);
+        assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+        let polled = r.svc.batch_poll(&ids);
+        assert!(matches!(polled[0].status, TaskStatus::Done(_)));
+        assert!(matches!(polled[1].status, TaskStatus::Done(_)));
+        assert!(matches!(polled[2].status, TaskStatus::Failed(_)));
+    }
+
+    #[test]
+    fn disconnected_endpoint_fails_task() {
+        let r = rig(1);
+        let ids = r.svc.batch_submit(&[TaskSpec {
+            function: r.f,
+            endpoint: EndpointId::new(42),
+            payload: json!(null),
+        }]);
+        let polled = r.svc.batch_poll(&ids);
+        assert!(matches!(
+            polled[0].status,
+            TaskStatus::Failed(XtractError::NoCompatibleEndpoint { .. })
+                | TaskStatus::Failed(XtractError::NoComputeLayer { .. })
+        ));
+    }
+
+    #[test]
+    fn expiry_marks_lost_and_resubmit_recovers() {
+        let r = rig(1);
+        // A slow task keeps the worker busy while the rest queue up.
+        let registry = r.svc.registry();
+        let c = registry.register_container("slow:1", ContainerRuntime::Docker, 0);
+        let slow_body: FunctionBody = Arc::new(|v| {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(v)
+        });
+        let slow = registry
+            .register_function("slow", c, &[r.ep], slow_body)
+            .unwrap();
+        let mut batch = vec![TaskSpec {
+            function: slow,
+            endpoint: r.ep,
+            payload: json!(0),
+        }];
+        batch.extend(specs(&r, 5));
+        let ids = r.svc.batch_submit(&batch);
+        r.svc.expire_endpoint(r.ep);
+        r.svc.wait_all(&ids, Duration::from_secs(5));
+        let lost = r.svc.lost_tasks(&ids);
+        assert!(!lost.is_empty(), "expiry should lose in-flight tasks");
+        // Renew and resubmit the lost ones.
+        r.svc.renew_endpoint(r.ep);
+        let resubmit: Vec<TaskSpec> = lost.iter().map(|_| specs(&r, 1).remove(0)).collect();
+        let ids2 = r.svc.batch_submit(&resubmit);
+        assert!(r.svc.wait_all(&ids2, Duration::from_secs(5)));
+        assert!(r
+            .svc
+            .batch_poll(&ids2)
+            .iter()
+            .all(|p| matches!(p.status, TaskStatus::Done(_))));
+    }
+
+    #[test]
+    fn polling_unknown_ids_reports_pending() {
+        let r = rig(1);
+        let polled = r.svc.batch_poll(&[TaskId::new(12345)]);
+        assert_eq!(polled[0].status, TaskStatus::Pending);
+    }
+}

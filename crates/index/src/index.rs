@@ -1,0 +1,411 @@
+//! The inverted index.
+
+use crate::query::{Hit, Query};
+use parking_lot::RwLock;
+use serde_json::Value;
+use std::collections::{BTreeMap, HashMap};
+use xtract_types::{FamilyId, MetadataRecord};
+
+/// A posting: document slot + term frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Posting {
+    doc: u32,
+    tf: u32,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Ingested records, by slot.
+    docs: Vec<MetadataRecord>,
+    /// Family → slot (re-ingestion replaces).
+    by_family: HashMap<FamilyId, u32>,
+    /// term → postings (slots ascending).
+    postings: HashMap<String, Vec<Posting>>,
+    /// Tokens per document (for length normalization).
+    doc_len: Vec<u32>,
+}
+
+/// Index statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Records ingested.
+    pub documents: usize,
+    /// Distinct terms.
+    pub terms: usize,
+    /// Total postings.
+    pub postings: usize,
+}
+
+/// A thread-safe in-memory search index over metadata records.
+#[derive(Debug, Default)]
+pub struct SearchIndex {
+    inner: RwLock<Inner>,
+}
+
+/// Lowercased alphanumeric tokens of length ≥ 2 from any string.
+fn tokenize(s: &str) -> impl Iterator<Item = String> + '_ {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(str::to_lowercase)
+}
+
+/// Walks every string (and stringified scalar) in a JSON value.
+fn collect_terms(value: &Value, counts: &mut HashMap<String, u32>, total: &mut u32) {
+    match value {
+        Value::String(s) => {
+            for t in tokenize(s) {
+                *counts.entry(t).or_insert(0) += 1;
+                *total += 1;
+            }
+        }
+        Value::Array(a) => {
+            for v in a {
+                collect_terms(v, counts, total);
+            }
+        }
+        Value::Object(m) => {
+            for (k, v) in m {
+                // Keys are searchable too ("find records with a
+                // final_energy_ev field").
+                for t in tokenize(k) {
+                    *counts.entry(t).or_insert(0) += 1;
+                    *total += 1;
+                }
+                collect_terms(v, counts, total);
+            }
+        }
+        Value::Bool(_) | Value::Number(_) | Value::Null => {}
+    }
+}
+
+/// Resolves a dotted path (`matio.formula`) inside a JSON object. Path
+/// segments may themselves contain dots when quoted by the caller via
+/// `/`-style keys; resolution tries the longest matching key first so
+/// file paths (`files./a/b.txt.rows`) still resolve.
+pub(crate) fn resolve_path<'v>(value: &'v Value, path: &str) -> Option<&'v Value> {
+    resolve_in_map(value.as_object()?, path)
+}
+
+/// Map-level entry point: avoids cloning a whole document into a `Value`
+/// just to filter on it.
+pub(crate) fn resolve_in_map<'v>(
+    map: &'v serde_json::Map<String, Value>,
+    path: &str,
+) -> Option<&'v Value> {
+    let mut obj = map;
+    let mut rest = path;
+    loop {
+        // Longest-prefix key match against the remaining path.
+        let mut chosen: Option<(&str, &Value)> = None;
+        for (k, v) in obj {
+            if rest == k {
+                chosen = Some((k, v));
+                break;
+            }
+            if rest.starts_with(k.as_str()) && rest.as_bytes().get(k.len()) == Some(&b'.') {
+                match chosen {
+                    Some((ck, _)) if ck.len() >= k.len() => {}
+                    _ => chosen = Some((k, v)),
+                }
+            }
+        }
+        let (k, v) = chosen?;
+        rest = rest.strip_prefix(k).unwrap_or("");
+        rest = rest.strip_prefix('.').unwrap_or(rest);
+        if rest.is_empty() {
+            return Some(v);
+        }
+        obj = v.as_object()?;
+    }
+}
+
+impl SearchIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests (or replaces) one record.
+    pub fn ingest(&self, record: MetadataRecord) {
+        let mut inner = self.inner.write();
+        if let Some(&slot) = inner.by_family.get(&record.family) {
+            // Replacement: cheapest correct strategy is rebuild of that
+            // slot's postings; re-ingestion is rare (re-extraction).
+            inner.docs[slot as usize] = record;
+            let rebuilt = std::mem::take(&mut *inner);
+            *inner = Inner::default();
+            for doc in rebuilt.docs {
+                Self::ingest_locked(&mut inner, doc);
+            }
+            return;
+        }
+        Self::ingest_locked(&mut inner, record);
+    }
+
+    fn ingest_locked(inner: &mut Inner, record: MetadataRecord) {
+        let slot = inner.docs.len() as u32;
+        let mut counts = HashMap::new();
+        let mut total = 0u32;
+        collect_terms(&Value::Object(record.document.0.clone()), &mut counts, &mut total);
+        for t in &record.extractors {
+            for tok in tokenize(t) {
+                *counts.entry(tok).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        for (term, tf) in counts {
+            inner.postings.entry(term).or_default().push(Posting { doc: slot, tf });
+        }
+        inner.doc_len.push(total.max(1));
+        inner.by_family.insert(record.family, slot);
+        inner.docs.push(record);
+    }
+
+    /// Ingests many records.
+    pub fn ingest_all(&self, records: impl IntoIterator<Item = MetadataRecord>) {
+        for r in records {
+            self.ingest(r);
+        }
+    }
+
+    /// Index statistics.
+    pub fn stats(&self) -> IndexStats {
+        let inner = self.inner.read();
+        IndexStats {
+            documents: inner.docs.len(),
+            terms: inner.postings.len(),
+            postings: inner.postings.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Runs a query; hits are ranked by TF·IDF, ties broken by family id.
+    pub fn search(&self, query: &Query) -> Vec<Hit> {
+        let inner = self.inner.read();
+        let n_docs = inner.docs.len() as f64;
+        if n_docs == 0.0 {
+            return Vec::new();
+        }
+        // Score term clauses.
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut matched_terms: HashMap<u32, usize> = HashMap::new();
+        let terms: Vec<String> = query
+            .terms
+            .iter()
+            .flat_map(|t| tokenize(t))
+            .collect();
+        for term in &terms {
+            if let Some(postings) = inner.postings.get(term) {
+                let idf = (n_docs / postings.len() as f64).ln() + 1.0;
+                for p in postings {
+                    let tf = p.tf as f64 / inner.doc_len[p.doc as usize] as f64;
+                    *scores.entry(p.doc).or_insert(0.0) += tf * idf;
+                    *matched_terms.entry(p.doc).or_insert(0) += 1;
+                }
+            }
+        }
+        let candidates: Vec<u32> = if terms.is_empty() {
+            (0..inner.docs.len() as u32).collect()
+        } else if query.require_all_terms {
+            matched_terms
+                .iter()
+                .filter(|(_, &m)| m == terms.len())
+                .map(|(&d, _)| d)
+                .collect()
+        } else {
+            scores.keys().copied().collect()
+        };
+
+        let mut hits: Vec<Hit> = candidates
+            .into_iter()
+            .filter(|&d| {
+                query
+                    .filters
+                    .iter()
+                    .all(|f| f.matches_map(&inner.docs[d as usize].document.0))
+            })
+            .map(|d| Hit {
+                family: inner.docs[d as usize].family,
+                score: scores.get(&d).copied().unwrap_or(0.0),
+                schema: inner.docs[d as usize].schema.clone(),
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.family.cmp(&b.family)));
+        hits.truncate(query.limit);
+        hits
+    }
+
+    /// Facet counts: distinct values of `field` (dotted path) across all
+    /// documents matching `query`.
+    pub fn facet(&self, query: &Query, field: &str) -> BTreeMap<String, u64> {
+        let hits = self.search(&Query { limit: usize::MAX, ..query.clone() });
+        let inner = self.inner.read();
+        let mut out = BTreeMap::new();
+        for hit in hits {
+            let slot = inner.by_family[&hit.family] as usize;
+            if let Some(v) = resolve_in_map(&inner.docs[slot].document.0, field) {
+                let key = match v {
+                    Value::String(s) => s.clone(),
+                    other => other.to_string(),
+                };
+                *out.entry(key).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Fetches the full record for a family.
+    pub fn get(&self, family: FamilyId) -> Option<MetadataRecord> {
+        let inner = self.inner.read();
+        inner
+            .by_family
+            .get(&family)
+            .map(|&slot| inner.docs[slot as usize].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Filter;
+    use serde_json::json;
+    use xtract_types::Metadata;
+
+    fn record(family: u64, doc: Value) -> MetadataRecord {
+        MetadataRecord {
+            family: FamilyId::new(family),
+            schema: "passthrough".to_string(),
+            document: match doc {
+                Value::Object(m) => Metadata(m),
+                _ => panic!("expected object"),
+            },
+            extractors: vec!["keyword".to_string()],
+        }
+    }
+
+    fn sample_index() -> SearchIndex {
+        let idx = SearchIndex::new();
+        idx.ingest(record(1, json!({
+            "keyword": {"keywords": [{"word": "perovskite", "weight": 0.8}]},
+            "matio": {"formula": "Si8 O16", "converged": true, "final_energy_ev": -102.5}
+        })));
+        idx.ingest(record(2, json!({
+            "keyword": {"keywords": [{"word": "graphene", "weight": 0.9}]},
+            "tabular": {"rows": 500}
+        })));
+        idx.ingest(record(3, json!({
+            "keyword": {"keywords": [
+                {"word": "perovskite", "weight": 0.5},
+                {"word": "graphene", "weight": 0.4}
+            ]}
+        })));
+        idx
+    }
+
+    #[test]
+    fn term_search_ranks_by_tfidf() {
+        let idx = sample_index();
+        let hits = idx.search(&Query::terms(&["perovskite"]));
+        assert_eq!(hits.len(), 2);
+        // Family 3's document is shorter, so its term density (tf) is
+        // higher and it ranks first.
+        assert_eq!(hits[0].family, FamilyId::new(3));
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn require_all_terms_is_conjunctive() {
+        let idx = sample_index();
+        let mut q = Query::terms(&["perovskite", "graphene"]);
+        q.require_all_terms = true;
+        let hits = idx.search(&q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].family, FamilyId::new(3));
+        q.require_all_terms = false;
+        assert_eq!(idx.search(&q).len(), 3);
+    }
+
+    #[test]
+    fn field_filters_narrow_matches() {
+        let idx = sample_index();
+        let q = Query {
+            terms: vec![],
+            filters: vec![Filter::eq("matio.converged", json!(true))],
+            require_all_terms: false,
+            limit: 10,
+        };
+        let hits = idx.search(&q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].family, FamilyId::new(1));
+    }
+
+    #[test]
+    fn numeric_range_filters() {
+        let idx = sample_index();
+        let q = Query {
+            terms: vec![],
+            filters: vec![Filter::gt("tabular.rows", 100.0)],
+            require_all_terms: false,
+            limit: 10,
+        };
+        assert_eq!(idx.search(&q).len(), 1);
+        let q2 = Query {
+            filters: vec![Filter::lt("matio.final_energy_ev", -100.0)],
+            ..Query::terms(&[])
+        };
+        assert_eq!(idx.search(&q2)[0].family, FamilyId::new(1));
+    }
+
+    #[test]
+    fn empty_terms_match_everything() {
+        let idx = sample_index();
+        assert_eq!(idx.search(&Query::terms(&[])).len(), 3);
+    }
+
+    #[test]
+    fn reingestion_replaces() {
+        let idx = sample_index();
+        idx.ingest(record(1, json!({"keyword": {"keywords": [{"word": "zeolite"}]}})));
+        assert_eq!(idx.stats().documents, 3);
+        assert!(idx.search(&Query::terms(&["zeolite"])).len() == 1);
+        // The old content of family 1 no longer matches.
+        let hits = idx.search(&Query::terms(&["perovskite"]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].family, FamilyId::new(3));
+    }
+
+    #[test]
+    fn facets_count_values() {
+        let idx = SearchIndex::new();
+        for (i, class) in ["plot", "plot", "photograph"].iter().enumerate() {
+            idx.ingest(record(i as u64, json!({"images": {"class": class}})));
+        }
+        let facets = idx.facet(&Query::terms(&[]), "images.class");
+        assert_eq!(facets["plot"], 2);
+        assert_eq!(facets["photograph"], 1);
+    }
+
+    #[test]
+    fn get_returns_full_record() {
+        let idx = sample_index();
+        let rec = idx.get(FamilyId::new(2)).unwrap();
+        assert_eq!(rec.document.get("tabular").unwrap()["rows"], 500);
+        assert!(idx.get(FamilyId::new(99)).is_none());
+    }
+
+    #[test]
+    fn stats_track_growth() {
+        let idx = sample_index();
+        let s = idx.stats();
+        assert_eq!(s.documents, 3);
+        assert!(s.terms > 5);
+        assert!(s.postings >= s.terms);
+    }
+
+    #[test]
+    fn dotted_path_resolution_handles_path_like_keys() {
+        let doc = json!({"keyword": {"files": {"/a/b.txt": {"token_count": 42}}}});
+        let v = resolve_path(&doc, "keyword.files./a/b.txt.token_count").unwrap();
+        assert_eq!(v, &json!(42));
+        assert!(resolve_path(&doc, "keyword.files.missing").is_none());
+    }
+}

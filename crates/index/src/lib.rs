@@ -1,0 +1,48 @@
+//! # xtract-index
+//!
+//! The downstream search index the whole pipeline exists to feed.
+//!
+//! The paper's pipeline ends with validated JSON records shipped "to an
+//! external file system for client post-processing (e.g., ingestion into a
+//! search index)" (§3, §4.1); its motivation is FAIR findability ("users
+//! need methods for inferring file contents and for linking related
+//! files", §1), and its related-work comparators (ScienceSearch, Clowder)
+//! index into ElasticSearch. This crate is the ElasticSearch substitute: a
+//! compact in-memory search service over [`MetadataRecord`]s with
+//!
+//! * a tokenized **inverted index** over every string in a record's
+//!   document (terms are lowercased alphanumeric runs);
+//! * **field filters** over dotted JSON paths (`matio.converged = true`,
+//!   `keyword.files./a.txt.token_count > 100`);
+//! * **ranked term queries** (TF·IDF scoring with multi-term AND/OR);
+//! * **faceting** (value counts for a dotted field across matches).
+//!
+//! See `examples/search_index.rs` for the end-to-end flow: extract a
+//! repository, ingest the records, and answer the §1 motivating question —
+//! "find the data relevant to my work".
+
+//! ```
+//! use xtract_index::{Query, SearchIndex};
+//! use xtract_types::{FamilyId, Metadata, MetadataRecord};
+//! use serde_json::json;
+//!
+//! let idx = SearchIndex::new();
+//! let mut doc = Metadata::new();
+//! doc.insert("keyword", json!({"keywords": [{"word": "graphene"}]}));
+//! idx.ingest(MetadataRecord {
+//!     family: FamilyId::new(1),
+//!     schema: "passthrough".into(),
+//!     document: doc,
+//!     extractors: vec!["keyword".into()],
+//! });
+//! let hits = idx.search(&Query::terms(&["graphene"]));
+//! assert_eq!(hits[0].family, FamilyId::new(1));
+//! ```
+
+pub mod index;
+pub mod query;
+
+pub use index::{IndexStats, SearchIndex};
+pub use query::{Filter, Hit, Query};
+
+pub use xtract_types::MetadataRecord;

@@ -1,0 +1,152 @@
+//! Query model: ranked terms + field filters.
+
+use crate::index::{resolve_in_map, resolve_path};
+use serde_json::Value;
+use xtract_types::FamilyId;
+
+/// Comparison operators for field filters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Field equals a JSON value exactly.
+    Eq {
+        /// Dotted path into the record document.
+        field: String,
+        /// Expected value.
+        value: Value,
+    },
+    /// Field is a number greater than the bound.
+    Gt {
+        /// Dotted path.
+        field: String,
+        /// Lower bound (exclusive).
+        bound: f64,
+    },
+    /// Field is a number less than the bound.
+    Lt {
+        /// Dotted path.
+        field: String,
+        /// Upper bound (exclusive).
+        bound: f64,
+    },
+    /// Field exists at all.
+    Exists {
+        /// Dotted path.
+        field: String,
+    },
+}
+
+impl Filter {
+    /// Equality filter.
+    pub fn eq(field: impl Into<String>, value: Value) -> Self {
+        Filter::Eq { field: field.into(), value }
+    }
+
+    /// Greater-than filter.
+    pub fn gt(field: impl Into<String>, bound: f64) -> Self {
+        Filter::Gt { field: field.into(), bound }
+    }
+
+    /// Less-than filter.
+    pub fn lt(field: impl Into<String>, bound: f64) -> Self {
+        Filter::Lt { field: field.into(), bound }
+    }
+
+    /// Existence filter.
+    pub fn exists(field: impl Into<String>) -> Self {
+        Filter::Exists { field: field.into() }
+    }
+
+    /// Evaluates the filter against a record document.
+    pub fn matches(&self, doc: &Value) -> bool {
+        match self {
+            Filter::Eq { field, value } => resolve_path(doc, field) == Some(value),
+            Filter::Gt { field, bound } => resolve_path(doc, field)
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v > *bound),
+            Filter::Lt { field, bound } => resolve_path(doc, field)
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v < *bound),
+            Filter::Exists { field } => resolve_path(doc, field).is_some(),
+        }
+    }
+
+    /// Borrow-only evaluation against a document's top-level map (the hot
+    /// path inside the index: no cloning).
+    pub fn matches_map(&self, doc: &serde_json::Map<String, Value>) -> bool {
+        match self {
+            Filter::Eq { field, value } => resolve_in_map(doc, field) == Some(value),
+            Filter::Gt { field, bound } => resolve_in_map(doc, field)
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v > *bound),
+            Filter::Lt { field, bound } => resolve_in_map(doc, field)
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v < *bound),
+            Filter::Exists { field } => resolve_in_map(doc, field).is_some(),
+        }
+    }
+}
+
+/// A search query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Free-text terms (tokenized like documents).
+    pub terms: Vec<String>,
+    /// Field filters, all of which must match.
+    pub filters: Vec<Filter>,
+    /// Require every term to match (AND) instead of any (OR).
+    pub require_all_terms: bool,
+    /// Maximum hits returned.
+    pub limit: usize,
+}
+
+impl Query {
+    /// A disjunctive term query with default limit 20.
+    pub fn terms(terms: &[&str]) -> Self {
+        Self {
+            terms: terms.iter().map(|t| t.to_string()).collect(),
+            filters: Vec::new(),
+            require_all_terms: false,
+            limit: 20,
+        }
+    }
+}
+
+/// One ranked result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The matching family's record id.
+    pub family: FamilyId,
+    /// TF·IDF score (0 for pure-filter queries).
+    pub score: f64,
+    /// The record's validation schema.
+    pub schema: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn filters_evaluate_against_documents() {
+        let doc = json!({"a": {"b": 3.5, "s": "x"}, "flag": true});
+        assert!(Filter::eq("flag", json!(true)).matches(&doc));
+        assert!(Filter::eq("a.s", json!("x")).matches(&doc));
+        assert!(!Filter::eq("a.s", json!("y")).matches(&doc));
+        assert!(Filter::gt("a.b", 3.0).matches(&doc));
+        assert!(!Filter::gt("a.b", 4.0).matches(&doc));
+        assert!(Filter::lt("a.b", 4.0).matches(&doc));
+        assert!(Filter::exists("a.b").matches(&doc));
+        assert!(!Filter::exists("a.missing").matches(&doc));
+        // Non-numeric fields never satisfy numeric comparisons.
+        assert!(!Filter::gt("a.s", 0.0).matches(&doc));
+    }
+
+    #[test]
+    fn query_terms_constructor() {
+        let q = Query::terms(&["alpha", "beta"]);
+        assert_eq!(q.terms.len(), 2);
+        assert_eq!(q.limit, 20);
+        assert!(!q.require_all_terms);
+    }
+}

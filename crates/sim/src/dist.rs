@@ -1,0 +1,194 @@
+//! Sampling distributions for workload and cost models.
+//!
+//! The workload generators need heavy-tailed file sizes (scientific
+//! repositories mix byte-scale logs with multi-GB simulation dumps),
+//! skewed type popularity (a few extensions dominate, with a long tail of
+//! thousands — MDF has 11 560 unique extensions over 20 M files, Table 1),
+//! and noisy service times. Implemented here from first principles on top
+//! of `rand::Rng` so the workspace needs no extra distribution crates.
+
+use rand::Rng;
+
+/// Standard normal via Box–Muller (the polar branch is not needed; we can
+/// afford the two trig calls at generation time).
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal with the given parameters of the underlying normal.
+///
+/// Median = e^mu; spread grows with sigma. File sizes and extractor
+/// runtimes use this shape.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * std_normal(rng)).exp()
+}
+
+/// Log-normal clamped to `[lo, hi]` — keeps pathological tail draws from
+/// dominating a simulated campaign the way a corrupt size field would.
+pub fn lognormal_clamped<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    lognormal(rng, mu, sigma).clamp(lo, hi)
+}
+
+/// Exponential with the given rate (events per unit time).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// A categorical distribution over `n` outcomes with arbitrary
+/// non-negative weights, sampled by binary search over the cumulative sum.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds from weights. Panics if all weights are zero or any is
+    /// negative/non-finite.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one outcome");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all weights are zero");
+        Self { cumulative }
+    }
+
+    /// Samples an outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("nonempty");
+        let x: f64 = rng.gen_range(0.0..total);
+        // partition_point: first index whose cumulative exceeds x.
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (construction rejects empty weight vectors).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A Zipf(s) distribution over ranks `1..=n`, as a precomputed
+/// [`Categorical`]. Rank popularity ∝ 1/rank^s — the classic shape of
+/// file-extension frequency in shared repositories.
+pub fn zipf(n: usize, s: f64) -> Categorical {
+    assert!(n > 0);
+    let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-s)).collect();
+    Categorical::new(&weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| std_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..10_001).map(|_| lognormal(&mut r, 3.0, 1.0)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[5000];
+        let expected = 3.0f64.exp();
+        assert!((median / expected - 1.0).abs() < 0.15, "median {median} vs {expected}");
+    }
+
+    #[test]
+    fn lognormal_clamped_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = lognormal_clamped(&mut r, 10.0, 4.0, 2.0, 100.0);
+            assert!((2.0..=100.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let c = Categorical::new(&[1.0, 0.0, 3.0]);
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[c.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights are zero")]
+    fn all_zero_weights_rejected() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let z = zipf(1000, 1.1);
+        let mut r = rng();
+        let mut head = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut r) < 10 {
+                head += 1;
+            }
+        }
+        // With s=1.1 the top-10 ranks carry a large share.
+        assert!(head > n / 3, "head share {head}/{n}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let c = zipf(50, 1.0);
+        let a: Vec<usize> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..32).map(|_| c.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..32).map(|_| c.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

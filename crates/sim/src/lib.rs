@@ -1,0 +1,40 @@
+//! # xtract-sim
+//!
+//! A deterministic discrete-event simulation (DES) engine plus the facility
+//! calibration used to reproduce the paper's testbed (§5.1: Theta, Midway,
+//! Jetstream, River, Petrel, AWS).
+//!
+//! The paper's evaluation ran on real research cyberinfrastructure; this
+//! workspace substitutes a calibrated simulator (see `DESIGN.md`,
+//! "Reproduction posture"). The engine is deliberately generic — it knows
+//! nothing about files or extractors — and supplies four reusable
+//! primitives:
+//!
+//! * [`events::EventQueue`] — a virtual clock and priority event heap with
+//!   deterministic FIFO tie-breaking;
+//! * [`server::ServerPool`] — an N-server FIFO resource (worker pools,
+//!   crawler threads, Kubernetes pods);
+//! * [`net::FairShareLink`] — a progressive fair-share bandwidth model for
+//!   wide-area links, plus [`net::TransferSlots`] for Globus-style caps on
+//!   concurrent transfer jobs;
+//! * [`rng`] / [`dist`] — named deterministic RNG streams and the sampling
+//!   distributions the workload generators draw from.
+//!
+//! [`sites`] and [`calibration`] hold the constants that tie simulated time
+//! back to the paper's measurements, each with a citation to the section it
+//! came from.
+
+pub mod calibration;
+pub mod dist;
+pub mod events;
+pub mod net;
+pub mod rng;
+pub mod server;
+pub mod sites;
+pub mod time;
+
+pub use events::EventQueue;
+pub use net::{FairShareLink, TransferSlots};
+pub use rng::RngStreams;
+pub use server::ServerPool;
+pub use time::SimTime;

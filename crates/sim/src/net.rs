@@ -1,0 +1,428 @@
+//! Wide-area network models.
+//!
+//! Two cooperating pieces:
+//!
+//! * [`FairShareLink`] — a progressive processor-sharing model of one
+//!   bottleneck link: all active streams split the aggregate bandwidth
+//!   evenly, subject to an optional per-stream cap (a real effect for
+//!   single-TCP-stream tools; the paper reports effective per-campaign
+//!   rates of 26 MB/s and 79 MB/s on very different-capacity paths, §5.7).
+//! * [`TransferSlots`] — a cap on *concurrent transfer jobs*, mirroring the
+//!   "10 concurrent Globus transfer jobs" configuration of Fig. 6.
+//!
+//! [`simulate_transfers`] combines both into a closed mini-simulation that
+//! maps a list of (ready, bytes) jobs to (start, finish) instants — the
+//! primitive behind the Fig. 6 prefetch pipeline and the Fig. 7
+//! min-transfers comparison.
+
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// Identifier for an active stream on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(u64);
+
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    remaining: f64, // bytes
+}
+
+/// A single bottleneck link with progressive fair sharing.
+#[derive(Debug, Clone)]
+pub struct FairShareLink {
+    /// Aggregate capacity, bytes/second.
+    bandwidth: f64,
+    /// Per-stream ceiling, bytes/second (`f64::INFINITY` = unconstrained).
+    per_stream_cap: f64,
+    streams: HashMap<StreamId, Stream>,
+    last_update: SimTime,
+    next_id: u64,
+    completed: Vec<(SimTime, StreamId)>,
+    bytes_moved: f64,
+}
+
+impl FairShareLink {
+    /// A link with aggregate `bandwidth` bytes/second and no per-stream cap.
+    pub fn new(bandwidth: f64) -> Self {
+        Self::with_cap(bandwidth, f64::INFINITY)
+    }
+
+    /// A link with a per-stream ceiling.
+    pub fn with_cap(bandwidth: f64, per_stream_cap: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        assert!(per_stream_cap > 0.0, "per-stream cap must be positive");
+        Self {
+            bandwidth,
+            per_stream_cap,
+            streams: HashMap::new(),
+            last_update: SimTime::ZERO,
+            next_id: 0,
+            completed: Vec::new(),
+            bytes_moved: 0.0,
+        }
+    }
+
+    /// Current per-stream rate, bytes/second.
+    fn rate(&self) -> f64 {
+        if self.streams.is_empty() {
+            0.0
+        } else {
+            (self.bandwidth / self.streams.len() as f64).min(self.per_stream_cap)
+        }
+    }
+
+    /// Number of active streams.
+    pub fn active(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total bytes fully delivered so far.
+    pub fn bytes_moved(&self) -> f64 {
+        self.bytes_moved
+    }
+
+    /// Begins a stream of `bytes` at time `now` (must not precede previous
+    /// operations). Zero-byte streams complete instantly.
+    pub fn start(&mut self, now: SimTime, bytes: u64) -> StreamId {
+        self.advance(now);
+        let id = StreamId(self.next_id);
+        self.next_id += 1;
+        if bytes == 0 {
+            self.completed.push((now, id));
+        } else {
+            self.streams.insert(id, Stream { remaining: bytes as f64 });
+        }
+        id
+    }
+
+    /// The instant the earliest active stream will finish if no new stream
+    /// starts, or `None` when idle.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let rate = self.rate();
+        self.streams
+            .values()
+            .map(|s| s.remaining)
+            .min_by(f64::total_cmp)
+            .map(|rem| self.last_update + SimTime::from_secs(rem / rate))
+    }
+
+    /// Advances the link to `to`, crediting progress to all streams and
+    /// retiring any that finish on the way. Completions are buffered for
+    /// [`Self::take_completed`].
+    pub fn advance(&mut self, to: SimTime) {
+        assert!(to >= self.last_update, "link clock went backwards");
+        loop {
+            let Some(first) = self.next_completion() else {
+                self.last_update = to;
+                return;
+            };
+            let step_to = first.min(to);
+            let dt = step_to.since(self.last_update).as_secs();
+            let rate = self.rate();
+            let credit = dt * rate;
+            for s in self.streams.values_mut() {
+                s.remaining -= credit;
+                self.bytes_moved += credit.min(s.remaining + credit);
+            }
+            self.last_update = step_to;
+            // Retire finished streams deterministically (sorted by id).
+            let mut done: Vec<StreamId> = self
+                .streams
+                .iter()
+                .filter(|(_, s)| s.remaining <= 1e-6)
+                .map(|(&id, _)| id)
+                .collect();
+            // Guard against a floating-point stall: when a stream's
+            // residual service time rounds below the clock's ulp, `dt`
+            // is zero forever. Its completion instant *is* now — retire
+            // the minimum-remaining stream explicitly.
+            if done.is_empty() && credit <= 0.0 && first <= to {
+                if let Some((&id, _)) = self
+                    .streams
+                    .iter()
+                    .min_by(|a, b| a.1.remaining.total_cmp(&b.1.remaining).then(a.0 .0.cmp(&b.0 .0)))
+                {
+                    self.bytes_moved += self.streams[&id].remaining.max(0.0);
+                    done.push(id);
+                }
+            }
+            done.sort_by_key(|id| id.0);
+            for id in done {
+                self.streams.remove(&id);
+                self.completed.push((step_to, id));
+            }
+            if step_to >= to {
+                return;
+            }
+        }
+    }
+
+    /// Drains buffered completions in completion order.
+    pub fn take_completed(&mut self) -> Vec<(SimTime, StreamId)> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+/// A FIFO admission gate limiting concurrent transfer jobs (the Globus
+/// concurrency setting: Fig. 6 uses 10 concurrent transfer jobs).
+#[derive(Debug, Clone, Copy)]
+pub struct TransferSlots {
+    /// Maximum jobs in flight.
+    pub cap: usize,
+}
+
+impl TransferSlots {
+    /// A gate admitting up to `cap` jobs at once.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "need at least one transfer slot");
+        Self { cap }
+    }
+}
+
+/// One transfer job to simulate.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferJob {
+    /// When the job is submitted.
+    pub ready: SimTime,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// Outcome of one simulated job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    /// When the job was admitted to the link.
+    pub start: SimTime,
+    /// When its last byte arrived.
+    pub finish: SimTime,
+}
+
+/// Simulates `jobs` through one fair-share link under a concurrency gate.
+///
+/// Jobs are admitted FIFO by ready time (ties by index); at most `slots.cap`
+/// share the link at once. Returns one outcome per job, in input order.
+///
+/// ```
+/// use xtract_sim::net::{simulate_transfers, TransferJob, TransferSlots};
+/// use xtract_sim::SimTime;
+///
+/// // Two 1GB jobs on a 100 MB/s link, fair-shared: both finish at 20s.
+/// let jobs = vec![TransferJob { ready: SimTime::ZERO, bytes: 1_000_000_000 }; 2];
+/// let out = simulate_transfers(100.0e6, f64::INFINITY, TransferSlots::new(10), &jobs);
+/// assert_eq!(out[0].finish.as_secs(), 20.0);
+/// ```
+pub fn simulate_transfers(
+    link_bandwidth: f64,
+    per_stream_cap: f64,
+    slots: TransferSlots,
+    jobs: &[TransferJob],
+) -> Vec<TransferOutcome> {
+    let mut link = FairShareLink::with_cap(link_bandwidth, per_stream_cap);
+    let mut outcomes = vec![
+        TransferOutcome {
+            start: SimTime::ZERO,
+            finish: SimTime::ZERO
+        };
+        jobs.len()
+    ];
+
+    // Arrival order: by ready time, then submission index.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| jobs[a].ready.cmp(&jobs[b].ready).then(a.cmp(&b)));
+
+    let mut next_arrival = 0usize; // index into `order`
+    let mut stream_to_job: HashMap<StreamId, usize> = HashMap::new();
+    let mut in_flight = 0usize;
+    let mut now = SimTime::ZERO;
+
+    let total = jobs.len();
+    let mut finished = 0usize;
+    while finished < total {
+        // Admit while capacity allows and arrivals are due.
+        while in_flight < slots.cap
+            && next_arrival < total
+            && jobs[order[next_arrival]].ready <= now
+        {
+            let j = order[next_arrival];
+            next_arrival += 1;
+            outcomes[j].start = now;
+            let sid = link.start(now, jobs[j].bytes);
+            stream_to_job.insert(sid, j);
+            in_flight += 1;
+        }
+        // Zero-byte jobs may have completed instantly.
+        for (at, sid) in link.take_completed() {
+            let j = stream_to_job.remove(&sid).expect("unknown stream");
+            outcomes[j].finish = at;
+            in_flight -= 1;
+            finished += 1;
+        }
+        if finished == total {
+            break;
+        }
+        // Advance to the next interesting instant: a completion or an
+        // arrival that could be admitted.
+        let next_completion = link.next_completion();
+        let next_ready = (in_flight < slots.cap && next_arrival < total)
+            .then(|| jobs[order[next_arrival]].ready);
+        let target = match (next_completion, next_ready) {
+            (Some(c), Some(r)) => c.min(r),
+            (Some(c), None) => c,
+            (None, Some(r)) => r,
+            (None, None) => {
+                // No active streams, no admissible arrivals: only happens if
+                // capacity is full of... impossible; or waiting nonempty with
+                // in_flight == cap and no completions — also impossible since
+                // active streams exist whenever in_flight > 0 and bytes > 0.
+                unreachable!("transfer simulation stalled");
+            }
+        };
+        now = now.max(target);
+        link.advance(now);
+        for (at, sid) in link.take_completed() {
+            let j = stream_to_job.remove(&sid).expect("unknown stream");
+            outcomes[j].finish = at;
+            in_flight -= 1;
+            finished += 1;
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_stream_uses_full_bandwidth() {
+        let mut link = FairShareLink::new(100.0);
+        let id = link.start(SimTime::ZERO, 1000);
+        assert_eq!(link.next_completion(), Some(t(10.0)));
+        link.advance(t(10.0));
+        let done = link.take_completed();
+        assert_eq!(done, vec![(t(10.0), id)]);
+        assert_eq!(link.active(), 0);
+    }
+
+    #[test]
+    fn two_streams_halve_the_rate() {
+        let mut link = FairShareLink::new(100.0);
+        link.start(SimTime::ZERO, 1000);
+        link.start(SimTime::ZERO, 1000);
+        // Each gets 50 B/s => 20 s.
+        assert_eq!(link.next_completion(), Some(t(20.0)));
+    }
+
+    #[test]
+    fn departure_speeds_up_survivors() {
+        let mut link = FairShareLink::new(100.0);
+        link.start(SimTime::ZERO, 500); // finishes at 10s (50 B/s shared)
+        link.start(SimTime::ZERO, 1000); // 500B left at t=10, then full rate
+        link.advance(t(10.0));
+        assert_eq!(link.take_completed().len(), 1);
+        // Remaining 500 bytes at 100 B/s => completes at 15s.
+        assert_eq!(link.next_completion(), Some(t(15.0)));
+    }
+
+    #[test]
+    fn per_stream_cap_binds_when_few_streams() {
+        let link = {
+            let mut l = FairShareLink::with_cap(1000.0, 100.0);
+            l.start(SimTime::ZERO, 1000);
+            l
+        };
+        // One stream capped at 100 B/s despite 1000 B/s aggregate.
+        assert_eq!(link.next_completion(), Some(t(10.0)));
+    }
+
+    #[test]
+    fn zero_byte_stream_completes_instantly() {
+        let mut link = FairShareLink::new(10.0);
+        let id = link.start(t(3.0), 0);
+        assert_eq!(link.take_completed(), vec![(t(3.0), id)]);
+    }
+
+    #[test]
+    fn advance_mid_flight_preserves_progress() {
+        let mut link = FairShareLink::new(100.0);
+        link.start(SimTime::ZERO, 1000);
+        link.advance(t(4.0)); // 400 bytes done
+        link.start(t(4.0), 600); // now two streams at 50 B/s each
+        // First: 600 left / 50 => t=16; second: 600/50 => t=16 too.
+        assert_eq!(link.next_completion(), Some(t(16.0)));
+    }
+
+    #[test]
+    fn slots_gate_concurrency() {
+        // 4 equal jobs, 2 slots, bandwidth 100: first pair shares (finish
+        // 20s), second pair runs 20..40.
+        let jobs = vec![
+            TransferJob { ready: SimTime::ZERO, bytes: 1000 };
+            4
+        ];
+        let out = simulate_transfers(100.0, f64::INFINITY, TransferSlots::new(2), &jobs);
+        assert_eq!(out[0].finish, t(20.0));
+        assert_eq!(out[1].finish, t(20.0));
+        assert_eq!(out[2].start, t(20.0));
+        assert_eq!(out[3].finish, t(40.0));
+    }
+
+    #[test]
+    fn unlimited_slots_is_pure_fair_share() {
+        let jobs = vec![
+            TransferJob { ready: SimTime::ZERO, bytes: 1000 };
+            10
+        ];
+        let out = simulate_transfers(100.0, f64::INFINITY, TransferSlots::new(100), &jobs);
+        for o in &out {
+            assert_eq!(o.finish, t(100.0)); // 10 streams × 10 B/s each
+        }
+    }
+
+    #[test]
+    fn total_time_conserves_bytes() {
+        // Whatever the slot pattern, total bytes / bandwidth lower-bounds
+        // the last finish, and with full utilization equals it.
+        let jobs: Vec<_> = (0..17)
+            .map(|i| TransferJob {
+                ready: SimTime::ZERO,
+                bytes: 100 + i * 13,
+            })
+            .collect();
+        let total_bytes: u64 = jobs.iter().map(|j| j.bytes).sum();
+        let out = simulate_transfers(50.0, f64::INFINITY, TransferSlots::new(4), &jobs);
+        let last = out.iter().map(|o| o.finish).max().unwrap();
+        let ideal = total_bytes as f64 / 50.0;
+        assert!((last.as_secs() - ideal).abs() < 1e-6, "link left idle");
+    }
+
+    #[test]
+    fn later_arrivals_wait_for_ready_time() {
+        let jobs = vec![
+            TransferJob { ready: SimTime::ZERO, bytes: 100 },
+            TransferJob { ready: t(50.0), bytes: 100 },
+        ];
+        let out = simulate_transfers(10.0, f64::INFINITY, TransferSlots::new(8), &jobs);
+        assert_eq!(out[0].finish, t(10.0));
+        assert_eq!(out[1].start, t(50.0));
+        assert_eq!(out[1].finish, t(60.0));
+    }
+
+    #[test]
+    fn per_stream_cap_in_batch_simulation() {
+        // 10 jobs, cap 10 B/s per stream, aggregate 1000: no sharing
+        // pressure, each takes bytes/cap.
+        let jobs = vec![
+            TransferJob { ready: SimTime::ZERO, bytes: 100 };
+            10
+        ];
+        let out = simulate_transfers(1000.0, 10.0, TransferSlots::new(10), &jobs);
+        for o in &out {
+            assert_eq!(o.finish, t(10.0));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! An N-server FIFO resource.
+//!
+//! Models any pool of identical execution slots — funcX worker containers
+//! on Theta nodes, crawler threads, Kubernetes pods, Tika server threads —
+//! without individual events per slot: the pool keeps each server's
+//! next-free instant in a min-heap, and `assign` performs the classic
+//! multi-server-queue recurrence
+//!
+//! ```text
+//! start  = max(ready, earliest_free_server)
+//! finish = start + service
+//! ```
+//!
+//! which is exact for FIFO dispatch of a known arrival/service sequence and
+//! lets million-task campaigns run in `O(n log k)`.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One completed assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Index of the server that ran the task.
+    pub server: usize,
+    /// When service began (≥ the task's ready time).
+    pub start: SimTime,
+    /// When service finished.
+    pub finish: SimTime,
+    /// How long the task waited in queue before starting.
+    pub queued: SimTime,
+}
+
+/// A pool of `k` identical FIFO servers.
+///
+/// ```
+/// use xtract_sim::{ServerPool, SimTime};
+///
+/// let mut pool = ServerPool::new(2);
+/// let t = |s| SimTime::from_secs(s);
+/// // Three 10s tasks on two workers: the third queues behind the first.
+/// assert_eq!(pool.assign(t(0.0), t(10.0)).finish, t(10.0));
+/// assert_eq!(pool.assign(t(0.0), t(10.0)).finish, t(10.0));
+/// let third = pool.assign(t(0.0), t(10.0));
+/// assert_eq!(third.start, t(10.0));
+/// assert_eq!(pool.makespan(), t(20.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    // (next_free, server_index); Reverse for a min-heap. The index
+    // tie-break keeps assignment deterministic.
+    free_at: BinaryHeap<Reverse<(SimTime, usize)>>,
+    servers: usize,
+    busy_time: f64,
+    assignments: u64,
+}
+
+impl ServerPool {
+    /// A pool of `servers` slots, all free at time zero.
+    pub fn new(servers: usize) -> Self {
+        Self::free_from(servers, SimTime::ZERO)
+    }
+
+    /// A pool whose slots become available at `t0` (e.g. after a cold
+    /// start or an allocation grant).
+    pub fn free_from(servers: usize, t0: SimTime) -> Self {
+        assert!(servers > 0, "a server pool needs at least one server");
+        Self {
+            free_at: (0..servers).map(|i| Reverse((t0, i))).collect(),
+            servers,
+            busy_time: 0.0,
+            assignments: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Assigns a task that becomes ready at `ready` and needs `service`
+    /// seconds, to the earliest-free server.
+    pub fn assign(&mut self, ready: SimTime, service: SimTime) -> Assignment {
+        let Reverse((free, server)) = self.free_at.pop().expect("pool is never empty");
+        let start = ready.max(free);
+        let finish = start + service;
+        self.free_at.push(Reverse((finish, server)));
+        self.busy_time += service.as_secs();
+        self.assignments += 1;
+        Assignment {
+            server,
+            start,
+            finish,
+            queued: start.since(ready),
+        }
+    }
+
+    /// The earliest instant at which any server is free.
+    pub fn earliest_free(&self) -> SimTime {
+        self.free_at.peek().map(|Reverse((t, _))| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// The instant at which *all* servers are free — i.e. the pool's
+    /// makespan so far.
+    pub fn makespan(&self) -> SimTime {
+        self.free_at
+            .iter()
+            .map(|Reverse((t, _))| *t)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Aggregate busy seconds across servers (the paper's "core hours"
+    /// figure for the MDF campaign, §5.8.1, is `busy_seconds / 3600`).
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_time
+    }
+
+    /// Mean utilization over `[0, makespan]`.
+    pub fn utilization(&self) -> f64 {
+        let span = self.makespan().as_secs();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.busy_time / (span * self.servers as f64)
+        }
+    }
+
+    /// Number of tasks assigned.
+    pub fn assigned(&self) -> u64 {
+        self.assignments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_server_serializes() {
+        let mut p = ServerPool::new(1);
+        let a = p.assign(t(0.0), t(2.0));
+        let b = p.assign(t(0.0), t(2.0));
+        assert_eq!(a.start, t(0.0));
+        assert_eq!(a.finish, t(2.0));
+        assert_eq!(b.start, t(2.0));
+        assert_eq!(b.finish, t(4.0));
+        assert_eq!(b.queued, t(2.0));
+        assert_eq!(p.makespan(), t(4.0));
+    }
+
+    #[test]
+    fn parallel_servers_run_concurrently() {
+        let mut p = ServerPool::new(4);
+        for _ in 0..4 {
+            p.assign(t(0.0), t(3.0));
+        }
+        assert_eq!(p.makespan(), t(3.0));
+        assert!((p.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ready_time_is_respected() {
+        let mut p = ServerPool::new(2);
+        let a = p.assign(t(10.0), t(1.0));
+        assert_eq!(a.start, t(10.0));
+        assert_eq!(a.queued, SimTime::ZERO);
+    }
+
+    #[test]
+    fn strong_scaling_shape() {
+        // Fixed work, more servers => shorter makespan, until task
+        // granularity dominates (the Fig. 2a shape at the primitive level).
+        let makespan = |k: usize| {
+            let mut p = ServerPool::new(k);
+            for _ in 0..1000 {
+                p.assign(SimTime::ZERO, t(1.0));
+            }
+            p.makespan().as_secs()
+        };
+        assert!(makespan(10) > makespan(100));
+        assert!(makespan(100) > makespan(1000));
+        assert_eq!(makespan(1000), makespan(2000)); // 1000 tasks can't use 2000 servers
+    }
+
+    #[test]
+    fn busy_seconds_accumulates_core_hours() {
+        let mut p = ServerPool::new(8);
+        for _ in 0..16 {
+            p.assign(SimTime::ZERO, t(0.5));
+        }
+        assert!((p.busy_seconds() - 8.0).abs() < 1e-9);
+        assert_eq!(p.assigned(), 16);
+    }
+
+    #[test]
+    fn cold_pool_delays_first_start() {
+        let mut p = ServerPool::free_from(2, t(70.0)); // §5.8.2 cold start
+        let a = p.assign(t(0.0), t(1.0));
+        assert_eq!(a.start, t(70.0));
+        assert_eq!(a.queued, t(70.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = ServerPool::new(0);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let run = || {
+            let mut p = ServerPool::new(3);
+            (0..50)
+                .map(|i| p.assign(t(i as f64 * 0.1), t(1.0 + (i % 7) as f64)).server)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

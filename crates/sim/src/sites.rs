@@ -1,0 +1,218 @@
+//! Facility presets: the paper's experiment testbed (§5.1) as data.
+//!
+//! Each [`Site`] describes a compute facility's shape — node count, cores
+//! per node, relative core speed, container runtime, allocation limits —
+//! and each [`link`] call resolves the calibrated wide-area path between
+//! two facilities. The campaign simulator composes these with
+//! [`crate::server::ServerPool`] and [`crate::net::FairShareLink`].
+
+use crate::calibration::links;
+use serde::{Deserialize, Serialize};
+
+/// Container runtime families (mirrors `xtract-types`' enum without the
+/// dependency; sites are engine-level data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Runtime {
+    /// Docker / Kubernetes-style runtimes.
+    Docker,
+    /// Singularity (HPC).
+    Singularity,
+}
+
+/// A compute/storage facility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Facility name.
+    pub name: &'static str,
+    /// Number of nodes available to a campaign.
+    pub nodes: usize,
+    /// FaaS worker containers per node.
+    pub workers_per_node: usize,
+    /// Relative single-core speed vs a reference cloud core (1.0). Theta's
+    /// KNL cores are individually slow (§5.1: Xeon Phi), so extractor
+    /// service times are divided by this factor.
+    pub core_speed: f64,
+    /// Container runtime available.
+    pub runtime: Runtime,
+    /// Scheduler allocation limit, seconds, if any (§5.8.1: "Theta's
+    /// scheduling policies allowed us to allocate nodes for only six hours
+    /// at a time").
+    pub allocation_limit_s: Option<f64>,
+    /// Whether the site mounts a shared filesystem visible to all workers
+    /// (River's Kubernetes pods do not, §5.8.2).
+    pub shared_fs: bool,
+}
+
+impl Site {
+    /// Total workers with all nodes in use.
+    pub fn max_workers(&self) -> usize {
+        self.nodes * self.workers_per_node
+    }
+}
+
+/// ANL Theta: 11.7-petaflop Cray XC40, 4 392 KNL nodes, 64 cores each,
+/// Lustre FS, Singularity containers (§5.1). KNL cores are slow per-core.
+pub fn theta() -> Site {
+    Site {
+        name: "theta",
+        nodes: 4392,
+        workers_per_node: 64,
+        core_speed: 0.55,
+        runtime: Runtime::Singularity,
+        allocation_limit_s: Some(6.0 * 3600.0),
+        shared_fs: true,
+    }
+}
+
+/// UChicago Midway: campus cluster, Broadwell partition (28 cores, 64 GB)
+/// (§5.1).
+pub fn midway() -> Site {
+    Site {
+        name: "midway",
+        nodes: 572,
+        workers_per_node: 28,
+        core_speed: 1.0,
+        runtime: Runtime::Singularity,
+        allocation_limit_s: None,
+        shared_fs: true,
+    }
+}
+
+/// Jetstream: open research cloud, m1.large instances (10 vCPU, 10 GB) in
+/// the TACC cluster (§5.1).
+pub fn jetstream() -> Site {
+    Site {
+        name: "jetstream",
+        nodes: 320,
+        workers_per_node: 10,
+        core_speed: 0.95,
+        runtime: Runtime::Docker,
+        allocation_limit_s: None,
+        shared_fs: false,
+    }
+}
+
+/// River: UChicago Kubernetes cluster, 70 nodes × 48 cores; pods do not
+/// mount a shared disk (§5.1, §5.8.2).
+pub fn river() -> Site {
+    Site {
+        name: "river",
+        nodes: 70,
+        workers_per_node: 48,
+        core_speed: 1.0,
+        runtime: Runtime::Docker,
+        allocation_limit_s: None,
+        shared_fs: false,
+    }
+}
+
+/// Petrel: ANL data service, 8-node Ceph cluster, 3 PB, Globus-only access,
+/// **no compute** (§5.1).
+pub fn petrel() -> Site {
+    Site {
+        name: "petrel",
+        nodes: 8,
+        workers_per_node: 0,
+        core_speed: 1.0,
+        runtime: Runtime::Docker,
+        allocation_limit_s: None,
+        shared_fs: true,
+    }
+}
+
+/// A wide-area path between two facilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Aggregate bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+    /// Per-stream (per transfer job) cap, bytes/second.
+    pub per_stream_bps: f64,
+    /// Per-job startup latency, seconds.
+    pub startup_s: f64,
+}
+
+/// Resolves the calibrated link between two sites (order matters only for
+/// readability; paths here are symmetric). Unknown pairs get a
+/// conservative 100 MB/s default.
+pub fn link(from: &str, to: &str) -> LinkSpec {
+    let pair = |a: &str, b: &str| (from == a && to == b) || (from == b && to == a);
+    if pair("midway", "jetstream") {
+        LinkSpec {
+            bandwidth_bps: links::MIDWAY_TO_JETSTREAM_BPS,
+            per_stream_bps: links::MIDWAY_TO_JETSTREAM_BPS,
+            startup_s: links::GLOBUS_JOB_STARTUP_S,
+        }
+    } else if pair("petrel", "jetstream") {
+        LinkSpec {
+            bandwidth_bps: links::PETREL_TO_JETSTREAM_BPS,
+            per_stream_bps: links::PETREL_TO_JETSTREAM_BPS,
+            startup_s: links::GLOBUS_JOB_STARTUP_S,
+        }
+    } else if pair("petrel", "theta") {
+        LinkSpec {
+            bandwidth_bps: links::PETREL_TO_THETA_BPS,
+            per_stream_bps: links::PETREL_TO_THETA_BPS / 4.0,
+            startup_s: links::GLOBUS_JOB_STARTUP_S,
+        }
+    } else if pair("petrel", "midway") {
+        LinkSpec {
+            bandwidth_bps: links::PETREL_TO_MIDWAY_BPS,
+            per_stream_bps: links::PETREL_TO_MIDWAY_PER_JOB_BPS,
+            startup_s: links::GLOBUS_JOB_STARTUP_S,
+        }
+    } else {
+        LinkSpec {
+            bandwidth_bps: 100.0e6,
+            per_stream_bps: 50.0e6,
+            startup_s: links::GLOBUS_JOB_STARTUP_S,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_shapes() {
+        assert_eq!(theta().nodes, 4392);
+        assert_eq!(theta().workers_per_node, 64);
+        assert_eq!(midway().workers_per_node, 28); // Broadwell partition
+        assert_eq!(jetstream().workers_per_node, 10); // m1.large vCPUs
+        assert_eq!(river().nodes, 70);
+        assert_eq!(petrel().max_workers(), 0); // storage only
+    }
+
+    #[test]
+    fn theta_has_six_hour_allocations() {
+        assert_eq!(theta().allocation_limit_s, Some(21600.0));
+        assert_eq!(midway().allocation_limit_s, None);
+    }
+
+    #[test]
+    fn river_pods_lack_shared_disk() {
+        assert!(!river().shared_fs);
+        assert!(theta().shared_fs);
+    }
+
+    #[test]
+    fn links_are_symmetric_and_calibrated() {
+        let a = link("midway", "jetstream");
+        let b = link("jetstream", "midway");
+        assert_eq!(a, b);
+        assert_eq!(a.bandwidth_bps, 26.0e6);
+        assert_eq!(link("petrel", "jetstream").bandwidth_bps, 79.0e6);
+    }
+
+    #[test]
+    fn unknown_pairs_get_default() {
+        let l = link("theta", "river");
+        assert_eq!(l.bandwidth_bps, 100.0e6);
+    }
+
+    #[test]
+    fn theta_can_host_the_scaling_sweep() {
+        // Fig. 2 deploys up to 8 192 worker containers.
+        assert!(theta().max_workers() >= 8192);
+    }
+}

@@ -1,0 +1,165 @@
+//! Virtual time.
+//!
+//! Simulated time is a non-negative count of seconds stored as `f64` —
+//! convenient for cost models calibrated in fractional seconds — wrapped in
+//! [`SimTime`] to give it a **total** order (`f64` alone is only partially
+//! ordered, which poisons `BinaryHeap`s). NaN is rejected at construction,
+//! making the `Ord` impl sound.
+
+use serde::{Deserialize, Serialize};
+
+/// An instant (or duration) in simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero: the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Constructs from seconds. Panics on NaN or negative input — both are
+    /// always bugs in a cost model, and catching them here keeps the heap
+    /// ordering total.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// Constructs from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms / 1e3)
+    }
+
+    /// Seconds as `f64`.
+    #[inline]
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: the duration from `earlier` to `self`, zero
+    /// if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimTime {
+        SimTime((self.0 - earlier.0).max(0.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Constructor guarantees no NaN, so total_cmp agrees with the
+        // arithmetic order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 3600.0 {
+            write!(f, "{:.2}h", self.0 / 3600.0)
+        } else if self.0 >= 60.0 {
+            write!(f, "{:.1}m", self.0 / 60.0)
+        } else if self.0 >= 1.0 {
+            write!(f, "{:.2}s", self.0)
+        } else {
+            write!(f, "{:.1}ms", self.0 * 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((a + b).as_secs(), 3.0);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(5.0);
+        assert_eq!(b.since(a).as_secs(), 4.0);
+        assert_eq!(a.since(b).as_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_is_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_is_rejected() {
+        let _ = SimTime::from_secs(-0.1);
+    }
+
+    #[test]
+    fn display_picks_human_units() {
+        assert_eq!(SimTime::from_secs(7200.0).to_string(), "2.00h");
+        assert_eq!(SimTime::from_secs(90.0).to_string(), "1.5m");
+        assert_eq!(SimTime::from_secs(2.5).to_string(), "2.50s");
+        assert_eq!(SimTime::from_millis(3.0).to_string(), "3.0ms");
+    }
+
+    #[test]
+    fn millis_constructor() {
+        assert_eq!(SimTime::from_millis(1500.0).as_secs(), 1.5);
+    }
+}

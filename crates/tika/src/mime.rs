@@ -1,0 +1,112 @@
+//! MIME-type detection and parser routing, the Tika way: extension in,
+//! MIME out, one "best" parser per MIME.
+
+use xtract_types::ExtractorKind;
+
+/// Maps a path to a MIME type from its extension alone. Extension-less
+/// scientific files (INCAR, OUTCAR...) fall back to
+/// `application/octet-stream` — the routing failure the paper calls out.
+pub fn mime_for_path(path: &str) -> &'static str {
+    let name = path.rsplit('/').next().unwrap_or(path).to_ascii_lowercase();
+    let ext = match name.rfind('.') {
+        Some(i) if i > 0 && i + 1 < name.len() => &name[i + 1..],
+        _ => return "application/octet-stream",
+    };
+    match ext {
+        // The critical conflation: .txt, .dat, .log, .out are all
+        // text/plain whether they hold prose or tables.
+        "txt" | "md" | "log" | "dat" | "out" | "in" | "asc" | "tab" => "text/plain",
+        "csv" => "text/csv",
+        "tsv" => "text/tab-separated-values",
+        "xls" | "xlsx" => "application/vnd.ms-excel",
+        "pdf" => "application/pdf",
+        "doc" | "docx" => "application/msword",
+        "png" => "image/png",
+        "jpg" | "jpeg" => "image/jpeg",
+        "tif" | "tiff" => "image/tiff",
+        "gif" => "image/gif",
+        "ximg" => "image/x-ximg",
+        "json" | "geojson" => "application/json",
+        "xml" | "xsd" => "application/xml",
+        "yaml" | "yml" => "application/x-yaml",
+        "h5" | "hdf" | "hdf5" | "nc" | "xhdf" => "application/x-hdf",
+        "py" => "text/x-python",
+        "c" | "h" => "text/x-csrc",
+        "zip" | "gz" | "tgz" | "tar" | "bz2" | "xzip" => "application/zip",
+        "ppt" | "pptx" | "key" => "application/vnd.ms-powerpoint",
+        "cif" => "chemical/x-cif",
+        _ => "application/octet-stream",
+    }
+}
+
+/// Picks the single "best" parser for a MIME type. `None` means Tika has
+/// no parser (octet-stream) and only emits container metadata (size).
+pub fn parser_for_mime(mime: &str) -> Option<ExtractorKind> {
+    Some(match mime {
+        // text/plain always goes to the text parser — even when the file
+        // is a table (the §6 criticism).
+        "text/plain" | "application/pdf" | "application/msword"
+        | "application/vnd.ms-powerpoint" => ExtractorKind::Keyword,
+        "text/csv" | "text/tab-separated-values" | "application/vnd.ms-excel" => {
+            ExtractorKind::Tabular
+        }
+        m if m.starts_with("image/") => ExtractorKind::Images,
+        "application/json" | "application/xml" | "application/x-yaml" => {
+            ExtractorKind::SemiStructured
+        }
+        "application/x-hdf" => ExtractorKind::Hierarchical,
+        "text/x-python" => ExtractorKind::PythonCode,
+        "text/x-csrc" => ExtractorKind::CCode,
+        "application/zip" => ExtractorKind::Compressed,
+        "chemical/x-cif" => ExtractorKind::MaterialsIo,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_conflation() {
+        // Both a README and a data table map to text/plain → Keyword.
+        assert_eq!(mime_for_path("/x/README.txt"), "text/plain");
+        assert_eq!(mime_for_path("/x/table.dat"), "text/plain");
+        assert_eq!(
+            parser_for_mime("text/plain"),
+            Some(ExtractorKind::Keyword)
+        );
+    }
+
+    #[test]
+    fn extensionless_vasp_files_are_octet_stream() {
+        assert_eq!(mime_for_path("/run/OUTCAR"), "application/octet-stream");
+        assert_eq!(mime_for_path("/run/INCAR"), "application/octet-stream");
+        assert_eq!(parser_for_mime("application/octet-stream"), None);
+    }
+
+    #[test]
+    fn typed_formats_route_to_parsers() {
+        assert_eq!(
+            parser_for_mime(mime_for_path("/a/t.csv")),
+            Some(ExtractorKind::Tabular)
+        );
+        assert_eq!(
+            parser_for_mime(mime_for_path("/a/i.png")),
+            Some(ExtractorKind::Images)
+        );
+        assert_eq!(
+            parser_for_mime(mime_for_path("/a/m.json")),
+            Some(ExtractorKind::SemiStructured)
+        );
+        assert_eq!(
+            parser_for_mime(mime_for_path("/a/s.cif")),
+            Some(ExtractorKind::MaterialsIo)
+        );
+    }
+
+    #[test]
+    fn hidden_files_have_no_mime() {
+        assert_eq!(mime_for_path("/home/.bashrc"), "application/octet-stream");
+    }
+}

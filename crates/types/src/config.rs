@@ -1,0 +1,292 @@
+//! Job and endpoint configuration.
+//!
+//! These types carry what the paper's Listing 2 expresses through the
+//! `XtractClient`: which repositories to crawl, which endpoints have data
+//! and/or compute layers, how to group files, the two batch sizes, the
+//! offloading rule, and the validation schema.
+
+use crate::id::EndpointId;
+use serde::{Deserialize, Serialize};
+
+/// How the crawler's grouping function assigns files to groups (§3
+/// "Crawling": "as granular as placing each individual file into its own
+/// group, and as broad as placing entire directories ... into a single
+/// group").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupingStrategy {
+    /// Every file is its own group ("single file group").
+    SingleFile,
+    /// All files in a directory form one group.
+    Directory,
+    /// Files in a directory sharing an extension form one group (the
+    /// `grouper='extension'` of Listing 2).
+    Extension,
+    /// Materials-aware grouping: VASP-style run files in a directory are
+    /// grouped per calculation, and descriptive files (READMEs, spreadsheets)
+    /// join every data group in their directory — this is what creates
+    /// overlapping groups and makes min-transfers matter (§4.3.1).
+    MaterialsAware,
+}
+
+impl GroupingStrategy {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GroupingStrategy::SingleFile => "single-file",
+            GroupingStrategy::Directory => "directory",
+            GroupingStrategy::Extension => "extension",
+            GroupingStrategy::MaterialsAware => "materials-aware",
+        }
+    }
+}
+
+/// Task-offloading policy (§4.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OffloadMode {
+    /// Never offload: everything runs at (or is transferred to) the primary
+    /// compute endpoint.
+    None,
+    /// "Offload n bytes", max variant: when the home endpoint is saturated,
+    /// files **larger** than the limit move to the secondary endpoint.
+    OnbMax {
+        /// Size threshold in bytes.
+        limit_bytes: u64,
+    },
+    /// "Offload n bytes", min variant: files **smaller** than the limit
+    /// move.
+    OnbMin {
+        /// Size threshold in bytes.
+        limit_bytes: u64,
+    },
+    /// A fixed percentage of files, chosen at random, moves to the
+    /// secondary endpoint (the RAND policy of Table 2).
+    Rand {
+        /// Percentage in `[0, 100]`.
+        percent: f64,
+    },
+}
+
+/// Validation / transformation schema applied by the validator service
+/// (§3 "Validation (and Transformation)").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationSchema {
+    /// The 'passthrough' validator: ensure the dictionary is valid JSON.
+    Passthrough,
+    /// One of the 12 MDF schemas, by name.
+    Mdf(String),
+    /// A user-registered schema, by name.
+    Custom(String),
+}
+
+impl ValidationSchema {
+    /// The schema's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            ValidationSchema::Passthrough => "passthrough",
+            ValidationSchema::Mdf(n) | ValidationSchema::Custom(n) => n,
+        }
+    }
+}
+
+/// Container runtimes an endpoint supports (§4.1: Docker-only containers
+/// cannot run on Singularity-only systems).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContainerRuntime {
+    /// Docker (clouds, Kubernetes).
+    Docker,
+    /// Singularity (HPC systems).
+    Singularity,
+}
+
+/// One endpoint entry in a job (Listing 2's `globus_ep` / `fx_ep` dicts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointSpec {
+    /// The endpoint.
+    pub endpoint: EndpointId,
+    /// Root path of the data of interest on this endpoint.
+    pub read_path: String,
+    /// Staging directory for files transferred *to* this endpoint; `None`
+    /// means the endpoint cannot receive data for extraction (Listing 2:
+    /// `store_path=None` ⇒ "Xtract will then automatically move the files
+    /// to another endpoint").
+    pub store_path: Option<String>,
+    /// Free storage for staging, bytes.
+    pub available_bytes: u64,
+    /// Number of FaaS workers, or `None` when the endpoint has no compute
+    /// layer (pure storage, like Petrel).
+    pub workers: Option<usize>,
+    /// Container runtime available at the compute layer.
+    pub runtime: ContainerRuntime,
+}
+
+impl EndpointSpec {
+    /// True when extraction can run here.
+    pub fn has_compute(&self) -> bool {
+        self.workers.is_some_and(|w| w > 0)
+    }
+
+    /// True when files can be staged here.
+    pub fn can_receive(&self) -> bool {
+        self.store_path.is_some()
+    }
+}
+
+/// A bulk metadata extraction job (§3 "Xtract User Interface": "a list of
+/// target repositories ..., paths specifying the root directories to be
+/// processed, a list of compute endpoints to be used, and a file grouping
+/// function").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Endpoints participating in the job. The first entry with compute is
+    /// the primary extraction site unless offloading redirects work.
+    pub endpoints: Vec<EndpointSpec>,
+    /// Root directories to crawl, as `(endpoint, path)` pairs.
+    pub roots: Vec<(EndpointId, String)>,
+    /// Grouping function applied at crawl time.
+    pub grouping: GroupingStrategy,
+    /// Maximum family size `s > 0` for min-transfers (§4.3.1).
+    pub max_family_size: usize,
+    /// Families per Xtract batch (§4.3.2, swept in Fig. 5).
+    pub xtract_batch_size: usize,
+    /// Xtract batches per funcX web request (§4.3.2, swept in Fig. 5).
+    pub funcx_batch_size: usize,
+    /// Offloading policy.
+    pub offload: OffloadMode,
+    /// Validation schema for finished records.
+    pub validation: ValidationSchema,
+    /// Endpoint whose data layer receives the validated JSON records
+    /// (§3: metadata are transferred "to an endpoint of the user's
+    /// choosing for post-processing"). `None` = the primary compute
+    /// endpoint.
+    pub results_endpoint: Option<EndpointId>,
+    /// Delete staged copies after extraction (Listing 1's `delete_files`).
+    pub delete_after_extraction: bool,
+    /// Enable the checkpoint flag (§5.8.1) so completed groups survive an
+    /// allocation expiry.
+    pub checkpoint: bool,
+    /// Number of crawler worker threads (swept in Fig. 4).
+    pub crawl_workers: usize,
+}
+
+impl JobSpec {
+    /// A minimal, valid job over one endpoint — the starting point for
+    /// tests and the quickstart example.
+    pub fn single_endpoint(endpoint: EndpointSpec, root: impl Into<String>) -> Self {
+        let ep = endpoint.endpoint;
+        Self {
+            endpoints: vec![endpoint],
+            roots: vec![(ep, root.into())],
+            grouping: GroupingStrategy::SingleFile,
+            max_family_size: 16,
+            xtract_batch_size: 8,
+            funcx_batch_size: 16,
+            offload: OffloadMode::None,
+            validation: ValidationSchema::Passthrough,
+            results_endpoint: None,
+            delete_after_extraction: false,
+            checkpoint: false,
+            crawl_workers: 4,
+        }
+    }
+
+    /// Validates internal consistency; returns a human-readable complaint
+    /// for the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.endpoints.is_empty() {
+            return Err("job has no endpoints".into());
+        }
+        if self.roots.is_empty() {
+            return Err("job has no root paths".into());
+        }
+        if self.max_family_size == 0 {
+            return Err("max_family_size must be > 0 (§4.3.1 requires s > 0)".into());
+        }
+        if self.xtract_batch_size == 0 || self.funcx_batch_size == 0 {
+            return Err("batch sizes must be > 0".into());
+        }
+        if self.crawl_workers == 0 {
+            return Err("crawl_workers must be > 0".into());
+        }
+        if !self.endpoints.iter().any(EndpointSpec::has_compute) {
+            return Err("no endpoint has a compute layer".into());
+        }
+        for (ep, _) in &self.roots {
+            if !self.endpoints.iter().any(|e| e.endpoint == *ep) {
+                return Err(format!("root references unknown endpoint {ep}"));
+            }
+        }
+        if let OffloadMode::Rand { percent } = self.offload {
+            if !(0.0..=100.0).contains(&percent) {
+                return Err(format!("RAND percent {percent} outside [0, 100]"));
+            }
+        }
+        if let Some(ep) = self.results_endpoint {
+            if !self.endpoints.iter().any(|e| e.endpoint == ep) {
+                return Err(format!("results endpoint {ep} is not part of the job"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(id: u64, workers: Option<usize>) -> EndpointSpec {
+        EndpointSpec {
+            endpoint: EndpointId::new(id),
+            read_path: "/data".into(),
+            store_path: Some("/tmp/xtract".into()),
+            available_bytes: 32 << 30,
+            workers,
+            runtime: ContainerRuntime::Docker,
+        }
+    }
+
+    #[test]
+    fn single_endpoint_job_is_valid() {
+        let job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        assert!(job.validate().is_ok());
+    }
+
+    #[test]
+    fn job_without_compute_is_rejected() {
+        let job = JobSpec::single_endpoint(ep(0, None), "/data");
+        assert!(job.validate().unwrap_err().contains("compute"));
+        let job2 = JobSpec::single_endpoint(ep(0, Some(0)), "/data");
+        assert!(job2.validate().is_err());
+    }
+
+    #[test]
+    fn zero_family_size_is_rejected() {
+        let mut job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        job.max_family_size = 0;
+        assert!(job.validate().unwrap_err().contains("max_family_size"));
+    }
+
+    #[test]
+    fn unknown_root_endpoint_is_rejected() {
+        let mut job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        job.roots.push((EndpointId::new(99), "/other".into()));
+        assert!(job.validate().unwrap_err().contains("unknown endpoint"));
+    }
+
+    #[test]
+    fn rand_percent_bounds() {
+        let mut job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        job.offload = OffloadMode::Rand { percent: 120.0 };
+        assert!(job.validate().is_err());
+        job.offload = OffloadMode::Rand { percent: 10.0 };
+        assert!(job.validate().is_ok());
+    }
+
+    #[test]
+    fn endpoint_capabilities() {
+        assert!(ep(0, Some(2)).has_compute());
+        assert!(!ep(0, None).has_compute());
+        let mut storage_only = ep(1, None);
+        storage_only.store_path = None;
+        assert!(!storage_only.can_receive());
+    }
+}

@@ -1,0 +1,137 @@
+//! The workspace-wide error type.
+//!
+//! One enum rather than per-crate error hierarchies: the orchestrator must
+//! route failures from every substrate (storage, transfer, FaaS, extractor,
+//! validation) into a single per-family error record, and the failure-
+//! injection tests match on these variants.
+
+use crate::id::{EndpointId, TaskId, TransferId};
+use serde::{Deserialize, Serialize};
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, XtractError>;
+
+/// Any failure surfaced by an Xtract component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum XtractError {
+    /// Path does not exist on the storage system.
+    NotFound { endpoint: EndpointId, path: String },
+    /// Path exists but is a directory where a file was expected (or vice
+    /// versa).
+    WrongKind { endpoint: EndpointId, path: String },
+    /// The file exists only as a size/type stub (statistical repositories
+    /// used by simulation-mode experiments carry no bytes).
+    ContentsNotMaterialized { endpoint: EndpointId, path: String },
+    /// The caller's token does not grant the requested scope (§3 "security
+    /// model": Globus Auth scopes).
+    AuthDenied { scope: String },
+    /// A transfer failed or was faulted by the failure injector.
+    TransferFailed { transfer: TransferId, reason: String },
+    /// A FaaS task was lost — e.g. the endpoint's allocation expired
+    /// (§5.8.1: "funcX returns a heartbeat ... stating that a family's task
+    /// id is lost").
+    TaskLost { task: TaskId },
+    /// The extractor raised while parsing (poisoned/corrupt file).
+    ExtractorFailed { extractor: String, path: String, reason: String },
+    /// No endpoint in the job can execute the required container (§4.1:
+    /// "extractors whose containers are only available in Docker may not be
+    /// run on Singularity-only systems").
+    NoCompatibleEndpoint { container: String },
+    /// Metadata failed schema validation.
+    ValidationFailed { schema: String, reason: String },
+    /// The endpoint has no compute layer and no transfer destination was
+    /// available.
+    NoComputeLayer { endpoint: EndpointId },
+    /// Checkpoint data was missing or corrupt on restart.
+    CheckpointCorrupt { reason: String },
+    /// Catch-all for configuration mistakes caught at job-submission time.
+    InvalidJob { reason: String },
+}
+
+impl std::fmt::Display for XtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XtractError::NotFound { endpoint, path } => {
+                write!(f, "{endpoint}: no such path {path:?}")
+            }
+            XtractError::WrongKind { endpoint, path } => {
+                write!(f, "{endpoint}: wrong node kind at {path:?}")
+            }
+            XtractError::ContentsNotMaterialized { endpoint, path } => {
+                write!(f, "{endpoint}: contents of {path:?} are a statistical stub")
+            }
+            XtractError::AuthDenied { scope } => write!(f, "authorization denied for scope {scope:?}"),
+            XtractError::TransferFailed { transfer, reason } => {
+                write!(f, "{transfer} failed: {reason}")
+            }
+            XtractError::TaskLost { task } => write!(f, "{task} lost (allocation expired?)"),
+            XtractError::ExtractorFailed { extractor, path, reason } => {
+                write!(f, "extractor {extractor} failed on {path:?}: {reason}")
+            }
+            XtractError::NoCompatibleEndpoint { container } => {
+                write!(f, "no endpoint can run container {container:?}")
+            }
+            XtractError::ValidationFailed { schema, reason } => {
+                write!(f, "validation against {schema:?} failed: {reason}")
+            }
+            XtractError::NoComputeLayer { endpoint } => {
+                write!(f, "{endpoint} has no compute layer")
+            }
+            XtractError::CheckpointCorrupt { reason } => write!(f, "checkpoint corrupt: {reason}"),
+            XtractError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for XtractError {}
+
+impl XtractError {
+    /// Whether the orchestrator should retry the operation (transient) or
+    /// record a permanent per-family failure.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            XtractError::TransferFailed { .. } | XtractError::TaskLost { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = XtractError::NotFound {
+            endpoint: EndpointId::new(4),
+            path: "/a/b".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("ep-4") && s.contains("/a/b"), "got {s}");
+    }
+
+    #[test]
+    fn retryability_matches_transience() {
+        assert!(XtractError::TaskLost { task: TaskId::new(1) }.is_retryable());
+        assert!(XtractError::TransferFailed {
+            transfer: TransferId::new(1),
+            reason: "link flap".into()
+        }
+        .is_retryable());
+        assert!(!XtractError::ExtractorFailed {
+            extractor: "keyword".into(),
+            path: "/x".into(),
+            reason: "bad utf8".into()
+        }
+        .is_retryable());
+        assert!(!XtractError::AuthDenied { scope: "transfer".into() }.is_retryable());
+    }
+
+    #[test]
+    fn errors_serialize_for_checkpoints() {
+        let e = XtractError::TaskLost { task: TaskId::new(9) };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: XtractError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

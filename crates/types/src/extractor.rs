@@ -1,0 +1,162 @@
+//! The extractor taxonomy.
+//!
+//! §4.2 of the paper describes twelve extractors shipped with Xtract. Each
+//! variant here corresponds to one of them; `xtract-extractors` provides the
+//! actual implementations and `xtract-sim::calibration` their cost models.
+
+use crate::file::FileType;
+use serde::{Deserialize, Serialize};
+
+/// One of the twelve extractors in the Xtract library (§4.2), plus the
+/// short-duration `ImageSort` classifier used stand-alone in the scaling
+/// study (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ExtractorKind {
+    /// Top-n keywords with weights from free text (word-embedding based in
+    /// the paper; TF-IDF here).
+    Keyword,
+    /// Header/row/column aggregates from row-column data.
+    Tabular,
+    /// Null-value detection in tabular data.
+    NullValue,
+    /// Image workflow: classify, then route to ImageNet/OCR stages.
+    Images,
+    /// Stand-alone five-way image classifier (photograph, diagram, plot,
+    /// geographic map, other) used in the §5.2 scaling experiments.
+    ImageSort,
+    /// Object recognition in photographs.
+    ImageNet,
+    /// NetCDF/HDF self-describing container walker.
+    Hierarchical,
+    /// `.json` / `.xml` structural summarizer.
+    SemiStructured,
+    /// Comment and function-name isolation from Python sources.
+    PythonCode,
+    /// Comment and function-name isolation from C sources.
+    CCode,
+    /// Key-entity extraction from text (BERT in the paper; a gazetteer
+    /// tagger here).
+    Bert,
+    /// The MaterialsIO parser set: atomistic simulations, crystal
+    /// structures, electron microscopy, DFT, images.
+    MaterialsIo,
+    /// Archive listing / member census for compressed files.
+    Compressed,
+}
+
+impl ExtractorKind {
+    /// All extractor kinds.
+    pub const ALL: [ExtractorKind; 13] = [
+        ExtractorKind::Keyword,
+        ExtractorKind::Tabular,
+        ExtractorKind::NullValue,
+        ExtractorKind::Images,
+        ExtractorKind::ImageSort,
+        ExtractorKind::ImageNet,
+        ExtractorKind::Hierarchical,
+        ExtractorKind::SemiStructured,
+        ExtractorKind::PythonCode,
+        ExtractorKind::CCode,
+        ExtractorKind::Bert,
+        ExtractorKind::MaterialsIo,
+        ExtractorKind::Compressed,
+    ];
+
+    /// Stable lowercase name (wire format, reports, Fig. 8 legend).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtractorKind::Keyword => "keyword",
+            ExtractorKind::Tabular => "tabular",
+            ExtractorKind::NullValue => "null-value",
+            ExtractorKind::Images => "images",
+            ExtractorKind::ImageSort => "image-sort",
+            ExtractorKind::ImageNet => "imagenet",
+            ExtractorKind::Hierarchical => "hierarchical",
+            ExtractorKind::SemiStructured => "semi-structured",
+            ExtractorKind::PythonCode => "python",
+            ExtractorKind::CCode => "c",
+            ExtractorKind::Bert => "bert",
+            ExtractorKind::MaterialsIo => "matio",
+            ExtractorKind::Compressed => "compressed",
+        }
+    }
+
+    /// The initial extractor set for a file of type `t` — the crawler-time
+    /// `next(E, g)` seed (§3 "Extraction Orchestration"). Plans may grow
+    /// dynamically as extractors report findings.
+    pub fn initial_plan(t: FileType) -> &'static [ExtractorKind] {
+        use ExtractorKind::*;
+        match t {
+            FileType::FreeText => &[Keyword],
+            // The paper notes text files holding both free text and tabular
+            // content get both pipelines (§5.8.2).
+            FileType::Tabular => &[Tabular, NullValue],
+            FileType::Image => &[Images],
+            FileType::Json | FileType::Xml | FileType::Yaml => &[SemiStructured],
+            FileType::Hierarchical => &[Hierarchical],
+            FileType::PythonSource => &[PythonCode],
+            FileType::CSource => &[CCode],
+            FileType::Compressed => &[Compressed],
+            // No presentation extractor exists; treated as free text
+            // (§5.8.2).
+            FileType::Presentation => &[Keyword],
+            FileType::AtomisticSimulation
+            | FileType::DftCalculation
+            | FileType::CrystalStructure
+            | FileType::ElectronMicroscopy => &[MaterialsIo],
+            // Unknown files are initially treated as free text (§5.8.2).
+            FileType::Unknown => &[Keyword],
+        }
+    }
+}
+
+impl std::fmt::Display for ExtractorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ExtractorKind::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ExtractorKind::ALL.len());
+    }
+
+    #[test]
+    fn every_file_type_has_a_nonempty_initial_plan() {
+        for t in FileType::ALL {
+            assert!(
+                !ExtractorKind::initial_plan(t).is_empty(),
+                "no initial plan for {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn materials_types_route_to_materials_io() {
+        for t in FileType::ALL.into_iter().filter(|t| t.is_materials()) {
+            assert_eq!(
+                ExtractorKind::initial_plan(t),
+                &[ExtractorKind::MaterialsIo]
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_and_presentation_fall_back_to_keyword() {
+        assert_eq!(
+            ExtractorKind::initial_plan(FileType::Unknown),
+            &[ExtractorKind::Keyword]
+        );
+        assert_eq!(
+            ExtractorKind::initial_plan(FileType::Presentation),
+            &[ExtractorKind::Keyword]
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Files and file typing.
+//!
+//! A file in Xtract is identified by its path *within one storage system*
+//! (§2.1: "Each file is located on a single storage system"). The crawler
+//! records light filesystem metadata (name, size) and a crawl-time type
+//! hint; extractors may later refine or contradict that hint (e.g. a
+//! "free text" file that turns out to be tabular — the paper's criticism of
+//! MIME-only routing in §6).
+
+use crate::id::EndpointId;
+use serde::{Deserialize, Serialize};
+
+/// The file-content taxonomy used by the extractor planner.
+///
+/// This mirrors the file classes that the paper's twelve extractors target
+/// (§4.2) plus the classes called out in the MDF campaign legend of Fig. 8
+/// (`ase`, `yaml`, `csv`, `xml`, `json`, `dft`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FileType {
+    /// Unstructured free text: READMEs, abstracts, papers (`.txt`, `.md`,
+    /// `.pdf`, `.doc`).
+    FreeText,
+    /// Row/column data with an optional header (`.csv`, `.tsv`, `.xls`).
+    Tabular,
+    /// Raster images (`.png`, `.jpg`, `.tif`); this repo uses a simple
+    /// self-describing binary raster (see `xtract-extractors::formats::image`).
+    Image,
+    /// JSON documents.
+    Json,
+    /// XML documents.
+    Xml,
+    /// YAML documents (frequent in MDF per Fig. 8).
+    Yaml,
+    /// Hierarchical self-describing containers (NetCDF / HDF analogue).
+    Hierarchical,
+    /// Python source code.
+    PythonSource,
+    /// C source code.
+    CSource,
+    /// Compressed archives (`.zip`, `.tar.gz`).
+    Compressed,
+    /// Slide decks (`.ppt`, `.key`) — no dedicated extractor exists; the
+    /// paper treats these as free text (§5.8.2).
+    Presentation,
+    /// Atomistic-simulation outputs consumed by the MaterialsIO extractor
+    /// set (VASP-like: INCAR/POSCAR/OUTCAR groups) — the `ase` class.
+    AtomisticSimulation,
+    /// Density-functional-theory calculation outputs — the `dft` class.
+    DftCalculation,
+    /// Crystal structure descriptions (`.cif`-like).
+    CrystalStructure,
+    /// Electron-microscopy outputs.
+    ElectronMicroscopy,
+    /// Type could not be derived; the paper initially treats these as free
+    /// text (§5.8.2).
+    Unknown,
+}
+
+impl FileType {
+    /// All types, for exhaustive iteration in tests and generators.
+    pub const ALL: [FileType; 16] = [
+        FileType::FreeText,
+        FileType::Tabular,
+        FileType::Image,
+        FileType::Json,
+        FileType::Xml,
+        FileType::Yaml,
+        FileType::Hierarchical,
+        FileType::PythonSource,
+        FileType::CSource,
+        FileType::Compressed,
+        FileType::Presentation,
+        FileType::AtomisticSimulation,
+        FileType::DftCalculation,
+        FileType::CrystalStructure,
+        FileType::ElectronMicroscopy,
+        FileType::Unknown,
+    ];
+
+    /// Short lowercase label (used in reports and Fig. 8's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            FileType::FreeText => "text",
+            FileType::Tabular => "csv",
+            FileType::Image => "image",
+            FileType::Json => "json",
+            FileType::Xml => "xml",
+            FileType::Yaml => "yaml",
+            FileType::Hierarchical => "hdf",
+            FileType::PythonSource => "py",
+            FileType::CSource => "c",
+            FileType::Compressed => "zip",
+            FileType::Presentation => "slides",
+            FileType::AtomisticSimulation => "ase",
+            FileType::DftCalculation => "dft",
+            FileType::CrystalStructure => "cif",
+            FileType::ElectronMicroscopy => "em",
+            FileType::Unknown => "unknown",
+        }
+    }
+
+    /// Whether this type belongs to the materials-science family handled by
+    /// the MaterialsIO extractor set (§4.2).
+    pub fn is_materials(self) -> bool {
+        matches!(
+            self,
+            FileType::AtomisticSimulation
+                | FileType::DftCalculation
+                | FileType::CrystalStructure
+                | FileType::ElectronMicroscopy
+        )
+    }
+}
+
+impl std::fmt::Display for FileType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The crawler-visible description of one file (§3 "Crawling": "minimal
+/// file system metadata (e.g., file name, size, creation date)").
+///
+/// `FileRecord` deliberately excludes the byte contents: in the live
+/// execution mode bytes live in an `xtract-datafabric` storage backend and
+/// are fetched by endpoint workers; in simulation mode bytes never exist
+/// and only `size` matters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileRecord {
+    /// Path within the owning storage system, `/`-separated, rooted at `/`.
+    pub path: String,
+    /// Size of `f.b` in bytes.
+    pub size: u64,
+    /// Storage system holding the file.
+    pub endpoint: EndpointId,
+    /// Crawl-time type hint (extension-derived; may be refined later).
+    pub hint: FileType,
+    /// Creation timestamp, seconds since the repository epoch.
+    pub created_at: u64,
+}
+
+impl FileRecord {
+    /// Convenience constructor for tests and generators.
+    pub fn new(path: impl Into<String>, size: u64, endpoint: EndpointId, hint: FileType) -> Self {
+        Self {
+            path: path.into(),
+            size,
+            endpoint,
+            hint,
+            created_at: 0,
+        }
+    }
+
+    /// The final path component.
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// The lowercase extension, if any.
+    pub fn extension(&self) -> Option<String> {
+        let name = self.name();
+        // A leading dot (".bashrc") is a hidden file, not an extension.
+        let stem = name.strip_prefix('.').unwrap_or(name);
+        stem.rfind('.').map(|i| stem[i + 1..].to_ascii_lowercase())
+    }
+
+    /// The directory containing this file ("/" for root-level files).
+    pub fn directory(&self) -> &str {
+        match self.path.rfind('/') {
+            Some(0) | None => "/",
+            Some(i) => &self.path[..i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: &str) -> FileRecord {
+        FileRecord::new(path, 10, EndpointId::new(0), FileType::Unknown)
+    }
+
+    #[test]
+    fn name_is_last_component() {
+        assert_eq!(rec("/a/b/c.txt").name(), "c.txt");
+        assert_eq!(rec("/c.txt").name(), "c.txt");
+        assert_eq!(rec("bare").name(), "bare");
+    }
+
+    #[test]
+    fn extension_is_lowercased() {
+        assert_eq!(rec("/a/B.TXT").extension().as_deref(), Some("txt"));
+        assert_eq!(rec("/a/archive.tar.gz").extension().as_deref(), Some("gz"));
+        assert_eq!(rec("/a/noext").extension(), None);
+    }
+
+    #[test]
+    fn hidden_files_have_no_extension() {
+        assert_eq!(rec("/home/.bashrc").extension(), None);
+        // But a hidden file can still carry a real extension.
+        assert_eq!(rec("/home/.config.json").extension().as_deref(), Some("json"));
+    }
+
+    #[test]
+    fn directory_of_root_file_is_root() {
+        assert_eq!(rec("/c.txt").directory(), "/");
+        assert_eq!(rec("/a/b/c.txt").directory(), "/a/b");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = FileType::ALL.iter().map(|t| t.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FileType::ALL.len());
+    }
+
+    #[test]
+    fn materials_classification() {
+        assert!(FileType::AtomisticSimulation.is_materials());
+        assert!(FileType::DftCalculation.is_materials());
+        assert!(!FileType::FreeText.is_materials());
+        assert!(!FileType::Image.is_materials());
+    }
+}

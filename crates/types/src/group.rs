@@ -1,0 +1,221 @@
+//! Groups, families, and family batches.
+//!
+//! * A **group** (§2.1) is a set of logically-related files plus group
+//!   metadata. Group membership is non-exclusive — one file may belong to
+//!   many groups (e.g. a README grouped with every dataset in a directory).
+//! * A **family** (§4.3.1) packages one or more groups whose file sets
+//!   intersect so that each file is transferred at most once. Families are
+//!   the unit the prefetcher moves and the FaaS fabric executes on.
+//! * A **family batch** (§4.3.2, "Xtract batching") fuses several families
+//!   bound for the same `(endpoint, extractor)` into one FaaS task to
+//!   amortize dispatch overhead.
+
+use crate::file::FileRecord;
+use crate::id::{EndpointId, FamilyId, GroupId};
+use crate::metadata::Metadata;
+use serde::{Deserialize, Serialize};
+
+/// A logical group of files (§2.1): `g.f` plus `g.m`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// Group identity.
+    pub id: GroupId,
+    /// Indices into the owning family's `files` vector once packaged, or —
+    /// before family construction — paths of member files.
+    pub files: Vec<String>,
+    /// Group metadata `g.m`.
+    pub metadata: Metadata,
+}
+
+impl Group {
+    /// Creates a group over the given file paths.
+    pub fn new(id: GroupId, files: Vec<String>) -> Self {
+        Self {
+            id,
+            files,
+            metadata: Metadata::new(),
+        }
+    }
+
+    /// Number of member files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the group has no members (permitted by §2.1: "zero or more
+    /// files").
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+/// A family: the min-transfers output (§4.3.1).
+///
+/// Invariants (enforced by the builder in `xtract-core::families` and
+/// property-tested there):
+/// * every path referenced by a member group appears in `files`;
+/// * `files` contains no duplicates;
+/// * all files reside on `source` (single storage system per family at
+///   crawl time — groups that straddle systems are split by the prefetcher).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Family {
+    /// Family identity.
+    pub id: FamilyId,
+    /// The union of member groups' files.
+    pub files: Vec<FileRecord>,
+    /// Member groups.
+    pub groups: Vec<Group>,
+    /// Storage system where the files currently live.
+    pub source: EndpointId,
+    /// Directory under which the family's files were staged on the
+    /// extraction endpoint (the `base_path` of Listing 1), if transferred.
+    pub base_path: Option<String>,
+    /// Family-level metadata (crawler-seeded, extractor-extended).
+    pub metadata: Metadata,
+}
+
+impl Family {
+    /// Creates a family from groups and the resolved file records.
+    pub fn new(id: FamilyId, files: Vec<FileRecord>, groups: Vec<Group>, source: EndpointId) -> Self {
+        Self {
+            id,
+            files,
+            groups,
+            source,
+            base_path: None,
+            metadata: Metadata::new(),
+        }
+    }
+
+    /// Total bytes across member files — what a transfer of this family
+    /// costs.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.size).sum()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of member groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Looks up a member file by path.
+    pub fn file(&self, path: &str) -> Option<&FileRecord> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+/// An Xtract batch (§4.3.2): families that share an extractor and a target
+/// endpoint, fused into a single FaaS task payload.
+///
+/// This is the `family_batch` object of the paper's Listing 1, including
+/// the `delete_files` flag that tells the extractor to remove staged copies
+/// after processing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyBatch {
+    /// Families in the batch.
+    pub families: Vec<Family>,
+    /// Endpoint where the batch will execute.
+    pub endpoint: EndpointId,
+    /// Remove staged file copies after extraction (Listing 1).
+    pub delete_files: bool,
+}
+
+impl FamilyBatch {
+    /// Creates a batch bound for `endpoint`.
+    pub fn new(endpoint: EndpointId) -> Self {
+        Self {
+            families: Vec::new(),
+            endpoint,
+            delete_files: false,
+        }
+    }
+
+    /// Number of families in the batch.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Total file count across families.
+    pub fn file_count(&self) -> usize {
+        self.families.iter().map(Family::file_count).sum()
+    }
+
+    /// Total bytes across families.
+    pub fn total_bytes(&self) -> u64 {
+        self.families.iter().map(Family::total_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::FileType;
+
+    fn file(path: &str, size: u64) -> FileRecord {
+        FileRecord::new(path, size, EndpointId::new(1), FileType::FreeText)
+    }
+
+    fn family(id: u64, sizes: &[u64]) -> Family {
+        let files: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| file(&format!("/d/f{id}-{i}"), s))
+            .collect();
+        let group = Group::new(
+            GroupId::new(id),
+            files.iter().map(|f| f.path.clone()).collect(),
+        );
+        Family::new(FamilyId::new(id), files, vec![group], EndpointId::new(1))
+    }
+
+    #[test]
+    fn family_totals() {
+        let f = family(0, &[10, 20, 30]);
+        assert_eq!(f.total_bytes(), 60);
+        assert_eq!(f.file_count(), 3);
+        assert_eq!(f.group_count(), 1);
+    }
+
+    #[test]
+    fn family_file_lookup() {
+        let f = family(7, &[5]);
+        assert!(f.file("/d/f7-0").is_some());
+        assert!(f.file("/d/missing").is_none());
+    }
+
+    #[test]
+    fn empty_groups_are_legal() {
+        let g = Group::new(GroupId::new(0), vec![]);
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+    }
+
+    #[test]
+    fn batch_aggregates_members() {
+        let mut b = FamilyBatch::new(EndpointId::new(2));
+        assert!(b.is_empty());
+        b.families.push(family(1, &[100]));
+        b.families.push(family(2, &[1, 2]));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.file_count(), 3);
+        assert_eq!(b.total_bytes(), 103);
+    }
+
+    #[test]
+    fn family_serde_roundtrip() {
+        let f = family(3, &[8, 8]);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Family = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

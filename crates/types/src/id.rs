@@ -1,0 +1,194 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity that crosses a service boundary in the paper's architecture
+//! (Fig. 1) — endpoints, jobs, groups, families, FaaS tasks, transfers,
+//! containers, workers, registered functions — gets its own newtype so the
+//! compiler rejects, say, polling a transfer with a task id. Ids are plain
+//! `u64`s: cheap to hash (the orchestrator keeps multi-million-entry maps),
+//! `Copy`, and dense enough to index side tables.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw index as an id.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the raw index as `usize`, for side-table indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "-{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            #[inline]
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A storage-plus-compute site (§3 "Endpoints"). An endpoint always has
+    /// a data layer; its compute layer may be absent (`store_path = None` in
+    /// the paper's Listing 2), in which case files must be moved elsewhere.
+    EndpointId,
+    "ep"
+);
+define_id!(
+    /// One bulk-extraction job submitted through the Xtract service.
+    JobId,
+    "job"
+);
+define_id!(
+    /// A logical group of related files (§2.1).
+    GroupId,
+    "grp"
+);
+define_id!(
+    /// A family: the transfer/extraction unit produced by min-transfers
+    /// (§4.3.1).
+    FamilyId,
+    "fam"
+);
+define_id!(
+    /// A FaaS task: one extractor invocation batch in flight (§4.1).
+    TaskId,
+    "task"
+);
+define_id!(
+    /// A batch file-transfer job managed by the prefetcher (§4.1).
+    TransferId,
+    "xfer"
+);
+define_id!(
+    /// A registered extractor function in the FaaS registry.
+    FunctionId,
+    "fn"
+);
+define_id!(
+    /// A container image registered for an extractor (Docker/Singularity in
+    /// the paper; a runtime descriptor here).
+    ContainerId,
+    "ctr"
+);
+define_id!(
+    /// One worker slot at an endpoint's compute layer.
+    WorkerId,
+    "wkr"
+);
+
+/// A process-wide monotonic id allocator.
+///
+/// Services that mint ids concurrently (the crawler's worker pool, the FaaS
+/// fabric) share one of these per id space. Allocation is a single relaxed
+/// fetch-add: ids are unique, not ordered across threads.
+#[derive(Debug, Default)]
+pub struct IdAllocator {
+    next: AtomicU64,
+}
+
+impl IdAllocator {
+    /// Creates an allocator starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an allocator starting at `first`.
+    pub const fn starting_at(first: u64) -> Self {
+        Self {
+            next: AtomicU64::new(first),
+        }
+    }
+
+    /// Mints the next raw id.
+    #[inline]
+    pub fn next(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of ids minted so far.
+    pub fn minted(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_includes_prefix_and_raw() {
+        assert_eq!(EndpointId::new(3).to_string(), "ep-3");
+        assert_eq!(TaskId::new(42).to_string(), "task-42");
+        assert_eq!(FamilyId::new(0).to_string(), "fam-0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(GroupId::new(1) < GroupId::new(2));
+        assert_eq!(GroupId::new(7).raw(), 7);
+        assert_eq!(GroupId::new(7).index(), 7usize);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_transparent() {
+        let id = FamilyId::new(99);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "99");
+        let back: FamilyId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn allocator_is_unique_across_threads() {
+        let alloc = IdAllocator::new();
+        let ids: HashSet<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| (0..1000).map(|_| alloc.next()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(ids.len(), 8000);
+        assert_eq!(alloc.minted(), 8000);
+    }
+
+    #[test]
+    fn allocator_starting_at_offsets() {
+        let alloc = IdAllocator::starting_at(100);
+        assert_eq!(alloc.next(), 100);
+        assert_eq!(alloc.next(), 101);
+    }
+}

@@ -1,0 +1,44 @@
+//! # xtract-types
+//!
+//! Core vocabulary for the Xtract-RS bulk-metadata-extraction framework —
+//! a Rust reproduction of *"A Serverless Framework for Distributed Bulk
+//! Metadata Extraction"* (HPDC '21).
+//!
+//! This crate defines the terms of §2.1 of the paper:
+//!
+//! * a **file** `f` has bytes `f.b` and metadata `f.m` ([`FileRecord`],
+//!   [`Metadata`]);
+//! * a **group** `g` identifies zero or more logically-related files plus
+//!   group metadata `g.m` ([`Group`]);
+//! * a **family** is a set of groups whose file sets intersect, used as the
+//!   unit of transfer and extraction ([`Family`]);
+//! * every file resides on exactly one **storage system**, addressed by an
+//!   [`EndpointId`].
+//!
+//! It also defines the extractor taxonomy ([`ExtractorKind`]), file typing
+//! ([`FileType`] and the [`sniff`] module), job configuration ([`config`]),
+//! and the error type shared across the workspace.
+//!
+//! Everything here is pure data: no I/O, no threads, no clocks. The
+//! execution substrates (`xtract-faas`, `xtract-datafabric`, `xtract-sim`)
+//! and the orchestrator (`xtract-core`) build on these types.
+
+pub mod config;
+pub mod error;
+pub mod extractor;
+pub mod file;
+pub mod group;
+pub mod id;
+pub mod metadata;
+pub mod sniff;
+
+pub use config::{EndpointSpec, GroupingStrategy, JobSpec, OffloadMode, ValidationSchema};
+pub use error::{Result, XtractError};
+pub use extractor::ExtractorKind;
+pub use file::{FileRecord, FileType};
+pub use group::{Family, FamilyBatch, Group};
+pub use id::{
+    ContainerId, EndpointId, FamilyId, FunctionId, GroupId, JobId, TaskId, TransferId, WorkerId,
+};
+pub use metadata::{Metadata, MetadataRecord};
+pub use sniff::{sniff_bytes, sniff_extension, sniff_path};

@@ -1,0 +1,200 @@
+//! Metadata documents.
+//!
+//! The paper's validator "converts a metadata dictionary into valid JSON"
+//! (§3); we represent metadata as JSON objects throughout. [`Metadata`] is
+//! a thin wrapper over a `serde_json` map with the merge semantics
+//! extractors need: an extractor "may update the group metadata `g.m`
+//! and/or the metadata associated with one or more of the files in the
+//! group" (§2.1), and later extractors must not clobber unrelated keys
+//! written by earlier ones.
+
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+
+/// A metadata dictionary (JSON object) attached to a file, group, family,
+/// or storage system.
+///
+/// ```
+/// use xtract_types::Metadata;
+/// use serde_json::json;
+///
+/// let mut record = Metadata::new();
+/// let mut kw = Metadata::new();
+/// kw.insert("top", json!(["perovskite"]));
+/// record.merge_namespaced("keyword", kw);
+///
+/// let mut tab = Metadata::new();
+/// tab.insert("rows", 42);
+/// record.merge_namespaced("tabular", tab);
+///
+/// assert_eq!(record.get("keyword").unwrap()["top"][0], "perovskite");
+/// assert_eq!(record.get("tabular").unwrap()["rows"], 42);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Metadata(pub Map<String, Value>);
+
+impl Metadata {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if no extractor has written anything yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of top-level keys.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Inserts one key, replacing any previous value for that key.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.0.insert(key.into(), value.into());
+    }
+
+    /// Reads a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.get(key)
+    }
+
+    /// True if the key exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+
+    /// Deep-merges `other` into `self`.
+    ///
+    /// Objects merge recursively; any other value from `other` wins. This is
+    /// the rule a later extractor's output obeys when extending a record
+    /// produced by an earlier one: sibling keys survive, identical scalar
+    /// keys are overwritten (last writer wins, as in the paper's serial
+    /// per-group plans).
+    pub fn merge(&mut self, other: &Metadata) {
+        merge_maps(&mut self.0, &other.0);
+    }
+
+    /// Namespaced merge: stores `other` under `extractor_name` so outputs of
+    /// different extractors never collide (the shape the MDF validator
+    /// expects).
+    pub fn merge_namespaced(&mut self, namespace: &str, other: Metadata) {
+        match self.0.get_mut(namespace) {
+            Some(Value::Object(existing)) => merge_maps(existing, &other.0),
+            _ => {
+                self.0.insert(namespace.to_string(), Value::Object(other.0));
+            }
+        }
+    }
+
+    /// Serialized size in bytes of the JSON encoding (used to account for
+    /// metadata volume, e.g. the paper's "total metadata spanned 2.5 million
+    /// files (14 GB)").
+    pub fn encoded_size(&self) -> usize {
+        // Serialization of an in-memory map cannot fail.
+        serde_json::to_vec(&self.0).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+fn merge_maps(dst: &mut Map<String, Value>, src: &Map<String, Value>) {
+    for (k, v) in src {
+        match (dst.get_mut(k), v) {
+            (Some(Value::Object(d)), Value::Object(s)) => merge_maps(d, s),
+            (_, v) => {
+                dst.insert(k.clone(), v.clone());
+            }
+        }
+    }
+}
+
+impl From<Map<String, Value>> for Metadata {
+    fn from(map: Map<String, Value>) -> Self {
+        Self(map)
+    }
+}
+
+impl FromIterator<(String, Value)> for Metadata {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Self(iter.into_iter().collect())
+    }
+}
+
+/// A finished, validated metadata record as shipped to the user's endpoint
+/// (§3 "Validation"): the family's merged metadata plus provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetadataRecord {
+    /// Which family this record describes.
+    pub family: crate::id::FamilyId,
+    /// The schema the validator applied.
+    pub schema: String,
+    /// The metadata document itself.
+    pub document: Metadata,
+    /// Names of extractors that contributed.
+    pub extractors: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn md(v: Value) -> Metadata {
+        match v {
+            Value::Object(m) => Metadata(m),
+            _ => panic!("expected object"),
+        }
+    }
+
+    #[test]
+    fn merge_preserves_sibling_keys() {
+        let mut a = md(json!({"size": 10, "nested": {"x": 1}}));
+        let b = md(json!({"nested": {"y": 2}, "kw": ["alpha"]}));
+        a.merge(&b);
+        assert_eq!(a.get("size"), Some(&json!(10)));
+        assert_eq!(a.get("nested"), Some(&json!({"x": 1, "y": 2})));
+        assert_eq!(a.get("kw"), Some(&json!(["alpha"])));
+    }
+
+    #[test]
+    fn merge_last_writer_wins_on_scalars() {
+        let mut a = md(json!({"k": 1}));
+        a.merge(&md(json!({"k": 2})));
+        assert_eq!(a.get("k"), Some(&json!(2)));
+    }
+
+    #[test]
+    fn merge_replaces_scalar_with_object() {
+        let mut a = md(json!({"k": 1}));
+        a.merge(&md(json!({"k": {"deep": true}})));
+        assert_eq!(a.get("k"), Some(&json!({"deep": true})));
+    }
+
+    #[test]
+    fn namespaced_merge_isolates_extractors() {
+        let mut rec = Metadata::new();
+        rec.merge_namespaced("keyword", md(json!({"top": ["a"]})));
+        rec.merge_namespaced("tabular", md(json!({"cols": 3})));
+        rec.merge_namespaced("keyword", md(json!({"weights": [0.5]})));
+        assert_eq!(
+            rec.get("keyword"),
+            Some(&json!({"top": ["a"], "weights": [0.5]}))
+        );
+        assert_eq!(rec.get("tabular"), Some(&json!({"cols": 3})));
+    }
+
+    #[test]
+    fn encoded_size_tracks_content() {
+        let empty = Metadata::new();
+        let mut big = Metadata::new();
+        big.insert("key", "0123456789");
+        assert!(big.encoded_size() > empty.encoded_size());
+        assert_eq!(empty.encoded_size(), 2); // "{}"
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let m = md(json!({"a": 1}));
+        assert_eq!(serde_json::to_string(&m).unwrap(), r#"{"a":1}"#);
+    }
+}

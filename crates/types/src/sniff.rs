@@ -1,0 +1,357 @@
+//! File-type identification.
+//!
+//! Two tiers, mirroring the routing contrast the paper draws with Apache
+//! Tika (§6): extension/path-based typing (what the crawler can afford,
+//! since grouping functions "consider only metadata available from the
+//! crawler", §4.1) and content sniffing over the first bytes (what an
+//! extractor running next to the data can afford). The `micro_sniff` bench
+//! measures how often the cheap tier mis-routes scientific files — the
+//! failure mode the paper attributes to MIME-only tools ("MIME type
+//! 'text/plain' may be used for both tabular and free text files").
+
+use crate::file::FileType;
+
+/// Special extension-less file names used by VASP-style atomistic
+/// simulation codes. These defeat extension-based typing entirely — a key
+/// reason MDF needs the MaterialsIO grouping function.
+const VASP_NAMES: &[(&str, FileType)] = &[
+    ("incar", FileType::AtomisticSimulation),
+    ("poscar", FileType::AtomisticSimulation),
+    ("contcar", FileType::AtomisticSimulation),
+    ("outcar", FileType::AtomisticSimulation),
+    ("kpoints", FileType::AtomisticSimulation),
+    ("potcar", FileType::AtomisticSimulation),
+    ("wavecar", FileType::DftCalculation),
+    ("chgcar", FileType::DftCalculation),
+    ("doscar", FileType::DftCalculation),
+    ("eigenval", FileType::DftCalculation),
+];
+
+/// Maps a lowercase extension to a type hint. Unknown extensions yield
+/// [`FileType::Unknown`] (the paper: "For 379 files, we were unable to
+/// derive an associated type").
+pub fn sniff_extension(ext: &str) -> FileType {
+    match ext {
+        "txt" | "md" | "rst" | "pdf" | "doc" | "docx" | "tex" | "log" | "readme" | "abstract"
+        | "rtf" | "odt" | "bib" | "text" | "notes" | "markdown" => FileType::FreeText,
+        "csv" | "tsv" | "xls" | "xlsx" | "dat" | "tab" | "ods" => FileType::Tabular,
+        "png" | "jpg" | "jpeg" | "tif" | "tiff" | "gif" | "bmp" | "ximg" | "heic" | "webp" => {
+            FileType::Image
+        }
+        "json" | "geojson" | "jsonl" => FileType::Json,
+        "xml" | "xsd" | "svg" => FileType::Xml,
+        "yaml" | "yml" => FileType::Yaml,
+        "nc" | "netcdf" | "h5" | "hdf" | "hdf5" | "xhdf" => FileType::Hierarchical,
+        "py" | "pyw" => FileType::PythonSource,
+        "c" | "h" => FileType::CSource,
+        "zip" | "gz" | "tgz" | "tar" | "bz2" | "xz" | "7z" | "rar" => FileType::Compressed,
+        "ppt" | "pptx" | "key" | "odp" => FileType::Presentation,
+        "cif" | "mcif" => FileType::CrystalStructure,
+        "dm3" | "dm4" | "emd" | "ser" => FileType::ElectronMicroscopy,
+        "vasp" | "xdatcar" => FileType::AtomisticSimulation,
+        _ => FileType::Unknown,
+    }
+}
+
+/// Types a file from its path alone: special scientific file names first,
+/// then the extension.
+pub fn sniff_path(path: &str) -> FileType {
+    let name = path.rsplit('/').next().unwrap_or(path);
+    let lower = name.to_ascii_lowercase();
+    // VASP outputs are often suffixed per run: "OUTCAR.relax1".
+    let base = lower.split('.').next().unwrap_or(&lower);
+    if let Some(&(_, t)) = VASP_NAMES.iter().find(|(n, _)| *n == base) {
+        return t;
+    }
+    if lower == "vasprun.xml" {
+        return FileType::DftCalculation;
+    }
+    match lower.rfind('.') {
+        Some(i) if i + 1 < lower.len() && i > 0 => sniff_extension(&lower[i + 1..]),
+        _ => FileType::Unknown,
+    }
+}
+
+/// Content-based sniffing over a byte prefix. This is the high-accuracy
+/// tier an extractor applies once the bytes are local.
+///
+/// The decision order matters: magic numbers, then structural formats,
+/// then text heuristics, with plain free text as the fallback for any
+/// mostly-printable input and [`FileType::Unknown`] for binary noise.
+///
+/// ```
+/// use xtract_types::{sniff_bytes, FileType};
+///
+/// // The paper's Tika criticism: a table hiding behind text/plain.
+/// assert_eq!(sniff_bytes(b"site,year,co2\nmlo,1990,354\nbrw,1990,352\n"),
+///            FileType::Tabular);
+/// assert_eq!(sniff_bytes(b"ENCUT = 520\nISMEAR = 0\n"),
+///            FileType::AtomisticSimulation);
+/// ```
+pub fn sniff_bytes(bytes: &[u8]) -> FileType {
+    if bytes.is_empty() {
+        return FileType::Unknown;
+    }
+    // Magic numbers (including this repo's synthetic raster/container
+    // formats, PNG/JPEG/GIF, gzip/zip, HDF5).
+    if bytes.starts_with(b"XIMG") || bytes.starts_with(b"\x89PNG") || bytes.starts_with(b"\xff\xd8\xff")
+        || bytes.starts_with(b"GIF8")
+    {
+        return FileType::Image;
+    }
+    if bytes.starts_with(b"XHDF") || bytes.starts_with(b"\x89HDF") {
+        return FileType::Hierarchical;
+    }
+    if bytes.starts_with(b"\x1f\x8b") || bytes.starts_with(b"PK\x03\x04") || bytes.starts_with(b"XZIP") {
+        return FileType::Compressed;
+    }
+
+    let text = match std::str::from_utf8(trim_to_char_boundary(bytes)) {
+        Ok(t) => t,
+        Err(_) => return FileType::Unknown,
+    };
+    let trimmed = text.trim_start();
+
+    if (trimmed.starts_with('{') || trimmed.starts_with('[')) && looks_like_json(trimmed) {
+        return FileType::Json;
+    }
+    if trimmed.starts_with("<?xml") || trimmed.starts_with('<') {
+        if trimmed.contains("vasprun") {
+            return FileType::DftCalculation;
+        }
+        return FileType::Xml;
+    }
+    if is_vasp_body(trimmed) {
+        return FileType::AtomisticSimulation;
+    }
+    if trimmed.starts_with("data_") && trimmed.contains("_cell_length") {
+        return FileType::CrystalStructure;
+    }
+    if looks_like_python(trimmed) {
+        return FileType::PythonSource;
+    }
+    if looks_like_c(trimmed) {
+        return FileType::CSource;
+    }
+    if trimmed.starts_with("---\n") || looks_like_yaml(trimmed) {
+        return FileType::Yaml;
+    }
+    if looks_like_tabular(text) {
+        return FileType::Tabular;
+    }
+    if mostly_printable(bytes) {
+        return FileType::FreeText;
+    }
+    FileType::Unknown
+}
+
+/// Truncates to the last UTF-8 char boundary so a prefix read never fails
+/// validation merely because it split a multibyte character.
+fn trim_to_char_boundary(bytes: &[u8]) -> &[u8] {
+    let mut end = bytes.len();
+    while end > 0 && end > bytes.len().saturating_sub(4) && (bytes[end - 1] & 0xC0) == 0x80 {
+        end -= 1;
+    }
+    &bytes[..end]
+}
+
+fn looks_like_json(t: &str) -> bool {
+    // Cheap structural check over the prefix (the full parser lives in the
+    // semi-structured extractor): balanced-ish braces plus a quoted key.
+    let has_key = t.contains("\":") || t.contains("\" :") || t == "[]" || t == "{}" || t.starts_with('[');
+    has_key && !t.contains("<")
+}
+
+fn looks_like_python(t: &str) -> bool {
+    t.lines().take(30).any(|l| {
+        let l = l.trim_start();
+        l.starts_with("def ") || l.starts_with("import ") || l.starts_with("from ")
+            || l.starts_with("class ") && l.ends_with(':')
+    })
+}
+
+fn looks_like_c(t: &str) -> bool {
+    t.lines()
+        .take(30)
+        .any(|l| l.trim_start().starts_with("#include") || l.contains("int main("))
+}
+
+fn looks_like_yaml(t: &str) -> bool {
+    let mut keyish = 0usize;
+    let mut lines = 0usize;
+    for l in t.lines().take(20) {
+        if l.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let l = l.trim_start();
+        if l.starts_with('#') || l.starts_with("- ") {
+            keyish += 1;
+            continue;
+        }
+        if let Some(colon) = l.find(':') {
+            let key = &l[..colon];
+            // A YAML key is a bare word; prose sentences with colons have
+            // spaces before the colon.
+            if !key.is_empty() && !key.contains(' ') && !key.contains(',') {
+                keyish += 1;
+            }
+        }
+    }
+    lines >= 2 && keyish * 10 >= lines * 8
+}
+
+fn looks_like_tabular(t: &str) -> bool {
+    let mut counts = Vec::with_capacity(8);
+    for l in t.lines().take(8) {
+        if l.is_empty() {
+            continue;
+        }
+        let c = l.matches(',').count().max(l.matches('\t').count());
+        counts.push(c);
+    }
+    // Consistent non-zero delimiter count across several lines.
+    counts.len() >= 2 && counts[0] > 0 && counts.iter().all(|&c| c == counts[0])
+}
+
+fn is_vasp_body(t: &str) -> bool {
+    // INCAR / OUTCAR markers.
+    if t.lines().take(12).any(|l| {
+        let l = l.trim();
+        l.starts_with("ENCUT")
+            || l.starts_with("ISMEAR")
+            || l.starts_with("Direct lattice")
+            || l.starts_with("ion position")
+            || l.starts_with("free energy TOTEN")
+    }) {
+        return true;
+    }
+    // POSCAR shape: comment, scale factor, then a 3x3 lattice of floats.
+    let lines: Vec<&str> = t.lines().take(6).collect();
+    if lines.len() >= 5 && lines[1].trim().parse::<f64>().is_ok() {
+        let lattice_rows = lines[2..5]
+            .iter()
+            .filter(|l| {
+                let nums: Vec<f64> = l
+                    .split_whitespace()
+                    .filter_map(|w| w.parse().ok())
+                    .collect();
+                nums.len() == 3
+            })
+            .count();
+        if lattice_rows == 3 {
+            return true;
+        }
+    }
+    false
+}
+
+fn mostly_printable(bytes: &[u8]) -> bool {
+    let sample = &bytes[..bytes.len().min(512)];
+    let printable = sample
+        .iter()
+        .filter(|&&b| b == b'\n' || b == b'\r' || b == b'\t' || (0x20..0x7f).contains(&b) || b >= 0x80)
+        .count();
+    printable * 100 >= sample.len() * 95
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_map_covers_core_science_types() {
+        assert_eq!(sniff_extension("csv"), FileType::Tabular);
+        assert_eq!(sniff_extension("h5"), FileType::Hierarchical);
+        assert_eq!(sniff_extension("cif"), FileType::CrystalStructure);
+        assert_eq!(sniff_extension("weird"), FileType::Unknown);
+    }
+
+    #[test]
+    fn vasp_names_beat_extensions() {
+        assert_eq!(sniff_path("/runs/42/OUTCAR"), FileType::AtomisticSimulation);
+        assert_eq!(sniff_path("/runs/42/OUTCAR.relax2"), FileType::AtomisticSimulation);
+        assert_eq!(sniff_path("/runs/42/vasprun.xml"), FileType::DftCalculation);
+        assert_eq!(sniff_path("/runs/42/CHGCAR"), FileType::DftCalculation);
+    }
+
+    #[test]
+    fn path_falls_back_to_extension_then_unknown() {
+        assert_eq!(sniff_path("/a/notes.txt"), FileType::FreeText);
+        assert_eq!(sniff_path("/a/blob"), FileType::Unknown);
+        assert_eq!(sniff_path("/a/.hidden"), FileType::Unknown);
+    }
+
+    #[test]
+    fn magic_numbers_win() {
+        assert_eq!(sniff_bytes(b"XIMG\x00\x10\x00\x10rest"), FileType::Image);
+        assert_eq!(sniff_bytes(b"\x89PNG\r\n"), FileType::Image);
+        assert_eq!(sniff_bytes(b"\x1f\x8bgzip"), FileType::Compressed);
+        assert_eq!(sniff_bytes(b"XHDF/grp"), FileType::Hierarchical);
+    }
+
+    #[test]
+    fn structured_text_sniffing() {
+        assert_eq!(sniff_bytes(br#"{"key": 1, "b": [2]}"#), FileType::Json);
+        assert_eq!(sniff_bytes(b"<?xml version=\"1.0\"?><r/>"), FileType::Xml);
+        assert_eq!(sniff_bytes(b"---\ntitle: x\nvalue: 3\n"), FileType::Yaml);
+        assert_eq!(sniff_bytes(b"a,b,c\n1,2,3\n4,5,6\n"), FileType::Tabular);
+    }
+
+    #[test]
+    fn code_sniffing() {
+        assert_eq!(
+            sniff_bytes(b"import os\n\ndef main():\n    pass\n"),
+            FileType::PythonSource
+        );
+        assert_eq!(
+            sniff_bytes(b"#include <stdio.h>\nint main(void) { return 0; }\n"),
+            FileType::CSource
+        );
+    }
+
+    #[test]
+    fn the_tika_failure_mode_tabular_vs_free_text() {
+        // Extension says nothing; content says tabular. Extension-only
+        // routing (like MIME text/plain) would send this to the keyword
+        // extractor.
+        let bytes = b"temp,pressure,yield\n300,1.0,0.92\n310,1.1,0.94\n";
+        assert_eq!(sniff_path("/data/run.dat"), FileType::Tabular); // .dat maps to tabular
+        assert_eq!(sniff_path("/data/run.txt"), FileType::FreeText); // misleading ext
+        assert_eq!(sniff_bytes(bytes), FileType::Tabular); // content tier corrects it
+    }
+
+    #[test]
+    fn prose_with_colons_is_not_yaml() {
+        let prose = b"Abstract: in this work we study widgets.\nWe found that widgets are good.\nMore prose follows here, naturally.\n";
+        assert_eq!(sniff_bytes(prose), FileType::FreeText);
+    }
+
+    #[test]
+    fn binary_noise_is_unknown() {
+        let noise: Vec<u8> = (0..256u16).map(|i| (i % 251) as u8).collect();
+        assert_eq!(sniff_bytes(&noise), FileType::Unknown);
+        assert_eq!(sniff_bytes(b""), FileType::Unknown);
+    }
+
+    #[test]
+    fn split_multibyte_prefix_still_sniffs() {
+        let s = "keywords about m\u{00e9}tadonn\u{00e9}es and science ".repeat(8);
+        let bytes = s.as_bytes();
+        // Cut in the middle of a multibyte char.
+        let cut = &bytes[..bytes.len() - 1];
+        assert_eq!(sniff_bytes(cut), FileType::FreeText);
+    }
+
+    #[test]
+    fn vasp_and_cif_bodies() {
+        assert_eq!(
+            sniff_bytes(b"ENCUT = 520\nISMEAR = 0\n"),
+            FileType::AtomisticSimulation
+        );
+        assert_eq!(
+            sniff_bytes(b"data_si\n_cell_length_a 5.43\n"),
+            FileType::CrystalStructure
+        );
+    }
+}

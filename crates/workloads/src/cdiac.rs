@@ -1,0 +1,194 @@
+//! The CDIAC generator (§2.3): "an emissions dataset from the 1800s
+//! through 2017 ... more than 330 GB in ~500 000 files, with over 10 000
+//! unique file extensions [Table 1 says 152 for the curated subset]. The
+//! archive contains little descriptive metadata and includes a number of
+//! irrelevant files, such as debug-cycle error logs and Windows desktop
+//! shortcuts."
+//!
+//! The generator reproduces that *uncuratedness*: a tabular/free-text core
+//! with a junk stratum (error logs, `.lnk` shortcuts, editor backups,
+//! zero-byte droppings) that extractors must shrug off.
+
+use crate::profile::{FamilyProfile, RepoStats};
+use rand::Rng;
+use xtract_datafabric::StorageBackend;
+use xtract_sim::dist::{lognormal_clamped, Categorical};
+use xtract_sim::rng::RngStreams;
+
+/// Class mix for CDIAC family profiles: heavily tabular + free text, with
+/// a junk stratum that costs almost nothing to "extract" (routed to the
+/// keyword extractor as unknown type, §5.8.2 semantics).
+pub const CLASS_MIX: &[(&str, f64, f64)] = &[
+    // (class, weight, mean bytes). Weights calibrated so the mean
+    // per-file cost on Midway lands near Table 2's 0% row:
+    // 1696 s × 56 workers / 100 000 files ≈ 0.95 core-seconds per file.
+    ("csv", 0.42, 900.0e3),
+    ("keyword", 0.24, 250.0e3),
+    ("xml", 0.07, 120.0e3),
+    ("json", 0.05, 60.0e3),
+    ("hierarchical", 0.04, 14.0e6),
+    ("junk", 0.18, 6.0e3),
+];
+
+/// Streams `n` family profiles (single-file families — CDIAC has no
+/// natural grouping, §2.3).
+pub fn profiles(n: u64, streams: &RngStreams) -> impl Iterator<Item = FamilyProfile> {
+    let dist = Categorical::new(&CLASS_MIX.iter().map(|c| c.1).collect::<Vec<_>>());
+    let mut rng = streams.stream("cdiac-profiles");
+    (0..n).map(move |_| {
+        let (label, _, mean) = CLASS_MIX[dist.sample(&mut rng)];
+        let sigma = 1.4f64;
+        let bytes = lognormal_clamped(&mut rng, mean.ln() - sigma * sigma / 2.0, sigma, 16.0, 2.0e9) as u64;
+        FamilyProfile {
+            class: label,
+            files: 1,
+            bytes,
+        }
+    })
+}
+
+const DATA_EXTS: &[&str] = &[
+    "csv", "dat", "txt", "asc", "xls", "tsv", "tab", "xml", "json", "nc", "pdf", "doc", "zip",
+];
+const JUNK_NAMES: &[&str] = &[
+    "debug_cycle.err.log",
+    "run.log.1",
+    "Thumbs.db",
+    "desktop.ini",
+    "data.csv.bak",
+    "shortcut_to_data.lnk",
+    "~lock.emissions.xls#",
+    "core.1834",
+];
+
+/// Builds a stub CDIAC tree of roughly `target_files` files under
+/// `/cdiac`.
+///
+/// Layout: per-decade, per-country directories of observation tables plus
+/// junk sprinkled everywhere — giving the long-tail extension census the
+/// paper highlights.
+pub fn generate_tree(
+    backend: &dyn StorageBackend,
+    target_files: u64,
+    streams: &RngStreams,
+) -> RepoStats {
+    let mut rng = streams.stream("cdiac-tree");
+    let mut stats = RepoStats {
+        name: "cdiac".to_string(),
+        ..Default::default()
+    };
+    let mut exts = std::collections::HashSet::new();
+    let mut decade = 0u64;
+    while stats.files < target_files {
+        let dir = format!("/cdiac/decade{:03}/region{:02}", decade / 24, decade % 24);
+        decade += 1;
+        stats.directories += 1;
+        let n = rng.gen_range(28..52u32);
+        for i in 0..n {
+            let junk = rng.gen_bool(0.12);
+            let (path, size) = if junk {
+                let name = JUNK_NAMES[rng.gen_range(0..JUNK_NAMES.len())];
+                let size = if rng.gen_bool(0.2) {
+                    0 // zero-byte droppings
+                } else {
+                    rng.gen_range(16..20_000)
+                };
+                (format!("{dir}/{i:02}_{name}"), size)
+            } else {
+                let ext = if rng.gen_bool(0.93) {
+                    DATA_EXTS[rng.gen_range(0..DATA_EXTS.len())].to_string()
+                } else {
+                    // The odd instrument extension.
+                    format!("d{:03}", rng.gen_range(0..140))
+                };
+                let size = lognormal_clamped(&mut rng, 12.0, 1.6, 64.0, 1.0e9) as u64;
+                (format!("{dir}/emissions_{i:03}.{ext}"), size)
+            };
+            if let Some(e) = path.rsplit('.').next() {
+                exts.insert(e.to_string());
+            }
+            backend.write_stub(&path, size).expect("fresh path");
+            stats.files += 1;
+            stats.bytes += size;
+            stats.groups += 1;
+            if stats.files >= target_files {
+                break;
+            }
+        }
+    }
+    stats.unique_extensions = exts.len() as u64;
+    stats
+}
+
+/// Paper-reported Table 1 row.
+pub fn paper_stats() -> RepoStats {
+    RepoStats {
+        name: "cdiac".to_string(),
+        files: 500_001,
+        bytes: 330_000_000_000,
+        unique_extensions: 152,
+        directories: 0,
+        groups: 500_001,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xtract_datafabric::MemFs;
+    use xtract_types::EndpointId;
+
+    #[test]
+    fn tree_is_messy_on_purpose() {
+        let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+        let stats = generate_tree(fs.as_ref(), 3_000, &RngStreams::new(7));
+        assert!(stats.files >= 3_000);
+        assert!(stats.unique_extensions > 30, "exts {}", stats.unique_extensions);
+        // Junk must exist.
+        let mut found_junk = false;
+        let mut stack = vec!["/cdiac".to_string()];
+        while let Some(dir) = stack.pop() {
+            for e in fs.list(&dir).unwrap() {
+                if e.is_dir {
+                    stack.push(format!("{dir}/{}", e.name));
+                } else if e.name.ends_with(".lnk") || e.name.contains(".log") {
+                    found_junk = true;
+                }
+            }
+        }
+        assert!(found_junk, "no junk files generated");
+    }
+
+    #[test]
+    fn mean_file_size_matches_table1_order() {
+        // Table 1: 330 GB / 500 001 files ≈ 0.66 MB/file.
+        let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+        let stats = generate_tree(fs.as_ref(), 20_000, &RngStreams::new(8));
+        let mean = stats.bytes as f64 / stats.files as f64;
+        assert!(
+            (0.2e6..2.5e6).contains(&mean),
+            "mean file size {mean:.0} B out of band"
+        );
+    }
+
+    #[test]
+    fn profile_mix_matches_table2_cost() {
+        let s = RngStreams::new(9);
+        let ps: Vec<_> = profiles(2_000, &s).collect();
+        assert!(ps.iter().any(|p| p.class == "csv"));
+        assert!(ps.iter().any(|p| p.class == "junk"));
+        assert!(ps.iter().all(|p| p.files == 1));
+        // Analytic mean per-file cost ≈ 0.95 reference core-seconds
+        // (Table 2's 0% row: 1696 s × 56 / 100 000).
+        let mean: f64 = CLASS_MIX
+            .iter()
+            .map(|(label, w, _)| {
+                let (mu, sigma) =
+                    xtract_sim::calibration::extractor_cost::lognormal_params(label);
+                w * (mu + sigma * sigma / 2.0).exp()
+            })
+            .sum();
+        assert!((mean / 0.95 - 1.0).abs() < 0.2, "mean {mean:.2} vs 0.95");
+    }
+}

@@ -1,0 +1,143 @@
+//! The COCO-like image corpus (§5.2): "the 2014 Common Objects in Context
+//! training dataset of 80 000 images (14 GB)" — the ImageSort scaling
+//! workload. Mean image ≈175 KB; all files are images; one file per
+//! group.
+
+use crate::profile::{FamilyProfile, RepoStats};
+use rand::Rng;
+use xtract_datafabric::StorageBackend;
+use xtract_extractors::formats::image::{self, ImageClass};
+use xtract_sim::dist::lognormal_clamped;
+use xtract_sim::rng::RngStreams;
+
+/// Streams `n` single-image family profiles.
+pub fn profiles(n: u64, streams: &RngStreams) -> impl Iterator<Item = FamilyProfile> {
+    let mut rng = streams.stream("coco-profiles");
+    (0..n).map(move |_| {
+        // 14 GB / 80 000 ≈ 175 KB mean.
+        let sigma = 0.6f64;
+        let bytes =
+            lognormal_clamped(&mut rng, 175.0e3f64.ln() - sigma * sigma / 2.0, sigma, 8.0e3, 4.0e6)
+                as u64;
+        FamilyProfile {
+            class: "image-sort",
+            files: 1,
+            bytes,
+        }
+    })
+}
+
+/// Builds a stub COCO tree under `/coco`.
+pub fn generate_tree(
+    backend: &dyn StorageBackend,
+    target_files: u64,
+    streams: &RngStreams,
+) -> RepoStats {
+    let mut stats = RepoStats {
+        name: "coco".to_string(),
+        ..Default::default()
+    };
+    let mut shard = 0u64;
+    let mut in_shard = 0u64;
+    stats.directories = 1;
+    for (i, p) in profiles(target_files, streams).enumerate() {
+        if in_shard == 0 {
+            shard += 1;
+            stats.directories += 1;
+        }
+        let path = format!("/coco/shard{shard:04}/img{i:08}.ximg");
+        backend.write_stub(&path, p.bytes).expect("fresh path");
+        stats.files += 1;
+        stats.bytes += p.bytes;
+        stats.groups += 1;
+        in_shard = (in_shard + 1) % 1000;
+    }
+    stats.unique_extensions = 1;
+    stats
+}
+
+/// Materializes `n` *real* decodable images under `/coco` (live mode,
+/// small n). Class mix skews photographic, as COCO does.
+pub fn materialize(backend: &dyn StorageBackend, n: u64, streams: &RngStreams) -> RepoStats {
+    let mut rng = streams.stream("coco-real");
+    let mut stats = RepoStats {
+        name: "coco".to_string(),
+        directories: 1,
+        unique_extensions: 1,
+        ..Default::default()
+    };
+    for i in 0..n {
+        let class = match rng.gen_range(0..10) {
+            0 => ImageClass::Diagram,
+            1 => ImageClass::Plot,
+            2 => ImageClass::GeographicMap,
+            3 => ImageClass::Other,
+            _ => ImageClass::Photograph,
+        };
+        let side = rng.gen_range(32..96u32);
+        let img = image::generate(class, side, side, &mut rng);
+        let bytes = img.encode();
+        let path = format!("/coco/img{i:06}.ximg");
+        stats.bytes += bytes.len() as u64;
+        backend.write(&path, bytes).expect("fresh path");
+        stats.files += 1;
+        stats.groups += 1;
+    }
+    stats
+}
+
+/// Paper-reported corpus stats.
+pub fn paper_stats() -> RepoStats {
+    RepoStats {
+        name: "coco".to_string(),
+        files: 80_000,
+        bytes: 14_000_000_000,
+        unique_extensions: 1,
+        directories: 0,
+        groups: 80_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xtract_datafabric::MemFs;
+    use xtract_types::EndpointId;
+
+    #[test]
+    fn mean_size_matches_coco() {
+        let s = RngStreams::new(1);
+        let ps: Vec<_> = profiles(20_000, &s).collect();
+        let mean = ps.iter().map(|p| p.bytes).sum::<u64>() as f64 / ps.len() as f64;
+        assert!(
+            (120.0e3..240.0e3).contains(&mean),
+            "mean {mean:.0} vs paper 175 KB"
+        );
+    }
+
+    #[test]
+    fn tree_shards_directories() {
+        let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+        let stats = generate_tree(fs.as_ref(), 2_500, &RngStreams::new(2));
+        assert_eq!(stats.files, 2_500);
+        assert_eq!(fs.list("/coco").unwrap().len(), 3); // 3 shards of ≤1000
+    }
+
+    #[test]
+    fn materialized_images_decode_and_classify() {
+        let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+        let stats = materialize(fs.as_ref(), 20, &RngStreams::new(3));
+        assert_eq!(stats.files, 20);
+        let entries = xtract_datafabric::StorageBackend::list(fs.as_ref(), "/coco").unwrap();
+        let mut photos = 0;
+        for e in entries {
+            let bytes = fs.read(&format!("/coco/{}", e.name)).unwrap();
+            let img = image::Image::decode(&bytes).unwrap();
+            if image::classify(&img) == ImageClass::Photograph {
+                photos += 1;
+            }
+        }
+        assert!(photos >= 8, "photo-heavy mix expected, got {photos}/20");
+    }
+}

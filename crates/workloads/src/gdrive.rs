@@ -1,0 +1,256 @@
+//! The graduate-student Google Drive generator (§5.8.2).
+//!
+//! Exact census from the paper: 4 443 files — 2 976 text, 333 tabular,
+//! 564 images, 184 presentations, 1 hierarchical, 6 compressed — of which
+//! 379 have no derivable type (served here as extension-less files). The
+//! per-extractor averages in Table 3 (invocations, extract time, transfer
+//! time, file size) are the calibration targets for the `table3_gdrive`
+//! harness.
+
+use crate::profile::{FamilyProfile, RepoStats};
+use rand::Rng;
+use xtract_datafabric::StorageBackend;
+use xtract_sim::dist::lognormal_clamped;
+use xtract_sim::rng::RngStreams;
+
+/// The §5.8.2 census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Census {
+    /// Text files (includes papers, notes).
+    pub text: u64,
+    /// Tabular files.
+    pub tabular: u64,
+    /// Images.
+    pub images: u64,
+    /// Presentations (treated as free text — no presentation extractor).
+    pub presentations: u64,
+    /// Hierarchical containers.
+    pub hierarchical: u64,
+    /// Compressed archives.
+    pub compressed: u64,
+    /// Files with no derivable type (extension-less), *in addition to*
+    /// the typed strata: 4 064 typed + 379 untyped = 4 443 files.
+    pub untyped: u64,
+}
+
+/// The paper's exact numbers.
+pub const PAPER_CENSUS: Census = Census {
+    text: 2976,
+    tabular: 333,
+    images: 564,
+    presentations: 184,
+    hierarchical: 1,
+    compressed: 6,
+    untyped: 379,
+};
+
+impl Census {
+    /// Total file count.
+    pub fn total(&self) -> u64 {
+        self.text + self.tabular + self.images + self.presentations + self.hierarchical
+            + self.compressed + self.untyped
+    }
+
+    /// Scales every stratum by `factor` (≥ 1 keeps the exact census).
+    pub fn scaled(&self, factor: f64) -> Census {
+        let s = |v: u64| ((v as f64 * factor).round() as u64).max(1);
+        Census {
+            text: s(self.text),
+            tabular: s(self.tabular),
+            images: s(self.images),
+            presentations: s(self.presentations),
+            hierarchical: self.hierarchical.max(1),
+            compressed: s(self.compressed),
+            untyped: s(self.untyped),
+        }
+    }
+}
+
+/// Table 3 calibration: mean file size per extractor-visible class, bytes.
+pub mod table3_sizes {
+    /// Keyword-extracted files average 0.559 MB.
+    pub const KEYWORD: f64 = 0.559e6;
+    /// Tabular files average 0.024 MB.
+    pub const TABULAR: f64 = 0.024e6;
+    /// Images average 4.0 MB.
+    pub const IMAGES: f64 = 4.0e6;
+    /// The single hierarchical file is 14 MB.
+    pub const HIERARCHICAL: f64 = 14.0e6;
+}
+
+/// Builds the Drive tree (stub mode) under `/drive`. The folder layout
+/// mimics a student's Drive: coursework, papers, project data, photos.
+pub fn generate_tree(
+    backend: &dyn StorageBackend,
+    census: &Census,
+    streams: &RngStreams,
+) -> RepoStats {
+    let mut rng = streams.stream("gdrive-tree");
+    let mut stats = RepoStats {
+        name: "gdrive".to_string(),
+        ..Default::default()
+    };
+    let mut exts = std::collections::HashSet::new();
+    let folders = ["papers", "notes", "projects/data", "photos", "coursework"];
+    stats.directories = folders.len() as u64 + 1;
+
+    let emit = |rng: &mut rand::rngs::SmallRng,
+                    stats: &mut RepoStats,
+                    exts: &mut std::collections::HashSet<String>,
+                    n: u64,
+                    folder_bias: usize,
+                    ext_choices: &[&str],
+                    mean: f64,
+                    sigma: f64| {
+        for i in 0..n {
+            let folder = folders[(folder_bias + (i as usize % 2)) % folders.len()];
+            let name = if ext_choices.is_empty() {
+                // The untyped stratum: no extension for the sniffer.
+                format!("/drive/{folder}/item_{}_{i}", stats.files)
+            } else {
+                let ext = ext_choices[rng.gen_range(0..ext_choices.len())];
+                exts.insert(ext.to_string());
+                format!("/drive/{folder}/item_{}_{i}.{ext}", stats.files)
+            };
+            let bytes =
+                lognormal_clamped(rng, mean.ln() - sigma * sigma / 2.0, sigma, 48.0, 512.0e6) as u64;
+            backend.write_stub(&name, bytes).expect("fresh path");
+            stats.files += 1;
+            stats.bytes += bytes;
+            stats.groups += 1;
+        }
+    };
+
+    emit(&mut rng, &mut stats, &mut exts, census.text, 0,
+         &["txt", "md", "pdf", "doc", "docx", "tex", "rtf", "log", "rst", "odt", "bib",
+           "markdown", "text", "notes"],
+         table3_sizes::KEYWORD, 1.2);
+    emit(&mut rng, &mut stats, &mut exts, census.tabular, 2,
+         &["csv", "xlsx", "tsv", "xls", "dat", "tab", "ods"], table3_sizes::TABULAR, 1.0);
+    emit(&mut rng, &mut stats, &mut exts, census.images, 3,
+         &["jpg", "png", "ximg", "jpeg", "tif", "tiff", "gif", "bmp", "heic", "webp"],
+         table3_sizes::IMAGES, 0.9);
+    emit(&mut rng, &mut stats, &mut exts, census.presentations, 4,
+         &["pptx", "key", "ppt", "odp"], table3_sizes::KEYWORD, 1.0);
+    emit(&mut rng, &mut stats, &mut exts, census.hierarchical, 2,
+         &["h5"], table3_sizes::HIERARCHICAL, 0.1);
+    emit(&mut rng, &mut stats, &mut exts, census.compressed, 2,
+         &["zip", "tgz", "gz", "rar", "7z", "bz2"], 5.0e6, 1.0);
+    // The 379 files with no derivable type, initially treated as free
+    // text (§5.8.2).
+    emit(&mut rng, &mut stats, &mut exts, census.untyped, 1,
+         &[], table3_sizes::KEYWORD, 1.2);
+
+    stats.unique_extensions = exts.len() as u64;
+    stats
+}
+
+/// Family profiles for the Drive campaign: per §5.8.2 extraction plans,
+/// text files get keyword (+ tabular/null-value when they carry tables,
+/// which the paper's invocation counts imply for ~19% of text files —
+/// 3 539 keyword + 333 tabular + 333 null-value + 774 images + 1
+/// hierarchical = 4 980 invocations over 4 443 files).
+pub fn profiles(census: &Census, streams: &RngStreams) -> Vec<FamilyProfile> {
+    let mut rng = streams.stream("gdrive-profiles");
+    let mut out = Vec::with_capacity(census.total() as usize);
+    let mut push = |rng: &mut rand::rngs::SmallRng, n: u64, class: &'static str, mean: f64, sigma: f64| {
+        for _ in 0..n {
+            let bytes =
+                lognormal_clamped(rng, mean.ln() - sigma * sigma / 2.0, sigma, 48.0, 512.0e6) as u64;
+            out.push(FamilyProfile {
+                class,
+                files: 1,
+                bytes,
+            });
+        }
+    };
+    push(&mut rng, census.text + census.presentations + census.untyped, "keyword",
+         table3_sizes::KEYWORD, 1.2);
+    push(&mut rng, census.tabular, "tabular", table3_sizes::TABULAR, 1.0);
+    push(&mut rng, census.images, "images", table3_sizes::IMAGES, 0.9);
+    push(&mut rng, census.hierarchical, "hierarchical", table3_sizes::HIERARCHICAL, 0.1);
+    push(&mut rng, census.compressed, "compressed", 5.0e6, 1.0);
+    out
+}
+
+/// Paper-reported Table 1 row ("Individuals").
+pub fn paper_stats() -> RepoStats {
+    RepoStats {
+        name: "individuals".to_string(),
+        files: 4_443,
+        bytes: 5_000_000_000,
+        unique_extensions: 71,
+        directories: 0,
+        groups: 4_443,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xtract_datafabric::MemFs;
+    use xtract_types::{sniff_path, EndpointId, FileType};
+
+    #[test]
+    fn census_total_matches_paper() {
+        assert_eq!(PAPER_CENSUS.total(), 4_443);
+        let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+        let stats = generate_tree(fs.as_ref(), &PAPER_CENSUS, &RngStreams::new(1));
+        assert_eq!(stats.files, 4_443);
+        assert_eq!(fs.file_count() as u64, stats.files);
+    }
+
+    #[test]
+    fn untyped_files_exist() {
+        let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+        generate_tree(fs.as_ref(), &PAPER_CENSUS, &RngStreams::new(2));
+        let mut untyped = 0u64;
+        let mut stack = vec!["/drive".to_string()];
+        while let Some(dir) = stack.pop() {
+            for e in fs.list(&dir).unwrap() {
+                let full = format!("{dir}/{}", e.name);
+                if e.is_dir {
+                    stack.push(full);
+                } else if sniff_path(&full) == FileType::Unknown {
+                    untyped += 1;
+                }
+            }
+        }
+        assert_eq!(untyped, PAPER_CENSUS.untyped);
+    }
+
+    #[test]
+    fn profiles_match_invocation_structure() {
+        let ps = profiles(&PAPER_CENSUS, &RngStreams::new(3));
+        let count = |c: &str| ps.iter().filter(|p| p.class == c).count() as u64;
+        // keyword plans cover text + presentations + untyped (§5.8.2).
+        assert_eq!(
+            count("keyword"),
+            PAPER_CENSUS.text + PAPER_CENSUS.presentations + PAPER_CENSUS.untyped
+        );
+        assert_eq!(count("tabular"), PAPER_CENSUS.tabular);
+        assert_eq!(count("images"), PAPER_CENSUS.images);
+        assert_eq!(count("hierarchical"), 1);
+    }
+
+    #[test]
+    fn tabular_files_are_small_images_are_big() {
+        let ps = profiles(&PAPER_CENSUS, &RngStreams::new(4));
+        let mean = |c: &str| {
+            let v: Vec<u64> = ps.iter().filter(|p| p.class == c).map(|p| p.bytes).collect();
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        };
+        let tab = mean("tabular");
+        let img = mean("images");
+        assert!(tab < 0.1e6, "tabular mean {tab}");
+        assert!((1.0e6..10.0e6).contains(&img), "images mean {img}");
+    }
+
+    #[test]
+    fn scaled_census_keeps_proportions() {
+        let c = PAPER_CENSUS.scaled(0.1);
+        assert!((c.text as f64 - 297.6).abs() < 1.0);
+        assert_eq!(c.hierarchical, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # xtract-workloads
+//!
+//! Synthetic repository generators reproducing the paper's three corpora
+//! (Table 1, §2.3, §5.8) plus the COCO image set used in the scaling study
+//! (§5.2):
+//!
+//! | Generator  | Paper corpus | Scale knobs |
+//! |------------|--------------|-------------|
+//! | [`mdf`]    | Materials Data Facility: 61 TB, 19 968 947 files, 11 560 unique extensions, 2.5 M groups | file/group count |
+//! | [`cdiac`]  | CDIAC climate archive: 330 GB, 500 001 files, 152 unique extensions, uncurated (error logs, shortcuts) | file count |
+//! | [`gdrive`] | A graduate student's Google Drive: 4 443 files (2 976 text, 333 tabular, 564 images, 184 presentations, 1 hierarchical, 6 compressed, 379 untyped) | exact census |
+//! | [`coco`]   | COCO 2014 train: 80 000 images, 14 GB | image count |
+//!
+//! Each generator has two modes:
+//!
+//! * **tree mode** — writes a directory tree of *stub* files (path + size,
+//!   no bytes) into a [`xtract_datafabric::StorageBackend`]; used by crawl
+//!   and transfer experiments at up to multi-million-file scale;
+//! * **profile mode** — streams [`profile::FamilyProfile`]s (extractor
+//!   class, file count, bytes) for the campaign simulator, with the class
+//!   mix calibrated to the paper's aggregate costs (26 200 core-hours /
+//!   2.5 M groups, §5.8.1);
+//!
+//! and [`materialize`] builds small repositories with **real bytes**
+//! (parseable CSV/JSON/YAML/XML/VASP/XIMG/XHDF/XZIP content) for live
+//! end-to-end runs.
+
+pub mod cdiac;
+pub mod coco;
+pub mod gdrive;
+pub mod materialize;
+pub mod mdf;
+pub mod profile;
+pub mod table1;
+
+pub use profile::{FamilyProfile, RepoStats};

@@ -1,0 +1,329 @@
+//! Real-byte repository synthesis for live end-to-end runs.
+//!
+//! Every file written here is *parseable by the corresponding extractor*:
+//! text reads as English-ish prose with planted domain terms, CSV has
+//! headers and numeric columns with sentinel nulls, VASP runs carry
+//! consistent INCAR/POSCAR/OUTCAR triples, images decode and classify,
+//! archives list. A live extraction over a materialized repository
+//! therefore produces non-trivial metadata the integration tests can
+//! assert on.
+
+use crate::profile::RepoStats;
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use xtract_datafabric::StorageBackend;
+use xtract_extractors::formats::image::{self, ImageClass};
+use xtract_sim::rng::RngStreams;
+
+const DOMAIN_TERMS: &[&str] = &[
+    "perovskite", "bandgap", "photoluminescence", "annealing", "diffraction", "microscopy",
+    "emissions", "stratosphere", "isotope", "sequestration", "lattice", "phonon",
+];
+const FILLER: &[&str] = &[
+    "the", "we", "measured", "sample", "with", "under", "results", "show", "that", "increase",
+    "observed", "temperature", "pressure", "after", "before", "during", "experiment", "this",
+    "series", "figure", "reported", "value", "between", "analysis",
+];
+
+/// Generates `words` of prose seeded with domain terms.
+pub fn prose(rng: &mut SmallRng, words: usize) -> String {
+    let mut out = String::with_capacity(words * 7);
+    for i in 0..words {
+        if i > 0 {
+            out.push(if i % 13 == 0 { '\n' } else { ' ' });
+        }
+        let w = if rng.gen_bool(0.12) {
+            DOMAIN_TERMS[rng.gen_range(0..DOMAIN_TERMS.len())]
+        } else {
+            FILLER[rng.gen_range(0..FILLER.len())]
+        };
+        out.push_str(w);
+        if i % 11 == 10 {
+            out.push('.');
+        }
+    }
+    out
+}
+
+/// Generates a CSV table with headers, numeric columns and some nulls.
+pub fn csv(rng: &mut SmallRng, rows: usize) -> String {
+    let mut out = String::from("station,year,co2_ppm,temp_c\n");
+    for i in 0..rows {
+        let co2 = if rng.gen_bool(0.06) {
+            String::new() // null cell
+        } else {
+            format!("{:.2}", 310.0 + i as f64 * 0.13 + rng.gen_range(-1.0..1.0))
+        };
+        out.push_str(&format!(
+            "st{:02},{},{},{:.2}\n",
+            rng.gen_range(0..20),
+            1960 + (i % 60),
+            co2,
+            12.0 + rng.gen_range(-3.0..3.0)
+        ));
+    }
+    out
+}
+
+/// Generates a JSON metadata document.
+pub fn json_doc(rng: &mut SmallRng) -> String {
+    format!(
+        r#"{{"dataset": "run{}", "params": {{"encut": {}, "kpoints": [{}, {}, {}]}}, "tags": ["{}", "{}"]}}"#,
+        rng.gen_range(0..10_000),
+        rng.gen_range(300..700),
+        rng.gen_range(2..9),
+        rng.gen_range(2..9),
+        rng.gen_range(2..9),
+        DOMAIN_TERMS[rng.gen_range(0..DOMAIN_TERMS.len())],
+        DOMAIN_TERMS[rng.gen_range(0..DOMAIN_TERMS.len())],
+    )
+}
+
+/// Generates a YAML config.
+pub fn yaml_doc(rng: &mut SmallRng) -> String {
+    format!(
+        "---\nname: run{}\nencut: {}\nsmearing: gaussian\noutputs:\n  - energy\n  - forces\n",
+        rng.gen_range(0..10_000),
+        rng.gen_range(300..700),
+    )
+}
+
+/// Generates an XML record.
+pub fn xml_doc(rng: &mut SmallRng) -> String {
+    let steps: String = (0..rng.gen_range(2..6))
+        .map(|i| format!("<step n=\"{i}\"><e>{:.3}</e></step>", -40.0 - i as f64))
+        .collect();
+    format!("<?xml version=\"1.0\"?><run>{steps}</run>")
+}
+
+/// Generates a consistent VASP run (INCAR, POSCAR, OUTCAR bodies).
+pub fn vasp_run(rng: &mut SmallRng) -> [(&'static str, String); 3] {
+    let encut = rng.gen_range(300..700);
+    let a = rng.gen_range(3.5..6.5);
+    let atoms = rng.gen_range(2..32);
+    let incar = format!("ENCUT = {encut}\nISMEAR = 0\nSIGMA = 0.05\n");
+    let poscar = format!(
+        "generated cell\n1.0\n{a:.3} 0.0 0.0\n0.0 {a:.3} 0.0\n0.0 0.0 {a:.3}\nSi\n{atoms}\nDirect\n0 0 0\n"
+    );
+    let steps = rng.gen_range(3..9);
+    let mut outcar = String::new();
+    let mut e = -5.0 * atoms as f64;
+    for _ in 0..steps {
+        e -= rng.gen_range(0.0..0.4);
+        outcar.push_str(&format!("free energy TOTEN = {e:.4} eV\n"));
+    }
+    outcar.push_str("reached required accuracy\n");
+    [("INCAR", incar), ("POSCAR", poscar), ("OUTCAR", outcar)]
+}
+
+/// Generates an XHDF container body.
+pub fn xhdf_doc(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(50..400);
+    format!(
+        "XHDF\ngroup /obs\nattr /obs institution \"synthetic\"\ndataset /obs/temp shape={n}x12 dtype=f64\ndataset /obs/flags shape={n} dtype=i32\n"
+    )
+}
+
+/// Generates Python source.
+pub fn python_doc(rng: &mut SmallRng) -> String {
+    format!(
+        "import numpy\n\n# analysis helper\ndef compute_{}(xs):\n    \"\"\"Reduce the series.\"\"\"\n    return numpy.mean(xs)\n",
+        rng.gen_range(0..100)
+    )
+}
+
+/// One materialized repository's manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleFile {
+    /// Path written.
+    pub path: String,
+    /// Expected extractor class for assertions.
+    pub class: &'static str,
+}
+
+/// Builds a mixed-type repository of `n` *files* (VASP runs contribute
+/// three files each) under `root` with fully parseable bytes. Returns the
+/// manifest and stats.
+pub fn sample_repo(
+    backend: &dyn StorageBackend,
+    root: &str,
+    n: u64,
+    streams: &RngStreams,
+) -> (Vec<SampleFile>, RepoStats) {
+    let mut rng = streams.stream("materialize");
+    let mut manifest = Vec::new();
+    let mut stats = RepoStats {
+        name: "sample".to_string(),
+        ..Default::default()
+    };
+    let write = |backend: &dyn StorageBackend,
+                     stats: &mut RepoStats,
+                     manifest: &mut Vec<SampleFile>,
+                     path: String,
+                     data: Vec<u8>,
+                     class: &'static str| {
+        stats.bytes += data.len() as u64;
+        backend.write(&path, Bytes::from(data)).expect("fresh path");
+        stats.files += 1;
+        stats.groups += 1;
+        manifest.push(SampleFile { path, class });
+    };
+
+    let mut i = 0u64;
+    let mut dir_n = 0u64;
+    while stats.files < n {
+        dir_n += 1;
+        let dir = format!("{root}/batch{dir_n:03}");
+        stats.directories += 1;
+        for _ in 0..12 {
+            if stats.files >= n {
+                break;
+            }
+            i += 1;
+            match i % 9 {
+                0 => {
+                    // VASP run: one *group*, three files.
+                    let run_dir = format!("{dir}/vasp{i}");
+                    stats.directories += 1;
+                    let files = vasp_run(&mut rng);
+                    let group_start = stats.files;
+                    for (name, body) in files {
+                        write(backend, &mut stats, &mut manifest,
+                              format!("{run_dir}/{name}"), body.into_bytes(), "matio");
+                    }
+                    stats.groups -= stats.files - group_start - 1; // one group
+                }
+                1 | 2 => {
+                    let words = rng.gen_range(80..400);
+                    write(backend, &mut stats, &mut manifest,
+                          format!("{dir}/notes{i}.txt"),
+                          prose(&mut rng, words).into_bytes(), "keyword");
+                }
+                3 => {
+                    let rows = rng.gen_range(20..120);
+                    write(backend, &mut stats, &mut manifest,
+                          format!("{dir}/obs{i}.csv"),
+                          csv(&mut rng, rows).into_bytes(), "tabular");
+                }
+                4 => write(backend, &mut stats, &mut manifest,
+                           format!("{dir}/meta{i}.json"),
+                           json_doc(&mut rng).into_bytes(), "semi-structured"),
+                5 => write(backend, &mut stats, &mut manifest,
+                           format!("{dir}/conf{i}.yaml"),
+                           yaml_doc(&mut rng).into_bytes(), "semi-structured"),
+                6 => write(backend, &mut stats, &mut manifest,
+                           format!("{dir}/run{i}.xml"),
+                           xml_doc(&mut rng).into_bytes(), "semi-structured"),
+                7 => {
+                    let side = rng.gen_range(32..64u32);
+                    let class = match i % 5 {
+                        0 => ImageClass::Plot,
+                        1 => ImageClass::Diagram,
+                        2 => ImageClass::GeographicMap,
+                        3 => ImageClass::Other,
+                        _ => ImageClass::Photograph,
+                    };
+                    let img = image::generate(class, side, side, &mut rng);
+                    write(backend, &mut stats, &mut manifest,
+                          format!("{dir}/fig{i}.ximg"), img.encode().to_vec(), "images");
+                }
+                _ => write(backend, &mut stats, &mut manifest,
+                           format!("{dir}/grid{i}.xhdf"),
+                           xhdf_doc(&mut rng).into_bytes(), "hierarchical"),
+            }
+        }
+    }
+    stats.unique_extensions = manifest
+        .iter()
+        .filter_map(|f| f.path.rsplit('.').next().map(str::to_string))
+        .collect::<std::collections::HashSet<_>>()
+        .len() as u64;
+    (manifest, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use xtract_datafabric::MemFs;
+    use xtract_extractors::{library, MapSource};
+    use xtract_types::{
+        sniff_path, EndpointId, ExtractorKind, Family, FileRecord, Group, GroupId,
+    };
+
+    #[test]
+    fn sample_repo_is_fully_parseable() {
+        let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+        let (manifest, stats) = sample_repo(fs.as_ref(), "/live", 60, &RngStreams::new(11));
+        assert!(stats.files >= 60);
+        assert_eq!(stats.files as usize, manifest.len());
+        let lib = library();
+        // Run each file through its expected extractor and demand zero
+        // per-file "error" records.
+        let mut source = MapSource::new();
+        for f in &manifest {
+            source.insert(f.path.clone(), fs.read(&f.path).unwrap());
+        }
+        let class_to_kind: HashMap<&str, ExtractorKind> = HashMap::from([
+            ("keyword", ExtractorKind::Keyword),
+            ("tabular", ExtractorKind::Tabular),
+            ("semi-structured", ExtractorKind::SemiStructured),
+            ("images", ExtractorKind::Images),
+            ("hierarchical", ExtractorKind::Hierarchical),
+            ("matio", ExtractorKind::MaterialsIo),
+        ]);
+        for f in &manifest {
+            let kind = class_to_kind[f.class];
+            let rec = FileRecord::new(f.path.clone(), 0, EndpointId::new(0), sniff_path(&f.path));
+            let group = Group::new(GroupId::new(0), vec![f.path.clone()]);
+            let fam = Family::new(
+                xtract_types::FamilyId::new(0),
+                vec![rec],
+                vec![group],
+                EndpointId::new(0),
+            );
+            let out = lib[&kind].extract(&fam, &source).unwrap();
+            for (path, md) in &out.per_file {
+                assert!(
+                    !md.contains("error"),
+                    "{kind} failed on {path}: {:?}",
+                    md.get("error")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vasp_runs_are_grouped_once() {
+        let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+        let (manifest, stats) = sample_repo(fs.as_ref(), "/live", 40, &RngStreams::new(12));
+        let vasp_files = manifest.iter().filter(|f| f.class == "matio").count();
+        assert!(vasp_files >= 3);
+        assert_eq!(vasp_files % 3, 0);
+        // groups = files - 2 per VASP triple.
+        assert_eq!(
+            stats.groups,
+            stats.files - 2 * (vasp_files as u64 / 3)
+        );
+    }
+
+    #[test]
+    fn prose_contains_domain_terms() {
+        let mut rng = RngStreams::new(13).stream("t");
+        let text = prose(&mut rng, 600);
+        assert!(DOMAIN_TERMS.iter().any(|t| text.contains(t)));
+        assert!(text.split_whitespace().count() >= 590);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let make = || {
+            let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+            let (m, s) = sample_repo(fs.as_ref(), "/live", 30, &RngStreams::new(14));
+            (m, s.bytes)
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,81 @@
+//! Table 1 assembly: "Characteristics of our example data repositories."
+
+use crate::profile::RepoStats;
+use crate::{cdiac, gdrive, mdf};
+
+/// One Table 1 row: paper-reported numbers plus (optionally) the realized
+/// statistics of a generated instance at some scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Repository name.
+    pub repository: String,
+    /// Paper-reported characteristics.
+    pub paper: RepoStats,
+    /// Generated instance characteristics (None when not generated).
+    pub generated: Option<RepoStats>,
+}
+
+/// The paper's Table 1, without generated instances.
+pub fn paper_rows() -> Vec<Table1Row> {
+    [mdf::paper_stats(), cdiac::paper_stats(), gdrive::paper_stats()]
+        .into_iter()
+        .map(|paper| Table1Row {
+            repository: paper.name.clone(),
+            paper,
+            generated: None,
+        })
+        .collect()
+}
+
+/// Formats rows in the paper's layout: `Repository | Size (TB) | Files |
+/// Unique Extensions`, with generated numbers beside paper numbers when
+/// present.
+pub fn format_rows(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Repository    Size(TB)      Files           Unique Extensions\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12}  {:>8.3}      {:>10}      {:>8}\n",
+            r.repository,
+            r.paper.terabytes(),
+            r.paper.files,
+            r.paper.unique_extensions
+        ));
+        if let Some(g) = &r.generated {
+            out.push_str(&format!(
+                "  └ generated {:>8.3}      {:>10}      {:>8}   ({} dirs, {} groups)\n",
+                g.terabytes(),
+                g.files,
+                g.unique_extensions,
+                g.directories,
+                g.groups
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_match_table1() {
+        let rows = paper_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].paper.files, 19_968_947);
+        assert_eq!(rows[1].paper.files, 500_001);
+        assert_eq!(rows[2].paper.files, 4_443);
+        assert_eq!(rows[0].paper.unique_extensions, 11_560);
+        assert_eq!(rows[1].paper.unique_extensions, 152);
+        assert_eq!(rows[2].paper.unique_extensions, 71);
+    }
+
+    #[test]
+    fn formatting_includes_all_rows() {
+        let s = format_rows(&paper_rows());
+        for name in ["mdf", "cdiac", "individuals"] {
+            assert!(s.contains(name), "missing {name} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The Google Drive case study (§5.8.2, Table 3), live: a Drive-like
+//! store with no compute layer, extraction on River-style workers, bytes
+//! moved per family.
+//!
+//! ```text
+//! cargo run --release --example gdrive_audit
+//! ```
+//!
+//! Runs at 1/10 of the paper's census by default (live mode parses real
+//! bytes); pass a scale factor to change it.
+
+use std::sync::Arc;
+use xtract::prelude::*;
+use xtract_core::XtractService;
+use xtract_datafabric::{AuthService, DataFabric, DriveStore, MemFs, Scope};
+use xtract_sim::RngStreams;
+use xtract_types::config::ContainerRuntime;
+use xtract_workloads::gdrive;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.1);
+    let census = gdrive::PAPER_CENSUS.scaled(scale);
+    println!(
+        "auditing a Drive of {} files (scale {scale} of the paper's 4443)",
+        census.total()
+    );
+
+    // The Drive endpoint: data layer only — "compute is not available on
+    // Google Drive" (§5.8.2).
+    let fabric = Arc::new(DataFabric::new());
+    let drive_ep = EndpointId::new(0);
+    let river_ep = EndpointId::new(1);
+    let drive = Arc::new(DriveStore::new(drive_ep));
+    // Live mode needs real bytes: materialize a matching mixed repository
+    // inside the Drive tree shape.
+    let files_needed = census.total().min(600);
+    xtract_workloads::materialize::sample_repo(
+        drive.as_ref(),
+        "/drive",
+        files_needed,
+        &RngStreams::new(31),
+    );
+    fabric.register(drive_ep, "gdrive", drive.clone());
+    fabric.register(river_ep, "river", Arc::new(MemFs::new(river_ep)));
+
+    let auth = Arc::new(AuthService::new());
+    let token = auth.login(
+        "grad-student@uchicago.edu",
+        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+    );
+    let service = XtractService::new(fabric.clone(), auth, 3);
+
+    // 30 Kubernetes pods on River (§5.8.2).
+    let mut job = JobSpec::single_endpoint(
+        EndpointSpec {
+            endpoint: river_ep,
+            read_path: "/".into(),
+            store_path: Some("/pod-scratch".into()),
+            available_bytes: 64 << 30,
+            workers: Some(30),
+            runtime: ContainerRuntime::Docker,
+        },
+        "/drive",
+    );
+    job.roots = vec![(drive_ep, "/drive".to_string())];
+    job.endpoints.push(EndpointSpec {
+        endpoint: drive_ep,
+        read_path: "/drive".into(),
+        store_path: None, // no compute, no staging at the Drive
+        available_bytes: 0,
+        workers: None,
+        runtime: ContainerRuntime::Docker,
+    });
+    job.delete_after_extraction = true; // pods do not keep copies
+    service.connect_endpoint(&job.endpoints[0]).expect("river connects");
+
+    let report = service.run_job(token, &job).expect("audit succeeds");
+
+    println!(
+        "\ncrawled {} files ({} Drive API pages) -> {} records, {} failures",
+        report.crawled_files,
+        drive.pages_served(),
+        report.records.len(),
+        report.failures.len()
+    );
+    println!(
+        "bytes pulled from the Drive: {:.1} MB across {} extraction waves",
+        report.bytes_prefetched as f64 / 1e6,
+        report.waves
+    );
+    println!("\nTable-3-style invocation census:");
+    println!("  extractor         invocations");
+    let mut rows: Vec<_> = report.invocations.iter().collect();
+    rows.sort();
+    for (name, count) in rows {
+        println!("  {name:<16}  {count:>10}");
+    }
+    let total: u64 = report.invocations.values().sum();
+    println!(
+        "  total             {total:>10}  (> {} files: multi-extractor plans, §5.8.2)",
+        report.crawled_files
+    );
+}

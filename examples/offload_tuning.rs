@@ -1,0 +1,59 @@
+//! Offload-percentage tuning (§4.3.3, Table 2): sweep the RAND policy
+//! from 0 % to 40 % and watch the queueing-vs-saturation equilibrium the
+//! paper finds at 10 %.
+//!
+//! ```text
+//! cargo run --release --example offload_tuning
+//! ```
+
+use xtract_core::campaign::{Campaign, CampaignConfig, PrefetchPlan};
+use xtract_sim::{sites, RngStreams};
+use xtract_tika::TIKA_SLOWDOWN;
+use xtract_workloads::cdiac;
+
+/// Runs the two-site split: `pct`% of 100 k files offloaded from a
+/// 56-worker Midway endpoint to a 10-worker Jetstream endpoint, Table 2
+/// style. Returns (transfer seconds, completion seconds).
+fn run_split(pct: f64, slowdown: f64) -> (f64, f64) {
+    let streams = RngStreams::new(17);
+    let profiles: Vec<_> = cdiac::profiles(100_000, &streams).collect();
+    let n_off = (profiles.len() as f64 * pct / 100.0) as usize;
+    let (offloaded, local) = profiles.split_at(n_off);
+
+    // Local work on Midway (56 workers).
+    let local_cfg = CampaignConfig::new(sites::midway(), 56, 18);
+    let local_report = Campaign::new(local_cfg, local.to_vec()).run();
+
+    // Offloaded work: transfer Midway→Jetstream, then 10 workers.
+    let mut transfer_finish = 0.0f64;
+    let mut off_makespan = 0.0f64;
+    if !offloaded.is_empty() {
+        let mut off_cfg = CampaignConfig::new(sites::jetstream(), 10, 19);
+        off_cfg.prefetch = Some(PrefetchPlan {
+            link: sites::link("midway", "jetstream"),
+            slots: 10,
+            families_per_job: 512,
+        });
+        let off_report = Campaign::new(off_cfg, offloaded.to_vec()).run();
+        transfer_finish = off_report.transfer_finish;
+        off_makespan = off_report.makespan;
+    }
+    let completion = local_report.makespan.max(off_makespan) * slowdown;
+    (transfer_finish, completion)
+}
+
+fn main() {
+    println!("RAND offloading sweep: 100k files, Midway(56 workers) -> Jetstream(10 workers)");
+    println!("(Table 2 reports: Xtract 1696/1560/1662 s at 0/10/20 %; Tika 2032/1868/1935 s)\n");
+    println!("  system   offload%   transfer(s)   completion(s)");
+    for system in ["xtract", "tika"] {
+        let slowdown = if system == "tika" { TIKA_SLOWDOWN } else { 1.0 };
+        for pct in [0.0, 5.0, 10.0, 20.0, 30.0, 40.0] {
+            let (xfer, total) = run_split(pct, slowdown);
+            println!("  {system:<7}  {pct:>7.0}   {xfer:>11.0}   {total:>13.0}");
+        }
+        println!();
+    }
+    println!("the equilibrium: too little offload leaves Midway queued; too much saturates");
+    println!("Jetstream's 10 workers and pays transfer for nothing (§5.6).");
+}

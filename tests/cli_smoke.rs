@@ -1,0 +1,101 @@
+//! Smoke tests for `xtract-cli` against a real on-disk directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtract-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("runs")).unwrap();
+    std::fs::write(dir.join("notes.txt"), "perovskite photoluminescence measurements\n").unwrap();
+    std::fs::write(dir.join("obs.csv"), "year,co2\n1990,354.1\n1991,355.3\n").unwrap();
+    std::fs::write(dir.join("runs/INCAR"), "ENCUT = 450\n").unwrap();
+    std::fs::write(
+        dir.join("runs/POSCAR"),
+        "cell\n1.0\n5.4 0 0\n0 5.4 0\n0 0 5.4\nSi\n8\nDirect\n0 0 0\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("runs/OUTCAR"),
+        "free energy TOTEN = -41.0 eV\nreached required accuracy\n",
+    )
+    .unwrap();
+    // A duplicate for the dedup screen.
+    std::fs::copy(dir.join("notes.txt"), dir.join("notes-copy.txt")).unwrap();
+    dir
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xtract-cli"))
+}
+
+#[test]
+fn extract_processes_a_real_directory() {
+    let dir = fixture_dir("extract");
+    let out = cli().arg("extract").arg(&dir).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("crawled 6 files"), "{stderr}");
+    assert!(stderr.contains("0 failures"), "{stderr}");
+    // The tool must not leave droppings in the scanned directory.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().into_string().unwrap())
+        .collect();
+    assert!(!names.iter().any(|n| n == "metadata" || n.starts_with(".xtract")), "{names:?}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn extract_dumps_jsonl() {
+    let dir = fixture_dir("jsonl");
+    let out_file = dir.join("records.jsonl");
+    let out = cli()
+        .arg("extract")
+        .arg(&dir)
+        .arg("--jsonl")
+        .arg(&out_file)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&out_file).unwrap();
+    // One valid JSON record per line, VASP synthesis present.
+    let mut saw_vasp = false;
+    for line in body.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        if v["document"]["extracted"]["matio"]["complete_vasp_run"] == serde_json::json!(true) {
+            saw_vasp = true;
+        }
+    }
+    assert!(saw_vasp, "no complete VASP record in:\n{body}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn search_finds_planted_terms() {
+    let dir = fixture_dir("search");
+    let out = cli().arg("search").arg(&dir).arg("perovskite").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hits for"), "{stdout}");
+    assert!(stdout.contains("notes.txt"), "{stdout}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn dedup_finds_the_planted_copy() {
+    let dir = fixture_dir("dedup");
+    let out = cli().arg("dedup").arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("notes-copy.txt"), "{stdout}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,146 @@
+//! Property tests on the min-transfers pipeline end to end: crawler
+//! grouping → Karger families, over arbitrary generated trees.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xtract_core::families::{build_families, naive_families};
+use xtract_crawler::{Crawler, CrawlerConfig};
+use xtract_datafabric::{MemFs, StorageBackend};
+use xtract_sim::RngStreams;
+use xtract_types::id::IdAllocator;
+use xtract_types::{EndpointId, FileRecord, GroupingStrategy};
+
+/// Crawl a generated MDF-like tree and return per-directory
+/// (files, groups).
+fn crawl_tree(
+    files: u64,
+    seed: u64,
+) -> Vec<(Vec<FileRecord>, Vec<xtract_types::Group>)> {
+    let ep = EndpointId::new(0);
+    let fs: Arc<dyn StorageBackend> = Arc::new(MemFs::new(ep));
+    xtract_workloads::mdf::generate_tree(fs.as_ref(), files, &RngStreams::new(seed));
+    let crawler = Crawler::new(CrawlerConfig {
+        workers: 4,
+        grouping: GroupingStrategy::MaterialsAware,
+    });
+    let (tx, rx) = crossbeam_channel::unbounded();
+    crawler.crawl(ep, &fs, &["/".to_string()], tx).unwrap();
+    rx.into_iter()
+        .filter(|d| !d.groups.is_empty())
+        .map(|d| (d.files, d.groups))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any tree, seed, and family-size bound: families partition the
+    /// directory's grouped files exactly once, respect the size bound,
+    /// never beat the naive scheme on redundancy, and keep every group
+    /// assigned to exactly one family.
+    #[test]
+    fn min_transfers_invariants(
+        tree_files in 200u64..800,
+        tree_seed in 0u64..500,
+        cut_seed in 0u64..500,
+        s in 2usize..24,
+    ) {
+        let dirs = crawl_tree(tree_files, tree_seed);
+        prop_assert!(!dirs.is_empty());
+        for (files, groups) in dirs {
+            let file_map: HashMap<String, FileRecord> =
+                files.iter().map(|f| (f.path.clone(), f.clone())).collect();
+            let n_groups = groups.len();
+            let ids = IdAllocator::new();
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(cut_seed);
+            let set = build_families(
+                &file_map,
+                groups.clone(),
+                EndpointId::new(0),
+                s,
+                &ids,
+                &mut rng,
+            );
+
+            // 1. Exact partition of grouped files.
+            let mut seen: Vec<&str> = set
+                .families
+                .iter()
+                .flat_map(|f| f.files.iter().map(|r| r.path.as_str()))
+                .collect();
+            seen.sort_unstable();
+            let dup = seen.windows(2).any(|w| w[0] == w[1]);
+            prop_assert!(!dup, "file appears in two families");
+            let mut grouped: Vec<&str> = groups
+                .iter()
+                .flat_map(|g| g.files.iter().map(String::as_str))
+                .collect();
+            grouped.sort_unstable();
+            grouped.dedup();
+            prop_assert_eq!(seen, grouped);
+
+            // 2. Size bound.
+            for fam in &set.families {
+                prop_assert!(fam.file_count() <= s, "family of {} > s={s}", fam.file_count());
+            }
+
+            // 3. Every group lands in exactly one family.
+            let assigned: usize = set.families.iter().map(|f| f.groups.len()).sum();
+            prop_assert_eq!(assigned, n_groups);
+
+            // 4. With `s` large enough that no component is ever cut,
+            //    min-transfers achieves *zero* redundancy — every file
+            //    moves exactly once — and therefore never moves more than
+            //    the naive scheme. (A small `s` deliberately trades
+            //    redundancy for parallelism, §4.3.1, so no ordering holds
+            //    there.)
+            let ids_big = IdAllocator::new();
+            let mut rng_big = rand::rngs::SmallRng::seed_from_u64(cut_seed);
+            let uncut = build_families(
+                &file_map,
+                groups.clone(),
+                EndpointId::new(0),
+                files.len().max(1),
+                &ids_big,
+                &mut rng_big,
+            );
+            prop_assert_eq!(uncut.redundant_files, 0, "uncut families still redundant");
+            let ids2 = IdAllocator::new();
+            let naive = naive_families(&file_map, groups, EndpointId::new(0), &ids2);
+            let naive_moved: u64 = naive.families.iter().map(|f| f.total_bytes()).sum();
+            prop_assert!(uncut.transfer_bytes() <= naive_moved);
+        }
+    }
+}
+
+#[test]
+fn overlap_rich_directories_show_the_fig7_effect() {
+    // Aggregate over a larger tree: min-transfers must strictly reduce
+    // total transfer volume when overlap exists.
+    let dirs = crawl_tree(3_000, 77);
+    let mut naive_total = 0u64;
+    let mut min_total = 0u64;
+    let mut overlap_dirs = 0;
+    for (files, groups) in dirs {
+        let file_map: HashMap<String, FileRecord> =
+            files.iter().map(|f| (f.path.clone(), f.clone())).collect();
+        let ids = IdAllocator::new();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let naive = naive_families(&file_map, groups.clone(), EndpointId::new(0), &ids);
+        let naive_bytes: u64 = naive.families.iter().map(|f| f.total_bytes()).sum();
+        let ids2 = IdAllocator::new();
+        let set = build_families(&file_map, groups, EndpointId::new(0), 128, &ids2, &mut rng);
+        naive_total += naive_bytes;
+        min_total += set.transfer_bytes();
+        if naive.redundant_files > 0 {
+            overlap_dirs += 1;
+        }
+    }
+    assert!(overlap_dirs > 0, "generator produced no overlap");
+    assert!(
+        min_total < naive_total,
+        "min-transfers {min_total} !< naive {naive_total}"
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-mode invariants: the campaign simulator is deterministic per
+//! seed, and the policies it shares with the live service behave
+//! consistently across the two execution modes.
+
+use std::sync::Arc;
+use xtract::prelude::*;
+use xtract_core::campaign::{Campaign, CampaignConfig};
+use xtract_core::XtractService;
+use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope};
+use xtract_sim::{sites, RngStreams};
+use xtract_types::config::ContainerRuntime;
+use xtract_workloads::{mdf, FamilyProfile};
+
+#[test]
+fn campaign_is_bit_for_bit_deterministic() {
+    let profiles: Vec<FamilyProfile> = mdf::profiles(5_000, &RngStreams::new(9)).collect();
+    let run = || {
+        let mut cfg = CampaignConfig::new(sites::theta(), 512, 77);
+        cfg.xtract_batch = 4;
+        cfg.funcx_batch = 8;
+        let r = Campaign::new(cfg, profiles.clone()).run();
+        (
+            r.makespan.to_bits(),
+            r.busy_core_seconds.to_bits(),
+            r.ws_requests,
+            r.outcomes.len(),
+        )
+    };
+    assert_eq!(run(), run());
+    // And different seeds genuinely differ.
+    let mut cfg2 = CampaignConfig::new(sites::theta(), 512, 78);
+    cfg2.xtract_batch = 4;
+    cfg2.funcx_batch = 8;
+    let other = Campaign::new(cfg2, profiles.clone()).run();
+    assert_ne!(other.makespan.to_bits(), run().0);
+}
+
+#[test]
+fn batching_reduces_requests_in_both_modes() {
+    // Sim mode.
+    let profiles: Vec<FamilyProfile> = mdf::profiles(512, &RngStreams::new(10)).collect();
+    let sim_requests = |xb: usize, fb: usize| {
+        let mut cfg = CampaignConfig::new(sites::midway(), 56, 3);
+        cfg.xtract_batch = xb;
+        cfg.funcx_batch = fb;
+        Campaign::new(cfg, profiles.clone()).run().ws_requests
+    };
+    let sim_small = sim_requests(1, 1);
+    let sim_big = sim_requests(8, 16);
+    assert!(sim_big < sim_small / 8, "sim: {sim_big} !<< {sim_small}");
+
+    // Live mode over real bytes.
+    let live_requests = |xb: usize, fb: usize| {
+        let fabric = Arc::new(DataFabric::new());
+        let ep = EndpointId::new(0);
+        let fs = Arc::new(MemFs::new(ep));
+        xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", 40, &RngStreams::new(11));
+        fabric.register(ep, "midway", fs);
+        let auth = Arc::new(AuthService::new());
+        let token = auth.login(
+            "u",
+            &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        );
+        let svc = XtractService::new(fabric, auth, 12);
+        let mut spec = JobSpec::single_endpoint(
+            EndpointSpec {
+                endpoint: ep,
+                read_path: "/data".into(),
+                store_path: Some("/stage".into()),
+                available_bytes: 1 << 30,
+                workers: Some(4),
+                runtime: ContainerRuntime::Docker,
+            },
+            "/data",
+        );
+        spec.xtract_batch_size = xb;
+        spec.funcx_batch_size = fb;
+        svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+        svc.run_job(token, &spec).unwrap();
+        svc.faas()
+            .stats()
+            .ws_requests
+            .load(std::sync::atomic::Ordering::Relaxed)
+    };
+    let live_small = live_requests(1, 1);
+    let live_big = live_requests(8, 16);
+    assert!(
+        live_big < live_small,
+        "live: {live_big} requests !< {live_small}"
+    );
+}
+
+#[test]
+fn mdf_profile_mix_agrees_with_fig8_cost_structure() {
+    // The statistical generator must reproduce §5.8.1's aggregate:
+    // ≈37.7 core-seconds per group on Theta.
+    let profiles: Vec<FamilyProfile> = mdf::profiles(50_000, &RngStreams::new(13)).collect();
+    let mut cfg = CampaignConfig::new(sites::theta(), 4096, 14);
+    cfg.checkpoint = true; // as the paper ran it (§5.8.1)
+    let report = Campaign::new(cfg, profiles).run();
+    let per_group = report.busy_core_seconds / report.outcomes.len() as f64;
+    assert!(
+        (per_group / 37.7 - 1.0).abs() < 0.25,
+        "per-group cost {per_group:.1} core-s vs paper 37.7"
+    );
+    // The ASE tail exists: some families run for hours (Fig. 8 bottom).
+    let longest = report
+        .outcomes
+        .iter()
+        .map(|o| o.service)
+        .fold(0.0f64, f64::max);
+    assert!(longest > 3600.0, "no multi-hour family: max {longest:.0}s");
+    // ...but none beyond Fig. 8's observed ceiling.
+    assert!(longest <= 15_001.0, "family exceeds Fig. 8 ceiling: {longest:.0}s");
+}
+
+#[test]
+fn crawl_model_and_threaded_crawler_see_the_same_tree() {
+    // The analytic model (Fig. 4) and the real crawler must agree on the
+    // tree's shape — the model's inputs come from generator stats that the
+    // crawler independently discovers.
+    let fabric_ep = EndpointId::new(0);
+    let fs: Arc<dyn xtract_datafabric::StorageBackend> = Arc::new(MemFs::new(fabric_ep));
+    let stats = mdf::generate_tree(fs.as_ref(), 10_000, &RngStreams::new(15));
+
+    let crawler = xtract_crawler::Crawler::new(xtract_crawler::CrawlerConfig {
+        workers: 8,
+        grouping: GroupingStrategy::MaterialsAware,
+    });
+    let (tx, rx) = crossbeam_channel::unbounded();
+    crawler.crawl(fabric_ep, &fs, &["/".to_string()], tx).unwrap();
+    drop(rx);
+    let (dirs, files, bytes, _groups) = crawler.metrics().snapshot();
+    assert_eq!(files, stats.files);
+    assert_eq!(bytes, stats.bytes);
+    // +2: the crawler also lists the root "/" and the "/mdf" prefix the
+    // generator does not count.
+    assert_eq!(dirs, stats.directories + 2);
+}
