@@ -23,8 +23,12 @@ fn main() {
     );
 
     let fs = Arc::new(MemFs::new(EndpointId::new(0)));
-    let (manifest, stats) =
-        xtract_workloads::materialize::sample_repo(fs.as_ref(), "/archive", 300, &RngStreams::new(95));
+    let (manifest, stats) = xtract_workloads::materialize::sample_repo(
+        fs.as_ref(),
+        "/archive",
+        300,
+        &RngStreams::new(95),
+    );
     let mut rng = RngStreams::new(96).stream("dedup-plants");
 
     // Plant exact copies of 30 random files...
@@ -119,7 +123,11 @@ fn main() {
         "  reclaimable storage from exact duplicates: {:.1} KB",
         reclaimable as f64 / 1e3
     );
-    assert_eq!(exact_found, planted_exact.len(), "missed planted exact duplicates");
+    assert_eq!(
+        exact_found,
+        planted_exact.len(),
+        "missed planted exact duplicates"
+    );
     assert!(
         near_found * 10 >= planted_near.len() * 9,
         "missed too many planted revisions: {near_found}/{}",

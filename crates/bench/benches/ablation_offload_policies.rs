@@ -13,9 +13,19 @@ use xtract_types::{EndpointId, FileRecord, FileType, OffloadMode};
 use xtract_workloads::cdiac;
 
 fn family_of(bytes: u64, i: u64) -> xtract_types::Family {
-    let rec = FileRecord::new(format!("/f{i}"), bytes, EndpointId::new(0), FileType::FreeText);
+    let rec = FileRecord::new(
+        format!("/f{i}"),
+        bytes,
+        EndpointId::new(0),
+        FileType::FreeText,
+    );
     let g = xtract_types::Group::new(xtract_types::GroupId::new(i), vec![rec.path.clone()]);
-    xtract_types::Family::new(xtract_types::FamilyId::new(i), vec![rec], vec![g], EndpointId::new(0))
+    xtract_types::Family::new(
+        xtract_types::FamilyId::new(i),
+        vec![rec],
+        vec![g],
+        EndpointId::new(0),
+    )
 }
 
 fn run(mode: OffloadMode) -> (f64, f64, f64) {
@@ -37,7 +47,9 @@ fn run(mode: OffloadMode) -> (f64, f64, f64) {
     let local_makespan = if local.is_empty() {
         0.0
     } else {
-        Campaign::new(CampaignConfig::new(sites::midway(), 56, 6), local).run().makespan
+        Campaign::new(CampaignConfig::new(sites::midway(), 56, 6), local)
+            .run()
+            .makespan
     };
     let off_makespan = if moved.is_empty() {
         0.0
@@ -66,11 +78,36 @@ fn main() {
     let policies: Vec<(&str, OffloadMode)> = vec![
         ("none", OffloadMode::None),
         ("rand-10", OffloadMode::Rand { percent: 10.0 }),
-        ("onb-min-2KB", OffloadMode::OnbMin { limit_bytes: 2 << 10 }),
-        ("onb-min-8KB", OffloadMode::OnbMin { limit_bytes: 8 << 10 }),
-        ("onb-min-64KB", OffloadMode::OnbMin { limit_bytes: 64 << 10 }),
-        ("onb-max-4MB", OffloadMode::OnbMax { limit_bytes: 4 << 20 }),
-        ("onb-max-32MB", OffloadMode::OnbMax { limit_bytes: 32 << 20 }),
+        (
+            "onb-min-2KB",
+            OffloadMode::OnbMin {
+                limit_bytes: 2 << 10,
+            },
+        ),
+        (
+            "onb-min-8KB",
+            OffloadMode::OnbMin {
+                limit_bytes: 8 << 10,
+            },
+        ),
+        (
+            "onb-min-64KB",
+            OffloadMode::OnbMin {
+                limit_bytes: 64 << 10,
+            },
+        ),
+        (
+            "onb-max-4MB",
+            OffloadMode::OnbMax {
+                limit_bytes: 4 << 20,
+            },
+        ),
+        (
+            "onb-max-32MB",
+            OffloadMode::OnbMax {
+                limit_bytes: 32 << 20,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (name, mode) in policies {

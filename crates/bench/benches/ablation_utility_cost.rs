@@ -16,9 +16,7 @@ use xtract_core::XtractService;
 use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope, Token};
 use xtract_sim::RngStreams;
 use xtract_types::config::ContainerRuntime;
-use xtract_types::{
-    EndpointId, EndpointSpec, GroupingStrategy, JobSpec, Metadata, MetadataRecord,
-};
+use xtract_types::{EndpointId, EndpointSpec, GroupingStrategy, JobSpec, Metadata, MetadataRecord};
 
 fn rig() -> (Arc<DataFabric>, Arc<MemFs>, Token, Arc<AuthService>) {
     let fabric = Arc::new(DataFabric::new());
@@ -29,7 +27,12 @@ fn rig() -> (Arc<DataFabric>, Arc<MemFs>, Token, Arc<AuthService>) {
     let auth = Arc::new(AuthService::new());
     let token = auth.login(
         "curator",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     );
     (fabric, fs, token, auth)
 }

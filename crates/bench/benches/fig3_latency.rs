@@ -36,7 +36,8 @@ fn main() {
     let fabric = Arc::new(DataFabric::new());
     let ep = EndpointId::new(0);
     let fs = Arc::new(MemFs::new(ep));
-    fs.write("/papers/thesis.txt", Bytes::from(doc.into_bytes())).unwrap();
+    fs.write("/papers/thesis.txt", Bytes::from(doc.into_bytes()))
+        .unwrap();
     fabric.register(ep, "river", fs);
 
     let rec = FileRecord::new("/papers/thesis.txt", 0, ep, FileType::FreeText);
@@ -70,15 +71,43 @@ fn main() {
 
     println!("\n  component                      modeled(s)   live-measured(s)");
     let rows: &[(&str, f64, Option<f64>)] = &[
-        ("crawler service t_cs (auth+ls)", fig3::CRAWLER_SERVICE_S, None),
-        ("crawler compute (group+mincut)", fig3::CRAWLER_COMPUTE_S, None),
-        ("report to Xtract (SQS)", fig3::SQS_REPORT_S, Some(queue_live)),
-        ("Xtract service t_xs (uncached)", fig3::XTRACT_SERVICE_S, Some(serialize_live)),
-        ("Xtract service t_xs (cached)", fig3::XTRACT_SERVICE_CACHED_S, None),
+        (
+            "crawler service t_cs (auth+ls)",
+            fig3::CRAWLER_SERVICE_S,
+            None,
+        ),
+        (
+            "crawler compute (group+mincut)",
+            fig3::CRAWLER_COMPUTE_S,
+            None,
+        ),
+        (
+            "report to Xtract (SQS)",
+            fig3::SQS_REPORT_S,
+            Some(queue_live),
+        ),
+        (
+            "Xtract service t_xs (uncached)",
+            fig3::XTRACT_SERVICE_S,
+            Some(serialize_live),
+        ),
+        (
+            "Xtract service t_xs (cached)",
+            fig3::XTRACT_SERVICE_CACHED_S,
+            None,
+        ),
         ("funcX invoke t_fx", fig3::FUNCX_INVOKE_S, None),
-        ("fetch via Globus HTTPS t_gh", fig3::GLOBUS_HTTPS_FETCH_S, None),
+        (
+            "fetch via Globus HTTPS t_gh",
+            fig3::GLOBUS_HTTPS_FETCH_S,
+            None,
+        ),
         ("fetch via Drive API t_gd", fig3::GDRIVE_FETCH_S, None),
-        ("keyword extract t_ke", fig3::KEYWORD_EXTRACT_S, Some(extract_live)),
+        (
+            "keyword extract t_ke",
+            fig3::KEYWORD_EXTRACT_S,
+            Some(extract_live),
+        ),
         ("result return", fig3::RESULT_RETURN_S, None),
     ];
     for (name, modeled, live) in rows {
@@ -98,8 +127,11 @@ fn main() {
         + fig3::RESULT_RETURN_S;
     let e2e_drive = e2e_globus - fig3::GLOBUS_HTTPS_FETCH_S + fig3::GDRIVE_FETCH_S;
     println!("\n  end-to-end (Globus fetch): {e2e_globus:.2}s; (Drive fetch): {e2e_drive:.2}s");
-    println!("  checks: t_gh ({:.2}s) > t_ke ({:.2}s) and t_gd > t_gh — the paper's",
-             fig3::GLOBUS_HTTPS_FETCH_S, fig3::KEYWORD_EXTRACT_S);
+    println!(
+        "  checks: t_gh ({:.2}s) > t_ke ({:.2}s) and t_gd > t_gh — the paper's",
+        fig3::GLOBUS_HTTPS_FETCH_S,
+        fig3::KEYWORD_EXTRACT_S
+    );
     println!("  'moving a file ... is more costly than the extraction itself' (§5.3)");
     const _: () = assert!(fig3::GLOBUS_HTTPS_FETCH_S > fig3::KEYWORD_EXTRACT_S);
     const _: () = assert!(fig3::GDRIVE_FETCH_S > fig3::GLOBUS_HTTPS_FETCH_S);

@@ -43,8 +43,13 @@ fn main() {
         .map(|_| FamilyProfile {
             class: FILE_MIX[dist.sample(&mut rng)].0,
             files: 1,
-            bytes: lognormal_clamped(&mut rng, (5.5e6f64).ln() - sigma * sigma / 2.0, sigma, 1e3, 2e9)
-                as u64,
+            bytes: lognormal_clamped(
+                &mut rng,
+                (5.5e6f64).ln() - sigma * sigma / 2.0,
+                sigma,
+                1e3,
+                2e9,
+            ) as u64,
         })
         .collect();
     let bytes: u64 = profiles.iter().map(|p| p.bytes).sum();

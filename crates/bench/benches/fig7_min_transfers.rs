@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use xtract_bench::vs;
-use xtract_core::families::{build_families, naive_families};
 use xtract_core::crawlmodel::CrawlModel;
+use xtract_core::families::{build_families, naive_families};
 use xtract_crawler::{Crawler, CrawlerConfig};
 use xtract_datafabric::{MemFs, StorageBackend};
 use xtract_sim::{calibration::links, RngStreams};
@@ -58,8 +58,11 @@ fn main() {
     let mut redundant_files = 0u64;
     let mut redundant_bytes = 0u64;
     for d in &dirs {
-        let file_map: HashMap<String, FileRecord> =
-            d.files.iter().map(|f| (f.path.clone(), f.clone())).collect();
+        let file_map: HashMap<String, FileRecord> = d
+            .files
+            .iter()
+            .map(|f| (f.path.clone(), f.clone()))
+            .collect();
         let set = naive_families(&file_map, d.groups.clone(), ep, &ids);
         regular_bytes += set.families.iter().map(|f| f.total_bytes()).sum::<u64>();
         redundant_files += set.redundant_files;
@@ -75,8 +78,11 @@ fn main() {
     let mut residual_redundant = 0u64;
     let t0 = Instant::now();
     for (i, d) in dirs.iter().enumerate() {
-        let file_map: HashMap<String, FileRecord> =
-            d.files.iter().map(|f| (f.path.clone(), f.clone())).collect();
+        let file_map: HashMap<String, FileRecord> = d
+            .files
+            .iter()
+            .map(|f| (f.path.clone(), f.clone()))
+            .collect();
         let mut rng = streams.substream("cut", i as u64);
         let set = build_families(&file_map, d.groups.clone(), ep, 256, &ids2, &mut rng);
         min_bytes += set.transfer_bytes();
@@ -98,8 +104,14 @@ fn main() {
     );
 
     println!("\n  redundancy under the regular scheme:");
-    println!("    multi-file families: {}", vs(3246.0, multi_file_families as f64));
-    println!("    redundant files:     {}", vs(20258.0, redundant_files as f64));
+    println!(
+        "    multi-file families: {}",
+        vs(3246.0, multi_file_families as f64)
+    );
+    println!(
+        "    redundant files:     {}",
+        vs(20258.0, redundant_files as f64)
+    );
     println!(
         "    redundant bytes:     {} GB (paper: 32 GB); residual after min-cut: {} files",
         redundant_bytes / 1_000_000_000,

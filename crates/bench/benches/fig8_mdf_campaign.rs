@@ -31,11 +31,7 @@ fn main() {
     let streams = RngStreams::new(588);
     let profiles: Vec<_> = mdf::profiles(groups, &streams).collect();
     let scale = groups as f64 / 2_500_000.0;
-    let crawl = CrawlModel::from_stats(
-        ((33_500.0 * scale) as u64).max(1),
-        groups,
-        groups,
-    );
+    let crawl = CrawlModel::from_stats(((33_500.0 * scale) as u64).max(1), groups, groups);
 
     let mut cfg = CampaignConfig::new(sites::theta(), 4096, 42);
     cfg.crawl = Some((crawl, 16));
@@ -43,13 +39,26 @@ fn main() {
     let report = Campaign::new(cfg, profiles).run();
 
     println!("\n  headline numbers:");
-    println!("    crawl (min)        {}", vs(26.3 * scale, report.crawl_finish / 60.0));
-    let first_ready = report.outcomes.iter().map(|o| o.ready).fold(f64::MAX, f64::min);
+    println!(
+        "    crawl (min)        {}",
+        vs(26.3 * scale, report.crawl_finish / 60.0)
+    );
+    let first_ready = report
+        .outcomes
+        .iter()
+        .map(|o| o.ready)
+        .fold(f64::MAX, f64::min);
     println!(
         "    first family ready {first_ready:.1} s after crawl start (paper: extraction begins within 3 s)"
     );
-    println!("    walltime (h)       {}", vs(6.4 * scale.max(0.05), report.makespan / 3600.0));
-    println!("    core-hours         {}", vs(26_200.0 * scale, report.core_hours()));
+    println!(
+        "    walltime (h)       {}",
+        vs(6.4 * scale.max(0.05), report.makespan / 3600.0)
+    );
+    println!(
+        "    core-hours         {}",
+        vs(26_200.0 * scale, report.core_hours())
+    );
     println!(
         "    restarts           {} (paper: 1); families resubmitted: {}",
         report.restarts, report.lost_families

@@ -11,7 +11,12 @@ use xtract_types::{
 };
 
 fn family(id: u64) -> Family {
-    let f = FileRecord::new(format!("/d/f{id}.txt"), 4096, EndpointId::new(0), FileType::FreeText);
+    let f = FileRecord::new(
+        format!("/d/f{id}.txt"),
+        4096,
+        EndpointId::new(0),
+        FileType::FreeText,
+    );
     let g = Group::new(GroupId::new(id), vec![f.path.clone()]);
     Family::new(FamilyId::new(id), vec![f], vec![g], EndpointId::new(0))
 }

@@ -61,13 +61,25 @@ fn bench_extractors(c: &mut Criterion) {
     let json = xtract_workloads::materialize::json_doc(&mut r);
     let (fam, src) = one_file_family("/m.json", json.into_bytes(), FileType::Json);
     group.bench_function("semistructured_json", |b| {
-        b.iter(|| black_box(lib[&ExtractorKind::SemiStructured].extract(&fam, &src).unwrap()))
+        b.iter(|| {
+            black_box(
+                lib[&ExtractorKind::SemiStructured]
+                    .extract(&fam, &src)
+                    .unwrap(),
+            )
+        })
     });
 
     let hdf = xtract_workloads::materialize::xhdf_doc(&mut r);
     let (fam, src) = one_file_family("/g.xhdf", hdf.into_bytes(), FileType::Hierarchical);
     group.bench_function("hierarchical", |b| {
-        b.iter(|| black_box(lib[&ExtractorKind::Hierarchical].extract(&fam, &src).unwrap()))
+        b.iter(|| {
+            black_box(
+                lib[&ExtractorKind::Hierarchical]
+                    .extract(&fam, &src)
+                    .unwrap(),
+            )
+        })
     });
 
     // A full VASP group through MaterialsIO.
@@ -81,12 +93,25 @@ fn bench_extractors(c: &mut Criterion) {
     }
     let files: Vec<FileRecord> = paths
         .iter()
-        .map(|p| FileRecord::new(p.clone(), 0, EndpointId::new(0), xtract_types::sniff_path(p)))
+        .map(|p| {
+            FileRecord::new(
+                p.clone(),
+                0,
+                EndpointId::new(0),
+                xtract_types::sniff_path(p),
+            )
+        })
         .collect();
     let g = Group::new(GroupId::new(0), paths);
     let fam = Family::new(FamilyId::new(0), files, vec![g], EndpointId::new(0));
     group.bench_function("materials_io_vasp_group", |b| {
-        b.iter(|| black_box(lib[&ExtractorKind::MaterialsIo].extract(&fam, &src).unwrap()))
+        b.iter(|| {
+            black_box(
+                lib[&ExtractorKind::MaterialsIo]
+                    .extract(&fam, &src)
+                    .unwrap(),
+            )
+        })
     });
 
     group.finish();

@@ -11,8 +11,22 @@ use xtract_sim::RngStreams;
 use xtract_types::{FamilyId, Metadata, MetadataRecord};
 
 const WORDS: &[&str] = &[
-    "perovskite", "graphene", "bandgap", "anneal", "lattice", "phonon", "spectra", "zeolite",
-    "isotope", "plasma", "quantum", "polymer", "crystal", "diffusion", "exciton", "substrate",
+    "perovskite",
+    "graphene",
+    "bandgap",
+    "anneal",
+    "lattice",
+    "phonon",
+    "spectra",
+    "zeolite",
+    "isotope",
+    "plasma",
+    "quantum",
+    "polymer",
+    "crystal",
+    "diffusion",
+    "exciton",
+    "substrate",
 ];
 
 fn record(i: u64, rng: &mut rand::rngs::SmallRng) -> MetadataRecord {
@@ -20,7 +34,10 @@ fn record(i: u64, rng: &mut rand::rngs::SmallRng) -> MetadataRecord {
         .map(|_| json!({"word": WORDS[rng.gen_range(0..WORDS.len())], "weight": rng.gen_range(0.0..1.0)}))
         .collect();
     let mut doc = Metadata::new();
-    doc.insert("keyword", json!({"keywords": kw, "token_count": rng.gen_range(50..5000)}));
+    doc.insert(
+        "keyword",
+        json!({"keywords": kw, "token_count": rng.gen_range(50..5000)}),
+    );
     doc.insert(
         "matio",
         json!({"formula": format!("Si{}", rng.gen_range(2..64)),

@@ -58,7 +58,12 @@ fn bench_mincut(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
             b.iter(|| {
                 let ids = IdAllocator::new();
-                black_box(naive_families(&files, groups.clone(), EndpointId::new(0), &ids))
+                black_box(naive_families(
+                    &files,
+                    groups.clone(),
+                    EndpointId::new(0),
+                    &ids,
+                ))
             })
         });
     }

@@ -17,12 +17,8 @@ type GroundTruth = (Vec<(String, FileType)>, Vec<(String, Vec<u8>)>);
 
 fn truth() -> GroundTruth {
     let fs = Arc::new(MemFs::new(EndpointId::new(0)));
-    let (manifest, _) = xtract_workloads::materialize::sample_repo(
-        fs.as_ref(),
-        "/repo",
-        400,
-        &RngStreams::new(44),
-    );
+    let (manifest, _) =
+        xtract_workloads::materialize::sample_repo(fs.as_ref(), "/repo", 400, &RngStreams::new(44));
     let truth: Vec<(String, FileType)> = manifest
         .iter()
         .map(|f| {
@@ -59,9 +55,18 @@ fn accuracy_report() {
         .count();
     let n = truth.len();
     println!("\nrouting accuracy over {n} ground-truth files:");
-    println!("  MIME-only (Tika-style):        {mime_ok:>4} / {n}  ({:.1}%)", mime_ok as f64 / n as f64 * 100.0);
-    println!("  path sniffing (crawler tier):  {path_ok:>4} / {n}  ({:.1}%)", path_ok as f64 / n as f64 * 100.0);
-    println!("  content sniffing (byte tier):  {content_ok:>4} / {n}  ({:.1}%)", content_ok as f64 / n as f64 * 100.0);
+    println!(
+        "  MIME-only (Tika-style):        {mime_ok:>4} / {n}  ({:.1}%)",
+        mime_ok as f64 / n as f64 * 100.0
+    );
+    println!(
+        "  path sniffing (crawler tier):  {path_ok:>4} / {n}  ({:.1}%)",
+        path_ok as f64 / n as f64 * 100.0
+    );
+    println!(
+        "  content sniffing (byte tier):  {content_ok:>4} / {n}  ({:.1}%)",
+        content_ok as f64 / n as f64 * 100.0
+    );
     println!("  (the paper's §6 criticism: MIME misroutes scientific files — here the");
     println!("   gap is driven by extension-less VASP members and tables-in-.txt)\n");
 }

@@ -44,11 +44,7 @@ fn run(percent: f64, slowdown: f64) -> (f64, f64) {
         }
     }
 
-    let local_report = Campaign::new(
-        CampaignConfig::new(sites::midway(), 56, 23),
-        local,
-    )
-    .run();
+    let local_report = Campaign::new(CampaignConfig::new(sites::midway(), 56, 23), local).run();
     let (mut transfer, mut off_makespan) = (0.0, 0.0);
     if !moved.is_empty() {
         let mut cfg = CampaignConfig::new(sites::jetstream(), 10, 24);
@@ -69,8 +65,16 @@ fn main() {
         "Table 2: RAND offloading, Midway(56w) -> Jetstream(10w), 100k files",
         "Xtract 1696/1560/1662 s at 0/10/20%; Tika 2032/1868/1935 s; transfer 374/655 s",
     );
-    let paper_xtract = [(0.0, 0.0, 1696.0), (10.0, 374.0, 1560.0), (20.0, 655.0, 1662.0)];
-    let paper_tika = [(0.0, 0.0, 2032.0), (10.0, 384.0, 1868.0), (20.0, 649.0, 1935.0)];
+    let paper_xtract = [
+        (0.0, 0.0, 1696.0),
+        (10.0, 374.0, 1560.0),
+        (20.0, 655.0, 1662.0),
+    ];
+    let paper_tika = [
+        (0.0, 0.0, 2032.0),
+        (10.0, 384.0, 1868.0),
+        (20.0, 649.0, 1935.0),
+    ];
 
     println!("\n  Xtract:");
     println!("  offload%      transfer(s)                          completion(s)");
@@ -78,7 +82,11 @@ fn main() {
     for &(pct, p_xfer, p_total) in &paper_xtract {
         let (xfer, total) = run(pct, 1.0);
         xt.push(total);
-        println!("  {pct:>7.0}   {}   {}", vs(p_xfer, xfer), vs(p_total, total));
+        println!(
+            "  {pct:>7.0}   {}   {}",
+            vs(p_xfer, xfer),
+            vs(p_total, total)
+        );
     }
     println!("\n  Apache-Tika baseline (calibrated {TIKA_SLOWDOWN:.2}x service handicap, §5.6):");
     println!("  offload%      transfer(s)                          completion(s)");
@@ -86,14 +94,22 @@ fn main() {
     for &(pct, p_xfer, p_total) in &paper_tika {
         let (xfer, total) = run(pct, TIKA_SLOWDOWN);
         tk.push(total);
-        println!("  {pct:>7.0}   {}   {}", vs(p_xfer, xfer), vs(p_total, total));
+        println!(
+            "  {pct:>7.0}   {}   {}",
+            vs(p_xfer, xfer),
+            vs(p_total, total)
+        );
     }
 
     println!("\n  shape checks:");
     println!(
         "    10% beats 0% by {:.0}% (paper: 8%); 20% {} 10% (paper: worse)",
         (1.0 - xt[1] / xt[0]) * 100.0,
-        if xt[2] > xt[1] { "worse than" } else { "NOT worse than" }
+        if xt[2] > xt[1] {
+            "worse than"
+        } else {
+            "NOT worse than"
+        }
     );
     println!(
         "    Xtract vs Tika average speedup: {:.0}% (paper: 20%)",

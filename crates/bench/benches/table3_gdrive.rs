@@ -134,7 +134,10 @@ fn main() {
     ];
     let mut total = 0u64;
     for &(class, p_n, p_ex, p_tr, p_mb) in paper {
-        let rows: Vec<&Invocation> = invocations.iter().filter(|i| i.extractor == class).collect();
+        let rows: Vec<&Invocation> = invocations
+            .iter()
+            .filter(|i| i.extractor == class)
+            .collect();
         let n = rows.len() as f64;
         total += rows.len() as u64;
         let ex = rows.iter().map(|i| i.extract_s).sum::<f64>() / n;
@@ -148,7 +151,10 @@ fn main() {
     println!("\n  totals:");
     println!("    invocations   {}", vs(4980.0, total as f64));
     println!("    makespan(min) {}", vs(35.0, makespan / 60.0));
-    println!("    pod-hours     {}", vs(23.0, pods as f64 * makespan / 3600.0));
+    println!(
+        "    pod-hours     {}",
+        vs(23.0, pods as f64 * makespan / 3600.0)
+    );
     println!(
         "    cold starts   {cold_starts} x {:.0} s = {:.1} pod-hours of churn (the paper's \
          'significant portion')",

@@ -33,6 +33,10 @@ use xtract_sim::dist::lognormal;
 use xtract_sim::net::{simulate_transfers, TransferJob, TransferSlots};
 use xtract_sim::sites::{LinkSpec, Site};
 use xtract_sim::{RngStreams, ServerPool, SimTime};
+use xtract_types::fault::fault_roll;
+use xtract_types::{
+    DeadLetter, ExtractorKind, FailureReason, FamilyId, FaultPlan, TaskId, XtractError,
+};
 use xtract_workloads::FamilyProfile;
 
 /// Optional prefetch stage: move family bytes across a link before
@@ -77,6 +81,12 @@ pub struct CampaignConfig {
     /// for a non-checkpointed family's service time to exceed the
     /// allocation window, in which case it can never finish).
     pub max_attempts: u32,
+    /// Structured fault injection (`None` = no injected faults): worker
+    /// crashes and heartbeat losses strike executing tasks, degraded links
+    /// and transfer faults delay prefetch jobs — the same [`FaultPlan`]
+    /// the live service consumes, consulted deterministically from the
+    /// plan's own seed.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl CampaignConfig {
@@ -97,6 +107,7 @@ impl CampaignConfig {
             restart_overhead_s: 120.0,
             cold_start_s: 0.0,
             max_attempts: 10,
+            fault_plan: None,
         }
     }
 }
@@ -135,6 +146,9 @@ pub struct CampaignReport {
     pub lost_families: u64,
     /// Families abandoned after `max_attempts` losses.
     pub failed_families: u64,
+    /// One typed record per abandoned family (same shape as the live
+    /// report's dead letters).
+    pub dead_letters: Vec<DeadLetter>,
     /// When the crawl finished feeding families.
     pub crawl_finish: f64,
     /// When the last prefetch job finished (0 when no prefetch).
@@ -186,6 +200,21 @@ struct SimTask {
 fn mean_ref_service(class: &str) -> f64 {
     let (mu, sigma) = extractor_cost::lognormal_params(class);
     (mu + sigma * sigma / 2.0).exp()
+}
+
+/// Best-effort mapping from a workload class string to the extractor
+/// family it exercises, for typed dead letters.
+fn class_kind(class: &str) -> ExtractorKind {
+    match class {
+        "csv" | "tabular" => ExtractorKind::Tabular,
+        "json" | "xml" | "yaml" => ExtractorKind::SemiStructured,
+        "images" | "imagesort" => ExtractorKind::Images,
+        "netcdf" | "hdf" | "ase" | "matio" => ExtractorKind::Hierarchical,
+        "bert" => ExtractorKind::Bert,
+        "python" => ExtractorKind::PythonCode,
+        "c-code" => ExtractorKind::CCode,
+        _ => ExtractorKind::Keyword,
+    }
 }
 
 /// The simulator.
@@ -262,10 +291,24 @@ impl Campaign {
                 TransferSlots::new(plan.slots),
                 &jobs,
             );
-            for (job, members) in outcomes.iter().zip(&job_members) {
-                transfer_finish = transfer_finish.max(job.finish);
+            for (j, (job, members)) in outcomes.iter().zip(&job_members).enumerate() {
+                // Injected link faults delay the job: a transient fault
+                // costs one retried submission (another startup), a
+                // degraded link adds the plan's configured stall.
+                let mut extra_s = 0.0;
+                if let Some(fp) = &cfg.fault_plan {
+                    let path = format!("/sim/xfer-{j}");
+                    if fp.transfer_file_faults(&path, 0) {
+                        extra_s += plan.link.startup_s;
+                    }
+                    if fp.link_degraded(&path, 0) {
+                        extra_s += fp.slow_link_delay_ms as f64 / 1000.0;
+                    }
+                }
+                let finish = job.finish + SimTime::from_secs(extra_s);
+                transfer_finish = transfer_finish.max(finish);
                 for &i in members {
-                    ready[i] = job.finish;
+                    ready[i] = finish;
                 }
             }
             bytes_transferred = jobs.iter().map(|j| j.bytes).sum();
@@ -296,7 +339,9 @@ impl Campaign {
             } else {
                 cfg.xtract_batch
             };
-            let entry = open.entry(p.class).or_insert_with(|| (Vec::new(), Vec::new(), SimTime::ZERO));
+            let entry = open
+                .entry(p.class)
+                .or_insert_with(|| (Vec::new(), Vec::new(), SimTime::ZERO));
             entry.0.push(i);
             entry.1.push(svc);
             entry.2 = entry.2.max(ready[i]);
@@ -336,9 +381,7 @@ impl Campaign {
                     .iter()
                     .any(|&fi| mean_ref_service(self.profiles[fi].class) > 60.0)
             };
-            heavy(&tasks[b])
-                .cmp(&heavy(&tasks[a]))
-                .then(a.cmp(&b))
+            heavy(&tasks[b]).cmp(&heavy(&tasks[a])).then(a.cmp(&b))
         });
         let mut ws_requests = 0u64;
         let mut dispatcher_free = SimTime::ZERO;
@@ -427,6 +470,7 @@ impl Campaign {
         let mut restarts = 0u32;
         let mut lost_once: std::collections::HashSet<usize> = Default::default();
         let mut failed_families = 0u64;
+        let mut dead_letters: Vec<DeadLetter> = Vec::new();
         let mut window_start = SimTime::ZERO;
         let mut safety = 0u32;
         while !queue.is_empty() {
@@ -435,11 +479,7 @@ impl Campaign {
             // An allocation is requested when there is runnable work: if
             // everything in the queue only becomes ready later (transfers
             // in flight), the window starts then.
-            let min_ready = queue
-                .iter()
-                .map(|p| p.ready)
-                .min()
-                .unwrap_or(window_start);
+            let min_ready = queue.iter().map(|p| p.ready).min().unwrap_or(window_start);
             window_start = window_start.max(min_ready);
             // `alloc_limit` may be infinite; keep the boundary as raw f64.
             let window_end_s = window_start.as_secs() + alloc_limit;
@@ -467,7 +507,11 @@ impl Campaign {
                 .sum();
             let total_work = heavy_work + light_work;
             let heavy_workers = if heavy_work == 0.0 || light_work == 0.0 {
-                if heavy_work > 0.0 { cfg.workers } else { 0 }
+                if heavy_work > 0.0 {
+                    cfg.workers
+                } else {
+                    0
+                }
             } else {
                 ((cfg.workers as f64 * heavy_work / total_work).round() as usize)
                     .clamp(1, cfg.workers - 1)
@@ -479,16 +523,23 @@ impl Campaign {
                 None
             };
             let mut pool_light = if cfg.workers - heavy_workers > 0 {
-                Some(ServerPool::free_from(cfg.workers - heavy_workers, pool_start))
+                Some(ServerPool::free_from(
+                    cfg.workers - heavy_workers,
+                    pool_start,
+                ))
             } else {
                 None
             };
             let mut next_queue: std::collections::VecDeque<Pending> = Default::default();
             while let Some(p) = queue.pop_front() {
                 let pool: &mut ServerPool = if is_heavy(&p) {
-                    pool_heavy.as_mut().expect("heavy pool exists for heavy work")
+                    pool_heavy
+                        .as_mut()
+                        .expect("heavy pool exists for heavy work")
                 } else {
-                    pool_light.as_mut().expect("light pool exists for light work")
+                    pool_light
+                        .as_mut()
+                        .expect("light pool exists for light work")
                 };
                 let service: f64 =
                     faas::ENDPOINT_DISPATCH_S + p.remaining.iter().map(|(_, s)| s).sum::<f64>();
@@ -519,7 +570,16 @@ impl Campaign {
                     continue;
                 }
                 let a = pool.assign(p.ready.max(window_start), SimTime::from_secs(service));
-                if a.finish.as_secs() <= window_end_s {
+                // Injected worker crashes / heartbeat losses strike the
+                // task deterministically, keyed on (task, attempt) — a
+                // resubmission re-rolls, exactly like the live fabric's
+                // fresh-task-id semantics.
+                let crash_key = (p.task as u64) << 10 | u64::from(p.attempt);
+                let crashed = cfg
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|fp| fp.worker_crashes(crash_key) || fp.heartbeat_lost(crash_key));
+                if a.finish.as_secs() <= window_end_s && !crashed {
                     // Whole task fits: all member families complete.
                     let mut t = a.start.as_secs() + faas::ENDPOINT_DISPATCH_S;
                     busy += service;
@@ -535,11 +595,19 @@ impl Campaign {
                         });
                     }
                 } else {
-                    // Task straddles the expiry: in-flight work is lost
-                    // (§5.8.1). With the checkpoint flag, member families
-                    // whose metadata already flushed survive.
-                    let ran = (window_end_s - a.start.as_secs() - faas::ENDPOINT_DISPATCH_S)
-                        .max(0.0);
+                    // Task straddles the expiry (§5.8.1) or its worker
+                    // crashed partway through: in-flight work is lost.
+                    // With the checkpoint flag, member families whose
+                    // metadata already flushed survive.
+                    let straddled = a.finish.as_secs() > window_end_s;
+                    let ran = if straddled {
+                        (window_end_s - a.start.as_secs() - faas::ENDPOINT_DISPATCH_S).max(0.0)
+                    } else {
+                        // The crash lands a deterministic fraction of the
+                        // way through the task's execution.
+                        let fp = cfg.fault_plan.as_ref().expect("crashed implies a plan");
+                        service * fault_roll(fp.seed, "crash-point", crash_key)
+                    };
                     busy += ran.min(service);
                     let mut elapsed = 0.0;
                     let mut survivors: Vec<(usize, f64)> = Vec::new();
@@ -564,11 +632,31 @@ impl Campaign {
                     if !survivors.is_empty() {
                         if p.attempt >= cfg.max_attempts {
                             failed_families += survivors.len() as u64;
+                            for &(fi, _) in &survivors {
+                                dead_letters.push(DeadLetter::new(
+                                    FamilyId::new(fi as u64),
+                                    FailureReason::RetryBudgetExhausted {
+                                        extractor: class_kind(self.profiles[fi].class),
+                                        error: XtractError::TaskLost {
+                                            task: TaskId::new(p.task as u64),
+                                        },
+                                    },
+                                    p.attempt,
+                                ));
+                            }
                         } else {
+                            // Crash resubmissions are ready as soon as the
+                            // loss is noticed; expiry losses wait for the
+                            // next allocation window.
+                            let retry_ready = if straddled {
+                                SimTime::from_secs(window_end_s + cfg.restart_overhead_s)
+                            } else {
+                                a.finish
+                            };
                             next_queue.push_back(Pending {
                                 task: p.task,
                                 remaining: survivors,
-                                ready: SimTime::from_secs(window_end_s + cfg.restart_overhead_s),
+                                ready: retry_ready,
                                 attempt: p.attempt + 1,
                             });
                         }
@@ -578,9 +666,11 @@ impl Campaign {
             if next_queue.is_empty() {
                 break;
             }
-            restarts += 1;
+            if window_end_s.is_finite() {
+                restarts += 1;
+                window_start = SimTime::from_secs(window_end_s + cfg.restart_overhead_s);
+            }
             ws_requests += next_queue.len().div_ceil(cfg.funcx_batch) as u64;
-            window_start = SimTime::from_secs(window_end_s + cfg.restart_overhead_s);
             queue = next_queue;
         }
 
@@ -594,6 +684,7 @@ impl Campaign {
             restarts,
             lost_families: lost_once.len() as u64,
             failed_families,
+            dead_letters,
             crawl_finish: crawl_finish.as_secs(),
             transfer_finish: transfer_finish.as_secs(),
             bytes_transferred,
@@ -660,13 +751,13 @@ mod tests {
         cfg.checkpoint = false;
         cfg.max_attempts = 3;
         let report = Campaign::new(cfg, profiles(40, "ase")).run();
-        assert_eq!(
-            report.outcomes.len() as u64 + report.failed_families,
-            40
-        );
+        assert_eq!(report.outcomes.len() as u64 + report.failed_families, 40);
         assert!(report.restarts > 0, "no restart happened");
         assert!(report.lost_families > 0);
-        assert!(report.failed_families > 0, "some ASE families cannot fit 3000 s");
+        assert!(
+            report.failed_families > 0,
+            "some ASE families cannot fit 3000 s"
+        );
     }
 
     #[test]
@@ -709,7 +800,11 @@ mod tests {
         assert!(report.transfer_finish > 0.0);
         assert!(report.bytes_transferred == 500 * 100_000);
         // No family starts before any bytes could arrive.
-        let earliest = report.outcomes.iter().map(|o| o.start).fold(f64::MAX, f64::min);
+        let earliest = report
+            .outcomes
+            .iter()
+            .map(|o| o.start)
+            .fold(f64::MAX, f64::min);
         assert!(earliest > 0.0);
     }
 
@@ -720,7 +815,11 @@ mod tests {
         cfg.crawl = Some((model, 4));
         let report = Campaign::new(cfg, profiles(500, "yaml")).run();
         assert!(report.crawl_finish > 0.0);
-        let first = report.outcomes.iter().map(|o| o.ready).fold(f64::MAX, f64::min);
+        let first = report
+            .outcomes
+            .iter()
+            .map(|o| o.ready)
+            .fold(f64::MAX, f64::min);
         let last = report.outcomes.iter().map(|o| o.ready).fold(0.0, f64::max);
         assert!(last > first, "readiness should be staggered");
     }
@@ -750,10 +849,69 @@ mod tests {
     }
 
     #[test]
+    fn injected_crashes_retry_and_dead_letter_deterministically() {
+        let run = || {
+            let mut cfg = CampaignConfig::new(sites::midway(), 8, 12);
+            cfg.max_attempts = 3;
+            cfg.fault_plan = Some(FaultPlan {
+                worker_crash_rate: 0.5,
+                ..FaultPlan::new(99)
+            });
+            Campaign::new(cfg, profiles(100, "csv")).run()
+        };
+        let a = run();
+        let b = run();
+        // Every family terminates exactly once: completed or abandoned.
+        assert_eq!(a.outcomes.len() as u64 + a.failed_families, 100);
+        assert!(a.lost_families > 0, "a 50% crash rate should lose tasks");
+        assert_eq!(a.failed_families as usize, a.dead_letters.len());
+        for letter in &a.dead_letters {
+            assert!(matches!(
+                letter.reason,
+                FailureReason::RetryBudgetExhausted { .. }
+            ));
+        }
+        // Same plan + seed → identical dead-letter sets.
+        let keys = |r: &CampaignReport| r.dead_letters.iter().map(|d| d.key()).collect::<Vec<_>>();
+        assert_eq!(keys(&a), keys(&b));
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn degraded_links_delay_prefetch() {
+        let run = |fault: Option<FaultPlan>| {
+            let mut cfg = CampaignConfig::new(sites::midway(), 28, 4);
+            cfg.prefetch = Some(PrefetchPlan {
+                link: sites::link("petrel", "midway"),
+                slots: 10,
+                families_per_job: 50,
+            });
+            cfg.fault_plan = fault;
+            Campaign::new(cfg, profiles(500, "csv")).run()
+        };
+        let clean = run(None);
+        let slow = run(Some(FaultPlan {
+            slow_link_rate: 1.0,
+            slow_link_delay_ms: 30_000,
+            ..FaultPlan::new(7)
+        }));
+        assert!(
+            slow.transfer_finish >= clean.transfer_finish + 29.0,
+            "universal slow links must delay transfers: {} vs {}",
+            slow.transfer_finish,
+            clean.transfer_finish
+        );
+    }
+
+    #[test]
     fn timeline_buckets_sum_to_total() {
         let cfg = CampaignConfig::new(sites::midway(), 28, 9);
         let report = Campaign::new(cfg, profiles(300, "xml")).run();
-        let total: u64 = report.completion_timeline(10.0).iter().map(|(_, c)| c).sum();
+        let total: u64 = report
+            .completion_timeline(10.0)
+            .iter()
+            .map(|(_, c)| c)
+            .sum();
         assert_eq!(total, 300);
     }
 }

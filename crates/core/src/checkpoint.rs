@@ -15,7 +15,7 @@
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use xtract_types::{FamilyId, Metadata, Result, XtractError};
+use xtract_types::{DeadLetter, FamilyId, Metadata, Result, XtractError};
 
 /// One flushed entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,10 +28,20 @@ pub struct CheckpointEntry {
     pub metadata: Metadata,
 }
 
+/// The serialized form: flushed outputs plus the job's dead letters, so a
+/// restart knows both what succeeded and what was terminally abandoned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CheckpointImage {
+    entries: Vec<CheckpointEntry>,
+    #[serde(default)]
+    dead_letters: Vec<DeadLetter>,
+}
+
 /// A thread-safe checkpoint store for one job.
 #[derive(Debug, Default)]
 pub struct CheckpointStore {
     entries: RwLock<HashMap<(FamilyId, String), Metadata>>,
+    dead_letters: RwLock<Vec<DeadLetter>>,
 }
 
 impl CheckpointStore {
@@ -78,6 +88,25 @@ impl CheckpointStore {
         self.entries.read().is_empty()
     }
 
+    /// Records a family's terminal dead letter, so a restarted job knows
+    /// not to resubmit a family the previous run already gave up on.
+    pub fn record_dead_letter(&self, letter: DeadLetter) {
+        let mut letters = self.dead_letters.write();
+        if !letters.iter().any(|l| l.family == letter.family) {
+            letters.push(letter);
+        }
+    }
+
+    /// The dead letters recorded so far, in arrival order.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.dead_letters.read().clone()
+    }
+
+    /// True when a previous run terminally abandoned `family`.
+    pub fn is_dead(&self, family: FamilyId) -> bool {
+        self.dead_letters.read().iter().any(|l| l.family == family)
+    }
+
     /// Serializes the whole store (for persisting to a data layer).
     pub fn serialize(&self) -> Vec<u8> {
         let entries: Vec<CheckpointEntry> = self
@@ -90,22 +119,38 @@ impl CheckpointStore {
                 metadata: metadata.clone(),
             })
             .collect();
-        serde_json::to_vec(&entries).expect("checkpoint serialization is infallible")
+        let image = CheckpointImage {
+            entries,
+            dead_letters: self.dead_letters.read().clone(),
+        };
+        serde_json::to_vec(&image).expect("checkpoint serialization is infallible")
     }
 
-    /// Restores a store from serialized bytes.
+    /// Restores a store from serialized bytes. Accepts both the current
+    /// image format and the legacy bare entry list (pre-dead-letter
+    /// checkpoints deserialize with no dead letters).
     pub fn deserialize(bytes: &[u8]) -> Result<Self> {
-        let entries: Vec<CheckpointEntry> =
-            serde_json::from_slice(bytes).map_err(|e| XtractError::CheckpointCorrupt {
-                reason: e.to_string(),
-            })?;
+        let image: CheckpointImage = match serde_json::from_slice(bytes) {
+            Ok(image) => image,
+            Err(image_err) => {
+                let entries: Vec<CheckpointEntry> =
+                    serde_json::from_slice(bytes).map_err(|_| XtractError::CheckpointCorrupt {
+                        reason: image_err.to_string(),
+                    })?;
+                CheckpointImage {
+                    entries,
+                    dead_letters: Vec::new(),
+                }
+            }
+        };
         let store = Self::new();
         {
             let mut map = store.entries.write();
-            for e in entries {
+            for e in image.entries {
                 map.insert((e.family, e.extractor), e.metadata);
             }
         }
+        *store.dead_letters.write() = image.dead_letters;
         Ok(store)
     }
 }
@@ -174,5 +219,41 @@ mod tests {
         assert!(store.is_empty());
         let restored = CheckpointStore::deserialize(&store.serialize()).unwrap();
         assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn dead_letters_roundtrip_and_dedupe() {
+        use xtract_types::FailureReason;
+        let store = CheckpointStore::new();
+        store.flush(FamilyId::new(1), "keyword", md("kw"));
+        let letter = DeadLetter::new(
+            FamilyId::new(2),
+            FailureReason::Internal {
+                reason: "bad".into(),
+            },
+            3,
+        );
+        store.record_dead_letter(letter.clone());
+        store.record_dead_letter(letter.clone()); // same family: ignored
+        assert_eq!(store.dead_letters(), vec![letter]);
+        assert!(store.is_dead(FamilyId::new(2)));
+        assert!(!store.is_dead(FamilyId::new(1)));
+        let restored = CheckpointStore::deserialize(&store.serialize()).unwrap();
+        assert!(restored.is_dead(FamilyId::new(2)));
+        assert_eq!(restored.load(FamilyId::new(1), "keyword"), Some(md("kw")));
+    }
+
+    #[test]
+    fn legacy_entry_list_still_deserializes() {
+        // Pre-dead-letter checkpoints were a bare Vec<CheckpointEntry>.
+        let legacy = serde_json::to_vec(&vec![CheckpointEntry {
+            family: FamilyId::new(4),
+            extractor: "tabular".to_string(),
+            metadata: md("t"),
+        }])
+        .unwrap();
+        let restored = CheckpointStore::deserialize(&legacy).unwrap();
+        assert_eq!(restored.load(FamilyId::new(4), "tabular"), Some(md("t")));
+        assert!(restored.dead_letters().is_empty());
     }
 }

@@ -94,14 +94,20 @@ mod tests {
     #[test]
     fn two_workers_take_about_fifty_minutes() {
         let t = mdf_shape().completion_time(2).as_secs() / 60.0;
-        assert!((45.0..55.0).contains(&t), "2 workers: {t:.1} min (paper ≈50)");
+        assert!(
+            (45.0..55.0).contains(&t),
+            "2 workers: {t:.1} min (paper ≈50)"
+        );
     }
 
     #[test]
     fn sixteen_workers_take_about_25_minutes() {
         let m = mdf_shape();
         let t16 = m.completion_time(16).as_secs() / 60.0;
-        assert!((21.0..28.0).contains(&t16), "16 workers: {t16:.1} min (paper ≈25)");
+        assert!(
+            (21.0..28.0).contains(&t16),
+            "16 workers: {t16:.1} min (paper ≈25)"
+        );
         // Minimal benefit past 16 (§5.4).
         let t32 = m.completion_time(32).as_secs() / 60.0;
         assert!(t16 - t32 < 2.0, "16→32 saved {:.1} min", t16 - t32);

@@ -255,7 +255,12 @@ mod tests {
         let mut d = Deduplicator::new();
         d.add_bytes("/orig", base.as_bytes());
         d.add_bytes("/edited", edited.as_bytes());
-        d.add_bytes("/unrelated", "completely different words are present here only".repeat(60).as_bytes());
+        d.add_bytes(
+            "/unrelated",
+            "completely different words are present here only"
+                .repeat(60)
+                .as_bytes(),
+        );
         let clusters = d.near_clusters(0.7);
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].paths, vec!["/edited", "/orig"]);

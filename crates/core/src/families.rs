@@ -154,7 +154,10 @@ pub fn build_families(
     }
     let mut comp_edges: HashMap<usize, Vec<(u32, u32)>> = HashMap::new();
     for &(a, b) in &edges {
-        comp_edges.entry(uf.find(a as usize)).or_default().push((a, b));
+        comp_edges
+            .entry(uf.find(a as usize))
+            .or_default()
+            .push((a, b));
     }
 
     // Step 2: recursively min-cut oversized components.
@@ -336,7 +339,10 @@ mod tests {
     use rand::SeedableRng;
     use xtract_types::{FileType, GroupId};
 
-    fn setup(groups_spec: &[&[&str]], sizes: &[(&str, u64)]) -> (HashMap<String, FileRecord>, Vec<Group>) {
+    fn setup(
+        groups_spec: &[&[&str]],
+        sizes: &[(&str, u64)],
+    ) -> (HashMap<String, FileRecord>, Vec<Group>) {
         let files: HashMap<String, FileRecord> = sizes
             .iter()
             .map(|(p, s)| {
@@ -350,7 +356,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, paths)| {
-                Group::new(GroupId::new(i as u64), paths.iter().map(|p| p.to_string()).collect())
+                Group::new(
+                    GroupId::new(i as u64),
+                    paths.iter().map(|p| p.to_string()).collect(),
+                )
             })
             .collect();
         (files, groups)
@@ -425,7 +434,11 @@ mod tests {
         let (files, groups) = setup(&[&group], &sizes);
         let ids = IdAllocator::new();
         let set = build_families(&files, groups, EndpointId::new(0), 8, &ids, &mut rng());
-        assert!(set.families.len() >= 5, "only {} families", set.families.len());
+        assert!(
+            set.families.len() >= 5,
+            "only {} families",
+            set.families.len()
+        );
         for f in &set.families {
             assert!(f.file_count() <= 8, "family too large: {}", f.file_count());
         }
@@ -452,7 +465,10 @@ mod tests {
         let files: HashMap<String, FileRecord> = sizes
             .iter()
             .map(|(p, s)| {
-                (p.clone(), FileRecord::new(p.clone(), *s, EndpointId::new(0), FileType::FreeText))
+                (
+                    p.clone(),
+                    FileRecord::new(p.clone(), *s, EndpointId::new(0), FileType::FreeText),
+                )
             })
             .collect();
         let groups: Vec<Group> = groups_spec

@@ -86,7 +86,8 @@ impl JobManager {
     /// `task_id = xmc.submit(...)`). Validation errors surface here, not
     /// in the background.
     pub fn submit(&self, token: Token, spec: JobSpec) -> Result<JobId> {
-        spec.validate().map_err(|reason| XtractError::InvalidJob { reason })?;
+        spec.validate()
+            .map_err(|reason| XtractError::InvalidJob { reason })?;
         let id = JobId::new(self.ids.next());
         {
             let mut slots = self.shared.slots.lock();
@@ -135,7 +136,11 @@ impl JobManager {
     /// Current status (Listing 2's `get_crawl_status` /
     /// `get_extract_status` rolled into one view).
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        self.shared.slots.lock().get(&id).and_then(|s| s.status.clone())
+        self.shared
+            .slots
+            .lock()
+            .get(&id)
+            .and_then(|s| s.status.clone())
     }
 
     /// Blocks until the job is terminal or `timeout` passes; returns the
@@ -160,7 +165,11 @@ impl JobManager {
     /// Takes the finished report (Listing 2's metadata retrieval). `None`
     /// until terminal; consumes the report.
     pub fn take_report(&self, id: JobId) -> Option<std::result::Result<JobReport, String>> {
-        self.shared.slots.lock().get_mut(&id).and_then(|s| s.report.take())
+        self.shared
+            .slots
+            .lock()
+            .get_mut(&id)
+            .and_then(|s| s.report.take())
     }
 
     /// Ids of all known jobs, sorted.
@@ -192,12 +201,22 @@ mod tests {
         let fabric = Arc::new(DataFabric::new());
         let ep = EndpointId::new(0);
         let fs = Arc::new(MemFs::new(ep));
-        xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", files, &RngStreams::new(60));
+        xtract_workloads::materialize::sample_repo(
+            fs.as_ref(),
+            "/data",
+            files,
+            &RngStreams::new(60),
+        );
         fabric.register(ep, "midway", fs);
         let auth = Arc::new(AuthService::new());
         let token = auth.login(
             "async-user",
-            &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+            &[
+                Scope::Crawl,
+                Scope::Extract,
+                Scope::Transfer,
+                Scope::Validate,
+            ],
         );
         let service = Arc::new(XtractService::new(fabric, auth, 9));
         let spec = JobSpec::single_endpoint(
@@ -263,7 +282,9 @@ mod tests {
     fn unknown_job_has_no_status() {
         let (mgr, _token, _spec) = rig(2);
         assert!(mgr.status(JobId::new(99)).is_none());
-        assert!(mgr.wait(JobId::new(99), Duration::from_millis(10)).is_none());
+        assert!(mgr
+            .wait(JobId::new(99), Duration::from_millis(10))
+            .is_none());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   (§3 "Validation");
 //! * [`checkpoint`] — the checkpoint-flag store behind the §5.8.1
 //!   restart;
+//! * [`resilience`] — per-endpoint circuit breakers and per-family retry
+//!   budgets driving the recovery policy (see `DESIGN.md`, "Fault
+//!   tolerance & failure semantics");
 //! * [`jobs`] — the asynchronous submit/monitor/retrieve interface of §3
 //!   (Listing 2's `XtractClient` flow);
 //! * [`dedup`] — exact + MinHash near-duplicate detection (§7 future
@@ -46,13 +49,15 @@ pub mod jobs;
 pub mod offload;
 pub mod payload;
 pub mod planner;
+pub mod resilience;
 pub mod service;
 pub mod utility;
 pub mod validator;
 
 pub use batcher::{Batcher, FuncxBatch, XtractBatch};
-pub use jobs::{JobManager, JobStatus};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport};
 pub use families::{build_families, naive_families, FamilySet};
+pub use jobs::{JobManager, JobStatus};
 pub use planner::ExtractionPlan;
+pub use resilience::{BreakerState, HealthTracker, RetryLedger};
 pub use service::{JobReport, XtractService};

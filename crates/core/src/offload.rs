@@ -42,7 +42,12 @@ pub struct Offloader {
 impl Offloader {
     /// A decider routing between `home` and `secondary` under `mode`.
     /// `seed` drives RAND reproducibly.
-    pub fn new(mode: OffloadMode, home: EndpointId, secondary: Option<EndpointId>, seed: u64) -> Self {
+    pub fn new(
+        mode: OffloadMode,
+        home: EndpointId,
+        secondary: Option<EndpointId>,
+        seed: u64,
+    ) -> Self {
         use rand::SeedableRng;
         Self {
             mode,
@@ -178,7 +183,9 @@ mod tests {
     fn rand_is_deterministic_per_seed() {
         let run = |seed| {
             let mut o = Offloader::new(OffloadMode::Rand { percent: 50.0 }, HOME, Some(SEC), seed);
-            (0..64).map(|_| o.place(&family(1)) == SEC).collect::<Vec<_>>()
+            (0..64)
+                .map(|_| o.place(&family(1)) == SEC)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

@@ -82,10 +82,7 @@ impl FileSource for FabricSource {
 /// Builds the FaaS function body for one extractor: decode the batch, run
 /// the extractor over each family, package results (Listing 1's loop),
 /// and honour `delete_files`.
-pub fn make_function_body(
-    extractor: Arc<dyn Extractor>,
-    fabric: Arc<DataFabric>,
-) -> FunctionBody {
+pub fn make_function_body(extractor: Arc<dyn Extractor>, fabric: Arc<DataFabric>) -> FunctionBody {
     Arc::new(move |input: serde_json::Value| {
         let payload: BatchPayload =
             serde_json::from_value(input).map_err(|e| XtractError::ValidationFailed {
@@ -202,7 +199,11 @@ mod tests {
         let batch = one_family_batch("/gone.txt", FileType::FreeText, ExtractorKind::Keyword);
         let out = body(encode_batch(&batch, false)).unwrap();
         let results = decode_results(&out).unwrap();
-        assert!(results[0].error.as_deref().unwrap().contains("no such path"));
+        assert!(results[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("no such path"));
     }
 
     #[test]

@@ -121,7 +121,10 @@ mod tests {
             .enumerate()
             .map(|(i, t)| FileRecord::new(format!("/f{i}"), 1, EndpointId::new(0), *t))
             .collect();
-        let g = Group::new(GroupId::new(0), files.iter().map(|f| f.path.clone()).collect());
+        let g = Group::new(
+            GroupId::new(0),
+            files.iter().map(|f| f.path.clone()).collect(),
+        );
         Family::new(FamilyId::new(0), files, vec![g], EndpointId::new(0))
     }
 

@@ -1,0 +1,240 @@
+//! Recovery machinery: per-endpoint circuit breakers and per-family retry
+//! ledgers.
+//!
+//! The paper's fault handling is reactive — funcX heartbeats surface lost
+//! tasks and the orchestrator resubmits (§5.8.1). This module adds the
+//! policy layer on top: a [`HealthTracker`] watches each endpoint and
+//! opens a circuit breaker after consecutive failures so the orchestrator
+//! stops sending work into a black hole (and can reroute families to a
+//! healthy endpoint instead), and a [`RetryLedger`] bounds the total
+//! attempts any one family may consume so a permanently-broken family
+//! terminates in a dead letter rather than a livelock.
+//!
+//! Time is logical: the tracker ticks once per extraction wave (or sim
+//! step), so breaker cooldowns are reproducible — no wall clocks.
+
+use std::collections::HashMap;
+use xtract_types::{EndpointId, FamilyId, RetryPolicy};
+
+/// Circuit-breaker state for one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Tripped: the endpoint receives no new work until the cooldown
+    /// elapses.
+    Open,
+    /// Cooldown elapsed: one probe may go through; success re-closes,
+    /// failure re-opens.
+    HalfOpen,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct EndpointHealth {
+    consecutive_failures: u32,
+    /// Tick at which the breaker last opened; `None` while closed.
+    opened_at: Option<u64>,
+    /// Lifetime failure count (observability).
+    total_failures: u64,
+}
+
+/// Tracks endpoint health on a logical clock.
+#[derive(Debug)]
+pub struct HealthTracker {
+    threshold: u32,
+    cooldown: u64,
+    clock: u64,
+    health: HashMap<EndpointId, EndpointHealth>,
+}
+
+impl HealthTracker {
+    /// A tracker with the policy's breaker settings.
+    pub fn new(policy: &RetryPolicy) -> Self {
+        Self {
+            threshold: policy.breaker_threshold.max(1),
+            cooldown: policy.breaker_cooldown,
+            clock: 0,
+            health: HashMap::new(),
+        }
+    }
+
+    /// Advances the logical clock (call once per wave/step).
+    pub fn tick(&mut self) {
+        self.clock += 1;
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Records a failure at `endpoint`; opens the breaker once the
+    /// consecutive-failure threshold is reached, and re-opens it when a
+    /// half-open probe fails.
+    pub fn record_failure(&mut self, endpoint: EndpointId) {
+        let was_half_open = self.state(endpoint) == BreakerState::HalfOpen;
+        let h = self.health.entry(endpoint).or_default();
+        h.consecutive_failures += 1;
+        h.total_failures += 1;
+        if was_half_open || (h.opened_at.is_none() && h.consecutive_failures >= self.threshold) {
+            h.opened_at = Some(self.clock);
+        }
+    }
+
+    /// Records a success at `endpoint`: the breaker closes and the
+    /// consecutive-failure count resets.
+    pub fn record_success(&mut self, endpoint: EndpointId) {
+        let h = self.health.entry(endpoint).or_default();
+        h.consecutive_failures = 0;
+        h.opened_at = None;
+    }
+
+    /// The breaker state at the current logical time. Unknown endpoints
+    /// are healthy.
+    pub fn state(&self, endpoint: EndpointId) -> BreakerState {
+        match self.health.get(&endpoint).and_then(|h| h.opened_at) {
+            None => BreakerState::Closed,
+            Some(at) if self.clock >= at + self.cooldown => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// True when new work may be routed to `endpoint` (closed breaker or a
+    /// half-open probe slot).
+    pub fn available(&self, endpoint: EndpointId) -> bool {
+        self.state(endpoint) != BreakerState::Open
+    }
+
+    /// Lifetime failures recorded at `endpoint`.
+    pub fn failures(&self, endpoint: EndpointId) -> u64 {
+        self.health
+            .get(&endpoint)
+            .map(|h| h.total_failures)
+            .unwrap_or(0)
+    }
+}
+
+/// Bounds the total retry attempts a family may consume across all of its
+/// stages (transfers and extraction steps combined).
+#[derive(Debug)]
+pub struct RetryLedger {
+    budget: u32,
+    spent: HashMap<FamilyId, u32>,
+}
+
+impl RetryLedger {
+    /// A ledger enforcing the policy's per-family budget.
+    pub fn new(policy: &RetryPolicy) -> Self {
+        Self {
+            budget: policy.family_budget,
+            spent: HashMap::new(),
+        }
+    }
+
+    /// Charges one attempt against `family`; returns `true` while the
+    /// family is still within budget.
+    pub fn charge(&mut self, family: FamilyId) -> bool {
+        let n = self.spent.entry(family).or_insert(0);
+        *n += 1;
+        *n <= self.budget
+    }
+
+    /// Attempts charged so far.
+    pub fn attempts(&self, family: FamilyId) -> u32 {
+        self.spent.get(&family).copied().unwrap_or(0)
+    }
+
+    /// True once the family has exhausted its budget.
+    pub fn exhausted(&self, family: FamilyId) -> bool {
+        self.attempts(family) > self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            breaker_threshold: 3,
+            breaker_cooldown: 2,
+            family_budget: 4,
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold() {
+        let mut t = HealthTracker::new(&policy());
+        let ep = EndpointId::new(1);
+        assert_eq!(t.state(ep), BreakerState::Closed);
+        t.record_failure(ep);
+        t.record_failure(ep);
+        assert_eq!(t.state(ep), BreakerState::Closed);
+        t.record_failure(ep);
+        assert_eq!(t.state(ep), BreakerState::Open);
+        assert!(!t.available(ep));
+        assert_eq!(t.failures(ep), 3);
+    }
+
+    #[test]
+    fn cooldown_promotes_to_half_open_and_probe_decides() {
+        let mut t = HealthTracker::new(&policy());
+        let ep = EndpointId::new(1);
+        for _ in 0..3 {
+            t.record_failure(ep);
+        }
+        assert_eq!(t.state(ep), BreakerState::Open);
+        t.tick();
+        assert_eq!(t.state(ep), BreakerState::Open);
+        t.tick();
+        assert_eq!(t.state(ep), BreakerState::HalfOpen);
+        assert!(t.available(ep));
+        // A failed probe re-opens for a fresh cooldown.
+        t.record_failure(ep);
+        assert_eq!(t.state(ep), BreakerState::Open);
+        t.tick();
+        t.tick();
+        assert_eq!(t.state(ep), BreakerState::HalfOpen);
+        // A successful probe closes.
+        t.record_success(ep);
+        assert_eq!(t.state(ep), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let mut t = HealthTracker::new(&policy());
+        let ep = EndpointId::new(0);
+        t.record_failure(ep);
+        t.record_failure(ep);
+        t.record_success(ep);
+        t.record_failure(ep);
+        t.record_failure(ep);
+        assert_eq!(t.state(ep), BreakerState::Closed);
+    }
+
+    #[test]
+    fn endpoints_are_tracked_independently() {
+        let mut t = HealthTracker::new(&policy());
+        for _ in 0..3 {
+            t.record_failure(EndpointId::new(1));
+        }
+        assert_eq!(t.state(EndpointId::new(1)), BreakerState::Open);
+        assert_eq!(t.state(EndpointId::new(2)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn ledger_enforces_budget() {
+        let mut l = RetryLedger::new(&policy());
+        let fam = FamilyId::new(7);
+        for i in 1..=4 {
+            assert!(l.charge(fam), "attempt {i} should fit the budget");
+        }
+        assert!(!l.charge(fam));
+        assert!(l.exhausted(fam));
+        assert_eq!(l.attempts(fam), 5);
+        // Other families are unaffected.
+        assert!(!l.exhausted(FamilyId::new(8)));
+        assert!(l.charge(FamilyId::new(8)));
+    }
+}

@@ -10,14 +10,26 @@
 //! 4. **place** each family (source-local if it has compute, otherwise
 //!    the primary compute endpoint; the offloader may redirect, §4.3.3);
 //! 5. **prefetch** families whose bytes are not at their execution site
-//!    (batch transfer + path rewrite, §4.1 "The prefetcher");
+//!    (batch transfer + path rewrite, §4.1 "The prefetcher") — transient
+//!    link faults retry under the job's [`RetryPolicy`] with
+//!    deterministic exponential backoff;
 //! 6. run the **extraction waves**: each wave batches every family's next
 //!    pending extractor two-level (§4.3.2), submits through the FaaS
 //!    fabric, polls, merges results, extends plans with discoveries, and
 //!    resubmits lost tasks (heartbeat semantics, §5.8.1) — with the
-//!    checkpoint store skipping work that already flushed;
+//!    checkpoint store skipping work that already flushed. A
+//!    [`HealthTracker`] watches every endpoint: enough consecutive
+//!    failures open its circuit breaker, families parked on a dark
+//!    endpoint reroute to a healthy one (bytes re-staged from the
+//!    origin), and a [`RetryLedger`] bounds each family's total attempts;
 //! 7. **validate** finished records and ship them to the destination
 //!    endpoint's `/metadata/` prefix (§3 "Validation").
+//!
+//! Failure semantics: the orchestrator never panics on a faulted
+//! substrate. Every family a job ingests terminates in exactly one of
+//! the report's `records` (success) or `failures` (a typed
+//! [`DeadLetter`]) — the chaos tests assert this partition at every
+//! injected fault rate.
 
 use crate::batcher::Batcher;
 use crate::checkpoint::CheckpointStore;
@@ -25,6 +37,7 @@ use crate::families::build_families;
 use crate::offload::Offloader;
 use crate::payload::{decode_results, encode_batch, make_function_body};
 use crate::planner::ExtractionPlan;
+use crate::resilience::{BreakerState, HealthTracker, RetryLedger};
 use crate::validator::{encode_record, validate};
 use bytes::Bytes;
 use crossbeam_channel::unbounded;
@@ -32,25 +45,16 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 use xtract_crawler::{Crawler, CrawlerConfig};
-use xtract_datafabric::{
-    AuthService, DataFabric, Scope, Token, TransferRequest, TransferService,
-};
+use xtract_datafabric::{AuthService, DataFabric, Scope, Token, TransferRequest, TransferService};
 use xtract_extractors::{library, Extractor};
-use xtract_faas::{
-    EndpointConfig, FaasService, FunctionRegistry, TaskSpec, TaskStatus,
-};
+use xtract_faas::{EndpointConfig, FaasService, FunctionRegistry, TaskSpec, TaskStatus};
 use xtract_sim::RngStreams;
 use xtract_types::id::IdAllocator;
 use xtract_types::{
-    ContainerId, EndpointId, EndpointSpec, ExtractorKind, Family, FamilyId, FunctionId, JobSpec,
-    Metadata, MetadataRecord, Result, XtractError,
+    ContainerId, DeadLetter, EndpointId, EndpointSpec, ExtractorKind, FailureEvent, FailureReason,
+    Family, FamilyId, FileRecord, FunctionId, JobSpec, Metadata, MetadataRecord, Result,
+    RetryPolicy, XtractError,
 };
-
-/// Maximum resubmissions of a lost family-extractor step before recording
-/// a permanent failure. Allocation expiries can hit many consecutive
-/// waves (§5.8.1's restart took one retry; a chaotic scheduler could take
-/// several), so this is generous — loss is always transient.
-const MAX_ATTEMPTS: u32 = 12;
 
 /// Outcome of one job.
 #[derive(Debug, Default)]
@@ -63,8 +67,8 @@ pub struct JobReport {
     pub families: u64,
     /// Validated metadata records, by family.
     pub records: Vec<MetadataRecord>,
-    /// Permanent failures: `(family, description)`.
-    pub failures: Vec<(FamilyId, String)>,
+    /// Terminal failures: one dead letter per abandoned family.
+    pub failures: Vec<DeadLetter>,
     /// Extractor invocations by name (Table 3's "Total Invocations").
     pub invocations: HashMap<String, u64>,
     /// Bytes the prefetcher moved.
@@ -73,8 +77,12 @@ pub struct JobReport {
     pub redundant_files: u64,
     /// Extraction waves executed.
     pub waves: u32,
-    /// Families that were lost to an expiry at least once and resubmitted.
+    /// Family-steps that were lost (expiry, crash, blackout) at least once
+    /// and resubmitted.
     pub resubmitted: u64,
+    /// Families moved to another endpoint after their home's circuit
+    /// breaker opened.
+    pub rerouted: u64,
 }
 
 struct ActiveFamily {
@@ -84,7 +92,56 @@ struct ActiveFamily {
     ran: Vec<String>,
     exec: EndpointId,
     attempts: HashMap<ExtractorKind, u32>,
-    failed: Option<String>,
+    failed: Option<FailureReason>,
+    timeline: Vec<FailureEvent>,
+    /// The family's file records before any staging rewrite, kept so a
+    /// reroute can re-stage the bytes from their true home.
+    origin_files: Vec<FileRecord>,
+    /// Where those records live.
+    origin_source: EndpointId,
+}
+
+/// Charges one lost/crashed step against every family in a funcX task:
+/// the step stays pending (the next wave resubmits with a fresh task id)
+/// until the per-step or per-family budget runs out, at which point the
+/// family dead-letters with [`FailureReason::RetryBudgetExhausted`].
+#[allow(clippy::too_many_arguments)]
+fn charge_step_loss(
+    active: &mut [ActiveFamily],
+    index: &HashMap<FamilyId, usize>,
+    fams: &[FamilyId],
+    kind: ExtractorKind,
+    error: &XtractError,
+    note: &str,
+    retry: &RetryPolicy,
+    ledger: &mut RetryLedger,
+    health: &mut HealthTracker,
+    report: &mut JobReport,
+) {
+    let mut endpoint = None;
+    for fid in fams {
+        let Some(&i) = index.get(fid) else { continue };
+        let af = &mut active[i];
+        endpoint = Some(af.exec);
+        report.resubmitted += 1;
+        let n = af.attempts.entry(kind).or_insert(0);
+        *n += 1;
+        af.timeline.push(FailureEvent {
+            wave: health.now(),
+            endpoint: af.exec,
+            note: format!("{note} (attempt {n})"),
+        });
+        let within_budget = ledger.charge(af.family.id);
+        if *n >= retry.task_attempts || !within_budget {
+            af.failed = Some(FailureReason::RetryBudgetExhausted {
+                extractor: kind,
+                error: error.clone(),
+            });
+        }
+    }
+    if let Some(ep) = endpoint {
+        health.record_failure(ep);
+    }
 }
 
 /// The live Xtract service.
@@ -134,7 +191,9 @@ impl XtractService {
         let Some(workers) = spec.workers.filter(|&w| w > 0) else {
             return Ok(()); // storage-only endpoint: nothing to connect
         };
-        self.faas.registry().declare_endpoint(spec.endpoint, spec.runtime);
+        self.faas
+            .registry()
+            .declare_endpoint(spec.endpoint, spec.runtime);
         self.faas
             .connect_endpoint(EndpointConfig::instant(spec.endpoint, workers));
         for (&kind, extractor) in &self.library {
@@ -143,7 +202,11 @@ impl XtractService {
                 spec.runtime,
                 256 << 20,
             );
-            self.containers.write().entry(kind).or_default().push(container);
+            self.containers
+                .write()
+                .entry(kind)
+                .or_default()
+                .push(container);
             let body = make_function_body(extractor.clone(), self.fabric.clone());
             let function = self.faas.registry().register_function(
                 kind.name(),
@@ -151,29 +214,151 @@ impl XtractService {
                 &[spec.endpoint],
                 body,
             )?;
-            self.functions.write().insert((kind, spec.endpoint), function);
+            self.functions
+                .write()
+                .insert((kind, spec.endpoint), function);
         }
         Ok(())
     }
 
     fn function_for(&self, kind: ExtractorKind, endpoint: EndpointId) -> Result<FunctionId> {
-        self.functions
-            .read()
-            .get(&(kind, endpoint))
-            .copied()
-            .ok_or(XtractError::NoCompatibleEndpoint {
+        self.functions.read().get(&(kind, endpoint)).copied().ok_or(
+            XtractError::NoCompatibleEndpoint {
                 container: format!("{} @ {endpoint}", kind.name()),
-            })
+            },
+        )
+    }
+
+    /// A connected compute endpoint other than `current` whose breaker
+    /// admits work, if any (the graceful-degradation target).
+    fn healthy_alternative(
+        &self,
+        current: EndpointId,
+        spec: &JobSpec,
+        health: &HealthTracker,
+    ) -> Option<EndpointId> {
+        spec.endpoints
+            .iter()
+            .filter(|e| e.has_compute() && e.endpoint != current)
+            .map(|e| e.endpoint)
+            .find(|&ep| health.available(ep) && self.faas.endpoint(ep).is_some())
+    }
+
+    /// Stages `origin_files` (living at `origin_source`) under `exec`'s
+    /// store, retrying transient faults under the retry policy: each
+    /// attempt re-submits only the files that failed, under a fresh fault
+    /// salt, after a deterministic exponential-backoff delay. On success
+    /// the family's records are rewritten to the staged copies.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_family(
+        &self,
+        token: Token,
+        family: &mut Family,
+        origin_source: EndpointId,
+        origin_files: &[FileRecord],
+        exec: EndpointId,
+        store: &str,
+        retry: &RetryPolicy,
+        ledger: &mut RetryLedger,
+        salt_base: u64,
+    ) -> std::result::Result<u64, FailureReason> {
+        let base = format!("{store}/fam-{}", family.id.raw());
+        let mut pending: Vec<(String, String)> = origin_files
+            .iter()
+            .map(|f| (f.path.clone(), format!("{base}{}", f.path)))
+            .collect();
+        let mut moved = 0u64;
+        let mut last_err = XtractError::Internal {
+            reason: "no transfer attempted".to_string(),
+        };
+        for attempt in 0..retry.transfer_attempts {
+            if attempt > 0 {
+                ledger.charge(family.id);
+                std::thread::sleep(Duration::from_millis(
+                    retry.delay_ms(attempt, family.id.raw()),
+                ));
+            }
+            let request = TransferRequest {
+                source: origin_source,
+                destination: exec,
+                files: pending.clone(),
+            };
+            match self
+                .transfer
+                .submit_with_salt(token, &request, salt_base + attempt as u64)
+            {
+                Ok(id) => {
+                    let Some(receipt) = self.transfer.status(id) else {
+                        last_err = XtractError::Internal {
+                            reason: "transfer receipt missing".to_string(),
+                        };
+                        continue;
+                    };
+                    moved += receipt.bytes_moved;
+                    if receipt.is_complete() {
+                        family.files = origin_files
+                            .iter()
+                            .map(|f| {
+                                let mut staged = f.clone();
+                                staged.path = format!("{base}{}", f.path);
+                                staged.endpoint = exec;
+                                staged
+                            })
+                            .collect();
+                        family.base_path = Some(base);
+                        family.source = exec;
+                        return Ok(moved);
+                    }
+                    last_err = XtractError::TransferFailed {
+                        transfer: id,
+                        reason: receipt
+                            .failed
+                            .first()
+                            .map(|(_, why)| why.clone())
+                            .unwrap_or_else(|| "transfer incomplete".to_string()),
+                    };
+                    pending = receipt
+                        .failed
+                        .iter()
+                        .map(|(p, _)| (p.clone(), format!("{base}{p}")))
+                        .collect();
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(FailureReason::PrefetchFailed {
+            endpoint: exec,
+            error: last_err,
+        })
     }
 
     /// Runs a bulk extraction job to completion.
     pub fn run_job(&self, token: Token, spec: &JobSpec) -> Result<JobReport> {
-        spec.validate().map_err(|reason| XtractError::InvalidJob { reason })?;
+        spec.validate()
+            .map_err(|reason| XtractError::InvalidJob { reason })?;
         self.auth.check(token, Scope::Crawl)?;
         self.auth.check(token, Scope::Extract)?;
 
+        // Arm the job's structured fault plan on both substrates for the
+        // duration of the run (and disarm afterwards, pass or fail).
+        if let Some(plan) = &spec.fault_plan {
+            self.transfer.arm_fault_plan(plan.clone());
+            self.faas.arm_fault_plan(plan.clone());
+        }
+        let result = self.run_job_inner(token, spec);
+        if spec.fault_plan.is_some() {
+            self.transfer.clear_faults();
+            self.faas.clear_faults();
+        }
+        result
+    }
+
+    fn run_job_inner(&self, token: Token, spec: &JobSpec) -> Result<JobReport> {
         let mut report = JobReport::default();
         let checkpoint = CheckpointStore::new();
+        let retry = &spec.retry;
+        let mut health = HealthTracker::new(retry);
+        let mut ledger = RetryLedger::new(retry);
 
         // --- Stages 2+3, overlapped: crawl on background threads while the
         // service packages min-transfers families from directories as they
@@ -221,16 +406,20 @@ impl XtractService {
             families.extend(set.families);
         }
         for handle in crawl_threads {
-            handle.join().expect("crawl thread panicked")?;
+            handle.join().map_err(|_| XtractError::Internal {
+                reason: "crawl thread panicked".to_string(),
+            })??;
         }
         report.families = families.len() as u64;
 
         // --- Stage 4: placement. -------------------------------------------
-        let primary = spec
-            .endpoints
-            .iter()
-            .find(|e| e.has_compute())
-            .expect("validated: at least one compute endpoint");
+        let primary =
+            spec.endpoints
+                .iter()
+                .find(|e| e.has_compute())
+                .ok_or(XtractError::InvalidJob {
+                    reason: "no compute endpoint in job".to_string(),
+                })?;
         let secondary = spec
             .endpoints
             .iter()
@@ -248,75 +437,64 @@ impl XtractService {
 
         let mut active: Vec<ActiveFamily> = Vec::with_capacity(families.len());
         for mut family in families {
+            let origin_files = family.files.clone();
+            let origin_source = family.source;
             let source_spec = by_endpoint.get(&family.source);
             let local_ok = source_spec.is_some_and(|e| e.has_compute());
-            let mut exec = if local_ok { family.source } else { primary.endpoint };
+            let mut exec = if local_ok {
+                family.source
+            } else {
+                primary.endpoint
+            };
             // The offloader may redirect anywhere (§4.3.3 RAND applies a
             // percentage of all files).
             let placed = offloader.place(&family);
             if placed != primary.endpoint {
                 exec = placed;
             }
+            let mut failed: Option<FailureReason> = None;
+            let mut timeline: Vec<FailureEvent> = Vec::new();
             // --- Stage 5: prefetch if bytes are elsewhere. ----------------
             if exec != family.source {
-                let dest_spec =
-                    by_endpoint
-                        .get(&exec)
-                        .copied()
-                        .ok_or(XtractError::NoComputeLayer { endpoint: exec })?;
-                let store = dest_spec.store_path.clone().ok_or(XtractError::NoComputeLayer {
-                    endpoint: exec,
-                })?;
-                let base = format!("{store}/fam-{}", family.id.raw());
-                let moves: Vec<(String, String)> = family
-                    .files
-                    .iter()
-                    .map(|f| (f.path.clone(), format!("{base}{}", f.path)))
-                    .collect();
-                let id = self.transfer.submit(
-                    token,
-                    &TransferRequest {
-                        source: family.source,
-                        destination: exec,
-                        files: moves,
-                    },
-                )?;
-                let receipt = self.transfer.status(id).expect("just submitted");
-                if !receipt.is_complete() {
-                    // Retry failures once ("polls each transfer task until
-                    // it is completed"); then give up on the family.
-                    let retry: Vec<(String, String)> = receipt
-                        .failed
-                        .iter()
-                        .map(|(p, _)| (p.clone(), format!("{base}{p}")))
-                        .collect();
-                    let id2 = self.transfer.submit(
+                let store = by_endpoint
+                    .get(&exec)
+                    .copied()
+                    .and_then(|d| d.store_path.clone());
+                let staged = match store {
+                    Some(store) => self.stage_family(
                         token,
-                        &TransferRequest {
-                            source: family.source,
-                            destination: exec,
-                            files: retry,
-                        },
-                    )?;
-                    let second = self.transfer.status(id2).expect("just submitted");
-                    report.bytes_prefetched += second.bytes_moved;
-                    if !second.is_complete() {
-                        report.failures.push((
-                            family.id,
-                            format!("prefetch failed for {} files", second.failed.len()),
-                        ));
-                        continue;
+                        &mut family,
+                        origin_source,
+                        &origin_files,
+                        exec,
+                        &store,
+                        retry,
+                        &mut ledger,
+                        0,
+                    ),
+                    None => Err(FailureReason::PrefetchFailed {
+                        endpoint: exec,
+                        error: XtractError::NoComputeLayer { endpoint: exec },
+                    }),
+                };
+                match staged {
+                    Ok(bytes) => {
+                        report.bytes_prefetched += bytes;
+                        health.record_success(exec);
+                    }
+                    Err(reason) => {
+                        // The family still flows through the wave loop and
+                        // stage 7 so it lands in exactly one place: the
+                        // dead-letter list.
+                        health.record_failure(exec);
+                        timeline.push(FailureEvent {
+                            wave: 0,
+                            endpoint: exec,
+                            note: reason.to_string(),
+                        });
+                        failed = Some(reason);
                     }
                 }
-                report.bytes_prefetched += receipt.bytes_moved;
-                // Rewrite records to the staged location.
-                for f in &mut family.files {
-                    f.path = format!("{base}{}", f.path);
-                    f.endpoint = exec;
-                }
-                family.base_path = Some(base);
-                // The files now live at the execution endpoint.
-                family.source = exec;
             }
             let plan = ExtractionPlan::for_family(&family);
             active.push(ActiveFamily {
@@ -326,18 +504,100 @@ impl XtractService {
                 ran: Vec::new(),
                 exec,
                 attempts: HashMap::new(),
-                failed: None,
+                failed,
+                timeline,
+                origin_files,
+                origin_source,
             });
         }
 
         // --- Stage 6: extraction waves. ------------------------------------
         loop {
+            health.tick();
+
+            // Graceful degradation: a family whose endpoint's breaker is
+            // open moves to a healthy endpoint, its bytes re-staged from
+            // the origin. With no healthy alternative it stays parked and
+            // rides the half-open probe cycle instead.
+            for af in active.iter_mut() {
+                if af.failed.is_some() || af.plan.is_done() {
+                    continue;
+                }
+                if health.state(af.exec) != BreakerState::Open {
+                    continue;
+                }
+                let Some(new_exec) = self.healthy_alternative(af.exec, spec, &health) else {
+                    if self.faas.endpoint(af.exec).is_none() {
+                        // Not just tripped — the endpoint does not exist.
+                        af.failed = Some(FailureReason::NoHealthyEndpoint { endpoint: af.exec });
+                    }
+                    continue;
+                };
+                if !ledger.charge(af.family.id) {
+                    af.failed = Some(FailureReason::RetryBudgetExhausted {
+                        extractor: af.plan.next().unwrap_or(ExtractorKind::Keyword),
+                        error: XtractError::EndpointDown { endpoint: af.exec },
+                    });
+                    continue;
+                }
+                let old = af.exec;
+                // Reset to the origin view, then stage at the new home.
+                af.family.files = af.origin_files.clone();
+                af.family.source = af.origin_source;
+                af.family.base_path = None;
+                if new_exec != af.origin_source {
+                    let store = by_endpoint
+                        .get(&new_exec)
+                        .copied()
+                        .and_then(|d| d.store_path.clone());
+                    let staged = match store {
+                        Some(store) => self.stage_family(
+                            token,
+                            &mut af.family,
+                            af.origin_source,
+                            &af.origin_files,
+                            new_exec,
+                            &store,
+                            retry,
+                            &mut ledger,
+                            (health.now() + 1) * 1000,
+                        ),
+                        None => Err(FailureReason::PrefetchFailed {
+                            endpoint: new_exec,
+                            error: XtractError::NoComputeLayer { endpoint: new_exec },
+                        }),
+                    };
+                    match staged {
+                        Ok(bytes) => {
+                            report.bytes_prefetched += bytes;
+                            health.record_success(new_exec);
+                        }
+                        Err(reason) => {
+                            health.record_failure(new_exec);
+                            af.failed = Some(reason);
+                            continue;
+                        }
+                    }
+                }
+                af.exec = new_exec;
+                report.rerouted += 1;
+                af.timeline.push(FailureEvent {
+                    wave: health.now(),
+                    endpoint: new_exec,
+                    note: format!("rerouted from {old} to {new_exec}"),
+                });
+            }
+
             let mut batcher = Batcher::new(spec.xtract_batch_size, spec.funcx_batch_size);
             let mut wave = Vec::new();
             let mut index: HashMap<FamilyId, usize> = HashMap::new();
-            let mut kind_of: HashMap<FamilyId, ExtractorKind> = HashMap::new();
             for (i, af) in active.iter_mut().enumerate() {
                 if af.failed.is_some() {
+                    continue;
+                }
+                // An open breaker parks the family until a reroute or the
+                // cooldown's half-open probe readmits it.
+                if health.state(af.exec) == BreakerState::Open {
                     continue;
                 }
                 let Some(kind) = af.plan.next() else { continue };
@@ -352,13 +612,14 @@ impl XtractService {
                     }
                 }
                 index.insert(af.family.id, i);
-                kind_of.insert(af.family.id, kind);
                 wave.extend(batcher.push(af.family.clone(), kind, af.exec));
             }
             wave.extend(batcher.flush());
             if wave.is_empty() {
-                // Re-check: checkpoint short-circuits may have advanced
-                // plans; loop once more if anything is still pending.
+                // Checkpoint short-circuits may have advanced plans, and
+                // parked families wait out a breaker cooldown (the tick at
+                // the top of the loop is what ages it); loop again if
+                // anything is still pending.
                 if active
                     .iter()
                     .all(|af| af.failed.is_some() || af.plan.is_done())
@@ -385,78 +646,126 @@ impl XtractService {
                         endpoint: task.endpoint,
                         payload: encode_batch(task, false),
                     });
-                    members.push((
-                        task.extractor,
-                        task.families.iter().map(|f| f.id).collect(),
-                    ));
+                    members.push((task.extractor, task.families.iter().map(|f| f.id).collect()));
                 }
                 let ids = self.faas.batch_submit(&specs);
                 for (id, (kind, fams)) in ids.into_iter().zip(members) {
-                    *report.invocations.entry(kind.name().to_string()).or_insert(0) +=
-                        fams.len() as u64;
+                    *report
+                        .invocations
+                        .entry(kind.name().to_string())
+                        .or_insert(0) += fams.len() as u64;
                     submitted.push((id, kind, fams));
                 }
             }
 
-            // Poll until terminal (batched polling, §4.3.2).
+            // Poll until terminal (batched polling, §4.3.2). A task still
+            // non-terminal when the window closes is handled as lost.
             let ids: Vec<_> = submitted.iter().map(|(id, _, _)| *id).collect();
-            if !self.faas.wait_all(&ids, Duration::from_secs(120)) {
-                return Err(XtractError::InvalidJob {
-                    reason: "FaaS wave timed out".to_string(),
-                });
-            }
+            self.faas.wait_all(&ids, Duration::from_secs(120));
             let polled = self.faas.batch_poll(&ids);
-            for (p, (_, kind, fams)) in polled.iter().zip(&submitted) {
+            for (p, (id, kind, fams)) in polled.iter().zip(&submitted) {
                 match &p.status {
-                    TaskStatus::Done(out) => {
-                        let results = decode_results(&out.value)?;
-                        for r in results {
-                            let af = &mut active[index[&r.family]];
-                            if let Some(err) = r.error {
-                                // A poisoned family: record and stop its
-                                // plan (§2.3's junk files must not wedge
-                                // the job).
-                                af.failed = Some(format!("{}: {err}", kind.name()));
-                                continue;
+                    TaskStatus::Done(out) => match decode_results(&out.value) {
+                        Ok(results) => {
+                            for r in results {
+                                let Some(&i) = index.get(&r.family) else {
+                                    continue;
+                                };
+                                let af = &mut active[i];
+                                if let Some(err) = r.error {
+                                    // A poisoned family: terminal — §2.3's
+                                    // junk files must not wedge the job,
+                                    // and retrying cannot help.
+                                    af.failed = Some(FailureReason::ExtractionFailed {
+                                        extractor: *kind,
+                                        error: err,
+                                    });
+                                    continue;
+                                }
+                                if spec.checkpoint {
+                                    checkpoint.flush(r.family, kind.name(), r.metadata.clone());
+                                }
+                                af.merged.merge(&r.metadata);
+                                af.ran.push(kind.name().to_string());
+                                af.plan.complete(*kind, &r.discoveries);
                             }
-                            if spec.checkpoint {
-                                checkpoint.flush(r.family, kind.name(), r.metadata.clone());
+                            if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
+                                health.record_success(active[i].exec);
                             }
-                            af.merged.merge(&r.metadata);
-                            af.ran.push(kind.name().to_string());
-                            af.plan.complete(*kind, &r.discoveries);
                         }
+                        Err(e) => {
+                            for fid in fams {
+                                let Some(&i) = index.get(fid) else { continue };
+                                active[i].failed = Some(FailureReason::Internal {
+                                    reason: format!("undecodable result: {e}"),
+                                });
+                            }
+                        }
+                    },
+                    TaskStatus::Failed(e) if e.is_retryable() => {
+                        // Transient executor failure (crashed worker,
+                        // downed endpoint): the step stays pending and the
+                        // next wave resubmits under a fresh task id.
+                        charge_step_loss(
+                            &mut active,
+                            &index,
+                            fams,
+                            *kind,
+                            e,
+                            &format!("{} step failed: {e}", kind.name()),
+                            retry,
+                            &mut ledger,
+                            &mut health,
+                            &mut report,
+                        );
                     }
                     TaskStatus::Failed(e) => {
                         for fid in fams {
-                            let af = &mut active[index[fid]];
-                            af.failed = Some(e.to_string());
+                            let Some(&i) = index.get(fid) else { continue };
+                            active[i].failed = Some(FailureReason::ExtractionFailed {
+                                extractor: *kind,
+                                error: e.to_string(),
+                            });
+                        }
+                        if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
+                            health.record_failure(active[i].exec);
                         }
                     }
                     TaskStatus::Lost => {
-                        // Allocation expired under the task: renew the
+                        // Allocation expired, heartbeat vanished, or the
+                        // submission fell into a blackout: renew the
                         // endpoint ("resubmit remaining tasks on a second
                         // allocation", §5.8.1) and leave the step pending
                         // so the next wave resubmits.
-                        for fid in fams {
-                            let af = &mut active[index[fid]];
-                            let n = af.attempts.entry(*kind).or_insert(0);
-                            *n += 1;
-                            report.resubmitted += 1;
-                            if *n >= MAX_ATTEMPTS {
-                                af.failed =
-                                    Some(format!("{} lost {n} times", kind.name()));
-                            }
-                        }
-                        if let Some(fid) = fams.first() {
-                            let ep = active[index[fid]].exec;
-                            self.faas.renew_endpoint(ep);
+                        charge_step_loss(
+                            &mut active,
+                            &index,
+                            fams,
+                            *kind,
+                            &XtractError::TaskLost { task: *id },
+                            &format!("{} task lost", kind.name()),
+                            retry,
+                            &mut ledger,
+                            &mut health,
+                            &mut report,
+                        );
+                        if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
+                            self.faas.renew_endpoint(active[i].exec);
                         }
                     }
-                    other => {
-                        return Err(XtractError::InvalidJob {
-                            reason: format!("non-terminal status after wait: {other:?}"),
-                        })
+                    TaskStatus::Pending | TaskStatus::Running => {
+                        charge_step_loss(
+                            &mut active,
+                            &index,
+                            fams,
+                            *kind,
+                            &XtractError::TaskLost { task: *id },
+                            &format!("{} non-terminal after wait", kind.name()),
+                            retry,
+                            &mut ledger,
+                            &mut health,
+                            &mut report,
+                        );
                     }
                 }
             }
@@ -474,21 +783,54 @@ impl XtractService {
         }
 
         // --- Stage 7: validate and ship records to the user's chosen
-        // endpoint (§3). -----------------------------------------------------
+        // endpoint (§3). Every family terminates here, in exactly one of
+        // `records` or `failures`. -------------------------------------------
         self.auth.check(token, Scope::Validate)?;
-        let dest = self.fabric.get(spec.results_endpoint.unwrap_or(primary.endpoint))?;
-        for af in &active {
-            if let Some(reason) = &af.failed {
-                report.failures.push((af.family.id, reason.clone()));
+        let dest = self
+            .fabric
+            .get(spec.results_endpoint.unwrap_or(primary.endpoint))?;
+        for af in &mut active {
+            let attempts = ledger.attempts(af.family.id);
+            if let Some(reason) = af.failed.take() {
+                let mut letter = DeadLetter::new(af.family.id, reason, attempts);
+                letter.timeline = std::mem::take(&mut af.timeline);
+                if spec.checkpoint {
+                    checkpoint.record_dead_letter(letter.clone());
+                }
+                report.failures.push(letter);
                 continue;
             }
             match validate(&af.family, &af.merged, &af.ran, &spec.validation) {
                 Ok(record) => {
                     let path = format!("/metadata/fam-{}.json", af.family.id.raw());
-                    dest.backend.write(&path, Bytes::from(encode_record(&record)))?;
-                    report.records.push(record);
+                    match dest
+                        .backend
+                        .write(&path, Bytes::from(encode_record(&record)))
+                    {
+                        Ok(()) => report.records.push(record),
+                        Err(e) => report.failures.push(DeadLetter::new(
+                            af.family.id,
+                            FailureReason::Internal {
+                                reason: format!("shipping record failed: {e}"),
+                            },
+                            attempts,
+                        )),
+                    }
                 }
-                Err(e) => report.failures.push((af.family.id, e.to_string())),
+                Err(XtractError::ValidationFailed { schema, reason }) => {
+                    report.failures.push(DeadLetter::new(
+                        af.family.id,
+                        FailureReason::ValidationRejected { schema, reason },
+                        attempts,
+                    ))
+                }
+                Err(e) => report.failures.push(DeadLetter::new(
+                    af.family.id,
+                    FailureReason::Internal {
+                        reason: e.to_string(),
+                    },
+                    attempts,
+                )),
             }
         }
         Ok(report)
@@ -500,17 +842,28 @@ mod tests {
     use super::*;
     use xtract_datafabric::{MemFs, StorageBackend};
     use xtract_types::config::ContainerRuntime;
+    use xtract_types::FaultPlan;
 
     fn rig(files: u64) -> (XtractService, Token, JobSpec, Arc<DataFabric>) {
         let fabric = Arc::new(DataFabric::new());
         let ep = EndpointId::new(0);
         let fs = Arc::new(MemFs::new(ep));
-        xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", files, &RngStreams::new(5));
+        xtract_workloads::materialize::sample_repo(
+            fs.as_ref(),
+            "/data",
+            files,
+            &RngStreams::new(5),
+        );
         fabric.register(ep, "midway", fs);
         let auth = Arc::new(AuthService::new());
         let token = auth.login(
             "grad-student",
-            &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+            &[
+                Scope::Crawl,
+                Scope::Extract,
+                Scope::Transfer,
+                Scope::Validate,
+            ],
         );
         let svc = XtractService::new(fabric.clone(), auth, 1);
         let spec = JobSpec::single_endpoint(
@@ -558,11 +911,22 @@ mod tests {
         let fabric = Arc::new(DataFabric::new());
         let ep = EndpointId::new(0);
         let fs = Arc::new(MemFs::new(ep));
-        fs.write("/data/disguised.txt", Bytes::from_static(b"a,b\n1,2\n3,4\n"))
-            .unwrap();
+        fs.write(
+            "/data/disguised.txt",
+            Bytes::from_static(b"a,b\n1,2\n3,4\n"),
+        )
+        .unwrap();
         fabric.register(ep, "midway", fs);
         let auth = Arc::new(AuthService::new());
-        let token = auth.login("u", &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate]);
+        let token = auth.login(
+            "u",
+            &[
+                Scope::Crawl,
+                Scope::Extract,
+                Scope::Transfer,
+                Scope::Validate,
+            ],
+        );
         let svc = XtractService::new(fabric, auth, 2);
         let spec = JobSpec::single_endpoint(
             EndpointSpec {
@@ -614,5 +978,30 @@ mod tests {
         let report = svc.run_job(token, &spec).unwrap();
         assert!(report.failures.is_empty());
         assert_eq!(report.records.len() as u64, report.families);
+    }
+
+    #[test]
+    fn injected_crashes_are_retried_to_completion() {
+        // Every task has a 40% chance of its worker crashing mid-execution;
+        // resubmission under a fresh task id re-rolls, so every family
+        // still completes within its budget.
+        let (svc, token, mut spec, _fabric) = rig(16);
+        spec.fault_plan = Some(FaultPlan {
+            worker_crash_rate: 0.4,
+            ..FaultPlan::new(11)
+        });
+        let report = svc.run_job(token, &spec).unwrap();
+        assert_eq!(
+            report.records.len() as u64 + report.failures.len() as u64,
+            report.families
+        );
+        assert!(
+            report.resubmitted > 0,
+            "a 40% crash rate over many tasks should lose at least one"
+        );
+        // The plan disarms with the job: a clean follow-up run sees none.
+        let (svc2, token2, spec2, _f2) = rig(8);
+        let clean = svc2.run_job(token2, &spec2).unwrap();
+        assert!(clean.failures.is_empty());
     }
 }

@@ -48,7 +48,10 @@ fn walk(value: &Value, leaves: &mut usize, terms: &mut HashSet<String>, errors: 
                     *errors += 1;
                     continue;
                 }
-                for t in k.split(|c: char| !c.is_alphanumeric()).filter(|t| t.len() >= 2) {
+                for t in k
+                    .split(|c: char| !c.is_alphanumeric())
+                    .filter(|t| t.len() >= 2)
+                {
                     terms.insert(t.to_lowercase());
                 }
                 walk(v, leaves, terms, errors);
@@ -61,7 +64,10 @@ fn walk(value: &Value, leaves: &mut usize, terms: &mut HashSet<String>, errors: 
         }
         Value::String(s) => {
             *leaves += 1;
-            for t in s.split(|c: char| !c.is_alphanumeric()).filter(|t| t.len() >= 2) {
+            for t in s
+                .split(|c: char| !c.is_alphanumeric())
+                .filter(|t| t.len() >= 2)
+            {
                 terms.insert(t.to_lowercase());
             }
         }
@@ -95,11 +101,10 @@ pub fn score(record: &MetadataRecord) -> UtilityScore {
     }
     // Diminishing returns on sheer volume; errors subtract half a facet
     // each but never push below zero.
-    let score = (facets as f64
-        + (1.0 + leaves as f64).ln()
-        + 0.5 * (1.0 + terms.len() as f64).ln()
-        - 0.5 * errors as f64)
-        .max(0.0);
+    let score =
+        (facets as f64 + (1.0 + leaves as f64).ln() + 0.5 * (1.0 + terms.len() as f64).ln()
+            - 0.5 * errors as f64)
+            .max(0.0);
     UtilityScore {
         facets,
         leaves,
@@ -153,7 +158,9 @@ mod tests {
     #[test]
     fn errors_reduce_utility() {
         let clean = record(json!({"images": {"class": "plot", "width": 64}}));
-        let broken = record(json!({"images": {"error": "missing XIMG magic", "class": "plot", "width": 64}}));
+        let broken = record(
+            json!({"images": {"error": "missing XIMG magic", "class": "plot", "width": 64}}),
+        );
         assert!(score(&broken).score < score(&clean).score);
         assert_eq!(score(&broken).errors, 1);
     }

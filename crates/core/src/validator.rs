@@ -11,15 +11,23 @@
 //! layer).
 
 use serde_json::json;
-use xtract_types::{
-    Family, Metadata, MetadataRecord, Result, ValidationSchema, XtractError,
-};
+use xtract_types::{Family, Metadata, MetadataRecord, Result, ValidationSchema, XtractError};
 
 /// The twelve MDF schema names (§4.1 mentions 12; names synthesized from
 /// MDF's public material classes).
 pub const MDF_SCHEMAS: [&str; 12] = [
-    "mdf-base", "mdf-dft", "mdf-md", "mdf-image", "mdf-spectroscopy", "mdf-crystal",
-    "mdf-em", "mdf-tabular", "mdf-text", "mdf-synthesis", "mdf-characterization", "mdf-generic",
+    "mdf-base",
+    "mdf-dft",
+    "mdf-md",
+    "mdf-image",
+    "mdf-spectroscopy",
+    "mdf-crystal",
+    "mdf-em",
+    "mdf-tabular",
+    "mdf-text",
+    "mdf-synthesis",
+    "mdf-characterization",
+    "mdf-generic",
 ];
 
 /// Validates (and optionally transforms) a family's merged metadata.
@@ -34,12 +42,11 @@ pub fn validate(
             // Passthrough: the dictionary must serialize to valid JSON —
             // true by construction, but verify round-trip to honour the
             // contract.
-            let encoded = serde_json::to_string(&merged).map_err(|e| {
-                XtractError::ValidationFailed {
+            let encoded =
+                serde_json::to_string(&merged).map_err(|e| XtractError::ValidationFailed {
                     schema: "passthrough".to_string(),
                     reason: e.to_string(),
-                }
-            })?;
+                })?;
             let _ = encoded;
             Ok(MetadataRecord {
                 family: family.id,
@@ -129,8 +136,13 @@ mod tests {
 
     #[test]
     fn passthrough_preserves_document() {
-        let rec = validate(&family(), &merged(), &["tabular".into()], &ValidationSchema::Passthrough)
-            .unwrap();
+        let rec = validate(
+            &family(),
+            &merged(),
+            &["tabular".into()],
+            &ValidationSchema::Passthrough,
+        )
+        .unwrap();
         assert_eq!(rec.schema, "passthrough");
         assert_eq!(rec.document, merged());
         assert_eq!(rec.family, FamilyId::new(5));
@@ -178,17 +190,31 @@ mod tests {
 
     #[test]
     fn custom_requires_provenance() {
-        assert!(validate(&family(), &merged(), &[], &ValidationSchema::Custom("lab".into())).is_err());
-        assert!(
-            validate(&family(), &merged(), &["kw".into()], &ValidationSchema::Custom("lab".into()))
-                .is_ok()
-        );
+        assert!(validate(
+            &family(),
+            &merged(),
+            &[],
+            &ValidationSchema::Custom("lab".into())
+        )
+        .is_err());
+        assert!(validate(
+            &family(),
+            &merged(),
+            &["kw".into()],
+            &ValidationSchema::Custom("lab".into())
+        )
+        .is_ok());
     }
 
     #[test]
     fn encoded_record_is_valid_json() {
-        let rec = validate(&family(), &merged(), &["tabular".into()], &ValidationSchema::Passthrough)
-            .unwrap();
+        let rec = validate(
+            &family(),
+            &merged(),
+            &["tabular".into()],
+            &ValidationSchema::Passthrough,
+        )
+        .unwrap();
         let bytes = encode_record(&rec);
         let back: serde_json::Value = serde_json::from_slice(&bytes).unwrap();
         assert_eq!(back["schema"], "passthrough");

@@ -252,10 +252,19 @@ mod tests {
         files.sort();
         assert_eq!(
             files,
-            vec!["/5.txt", "/a/1.txt", "/a/2.csv", "/a/deep/3.json", "/b/4.txt"]
+            vec![
+                "/5.txt",
+                "/a/1.txt",
+                "/a/2.csv",
+                "/a/deep/3.json",
+                "/b/4.txt"
+            ]
         );
         // Every group id unique across directories.
-        let mut gids: Vec<_> = dirs.iter().flat_map(|d| d.groups.iter().map(|g| g.id)).collect();
+        let mut gids: Vec<_> = dirs
+            .iter()
+            .flat_map(|d| d.groups.iter().map(|g| g.id))
+            .collect();
         gids.sort();
         gids.dedup();
         assert_eq!(gids.len(), 5);
@@ -263,9 +272,7 @@ mod tests {
 
     #[test]
     fn worker_counts_agree() {
-        let backend = fs_with(&[
-            "/x/a.txt", "/x/b.txt", "/y/c.txt", "/y/z/d.txt", "/w/e.txt",
-        ]);
+        let backend = fs_with(&["/x/a.txt", "/x/b.txt", "/y/c.txt", "/y/z/d.txt", "/w/e.txt"]);
         let single: usize = crawl_all(&backend, 1, GroupingStrategy::SingleFile)
             .iter()
             .map(|d| d.files.len())
@@ -359,14 +366,14 @@ mod tests {
         // Materials-aware grouping must produce VASP groups with the
         // dataset README attached (overlap).
         let has_overlap = dirs.iter().any(|d| {
-            let counts: std::collections::HashMap<&str, usize> =
-                d.groups.iter().flat_map(|g| g.files.iter()).fold(
-                    std::collections::HashMap::new(),
-                    |mut m, p| {
-                        *m.entry(p.as_str()).or_insert(0) += 1;
-                        m
-                    },
-                );
+            let counts: std::collections::HashMap<&str, usize> = d
+                .groups
+                .iter()
+                .flat_map(|g| g.files.iter())
+                .fold(std::collections::HashMap::new(), |mut m, p| {
+                    *m.entry(p.as_str()).or_insert(0) += 1;
+                    m
+                });
             counts.values().any(|&c| c > 1)
         });
         assert!(has_overlap, "materials-aware grouping produced no overlap");

@@ -66,7 +66,9 @@ impl AuthService {
         let mut c = self.counter.write();
         // Deterministic token values keep live-mode tests reproducible; a
         // simple LCG-style mix stands in for randomness.
-        *c = c.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *c = c
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let token = Token(*c ^ ((identity.len() as u128) << 96));
         self.grants.write().insert(
             token,

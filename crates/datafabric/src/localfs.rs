@@ -191,8 +191,12 @@ mod tests {
     fn roundtrip_on_real_disk() {
         let dir = tempdir();
         let fs = LocalFs::new(EndpointId::new(0), &dir).unwrap();
-        fs.write("/a/b/notes.txt", Bytes::from_static(b"real bytes")).unwrap();
-        assert_eq!(fs.read("/a/b/notes.txt").unwrap(), Bytes::from_static(b"real bytes"));
+        fs.write("/a/b/notes.txt", Bytes::from_static(b"real bytes"))
+            .unwrap();
+        assert_eq!(
+            fs.read("/a/b/notes.txt").unwrap(),
+            Bytes::from_static(b"real bytes")
+        );
         assert_eq!(fs.stat("/a/b/notes.txt").unwrap(), 10);
         let listed = fs.list("/a").unwrap();
         assert_eq!(listed.len(), 1);
@@ -229,8 +233,10 @@ mod tests {
         use crossbeam_channel::unbounded;
         let dir = tempdir();
         let fs = LocalFs::new(EndpointId::new(0), &dir).unwrap();
-        fs.write("/proj/a.txt", Bytes::from_static(b"alpha")).unwrap();
-        fs.write("/proj/b.csv", Bytes::from_static(b"x,y\n1,2\n")).unwrap();
+        fs.write("/proj/a.txt", Bytes::from_static(b"alpha"))
+            .unwrap();
+        fs.write("/proj/b.csv", Bytes::from_static(b"x,y\n1,2\n"))
+            .unwrap();
         fs.write("/c.md", Bytes::from_static(b"# readme")).unwrap();
         let backend: std::sync::Arc<dyn StorageBackend> = std::sync::Arc::new(fs);
         // The datafabric crate cannot depend on the crawler; exercise the
@@ -239,7 +245,11 @@ mod tests {
         let mut stack = vec!["/".to_string()];
         while let Some(d) = stack.pop() {
             for e in backend.list(&d).unwrap() {
-                let full = if d == "/" { format!("/{}", e.name) } else { format!("{d}/{}", e.name) };
+                let full = if d == "/" {
+                    format!("/{}", e.name)
+                } else {
+                    format!("{d}/{}", e.name)
+                };
                 if e.is_dir {
                     stack.push(full);
                 } else {

@@ -382,12 +382,16 @@ impl StorageBackend for ObjectStore {
     }
 
     fn write(&self, path: &str, data: Bytes) -> Result<()> {
-        self.objects.write().insert(Self::key(path), Content::Bytes(data));
+        self.objects
+            .write()
+            .insert(Self::key(path), Content::Bytes(data));
         Ok(())
     }
 
     fn write_stub(&self, path: &str, size: u64) -> Result<()> {
-        self.objects.write().insert(Self::key(path), Content::Stub(size));
+        self.objects
+            .write()
+            .insert(Self::key(path), Content::Stub(size));
         Ok(())
     }
 
@@ -518,8 +522,12 @@ mod tests {
     #[test]
     fn memfs_roundtrip() {
         let fs = MemFs::new(ep());
-        fs.write("/a/b/file.txt", Bytes::from_static(b"hello")).unwrap();
-        assert_eq!(fs.read("/a/b/file.txt").unwrap(), Bytes::from_static(b"hello"));
+        fs.write("/a/b/file.txt", Bytes::from_static(b"hello"))
+            .unwrap();
+        assert_eq!(
+            fs.read("/a/b/file.txt").unwrap(),
+            Bytes::from_static(b"hello")
+        );
         assert_eq!(fs.stat("/a/b/file.txt").unwrap(), 5);
         assert_eq!(fs.file_count(), 1);
         assert_eq!(fs.total_bytes(), 5);
@@ -545,8 +553,14 @@ mod tests {
     fn memfs_errors_are_precise() {
         let fs = MemFs::new(ep());
         fs.write("/f.txt", Bytes::from_static(b"x")).unwrap();
-        assert!(matches!(fs.read("/g.txt"), Err(XtractError::NotFound { .. })));
-        assert!(matches!(fs.list("/f.txt"), Err(XtractError::WrongKind { .. })));
+        assert!(matches!(
+            fs.read("/g.txt"),
+            Err(XtractError::NotFound { .. })
+        ));
+        assert!(matches!(
+            fs.list("/f.txt"),
+            Err(XtractError::WrongKind { .. })
+        ));
         assert!(matches!(
             fs.write("/f.txt/child", Bytes::new()),
             Err(XtractError::WrongKind { .. })
@@ -587,9 +601,12 @@ mod tests {
     #[test]
     fn object_store_prefix_listing() {
         let s = ObjectStore::new(ep());
-        s.write("/data/2020/a.csv", Bytes::from_static(b"x")).unwrap();
-        s.write("/data/2020/b.csv", Bytes::from_static(b"y")).unwrap();
-        s.write("/data/2021/c.csv", Bytes::from_static(b"z")).unwrap();
+        s.write("/data/2020/a.csv", Bytes::from_static(b"x"))
+            .unwrap();
+        s.write("/data/2020/b.csv", Bytes::from_static(b"y"))
+            .unwrap();
+        s.write("/data/2021/c.csv", Bytes::from_static(b"z"))
+            .unwrap();
         s.write("/other/d.csv", Bytes::from_static(b"w")).unwrap();
         let top = s.list("/data").unwrap();
         assert_eq!(
@@ -621,7 +638,8 @@ mod tests {
     fn drive_store_counts_pages() {
         let d = DriveStore::new(ep());
         for i in 0..250 {
-            d.write(&format!("/folder/file{i}.txt"), Bytes::from_static(b".")).unwrap();
+            d.write(&format!("/folder/file{i}.txt"), Bytes::from_static(b"."))
+                .unwrap();
         }
         let listed = d.list("/folder").unwrap();
         assert_eq!(listed.len(), 250);
@@ -638,7 +656,8 @@ mod tests {
                 let fs = fs.clone();
                 s.spawn(move || {
                     for i in 0..100 {
-                        fs.write(&format!("/t{t}/f{i}"), Bytes::from_static(b"d")).unwrap();
+                        fs.write(&format!("/t{t}/f{i}"), Bytes::from_static(b"d"))
+                            .unwrap();
                     }
                 });
             }

@@ -8,20 +8,22 @@
 //! orchestrator is the receipt — files moved, bytes moved, per-file
 //! failures — and the byte accounting the Fig. 7 experiment audits.
 //!
-//! Fault injection: a configurable per-file failure probability exercises
-//! the retry path ("The prefetcher polls each transfer task until it is
-//! completed").
+//! Fault injection: the service consults an armed [`FaultPlan`] — per-file
+//! transient faults, endpoint blackout windows, degraded links, poisoned
+//! payloads — exercising the retry path ("The prefetcher polls each
+//! transfer task until it is completed"). Decisions are stateless hashes
+//! of `(seed, path, salt)`, so a retry (different salt) re-rolls while a
+//! replay of the same job faults the same files.
 
 use crate::auth::{AuthService, Scope, Token};
 use crate::fabric::DataFabric;
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xtract_types::id::IdAllocator;
-use xtract_types::{EndpointId, Result, TransferId, XtractError};
+use xtract_types::{EndpointId, FaultPlan, FaultScope, Result, TransferId, XtractError};
 
 /// How a single-file fetch reaches the data (§5.3: `t_gh` vs `t_gd`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +56,9 @@ pub struct TransferReceipt {
     pub bytes_moved: u64,
     /// Per-file failures `(source_path, error)`.
     pub failed: Vec<(String, XtractError)>,
+    /// Files that arrived but over a degraded link (fault-plan slow-link
+    /// injection); each paid the plan's extra per-file delay.
+    pub throttled_files: usize,
 }
 
 impl TransferReceipt {
@@ -72,6 +77,12 @@ pub struct PairStats {
     pub bytes: u64,
 }
 
+/// Bit-rot in flight: same length, scrambled contents. Extractors see
+/// garbage instead of the expected format, exactly like §2.3's junk files.
+fn corrupt(bytes: &Bytes) -> Bytes {
+    Bytes::from(bytes.iter().map(|b| b ^ 0xA5).collect::<Vec<u8>>())
+}
+
 /// The transfer service.
 pub struct TransferService {
     fabric: Arc<DataFabric>,
@@ -80,7 +91,10 @@ pub struct TransferService {
     receipts: RwLock<HashMap<TransferId, TransferReceipt>>,
     pair_stats: RwLock<HashMap<(EndpointId, EndpointId), PairStats>>,
     fetches: RwLock<HashMap<FetchKind, u64>>,
-    fault: Mutex<Option<(f64, SmallRng)>>,
+    fault: RwLock<Option<FaultPlan>>,
+    /// Monotonic submit counter — the operation index blackout windows
+    /// are expressed in.
+    submit_ops: AtomicU64,
 }
 
 impl TransferService {
@@ -93,27 +107,26 @@ impl TransferService {
             receipts: RwLock::new(HashMap::new()),
             pair_stats: RwLock::new(HashMap::new()),
             fetches: RwLock::new(HashMap::new()),
-            fault: Mutex::new(None),
+            fault: RwLock::new(None),
+            submit_ops: AtomicU64::new(0),
         }
     }
 
-    /// Enables per-file fault injection with the given probability.
+    /// Arms a structured fault plan; every subsequent submit consults it.
+    pub fn arm_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.write() = Some(plan);
+    }
+
+    /// Enables per-file fault injection with the given probability — the
+    /// legacy single-knob entry point, now a [`FaultPlan`] shorthand.
     pub fn inject_faults(&self, probability: f64, seed: u64) {
         assert!((0.0..=1.0).contains(&probability));
-        *self.fault.lock() = Some((probability, SmallRng::seed_from_u64(seed)));
+        self.arm_fault_plan(FaultPlan::transfer_faults(seed, probability));
     }
 
     /// Disables fault injection.
     pub fn clear_faults(&self) {
-        *self.fault.lock() = None;
-    }
-
-    fn roll_fault(&self) -> bool {
-        let mut guard = self.fault.lock();
-        match guard.as_mut() {
-            Some((p, rng)) => rng.gen_bool(*p),
-            None => false,
-        }
+        *self.fault.write() = None;
     }
 
     /// Submits a batch transfer and runs it to completion, returning the
@@ -121,11 +134,35 @@ impl TransferService {
     /// submit/poll split mirrors the real service even though live-mode
     /// execution is synchronous.
     pub fn submit(&self, token: Token, request: &TransferRequest) -> Result<TransferId> {
+        self.submit_with_salt(token, request, 0)
+    }
+
+    /// [`Self::submit`] with a caller-chosen fault salt. Retrying callers
+    /// pass their attempt number so injected per-file faults re-roll
+    /// instead of repeating forever; salt 0 matches plain `submit`.
+    pub fn submit_with_salt(
+        &self,
+        token: Token,
+        request: &TransferRequest,
+        salt: u64,
+    ) -> Result<TransferId> {
         // "the prefetcher first authenticates with the data layer on both
         // the source and destination endpoints" (§4.1).
         self.auth.check(token, Scope::Transfer)?;
         let src = self.fabric.get(request.source)?;
         let dst = self.fabric.get(request.destination)?;
+
+        let plan = self.fault.read().clone();
+        let op = self.submit_ops.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = &plan {
+            // A blackout takes the whole endpoint dark: the submission is
+            // rejected outright rather than failing file-by-file.
+            for ep in [request.destination, request.source] {
+                if plan.blackout_at(ep, op, FaultScope::Transfer).is_some() {
+                    return Err(XtractError::EndpointDown { endpoint: ep });
+                }
+            }
+        }
 
         let id = TransferId::new(self.ids.next());
         let mut receipt = TransferReceipt {
@@ -133,10 +170,14 @@ impl TransferService {
             files_moved: 0,
             bytes_moved: 0,
             failed: Vec::new(),
+            throttled_files: 0,
         };
 
         for (from, to) in &request.files {
-            if self.roll_fault() {
+            if plan
+                .as_ref()
+                .is_some_and(|p| p.transfer_file_faults(from, salt))
+            {
                 receipt.failed.push((
                     from.clone(),
                     XtractError::TransferFailed {
@@ -146,10 +187,15 @@ impl TransferService {
                 ));
                 continue;
             }
+            if plan.as_ref().is_some_and(|p| p.link_degraded(from, salt)) {
+                receipt.throttled_files += 1;
+            }
+            let poisoned = plan.as_ref().is_some_and(|p| p.poisoned(from));
             let outcome = match src.backend.read(from) {
                 Ok(bytes) => {
                     let n = bytes.len() as u64;
-                    dst.backend.write(to, bytes).map(|()| n)
+                    let payload = if poisoned { corrupt(&bytes) } else { bytes };
+                    dst.backend.write(to, payload).map(|()| n)
                 }
                 // Stubs move as stubs: simulation-scale repositories are
                 // never materialized, but their byte sizes still count.
@@ -260,8 +306,12 @@ mod tests {
     fn batch_transfer_moves_bytes() {
         let r = rig();
         let src = r.fabric.get(r.a).unwrap();
-        src.backend.write("/d/x.txt", Bytes::from_static(b"12345")).unwrap();
-        src.backend.write("/d/y.txt", Bytes::from_static(b"678")).unwrap();
+        src.backend
+            .write("/d/x.txt", Bytes::from_static(b"12345"))
+            .unwrap();
+        src.backend
+            .write("/d/y.txt", Bytes::from_static(b"678"))
+            .unwrap();
         let id = r
             .svc
             .submit(
@@ -281,7 +331,10 @@ mod tests {
         assert_eq!(receipt.files_moved, 2);
         assert_eq!(receipt.bytes_moved, 8);
         let dst = r.fabric.get(r.b).unwrap();
-        assert_eq!(dst.backend.read("/stage/x.txt").unwrap(), Bytes::from_static(b"12345"));
+        assert_eq!(
+            dst.backend.read("/stage/x.txt").unwrap(),
+            Bytes::from_static(b"12345")
+        );
         assert_eq!(r.svc.pair_stats(r.a, r.b).bytes, 8);
         assert_eq!(r.svc.total_bytes_moved(), 8);
     }
@@ -308,7 +361,9 @@ mod tests {
     fn missing_files_fail_individually() {
         let r = rig();
         let src = r.fabric.get(r.a).unwrap();
-        src.backend.write("/ok.txt", Bytes::from_static(b"ok")).unwrap();
+        src.backend
+            .write("/ok.txt", Bytes::from_static(b"ok"))
+            .unwrap();
         let id = r
             .svc
             .submit(
@@ -406,10 +461,145 @@ mod tests {
     }
 
     #[test]
+    fn faulted_files_reroll_under_a_new_salt() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        let files: Vec<(String, String)> = (0..100)
+            .map(|i| {
+                let p = format!("/f{i}");
+                src.backend.write(&p, Bytes::from_static(b"x")).unwrap();
+                (p.clone(), p)
+            })
+            .collect();
+        r.svc.inject_faults(0.5, 7);
+        let req = TransferRequest {
+            source: r.a,
+            destination: r.b,
+            files,
+        };
+        let first = r.svc.status(r.svc.submit(r.token, &req).unwrap()).unwrap();
+        assert!(!first.failed.is_empty());
+        // Same salt ⇒ the identical file set faults again.
+        let again = r.svc.status(r.svc.submit(r.token, &req).unwrap()).unwrap();
+        let names =
+            |rc: &TransferReceipt| rc.failed.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&first), names(&again));
+        // A retry salt re-rolls: a different subset faults.
+        let retried = r
+            .svc
+            .status(r.svc.submit_with_salt(r.token, &req, 1).unwrap())
+            .unwrap();
+        assert_ne!(names(&first), names(&retried));
+    }
+
+    #[test]
+    fn blackout_rejects_the_whole_submission() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        src.backend
+            .write("/x.txt", Bytes::from_static(b"abc"))
+            .unwrap();
+        let mut plan = FaultPlan::new(5);
+        plan.blackouts.push(xtract_types::Blackout::new(r.b, 0, 1));
+        r.svc.arm_fault_plan(plan);
+        let req = TransferRequest {
+            source: r.a,
+            destination: r.b,
+            files: vec![("/x.txt".into(), "/stage/x.txt".into())],
+        };
+        // Op 0 falls inside the window: the endpoint is dark.
+        let err = r.svc.submit(r.token, &req).unwrap_err();
+        assert_eq!(err, XtractError::EndpointDown { endpoint: r.b });
+        // Op 1 is past the window: service restored.
+        let id = r.svc.submit(r.token, &req).unwrap();
+        assert!(r.svc.status(id).unwrap().is_complete());
+    }
+
+    #[test]
+    fn degraded_links_are_counted() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        let files: Vec<(String, String)> = (0..100)
+            .map(|i| {
+                let p = format!("/f{i}");
+                src.backend.write(&p, Bytes::from_static(b"x")).unwrap();
+                (p.clone(), p)
+            })
+            .collect();
+        let mut plan = FaultPlan::new(11);
+        plan.slow_link_rate = 0.5;
+        plan.slow_link_delay_ms = 25;
+        r.svc.arm_fault_plan(plan);
+        let receipt = r
+            .svc
+            .status(
+                r.svc
+                    .submit(
+                        r.token,
+                        &TransferRequest {
+                            source: r.a,
+                            destination: r.b,
+                            files,
+                        },
+                    )
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(receipt.is_complete());
+        assert_eq!(receipt.files_moved, 100);
+        assert!(receipt.throttled_files > 10 && receipt.throttled_files < 90);
+    }
+
+    #[test]
+    fn poisoned_files_arrive_corrupted_but_complete() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        src.backend
+            .write("/bad/x.csv", Bytes::from_static(b"a,b,c"))
+            .unwrap();
+        src.backend
+            .write("/good/y.csv", Bytes::from_static(b"d,e,f"))
+            .unwrap();
+        let mut plan = FaultPlan::new(0);
+        plan.poison_path_substrings.push("/bad/".into());
+        r.svc.arm_fault_plan(plan);
+        let receipt = r
+            .svc
+            .status(
+                r.svc
+                    .submit(
+                        r.token,
+                        &TransferRequest {
+                            source: r.a,
+                            destination: r.b,
+                            files: vec![
+                                ("/bad/x.csv".into(), "/s/x.csv".into()),
+                                ("/good/y.csv".into(), "/s/y.csv".into()),
+                            ],
+                        },
+                    )
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(receipt.is_complete());
+        let dst = r.fabric.get(r.b).unwrap();
+        assert_ne!(
+            dst.backend.read("/s/x.csv").unwrap(),
+            Bytes::from_static(b"a,b,c")
+        );
+        assert_eq!(
+            dst.backend.read("/s/y.csv").unwrap(),
+            Bytes::from_static(b"d,e,f")
+        );
+    }
+
+    #[test]
     fn fetch_reads_and_counts() {
         let r = rig();
         let src = r.fabric.get(r.a).unwrap();
-        src.backend.write("/doc.txt", Bytes::from_static(b"words")).unwrap();
+        src.backend
+            .write("/doc.txt", Bytes::from_static(b"words"))
+            .unwrap();
         let bytes = r
             .svc
             .fetch(r.token, r.a, "/doc.txt", FetchKind::GlobusHttps)

@@ -106,7 +106,10 @@ mod tests {
         let rec = FileRecord::new("/a.txt", 5, EndpointId::new(0), FileType::FreeText);
         assert_eq!(src.read(&rec).unwrap(), Bytes::from_static(b"hello"));
         let missing = FileRecord::new("/b.txt", 0, EndpointId::new(0), FileType::FreeText);
-        assert!(matches!(src.read(&missing), Err(XtractError::NotFound { .. })));
+        assert!(matches!(
+            src.read(&missing),
+            Err(XtractError::NotFound { .. })
+        ));
     }
 
     #[test]

@@ -173,9 +173,9 @@ pub fn parse(text: &str) -> Result<Container, XtractError> {
                     if let Some(s) = f.strip_prefix("shape=") {
                         let dims: Result<Vec<u64>, _> =
                             s.split('x').map(str::parse::<u64>).collect();
-                        shape = Some(dims.map_err(|_| {
-                            fail(format!("line {lineno}: bad shape {s:?}"))
-                        })?);
+                        shape = Some(
+                            dims.map_err(|_| fail(format!("line {lineno}: bad shape {s:?}")))?,
+                        );
                     } else if let Some(d) = f.strip_prefix("dtype=") {
                         dtype = Some(
                             Dtype::parse(d)
@@ -196,7 +196,9 @@ pub fn parse(text: &str) -> Result<Container, XtractError> {
                 let name = fields.next().ok_or_else(|| fail("attr missing name"))?;
                 let value = fields.next().unwrap_or("").trim_matches('"').to_string();
                 if !c.groups.contains(path) && !c.datasets.contains_key(path) {
-                    return Err(fail(format!("line {lineno}: attr on unknown object {path}")));
+                    return Err(fail(format!(
+                        "line {lineno}: attr on unknown object {path}"
+                    )));
                 }
                 c.attrs
                     .entry(path.to_string())

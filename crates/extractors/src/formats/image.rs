@@ -176,7 +176,8 @@ pub fn features(img: &Image) -> ImageFeatures {
             if (g > r + 15 && g > 70) || (b > r + 15 && b > 70 && b >= g) {
                 geo += 1;
             }
-            let key = ((p[0] as usize >> 4) << 8) | ((p[1] as usize >> 4) << 4) | (p[2] as usize >> 4);
+            let key =
+                ((p[0] as usize >> 4) << 8) | ((p[1] as usize >> 4) << 4) | (p[2] as usize >> 4);
             hist[key] += 1;
         }
     }
@@ -273,7 +274,11 @@ fn gen_photograph<R: Rng + ?Sized>(w: u32, h: u32, rng: &mut R) -> Image {
     let mut img = Image::filled(w, h, [0, 0, 0]);
     let cx: f64 = rng.gen_range(0.2..0.8);
     let cy: f64 = rng.gen_range(0.2..0.8);
-    let base = [rng.gen_range(40..200u16), rng.gen_range(40..200), rng.gen_range(40..200)];
+    let base = [
+        rng.gen_range(40..200u16),
+        rng.gen_range(40..200),
+        rng.gen_range(40..200),
+    ];
     for y in 0..h {
         for x in 0..w {
             let dx = x as f64 / w as f64 - cx;
@@ -439,7 +444,7 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(Image::decode(b"nope").is_err());
         assert!(Image::decode(b"XIMG\x01\x00\x00\x00\x01\x00\x00\x00").is_err()); // truncated
-        // Oversized dims must not overflow.
+                                                                                  // Oversized dims must not overflow.
         let mut evil = Vec::from(&b"XIMG"[..]);
         evil.extend_from_slice(&u32::MAX.to_le_bytes());
         evil.extend_from_slice(&u32::MAX.to_le_bytes());

@@ -195,7 +195,8 @@ pub fn column_stats(table: &Table) -> Vec<ColumnStats> {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "site,year,co2_ppm\nmauna loa,1990,354.45\nmauna loa,1991,355.62\nbarrow,1990,\n";
+    const SAMPLE: &str =
+        "site,year,co2_ppm\nmauna loa,1990,354.45\nmauna loa,1991,355.62\nbarrow,1990,\n";
 
     #[test]
     fn parses_with_header() {

@@ -12,20 +12,53 @@ use std::collections::BTreeSet;
 use xtract_types::{ExtractorKind, Family, FileType, Metadata, Result};
 
 const LOCATIONS: &[&str] = &[
-    "antarctica", "argonne", "arctic", "atlantic", "australia", "brazil", "california",
-    "chicago", "china", "europe", "germany", "greenland", "hawaii", "india", "japan",
-    "minnesota", "pacific", "siberia", "texas", "tibet", "virginia",
+    "antarctica",
+    "argonne",
+    "arctic",
+    "atlantic",
+    "australia",
+    "brazil",
+    "california",
+    "chicago",
+    "china",
+    "europe",
+    "germany",
+    "greenland",
+    "hawaii",
+    "india",
+    "japan",
+    "minnesota",
+    "pacific",
+    "siberia",
+    "texas",
+    "tibet",
+    "virginia",
 ];
 
 const ORGANIZATIONS: &[&str] = &[
-    "anl", "cdiac", "cern", "doe", "epa", "mdf", "nasa", "ncsa", "nist", "noaa", "nsf",
-    "ornl", "uchicago", "usgs",
+    "anl", "cdiac", "cern", "doe", "epa", "mdf", "nasa", "ncsa", "nist", "noaa", "nsf", "ornl",
+    "uchicago", "usgs",
 ];
 
 const ELEMENTS: &[&str] = &[
-    "hydrogen", "helium", "lithium", "carbon", "nitrogen", "oxygen", "silicon", "iron",
-    "nickel", "copper", "gallium", "arsenic", "cadmium", "tellurium", "lead", "uranium",
-    "titanium", "perovskite", // honorary member: ubiquitous in MDF
+    "hydrogen",
+    "helium",
+    "lithium",
+    "carbon",
+    "nitrogen",
+    "oxygen",
+    "silicon",
+    "iron",
+    "nickel",
+    "copper",
+    "gallium",
+    "arsenic",
+    "cadmium",
+    "tellurium",
+    "lead",
+    "uranium",
+    "titanium",
+    "perovskite", // honorary member: ubiquitous in MDF
 ];
 
 /// Gazetteer entity tagger.
@@ -116,7 +149,10 @@ impl Extractor for BertExtractor {
             md.insert("locations", json!(hit(LOCATIONS)));
             md.insert("organizations", json!(hit(ORGANIZATIONS)));
             md.insert("elements", json!(hit(ELEMENTS)));
-            md.insert("named_spans", json!(capitalized_spans(text, self.max_spans())));
+            md.insert(
+                "named_spans",
+                json!(capitalized_spans(text, self.max_spans())),
+            );
             out.per_file.push((file.path.clone(), md));
         }
         Ok(out)
@@ -141,7 +177,9 @@ mod tests {
                     Samples contained carbon and uranium traces, says NOAA.";
         let mut src = MapSource::new();
         src.insert("/doc.txt", text.as_bytes().to_vec());
-        let out = BertExtractor::default().extract(&family("/doc.txt"), &src).unwrap();
+        let out = BertExtractor::default()
+            .extract(&family("/doc.txt"), &src)
+            .unwrap();
         let md = &out.per_file[0].1;
         assert_eq!(md.get("locations").unwrap(), &json!(["pacific", "siberia"]));
         assert_eq!(md.get("organizations").unwrap(), &json!(["cdiac", "noaa"]));
@@ -153,9 +191,19 @@ mod tests {
         let text = "We deposited data in the Materials Data Facility yesterday.";
         let mut src = MapSource::new();
         src.insert("/d.txt", text.as_bytes().to_vec());
-        let out = BertExtractor::default().extract(&family("/d.txt"), &src).unwrap();
-        let spans = out.per_file[0].1.get("named_spans").unwrap().as_array().unwrap();
-        assert!(spans.iter().any(|s| s == "Materials Data Facility"), "{spans:?}");
+        let out = BertExtractor::default()
+            .extract(&family("/d.txt"), &src)
+            .unwrap();
+        let spans = out.per_file[0]
+            .1
+            .get("named_spans")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert!(
+            spans.iter().any(|s| s == "Materials Data Facility"),
+            "{spans:?}"
+        );
     }
 
     #[test]
@@ -163,7 +211,9 @@ mod tests {
         // "carbonate" must not match the element "carbon".
         let mut src = MapSource::new();
         src.insert("/d.txt", b"carbonate minerals only".to_vec());
-        let out = BertExtractor::default().extract(&family("/d.txt"), &src).unwrap();
+        let out = BertExtractor::default()
+            .extract(&family("/d.txt"), &src)
+            .unwrap();
         assert_eq!(out.per_file[0].1.get("elements").unwrap(), &json!([]));
     }
 
@@ -172,8 +222,15 @@ mod tests {
         let text = "x Alpha Beta y Gamma Delta z Epsilon Zeta w Eta Theta";
         let mut src = MapSource::new();
         src.insert("/d.txt", text.as_bytes().to_vec());
-        let out = BertExtractor { max_spans: 2 }.extract(&family("/d.txt"), &src).unwrap();
-        let spans = out.per_file[0].1.get("named_spans").unwrap().as_array().unwrap();
+        let out = BertExtractor { max_spans: 2 }
+            .extract(&family("/d.txt"), &src)
+            .unwrap();
+        let spans = out.per_file[0]
+            .1
+            .get("named_spans")
+            .unwrap()
+            .as_array()
+            .unwrap();
         assert_eq!(spans.len(), 2);
     }
 }

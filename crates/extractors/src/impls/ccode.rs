@@ -13,13 +13,18 @@ pub struct CCodeExtractor;
 /// `type name(args) {` or `type name(args)` followed by `{`.
 fn function_name(line: &str) -> Option<String> {
     let line = line.trim();
-    if line.starts_with('#') || line.starts_with("//") || line.starts_with('*') || line.starts_with('{')
+    if line.starts_with('#')
+        || line.starts_with("//")
+        || line.starts_with('*')
+        || line.starts_with('{')
     {
         return None;
     }
     let open = line.find('(')?;
     let before = line[..open].trim_end();
-    let name = before.rsplit(|c: char| c.is_whitespace() || c == '*').next()?;
+    let name = before
+        .rsplit(|c: char| c.is_whitespace() || c == '*')
+        .next()?;
     if name.is_empty() || !name.chars().next()?.is_ascii_alphabetic() && !name.starts_with('_') {
         return None;
     }

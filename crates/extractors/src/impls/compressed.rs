@@ -75,14 +75,28 @@ mod tests {
     fn member_census() {
         let a = Archive {
             members: vec![
-                Member { name: "d/x.csv".into(), stored_size: 10, original_size: 100 },
-                Member { name: "d/y.csv".into(), stored_size: 20, original_size: 60 },
-                Member { name: "readme.txt".into(), stored_size: 5, original_size: 8 },
+                Member {
+                    name: "d/x.csv".into(),
+                    stored_size: 10,
+                    original_size: 100,
+                },
+                Member {
+                    name: "d/y.csv".into(),
+                    stored_size: 20,
+                    original_size: 60,
+                },
+                Member {
+                    name: "readme.txt".into(),
+                    stored_size: 5,
+                    original_size: 8,
+                },
             ],
         };
         let mut src = MapSource::new();
         src.insert("/pack.xzip", archive::encode(&a).to_vec());
-        let out = CompressedExtractor.extract(&family("/pack.xzip"), &src).unwrap();
+        let out = CompressedExtractor
+            .extract(&family("/pack.xzip"), &src)
+            .unwrap();
         let md = &out.per_file[0].1;
         assert_eq!(md.get("members").unwrap(), 3);
         assert_eq!(md.get("member_types").unwrap()["csv"], 2);
@@ -97,7 +111,9 @@ mod tests {
     fn corrupt_archive_is_recorded() {
         let mut src = MapSource::new();
         src.insert("/bad.xzip", b"XZIPxxxx".to_vec());
-        let out = CompressedExtractor.extract(&family("/bad.xzip"), &src).unwrap();
+        let out = CompressedExtractor
+            .extract(&family("/bad.xzip"), &src)
+            .unwrap();
         assert!(out.per_file[0].1.contains("error"));
     }
 }

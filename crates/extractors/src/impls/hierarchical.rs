@@ -90,7 +90,9 @@ mod tests {
     fn reports_structure() {
         let mut src = MapSource::new();
         src.insert("/c.xhdf", SAMPLE.as_bytes().to_vec());
-        let out = HierarchicalExtractor.extract(&family("/c.xhdf"), &src).unwrap();
+        let out = HierarchicalExtractor
+            .extract(&family("/c.xhdf"), &src)
+            .unwrap();
         let md = &out.per_file[0].1;
         assert_eq!(md.get("groups").unwrap(), 2);
         assert_eq!(md.get("datasets").unwrap(), 2);
@@ -102,8 +104,13 @@ mod tests {
     #[test]
     fn corrupt_container_is_recorded() {
         let mut src = MapSource::new();
-        src.insert("/bad.xhdf", b"XHDF\ndataset /orphan/x shape=1 dtype=f32\n".to_vec());
-        let out = HierarchicalExtractor.extract(&family("/bad.xhdf"), &src).unwrap();
+        src.insert(
+            "/bad.xhdf",
+            b"XHDF\ndataset /orphan/x shape=1 dtype=f32\n".to_vec(),
+        );
+        let out = HierarchicalExtractor
+            .extract(&family("/bad.xhdf"), &src)
+            .unwrap();
         assert!(out.per_file[0].1.contains("error"));
     }
 }

@@ -189,7 +189,10 @@ mod tests {
             .iter()
             .map(|p| FileRecord::new(*p, 0, EndpointId::new(0), FileType::Image))
             .collect();
-        let g = Group::new(GroupId::new(0), files.iter().map(|f| f.path.clone()).collect());
+        let g = Group::new(
+            GroupId::new(0),
+            files.iter().map(|f| f.path.clone()).collect(),
+        );
         Family::new(FamilyId::new(0), files, vec![g], EndpointId::new(0))
     }
 
@@ -260,7 +263,12 @@ mod tests {
         src.insert("/p.ximg", encoded(ImageClass::Photograph, 11));
         let fam = family(&["/p.ximg"]);
         let out = ImagenetExtractor.extract(&fam, &src).unwrap();
-        let objects = out.per_file[0].1.get("objects").unwrap().as_array().unwrap();
+        let objects = out.per_file[0]
+            .1
+            .get("objects")
+            .unwrap()
+            .as_array()
+            .unwrap();
         assert!(!objects.is_empty());
     }
 }

@@ -77,7 +77,11 @@ impl Extractor for KeywordExtractor {
                 .collect();
             scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
             scored.truncate(self.top_n);
-            let norm: f64 = scored.iter().map(|(_, s)| s).sum::<f64>().max(f64::MIN_POSITIVE);
+            let norm: f64 = scored
+                .iter()
+                .map(|(_, s)| s)
+                .sum::<f64>()
+                .max(f64::MIN_POSITIVE);
             md.insert(
                 "keywords",
                 json!(scored
@@ -93,11 +97,16 @@ impl Extractor for KeywordExtractor {
         }
         let mut fam_md = Metadata::new();
         fam_md.insert("documents", docs);
-        let mut shared: Vec<(&String, &u64)> = family_counts.iter().filter(|(_, &c)| c > 1).collect();
+        let mut shared: Vec<(&String, &u64)> =
+            family_counts.iter().filter(|(_, &c)| c > 1).collect();
         shared.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
         fam_md.insert(
             "shared_keywords",
-            json!(shared.iter().take(self.top_n).map(|(w, _)| w).collect::<Vec<_>>()),
+            json!(shared
+                .iter()
+                .take(self.top_n)
+                .map(|(w, _)| w)
+                .collect::<Vec<_>>()),
         );
         out.family_metadata = fam_md;
         Ok(out)
@@ -115,7 +124,10 @@ mod tests {
             .iter()
             .map(|(p, t)| FileRecord::new(*p, 0, EndpointId::new(0), *t))
             .collect();
-        let g = Group::new(GroupId::new(0), files.iter().map(|f| f.path.clone()).collect());
+        let g = Group::new(
+            GroupId::new(0),
+            files.iter().map(|f| f.path.clone()).collect(),
+        );
         Family::new(FamilyId::new(0), files, vec![g], EndpointId::new(0))
     }
 
@@ -141,7 +153,10 @@ mod tests {
     #[test]
     fn tabular_content_is_discovered() {
         let mut src = MapSource::new();
-        src.insert("/data.txt", b"site,year,co2\nmlo,1990,354.2\nbrw,1990,352.9\n".to_vec());
+        src.insert(
+            "/data.txt",
+            b"site,year,co2\nmlo,1990,354.2\nbrw,1990,352.9\n".to_vec(),
+        );
         let fam = family(&[("/data.txt", FileType::FreeText)]);
         let out = KeywordExtractor::default().extract(&fam, &src).unwrap();
         assert_eq!(
@@ -169,7 +184,10 @@ mod tests {
     fn non_text_files_are_skipped() {
         let mut src = MapSource::new();
         src.insert("/doc.txt", b"magnetometry data here".to_vec());
-        let fam = family(&[("/doc.txt", FileType::FreeText), ("/img.ximg", FileType::Image)]);
+        let fam = family(&[
+            ("/doc.txt", FileType::FreeText),
+            ("/img.ximg", FileType::Image),
+        ]);
         // The image file has no bytes in the source: if the extractor tried
         // to read it, this would fail.
         let out = KeywordExtractor::default().extract(&fam, &src).unwrap();
@@ -186,11 +204,22 @@ mod tests {
     #[test]
     fn shared_keywords_span_documents() {
         let mut src = MapSource::new();
-        src.insert("/a.txt", b"graphene conductivity measurements graphene".to_vec());
+        src.insert(
+            "/a.txt",
+            b"graphene conductivity measurements graphene".to_vec(),
+        );
         src.insert("/b.txt", b"graphene bilayer stacking order".to_vec());
-        let fam = family(&[("/a.txt", FileType::FreeText), ("/b.txt", FileType::FreeText)]);
+        let fam = family(&[
+            ("/a.txt", FileType::FreeText),
+            ("/b.txt", FileType::FreeText),
+        ]);
         let out = KeywordExtractor::default().extract(&fam, &src).unwrap();
-        let shared = out.family_metadata.get("shared_keywords").unwrap().as_array().unwrap();
+        let shared = out
+            .family_metadata
+            .get("shared_keywords")
+            .unwrap()
+            .as_array()
+            .unwrap();
         assert!(shared.iter().any(|w| w == "graphene"));
         assert_eq!(out.family_metadata.get("documents").unwrap(), 2);
     }
@@ -204,7 +233,12 @@ mod tests {
         );
         let fam = family(&[("/many.txt", FileType::FreeText)]);
         let out = KeywordExtractor { top_n: 3 }.extract(&fam, &src).unwrap();
-        let kws = out.per_file[0].1.get("keywords").unwrap().as_array().unwrap();
+        let kws = out.per_file[0]
+            .1
+            .get("keywords")
+            .unwrap()
+            .as_array()
+            .unwrap();
         assert_eq!(kws.len(), 3);
     }
 }

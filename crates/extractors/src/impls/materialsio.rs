@@ -129,11 +129,12 @@ mod tests {
     fn family(paths: &[&str]) -> Family {
         let files: Vec<FileRecord> = paths
             .iter()
-            .map(|p| {
-                FileRecord::new(*p, 0, EndpointId::new(0), xtract_types::sniff_path(p))
-            })
+            .map(|p| FileRecord::new(*p, 0, EndpointId::new(0), xtract_types::sniff_path(p)))
             .collect();
-        let g = Group::new(GroupId::new(0), files.iter().map(|f| f.path.clone()).collect());
+        let g = Group::new(
+            GroupId::new(0),
+            files.iter().map(|f| f.path.clone()).collect(),
+        );
         Family::new(FamilyId::new(0), files, vec![g], EndpointId::new(0))
     }
 

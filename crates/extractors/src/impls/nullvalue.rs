@@ -44,7 +44,11 @@ impl Extractor for NullValueExtractor {
             md.insert("total_cells", cells);
             md.insert(
                 "null_fraction",
-                if cells > 0 { nulls as f64 / cells as f64 } else { 0.0 },
+                if cells > 0 {
+                    nulls as f64 / cells as f64
+                } else {
+                    0.0
+                },
             );
             md.insert(
                 "columns_with_nulls",
@@ -75,14 +79,20 @@ mod tests {
             .iter()
             .map(|(p, t)| FileRecord::new(*p, 0, EndpointId::new(0), *t))
             .collect();
-        let g = Group::new(GroupId::new(0), files.iter().map(|f| f.path.clone()).collect());
+        let g = Group::new(
+            GroupId::new(0),
+            files.iter().map(|f| f.path.clone()).collect(),
+        );
         Family::new(FamilyId::new(0), files, vec![g], EndpointId::new(0))
     }
 
     #[test]
     fn counts_nulls_and_sentinels() {
         let mut src = MapSource::new();
-        src.insert("/obs.csv", b"station,temp\nmlo,14.2\nbrw,\nspo,-999\n".to_vec());
+        src.insert(
+            "/obs.csv",
+            b"station,temp\nmlo,14.2\nbrw,\nspo,-999\n".to_vec(),
+        );
         let fam = family(&[("/obs.csv", FileType::Tabular)]);
         let out = NullValueExtractor.extract(&fam, &src).unwrap();
         let md = &out.per_file[0].1;

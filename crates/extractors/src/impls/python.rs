@@ -122,7 +122,9 @@ class DecayModel:
     fn census_is_correct() {
         let mut src = MapSource::new();
         src.insert("/fit.py", SRC.as_bytes().to_vec());
-        let out = PythonCodeExtractor.extract(&family("/fit.py"), &src).unwrap();
+        let out = PythonCodeExtractor
+            .extract(&family("/fit.py"), &src)
+            .unwrap();
         let md = &out.per_file[0].1;
         assert_eq!(md.get("functions").unwrap(), &json!(["fit_decay", "rate"]));
         assert_eq!(md.get("classes").unwrap(), &json!(["DecayModel"]));

@@ -21,7 +21,11 @@ fn json_depth(v: &Value) -> usize {
     }
 }
 
-fn json_census(v: &Value, keys: &mut BTreeMap<String, u64>, types: &mut BTreeMap<&'static str, u64>) {
+fn json_census(
+    v: &Value,
+    keys: &mut BTreeMap<String, u64>,
+    types: &mut BTreeMap<&'static str, u64>,
+) {
     let label = match v {
         Value::Null => "null",
         Value::Bool(_) => "bool",
@@ -234,7 +238,8 @@ mod tests {
         let mut src = MapSource::new();
         src.insert(
             "/d.xml",
-            b"<?xml version=\"1.0\"?><run><step n=\"1\"/><step n=\"2\"><out>3</out></step></run>".to_vec(),
+            b"<?xml version=\"1.0\"?><run><step n=\"1\"/><step n=\"2\"><out>3</out></step></run>"
+                .to_vec(),
         );
         let out = SemiStructuredExtractor
             .extract(&family("/d.xml", FileType::Xml), &src)
@@ -273,7 +278,9 @@ mod tests {
             ("/bad.xml", FileType::Xml),
             ("/bad.yaml", FileType::Yaml),
         ] {
-            let out = SemiStructuredExtractor.extract(&family(path, t), &src).unwrap();
+            let out = SemiStructuredExtractor
+                .extract(&family(path, t), &src)
+                .unwrap();
             assert!(out.per_file[0].1.contains("error"), "{path} should error");
         }
     }

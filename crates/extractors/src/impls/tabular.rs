@@ -89,14 +89,20 @@ mod tests {
             .iter()
             .map(|(p, t)| FileRecord::new(*p, 0, EndpointId::new(0), *t))
             .collect();
-        let g = Group::new(GroupId::new(0), files.iter().map(|f| f.path.clone()).collect());
+        let g = Group::new(
+            GroupId::new(0),
+            files.iter().map(|f| f.path.clone()).collect(),
+        );
         Family::new(FamilyId::new(0), files, vec![g], EndpointId::new(0))
     }
 
     #[test]
     fn extracts_dimensions_and_stats() {
         let mut src = MapSource::new();
-        src.insert("/t.csv", b"year,temp\n2000,14.3\n2001,14.5\n2002,14.9\n".to_vec());
+        src.insert(
+            "/t.csv",
+            b"year,temp\n2000,14.3\n2001,14.5\n2002,14.9\n".to_vec(),
+        );
         let fam = family(&[("/t.csv", FileType::Tabular)]);
         let out = TabularExtractor.extract(&fam, &src).unwrap();
         let md = &out.per_file[0].1;
@@ -113,18 +119,27 @@ mod tests {
     #[test]
     fn unparseable_table_discovers_free_text() {
         let mut src = MapSource::new();
-        src.insert("/notes.csv", b"this file is actually prose\nnot a table at all\n".to_vec());
+        src.insert(
+            "/notes.csv",
+            b"this file is actually prose\nnot a table at all\n".to_vec(),
+        );
         let fam = family(&[("/notes.csv", FileType::Tabular)]);
         let out = TabularExtractor.extract(&fam, &src).unwrap();
         assert!(out.per_file[0].1.contains("error"));
-        assert_eq!(out.discovered, vec![("/notes.csv".to_string(), FileType::FreeText)]);
+        assert_eq!(
+            out.discovered,
+            vec![("/notes.csv".to_string(), FileType::FreeText)]
+        );
     }
 
     #[test]
     fn only_tabular_files_are_touched() {
         let mut src = MapSource::new();
         src.insert("/t.csv", b"a,b\n1,2\n".to_vec());
-        let fam = family(&[("/t.csv", FileType::Tabular), ("/x.txt", FileType::FreeText)]);
+        let fam = family(&[
+            ("/t.csv", FileType::Tabular),
+            ("/x.txt", FileType::FreeText),
+        ]);
         let out = TabularExtractor.extract(&fam, &src).unwrap();
         assert_eq!(out.per_file.len(), 1);
         assert_eq!(out.family_metadata.get("tables").unwrap(), 1);

@@ -18,10 +18,38 @@ pub const STOPWORDS: &[&str] = &[
 /// Common academic/scientific filler that carries little descriptive
 /// power: down-weighted rather than dropped.
 pub const COMMON_ACADEMIC: &[&str] = &[
-    "data", "results", "method", "methods", "figure", "table", "section", "paper", "study",
-    "analysis", "model", "value", "values", "based", "show", "shown", "present", "work",
-    "approach", "system", "systems", "number", "different", "large", "given", "new", "first",
-    "second", "time", "file", "files", "set",
+    "data",
+    "results",
+    "method",
+    "methods",
+    "figure",
+    "table",
+    "section",
+    "paper",
+    "study",
+    "analysis",
+    "model",
+    "value",
+    "values",
+    "based",
+    "show",
+    "shown",
+    "present",
+    "work",
+    "approach",
+    "system",
+    "systems",
+    "number",
+    "different",
+    "large",
+    "given",
+    "new",
+    "first",
+    "second",
+    "time",
+    "file",
+    "files",
+    "set",
 ];
 
 /// True when the word is a stopword.

@@ -22,7 +22,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use xtract_types::{ContainerId, EndpointId, TaskId, XtractError};
+use xtract_types::{ContainerId, EndpointId, FaultPlan, TaskId, XtractError};
+
+/// A fault plan shared between the service and every worker thread; `None`
+/// injects nothing.
+pub(crate) type SharedFaultPlan = Arc<RwLock<Option<FaultPlan>>>;
 
 use crate::task::FunctionBody;
 
@@ -71,6 +75,8 @@ pub struct EndpointCounters {
     pub executed: AtomicU64,
     /// Tasks marked lost due to allocation expiry.
     pub lost: AtomicU64,
+    /// Tasks whose worker crashed mid-execution (fault injection).
+    pub crashed: AtomicU64,
 }
 
 /// The live compute layer of one endpoint.
@@ -90,6 +96,16 @@ impl ComputeEndpoint {
         config: EndpointConfig,
         statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
     ) -> Self {
+        Self::start_with_faults(config, statuses, Arc::new(RwLock::new(None)))
+    }
+
+    /// [`Self::start`] with a shared fault plan the workers consult —
+    /// worker crashes mid-task and heartbeat loss after execution.
+    pub(crate) fn start_with_faults(
+        config: EndpointConfig,
+        statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
+        faults: SharedFaultPlan,
+    ) -> Self {
         assert!(config.workers > 0, "endpoint needs at least one worker");
         let (tx, rx) = unbounded::<WorkItem>();
         let expired = Arc::new(AtomicBool::new(false));
@@ -101,7 +117,10 @@ impl ComputeEndpoint {
                 let expired = expired.clone();
                 let counters = counters.clone();
                 let cfg = config.clone();
-                std::thread::spawn(move || worker_loop(&rx, &statuses, &expired, &counters, &cfg))
+                let faults = faults.clone();
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &statuses, &expired, &counters, &cfg, &faults)
+                })
             })
             .collect();
         Self {
@@ -136,7 +155,9 @@ impl ComputeEndpoint {
             .as_ref()
             .expect("endpoint running")
             .send(item)
-            .map_err(|e| XtractError::TaskLost { task: e.into_inner().task })
+            .map_err(|e| XtractError::TaskLost {
+                task: e.into_inner().task,
+            })
     }
 
     /// Expires the allocation: queued and in-flight tasks become
@@ -178,6 +199,7 @@ fn worker_loop(
     expired: &AtomicBool,
     counters: &EndpointCounters,
     cfg: &EndpointConfig,
+    faults: &SharedFaultPlan,
 ) {
     // The container this worker currently has warm.
     let mut warm: Option<ContainerId> = None;
@@ -201,12 +223,32 @@ fn worker_loop(
             }
             warm = Some(item.container);
         }
+        // Decisions key on the task id: a resubmitted task gets a fresh id
+        // and therefore a fresh roll, so injected crashes stay transient.
+        let plan = faults.read().clone();
+        if plan
+            .as_ref()
+            .is_some_and(|p| p.worker_crashes(item.task.raw()))
+        {
+            // The container died mid-task: the next task pays a cold start.
+            warm = None;
+            counters.crashed.fetch_add(1, Ordering::Relaxed);
+            statuses.write().insert(
+                item.task,
+                TaskStatus::Failed(XtractError::WorkerCrashed { task: item.task }),
+            );
+            continue;
+        }
         let body = item.body.clone();
         let payload = item.payload.clone();
         let outcome = catch_unwind(AssertUnwindSafe(move || body(payload)));
         // If the allocation expired while we were running, the result never
-        // makes it back (§5.8.1) — the family must be resubmitted.
-        let status = if expired.load(Ordering::Acquire) {
+        // makes it back (§5.8.1) — the family must be resubmitted. An
+        // injected heartbeat loss drops the result the same way.
+        let heartbeat_lost = plan
+            .as_ref()
+            .is_some_and(|p| p.heartbeat_lost(item.task.raw()));
+        let status = if expired.load(Ordering::Acquire) || heartbeat_lost {
             counters.lost.fetch_add(1, Ordering::Relaxed);
             TaskStatus::Lost
         } else {
@@ -257,7 +299,10 @@ mod tests {
     #[test]
     fn executes_tasks_on_workers() {
         let table = statuses();
-        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 4), table.clone());
+        let ep = ComputeEndpoint::start(
+            EndpointConfig::instant(EndpointId::new(0), 4),
+            table.clone(),
+        );
         for i in 0..16 {
             ep.enqueue(WorkItem {
                 task: TaskId::new(i),
@@ -279,7 +324,10 @@ mod tests {
     #[test]
     fn cold_and_warm_starts_are_counted() {
         let table = statuses();
-        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 1), table.clone());
+        let ep = ComputeEndpoint::start(
+            EndpointConfig::instant(EndpointId::new(0), 1),
+            table.clone(),
+        );
         // Same container three times: 1 cold, 2 warm.
         for i in 0..3 {
             ep.enqueue(WorkItem {
@@ -308,7 +356,10 @@ mod tests {
     #[test]
     fn failures_are_reported_not_fatal() {
         let table = statuses();
-        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 1), table.clone());
+        let ep = ComputeEndpoint::start(
+            EndpointConfig::instant(EndpointId::new(0), 1),
+            table.clone(),
+        );
         let failing: FunctionBody = Arc::new(|_| {
             Err(XtractError::ExtractorFailed {
                 extractor: "tabular".into(),
@@ -344,7 +395,10 @@ mod tests {
     #[test]
     fn panicking_body_becomes_failed() {
         let table = statuses();
-        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 1), table.clone());
+        let ep = ComputeEndpoint::start(
+            EndpointConfig::instant(EndpointId::new(0), 1),
+            table.clone(),
+        );
         let bomb: FunctionBody = Arc::new(|_| panic!("kaboom"));
         ep.enqueue(WorkItem {
             task: TaskId::new(0),
@@ -362,7 +416,10 @@ mod tests {
     #[test]
     fn expiry_loses_queued_tasks_and_renewal_recovers() {
         let table = statuses();
-        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 1), table.clone());
+        let ep = ComputeEndpoint::start(
+            EndpointConfig::instant(EndpointId::new(0), 1),
+            table.clone(),
+        );
         ep.expire_allocation();
         assert!(ep.is_expired());
         let err = ep.enqueue(WorkItem {
@@ -372,10 +429,7 @@ mod tests {
             payload: json!(null),
         });
         assert!(matches!(err, Err(XtractError::TaskLost { .. })));
-        assert_eq!(
-            table.read().get(&TaskId::new(0)),
-            Some(&TaskStatus::Lost)
-        );
+        assert_eq!(table.read().get(&TaskId::new(0)), Some(&TaskStatus::Lost));
         ep.renew_allocation();
         ep.enqueue(WorkItem {
             task: TaskId::new(1),
@@ -392,9 +446,77 @@ mod tests {
     }
 
     #[test]
+    fn injected_worker_crash_fails_task_retryably() {
+        let table = statuses();
+        let mut plan = FaultPlan::new(3);
+        plan.worker_crash_rate = 1.0;
+        let faults: SharedFaultPlan = Arc::new(RwLock::new(Some(plan)));
+        let ep = ComputeEndpoint::start_with_faults(
+            EndpointConfig::instant(EndpointId::new(0), 1),
+            table.clone(),
+            faults.clone(),
+        );
+        ep.enqueue(WorkItem {
+            task: TaskId::new(0),
+            container: ContainerId::new(0),
+            body: body_ok(),
+            payload: json!(null),
+        })
+        .unwrap();
+        let status = wait_terminal(&table, TaskId::new(0));
+        assert!(
+            matches!(
+                status,
+                TaskStatus::Failed(XtractError::WorkerCrashed { .. })
+            ),
+            "got {status:?}"
+        );
+        assert_eq!(ep.counters().crashed.load(Ordering::Relaxed), 1);
+        // Disarm the plan: the worker thread itself survived the "crash".
+        *faults.write() = None;
+        ep.enqueue(WorkItem {
+            task: TaskId::new(1),
+            container: ContainerId::new(0),
+            body: body_ok(),
+            payload: json!(1),
+        })
+        .unwrap();
+        assert!(matches!(
+            wait_terminal(&table, TaskId::new(1)),
+            TaskStatus::Done(_)
+        ));
+    }
+
+    #[test]
+    fn injected_heartbeat_loss_reports_lost_after_execution() {
+        let table = statuses();
+        let mut plan = FaultPlan::new(4);
+        plan.heartbeat_loss_rate = 1.0;
+        let faults: SharedFaultPlan = Arc::new(RwLock::new(Some(plan)));
+        let ep = ComputeEndpoint::start_with_faults(
+            EndpointConfig::instant(EndpointId::new(0), 1),
+            table.clone(),
+            faults,
+        );
+        ep.enqueue(WorkItem {
+            task: TaskId::new(0),
+            container: ContainerId::new(0),
+            body: body_ok(),
+            payload: json!(null),
+        })
+        .unwrap();
+        assert_eq!(wait_terminal(&table, TaskId::new(0)), TaskStatus::Lost);
+        // The body ran (the result was computed, then dropped in flight).
+        assert_eq!(ep.counters().lost.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
     fn drop_joins_cleanly_with_pending_work() {
         let table = statuses();
-        let ep = ComputeEndpoint::start(EndpointConfig::instant(EndpointId::new(0), 2), table.clone());
+        let ep = ComputeEndpoint::start(
+            EndpointConfig::instant(EndpointId::new(0), 2),
+            table.clone(),
+        );
         for i in 0..64 {
             ep.enqueue(WorkItem {
                 task: TaskId::new(i),

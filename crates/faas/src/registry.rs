@@ -214,7 +214,12 @@ mod tests {
         let docker = r.register_container("kw:1", ContainerRuntime::Docker, 0);
         // Registering for both endpoints keeps only the Docker one.
         let f = r
-            .register_function("kw", docker, &[EndpointId::new(0), EndpointId::new(1)], noop())
+            .register_function(
+                "kw",
+                docker,
+                &[EndpointId::new(0), EndpointId::new(1)],
+                noop(),
+            )
             .unwrap();
         assert_eq!(r.endpoints_for(f), vec![EndpointId::new(0)]);
         assert!(r.resolve(f, EndpointId::new(1)).is_err());

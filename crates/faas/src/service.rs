@@ -11,7 +11,7 @@
 //! [`FaasService::expire_endpoint`], polls report in-flight tasks as
 //! [`TaskStatus::Lost`], and the orchestrator resubmits (§5.8.1).
 
-use crate::endpoint::{ComputeEndpoint, EndpointConfig, WorkItem};
+use crate::endpoint::{ComputeEndpoint, EndpointConfig, SharedFaultPlan, WorkItem};
 use crate::registry::FunctionRegistry;
 use crate::task::{PolledTask, TaskSpec, TaskStatus};
 use parking_lot::RwLock;
@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use xtract_types::id::IdAllocator;
-use xtract_types::{EndpointId, Result, TaskId, XtractError};
+use xtract_types::{EndpointId, FaultPlan, FaultScope, Result, TaskId, XtractError};
 
 /// Aggregate service statistics.
 #[derive(Debug, Default)]
@@ -41,6 +41,10 @@ pub struct FaasService {
     task_endpoint: RwLock<HashMap<TaskId, EndpointId>>,
     ids: IdAllocator,
     stats: ServiceStats,
+    fault: SharedFaultPlan,
+    /// Monotonic batch-submit counter — the operation index FaaS blackout
+    /// windows are expressed in.
+    submit_ops: AtomicU64,
 }
 
 impl FaasService {
@@ -53,6 +57,8 @@ impl FaasService {
             task_endpoint: RwLock::new(HashMap::new()),
             ids: IdAllocator::new(),
             stats: ServiceStats::default(),
+            fault: Arc::new(RwLock::new(None)),
+            submit_ops: AtomicU64::new(0),
         }
     }
 
@@ -61,9 +67,26 @@ impl FaasService {
         &self.registry
     }
 
+    /// Arms a structured fault plan. Endpoint blackouts apply at submit
+    /// time; worker-crash and heartbeat-loss rates reach every connected
+    /// endpoint's workers through a shared slot, so arming after
+    /// connection still takes effect.
+    pub fn arm_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.write() = Some(plan);
+    }
+
+    /// Disables fault injection.
+    pub fn clear_faults(&self) {
+        *self.fault.write() = None;
+    }
+
     /// Connects an endpoint's compute layer (spawns its worker pool).
     pub fn connect_endpoint(&self, config: EndpointConfig) -> Arc<ComputeEndpoint> {
-        let ep = Arc::new(ComputeEndpoint::start(config, self.statuses.clone()));
+        let ep = Arc::new(ComputeEndpoint::start_with_faults(
+            config,
+            self.statuses.clone(),
+            self.fault.clone(),
+        ));
         self.endpoints.write().insert(ep.id(), ep.clone());
         ep
     }
@@ -85,11 +108,23 @@ impl FaasService {
         self.stats
             .tasks_submitted
             .fetch_add(specs.len() as u64, Ordering::Relaxed);
+        let op = self.submit_ops.fetch_add(1, Ordering::Relaxed);
+        let plan = self.fault.read().clone();
         let mut out = Vec::with_capacity(specs.len());
         for spec in specs {
             let id = TaskId::new(self.ids.next());
             out.push(id);
             self.task_endpoint.write().insert(id, spec.endpoint);
+            // A blacked-out endpoint swallows its submissions: the tasks
+            // are never acknowledged and the next heartbeat reports them
+            // lost, exactly like an allocation expiry (§5.8.1).
+            if plan.as_ref().is_some_and(|p| {
+                p.blackout_at(spec.endpoint, op, FaultScope::Compute)
+                    .is_some()
+            }) {
+                self.statuses.write().insert(id, TaskStatus::Lost);
+                continue;
+            }
             match self.route(id, spec) {
                 Ok(()) => {}
                 Err(e) => {
@@ -327,6 +362,56 @@ mod tests {
         r.svc.renew_endpoint(r.ep);
         let resubmit: Vec<TaskSpec> = lost.iter().map(|_| specs(&r, 1).remove(0)).collect();
         let ids2 = r.svc.batch_submit(&resubmit);
+        assert!(r.svc.wait_all(&ids2, Duration::from_secs(5)));
+        assert!(r
+            .svc
+            .batch_poll(&ids2)
+            .iter()
+            .all(|p| matches!(p.status, TaskStatus::Done(_))));
+    }
+
+    #[test]
+    fn blackout_window_loses_submissions_then_recovers() {
+        let r = rig(2);
+        let mut plan = FaultPlan::new(8);
+        plan.blackouts.push(xtract_types::Blackout::new(r.ep, 0, 1));
+        r.svc.arm_fault_plan(plan);
+        // Batch op 0: inside the window — every task is lost.
+        let ids = r.svc.batch_submit(&specs(&r, 3));
+        assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+        assert_eq!(r.svc.lost_tasks(&ids).len(), 3);
+        // Batch op 1: past the window — the endpoint is back.
+        let ids2 = r.svc.batch_submit(&specs(&r, 3));
+        assert!(r.svc.wait_all(&ids2, Duration::from_secs(5)));
+        assert!(r
+            .svc
+            .batch_poll(&ids2)
+            .iter()
+            .all(|p| matches!(p.status, TaskStatus::Done(_))));
+    }
+
+    #[test]
+    fn armed_crash_plan_reaches_connected_workers() {
+        let r = rig(1);
+        let mut plan = FaultPlan::new(5);
+        plan.worker_crash_rate = 1.0;
+        // Armed after connect_endpoint: the shared slot still applies.
+        r.svc.arm_fault_plan(plan);
+        let ids = r.svc.batch_submit(&specs(&r, 2));
+        assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+        for p in r.svc.batch_poll(&ids) {
+            assert!(
+                matches!(
+                    p.status,
+                    TaskStatus::Failed(XtractError::WorkerCrashed { .. })
+                ),
+                "got {:?}",
+                p.status
+            );
+        }
+        // Clearing the plan restores the fabric.
+        r.svc.clear_faults();
+        let ids2 = r.svc.batch_submit(&specs(&r, 2));
         assert!(r.svc.wait_all(&ids2, Duration::from_secs(5)));
         assert!(r
             .svc

@@ -146,7 +146,11 @@ impl SearchIndex {
         let slot = inner.docs.len() as u32;
         let mut counts = HashMap::new();
         let mut total = 0u32;
-        collect_terms(&Value::Object(record.document.0.clone()), &mut counts, &mut total);
+        collect_terms(
+            &Value::Object(record.document.0.clone()),
+            &mut counts,
+            &mut total,
+        );
         for t in &record.extractors {
             for tok in tokenize(t) {
                 *counts.entry(tok).or_insert(0) += 1;
@@ -154,7 +158,11 @@ impl SearchIndex {
             }
         }
         for (term, tf) in counts {
-            inner.postings.entry(term).or_default().push(Posting { doc: slot, tf });
+            inner
+                .postings
+                .entry(term)
+                .or_default()
+                .push(Posting { doc: slot, tf });
         }
         inner.doc_len.push(total.max(1));
         inner.by_family.insert(record.family, slot);
@@ -188,11 +196,7 @@ impl SearchIndex {
         // Score term clauses.
         let mut scores: HashMap<u32, f64> = HashMap::new();
         let mut matched_terms: HashMap<u32, usize> = HashMap::new();
-        let terms: Vec<String> = query
-            .terms
-            .iter()
-            .flat_map(|t| tokenize(t))
-            .collect();
+        let terms: Vec<String> = query.terms.iter().flat_map(|t| tokenize(t)).collect();
         for term in &terms {
             if let Some(postings) = inner.postings.get(term) {
                 let idf = (n_docs / postings.len() as f64).ln() + 1.0;
@@ -237,7 +241,10 @@ impl SearchIndex {
     /// Facet counts: distinct values of `field` (dotted path) across all
     /// documents matching `query`.
     pub fn facet(&self, query: &Query, field: &str) -> BTreeMap<String, u64> {
-        let hits = self.search(&Query { limit: usize::MAX, ..query.clone() });
+        let hits = self.search(&Query {
+            limit: usize::MAX,
+            ..query.clone()
+        });
         let inner = self.inner.read();
         let mut out = BTreeMap::new();
         for hit in hits {
@@ -284,20 +291,29 @@ mod tests {
 
     fn sample_index() -> SearchIndex {
         let idx = SearchIndex::new();
-        idx.ingest(record(1, json!({
-            "keyword": {"keywords": [{"word": "perovskite", "weight": 0.8}]},
-            "matio": {"formula": "Si8 O16", "converged": true, "final_energy_ev": -102.5}
-        })));
-        idx.ingest(record(2, json!({
-            "keyword": {"keywords": [{"word": "graphene", "weight": 0.9}]},
-            "tabular": {"rows": 500}
-        })));
-        idx.ingest(record(3, json!({
-            "keyword": {"keywords": [
-                {"word": "perovskite", "weight": 0.5},
-                {"word": "graphene", "weight": 0.4}
-            ]}
-        })));
+        idx.ingest(record(
+            1,
+            json!({
+                "keyword": {"keywords": [{"word": "perovskite", "weight": 0.8}]},
+                "matio": {"formula": "Si8 O16", "converged": true, "final_energy_ev": -102.5}
+            }),
+        ));
+        idx.ingest(record(
+            2,
+            json!({
+                "keyword": {"keywords": [{"word": "graphene", "weight": 0.9}]},
+                "tabular": {"rows": 500}
+            }),
+        ));
+        idx.ingest(record(
+            3,
+            json!({
+                "keyword": {"keywords": [
+                    {"word": "perovskite", "weight": 0.5},
+                    {"word": "graphene", "weight": 0.4}
+                ]}
+            }),
+        ));
         idx
     }
 
@@ -364,7 +380,10 @@ mod tests {
     #[test]
     fn reingestion_replaces() {
         let idx = sample_index();
-        idx.ingest(record(1, json!({"keyword": {"keywords": [{"word": "zeolite"}]}})));
+        idx.ingest(record(
+            1,
+            json!({"keyword": {"keywords": [{"word": "zeolite"}]}}),
+        ));
         assert_eq!(idx.stats().documents, 3);
         assert!(idx.search(&Query::terms(&["zeolite"])).len() == 1);
         // The old content of family 1 no longer matches.

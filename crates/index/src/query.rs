@@ -38,22 +38,33 @@ pub enum Filter {
 impl Filter {
     /// Equality filter.
     pub fn eq(field: impl Into<String>, value: Value) -> Self {
-        Filter::Eq { field: field.into(), value }
+        Filter::Eq {
+            field: field.into(),
+            value,
+        }
     }
 
     /// Greater-than filter.
     pub fn gt(field: impl Into<String>, bound: f64) -> Self {
-        Filter::Gt { field: field.into(), bound }
+        Filter::Gt {
+            field: field.into(),
+            bound,
+        }
     }
 
     /// Less-than filter.
     pub fn lt(field: impl Into<String>, bound: f64) -> Self {
-        Filter::Lt { field: field.into(), bound }
+        Filter::Lt {
+            field: field.into(),
+            bound,
+        }
     }
 
     /// Existence filter.
     pub fn exists(field: impl Into<String>) -> Self {
-        Filter::Exists { field: field.into() }
+        Filter::Exists {
+            field: field.into(),
+        }
     }
 
     /// Evaluates the filter against a record document.

@@ -157,35 +157,35 @@ pub mod extractor_cost {
     pub fn lognormal_params(extractor: &str) -> (f64, f64) {
         // mean m, shape s  =>  mu = ln(m) - s²/2.
         let (mean, sigma): (f64, f64) = match extractor {
-            "keyword" => (2.76, 0.8),       // Table 3
-            "tabular" => (0.21, 0.6),       // Table 3
-            "null-value" => (0.84, 0.5),    // Table 3
-            "images" => (1.06, 0.7),        // Table 3
-            "image-sort" => (1.9, 0.4),     // §5.2 short-duration task
-            "imagenet" => (2.4, 0.5),       // FREE
-            "hierarchical" => (2.2, 0.6),   // Table 3
+            "keyword" => (2.76, 0.8),         // Table 3
+            "tabular" => (0.21, 0.6),         // Table 3
+            "null-value" => (0.84, 0.5),      // Table 3
+            "images" => (1.06, 0.7),          // Table 3
+            "image-sort" => (1.9, 0.4),       // §5.2 short-duration task
+            "imagenet" => (2.4, 0.5),         // FREE
+            "hierarchical" => (2.2, 0.6),     // Table 3
             "semi-structured" => (0.35, 0.6), // FREE: json/xml walk
-            "python" => (0.5, 0.5),         // FREE
-            "c" => (0.5, 0.5),              // FREE
-            "bert" => (6.0, 0.7),           // FREE: model-based, slow
-            "matio" => (8.0, 1.0),          // §5.2 long-duration task
+            "python" => (0.5, 0.5),           // FREE
+            "c" => (0.5, 0.5),                // FREE
+            "bert" => (6.0, 0.7),             // FREE: model-based, slow
+            "matio" => (8.0, 1.0),            // §5.2 long-duration task
             // The Fig. 5 batching workload: "100 000 MaterialsIO tasks"
             // whose ≈300 tasks/s ceiling on 224 Midway workers implies
             // ≈0.6 core-seconds per task — the small-group end of the
             // MaterialsIO mix. FREE.
             "matio-lite" => (0.6, 0.6),
-            "compressed" => (1.2, 0.8),     // FREE
+            "compressed" => (1.2, 0.8), // FREE
             // CDIAC's junk stratum (error logs, shortcuts, zero-byte
             // droppings): the keyword extractor shrugs them off almost
             // instantly. FREE.
             "junk" => (0.05, 0.5),
             // Fig. 8's per-class MDF extractors.
-            "ase" => (2200.0, 1.3),         // multi-hour tail (Fig. 8 bottom)
-            "yaml" => (0.30, 0.6),          // FREE: small config files
-            "csv" => (0.45, 0.7),           // FREE
-            "xml" => (0.40, 0.7),           // FREE
-            "json" => (0.35, 0.7),          // FREE
-            "dft" => (25.0, 1.1),           // FREE: heavier parse
+            "ase" => (2200.0, 1.3), // multi-hour tail (Fig. 8 bottom)
+            "yaml" => (0.30, 0.6),  // FREE: small config files
+            "csv" => (0.45, 0.7),   // FREE
+            "xml" => (0.40, 0.7),   // FREE
+            "json" => (0.35, 0.7),  // FREE
+            "dft" => (25.0, 1.1),   // FREE: heavier parse
             _ => (1.0, 0.6),
         };
         (mean.ln() - sigma * sigma / 2.0, sigma)
@@ -205,8 +205,7 @@ mod tests {
         for (name, want) in [("keyword", 2.76), ("tabular", 0.21), ("hierarchical", 2.2)] {
             let (mu, sigma) = extractor_cost::lognormal_params(name);
             let n = 60_000;
-            let mean: f64 =
-                (0..n).map(|_| lognormal(&mut rng, mu, sigma)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| lognormal(&mut rng, mu, sigma)).sum::<f64>() / n as f64;
             assert!(
                 (mean / want - 1.0).abs() < 0.08,
                 "{name}: sampled mean {mean:.3} vs calibrated {want}"

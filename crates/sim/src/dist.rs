@@ -56,7 +56,10 @@ impl Categorical {
     /// Builds from weights. Panics if all weights are zero or any is
     /// negative/non-finite.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "categorical needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "categorical needs at least one outcome"
+        );
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
@@ -73,7 +76,9 @@ impl Categorical {
         let total = *self.cumulative.last().expect("nonempty");
         let x: f64 = rng.gen_range(0.0..total);
         // partition_point: first index whose cumulative exceeds x.
-        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Number of outcomes.
@@ -124,7 +129,10 @@ mod tests {
         samples.sort_by(f64::total_cmp);
         let median = samples[5000];
         let expected = 3.0f64.exp();
-        assert!((median / expected - 1.0).abs() < 0.15, "median {median} vs {expected}");
+        assert!(
+            (median / expected - 1.0).abs() < 0.15,
+            "median {median} vs {expected}"
+        );
     }
 
     #[test]

@@ -90,7 +90,12 @@ impl FairShareLink {
         if bytes == 0 {
             self.completed.push((now, id));
         } else {
-            self.streams.insert(id, Stream { remaining: bytes as f64 });
+            self.streams.insert(
+                id,
+                Stream {
+                    remaining: bytes as f64,
+                },
+            );
         }
         id
     }
@@ -137,11 +142,11 @@ impl FairShareLink {
             // is zero forever. Its completion instant *is* now — retire
             // the minimum-remaining stream explicitly.
             if done.is_empty() && credit <= 0.0 && first <= to {
-                if let Some((&id, _)) = self
-                    .streams
-                    .iter()
-                    .min_by(|a, b| a.1.remaining.total_cmp(&b.1.remaining).then(a.0 .0.cmp(&b.0 .0)))
-                {
+                if let Some((&id, _)) = self.streams.iter().min_by(|a, b| {
+                    a.1.remaining
+                        .total_cmp(&b.1.remaining)
+                        .then(a.0 .0.cmp(&b.0 .0))
+                }) {
                     self.bytes_moved += self.streams[&id].remaining.max(0.0);
                     done.push(id);
                 }
@@ -352,7 +357,7 @@ mod tests {
         link.start(SimTime::ZERO, 1000);
         link.advance(t(4.0)); // 400 bytes done
         link.start(t(4.0), 600); // now two streams at 50 B/s each
-        // First: 600 left / 50 => t=16; second: 600/50 => t=16 too.
+                                 // First: 600 left / 50 => t=16; second: 600/50 => t=16 too.
         assert_eq!(link.next_completion(), Some(t(16.0)));
     }
 
@@ -361,7 +366,10 @@ mod tests {
         // 4 equal jobs, 2 slots, bandwidth 100: first pair shares (finish
         // 20s), second pair runs 20..40.
         let jobs = vec![
-            TransferJob { ready: SimTime::ZERO, bytes: 1000 };
+            TransferJob {
+                ready: SimTime::ZERO,
+                bytes: 1000
+            };
             4
         ];
         let out = simulate_transfers(100.0, f64::INFINITY, TransferSlots::new(2), &jobs);
@@ -374,7 +382,10 @@ mod tests {
     #[test]
     fn unlimited_slots_is_pure_fair_share() {
         let jobs = vec![
-            TransferJob { ready: SimTime::ZERO, bytes: 1000 };
+            TransferJob {
+                ready: SimTime::ZERO,
+                bytes: 1000
+            };
             10
         ];
         let out = simulate_transfers(100.0, f64::INFINITY, TransferSlots::new(100), &jobs);
@@ -403,8 +414,14 @@ mod tests {
     #[test]
     fn later_arrivals_wait_for_ready_time() {
         let jobs = vec![
-            TransferJob { ready: SimTime::ZERO, bytes: 100 },
-            TransferJob { ready: t(50.0), bytes: 100 },
+            TransferJob {
+                ready: SimTime::ZERO,
+                bytes: 100,
+            },
+            TransferJob {
+                ready: t(50.0),
+                bytes: 100,
+            },
         ];
         let out = simulate_transfers(10.0, f64::INFINITY, TransferSlots::new(8), &jobs);
         assert_eq!(out[0].finish, t(10.0));
@@ -417,7 +434,10 @@ mod tests {
         // 10 jobs, cap 10 B/s per stream, aggregate 1000: no sharing
         // pressure, each takes bytes/cap.
         let jobs = vec![
-            TransferJob { ready: SimTime::ZERO, bytes: 100 };
+            TransferJob {
+                ready: SimTime::ZERO,
+                bytes: 100
+            };
             10
         ];
         let out = simulate_transfers(1000.0, 10.0, TransferSlots::new(10), &jobs);

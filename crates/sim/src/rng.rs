@@ -65,8 +65,16 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let s = RngStreams::new(42);
-        let a: Vec<u32> = s.stream("crawler").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = s.stream("crawler").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = s
+            .stream("crawler")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = s
+            .stream("crawler")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

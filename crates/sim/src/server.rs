@@ -97,7 +97,10 @@ impl ServerPool {
 
     /// The earliest instant at which any server is free.
     pub fn earliest_free(&self) -> SimTime {
-        self.free_at.peek().map(|Reverse((t, _))| *t).unwrap_or(SimTime::ZERO)
+        self.free_at
+            .peek()
+            .map(|Reverse((t, _))| *t)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// The instant at which *all* servers are free — i.e. the pool's

@@ -45,7 +45,9 @@ pub fn parser_for_mime(mime: &str) -> Option<ExtractorKind> {
     Some(match mime {
         // text/plain always goes to the text parser — even when the file
         // is a table (the §6 criticism).
-        "text/plain" | "application/pdf" | "application/msword"
+        "text/plain"
+        | "application/pdf"
+        | "application/msword"
         | "application/vnd.ms-powerpoint" => ExtractorKind::Keyword,
         "text/csv" | "text/tab-separated-values" | "application/vnd.ms-excel" => {
             ExtractorKind::Tabular
@@ -72,10 +74,7 @@ mod tests {
         // Both a README and a data table map to text/plain → Keyword.
         assert_eq!(mime_for_path("/x/README.txt"), "text/plain");
         assert_eq!(mime_for_path("/x/table.dat"), "text/plain");
-        assert_eq!(
-            parser_for_mime("text/plain"),
-            Some(ExtractorKind::Keyword)
-        );
+        assert_eq!(parser_for_mime("text/plain"), Some(ExtractorKind::Keyword));
     }
 
     #[test]

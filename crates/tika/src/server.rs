@@ -75,7 +75,9 @@ impl TikaServer {
         let mut paths = Vec::new();
         let mut stack = vec![root.to_string()];
         while let Some(dir) = stack.pop() {
-            let Ok(entries) = backend.list(&dir) else { continue };
+            let Ok(entries) = backend.list(&dir) else {
+                continue;
+            };
             for e in entries {
                 let child = if dir == "/" {
                     format!("/{}", e.name)
@@ -185,8 +187,15 @@ fn process_one(
     }
     let record = FileRecord::new(path, size, EndpointId::new(0), hint);
     let group = Group::new(GroupId::new(0), vec![record.path.clone()]);
-    let family = Family::new(FamilyId::new(0), vec![record.clone()], vec![group], EndpointId::new(0));
-    let source = BackendSource { backend: backend.clone() };
+    let family = Family::new(
+        FamilyId::new(0),
+        vec![record.clone()],
+        vec![group],
+        EndpointId::new(0),
+    );
+    let source = BackendSource {
+        backend: backend.clone(),
+    };
     match library[&kind].extract(&family, &source) {
         Ok(out) => {
             let mut error = None;
@@ -259,14 +268,22 @@ mod tests {
 
     fn backend() -> Arc<dyn StorageBackend> {
         let fs = MemFs::new(EndpointId::new(0));
-        fs.write("/data/notes.txt", Bytes::from_static(b"graphene conductivity measurements"))
+        fs.write(
+            "/data/notes.txt",
+            Bytes::from_static(b"graphene conductivity measurements"),
+        )
+        .unwrap();
+        fs.write("/data/obs.csv", Bytes::from_static(b"a,b\n1,2\n3,4\n"))
             .unwrap();
-        fs.write("/data/obs.csv", Bytes::from_static(b"a,b\n1,2\n3,4\n")).unwrap();
         // Tabular content hiding in a .txt: Tika misroutes to keyword.
-        fs.write("/data/table.txt", Bytes::from_static(b"x,y\n1,2\n3,4\n")).unwrap();
-        // Extension-less VASP file: octet-stream.
-        fs.write("/data/OUTCAR", Bytes::from_static(b"free energy TOTEN = -1.0 eV\n"))
+        fs.write("/data/table.txt", Bytes::from_static(b"x,y\n1,2\n3,4\n"))
             .unwrap();
+        // Extension-less VASP file: octet-stream.
+        fs.write(
+            "/data/OUTCAR",
+            Bytes::from_static(b"free energy TOTEN = -1.0 eV\n"),
+        )
+        .unwrap();
         Arc::new(fs)
     }
 
@@ -300,7 +317,11 @@ mod tests {
     fn octet_stream_files_get_size_only() {
         let b = backend();
         let report = TikaServer::new(1).process(&b, "/data");
-        let outcar = report.outputs.iter().find(|o| o.path == "/data/OUTCAR").unwrap();
+        let outcar = report
+            .outputs
+            .iter()
+            .find(|o| o.path == "/data/OUTCAR")
+            .unwrap();
         assert!(outcar.parser.is_none());
         assert_eq!(outcar.metadata.get("size").unwrap(), 28);
         assert!(outcar.error.is_none());

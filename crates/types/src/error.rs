@@ -26,13 +26,20 @@ pub enum XtractError {
     /// model": Globus Auth scopes).
     AuthDenied { scope: String },
     /// A transfer failed or was faulted by the failure injector.
-    TransferFailed { transfer: TransferId, reason: String },
+    TransferFailed {
+        transfer: TransferId,
+        reason: String,
+    },
     /// A FaaS task was lost — e.g. the endpoint's allocation expired
     /// (§5.8.1: "funcX returns a heartbeat ... stating that a family's task
     /// id is lost").
     TaskLost { task: TaskId },
     /// The extractor raised while parsing (poisoned/corrupt file).
-    ExtractorFailed { extractor: String, path: String, reason: String },
+    ExtractorFailed {
+        extractor: String,
+        path: String,
+        reason: String,
+    },
     /// No endpoint in the job can execute the required container (§4.1:
     /// "extractors whose containers are only available in Docker may not be
     /// run on Singularity-only systems").
@@ -46,6 +53,15 @@ pub enum XtractError {
     CheckpointCorrupt { reason: String },
     /// Catch-all for configuration mistakes caught at job-submission time.
     InvalidJob { reason: String },
+    /// The endpoint is dark — a blackout window covers it, or its circuit
+    /// breaker tripped after consecutive failures.
+    EndpointDown { endpoint: EndpointId },
+    /// The worker executing a task crashed mid-execution (container died,
+    /// node OOM). The task itself can be resubmitted.
+    WorkerCrashed { task: TaskId },
+    /// An orchestrator invariant broke; surfaced as a record, never a
+    /// panic.
+    Internal { reason: String },
 }
 
 impl std::fmt::Display for XtractError {
@@ -60,12 +76,18 @@ impl std::fmt::Display for XtractError {
             XtractError::ContentsNotMaterialized { endpoint, path } => {
                 write!(f, "{endpoint}: contents of {path:?} are a statistical stub")
             }
-            XtractError::AuthDenied { scope } => write!(f, "authorization denied for scope {scope:?}"),
+            XtractError::AuthDenied { scope } => {
+                write!(f, "authorization denied for scope {scope:?}")
+            }
             XtractError::TransferFailed { transfer, reason } => {
                 write!(f, "{transfer} failed: {reason}")
             }
             XtractError::TaskLost { task } => write!(f, "{task} lost (allocation expired?)"),
-            XtractError::ExtractorFailed { extractor, path, reason } => {
+            XtractError::ExtractorFailed {
+                extractor,
+                path,
+                reason,
+            } => {
                 write!(f, "extractor {extractor} failed on {path:?}: {reason}")
             }
             XtractError::NoCompatibleEndpoint { container } => {
@@ -79,6 +101,13 @@ impl std::fmt::Display for XtractError {
             }
             XtractError::CheckpointCorrupt { reason } => write!(f, "checkpoint corrupt: {reason}"),
             XtractError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
+            XtractError::EndpointDown { endpoint } => {
+                write!(f, "{endpoint} is down (blackout or open breaker)")
+            }
+            XtractError::WorkerCrashed { task } => {
+                write!(f, "worker crashed while executing {task}")
+            }
+            XtractError::Internal { reason } => write!(f, "internal error: {reason}"),
         }
     }
 }
@@ -91,7 +120,10 @@ impl XtractError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            XtractError::TransferFailed { .. } | XtractError::TaskLost { .. }
+            XtractError::TransferFailed { .. }
+                | XtractError::TaskLost { .. }
+                | XtractError::EndpointDown { .. }
+                | XtractError::WorkerCrashed { .. }
         )
     }
 }
@@ -112,7 +144,22 @@ mod tests {
 
     #[test]
     fn retryability_matches_transience() {
-        assert!(XtractError::TaskLost { task: TaskId::new(1) }.is_retryable());
+        assert!(XtractError::TaskLost {
+            task: TaskId::new(1)
+        }
+        .is_retryable());
+        assert!(XtractError::EndpointDown {
+            endpoint: EndpointId::new(2)
+        }
+        .is_retryable());
+        assert!(XtractError::WorkerCrashed {
+            task: TaskId::new(3)
+        }
+        .is_retryable());
+        assert!(!XtractError::Internal {
+            reason: "bug".into()
+        }
+        .is_retryable());
         assert!(XtractError::TransferFailed {
             transfer: TransferId::new(1),
             reason: "link flap".into()
@@ -124,12 +171,17 @@ mod tests {
             reason: "bad utf8".into()
         }
         .is_retryable());
-        assert!(!XtractError::AuthDenied { scope: "transfer".into() }.is_retryable());
+        assert!(!XtractError::AuthDenied {
+            scope: "transfer".into()
+        }
+        .is_retryable());
     }
 
     #[test]
     fn errors_serialize_for_checkpoints() {
-        let e = XtractError::TaskLost { task: TaskId::new(9) };
+        let e = XtractError::TaskLost {
+            task: TaskId::new(9),
+        };
         let json = serde_json::to_string(&e).unwrap();
         let back: XtractError = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);

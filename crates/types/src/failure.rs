@@ -1,0 +1,218 @@
+//! Typed terminal-failure records.
+//!
+//! When the orchestrator gives up on a family it must say *why* in a form
+//! tests and operators can match on — the seed's `(FamilyId, String)`
+//! tuples forced substring assertions like `reason.contains("prefetch")`.
+//! A [`DeadLetter`] instead carries a structured [`FailureReason`], the
+//! attempt count, and a timeline of the events that led there, and it
+//! serializes so checkpoints and campaign reports can persist it.
+
+use crate::error::XtractError;
+use crate::extractor::ExtractorKind;
+use crate::id::{EndpointId, FamilyId};
+use serde::{Deserialize, Serialize};
+
+/// Why a family was terminally abandoned.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureReason {
+    /// Staging the family's bytes to an execution endpoint failed after
+    /// exhausting the transfer retry budget.
+    PrefetchFailed {
+        /// The endpoint the stage targeted on the final attempt.
+        endpoint: EndpointId,
+        /// The last transfer error observed.
+        error: XtractError,
+    },
+    /// An extraction step kept failing or losing tasks until the family's
+    /// retry budget ran out.
+    RetryBudgetExhausted {
+        /// The extractor being attempted when the budget expired.
+        extractor: ExtractorKind,
+        /// The last error observed.
+        error: XtractError,
+    },
+    /// Every candidate endpoint was unhealthy (breaker open) or incapable,
+    /// and probing the family's home endpoint kept failing.
+    NoHealthyEndpoint {
+        /// The family's preferred endpoint.
+        endpoint: EndpointId,
+    },
+    /// An extractor failed terminally on the family's bytes (poisoned or
+    /// junk files, §2.3) — retrying cannot help.
+    ExtractionFailed {
+        /// The extractor that rejected the family.
+        extractor: ExtractorKind,
+        /// The extractor's complaint.
+        error: String,
+    },
+    /// The family's merged record failed schema validation.
+    ValidationRejected {
+        /// Schema name.
+        schema: String,
+        /// Validator's complaint.
+        reason: String,
+    },
+    /// An invariant the orchestrator relies on broke (a bug surfaced as a
+    /// record instead of a panic).
+    Internal {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl FailureReason {
+    /// Short machine-friendly label, used in stats maps and log lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FailureReason::PrefetchFailed { .. } => "prefetch",
+            FailureReason::RetryBudgetExhausted { .. } => "retry-budget",
+            FailureReason::NoHealthyEndpoint { .. } => "no-healthy-endpoint",
+            FailureReason::ExtractionFailed { .. } => "extraction",
+            FailureReason::ValidationRejected { .. } => "validation",
+            FailureReason::Internal { .. } => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureReason::PrefetchFailed { endpoint, error } => {
+                write!(f, "prefetch to {endpoint} failed: {error}")
+            }
+            FailureReason::RetryBudgetExhausted { extractor, error } => {
+                write!(f, "retry budget exhausted on {extractor:?}: {error}")
+            }
+            FailureReason::NoHealthyEndpoint { endpoint } => {
+                write!(f, "no healthy endpoint (home {endpoint} dark)")
+            }
+            FailureReason::ExtractionFailed { extractor, error } => {
+                write!(f, "extraction failed on {extractor:?}: {error}")
+            }
+            FailureReason::ValidationRejected { schema, reason } => {
+                write!(f, "validation against {schema:?} rejected: {reason}")
+            }
+            FailureReason::Internal { reason } => write!(f, "internal: {reason}"),
+        }
+    }
+}
+
+/// One entry in a dead letter's timeline: something went wrong (or was
+/// recovered from) at a given logical instant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Logical instant: the extraction wave (live mode) or tick (sim mode)
+    /// at which the event occurred. Zero for pre-wave stages like prefetch.
+    pub wave: u64,
+    /// The endpoint involved.
+    pub endpoint: EndpointId,
+    /// What happened — e.g. `"task lost"`, `"transfer fault (attempt 2)"`,
+    /// `"rerouted to ep-2"`.
+    pub note: String,
+}
+
+/// The terminal record for a family the orchestrator gave up on.
+///
+/// Every family a job ingests ends in exactly one place: the report's
+/// `records` (success) or its dead-letter list (this type). The chaos
+/// tests assert that partition holds at every fault rate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadLetter {
+    /// The abandoned family.
+    pub family: FamilyId,
+    /// Why it was abandoned.
+    pub reason: FailureReason,
+    /// Total attempts charged against the family's retry budget.
+    pub attempts: u32,
+    /// What happened along the way, in order.
+    pub timeline: Vec<FailureEvent>,
+}
+
+impl DeadLetter {
+    /// A dead letter with an empty timeline.
+    pub fn new(family: FamilyId, reason: FailureReason, attempts: u32) -> Self {
+        Self {
+            family,
+            reason,
+            attempts,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// A stable key for set comparisons across runs (family + reason kind).
+    pub fn key(&self) -> (FamilyId, &'static str) {
+        (self.family, self.reason.kind())
+    }
+}
+
+impl std::fmt::Display for DeadLetter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} after {} attempt(s)",
+            self.family, self.reason, self.attempts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::TaskId;
+
+    fn letter() -> DeadLetter {
+        let mut dl = DeadLetter::new(
+            FamilyId::new(3),
+            FailureReason::RetryBudgetExhausted {
+                extractor: ExtractorKind::Keyword,
+                error: XtractError::TaskLost {
+                    task: TaskId::new(9),
+                },
+            },
+            12,
+        );
+        dl.timeline.push(FailureEvent {
+            wave: 2,
+            endpoint: EndpointId::new(1),
+            note: "task lost".into(),
+        });
+        dl
+    }
+
+    #[test]
+    fn display_names_family_reason_and_attempts() {
+        let s = letter().to_string();
+        assert!(s.contains("fam-3"), "got {s}");
+        assert!(s.contains("retry budget"), "got {s}");
+        assert!(s.contains("12 attempt"), "got {s}");
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(letter().reason.kind(), "retry-budget");
+        assert_eq!(
+            FailureReason::PrefetchFailed {
+                endpoint: EndpointId::new(0),
+                error: XtractError::TransferFailed {
+                    transfer: crate::id::TransferId::new(1),
+                    reason: "flap".into(),
+                },
+            }
+            .kind(),
+            "prefetch"
+        );
+    }
+
+    #[test]
+    fn dead_letters_serialize_for_checkpoints() {
+        let dl = letter();
+        let json = serde_json::to_string(&dl).unwrap();
+        let back: DeadLetter = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dl);
+    }
+
+    #[test]
+    fn key_is_family_plus_kind() {
+        assert_eq!(letter().key(), (FamilyId::new(3), "retry-budget"));
+    }
+}

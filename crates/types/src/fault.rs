@@ -1,0 +1,363 @@
+//! Structured fault injection: the [`FaultPlan`].
+//!
+//! The paper's headline campaign (§5.8.1) survives allocation expiries,
+//! faulted Globus transfers, and cold containers dying mid-task; funcX
+//! itself leans on heartbeats and resubmission to mask endpoint loss. To
+//! exercise those paths deterministically, every substrate (the transfer
+//! service, the FaaS fabric, the campaign simulator) consults a single
+//! seeded, serde-configurable plan instead of ad-hoc per-service knobs.
+//!
+//! Decisions are **stateless**: each one hashes `(seed, fault kind, key)`
+//! through SplitMix64 and compares against the configured rate. That makes
+//! outcomes independent of thread interleaving — the same plan replayed
+//! over the same inputs faults the same files and tasks, which is what
+//! lets the chaos tests assert *identical dead-letter sets* across runs.
+//! Callers vary the key (path hash, task id, attempt salt) so retries
+//! re-roll rather than hitting the same verdict forever.
+
+use crate::id::EndpointId;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64: tiny, high-quality 64-bit mixer (public domain algorithm).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over bytes, for hashing string keys (paths, fault kinds).
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic uniform draw in `[0, 1)` from `(seed, kind, key)`.
+///
+/// Used for both fault decisions and backoff jitter; exposed so the retry
+/// policy and the simulator can share one source of determinism.
+pub fn fault_roll(seed: u64, kind: &str, key: u64) -> f64 {
+    let h = splitmix64(seed ^ fnv1a(kind.as_bytes()) ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    // 53 mantissa bits -> uniform double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A stable 64-bit key for a string (path) plus a caller-chosen salt.
+pub fn path_key(path: &str, salt: u64) -> u64 {
+    fnv1a(path.as_bytes()) ^ salt.wrapping_mul(0xff51_afd7_ed55_8ccd)
+}
+
+/// Which substrate a blackout darkens. Each substrate counts its own
+/// operations, so a scoped window lets a plan express "the compute layer
+/// at this endpoint is down but its storage still answers" (and vice
+/// versa) — the shape the reroute tests need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FaultScope {
+    /// The whole endpoint: transfers and compute alike.
+    #[default]
+    All,
+    /// Only the data layer (transfer submissions).
+    Transfer,
+    /// Only the compute layer (FaaS submissions).
+    Compute,
+}
+
+/// A full endpoint outage over a window of a substrate's operations.
+///
+/// Windows are expressed in per-service operation indices (the N-th
+/// transfer submission, the N-th FaaS batch submission) rather than
+/// wall-clock time so that live-mode chaos stays deterministic: the
+/// orchestrator drives both services from a single thread, so operation
+/// order is reproducible where wall-clock timing is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Blackout {
+    /// The endpoint that goes dark.
+    pub endpoint: EndpointId,
+    /// First operation index (inclusive) affected.
+    pub from_op: u64,
+    /// Last operation index (exclusive). Use `u64::MAX` for "never
+    /// recovers".
+    pub until_op: u64,
+    /// Which substrate goes dark (default: the whole endpoint).
+    #[serde(default)]
+    pub scope: FaultScope,
+}
+
+impl Blackout {
+    /// A whole-endpoint outage over `[from_op, until_op)`.
+    pub fn new(endpoint: EndpointId, from_op: u64, until_op: u64) -> Self {
+        Self {
+            endpoint,
+            from_op,
+            until_op,
+            scope: FaultScope::All,
+        }
+    }
+
+    /// The same window restricted to one substrate.
+    pub fn scoped(endpoint: EndpointId, from_op: u64, until_op: u64, scope: FaultScope) -> Self {
+        Self {
+            endpoint,
+            from_op,
+            until_op,
+            scope,
+        }
+    }
+
+    /// True when `op` on `endpoint` falls inside this outage's window.
+    pub fn covers(&self, endpoint: EndpointId, op: u64) -> bool {
+        self.endpoint == endpoint && op >= self.from_op && op < self.until_op
+    }
+
+    /// True when this outage darkens `substrate`.
+    pub fn applies_to(&self, substrate: FaultScope) -> bool {
+        self.scope == FaultScope::All || self.scope == substrate
+    }
+}
+
+/// The structured fault plan all substrates consult.
+///
+/// Rates are per-decision probabilities in `[0, 1]`. The default plan
+/// injects nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Root seed for every decision.
+    pub seed: u64,
+    /// Per-file probability that a transfer faults transiently
+    /// (the lone knob the old `inject_faults` exposed).
+    #[serde(default)]
+    pub transfer_fault_rate: f64,
+    /// Per-task probability that the executing worker crashes mid-task
+    /// (surfaces as a retryable failed task).
+    #[serde(default)]
+    pub worker_crash_rate: f64,
+    /// Per-task probability that the result heartbeat is lost after
+    /// execution (the task reports [`Lost`] and must be resubmitted).
+    ///
+    /// [`Lost`]: crate::error::XtractError::TaskLost
+    #[serde(default)]
+    pub heartbeat_loss_rate: f64,
+    /// Per-file probability that a link is degraded: the transfer still
+    /// succeeds but pays [`FaultPlan::slow_link_delay_ms`] extra.
+    #[serde(default)]
+    pub slow_link_rate: f64,
+    /// Extra latency per degraded file, milliseconds.
+    #[serde(default)]
+    pub slow_link_delay_ms: u64,
+    /// Files whose path contains any of these substrings arrive corrupted
+    /// when staged (bit rot in flight): extractors see garbage and record
+    /// per-file errors, exactly like §2.3's junk files.
+    #[serde(default)]
+    pub poison_path_substrings: Vec<String>,
+    /// Full endpoint outages.
+    #[serde(default)]
+    pub blackouts: Vec<Blackout>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The legacy single-knob plan: transient transfer faults only.
+    pub fn transfer_faults(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            transfer_fault_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Checks every rate is a probability; returns the first complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("transfer_fault_rate", self.transfer_fault_rate),
+            ("worker_crash_rate", self.worker_crash_rate),
+            ("heartbeat_loss_rate", self.heartbeat_loss_rate),
+            ("slow_link_rate", self.slow_link_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} {rate} outside [0, 1]"));
+            }
+        }
+        for b in &self.blackouts {
+            if b.from_op >= b.until_op {
+                return Err(format!(
+                    "blackout window [{}, {}) on {} is empty",
+                    b.from_op, b.until_op, b.endpoint
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when this plan can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.transfer_fault_rate == 0.0
+            && self.worker_crash_rate == 0.0
+            && self.heartbeat_loss_rate == 0.0
+            && self.slow_link_rate == 0.0
+            && self.poison_path_substrings.is_empty()
+            && self.blackouts.is_empty()
+    }
+
+    /// Should the transfer of `path` fault? `salt` distinguishes retries.
+    pub fn transfer_file_faults(&self, path: &str, salt: u64) -> bool {
+        self.transfer_fault_rate > 0.0
+            && fault_roll(self.seed, "transfer", path_key(path, salt)) < self.transfer_fault_rate
+    }
+
+    /// Should the worker executing `task_key` crash mid-task?
+    pub fn worker_crashes(&self, task_key: u64) -> bool {
+        self.worker_crash_rate > 0.0
+            && fault_roll(self.seed, "crash", task_key) < self.worker_crash_rate
+    }
+
+    /// Should the heartbeat carrying `task_key`'s result be lost?
+    pub fn heartbeat_lost(&self, task_key: u64) -> bool {
+        self.heartbeat_loss_rate > 0.0
+            && fault_roll(self.seed, "heartbeat", task_key) < self.heartbeat_loss_rate
+    }
+
+    /// Is the link degraded for `path`?
+    pub fn link_degraded(&self, path: &str, salt: u64) -> bool {
+        self.slow_link_rate > 0.0
+            && fault_roll(self.seed, "slow-link", path_key(path, salt)) < self.slow_link_rate
+    }
+
+    /// Does `path` arrive poisoned?
+    pub fn poisoned(&self, path: &str) -> bool {
+        self.poison_path_substrings.iter().any(|s| path.contains(s))
+    }
+
+    /// The blackout (if any) darkening `substrate` on `endpoint` at
+    /// operation `op`. Each substrate passes its own operation counter.
+    pub fn blackout_at(
+        &self,
+        endpoint: EndpointId,
+        op: u64,
+        substrate: FaultScope,
+    ) -> Option<&Blackout> {
+        self.blackouts
+            .iter()
+            .find(|b| b.applies_to(substrate) && b.covers(endpoint, op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::new(42);
+        assert!(plan.is_inert());
+        assert!(!plan.transfer_file_faults("/a", 0));
+        assert!(!plan.worker_crashes(7));
+        assert!(!plan.heartbeat_lost(7));
+        assert!(!plan.link_degraded("/a", 0));
+        assert!(!plan.poisoned("/a"));
+        assert!(plan
+            .blackout_at(EndpointId::new(0), 5, FaultScope::Transfer)
+            .is_none());
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_salt_sensitive() {
+        let plan = FaultPlan::transfer_faults(9, 0.5);
+        let a = plan.transfer_file_faults("/data/x.csv", 0);
+        // Same inputs, same verdict.
+        assert_eq!(a, plan.transfer_file_faults("/data/x.csv", 0));
+        // Over many salts, both outcomes appear (retries re-roll).
+        let hits = (0..64)
+            .filter(|&s| plan.transfer_file_faults("/data/x.csv", s))
+            .count();
+        assert!(hits > 0 && hits < 64, "got {hits}/64");
+    }
+
+    #[test]
+    fn rates_are_respected_statistically() {
+        let plan = FaultPlan::transfer_faults(3, 0.25);
+        let hits = (0..4000)
+            .filter(|&i| plan.transfer_file_faults(&format!("/f{i}"), 0))
+            .count();
+        let frac = hits as f64 / 4000.0;
+        assert!((0.18..0.32).contains(&frac), "observed rate {frac}");
+    }
+
+    #[test]
+    fn blackout_windows() {
+        let b = Blackout::new(EndpointId::new(1), 5, 10);
+        assert!(!b.covers(EndpointId::new(1), 4));
+        assert!(b.covers(EndpointId::new(1), 5));
+        assert!(b.covers(EndpointId::new(1), 9));
+        assert!(!b.covers(EndpointId::new(1), 10));
+        assert!(!b.covers(EndpointId::new(2), 7));
+    }
+
+    #[test]
+    fn blackout_scopes_select_substrates() {
+        let ep = EndpointId::new(3);
+        let mut plan = FaultPlan::new(0);
+        plan.blackouts
+            .push(Blackout::scoped(ep, 0, u64::MAX, FaultScope::Compute));
+        assert!(plan.blackout_at(ep, 7, FaultScope::Compute).is_some());
+        assert!(plan.blackout_at(ep, 7, FaultScope::Transfer).is_none());
+        // An unscoped (All) window darkens both substrates, and old JSON
+        // without a scope field still deserializes as All.
+        let json = r#"{"endpoint": 3, "from_op": 0, "until_op": 9}"#;
+        let legacy: Blackout = serde_json::from_str(json).unwrap();
+        assert_eq!(legacy.scope, FaultScope::All);
+        assert!(legacy.applies_to(FaultScope::Transfer));
+        assert!(legacy.applies_to(FaultScope::Compute));
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates_and_windows() {
+        let mut plan = FaultPlan::new(0);
+        plan.transfer_fault_rate = 1.5;
+        assert!(plan.validate().is_err());
+        plan.transfer_fault_rate = 0.0;
+        plan.blackouts.push(Blackout::new(EndpointId::new(0), 5, 5));
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn poison_matches_substrings() {
+        let mut plan = FaultPlan::new(0);
+        plan.poison_path_substrings.push("corrupt".to_string());
+        assert!(plan.poisoned("/data/corrupt-run/x.dat"));
+        assert!(!plan.poisoned("/data/clean/x.dat"));
+    }
+
+    #[test]
+    fn plan_serde_roundtrips() {
+        let mut plan = FaultPlan::transfer_faults(11, 0.1);
+        plan.blackouts
+            .push(Blackout::new(EndpointId::new(2), 0, u64::MAX));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        // Omitted fields default: a plan is configurable from sparse JSON.
+        let sparse: FaultPlan = serde_json::from_str(r#"{"seed": 4}"#).unwrap();
+        assert!(sparse.is_inert());
+        assert_eq!(sparse.seed, 4);
+    }
+
+    #[test]
+    fn roll_is_uniformish() {
+        let mean: f64 = (0..1000).map(|i| fault_roll(1, "k", i)).sum::<f64>() / 1000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+}

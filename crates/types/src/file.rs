@@ -199,7 +199,10 @@ mod tests {
     fn hidden_files_have_no_extension() {
         assert_eq!(rec("/home/.bashrc").extension(), None);
         // But a hidden file can still carry a real extension.
-        assert_eq!(rec("/home/.config.json").extension().as_deref(), Some("json"));
+        assert_eq!(
+            rec("/home/.config.json").extension().as_deref(),
+            Some("json")
+        );
     }
 
     #[test]

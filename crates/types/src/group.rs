@@ -76,7 +76,12 @@ pub struct Family {
 
 impl Family {
     /// Creates a family from groups and the resolved file records.
-    pub fn new(id: FamilyId, files: Vec<FileRecord>, groups: Vec<Group>, source: EndpointId) -> Self {
+    pub fn new(
+        id: FamilyId,
+        files: Vec<FileRecord>,
+        groups: Vec<Group>,
+        source: EndpointId,
+    ) -> Self {
         Self {
             id,
             files,

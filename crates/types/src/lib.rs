@@ -26,15 +26,21 @@
 pub mod config;
 pub mod error;
 pub mod extractor;
+pub mod failure;
+pub mod fault;
 pub mod file;
 pub mod group;
 pub mod id;
 pub mod metadata;
 pub mod sniff;
 
-pub use config::{EndpointSpec, GroupingStrategy, JobSpec, OffloadMode, ValidationSchema};
+pub use config::{
+    EndpointSpec, GroupingStrategy, JobSpec, OffloadMode, RetryPolicy, ValidationSchema,
+};
 pub use error::{Result, XtractError};
 pub use extractor::ExtractorKind;
+pub use failure::{DeadLetter, FailureEvent, FailureReason};
+pub use fault::{Blackout, FaultPlan, FaultScope};
 pub use file::{FileRecord, FileType};
 pub use group::{Family, FamilyBatch, Group};
 pub use id::{

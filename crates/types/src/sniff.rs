@@ -94,7 +94,9 @@ pub fn sniff_bytes(bytes: &[u8]) -> FileType {
     }
     // Magic numbers (including this repo's synthetic raster/container
     // formats, PNG/JPEG/GIF, gzip/zip, HDF5).
-    if bytes.starts_with(b"XIMG") || bytes.starts_with(b"\x89PNG") || bytes.starts_with(b"\xff\xd8\xff")
+    if bytes.starts_with(b"XIMG")
+        || bytes.starts_with(b"\x89PNG")
+        || bytes.starts_with(b"\xff\xd8\xff")
         || bytes.starts_with(b"GIF8")
     {
         return FileType::Image;
@@ -102,7 +104,10 @@ pub fn sniff_bytes(bytes: &[u8]) -> FileType {
     if bytes.starts_with(b"XHDF") || bytes.starts_with(b"\x89HDF") {
         return FileType::Hierarchical;
     }
-    if bytes.starts_with(b"\x1f\x8b") || bytes.starts_with(b"PK\x03\x04") || bytes.starts_with(b"XZIP") {
+    if bytes.starts_with(b"\x1f\x8b")
+        || bytes.starts_with(b"PK\x03\x04")
+        || bytes.starts_with(b"XZIP")
+    {
         return FileType::Compressed;
     }
 
@@ -158,14 +163,17 @@ fn trim_to_char_boundary(bytes: &[u8]) -> &[u8] {
 fn looks_like_json(t: &str) -> bool {
     // Cheap structural check over the prefix (the full parser lives in the
     // semi-structured extractor): balanced-ish braces plus a quoted key.
-    let has_key = t.contains("\":") || t.contains("\" :") || t == "[]" || t == "{}" || t.starts_with('[');
+    let has_key =
+        t.contains("\":") || t.contains("\" :") || t == "[]" || t == "{}" || t.starts_with('[');
     has_key && !t.contains("<")
 }
 
 fn looks_like_python(t: &str) -> bool {
     t.lines().take(30).any(|l| {
         let l = l.trim_start();
-        l.starts_with("def ") || l.starts_with("import ") || l.starts_with("from ")
+        l.starts_with("def ")
+            || l.starts_with("import ")
+            || l.starts_with("from ")
             || l.starts_with("class ") && l.ends_with(':')
     })
 }
@@ -250,7 +258,9 @@ fn mostly_printable(bytes: &[u8]) -> bool {
     let sample = &bytes[..bytes.len().min(512)];
     let printable = sample
         .iter()
-        .filter(|&&b| b == b'\n' || b == b'\r' || b == b'\t' || (0x20..0x7f).contains(&b) || b >= 0x80)
+        .filter(|&&b| {
+            b == b'\n' || b == b'\r' || b == b'\t' || (0x20..0x7f).contains(&b) || b >= 0x80
+        })
         .count();
     printable * 100 >= sample.len() * 95
 }
@@ -270,7 +280,10 @@ mod tests {
     #[test]
     fn vasp_names_beat_extensions() {
         assert_eq!(sniff_path("/runs/42/OUTCAR"), FileType::AtomisticSimulation);
-        assert_eq!(sniff_path("/runs/42/OUTCAR.relax2"), FileType::AtomisticSimulation);
+        assert_eq!(
+            sniff_path("/runs/42/OUTCAR.relax2"),
+            FileType::AtomisticSimulation
+        );
         assert_eq!(sniff_path("/runs/42/vasprun.xml"), FileType::DftCalculation);
         assert_eq!(sniff_path("/runs/42/CHGCAR"), FileType::DftCalculation);
     }

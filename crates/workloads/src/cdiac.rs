@@ -38,7 +38,13 @@ pub fn profiles(n: u64, streams: &RngStreams) -> impl Iterator<Item = FamilyProf
     (0..n).map(move |_| {
         let (label, _, mean) = CLASS_MIX[dist.sample(&mut rng)];
         let sigma = 1.4f64;
-        let bytes = lognormal_clamped(&mut rng, mean.ln() - sigma * sigma / 2.0, sigma, 16.0, 2.0e9) as u64;
+        let bytes = lognormal_clamped(
+            &mut rng,
+            mean.ln() - sigma * sigma / 2.0,
+            sigma,
+            16.0,
+            2.0e9,
+        ) as u64;
         FamilyProfile {
             class: label,
             files: 1,
@@ -144,7 +150,11 @@ mod tests {
         let fs = Arc::new(MemFs::new(EndpointId::new(0)));
         let stats = generate_tree(fs.as_ref(), 3_000, &RngStreams::new(7));
         assert!(stats.files >= 3_000);
-        assert!(stats.unique_extensions > 30, "exts {}", stats.unique_extensions);
+        assert!(
+            stats.unique_extensions > 30,
+            "exts {}",
+            stats.unique_extensions
+        );
         // Junk must exist.
         let mut found_junk = false;
         let mut stack = vec!["/cdiac".to_string()];
@@ -184,8 +194,7 @@ mod tests {
         let mean: f64 = CLASS_MIX
             .iter()
             .map(|(label, w, _)| {
-                let (mu, sigma) =
-                    xtract_sim::calibration::extractor_cost::lognormal_params(label);
+                let (mu, sigma) = xtract_sim::calibration::extractor_cost::lognormal_params(label);
                 w * (mu + sigma * sigma / 2.0).exp()
             })
             .sum();

@@ -16,9 +16,13 @@ pub fn profiles(n: u64, streams: &RngStreams) -> impl Iterator<Item = FamilyProf
     (0..n).map(move |_| {
         // 14 GB / 80 000 ≈ 175 KB mean.
         let sigma = 0.6f64;
-        let bytes =
-            lognormal_clamped(&mut rng, 175.0e3f64.ln() - sigma * sigma / 2.0, sigma, 8.0e3, 4.0e6)
-                as u64;
+        let bytes = lognormal_clamped(
+            &mut rng,
+            175.0e3f64.ln() - sigma * sigma / 2.0,
+            sigma,
+            8.0e3,
+            4.0e6,
+        ) as u64;
         FamilyProfile {
             class: "image-sort",
             files: 1,

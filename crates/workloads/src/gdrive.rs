@@ -47,8 +47,13 @@ pub const PAPER_CENSUS: Census = Census {
 impl Census {
     /// Total file count.
     pub fn total(&self) -> u64 {
-        self.text + self.tabular + self.images + self.presentations + self.hierarchical
-            + self.compressed + self.untyped
+        self.text
+            + self.tabular
+            + self.images
+            + self.presentations
+            + self.hierarchical
+            + self.compressed
+            + self.untyped
     }
 
     /// Scales every stratum by `factor` (≥ 1 keeps the exact census).
@@ -95,13 +100,13 @@ pub fn generate_tree(
     stats.directories = folders.len() as u64 + 1;
 
     let emit = |rng: &mut rand::rngs::SmallRng,
-                    stats: &mut RepoStats,
-                    exts: &mut std::collections::HashSet<String>,
-                    n: u64,
-                    folder_bias: usize,
-                    ext_choices: &[&str],
-                    mean: f64,
-                    sigma: f64| {
+                stats: &mut RepoStats,
+                exts: &mut std::collections::HashSet<String>,
+                n: u64,
+                folder_bias: usize,
+                ext_choices: &[&str],
+                mean: f64,
+                sigma: f64| {
         for i in 0..n {
             let folder = folders[(folder_bias + (i as usize % 2)) % folders.len()];
             let name = if ext_choices.is_empty() {
@@ -113,7 +118,8 @@ pub fn generate_tree(
                 format!("/drive/{folder}/item_{}_{i}.{ext}", stats.files)
             };
             let bytes =
-                lognormal_clamped(rng, mean.ln() - sigma * sigma / 2.0, sigma, 48.0, 512.0e6) as u64;
+                lognormal_clamped(rng, mean.ln() - sigma * sigma / 2.0, sigma, 48.0, 512.0e6)
+                    as u64;
             backend.write_stub(&name, bytes).expect("fresh path");
             stats.files += 1;
             stats.bytes += bytes;
@@ -121,25 +127,83 @@ pub fn generate_tree(
         }
     };
 
-    emit(&mut rng, &mut stats, &mut exts, census.text, 0,
-         &["txt", "md", "pdf", "doc", "docx", "tex", "rtf", "log", "rst", "odt", "bib",
-           "markdown", "text", "notes"],
-         table3_sizes::KEYWORD, 1.2);
-    emit(&mut rng, &mut stats, &mut exts, census.tabular, 2,
-         &["csv", "xlsx", "tsv", "xls", "dat", "tab", "ods"], table3_sizes::TABULAR, 1.0);
-    emit(&mut rng, &mut stats, &mut exts, census.images, 3,
-         &["jpg", "png", "ximg", "jpeg", "tif", "tiff", "gif", "bmp", "heic", "webp"],
-         table3_sizes::IMAGES, 0.9);
-    emit(&mut rng, &mut stats, &mut exts, census.presentations, 4,
-         &["pptx", "key", "ppt", "odp"], table3_sizes::KEYWORD, 1.0);
-    emit(&mut rng, &mut stats, &mut exts, census.hierarchical, 2,
-         &["h5"], table3_sizes::HIERARCHICAL, 0.1);
-    emit(&mut rng, &mut stats, &mut exts, census.compressed, 2,
-         &["zip", "tgz", "gz", "rar", "7z", "bz2"], 5.0e6, 1.0);
+    emit(
+        &mut rng,
+        &mut stats,
+        &mut exts,
+        census.text,
+        0,
+        &[
+            "txt", "md", "pdf", "doc", "docx", "tex", "rtf", "log", "rst", "odt", "bib",
+            "markdown", "text", "notes",
+        ],
+        table3_sizes::KEYWORD,
+        1.2,
+    );
+    emit(
+        &mut rng,
+        &mut stats,
+        &mut exts,
+        census.tabular,
+        2,
+        &["csv", "xlsx", "tsv", "xls", "dat", "tab", "ods"],
+        table3_sizes::TABULAR,
+        1.0,
+    );
+    emit(
+        &mut rng,
+        &mut stats,
+        &mut exts,
+        census.images,
+        3,
+        &[
+            "jpg", "png", "ximg", "jpeg", "tif", "tiff", "gif", "bmp", "heic", "webp",
+        ],
+        table3_sizes::IMAGES,
+        0.9,
+    );
+    emit(
+        &mut rng,
+        &mut stats,
+        &mut exts,
+        census.presentations,
+        4,
+        &["pptx", "key", "ppt", "odp"],
+        table3_sizes::KEYWORD,
+        1.0,
+    );
+    emit(
+        &mut rng,
+        &mut stats,
+        &mut exts,
+        census.hierarchical,
+        2,
+        &["h5"],
+        table3_sizes::HIERARCHICAL,
+        0.1,
+    );
+    emit(
+        &mut rng,
+        &mut stats,
+        &mut exts,
+        census.compressed,
+        2,
+        &["zip", "tgz", "gz", "rar", "7z", "bz2"],
+        5.0e6,
+        1.0,
+    );
     // The 379 files with no derivable type, initially treated as free
     // text (§5.8.2).
-    emit(&mut rng, &mut stats, &mut exts, census.untyped, 1,
-         &[], table3_sizes::KEYWORD, 1.2);
+    emit(
+        &mut rng,
+        &mut stats,
+        &mut exts,
+        census.untyped,
+        1,
+        &[],
+        table3_sizes::KEYWORD,
+        1.2,
+    );
 
     stats.unique_extensions = exts.len() as u64;
     stats
@@ -153,22 +217,41 @@ pub fn generate_tree(
 pub fn profiles(census: &Census, streams: &RngStreams) -> Vec<FamilyProfile> {
     let mut rng = streams.stream("gdrive-profiles");
     let mut out = Vec::with_capacity(census.total() as usize);
-    let mut push = |rng: &mut rand::rngs::SmallRng, n: u64, class: &'static str, mean: f64, sigma: f64| {
-        for _ in 0..n {
-            let bytes =
-                lognormal_clamped(rng, mean.ln() - sigma * sigma / 2.0, sigma, 48.0, 512.0e6) as u64;
-            out.push(FamilyProfile {
-                class,
-                files: 1,
-                bytes,
-            });
-        }
-    };
-    push(&mut rng, census.text + census.presentations + census.untyped, "keyword",
-         table3_sizes::KEYWORD, 1.2);
-    push(&mut rng, census.tabular, "tabular", table3_sizes::TABULAR, 1.0);
+    let mut push =
+        |rng: &mut rand::rngs::SmallRng, n: u64, class: &'static str, mean: f64, sigma: f64| {
+            for _ in 0..n {
+                let bytes =
+                    lognormal_clamped(rng, mean.ln() - sigma * sigma / 2.0, sigma, 48.0, 512.0e6)
+                        as u64;
+                out.push(FamilyProfile {
+                    class,
+                    files: 1,
+                    bytes,
+                });
+            }
+        };
+    push(
+        &mut rng,
+        census.text + census.presentations + census.untyped,
+        "keyword",
+        table3_sizes::KEYWORD,
+        1.2,
+    );
+    push(
+        &mut rng,
+        census.tabular,
+        "tabular",
+        table3_sizes::TABULAR,
+        1.0,
+    );
     push(&mut rng, census.images, "images", table3_sizes::IMAGES, 0.9);
-    push(&mut rng, census.hierarchical, "hierarchical", table3_sizes::HIERARCHICAL, 0.1);
+    push(
+        &mut rng,
+        census.hierarchical,
+        "hierarchical",
+        table3_sizes::HIERARCHICAL,
+        0.1,
+    );
     push(&mut rng, census.compressed, "compressed", 5.0e6, 1.0);
     out
 }
@@ -238,7 +321,11 @@ mod tests {
     fn tabular_files_are_small_images_are_big() {
         let ps = profiles(&PAPER_CENSUS, &RngStreams::new(4));
         let mean = |c: &str| {
-            let v: Vec<u64> = ps.iter().filter(|p| p.class == c).map(|p| p.bytes).collect();
+            let v: Vec<u64> = ps
+                .iter()
+                .filter(|p| p.class == c)
+                .map(|p| p.bytes)
+                .collect();
             v.iter().sum::<u64>() as f64 / v.len() as f64
         };
         let tab = mean("tabular");

@@ -17,13 +17,44 @@ use xtract_extractors::formats::image::{self, ImageClass};
 use xtract_sim::rng::RngStreams;
 
 const DOMAIN_TERMS: &[&str] = &[
-    "perovskite", "bandgap", "photoluminescence", "annealing", "diffraction", "microscopy",
-    "emissions", "stratosphere", "isotope", "sequestration", "lattice", "phonon",
+    "perovskite",
+    "bandgap",
+    "photoluminescence",
+    "annealing",
+    "diffraction",
+    "microscopy",
+    "emissions",
+    "stratosphere",
+    "isotope",
+    "sequestration",
+    "lattice",
+    "phonon",
 ];
 const FILLER: &[&str] = &[
-    "the", "we", "measured", "sample", "with", "under", "results", "show", "that", "increase",
-    "observed", "temperature", "pressure", "after", "before", "during", "experiment", "this",
-    "series", "figure", "reported", "value", "between", "analysis",
+    "the",
+    "we",
+    "measured",
+    "sample",
+    "with",
+    "under",
+    "results",
+    "show",
+    "that",
+    "increase",
+    "observed",
+    "temperature",
+    "pressure",
+    "after",
+    "before",
+    "during",
+    "experiment",
+    "this",
+    "series",
+    "figure",
+    "reported",
+    "value",
+    "between",
+    "analysis",
 ];
 
 /// Generates `words` of prose seeded with domain terms.
@@ -158,11 +189,11 @@ pub fn sample_repo(
         ..Default::default()
     };
     let write = |backend: &dyn StorageBackend,
-                     stats: &mut RepoStats,
-                     manifest: &mut Vec<SampleFile>,
-                     path: String,
-                     data: Vec<u8>,
-                     class: &'static str| {
+                 stats: &mut RepoStats,
+                 manifest: &mut Vec<SampleFile>,
+                 path: String,
+                 data: Vec<u8>,
+                 class: &'static str| {
         stats.bytes += data.len() as u64;
         backend.write(&path, Bytes::from(data)).expect("fresh path");
         stats.files += 1;
@@ -189,32 +220,63 @@ pub fn sample_repo(
                     let files = vasp_run(&mut rng);
                     let group_start = stats.files;
                     for (name, body) in files {
-                        write(backend, &mut stats, &mut manifest,
-                              format!("{run_dir}/{name}"), body.into_bytes(), "matio");
+                        write(
+                            backend,
+                            &mut stats,
+                            &mut manifest,
+                            format!("{run_dir}/{name}"),
+                            body.into_bytes(),
+                            "matio",
+                        );
                     }
                     stats.groups -= stats.files - group_start - 1; // one group
                 }
                 1 | 2 => {
                     let words = rng.gen_range(80..400);
-                    write(backend, &mut stats, &mut manifest,
-                          format!("{dir}/notes{i}.txt"),
-                          prose(&mut rng, words).into_bytes(), "keyword");
+                    write(
+                        backend,
+                        &mut stats,
+                        &mut manifest,
+                        format!("{dir}/notes{i}.txt"),
+                        prose(&mut rng, words).into_bytes(),
+                        "keyword",
+                    );
                 }
                 3 => {
                     let rows = rng.gen_range(20..120);
-                    write(backend, &mut stats, &mut manifest,
-                          format!("{dir}/obs{i}.csv"),
-                          csv(&mut rng, rows).into_bytes(), "tabular");
+                    write(
+                        backend,
+                        &mut stats,
+                        &mut manifest,
+                        format!("{dir}/obs{i}.csv"),
+                        csv(&mut rng, rows).into_bytes(),
+                        "tabular",
+                    );
                 }
-                4 => write(backend, &mut stats, &mut manifest,
-                           format!("{dir}/meta{i}.json"),
-                           json_doc(&mut rng).into_bytes(), "semi-structured"),
-                5 => write(backend, &mut stats, &mut manifest,
-                           format!("{dir}/conf{i}.yaml"),
-                           yaml_doc(&mut rng).into_bytes(), "semi-structured"),
-                6 => write(backend, &mut stats, &mut manifest,
-                           format!("{dir}/run{i}.xml"),
-                           xml_doc(&mut rng).into_bytes(), "semi-structured"),
+                4 => write(
+                    backend,
+                    &mut stats,
+                    &mut manifest,
+                    format!("{dir}/meta{i}.json"),
+                    json_doc(&mut rng).into_bytes(),
+                    "semi-structured",
+                ),
+                5 => write(
+                    backend,
+                    &mut stats,
+                    &mut manifest,
+                    format!("{dir}/conf{i}.yaml"),
+                    yaml_doc(&mut rng).into_bytes(),
+                    "semi-structured",
+                ),
+                6 => write(
+                    backend,
+                    &mut stats,
+                    &mut manifest,
+                    format!("{dir}/run{i}.xml"),
+                    xml_doc(&mut rng).into_bytes(),
+                    "semi-structured",
+                ),
                 7 => {
                     let side = rng.gen_range(32..64u32);
                     let class = match i % 5 {
@@ -225,12 +287,23 @@ pub fn sample_repo(
                         _ => ImageClass::Photograph,
                     };
                     let img = image::generate(class, side, side, &mut rng);
-                    write(backend, &mut stats, &mut manifest,
-                          format!("{dir}/fig{i}.ximg"), img.encode().to_vec(), "images");
+                    write(
+                        backend,
+                        &mut stats,
+                        &mut manifest,
+                        format!("{dir}/fig{i}.ximg"),
+                        img.encode().to_vec(),
+                        "images",
+                    );
                 }
-                _ => write(backend, &mut stats, &mut manifest,
-                           format!("{dir}/grid{i}.xhdf"),
-                           xhdf_doc(&mut rng).into_bytes(), "hierarchical"),
+                _ => write(
+                    backend,
+                    &mut stats,
+                    &mut manifest,
+                    format!("{dir}/grid{i}.xhdf"),
+                    xhdf_doc(&mut rng).into_bytes(),
+                    "hierarchical",
+                ),
             }
         }
     }
@@ -249,9 +322,7 @@ mod tests {
     use std::sync::Arc;
     use xtract_datafabric::MemFs;
     use xtract_extractors::{library, MapSource};
-    use xtract_types::{
-        sniff_path, EndpointId, ExtractorKind, Family, FileRecord, Group, GroupId,
-    };
+    use xtract_types::{sniff_path, EndpointId, ExtractorKind, Family, FileRecord, Group, GroupId};
 
     #[test]
     fn sample_repo_is_fully_parseable() {
@@ -303,10 +374,7 @@ mod tests {
         assert!(vasp_files >= 3);
         assert_eq!(vasp_files % 3, 0);
         // groups = files - 2 per VASP triple.
-        assert_eq!(
-            stats.groups,
-            stats.files - 2 * (vasp_files as u64 / 3)
-        );
+        assert_eq!(stats.groups, stats.files - 2 * (vasp_files as u64 / 3));
     }
 
     #[test]

@@ -104,7 +104,7 @@ pub fn generate_tree(
             let run_dir = format!("{ds_dir}/run{run}");
             stats.directories += 1;
             stats.groups += 1; // the VASP group
-            // VASP core group (extension-less).
+                               // VASP core group (extension-less).
             for name in ["INCAR", "POSCAR", "OUTCAR", "KPOINTS"] {
                 let size = lognormal_clamped(&mut rng, 9.0, 1.0, 128.0, 1.0e6) as u64;
                 write_stub(backend, &format!("{run_dir}/{name}"), size, &mut stats);
@@ -138,7 +138,12 @@ pub fn generate_tree(
                 } else {
                     lognormal_clamped(&mut rng, 12.4, 1.8, 64.0, 2.0e9) as u64
                 };
-                write_stub(backend, &format!("{run_dir}/f{i:03}.{ext}"), size, &mut stats);
+                write_stub(
+                    backend,
+                    &format!("{run_dir}/f{i:03}.{ext}"),
+                    size,
+                    &mut stats,
+                );
                 exts.insert(ext.clone());
                 run_ext_set.insert(ext);
             }

@@ -17,14 +17,18 @@ pub struct Table1Row {
 
 /// The paper's Table 1, without generated instances.
 pub fn paper_rows() -> Vec<Table1Row> {
-    [mdf::paper_stats(), cdiac::paper_stats(), gdrive::paper_stats()]
-        .into_iter()
-        .map(|paper| Table1Row {
-            repository: paper.name.clone(),
-            paper,
-            generated: None,
-        })
-        .collect()
+    [
+        mdf::paper_stats(),
+        cdiac::paper_stats(),
+        gdrive::paper_stats(),
+    ]
+    .into_iter()
+    .map(|paper| Table1Row {
+        repository: paper.name.clone(),
+        paper,
+        generated: None,
+    })
+    .collect()
 }
 
 /// Formats rows in the paper's layout: `Repository | Size (TB) | Files |

@@ -49,7 +49,12 @@ fn main() {
     let auth = Arc::new(AuthService::new());
     let token = auth.login(
         "grad-student@uchicago.edu",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     );
     let service = XtractService::new(fabric.clone(), auth, 3);
 
@@ -75,7 +80,9 @@ fn main() {
         runtime: ContainerRuntime::Docker,
     });
     job.delete_after_extraction = true; // pods do not keep copies
-    service.connect_endpoint(&job.endpoints[0]).expect("river connects");
+    service
+        .connect_endpoint(&job.endpoints[0])
+        .expect("river connects");
 
     let report = service.run_job(token, &job).expect("audit succeeds");
 

@@ -37,7 +37,12 @@ fn main() {
     let auth = Arc::new(AuthService::new());
     let token = auth.login(
         "you@university.edu",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     );
     let service = XtractService::new(fabric, auth, 7);
 
@@ -57,7 +62,9 @@ fn main() {
     );
     job.grouping = GroupingStrategy::MaterialsAware;
     job.validation = ValidationSchema::Mdf("mdf-generic".into());
-    service.connect_endpoint(&job.endpoints[0]).expect("endpoint connects");
+    service
+        .connect_endpoint(&job.endpoints[0])
+        .expect("endpoint connects");
 
     // 4. Run it.
     let report = service.run_job(token, &job).expect("job succeeds");
@@ -91,9 +98,6 @@ fn main() {
     let matio = &vasp.document.get("extracted").unwrap()["matio"];
     println!(
         "example record {}: formula={} energy={} eV converged={}",
-        vasp.family,
-        matio["formula"],
-        matio["final_energy_ev"],
-        matio["converged"],
+        vasp.family, matio["formula"], matio["final_energy_ev"], matio["converged"],
     );
 }

@@ -30,7 +30,12 @@ fn main() {
     let auth = Arc::new(AuthService::new());
     let token = auth.login(
         "librarian",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     );
     let service = XtractService::new(fabric, auth, 5);
     let mut job = JobSpec::single_endpoint(
@@ -64,8 +69,12 @@ fn main() {
 
     // Query 1: free text — "who has perovskite data?"
     let hits = index.search(&Query::terms(&["perovskite"]));
-    println!("q1 'perovskite' -> {} hits; top: {:?}", hits.len(),
-             hits.first().map(|h| (h.family, (h.score * 1000.0).round() / 1000.0)));
+    println!(
+        "q1 'perovskite' -> {} hits; top: {:?}",
+        hits.len(),
+        hits.first()
+            .map(|h| (h.family, (h.score * 1000.0).round() / 1000.0))
+    );
 
     // Query 2: field filter — converged VASP runs only.
     let q = Query {
@@ -97,7 +106,14 @@ fn main() {
 
     // Facet-style census by extractor provenance.
     println!("q4 records by extractor facet:");
-    for name in ["keyword", "tabular", "matio", "images", "hierarchical", "semi-structured"] {
+    for name in [
+        "keyword",
+        "tabular",
+        "matio",
+        "images",
+        "hierarchical",
+        "semi-structured",
+    ] {
         let q = Query {
             terms: vec![],
             filters: vec![Filter::exists(name)],

@@ -64,7 +64,12 @@ fn extract_backend(
     let auth = Arc::new(AuthService::new());
     let token = auth.login(
         "cli",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     );
     let service = XtractService::new(fabric, auth, 0xC11);
     let mut spec = JobSpec::single_endpoint(
@@ -102,8 +107,8 @@ fn extract_backend(
         report.failures.len(),
         report.waves
     );
-    for (fam, why) in report.failures.iter().take(5) {
-        eprintln!("  failure {fam}: {why}");
+    for letter in report.failures.iter().take(5) {
+        eprintln!("  failure {letter}");
     }
     Ok(report.records)
 }
@@ -128,10 +133,18 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
         // Print a compact per-record summary.
         for rec in records.iter().take(20) {
             let extractors = rec.extractors.join("+");
-            println!("{}\t[{}]\t{} keys", rec.family, extractors, rec.document.len());
+            println!(
+                "{}\t[{}]\t{} keys",
+                rec.family,
+                extractors,
+                rec.document.len()
+            );
         }
         if records.len() > 20 {
-            println!("... and {} more (use --jsonl to dump all)", records.len() - 20);
+            println!(
+                "... and {} more (use --jsonl to dump all)",
+                records.len() - 20
+            );
         }
     }
     Ok(())

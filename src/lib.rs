@@ -40,7 +40,8 @@ pub use xtract_workloads as workloads;
 /// Commonly-used items, one `use` away.
 pub mod prelude {
     pub use xtract_types::{
-        EndpointId, EndpointSpec, ExtractorKind, Family, FamilyBatch, FileRecord, FileType,
-        GroupingStrategy, JobSpec, Metadata, OffloadMode, ValidationSchema, XtractError,
+        Blackout, DeadLetter, EndpointId, EndpointSpec, ExtractorKind, FailureReason, Family,
+        FamilyBatch, FaultPlan, FaultScope, FileRecord, FileType, GroupingStrategy, JobSpec,
+        Metadata, OffloadMode, RetryPolicy, ValidationSchema, XtractError,
     };
 }

@@ -7,7 +7,11 @@ fn fixture_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("xtract-cli-test-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(dir.join("runs")).unwrap();
-    std::fs::write(dir.join("notes.txt"), "perovskite photoluminescence measurements\n").unwrap();
+    std::fs::write(
+        dir.join("notes.txt"),
+        "perovskite photoluminescence measurements\n",
+    )
+    .unwrap();
     std::fs::write(dir.join("obs.csv"), "year,co2\n1990,354.1\n1991,355.3\n").unwrap();
     std::fs::write(dir.join("runs/INCAR"), "ENCUT = 450\n").unwrap();
     std::fs::write(
@@ -33,7 +37,11 @@ fn cli() -> Command {
 fn extract_processes_a_real_directory() {
     let dir = fixture_dir("extract");
     let out = cli().arg("extract").arg(&dir).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("crawled 6 files"), "{stderr}");
     assert!(stderr.contains("0 failures"), "{stderr}");
@@ -43,7 +51,12 @@ fn extract_processes_a_real_directory() {
         .flatten()
         .map(|e| e.file_name().into_string().unwrap())
         .collect();
-    assert!(!names.iter().any(|n| n == "metadata" || n.starts_with(".xtract")), "{names:?}");
+    assert!(
+        !names
+            .iter()
+            .any(|n| n == "metadata" || n.starts_with(".xtract")),
+        "{names:?}"
+    );
     std::fs::remove_dir_all(dir).unwrap();
 }
 
@@ -75,7 +88,12 @@ fn extract_dumps_jsonl() {
 #[test]
 fn search_finds_planted_terms() {
     let dir = fixture_dir("search");
-    let out = cli().arg("search").arg(&dir).arg("perovskite").output().unwrap();
+    let out = cli()
+        .arg("search")
+        .arg(&dir)
+        .arg("perovskite")
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("hits for"), "{stdout}");

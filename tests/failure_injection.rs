@@ -1,6 +1,7 @@
-//! Failure injection: transfer faults, allocation expiry mid-job, and
-//! poisoned files. The orchestrator must converge with complete metadata
-//! or explicit per-family error records — never hang, never panic.
+//! Failure injection: transfer faults, endpoint blackouts, allocation
+//! expiry mid-job, and poisoned files. The orchestrator must converge with
+//! complete metadata or typed per-family dead letters — never hang, never
+//! panic — and the same plan over the same seed must fail identically.
 
 use bytes::Bytes;
 use std::sync::Arc;
@@ -13,7 +14,12 @@ use xtract_types::config::ContainerRuntime;
 fn full_token(auth: &AuthService) -> Token {
     auth.login(
         "chaos",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     )
 }
 
@@ -56,8 +62,9 @@ fn transfer_faults_are_retried_transparently() {
     });
     svc.connect_endpoint(&spec.endpoints[0]).unwrap();
     let report = svc.run_job(token, &spec).unwrap();
-    // Retry-once semantics: a few families may permanently fail when both
-    // attempts fault, but the job completes and accounts for every family.
+    // Each staging attempt re-rolls, so four attempts at a 20% fault rate
+    // absorb almost everything; whatever still fails must carry a typed
+    // prefetch reason, and every family lands in exactly one bucket.
     assert_eq!(
         report.records.len() as u64 + report.failures.len() as u64,
         report.families
@@ -68,9 +75,136 @@ fn transfer_faults_are_retried_transparently() {
         report.failures.len(),
         report.families
     );
-    for (_, reason) in &report.failures {
-        assert!(reason.contains("prefetch"), "unexpected failure: {reason}");
+    for letter in &report.failures {
+        assert!(
+            matches!(letter.reason, FailureReason::PrefetchFailed { .. }),
+            "unexpected failure: {letter}"
+        );
+        assert!(
+            letter.attempts > 0,
+            "dead letter with no attempts: {letter}"
+        );
     }
+}
+
+/// Rig for the blackout scenarios: data lives on a storage-only endpoint,
+/// and one or two compute endpoints execute. Returns the report.
+fn run_blackout_job(
+    seed: u64,
+    plan: FaultPlan,
+    second_compute: bool,
+) -> (xtract_core::JobReport, Arc<XtractService>) {
+    let fabric = Arc::new(DataFabric::new());
+    let src_ep = EndpointId::new(0);
+    let exec_ep = EndpointId::new(1);
+    let alt_ep = EndpointId::new(2);
+    let src = Arc::new(MemFs::new(src_ep));
+    xtract_workloads::materialize::sample_repo(src.as_ref(), "/data", 24, &RngStreams::new(seed));
+    fabric.register(src_ep, "petrel", src);
+    fabric.register(exec_ep, "river", Arc::new(MemFs::new(exec_ep)));
+    if second_compute {
+        fabric.register(alt_ep, "backup", Arc::new(MemFs::new(alt_ep)));
+    }
+
+    let auth = Arc::new(AuthService::new());
+    let token = full_token(&auth);
+    let svc = Arc::new(XtractService::new(fabric, auth, 60));
+
+    let mut spec = JobSpec::single_endpoint(compute_spec(exec_ep, 2), "/data");
+    spec.roots = vec![(src_ep, "/data".to_string())];
+    if second_compute {
+        spec.endpoints.push(compute_spec(alt_ep, 2));
+    }
+    spec.endpoints.push(EndpointSpec {
+        endpoint: src_ep,
+        read_path: "/data".into(),
+        store_path: None,
+        available_bytes: 0,
+        workers: None,
+        runtime: ContainerRuntime::Docker,
+    });
+    spec.fault_plan = Some(plan);
+    // Open the breaker after two consecutive batch losses and cap each
+    // extractor step at three attempts: the reroute fires well before the
+    // budget dead-letters anything, and the no-alternative case converges
+    // in a handful of waves rather than the default twelve probe cycles.
+    spec.retry.breaker_threshold = 2;
+    spec.retry.task_attempts = 3;
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    if second_compute {
+        svc.connect_endpoint(&spec.endpoints[1]).unwrap();
+    }
+    let report = svc.run_job(token, &spec).unwrap();
+    (report, svc)
+}
+
+#[test]
+fn compute_blackout_reroutes_families_to_healthy_endpoint() {
+    // The primary's compute layer goes permanently dark, but its data
+    // layer (and the backup endpoint) stay reachable: the breaker must
+    // open and every family must be re-staged and re-run at the backup.
+    let mut plan = FaultPlan::new(1);
+    plan.blackouts.push(Blackout::scoped(
+        EndpointId::new(1),
+        0,
+        u64::MAX,
+        FaultScope::Compute,
+    ));
+    let (report, svc) = run_blackout_job(210, plan, true);
+
+    assert_eq!(
+        report.records.len() as u64 + report.failures.len() as u64,
+        report.families
+    );
+    assert!(
+        report.failures.is_empty(),
+        "reroute should rescue every family: {:?}",
+        report.failures
+    );
+    assert!(
+        report.rerouted >= report.families,
+        "expected every family rerouted, got {} of {}",
+        report.rerouted,
+        report.families
+    );
+    // The rescue really moved bytes to the backup endpoint.
+    let restaged = svc
+        .transfer_service()
+        .pair_stats(EndpointId::new(0), EndpointId::new(2));
+    assert!(restaged.files > 0, "no bytes were re-staged to the backup");
+}
+
+#[test]
+fn compute_blackout_without_alternative_dead_letters_deterministically() {
+    // Same outage, no backup endpoint: families park behind the open
+    // breaker, half-open probes keep failing, and once the retry budget is
+    // spent every family is dead-lettered — identically across runs.
+    let blackout = Blackout::scoped(EndpointId::new(1), 0, u64::MAX, FaultScope::Compute);
+    let run = || {
+        let mut plan = FaultPlan::new(2);
+        plan.blackouts.push(blackout);
+        run_blackout_job(211, plan, false).0
+    };
+    let (a, b) = (run(), run());
+
+    assert!(a.records.is_empty(), "nothing can execute under the outage");
+    assert_eq!(a.failures.len() as u64, a.families);
+    for letter in &a.failures {
+        assert!(
+            matches!(letter.reason, FailureReason::RetryBudgetExhausted { .. }),
+            "unexpected terminal reason: {letter}"
+        );
+        assert!(
+            !letter.timeline.is_empty(),
+            "dead letter should carry its failure timeline"
+        );
+    }
+    // Determinism: same plan + same seed -> identical dead-letter sets.
+    fn keys(r: &xtract_core::JobReport) -> Vec<(xtract_types::FamilyId, &'static str)> {
+        r.failures.iter().map(DeadLetter::key).collect()
+    }
+    assert_eq!(keys(&a), keys(&b));
+    assert_eq!(a.waves, b.waves);
 }
 
 #[test]
@@ -110,8 +244,8 @@ fn allocation_expiry_mid_job_is_absorbed_by_resubmission() {
     disruptor.join().unwrap();
 
     // Everything converged: each family either has a record or a
-    // MAX_ATTEMPTS-exceeded failure (possible if expiries kept landing on
-    // the same family).
+    // retry-budget-exhausted dead letter (possible if expiries kept
+    // landing on the same family).
     assert_eq!(
         report.records.len() as u64 + report.failures.len() as u64,
         report.families
@@ -130,9 +264,18 @@ fn poisoned_files_yield_error_records_not_hangs() {
     let ep = EndpointId::new(0);
     let fs = Arc::new(MemFs::new(ep));
     // Corrupt members of every parser's domain.
-    fs.write("/data/broken.ximg", Bytes::from_static(b"XIMG\xff\xff")).unwrap();
-    fs.write("/data/broken.xhdf", Bytes::from_static(b"XHDF\ndataset /orphan/x shape=1 dtype=f32\n")).unwrap();
-    fs.write("/data/fine.txt", Bytes::from_static(b"perfectly good spectroscopy notes")).unwrap();
+    fs.write("/data/broken.ximg", Bytes::from_static(b"XIMG\xff\xff"))
+        .unwrap();
+    fs.write(
+        "/data/broken.xhdf",
+        Bytes::from_static(b"XHDF\ndataset /orphan/x shape=1 dtype=f32\n"),
+    )
+    .unwrap();
+    fs.write(
+        "/data/fine.txt",
+        Bytes::from_static(b"perfectly good spectroscopy notes"),
+    )
+    .unwrap();
     fabric.register(ep, "midway", fs);
     let auth = Arc::new(AuthService::new());
     let token = full_token(&auth);
@@ -143,7 +286,11 @@ fn poisoned_files_yield_error_records_not_hangs() {
     // Parse errors are *recorded inside metadata*, not job failures: the
     // extractor interface treats poisoned members as data, and validation
     // still produces records.
-    assert!(report.failures.is_empty(), "failures: {:?}", report.failures);
+    assert!(
+        report.failures.is_empty(),
+        "failures: {:?}",
+        report.failures
+    );
     assert_eq!(report.records.len(), 3);
     let with_error = report
         .records
@@ -154,7 +301,10 @@ fn poisoned_files_yield_error_records_not_hangs() {
                 .unwrap_or(false)
         })
         .count();
-    assert_eq!(with_error, 2, "both corrupt files should carry error records");
+    assert_eq!(
+        with_error, 2,
+        "both corrupt files should carry error records"
+    );
 }
 
 #[test]
@@ -165,8 +315,13 @@ fn faas_worker_panic_is_contained() {
     let fabric = Arc::new(DataFabric::new());
     let ep = EndpointId::new(0);
     let fs = Arc::new(MemFs::new(ep));
-    fs.write("/data/a.txt", Bytes::from_static(b"stable file content here")).unwrap();
-    fs.write("/data/vanishing.txt", Bytes::from_static(b"gone soon")).unwrap();
+    fs.write(
+        "/data/a.txt",
+        Bytes::from_static(b"stable file content here"),
+    )
+    .unwrap();
+    fs.write("/data/vanishing.txt", Bytes::from_static(b"gone soon"))
+        .unwrap();
     fabric.register(ep, "midway", fs.clone());
     let auth = Arc::new(AuthService::new());
     let token = full_token(&auth);

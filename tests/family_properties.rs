@@ -14,10 +14,7 @@ use xtract_types::{EndpointId, FileRecord, GroupingStrategy};
 
 /// Crawl a generated MDF-like tree and return per-directory
 /// (files, groups).
-fn crawl_tree(
-    files: u64,
-    seed: u64,
-) -> Vec<(Vec<FileRecord>, Vec<xtract_types::Group>)> {
+fn crawl_tree(files: u64, seed: u64) -> Vec<(Vec<FileRecord>, Vec<xtract_types::Group>)> {
     let ep = EndpointId::new(0);
     let fs: Arc<dyn StorageBackend> = Arc::new(MemFs::new(ep));
     xtract_workloads::mdf::generate_tree(fs.as_ref(), files, &RngStreams::new(seed));

@@ -21,7 +21,12 @@ fn extract(files: u64, seed: u64) -> (Vec<xtract_types::MetadataRecord>, Arc<Mem
     let auth = Arc::new(AuthService::new());
     let token = auth.login(
         "u",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     );
     let svc = XtractService::new(fabric, auth, seed);
     let mut spec = JobSpec::single_endpoint(
@@ -65,7 +70,11 @@ fn extracted_records_are_findable() {
     }
 
     // Domain terms planted by the prose generator are searchable.
-    let hits = index.search(&Query::terms(&["spectroscopy", "perovskite", "diffraction"]));
+    let hits = index.search(&Query::terms(&[
+        "spectroscopy",
+        "perovskite",
+        "diffraction",
+    ]));
     assert!(!hits.is_empty(), "planted domain terms not found");
     // And ranked: scores are non-increasing.
     for w in hits.windows(2) {
@@ -74,7 +83,10 @@ fn extracted_records_are_findable() {
 
     // Utility scoring works over the whole result set.
     let all: Vec<_> = index
-        .search(&Query { limit: usize::MAX, ..Query::terms(&[]) })
+        .search(&Query {
+            limit: usize::MAX,
+            ..Query::terms(&[])
+        })
         .iter()
         .map(|h| index.get(h.family).unwrap())
         .collect();

@@ -5,14 +5,19 @@ use std::sync::Arc;
 use xtract::prelude::*;
 use xtract_core::XtractService;
 use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope, StorageBackend, Token};
-use xtract_types::OffloadMode;
 use xtract_sim::RngStreams;
 use xtract_types::config::ContainerRuntime;
+use xtract_types::OffloadMode;
 
 fn full_token(auth: &AuthService) -> Token {
     auth.login(
         "integration",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     )
 }
 
@@ -32,12 +37,8 @@ fn single_endpoint_job_extracts_everything() {
     let fabric = Arc::new(DataFabric::new());
     let ep = EndpointId::new(0);
     let fs = Arc::new(MemFs::new(ep));
-    let (manifest, stats) = xtract_workloads::materialize::sample_repo(
-        fs.as_ref(),
-        "/data",
-        80,
-        &RngStreams::new(100),
-    );
+    let (manifest, stats) =
+        xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", 80, &RngStreams::new(100));
     fabric.register(ep, "midway", fs.clone());
     let auth = Arc::new(AuthService::new());
     let token = full_token(&auth);
@@ -49,12 +50,27 @@ fn single_endpoint_job_extracts_everything() {
 
     let report = svc.run_job(token, &spec).unwrap();
     assert_eq!(report.crawled_files, stats.files);
-    assert!(report.failures.is_empty(), "failures: {:?}", report.failures);
+    assert!(
+        report.failures.is_empty(),
+        "failures: {:?}",
+        report.failures
+    );
     assert_eq!(report.records.len() as u64, report.families);
     // Every extractor class in the manifest ran at least once.
-    for class in ["keyword", "tabular", "semi-structured", "images", "hierarchical", "matio"] {
+    for class in [
+        "keyword",
+        "tabular",
+        "semi-structured",
+        "images",
+        "hierarchical",
+        "matio",
+    ] {
         let count = report.invocations.get(class).copied().unwrap_or(0);
-        assert!(count > 0, "extractor {class} never ran: {:?}", report.invocations);
+        assert!(
+            count > 0,
+            "extractor {class} never ran: {:?}",
+            report.invocations
+        );
     }
     // Records carry non-trivial content: at least one VASP family with a
     // synthesized formula + final energy.
@@ -99,7 +115,11 @@ fn storage_only_endpoint_forces_prefetch() {
     svc.connect_endpoint(&spec.endpoints[0]).unwrap();
 
     let report = svc.run_job(token, &spec).unwrap();
-    assert!(report.failures.is_empty(), "failures: {:?}", report.failures);
+    assert!(
+        report.failures.is_empty(),
+        "failures: {:?}",
+        report.failures
+    );
     assert!(report.bytes_prefetched > 0, "no prefetch happened");
     assert_eq!(
         svc.transfer_service().pair_stats(petrel, river).bytes,
@@ -226,7 +246,11 @@ fn live_rand_offloading_splits_work_between_endpoints() {
     svc.connect_endpoint(&spec.endpoints[1]).unwrap();
 
     let report = svc.run_job(token, &spec).unwrap();
-    assert!(report.failures.is_empty(), "failures: {:?}", report.failures);
+    assert!(
+        report.failures.is_empty(),
+        "failures: {:?}",
+        report.failures
+    );
     assert_eq!(report.records.len() as u64, report.families);
     // Bytes moved to the secondary site for the offloaded share.
     let moved = svc.transfer_service().pair_stats(midway, jetstream);

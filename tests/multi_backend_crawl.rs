@@ -72,7 +72,12 @@ fn records_land_on_the_results_endpoint() {
     let auth = Arc::new(AuthService::new());
     let token = auth.login(
         "u",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     );
     let svc = XtractService::new(fabric, auth, 501);
     let mut spec = JobSpec::single_endpoint(

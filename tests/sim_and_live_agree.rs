@@ -59,7 +59,12 @@ fn batching_reduces_requests_in_both_modes() {
         let auth = Arc::new(AuthService::new());
         let token = auth.login(
             "u",
-            &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+            &[
+                Scope::Crawl,
+                Scope::Extract,
+                Scope::Transfer,
+                Scope::Validate,
+            ],
         );
         let svc = XtractService::new(fabric, auth, 12);
         let mut spec = JobSpec::single_endpoint(
@@ -111,7 +116,10 @@ fn mdf_profile_mix_agrees_with_fig8_cost_structure() {
         .fold(0.0f64, f64::max);
     assert!(longest > 3600.0, "no multi-hour family: max {longest:.0}s");
     // ...but none beyond Fig. 8's observed ceiling.
-    assert!(longest <= 15_001.0, "family exceeds Fig. 8 ceiling: {longest:.0}s");
+    assert!(
+        longest <= 15_001.0,
+        "family exceeds Fig. 8 ceiling: {longest:.0}s"
+    );
 }
 
 #[test]
@@ -128,7 +136,9 @@ fn crawl_model_and_threaded_crawler_see_the_same_tree() {
         grouping: GroupingStrategy::MaterialsAware,
     });
     let (tx, rx) = crossbeam_channel::unbounded();
-    crawler.crawl(fabric_ep, &fs, &["/".to_string()], tx).unwrap();
+    crawler
+        .crawl(fabric_ep, &fs, &["/".to_string()], tx)
+        .unwrap();
     drop(rx);
     let (dirs, files, bytes, _groups) = crawler.metrics().snapshot();
     assert_eq!(files, stats.files);

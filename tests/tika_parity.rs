@@ -34,7 +34,12 @@ fn xtract_extracts_what_tika_cannot() {
     let auth = Arc::new(AuthService::new());
     let token = auth.login(
         "u",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     );
     let svc = XtractService::new(fabric, auth, 60);
     let mut spec = JobSpec::single_endpoint(
@@ -63,7 +68,10 @@ fn xtract_extracts_what_tika_cannot() {
             matches!(name, "INCAR" | "POSCAR" | "OUTCAR") && o.parser.is_some()
         })
         .count();
-    assert_eq!(tika_vasp_parsed, 0, "Tika should not parse extension-less VASP files");
+    assert_eq!(
+        tika_vasp_parsed, 0,
+        "Tika should not parse extension-less VASP files"
+    );
     let xtract_vasp = xtract
         .records
         .iter()
@@ -90,8 +98,11 @@ fn mime_conflation_costs_tika_tabular_metadata() {
     let mut rng = RngStreams::new(301).stream("tables");
     for i in 0..12 {
         let body = xtract_workloads::materialize::csv(&mut rng, 30);
-        fs.write(&format!("/data/report_{i}.txt"), bytes::Bytes::from(body.into_bytes()))
-            .unwrap();
+        fs.write(
+            &format!("/data/report_{i}.txt"),
+            bytes::Bytes::from(body.into_bytes()),
+        )
+        .unwrap();
     }
     fabric.register(ep, "midway", fs.clone());
 
@@ -99,14 +110,22 @@ fn mime_conflation_costs_tika_tabular_metadata() {
     let tika = TikaServer::new(2).process(&backend, "/data");
     // Tika: all keyword, zero column stats.
     assert_eq!(tika.parser_counts.get("keyword").copied().unwrap_or(0), 12);
-    assert!(tika.outputs.iter().all(|o| o.metadata.get("column_stats").is_none()));
+    assert!(tika
+        .outputs
+        .iter()
+        .all(|o| o.metadata.get("column_stats").is_none()));
 
     // Xtract: the keyword extractor *discovers* tabular content and the
     // plan extends (§3, §5.8.2).
     let auth = Arc::new(AuthService::new());
     let token = auth.login(
         "u",
-        &[Scope::Crawl, Scope::Extract, Scope::Transfer, Scope::Validate],
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
     );
     let svc = XtractService::new(fabric, auth, 61);
     let spec = JobSpec::single_endpoint(
