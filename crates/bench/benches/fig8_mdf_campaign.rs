@@ -63,6 +63,16 @@ fn main() {
         "    restarts           {} (paper: 1); families resubmitted: {}",
         report.restarts, report.lost_families
     );
+    {
+        use xtract_obs::Phase;
+        println!(
+            "    phase marks (h)    crawl {:.2}, stage {:.2}, dispatch {:.2}, extract {:.2}",
+            report.phases.get(Phase::Crawl) / 3600.0,
+            report.phases.get(Phase::Stage) / 3600.0,
+            report.phases.get(Phase::Dispatch) / 3600.0,
+            report.phases.get(Phase::Extract) / 3600.0,
+        );
+    }
 
     // Fig. 8 top: throughput and cumulative groups.
     println!("\n  throughput over time (K groups/s) and cumulative (M):");

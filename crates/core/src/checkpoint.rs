@@ -15,6 +15,7 @@
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use xtract_obs::{Counter, MetricsHub};
 use xtract_types::{DeadLetter, FamilyId, Metadata, Result, XtractError};
 
 /// One flushed entry.
@@ -42,6 +43,8 @@ struct CheckpointImage {
 pub struct CheckpointStore {
     entries: RwLock<HashMap<(FamilyId, String), Metadata>>,
     dead_letters: RwLock<Vec<DeadLetter>>,
+    flushes: Counter,
+    hits: Counter,
 }
 
 impl CheckpointStore {
@@ -50,8 +53,18 @@ impl CheckpointStore {
         Self::default()
     }
 
+    /// An empty store whose flush/hit counters are interned in `hub` as
+    /// `checkpoint.flushes` and `checkpoint.hits`.
+    pub fn with_obs(hub: &MetricsHub) -> Self {
+        let mut store = Self::new();
+        store.flushes = hub.counter("checkpoint.flushes");
+        store.hits = hub.counter("checkpoint.hits");
+        store
+    }
+
     /// Flushes one completed extractor's output for a family.
     pub fn flush(&self, family: FamilyId, extractor: &str, metadata: Metadata) {
+        self.flushes.incr();
         self.entries
             .write()
             .insert((family, extractor.to_string()), metadata);
@@ -59,10 +72,15 @@ impl CheckpointStore {
 
     /// Loads a previously-flushed output, if any.
     pub fn load(&self, family: FamilyId, extractor: &str) -> Option<Metadata> {
-        self.entries
+        let found = self
+            .entries
             .read()
             .get(&(family, extractor.to_string()))
-            .cloned()
+            .cloned();
+        if found.is_some() {
+            self.hits.incr();
+        }
+        found
     }
 
     /// Extractor names already completed for `family`.
@@ -241,6 +259,18 @@ mod tests {
         let restored = CheckpointStore::deserialize(&store.serialize()).unwrap();
         assert!(restored.is_dead(FamilyId::new(2)));
         assert_eq!(restored.load(FamilyId::new(1), "keyword"), Some(md("kw")));
+    }
+
+    #[test]
+    fn hub_backed_store_counts_flushes_and_hits() {
+        let hub = MetricsHub::new();
+        let store = CheckpointStore::with_obs(&hub);
+        store.flush(FamilyId::new(1), "keyword", md("kw"));
+        store.flush(FamilyId::new(1), "tabular", md("tb"));
+        assert!(store.load(FamilyId::new(1), "keyword").is_some()); // hit
+        assert!(store.load(FamilyId::new(9), "keyword").is_none()); // miss
+        assert_eq!(hub.counter_value("checkpoint.flushes", None), 2);
+        assert_eq!(hub.counter_value("checkpoint.hits", None), 1);
     }
 
     #[test]

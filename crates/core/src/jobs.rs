@@ -178,6 +178,12 @@ impl JobManager {
         ids.sort();
         ids
     }
+
+    /// The underlying service's observability bundle: live metrics and the
+    /// event journal accumulate across every job this manager runs.
+    pub fn obs(&self) -> &xtract_obs::Obs {
+        self.service.obs()
+    }
 }
 
 impl Drop for JobManager {
@@ -250,6 +256,10 @@ mod tests {
         assert!(!report.records.is_empty());
         // Reports are consumed once.
         assert!(mgr.take_report(id).is_none());
+        // The shared observability bundle saw the job happen.
+        let snap = mgr.obs().hub.snapshot();
+        assert!(snap.counter("crawl.files") >= 20);
+        assert!(!mgr.obs().journal.is_empty());
     }
 
     #[test]

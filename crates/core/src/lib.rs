@@ -39,6 +39,8 @@
 //! * [`crawlmodel`] — the calibrated analytic crawl-time model behind
 //!   Fig. 4.
 
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod batcher;
 pub mod campaign;
 pub mod checkpoint;

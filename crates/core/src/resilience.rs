@@ -14,6 +14,8 @@
 //! step), so breaker cooldowns are reproducible — no wall clocks.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use xtract_obs::{Event, EventJournal};
 use xtract_types::{EndpointId, FamilyId, RetryPolicy};
 
 /// Circuit-breaker state for one endpoint.
@@ -45,6 +47,8 @@ pub struct HealthTracker {
     cooldown: u64,
     clock: u64,
     health: HashMap<EndpointId, EndpointHealth>,
+    /// Optional sink for breaker state-transition events.
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl HealthTracker {
@@ -55,12 +59,43 @@ impl HealthTracker {
             cooldown: policy.breaker_cooldown,
             clock: 0,
             health: HashMap::new(),
+            journal: None,
+        }
+    }
+
+    /// Like [`HealthTracker::new`], but breaker transitions (open,
+    /// half-open, close) are also recorded in `journal`.
+    pub fn with_journal(policy: &RetryPolicy, journal: Arc<EventJournal>) -> Self {
+        let mut tracker = Self::new(policy);
+        tracker.journal = Some(journal);
+        tracker
+    }
+
+    fn journal_event(&self, event: Event) {
+        if let Some(journal) = &self.journal {
+            journal.record(event);
         }
     }
 
     /// Advances the logical clock (call once per wave/step).
     pub fn tick(&mut self) {
         self.clock += 1;
+        if self.journal.is_some() {
+            // A breaker crosses into half-open exactly when the clock
+            // reaches `opened_at + cooldown`; report each crossing once.
+            let half_open: Vec<EndpointId> = self
+                .health
+                .iter()
+                .filter(|(_, h)| {
+                    h.opened_at
+                        .is_some_and(|at| self.clock == at + self.cooldown)
+                })
+                .map(|(ep, _)| *ep)
+                .collect();
+            for endpoint in half_open {
+                self.journal_event(Event::BreakerHalfOpen { endpoint });
+            }
+        }
     }
 
     /// The current logical time.
@@ -73,11 +108,14 @@ impl HealthTracker {
     /// half-open probe fails.
     pub fn record_failure(&mut self, endpoint: EndpointId) {
         let was_half_open = self.state(endpoint) == BreakerState::HalfOpen;
+        let threshold = self.threshold;
+        let clock = self.clock;
         let h = self.health.entry(endpoint).or_default();
         h.consecutive_failures += 1;
         h.total_failures += 1;
-        if was_half_open || (h.opened_at.is_none() && h.consecutive_failures >= self.threshold) {
-            h.opened_at = Some(self.clock);
+        if was_half_open || (h.opened_at.is_none() && h.consecutive_failures >= threshold) {
+            h.opened_at = Some(clock);
+            self.journal_event(Event::BreakerOpened { endpoint });
         }
     }
 
@@ -86,7 +124,10 @@ impl HealthTracker {
     pub fn record_success(&mut self, endpoint: EndpointId) {
         let h = self.health.entry(endpoint).or_default();
         h.consecutive_failures = 0;
-        h.opened_at = None;
+        let was_open = h.opened_at.take().is_some();
+        if was_open {
+            self.journal_event(Event::BreakerClosed { endpoint });
+        }
     }
 
     /// The breaker state at the current logical time. Unknown endpoints
@@ -221,6 +262,33 @@ mod tests {
         }
         assert_eq!(t.state(EndpointId::new(1)), BreakerState::Open);
         assert_eq!(t.state(EndpointId::new(2)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn journal_sees_every_breaker_transition() {
+        let journal = Arc::new(EventJournal::default());
+        let mut t = HealthTracker::with_journal(&policy(), journal.clone());
+        let ep = EndpointId::new(9);
+        for _ in 0..3 {
+            t.record_failure(ep);
+        }
+        t.tick();
+        t.tick(); // cooldown=2: breaker crosses into half-open here
+        t.record_success(ep);
+        // A later tick must not re-report the (now closed) breaker.
+        t.tick();
+
+        let kinds: Vec<&'static str> = journal
+            .events()
+            .iter()
+            .map(|r| match r.event {
+                Event::BreakerOpened { .. } => "opened",
+                Event::BreakerHalfOpen { .. } => "half_open",
+                Event::BreakerClosed { .. } => "closed",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["opened", "half_open", "closed"]);
     }
 
     #[test]

@@ -43,11 +43,12 @@ use bytes::Bytes;
 use crossbeam_channel::unbounded;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xtract_crawler::{Crawler, CrawlerConfig};
 use xtract_datafabric::{AuthService, DataFabric, Scope, Token, TransferRequest, TransferService};
 use xtract_extractors::{library, Extractor};
 use xtract_faas::{EndpointConfig, FaasService, FunctionRegistry, TaskSpec, TaskStatus};
+use xtract_obs::{Event, EventJournal, Obs, Phase, PhaseTimings};
 use xtract_sim::RngStreams;
 use xtract_types::id::IdAllocator;
 use xtract_types::{
@@ -83,6 +84,9 @@ pub struct JobReport {
     /// Families moved to another endpoint after their home's circuit
     /// breaker opened.
     pub rerouted: u64,
+    /// Wall-clock seconds per pipeline phase (crawl → plan → stage →
+    /// dispatch → extract → index).
+    pub phases: PhaseTimings,
 }
 
 struct ActiveFamily {
@@ -117,6 +121,7 @@ fn charge_step_loss(
     ledger: &mut RetryLedger,
     health: &mut HealthTracker,
     report: &mut JobReport,
+    journal: &EventJournal,
 ) {
     let mut endpoint = None;
     for fid in fams {
@@ -130,6 +135,11 @@ fn charge_step_loss(
             wave: health.now(),
             endpoint: af.exec,
             note: format!("{note} (attempt {n})"),
+        });
+        journal.record(Event::Retry {
+            family: af.family.id,
+            attempt: *n,
+            note: note.to_string(),
         });
         let within_budget = ledger.charge(af.family.id);
         if *n >= retry.task_attempts || !within_budget {
@@ -150,6 +160,7 @@ pub struct XtractService {
     auth: Arc<AuthService>,
     transfer: Arc<TransferService>,
     faas: Arc<FaasService>,
+    obs: Obs,
     library: HashMap<ExtractorKind, Arc<dyn Extractor>>,
     functions: parking_lot::RwLock<HashMap<(ExtractorKind, EndpointId), FunctionId>>,
     containers: parking_lot::RwLock<HashMap<ExtractorKind, Vec<ContainerId>>>,
@@ -158,15 +169,23 @@ pub struct XtractService {
 }
 
 impl XtractService {
-    /// A service over a data fabric and auth provider.
+    /// A service over a data fabric and auth provider. Every substrate —
+    /// FaaS fabric, transfer service, crawler, breakers — reports into one
+    /// shared [`Obs`] bundle, readable via [`Self::obs`].
     pub fn new(fabric: Arc<DataFabric>, auth: Arc<AuthService>, seed: u64) -> Self {
+        let obs = Obs::new();
         let registry = Arc::new(FunctionRegistry::new());
-        let faas = Arc::new(FaasService::new(registry));
+        let faas = Arc::new(FaasService::with_obs(registry, obs.clone()));
         Self {
-            transfer: Arc::new(TransferService::new(fabric.clone(), auth.clone())),
+            transfer: Arc::new(TransferService::with_obs(
+                fabric.clone(),
+                auth.clone(),
+                obs.clone(),
+            )),
             fabric,
             auth,
             faas,
+            obs,
             library: library(),
             functions: parking_lot::RwLock::new(HashMap::new()),
             containers: parking_lot::RwLock::new(HashMap::new()),
@@ -183,6 +202,12 @@ impl XtractService {
     /// The underlying FaaS fabric (statistics, fault injection).
     pub fn faas(&self) -> &Arc<FaasService> {
         &self.faas
+    }
+
+    /// The service's observability bundle: the metrics hub every substrate
+    /// reports into and the journal of typed events.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Connects an endpoint's compute layer and registers every extractor
@@ -355,16 +380,18 @@ impl XtractService {
 
     fn run_job_inner(&self, token: Token, spec: &JobSpec) -> Result<JobReport> {
         let mut report = JobReport::default();
-        let checkpoint = CheckpointStore::new();
+        let checkpoint = CheckpointStore::with_obs(&self.obs.hub);
         let retry = &spec.retry;
-        let mut health = HealthTracker::new(retry);
+        let mut health = HealthTracker::with_journal(retry, self.obs.journal.clone());
         let mut ledger = RetryLedger::new(retry);
+        let journal = self.obs.journal.clone();
 
         // --- Stages 2+3, overlapped: crawl on background threads while the
         // service packages min-transfers families from directories as they
         // stream in ("the crawler asynchronously enqueues it for processing
         // by the Xtract service", §4.3.1; §5.8.1: extraction state is ready
         // "within 3 seconds of the crawler being initiated"). ---------------
+        let crawl_started = Instant::now();
         let (tx, rx) = unbounded();
         let mut crawl_threads = Vec::with_capacity(spec.roots.len());
         for (ep, root) in &spec.roots {
@@ -374,8 +401,9 @@ impl XtractService {
             let root = root.clone();
             let workers = spec.crawl_workers;
             let grouping = spec.grouping;
+            let obs = self.obs.clone();
             crawl_threads.push(std::thread::spawn(move || {
-                let crawler = Crawler::new(CrawlerConfig { workers, grouping });
+                let crawler = Crawler::with_obs(CrawlerConfig { workers, grouping }, obs);
                 crawler.crawl(ep, &backend, &[root], tx)
             }));
         }
@@ -411,8 +439,12 @@ impl XtractService {
             })??;
         }
         report.families = families.len() as u64;
+        report
+            .phases
+            .add(Phase::Crawl, crawl_started.elapsed().as_secs_f64());
 
         // --- Stage 4: placement. -------------------------------------------
+        let plan_started = Instant::now();
         let primary =
             spec.endpoints
                 .iter()
@@ -460,6 +492,7 @@ impl XtractService {
                     .get(&exec)
                     .copied()
                     .and_then(|d| d.store_path.clone());
+                let stage_started = Instant::now();
                 let staged = match store {
                     Some(store) => self.stage_family(
                         token,
@@ -477,6 +510,9 @@ impl XtractService {
                         error: XtractError::NoComputeLayer { endpoint: exec },
                     }),
                 };
+                report
+                    .phases
+                    .add(Phase::Stage, stage_started.elapsed().as_secs_f64());
                 match staged {
                     Ok(bytes) => {
                         report.bytes_prefetched += bytes;
@@ -510,6 +546,12 @@ impl XtractService {
                 origin_source,
             });
         }
+        // Planning time is the placement pass minus the staging transfers
+        // it kicked off (those already landed in the Stage bucket).
+        report.phases.add(
+            Phase::Plan,
+            plan_started.elapsed().as_secs_f64() - report.phases.get(Phase::Stage),
+        );
 
         // --- Stage 6: extraction waves. ------------------------------------
         loop {
@@ -550,6 +592,7 @@ impl XtractService {
                         .get(&new_exec)
                         .copied()
                         .and_then(|d| d.store_path.clone());
+                    let stage_started = Instant::now();
                     let staged = match store {
                         Some(store) => self.stage_family(
                             token,
@@ -567,6 +610,9 @@ impl XtractService {
                             error: XtractError::NoComputeLayer { endpoint: new_exec },
                         }),
                     };
+                    report
+                        .phases
+                        .add(Phase::Stage, stage_started.elapsed().as_secs_f64());
                     match staged {
                         Ok(bytes) => {
                             report.bytes_prefetched += bytes;
@@ -588,6 +634,7 @@ impl XtractService {
                 });
             }
 
+            let dispatch_started = Instant::now();
             let mut batcher = Batcher::new(spec.xtract_batch_size, spec.funcx_batch_size);
             let mut wave = Vec::new();
             let mut index: HashMap<FamilyId, usize> = HashMap::new();
@@ -657,9 +704,13 @@ impl XtractService {
                     submitted.push((id, kind, fams));
                 }
             }
+            report
+                .phases
+                .add(Phase::Dispatch, dispatch_started.elapsed().as_secs_f64());
 
             // Poll until terminal (batched polling, §4.3.2). A task still
             // non-terminal when the window closes is handled as lost.
+            let extract_started = Instant::now();
             let ids: Vec<_> = submitted.iter().map(|(id, _, _)| *id).collect();
             self.faas.wait_all(&ids, Duration::from_secs(120));
             let polled = self.faas.batch_poll(&ids);
@@ -717,6 +768,7 @@ impl XtractService {
                             &mut ledger,
                             &mut health,
                             &mut report,
+                            &journal,
                         );
                     }
                     TaskStatus::Failed(e) => {
@@ -748,9 +800,22 @@ impl XtractService {
                             &mut ledger,
                             &mut health,
                             &mut report,
+                            &journal,
                         );
                         if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
                             self.faas.renew_endpoint(active[i].exec);
+                        }
+                    }
+                    TaskStatus::Unknown => {
+                        // The fabric has no record of a task we believe we
+                        // submitted — state is corrupt for these families;
+                        // retrying cannot reconcile it, so they dead-letter
+                        // immediately rather than spin.
+                        for fid in fams {
+                            let Some(&i) = index.get(fid) else { continue };
+                            active[i].failed = Some(FailureReason::Internal {
+                                reason: format!("task {id} unknown to the FaaS fabric"),
+                            });
                         }
                     }
                     TaskStatus::Pending | TaskStatus::Running => {
@@ -765,13 +830,18 @@ impl XtractService {
                             &mut ledger,
                             &mut health,
                             &mut report,
+                            &journal,
                         );
                     }
                 }
             }
+            report
+                .phases
+                .add(Phase::Extract, extract_started.elapsed().as_secs_f64());
         }
 
         // --- Stage 6.5: clean staged copies once plans are done. -----------
+        let index_started = Instant::now();
         if spec.delete_after_extraction {
             for af in &active {
                 if let Some(base) = &af.family.base_path {
@@ -833,6 +903,15 @@ impl XtractService {
                 )),
             }
         }
+        for letter in &report.failures {
+            journal.record(Event::DeadLettered {
+                family: letter.family,
+                reason: letter.reason.to_string(),
+            });
+        }
+        report
+            .phases
+            .add(Phase::Index, index_started.elapsed().as_secs_f64());
         Ok(report)
     }
 }
@@ -978,6 +1057,28 @@ mod tests {
         let report = svc.run_job(token, &spec).unwrap();
         assert!(report.failures.is_empty());
         assert_eq!(report.records.len() as u64, report.families);
+    }
+
+    #[test]
+    fn job_report_carries_phase_timings_within_wall_clock() {
+        let (svc, token, spec, _fabric) = rig(20);
+        let started = Instant::now();
+        let report = svc.run_job(token, &spec).unwrap();
+        let wall = started.elapsed().as_secs_f64();
+        let total = report.phases.total();
+        assert!(total > 0.0, "no phase time recorded");
+        // The live orchestrator runs its phases sequentially, so their sum
+        // must fit inside the job's wall clock (plus measurement slop).
+        assert!(
+            total <= wall + 0.25,
+            "phase sum {total}s exceeds wall clock {wall}s"
+        );
+        assert!(report.phases.get(Phase::Extract) > 0.0);
+        // The shared hub saw every substrate of the same job.
+        let snap = svc.obs().hub.snapshot();
+        assert!(snap.counter("crawl.files") >= 20);
+        assert!(snap.counter("faas.ws_requests") >= 2);
+        assert!(!svc.obs().journal.is_empty(), "journal recorded nothing");
     }
 
     #[test]

@@ -99,21 +99,40 @@ impl WorkQueue {
     }
 }
 
+/// How often (in directories listed) a crawl worker journals progress.
+/// The first directory always reports, so short crawls still leave a
+/// trace.
+const PROGRESS_STRIDE: u64 = 128;
+
 /// The crawler service for one extraction job.
 pub struct Crawler {
     config: CrawlerConfig,
     metrics: Arc<CrawlMetrics>,
     group_ids: Arc<IdAllocator>,
+    obs: Option<xtract_obs::Obs>,
 }
 
 impl Crawler {
-    /// A crawler with the given configuration.
+    /// A crawler with the given configuration and private counters.
     pub fn new(config: CrawlerConfig) -> Self {
         assert!(config.workers > 0, "need at least one crawl worker");
         Self {
             config,
             metrics: Arc::new(CrawlMetrics::new()),
             group_ids: Arc::new(IdAllocator::new()),
+            obs: None,
+        }
+    }
+
+    /// A crawler whose counters live in `obs.hub` (as `crawl.*`) and
+    /// which journals [`xtract_obs::Event::CrawlProgress`] as it walks.
+    pub fn with_obs(config: CrawlerConfig, obs: xtract_obs::Obs) -> Self {
+        assert!(config.workers > 0, "need at least one crawl worker");
+        Self {
+            config,
+            metrics: Arc::new(CrawlMetrics::in_hub(&obs.hub)),
+            group_ids: Arc::new(IdAllocator::new()),
+            obs: Some(obs),
         }
     }
 
@@ -151,6 +170,7 @@ impl Crawler {
                 let ids = self.group_ids.clone();
                 let grouping = self.config.grouping;
                 let first_error = first_error.clone();
+                let obs = self.obs.clone();
                 s.spawn(move || {
                     while let Some(dir) = wq.pop() {
                         match backend.list(&dir) {
@@ -177,6 +197,16 @@ impl Crawler {
                                 let groups = group_directory(grouping, &files, &ids);
                                 let bytes: u64 = files.iter().map(|f| f.size).sum();
                                 metrics.record_dir(files.len() as u64, bytes, groups.len() as u64);
+                                if let Some(obs) = &obs {
+                                    let dirs = metrics.directories.get();
+                                    if dirs % PROGRESS_STRIDE == 1 {
+                                        obs.journal.record(xtract_obs::Event::CrawlProgress {
+                                            endpoint,
+                                            directories: dirs,
+                                            files: metrics.files.get(),
+                                        });
+                                    }
+                                }
                                 // A closed sink means the consumer is gone;
                                 // stop producing but keep draining the
                                 // queue so termination stays correct.
@@ -297,11 +327,40 @@ mod tests {
             .crawl(EndpointId::new(0), &backend, &["/".to_string()], tx)
             .unwrap();
         drop(rx);
-        let (dirs, files, bytes, groups) = crawler.metrics().snapshot();
-        assert_eq!(dirs, 3); // "/", "/d", "/e"
-        assert_eq!(files, 3);
-        assert_eq!(bytes, 3);
-        assert_eq!(groups, 2); // one per non-empty directory
+        let snap = crawler.metrics().snapshot();
+        assert_eq!(snap.directories, 3); // "/", "/d", "/e"
+        assert_eq!(snap.files, 3);
+        assert_eq!(snap.bytes, 3);
+        assert_eq!(snap.groups, 2); // one per non-empty directory
+        assert_eq!(snap.list_ops, 3); // MemFs never paginates
+    }
+
+    #[test]
+    fn obs_backed_crawl_reports_into_hub_and_journal() {
+        let backend = fs_with(&["/d/a.txt", "/d/b.txt", "/e/c.txt"]);
+        let obs = xtract_obs::Obs::new();
+        let crawler = Crawler::with_obs(
+            CrawlerConfig {
+                workers: 2,
+                grouping: GroupingStrategy::Directory,
+            },
+            obs.clone(),
+        );
+        let (tx, rx) = unbounded();
+        crawler
+            .crawl(EndpointId::new(0), &backend, &["/".to_string()], tx)
+            .unwrap();
+        drop(rx);
+        assert_eq!(obs.hub.counter_value("crawl.files", None), 3);
+        assert_eq!(obs.hub.counter_value("crawl.directories", None), 3);
+        let progressed = obs.journal.events().iter().any(|r| {
+            matches!(
+                r.event,
+                xtract_obs::Event::CrawlProgress { endpoint, .. }
+                    if endpoint == EndpointId::new(0)
+            )
+        });
+        assert!(progressed, "no CrawlProgress event journaled");
     }
 
     #[test]

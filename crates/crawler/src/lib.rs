@@ -18,7 +18,10 @@
 //!   [`xtract_datafabric::StorageBackend`], streaming
 //!   [`crawl::CrawledDirectory`] records to a consumer as they are
 //!   produced ("le groups are returned asynchronously", §5.8.1);
-//! * [`metrics`] — counters the Fig. 4 experiment reads.
+//! * [`metrics`] — counters the Fig. 4 experiment reads, optionally
+//!   interned in an [`xtract_obs::MetricsHub`].
+
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod crawl;
 pub mod grouping;
@@ -26,4 +29,4 @@ pub mod metrics;
 
 pub use crawl::{CrawledDirectory, Crawler, CrawlerConfig};
 pub use grouping::group_directory;
-pub use metrics::CrawlMetrics;
+pub use metrics::{CrawlMetrics, CrawlSnapshot};

@@ -1,45 +1,82 @@
 //! Crawl metrics — the counters behind Fig. 4 and the §5.8.1 crawl-rate
 //! claims.
+//!
+//! Counters are [`xtract_obs::Counter`] handles, so a crawler created with
+//! an [`xtract_obs::MetricsHub`] shares its numbers with every other
+//! substrate reporting into the same hub (named `crawl.*`), while a
+//! standalone crawler still gets free private counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use serde::{Deserialize, Serialize};
+use xtract_obs::{Counter, MetricsHub};
 
 /// Shared, thread-safe crawl counters.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CrawlMetrics {
     /// Directories listed.
-    pub directories: AtomicU64,
+    pub directories: Counter,
     /// Files discovered.
-    pub files: AtomicU64,
+    pub files: Counter,
     /// Bytes represented by discovered files.
-    pub bytes: AtomicU64,
+    pub bytes: Counter,
     /// Groups emitted by the grouping function.
-    pub groups: AtomicU64,
+    pub groups: Counter,
     /// List operations issued (≥ directories when stores paginate).
-    pub list_ops: AtomicU64,
+    pub list_ops: Counter,
+}
+
+/// A point-in-time copy of every crawl counter.
+///
+/// Named fields replace the old positional tuple: the tuple silently
+/// dropped `list_ops`, hiding pagination overhead from every caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CrawlSnapshot {
+    /// Directories listed.
+    pub directories: u64,
+    /// Files discovered.
+    pub files: u64,
+    /// Bytes represented by discovered files.
+    pub bytes: u64,
+    /// Groups emitted by the grouping function.
+    pub groups: u64,
+    /// List operations issued (≥ directories when stores paginate).
+    pub list_ops: u64,
 }
 
 impl CrawlMetrics {
-    /// Fresh counters.
+    /// Fresh private counters.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Snapshot as plain numbers `(directories, files, bytes, groups)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
-        (
-            self.directories.load(Ordering::Relaxed),
-            self.files.load(Ordering::Relaxed),
-            self.bytes.load(Ordering::Relaxed),
-            self.groups.load(Ordering::Relaxed),
-        )
+    /// Counters interned in `hub` under the `crawl.*` names, so the hub's
+    /// snapshot and the crawler's view are the same numbers.
+    pub fn in_hub(hub: &MetricsHub) -> Self {
+        Self {
+            directories: hub.counter("crawl.directories"),
+            files: hub.counter("crawl.files"),
+            bytes: hub.counter("crawl.bytes"),
+            groups: hub.counter("crawl.groups"),
+            list_ops: hub.counter("crawl.list_ops"),
+        }
+    }
+
+    /// A copy of every counter, including `list_ops`.
+    pub fn snapshot(&self) -> CrawlSnapshot {
+        CrawlSnapshot {
+            directories: self.directories.get(),
+            files: self.files.get(),
+            bytes: self.bytes.get(),
+            groups: self.groups.get(),
+            list_ops: self.list_ops.get(),
+        }
     }
 
     pub(crate) fn record_dir(&self, files: u64, bytes: u64, groups: u64) {
-        self.directories.fetch_add(1, Ordering::Relaxed);
-        self.files.fetch_add(files, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.groups.fetch_add(groups, Ordering::Relaxed);
-        self.list_ops.fetch_add(1, Ordering::Relaxed);
+        self.directories.incr();
+        self.files.add(files);
+        self.bytes.add(bytes);
+        self.groups.add(groups);
+        self.list_ops.incr();
     }
 }
 
@@ -52,7 +89,37 @@ mod tests {
         let m = CrawlMetrics::new();
         m.record_dir(10, 1000, 3);
         m.record_dir(5, 500, 2);
-        assert_eq!(m.snapshot(), (2, 15, 1500, 5));
-        assert_eq!(m.list_ops.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            m.snapshot(),
+            CrawlSnapshot {
+                directories: 2,
+                files: 15,
+                bytes: 1500,
+                groups: 5,
+                list_ops: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_reports_list_ops() {
+        // Regression: the old tuple snapshot dropped list_ops entirely.
+        let m = CrawlMetrics::new();
+        m.record_dir(1, 1, 1);
+        // A paginated store issues extra list calls beyond one per dir.
+        m.list_ops.add(3);
+        let snap = m.snapshot();
+        assert_eq!(snap.directories, 1);
+        assert_eq!(snap.list_ops, 4);
+    }
+
+    #[test]
+    fn hub_backed_metrics_share_the_hub_numbers() {
+        let hub = MetricsHub::new();
+        let m = CrawlMetrics::in_hub(&hub);
+        m.record_dir(7, 700, 2);
+        assert_eq!(hub.counter_value("crawl.files", None), 7);
+        assert_eq!(hub.counter_value("crawl.list_ops", None), 1);
+        assert_eq!(m.snapshot().bytes, 700);
     }
 }

@@ -24,6 +24,8 @@
 //! them) or statistical *stubs* (size/type only) so multi-million-file
 //! repositories fit in memory for crawl- and simulation-scale experiments.
 
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod auth;
 pub mod fabric;
 pub mod localfs;

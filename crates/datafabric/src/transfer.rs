@@ -92,6 +92,7 @@ pub struct TransferService {
     pair_stats: RwLock<HashMap<(EndpointId, EndpointId), PairStats>>,
     fetches: RwLock<HashMap<FetchKind, u64>>,
     fault: RwLock<Option<FaultPlan>>,
+    obs: Option<xtract_obs::Obs>,
     /// Monotonic submit counter — the operation index blackout windows
     /// are expressed in.
     submit_ops: AtomicU64,
@@ -108,8 +109,18 @@ impl TransferService {
             pair_stats: RwLock::new(HashMap::new()),
             fetches: RwLock::new(HashMap::new()),
             fault: RwLock::new(None),
+            obs: None,
             submit_ops: AtomicU64::new(0),
         }
+    }
+
+    /// A service reporting into `obs`: moved files/bytes intern in the hub
+    /// (`transfer.*`) and each submit journals a started/finished event
+    /// pair.
+    pub fn with_obs(fabric: Arc<DataFabric>, auth: Arc<AuthService>, obs: xtract_obs::Obs) -> Self {
+        let mut svc = Self::new(fabric, auth);
+        svc.obs = Some(obs);
+        svc
     }
 
     /// Arms a structured fault plan; every subsequent submit consults it.
@@ -165,6 +176,14 @@ impl TransferService {
         }
 
         let id = TransferId::new(self.ids.next());
+        if let Some(obs) = &self.obs {
+            obs.journal.record(xtract_obs::Event::TransferStarted {
+                transfer: id,
+                source: request.source,
+                destination: request.destination,
+                files: request.files.len() as u64,
+            });
+        }
         let mut receipt = TransferReceipt {
             id,
             files_moved: 0,
@@ -221,6 +240,25 @@ impl TransferService {
         entry.files += receipt.files_moved as u64;
         entry.bytes += receipt.bytes_moved;
         drop(stats);
+
+        if let Some(obs) = &self.obs {
+            obs.hub.counter("transfer.submits").incr();
+            obs.hub
+                .counter("transfer.files_moved")
+                .add(receipt.files_moved as u64);
+            obs.hub
+                .counter("transfer.bytes_moved")
+                .add(receipt.bytes_moved);
+            obs.hub
+                .counter("transfer.file_failures")
+                .add(receipt.failed.len() as u64);
+            obs.journal.record(xtract_obs::Event::TransferFinished {
+                transfer: id,
+                files_moved: receipt.files_moved as u64,
+                bytes_moved: receipt.bytes_moved,
+                failed: receipt.failed.len() as u64,
+            });
+        }
 
         self.receipts.write().insert(id, receipt);
         Ok(id)
@@ -607,6 +645,47 @@ mod tests {
         assert_eq!(bytes, Bytes::from_static(b"words"));
         assert_eq!(r.svc.fetch_count(FetchKind::GlobusHttps), 1);
         assert_eq!(r.svc.fetch_count(FetchKind::DriveApi), 0);
+    }
+
+    #[test]
+    fn obs_backed_transfers_report_counters_and_events() {
+        let r = rig();
+        let obs = xtract_obs::Obs::new();
+        let svc = TransferService::with_obs(r.fabric.clone(), r.auth.clone(), obs.clone());
+        let src = r.fabric.get(r.a).unwrap();
+        src.backend
+            .write("/m/a.txt", Bytes::from_static(b"1234"))
+            .unwrap();
+        let id = svc
+            .submit(
+                r.token,
+                &TransferRequest {
+                    source: r.a,
+                    destination: r.b,
+                    files: vec![
+                        ("/m/a.txt".into(), "/s/a.txt".into()),
+                        ("/m/missing.txt".into(), "/s/missing.txt".into()),
+                    ],
+                },
+            )
+            .unwrap();
+        assert_eq!(obs.hub.counter_value("transfer.files_moved", None), 1);
+        assert_eq!(obs.hub.counter_value("transfer.bytes_moved", None), 4);
+        assert_eq!(obs.hub.counter_value("transfer.file_failures", None), 1);
+        let events = obs.journal.events();
+        assert!(events.iter().any(|rec| matches!(
+            rec.event,
+            xtract_obs::Event::TransferStarted { transfer, files: 2, .. } if transfer == id
+        )));
+        assert!(events.iter().any(|rec| matches!(
+            rec.event,
+            xtract_obs::Event::TransferFinished {
+                transfer,
+                files_moved: 1,
+                bytes_moved: 4,
+                failed: 1,
+            } if transfer == id
+        )));
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! abstraction so the same extractor code runs against in-memory test
 //! fixtures, datafabric backends, or staged transfer directories.
 
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod extractor;
 pub mod formats;
 pub mod impls;

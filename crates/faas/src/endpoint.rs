@@ -19,9 +19,10 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use xtract_obs::{Counter, Event, MetricsHub, Obs};
 use xtract_types::{ContainerId, EndpointId, FaultPlan, TaskId, XtractError};
 
 /// A fault plan shared between the service and every worker thread; `None`
@@ -64,19 +65,37 @@ pub(crate) struct WorkItem {
     pub payload: serde_json::Value,
 }
 
-/// Counters shared between workers and observers.
-#[derive(Debug, Default)]
+/// Counters shared between workers and observers. With a hub they intern
+/// as `endpoint.*` labeled by endpoint id, so one snapshot covers the
+/// whole federation.
+#[derive(Debug, Default, Clone)]
 pub struct EndpointCounters {
     /// Tasks that found their container warm.
-    pub warm_hits: AtomicU64,
+    pub warm_hits: Counter,
     /// Tasks that paid a cold start.
-    pub cold_starts: AtomicU64,
+    pub cold_starts: Counter,
     /// Tasks fully executed (any terminal state except Lost).
-    pub executed: AtomicU64,
+    pub executed: Counter,
     /// Tasks marked lost due to allocation expiry.
-    pub lost: AtomicU64,
+    pub lost: Counter,
     /// Tasks whose worker crashed mid-execution (fault injection).
-    pub crashed: AtomicU64,
+    pub crashed: Counter,
+}
+
+impl EndpointCounters {
+    /// Counters interned in `hub` under `endpoint.*`, labeled by
+    /// `endpoint`'s display form.
+    pub fn in_hub(hub: &MetricsHub, endpoint: EndpointId) -> Self {
+        let label = Some(endpoint.to_string());
+        let label = label.as_deref();
+        Self {
+            warm_hits: hub.counter_with("endpoint.warm_hits", label),
+            cold_starts: hub.counter_with("endpoint.cold_starts", label),
+            executed: hub.counter_with("endpoint.executed", label),
+            lost: hub.counter_with("endpoint.lost", label),
+            crashed: hub.counter_with("endpoint.crashed", label),
+        }
+    }
 }
 
 /// The live compute layer of one endpoint.
@@ -96,7 +115,7 @@ impl ComputeEndpoint {
         config: EndpointConfig,
         statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
     ) -> Self {
-        Self::start_with_faults(config, statuses, Arc::new(RwLock::new(None)))
+        Self::start_with_obs(config, statuses, Arc::new(RwLock::new(None)), None)
     }
 
     /// [`Self::start`] with a shared fault plan the workers consult —
@@ -106,10 +125,24 @@ impl ComputeEndpoint {
         statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
         faults: SharedFaultPlan,
     ) -> Self {
+        Self::start_with_obs(config, statuses, faults, None)
+    }
+
+    /// [`Self::start_with_faults`] plus observability: counters intern in
+    /// the hub (labeled by endpoint) and workers journal cold starts.
+    pub(crate) fn start_with_obs(
+        config: EndpointConfig,
+        statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
+        faults: SharedFaultPlan,
+        obs: Option<Obs>,
+    ) -> Self {
         assert!(config.workers > 0, "endpoint needs at least one worker");
         let (tx, rx) = unbounded::<WorkItem>();
         let expired = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(EndpointCounters::default());
+        let counters = Arc::new(match &obs {
+            Some(obs) => EndpointCounters::in_hub(&obs.hub, config.endpoint),
+            None => EndpointCounters::default(),
+        });
         let handles = (0..config.workers)
             .map(|_| {
                 let rx: Receiver<WorkItem> = rx.clone();
@@ -118,8 +151,9 @@ impl ComputeEndpoint {
                 let counters = counters.clone();
                 let cfg = config.clone();
                 let faults = faults.clone();
+                let obs = obs.clone();
                 std::thread::spawn(move || {
-                    worker_loop(&rx, &statuses, &expired, &counters, &cfg, &faults)
+                    worker_loop(&rx, &statuses, &expired, &counters, &cfg, &faults, &obs)
                 })
             })
             .collect();
@@ -148,7 +182,7 @@ impl ComputeEndpoint {
     pub(crate) fn enqueue(&self, item: WorkItem) -> Result<(), XtractError> {
         if self.expired.load(Ordering::Acquire) {
             self.statuses.write().insert(item.task, TaskStatus::Lost);
-            self.counters.lost.fetch_add(1, Ordering::Relaxed);
+            self.counters.lost.incr();
             return Err(XtractError::TaskLost { task: item.task });
         }
         self.tx
@@ -200,13 +234,14 @@ fn worker_loop(
     counters: &EndpointCounters,
     cfg: &EndpointConfig,
     faults: &SharedFaultPlan,
+    obs: &Option<Obs>,
 ) {
     // The container this worker currently has warm.
     let mut warm: Option<ContainerId> = None;
     while let Ok(item) = rx.recv() {
         if expired.load(Ordering::Acquire) {
             statuses.write().insert(item.task, TaskStatus::Lost);
-            counters.lost.fetch_add(1, Ordering::Relaxed);
+            counters.lost.incr();
             continue;
         }
         statuses.write().insert(item.task, TaskStatus::Running);
@@ -215,9 +250,15 @@ fn worker_loop(
         }
         let was_warm = warm == Some(item.container);
         if was_warm {
-            counters.warm_hits.fetch_add(1, Ordering::Relaxed);
+            counters.warm_hits.incr();
         } else {
-            counters.cold_starts.fetch_add(1, Ordering::Relaxed);
+            counters.cold_starts.incr();
+            if let Some(obs) = obs {
+                obs.journal.record(Event::ColdStart {
+                    endpoint: cfg.endpoint,
+                    container: item.container.raw(),
+                });
+            }
             if !cfg.cold_start.is_zero() {
                 std::thread::sleep(cfg.cold_start);
             }
@@ -232,7 +273,7 @@ fn worker_loop(
         {
             // The container died mid-task: the next task pays a cold start.
             warm = None;
-            counters.crashed.fetch_add(1, Ordering::Relaxed);
+            counters.crashed.incr();
             statuses.write().insert(
                 item.task,
                 TaskStatus::Failed(XtractError::WorkerCrashed { task: item.task }),
@@ -249,10 +290,10 @@ fn worker_loop(
             .as_ref()
             .is_some_and(|p| p.heartbeat_lost(item.task.raw()));
         let status = if expired.load(Ordering::Acquire) || heartbeat_lost {
-            counters.lost.fetch_add(1, Ordering::Relaxed);
+            counters.lost.incr();
             TaskStatus::Lost
         } else {
-            counters.executed.fetch_add(1, Ordering::Relaxed);
+            counters.executed.incr();
             match outcome {
                 Ok(Ok(value)) => TaskStatus::Done(TaskOutput {
                     value,
@@ -318,7 +359,7 @@ mod tests {
                 other => panic!("unexpected status {other:?}"),
             }
         }
-        assert_eq!(ep.counters().executed.load(Ordering::Relaxed), 16);
+        assert_eq!(ep.counters().executed.get(), 16);
     }
 
     #[test]
@@ -349,8 +390,8 @@ mod tests {
         for i in 0..4 {
             wait_terminal(&table, TaskId::new(i));
         }
-        assert_eq!(ep.counters().cold_starts.load(Ordering::Relaxed), 2);
-        assert_eq!(ep.counters().warm_hits.load(Ordering::Relaxed), 2);
+        assert_eq!(ep.counters().cold_starts.get(), 2);
+        assert_eq!(ep.counters().warm_hits.get(), 2);
     }
 
     #[test]
@@ -442,7 +483,7 @@ mod tests {
             wait_terminal(&table, TaskId::new(1)),
             TaskStatus::Done(_)
         ));
-        assert_eq!(ep.counters().lost.load(Ordering::Relaxed), 1);
+        assert_eq!(ep.counters().lost.get(), 1);
     }
 
     #[test]
@@ -471,7 +512,7 @@ mod tests {
             ),
             "got {status:?}"
         );
-        assert_eq!(ep.counters().crashed.load(Ordering::Relaxed), 1);
+        assert_eq!(ep.counters().crashed.get(), 1);
         // Disarm the plan: the worker thread itself survived the "crash".
         *faults.write() = None;
         ep.enqueue(WorkItem {
@@ -507,7 +548,7 @@ mod tests {
         .unwrap();
         assert_eq!(wait_terminal(&table, TaskId::new(0)), TaskStatus::Lost);
         // The body ran (the result was computed, then dropped in flight).
-        assert_eq!(ep.counters().lost.load(Ordering::Relaxed), 1);
+        assert_eq!(ep.counters().lost.get(), 1);
     }
 
     #[test]

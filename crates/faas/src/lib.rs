@@ -23,12 +23,14 @@
 //! extraction actually parses bytes; the campaign simulator replaces this
 //! whole crate with calibrated costs.
 
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod endpoint;
 pub mod registry;
 pub mod service;
 pub mod task;
 
-pub use endpoint::{ComputeEndpoint, EndpointConfig};
+pub use endpoint::{ComputeEndpoint, EndpointConfig, EndpointCounters};
 pub use registry::{ContainerSpec, FunctionRegistry, FunctionSpec};
 pub use service::{FaasService, ServiceStats};
 pub use task::{FunctionBody, TaskOutput, TaskSpec, TaskStatus};

@@ -19,18 +19,32 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use xtract_obs::{Counter, Event, MetricsHub, Obs};
 use xtract_types::id::IdAllocator;
 use xtract_types::{EndpointId, FaultPlan, FaultScope, Result, TaskId, XtractError};
 
-/// Aggregate service statistics.
-#[derive(Debug, Default)]
+/// Aggregate service statistics. Counters are [`xtract_obs::Counter`]
+/// handles: a service built with [`FaasService::with_obs`] interns them in
+/// the shared hub (as `faas.*`); a plain service gets private ones.
+#[derive(Debug, Default, Clone)]
 pub struct ServiceStats {
     /// Web-service round trips (submits + polls).
-    pub ws_requests: AtomicU64,
+    pub ws_requests: Counter,
     /// Individual tasks submitted.
-    pub tasks_submitted: AtomicU64,
+    pub tasks_submitted: Counter,
     /// Batch submissions.
-    pub batches_submitted: AtomicU64,
+    pub batches_submitted: Counter,
+}
+
+impl ServiceStats {
+    /// Counters interned in `hub` under the `faas.*` names.
+    pub fn in_hub(hub: &MetricsHub) -> Self {
+        Self {
+            ws_requests: hub.counter("faas.ws_requests"),
+            tasks_submitted: hub.counter("faas.tasks_submitted"),
+            batches_submitted: hub.counter("faas.batches_submitted"),
+        }
+    }
 }
 
 /// The federated FaaS service.
@@ -42,13 +56,14 @@ pub struct FaasService {
     ids: IdAllocator,
     stats: ServiceStats,
     fault: SharedFaultPlan,
+    obs: Option<Obs>,
     /// Monotonic batch-submit counter — the operation index FaaS blackout
     /// windows are expressed in.
     submit_ops: AtomicU64,
 }
 
 impl FaasService {
-    /// A service over the given registry.
+    /// A service over the given registry, with private counters.
     pub fn new(registry: Arc<FunctionRegistry>) -> Self {
         Self {
             registry,
@@ -58,6 +73,23 @@ impl FaasService {
             ids: IdAllocator::new(),
             stats: ServiceStats::default(),
             fault: Arc::new(RwLock::new(None)),
+            obs: None,
+            submit_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// A service reporting into `obs`: stats intern in the hub (`faas.*`),
+    /// and submits/polls/cold-starts journal typed events.
+    pub fn with_obs(registry: Arc<FunctionRegistry>, obs: Obs) -> Self {
+        Self {
+            registry,
+            endpoints: RwLock::new(HashMap::new()),
+            statuses: Arc::new(RwLock::new(HashMap::new())),
+            task_endpoint: RwLock::new(HashMap::new()),
+            ids: IdAllocator::new(),
+            stats: ServiceStats::in_hub(&obs.hub),
+            fault: Arc::new(RwLock::new(None)),
+            obs: Some(obs),
             submit_ops: AtomicU64::new(0),
         }
     }
@@ -80,12 +112,14 @@ impl FaasService {
         *self.fault.write() = None;
     }
 
-    /// Connects an endpoint's compute layer (spawns its worker pool).
+    /// Connects an endpoint's compute layer (spawns its worker pool). The
+    /// endpoint inherits the service's observability sinks, if any.
     pub fn connect_endpoint(&self, config: EndpointConfig) -> Arc<ComputeEndpoint> {
-        let ep = Arc::new(ComputeEndpoint::start_with_faults(
+        let ep = Arc::new(ComputeEndpoint::start_with_obs(
             config,
             self.statuses.clone(),
             self.fault.clone(),
+            self.obs.clone(),
         ));
         self.endpoints.write().insert(ep.id(), ep.clone());
         ep
@@ -103,11 +137,20 @@ impl FaasService {
     /// as immediately-`Failed` tasks rather than failing the batch, so one
     /// bad spec cannot sink its batch-mates.
     pub fn batch_submit(&self, specs: &[TaskSpec]) -> Vec<TaskId> {
-        self.stats.ws_requests.fetch_add(1, Ordering::Relaxed);
-        self.stats.batches_submitted.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .tasks_submitted
-            .fetch_add(specs.len() as u64, Ordering::Relaxed);
+        // An empty batch is not a web-service request: nothing is sent, so
+        // nothing may be counted (the old accounting skewed the Fig. 5 /
+        // `micro_batching` request numbers).
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        self.stats.ws_requests.incr();
+        self.stats.batches_submitted.incr();
+        self.stats.tasks_submitted.add(specs.len() as u64);
+        if let Some(obs) = &self.obs {
+            obs.journal.record(Event::BatchSubmitted {
+                tasks: specs.len() as u64,
+            });
+        }
         let op = self.submit_ops.fetch_add(1, Ordering::Relaxed);
         let plan = self.fault.read().clone();
         let mut out = Vec::with_capacity(specs.len());
@@ -155,37 +198,64 @@ impl FaasService {
         })
     }
 
-    /// Polls a batch of tasks in one web-service request.
+    /// Polls a batch of tasks in one web-service request. Ids the service
+    /// has never seen come back as [`TaskStatus::Unknown`] (terminal) —
+    /// reporting them `Pending`, as this used to, made pollers holding a
+    /// mistyped or never-submitted id spin forever.
     pub fn batch_poll(&self, ids: &[TaskId]) -> Vec<PolledTask> {
-        self.stats.ws_requests.fetch_add(1, Ordering::Relaxed);
-        let statuses = self.statuses.read();
-        ids.iter()
-            .map(|&id| PolledTask {
-                id,
-                status: statuses.get(&id).cloned().unwrap_or(TaskStatus::Pending),
-            })
-            .collect()
+        self.stats.ws_requests.incr();
+        let polled: Vec<PolledTask> = {
+            let statuses = self.statuses.read();
+            ids.iter()
+                .map(|&id| PolledTask {
+                    id,
+                    status: statuses.get(&id).cloned().unwrap_or(TaskStatus::Unknown),
+                })
+                .collect()
+        };
+        if let Some(obs) = &self.obs {
+            for p in &polled {
+                if p.status == TaskStatus::Unknown {
+                    obs.journal.record(Event::UnknownTask { task: p.id });
+                }
+            }
+            obs.journal.record(Event::BatchPolled {
+                tasks: polled.len() as u64,
+                terminal: polled.iter().filter(|p| p.status.is_terminal()).count() as u64,
+            });
+        }
+        polled
     }
 
-    /// Blocks until every listed task is terminal or `timeout` elapses.
-    /// Returns true when all finished. Test/benchmark convenience; the
-    /// orchestrator uses [`Self::batch_poll`] loops.
+    /// Blocks until every listed task is terminal or `timeout` elapses
+    /// (ids the service has never seen count as terminal, mirroring
+    /// [`Self::batch_poll`]'s `Unknown`). Returns true when all finished.
+    /// Test/benchmark convenience; the orchestrator uses
+    /// [`Self::batch_poll`] loops.
+    ///
+    /// Waiting backs off exponentially (50 µs doubling to a 5 ms cap)
+    /// instead of hammering the status table at a fixed 200 µs, which
+    /// pegged a core in every bench that used it.
     pub fn wait_all(&self, ids: &[TaskId], timeout: Duration) -> bool {
+        const MAX_BACKOFF: Duration = Duration::from_millis(5);
         let deadline = std::time::Instant::now() + timeout;
+        let mut backoff = Duration::from_micros(50);
         loop {
             {
                 let statuses = self.statuses.read();
                 if ids
                     .iter()
-                    .all(|id| statuses.get(id).is_some_and(TaskStatus::is_terminal))
+                    .all(|id| statuses.get(id).is_none_or(TaskStatus::is_terminal))
                 {
                     return true;
                 }
             }
-            if std::time::Instant::now() >= deadline {
+            let now = std::time::Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            std::thread::sleep(backoff.min(deadline - now));
+            backoff = (backoff * 2).min(MAX_BACKOFF);
         }
     }
 
@@ -284,21 +354,32 @@ mod tests {
             }
         }
         // 1 submit + N polls; at least 2 requests total.
-        assert!(r.svc.stats().ws_requests.load(Ordering::Relaxed) >= 2);
-        assert_eq!(r.svc.stats().tasks_submitted.load(Ordering::Relaxed), 10);
-        assert_eq!(r.svc.stats().batches_submitted.load(Ordering::Relaxed), 1);
+        assert!(r.svc.stats().ws_requests.get() >= 2);
+        assert_eq!(r.svc.stats().tasks_submitted.get(), 10);
+        assert_eq!(r.svc.stats().batches_submitted.get(), 1);
     }
 
     #[test]
     fn one_request_per_batch_regardless_of_size() {
         let r = rig(2);
-        let before = r.svc.stats().ws_requests.load(Ordering::Relaxed);
+        let before = r.svc.stats().ws_requests.get();
         let ids = r.svc.batch_submit(&specs(&r, 64));
-        assert_eq!(
-            r.svc.stats().ws_requests.load(Ordering::Relaxed),
-            before + 1
-        );
+        assert_eq!(r.svc.stats().ws_requests.get(), before + 1);
         assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn empty_batch_is_not_a_web_request() {
+        // Regression: an empty spec slice used to count as a submit,
+        // inflating ws_requests/batches_submitted in the Fig. 5 sweep.
+        let r = rig(1);
+        let before_ws = r.svc.stats().ws_requests.get();
+        let before_batches = r.svc.stats().batches_submitted.get();
+        let ids = r.svc.batch_submit(&[]);
+        assert!(ids.is_empty());
+        assert_eq!(r.svc.stats().ws_requests.get(), before_ws);
+        assert_eq!(r.svc.stats().batches_submitted.get(), before_batches);
+        assert_eq!(r.svc.stats().tasks_submitted.get(), 0);
     }
 
     #[test]
@@ -421,9 +502,116 @@ mod tests {
     }
 
     #[test]
-    fn polling_unknown_ids_reports_pending() {
+    fn polling_unknown_ids_reports_unknown() {
+        // Regression: unknown ids were reported `Pending`, so a poller
+        // holding a never-submitted id could spin forever.
         let r = rig(1);
         let polled = r.svc.batch_poll(&[TaskId::new(12345)]);
-        assert_eq!(polled[0].status, TaskStatus::Pending);
+        assert_eq!(polled[0].status, TaskStatus::Unknown);
+        assert!(polled[0].status.is_terminal());
+    }
+
+    #[test]
+    fn waiting_on_unknown_ids_returns_promptly() {
+        // A wait over ids the service has never seen must not burn its
+        // whole timeout: unknown is terminal.
+        let r = rig(1);
+        let mut ids = r.svc.batch_submit(&specs(&r, 2));
+        ids.push(TaskId::new(99_999));
+        let started = std::time::Instant::now();
+        assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "wait_all spun on an unknown id"
+        );
+    }
+
+    #[test]
+    fn wait_all_still_times_out_on_stuck_tasks() {
+        // Backoff waiting must preserve wait_all's timeout semantics: a
+        // task that never terminates still forces a `false` return close
+        // to the deadline.
+        let r = rig(1);
+        let registry = r.svc.registry();
+        let c = registry.register_container("stall:1", ContainerRuntime::Docker, 0);
+        let stall: FunctionBody = Arc::new(|v| {
+            std::thread::sleep(Duration::from_millis(300));
+            Ok(v)
+        });
+        let f = registry
+            .register_function("stall", c, &[r.ep], stall)
+            .unwrap();
+        let ids = r.svc.batch_submit(&[TaskSpec {
+            function: f,
+            endpoint: r.ep,
+            payload: json!(null),
+        }]);
+        let started = std::time::Instant::now();
+        assert!(!r.svc.wait_all(&ids, Duration::from_millis(50)));
+        let waited = started.elapsed();
+        assert!(waited >= Duration::from_millis(50));
+        assert!(waited < Duration::from_millis(250), "overslept: {waited:?}");
+        // And once the task lands, the same ids wait to completion.
+        assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn obs_backed_service_journals_batches_and_cold_starts() {
+        let registry = Arc::new(FunctionRegistry::new());
+        let ep = EndpointId::new(3);
+        registry.declare_endpoint(ep, ContainerRuntime::Docker);
+        let c = registry.register_container("kw:1", ContainerRuntime::Docker, 0);
+        let body: FunctionBody = Arc::new(|v| Ok(v));
+        let f = registry.register_function("kw", c, &[ep], body).unwrap();
+        let obs = xtract_obs::Obs::new();
+        let svc = FaasService::with_obs(registry, obs.clone());
+        svc.connect_endpoint(EndpointConfig::instant(ep, 2));
+        let ids = svc.batch_submit(&[TaskSpec {
+            function: f,
+            endpoint: ep,
+            payload: json!(1),
+        }]);
+        assert!(svc.wait_all(&ids, Duration::from_secs(5)));
+        svc.batch_poll(&ids);
+        // Stats intern in the shared hub...
+        assert_eq!(obs.hub.counter_value("faas.tasks_submitted", None), 1);
+        assert!(obs.hub.counter_value("faas.ws_requests", None) >= 2);
+        let ep_label = ep.to_string();
+        assert_eq!(
+            obs.hub.counter_value("endpoint.executed", Some(&ep_label)),
+            1
+        );
+        // ...and the journal saw the submit, the cold start, and the poll.
+        let events = obs.journal.events();
+        let has = |pred: &dyn Fn(&xtract_obs::Event) -> bool| events.iter().any(|r| pred(&r.event));
+        assert!(has(&|e| matches!(
+            e,
+            xtract_obs::Event::BatchSubmitted { tasks: 1 }
+        )));
+        assert!(has(
+            &|e| matches!(e, xtract_obs::Event::ColdStart { endpoint, .. } if *endpoint == ep)
+        ));
+        assert!(has(&|e| matches!(
+            e,
+            xtract_obs::Event::BatchPolled {
+                tasks: 1,
+                terminal: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn obs_backed_poll_journals_unknown_task() {
+        let registry = Arc::new(FunctionRegistry::new());
+        let obs = xtract_obs::Obs::new();
+        let svc = FaasService::with_obs(registry, obs.clone());
+        let ghost = TaskId::new(777);
+        let polled = svc.batch_poll(&[ghost]);
+        assert_eq!(polled[0].status, TaskStatus::Unknown);
+        assert!(obs
+            .journal
+            .events()
+            .iter()
+            .any(|r| matches!(r.event, xtract_obs::Event::UnknownTask { task } if task == ghost)));
     }
 }

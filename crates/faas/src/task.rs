@@ -55,6 +55,10 @@ pub enum TaskStatus {
     /// The endpoint's allocation expired with the task in flight (§5.8.1);
     /// the owner should resubmit.
     Lost,
+    /// The service has never seen this task id. Terminal: waiting on an
+    /// unknown id can never make progress, so pollers must not spin on it
+    /// (the old behaviour reported `Pending` forever).
+    Unknown,
 }
 
 impl TaskStatus {
@@ -62,7 +66,7 @@ impl TaskStatus {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            TaskStatus::Done(_) | TaskStatus::Failed(_) | TaskStatus::Lost
+            TaskStatus::Done(_) | TaskStatus::Failed(_) | TaskStatus::Lost | TaskStatus::Unknown
         )
     }
 }
@@ -85,6 +89,7 @@ mod tests {
         assert!(!TaskStatus::Pending.is_terminal());
         assert!(!TaskStatus::Running.is_terminal());
         assert!(TaskStatus::Lost.is_terminal());
+        assert!(TaskStatus::Unknown.is_terminal());
         assert!(TaskStatus::Failed(XtractError::TaskLost {
             task: TaskId::new(0)
         })

@@ -39,6 +39,8 @@
 //! assert_eq!(hits[0].family, FamilyId::new(1));
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod index;
 pub mod query;
 

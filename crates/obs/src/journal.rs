@@ -1,0 +1,331 @@
+//! The event journal: a bounded ring of typed events with JSON-lines
+//! export.
+//!
+//! Substrates record what *happened* (a batch went out, a container went
+//! cold, a breaker opened) instead of printing it; consumers — the CLI's
+//! `events` command, tests, post-mortem scripts — read a structured,
+//! bounded, append-ordered log. When the ring is full the oldest events
+//! drop and a counter remembers how many were shed, so the journal can
+//! never grow without bound under a runaway campaign.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use xtract_types::{EndpointId, FamilyId, TaskId, TransferId};
+
+/// Default ring capacity: generous for a job, bounded for a campaign.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A typed observability event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Event {
+    /// A crawl worker finished listing one directory.
+    CrawlProgress {
+        /// Endpoint being crawled.
+        endpoint: EndpointId,
+        /// Directories listed so far.
+        directories: u64,
+        /// Files discovered so far.
+        files: u64,
+    },
+    /// One FaaS batch submission (one web-service request).
+    BatchSubmitted {
+        /// Tasks in the batch.
+        tasks: u64,
+    },
+    /// One FaaS batch poll (one web-service request).
+    BatchPolled {
+        /// Tasks polled.
+        tasks: u64,
+        /// How many were terminal at poll time.
+        terminal: u64,
+    },
+    /// A worker paid a cold start for a container.
+    ColdStart {
+        /// The endpoint whose worker went cold.
+        endpoint: EndpointId,
+        /// Raw container id.
+        container: u64,
+    },
+    /// A batch transfer was submitted.
+    TransferStarted {
+        /// Transfer job id.
+        transfer: TransferId,
+        /// Source endpoint.
+        source: EndpointId,
+        /// Destination endpoint.
+        destination: EndpointId,
+        /// Files requested.
+        files: u64,
+    },
+    /// A batch transfer ran to completion (possibly with failures).
+    TransferFinished {
+        /// Transfer job id.
+        transfer: TransferId,
+        /// Files that arrived.
+        files_moved: u64,
+        /// Bytes that arrived.
+        bytes_moved: u64,
+        /// Per-file failures.
+        failed: u64,
+    },
+    /// A family-step loss was charged and the step resubmitted.
+    Retry {
+        /// The family.
+        family: FamilyId,
+        /// Attempts so far for this step.
+        attempt: u32,
+        /// Human-readable cause.
+        note: String,
+    },
+    /// An endpoint's circuit breaker opened.
+    BreakerOpened {
+        /// The endpoint.
+        endpoint: EndpointId,
+    },
+    /// An endpoint's breaker reached its half-open probe window.
+    BreakerHalfOpen {
+        /// The endpoint.
+        endpoint: EndpointId,
+    },
+    /// An endpoint's breaker closed after a successful probe.
+    BreakerClosed {
+        /// The endpoint.
+        endpoint: EndpointId,
+    },
+    /// A family was terminally abandoned.
+    DeadLettered {
+        /// The family.
+        family: FamilyId,
+        /// The terminal reason, rendered.
+        reason: String,
+    },
+    /// The fabric was polled for a task it has never seen.
+    UnknownTask {
+        /// The unknown id.
+        task: TaskId,
+    },
+}
+
+/// One journal entry: a monotonic sequence number plus the event. The
+/// sequence survives ring overflow, so gaps reveal shed history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<EventRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded journal. All methods are `&self`; recording takes one
+/// short mutex hold.
+#[derive(Debug)]
+pub struct EventJournal {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl EventJournal {
+    /// A journal bounded at `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "journal capacity must be positive");
+        Self {
+            capacity,
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event, shedding the oldest entry when full.
+    pub fn record(&self, event: Event) {
+        let mut ring = self.ring.lock();
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.buf.push_back(EventRecord { seq, event });
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().buf.is_empty()
+    }
+
+    /// Events shed to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.ring.lock().buf.iter().cloned().collect()
+    }
+
+    /// Serializes the retained events as JSON lines, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.events() {
+            // EventRecord contains no map with non-string keys, so
+            // serialization cannot fail.
+            out.push_str(&serde_json::to_string(&rec).expect("event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSON-lines dump back into records (blank lines skipped).
+    pub fn parse_jsonl(input: &str) -> Result<Vec<EventRecord>, serde_json::Error> {
+        input
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cold(n: u64) -> Event {
+        Event::ColdStart {
+            endpoint: EndpointId::new(0),
+            container: n,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let j = EventJournal::with_capacity(8);
+        assert!(j.is_empty());
+        j.record(cold(1));
+        j.record(Event::BatchSubmitted { tasks: 4 });
+        let events = j.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].event, Event::BatchSubmitted { tasks: 4 });
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_and_counts() {
+        let j = EventJournal::with_capacity(3);
+        for i in 0..10 {
+            j.record(cold(i));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        let seqs: Vec<u64> = j.events().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let j = EventJournal::with_capacity(32);
+        j.record(Event::CrawlProgress {
+            endpoint: EndpointId::new(1),
+            directories: 10,
+            files: 200,
+        });
+        j.record(Event::BatchSubmitted { tasks: 16 });
+        j.record(Event::BatchPolled {
+            tasks: 16,
+            terminal: 12,
+        });
+        j.record(cold(7));
+        j.record(Event::TransferStarted {
+            transfer: TransferId::new(3),
+            source: EndpointId::new(0),
+            destination: EndpointId::new(1),
+            files: 5,
+        });
+        j.record(Event::TransferFinished {
+            transfer: TransferId::new(3),
+            files_moved: 4,
+            bytes_moved: 4096,
+            failed: 1,
+        });
+        j.record(Event::Retry {
+            family: FamilyId::new(9),
+            attempt: 2,
+            note: "keyword task lost".into(),
+        });
+        j.record(Event::BreakerOpened {
+            endpoint: EndpointId::new(2),
+        });
+        j.record(Event::BreakerHalfOpen {
+            endpoint: EndpointId::new(2),
+        });
+        j.record(Event::BreakerClosed {
+            endpoint: EndpointId::new(2),
+        });
+        j.record(Event::DeadLettered {
+            family: FamilyId::new(9),
+            reason: "retry budget exhausted".into(),
+        });
+        j.record(Event::UnknownTask {
+            task: TaskId::new(12345),
+        });
+        let dump = j.to_jsonl();
+        assert_eq!(dump.lines().count(), 12);
+        let parsed = EventJournal::parse_jsonl(&dump).unwrap();
+        assert_eq!(parsed, j.events());
+        // The tag is snake_case and self-describing.
+        assert!(dump.contains("\"type\":\"breaker_half_open\""));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(EventJournal::parse_jsonl("{nope}").is_err());
+        assert!(EventJournal::parse_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_bounded_and_ordered() {
+        let j = std::sync::Arc::new(EventJournal::with_capacity(64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let j = j.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        j.record(cold(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(j.len(), 64);
+        assert_eq!(j.dropped(), 4 * 1000 - 64);
+        let seqs: Vec<u64> = j.events().iter().map(|r| r.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+}

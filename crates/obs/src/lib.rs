@@ -1,0 +1,82 @@
+//! # xtract-obs
+//!
+//! The unified observability layer of Xtract-RS. The paper's entire
+//! evaluation (Fig. 2–8, Table 2) is built on *measured internals* — web
+//! service request counts, warm/cold container hits, transfer vs. compute
+//! time per family, crawl rates — and funcX itself treats endpoint/task
+//! telemetry as a first-class service surface. This crate is the substrate
+//! every substrate reports into and every bench reads out of:
+//!
+//! * [`metrics`] — a lock-light [`MetricsHub`] of named, optionally
+//!   labeled atomic [`Counter`]s and fixed-bucket [`Histogram`]s. Handles
+//!   are interned once (one `RwLock` write) and then update with plain
+//!   relaxed atomics — safe to bump from every crawl worker, FaaS worker,
+//!   and transfer call without contending.
+//! * [`journal`] — a bounded [`EventJournal`]: a ring buffer of typed
+//!   [`Event`]s (crawl progress, batch submit/poll, cold starts, transfer
+//!   start/finish, retries, breaker transitions, dead letters) replacing
+//!   scattered prints, with JSON-lines export for offline analysis.
+//! * [`span`] — [`Phase`]/[`PhaseTimings`]: the crawl → plan → stage →
+//!   dispatch → extract → index breakdown surfaced in `JobReport` and
+//!   `CampaignReport`.
+//!
+//! The [`Obs`] bundle ties one hub and one journal together so services
+//! can thread a single handle through their substrates.
+
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
+pub mod journal;
+pub mod metrics;
+pub mod span;
+
+pub use journal::{Event, EventJournal, EventRecord};
+pub use metrics::{
+    Counter, CounterSample, Histogram, HistogramSample, MetricsHub, MetricsSnapshot,
+};
+pub use span::{Phase, PhaseTimings};
+
+use std::sync::Arc;
+
+/// One hub + one journal: the handle a service threads through its
+/// substrates. Cloning shares the underlying sinks.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// The metrics hub.
+    pub hub: Arc<MetricsHub>,
+    /// The event journal.
+    pub journal: Arc<EventJournal>,
+}
+
+impl Obs {
+    /// A fresh hub and a journal with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh hub and a journal bounded at `capacity` events.
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Self {
+            hub: Arc::new(MetricsHub::new()),
+            journal: Arc::new(EventJournal::with_capacity(capacity)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_shares_sinks_across_clones() {
+        let obs = Obs::new();
+        let other = obs.clone();
+        obs.hub.counter("shared").add(3);
+        other.hub.counter("shared").add(4);
+        assert_eq!(obs.hub.counter("shared").get(), 7);
+        other.journal.record(Event::ColdStart {
+            endpoint: xtract_types::EndpointId::new(0),
+            container: 1,
+        });
+        assert_eq!(obs.journal.len(), 1);
+    }
+}

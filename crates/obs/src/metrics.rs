@@ -1,0 +1,397 @@
+//! The metrics hub: named, labeled atomic counters and fixed-bucket
+//! histograms.
+//!
+//! Design: interning is the only locked operation. A substrate asks the
+//! hub for a handle **once** (at construction or connection time) and then
+//! updates it with relaxed atomics — the hot paths (crawl workers listing
+//! directories, FaaS workers finishing tasks, the transfer loop) never
+//! touch a lock. Snapshots walk the registry under a read lock and emit a
+//! serde-friendly, deterministically ordered [`MetricsSnapshot`].
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared monotonic counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh standalone counter (not registered in any hub).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sum cells store seconds as microseconds so the histogram stays
+/// lock-free; 64 bits of microseconds is ~584 000 years of accumulated
+/// observation time.
+const SUM_SCALE: f64 = 1e6;
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, ascending; an implicit
+    /// overflow bucket catches everything above the last bound.
+    bounds: Vec<f64>,
+    /// One cell per finite bucket plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+/// A fixed-bucket histogram of non-negative `f64` observations (seconds,
+/// bytes, …). Cloning shares the underlying cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A histogram with the given ascending finite bucket bounds; an
+    /// overflow bucket is added implicitly.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must ascend"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0
+            .sum_micros
+            .fetch_add((v * SUM_SCALE) as u64, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.0.sum_micros.load(Ordering::Relaxed) as f64 / SUM_SCALE
+    }
+
+    fn sample(&self, name: &str, label: Option<&str>) -> HistogramSample {
+        HistogramSample {
+            name: name.to_string(),
+            label: label.map(str::to_string),
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self
+                .0
+                .bounds
+                .iter()
+                .copied()
+                .chain(std::iter::once(f64::INFINITY))
+                .zip(self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)))
+                .map(|(bound, count)| BucketSample { bound, count })
+                .collect(),
+        }
+    }
+}
+
+/// A counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name, e.g. `faas.ws_requests`.
+    pub name: String,
+    /// Optional label (endpoint, substrate, …).
+    pub label: Option<String>,
+    /// The value.
+    pub value: u64,
+}
+
+/// One histogram bucket at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSample {
+    /// Inclusive upper bound (`inf` for the overflow bucket).
+    pub bound: f64,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Optional label.
+    pub label: Option<String>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Per-bucket counts, ascending by bound.
+    pub buckets: Vec<BucketSample>,
+}
+
+/// A point-in-time view of every registered metric, deterministically
+/// ordered by `(name, label)`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name` with no label (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counter_with(name, None)
+    }
+
+    /// The value of counter `name` with the given label (0 when absent).
+    pub fn counter_with(&self, name: &str, label: Option<&str>) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.label.as_deref() == label)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+}
+
+type Key = (String, Option<String>);
+
+/// The registry of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    counters: RwLock<HashMap<Key, Counter>>,
+    histograms: RwLock<HashMap<Key, Histogram>>,
+}
+
+impl MetricsHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns (or retrieves) the unlabeled counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, None)
+    }
+
+    /// Interns (or retrieves) counter `name` with `label`.
+    pub fn counter_with(&self, name: &str, label: Option<&str>) -> Counter {
+        let key = (name.to_string(), label.map(str::to_string));
+        if let Some(c) = self.counters.read().get(&key) {
+            return c.clone();
+        }
+        self.counters.write().entry(key).or_default().clone()
+    }
+
+    /// Interns (or retrieves) the unlabeled histogram `name` with the
+    /// given bucket bounds. Bounds are fixed by the first interning call.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, None, bounds)
+    }
+
+    /// Interns (or retrieves) histogram `name` with `label`.
+    pub fn histogram_with(&self, name: &str, label: Option<&str>, bounds: &[f64]) -> Histogram {
+        let key = (name.to_string(), label.map(str::to_string));
+        if let Some(h) = self.histograms.read().get(&key) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(key)
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// The current value of counter `(name, label)`; 0 when never
+    /// interned.
+    pub fn counter_value(&self, name: &str, label: Option<&str>) -> u64 {
+        let key = (name.to_string(), label.map(str::to_string));
+        self.counters
+            .read()
+            .get(&key)
+            .map(Counter::get)
+            .unwrap_or(0)
+    }
+
+    /// A deterministic snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterSample> = self
+            .counters
+            .read()
+            .iter()
+            .map(|((name, label), c)| CounterSample {
+                name: name.clone(),
+                label: label.clone(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        let mut histograms: Vec<HistogramSample> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|((name, label), h)| h.sample(name, label.as_deref()))
+            .collect();
+        histograms.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counters_intern_and_accumulate() {
+        let hub = MetricsHub::new();
+        let a = hub.counter("crawl.files");
+        let b = hub.counter("crawl.files");
+        a.add(5);
+        b.incr();
+        assert_eq!(hub.counter_value("crawl.files", None), 6);
+        assert_eq!(hub.counter_value("crawl.files", Some("ep-0")), 0);
+        hub.counter_with("crawl.files", Some("ep-0")).add(2);
+        assert_eq!(hub.counter_value("crawl.files", Some("ep-0")), 2);
+        assert_eq!(hub.counter_value("crawl.files", None), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let h = Histogram::new(&[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 56.05).abs() < 1e-3);
+        let s = h.sample("t", None);
+        let counts: Vec<u64> = s.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![1, 2, 1, 1]);
+        assert_eq!(s.buckets.last().unwrap().bound, f64::INFINITY);
+    }
+
+    #[test]
+    fn degenerate_observations_are_clamped() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(-3.0);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        // NaN and negatives clamp to 0.0 (first bucket); +inf overflows.
+        let s = h.sample("t", None);
+        assert_eq!(s.buckets[0].count, 2);
+        assert_eq!(s.buckets[1].count, 1);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_serde_round_trips() {
+        let hub = MetricsHub::new();
+        hub.counter_with("b.z", None).add(1);
+        hub.counter_with("a.z", Some("ep-1")).add(2);
+        hub.counter_with("a.z", Some("ep-0")).add(3);
+        hub.histogram("lat", &[0.5, 2.0]).observe(1.0);
+        let snap = hub.snapshot();
+        let names: Vec<(&str, Option<&str>)> = snap
+            .counters
+            .iter()
+            .map(|c| (c.name.as_str(), c.label.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("a.z", Some("ep-0")), ("a.z", Some("ep-1")), ("b.z", None)]
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter_with("a.z", Some("ep-1")), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let hub = std::sync::Arc::new(MetricsHub::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let hub = hub.clone();
+                s.spawn(move || {
+                    // Re-interning on every iteration also exercises the
+                    // read-lock fast path under contention.
+                    for i in 0..per_thread {
+                        hub.counter("hot").incr();
+                        hub.histogram("h", &[0.5]).observe((i % 2) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(hub.counter_value("hot", None), threads * per_thread);
+        let snap = hub.snapshot();
+        assert_eq!(snap.histograms[0].count, threads * per_thread);
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_count_equals_bucket_sum(values in proptest::collection::vec(0.0f64..100.0, 1..200)) {
+            let h = Histogram::new(&[0.1, 1.0, 10.0, 50.0]);
+            for &v in &values {
+                h.observe(v);
+            }
+            let s = h.sample("p", None);
+            let total: u64 = s.buckets.iter().map(|b| b.count).sum();
+            prop_assert_eq!(total, values.len() as u64);
+            prop_assert_eq!(s.count, values.len() as u64);
+            let expected: f64 = values.iter().sum();
+            prop_assert!((s.sum - expected).abs() < 1e-3 * values.len() as f64 + 1e-6);
+        }
+
+        #[test]
+        fn counters_sum_across_interleavings(adds in proptest::collection::vec(0u64..1000, 1..50)) {
+            let hub = MetricsHub::new();
+            for &n in &adds {
+                hub.counter("x").add(n);
+            }
+            prop_assert_eq!(hub.counter_value("x", None), adds.iter().sum::<u64>());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-phase span timings: the crawl → plan → stage → dispatch →
+//! extract → index breakdown.
+//!
+//! A job (or campaign) accumulates wall-clock seconds into one bucket per
+//! phase; reports carry the resulting [`PhaseTimings`] so benches and the
+//! CLI read a real phase breakdown instead of re-deriving one from
+//! scattered counters.
+
+use serde::{Deserialize, Serialize};
+
+/// The six phases of a metadata-extraction job, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Phase {
+    /// Walking the source endpoint and grouping files.
+    Crawl,
+    /// Placement: choosing endpoints and building the schedule.
+    Plan,
+    /// Staging bytes to the chosen compute endpoints.
+    Stage,
+    /// Batching and submitting extraction tasks.
+    Dispatch,
+    /// Waiting on and collecting extraction results.
+    Extract,
+    /// Validating, shipping, and indexing the merged metadata.
+    Index,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Crawl,
+        Phase::Plan,
+        Phase::Stage,
+        Phase::Dispatch,
+        Phase::Extract,
+        Phase::Index,
+    ];
+
+    /// The phase's snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Crawl => "crawl",
+            Phase::Plan => "plan",
+            Phase::Stage => "stage",
+            Phase::Dispatch => "dispatch",
+            Phase::Extract => "extract",
+            Phase::Index => "index",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Accumulated wall-clock seconds per phase.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Seconds spent crawling.
+    pub crawl_s: f64,
+    /// Seconds spent planning placement.
+    pub plan_s: f64,
+    /// Seconds spent staging bytes.
+    pub stage_s: f64,
+    /// Seconds spent batching and submitting tasks.
+    pub dispatch_s: f64,
+    /// Seconds spent waiting on extraction.
+    pub extract_s: f64,
+    /// Seconds spent validating and indexing results.
+    pub index_s: f64,
+}
+
+impl PhaseTimings {
+    /// All-zero timings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` to a phase's bucket (negative inputs clamp to 0).
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        let seconds = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        *self.slot(phase) += seconds;
+    }
+
+    /// The accumulated seconds for one phase.
+    pub fn get(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Crawl => self.crawl_s,
+            Phase::Plan => self.plan_s,
+            Phase::Stage => self.stage_s,
+            Phase::Dispatch => self.dispatch_s,
+            Phase::Extract => self.extract_s,
+            Phase::Index => self.index_s,
+        }
+    }
+
+    /// The sum across all phases.
+    pub fn total(&self) -> f64 {
+        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+    }
+
+    fn slot(&mut self, phase: Phase) -> &mut f64 {
+        match phase {
+            Phase::Crawl => &mut self.crawl_s,
+            Phase::Plan => &mut self.plan_s,
+            Phase::Stage => &mut self.stage_s,
+            Phase::Dispatch => &mut self.dispatch_s,
+            Phase::Extract => &mut self.extract_s,
+            Phase::Index => &mut self.index_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_per_phase() {
+        let mut t = PhaseTimings::new();
+        t.add(Phase::Crawl, 1.5);
+        t.add(Phase::Crawl, 0.5);
+        t.add(Phase::Extract, 3.0);
+        assert_eq!(t.get(Phase::Crawl), 2.0);
+        assert_eq!(t.get(Phase::Extract), 3.0);
+        assert_eq!(t.get(Phase::Index), 0.0);
+        assert!((t.total() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let mut t = PhaseTimings::new();
+        t.add(Phase::Plan, -4.0);
+        t.add(Phase::Plan, f64::NAN);
+        t.add(Phase::Plan, f64::INFINITY);
+        assert_eq!(t.get(Phase::Plan), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trips_with_snake_case_names() {
+        let mut t = PhaseTimings::new();
+        for (i, &p) in Phase::ALL.iter().enumerate() {
+            t.add(p, (i + 1) as f64);
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"dispatch_s\":4.0"));
+        let back: PhaseTimings = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(
+            serde_json::to_string(&Phase::Dispatch).unwrap(),
+            "\"dispatch\""
+        );
+    }
+}

@@ -24,6 +24,8 @@
 //! back to the paper's measurements, each with a citation to the section it
 //! came from.
 
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod calibration;
 pub mod dist;
 pub mod events;

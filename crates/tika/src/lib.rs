@@ -24,6 +24,8 @@
 //! §5.6 measures Xtract ≈20 % faster than Tika end-to-end; for simulation
 //! mode that calibration lives in [`TIKA_SLOWDOWN`].
 
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod mime;
 pub mod server;
 

@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use xtract_extractors::{library, Extractor, FileSource};
+use xtract_obs::{Counter, MetricsHub};
 use xtract_types::{
     EndpointId, ExtractorKind, Family, FamilyId, FileRecord, FileType, Group, GroupId, Metadata,
 };
@@ -54,6 +55,8 @@ impl TikaReport {
 pub struct TikaServer {
     threads: usize,
     library: HashMap<ExtractorKind, Arc<dyn Extractor>>,
+    files_processed: Counter,
+    parse_errors: Counter,
 }
 
 impl TikaServer {
@@ -64,7 +67,19 @@ impl TikaServer {
         Self {
             threads,
             library: library(),
+            files_processed: Counter::default(),
+            parse_errors: Counter::default(),
         }
+    }
+
+    /// Like [`TikaServer::new`], with lifetime counters interned in `hub`
+    /// as `tika.files_processed` and `tika.parse_errors`, so baseline
+    /// comparison runs report through the same metrics sink as Xtract.
+    pub fn with_obs(threads: usize, hub: &MetricsHub) -> Self {
+        let mut server = Self::new(threads);
+        server.files_processed = hub.counter("tika.files_processed");
+        server.parse_errors = hub.counter("tika.parse_errors");
+        server
     }
 
     /// Processes every file under `root` on `backend`. Files arrive over
@@ -128,6 +143,8 @@ impl TikaServer {
             }
         }
         report.outputs = outputs;
+        self.files_processed.add(report.outputs.len() as u64);
+        self.parse_errors.add(report.parse_errors);
         report
     }
 
@@ -367,6 +384,17 @@ mod tests {
         );
         // The gap comes mostly from extension-less VASP members.
         assert!(content_ok as usize >= truth.len() * 9 / 10);
+    }
+
+    #[test]
+    fn hub_backed_server_reports_lifetime_counters() {
+        let b = backend();
+        let hub = MetricsHub::new();
+        let server = TikaServer::with_obs(2, &hub);
+        server.process(&b, "/data");
+        server.process(&b, "/data");
+        assert_eq!(hub.counter_value("tika.files_processed", None), 8);
+        assert_eq!(hub.counter_value("tika.parse_errors", None), 0);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! execution substrates (`xtract-faas`, `xtract-datafabric`, `xtract-sim`)
 //! and the orchestrator (`xtract-core`) build on these types.
 
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod config;
 pub mod error;
 pub mod extractor;

@@ -25,6 +25,8 @@
 //! (parseable CSV/JSON/YAML/XML/VASP/XIMG/XHDF/XZIP content) for live
 //! end-to-end runs.
 
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
 pub mod cdiac;
 pub mod coco;
 pub mod gdrive;

@@ -17,6 +17,13 @@
 //! xtract-cli campaign [groups]
 //!     simulate the paper's full-MDF campaign (Fig. 8) at any scale
 //!
+//! xtract-cli report <dir> [--workers N]
+//!     extract, then print a JSON job report: per-phase timings plus the
+//!     full metrics-hub snapshot
+//!
+//! xtract-cli events <dir> [--workers N]
+//!     extract, then dump the event journal as JSON lines
+//!
 //! xtract-cli demo
 //!     self-contained end-to-end demo on a synthetic repository
 //! ```
@@ -24,7 +31,7 @@
 use std::io::Write;
 use std::sync::Arc;
 use xtract_core::dedup::Deduplicator;
-use xtract_core::XtractService;
+use xtract_core::{JobReport, XtractService};
 use xtract_datafabric::{AuthService, DataFabric, LocalFs, MemFs, Scope, StorageBackend};
 use xtract_index::{Query, SearchIndex};
 use xtract_sim::RngStreams;
@@ -38,6 +45,8 @@ fn usage() -> ! {
          \n  search <dir> <term> [<term>...]              extract then search\
          \n  dedup <dir> [--threshold T]                  duplicate / near-duplicate screen\
          \n  campaign [groups]                            simulate the Fig. 8 MDF campaign\
+         \n  report <dir> [--workers N]                   extract, print JSON phase timings + metrics\
+         \n  events <dir> [--workers N]                   extract, dump the event journal as JSONL\
          \n  demo                                         synthetic end-to-end demo"
     );
     std::process::exit(2);
@@ -54,6 +63,16 @@ fn extract_backend(
     backend: Arc<dyn StorageBackend>,
     workers: usize,
 ) -> Result<Vec<MetadataRecord>, String> {
+    run_extract(backend, workers).map(|(report, _)| report.records)
+}
+
+/// Runs the full pipeline over a backend and returns the finished report
+/// together with the service, whose observability bundle (metrics hub +
+/// event journal) the `report`/`events` commands read back out.
+fn run_extract(
+    backend: Arc<dyn StorageBackend>,
+    workers: usize,
+) -> Result<(JobReport, XtractService), String> {
     let fabric = Arc::new(DataFabric::new());
     let ep = EndpointId::new(0);
     // Validated records land on a separate in-memory endpoint so the
@@ -110,7 +129,7 @@ fn extract_backend(
     for letter in report.failures.iter().take(5) {
         eprintln!("  failure {letter}");
     }
-    Ok(report.records)
+    Ok((report, service))
 }
 
 fn cmd_extract(args: &[String]) -> Result<(), String> {
@@ -251,6 +270,65 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         report.core_hours(),
         report.restarts
     );
+    use xtract_obs::Phase;
+    println!(
+        "phase marks (virtual s): crawl {:.0}, stage {:.0}, dispatch {:.0}, extract {:.0}",
+        report.phases.get(Phase::Crawl),
+        report.phases.get(Phase::Stage),
+        report.phases.get(Phase::Dispatch),
+        report.phases.get(Phase::Extract),
+    );
+    Ok(())
+}
+
+/// Shared front half of `report`/`events`: parse `<dir> [--workers N]`
+/// and run the pipeline over a real directory.
+fn extract_dir(args: &[String], cmd: &str) -> Result<(JobReport, XtractService), String> {
+    let dir = args
+        .first()
+        .ok_or_else(|| format!("{cmd} needs a directory"))?;
+    let workers: usize = flag_value(args, "--workers")
+        .map(|v| v.parse().map_err(|_| "--workers must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+    let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
+    run_extract(Arc::new(backend), workers)
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let (report, service) = extract_dir(args, "report")?;
+    let obs = service.obs();
+    let doc = serde_json::json!({
+        "job": {
+            "crawled_files": report.crawled_files,
+            "groups": report.groups,
+            "families": report.families,
+            "records": report.records.len(),
+            "failures": report.failures.len(),
+            "waves": report.waves,
+        },
+        "phases_s": report.phases,
+        "metrics": obs.hub.snapshot(),
+        "journal": {
+            "events": obs.journal.len(),
+            "dropped": obs.journal.dropped(),
+        },
+    });
+    let line = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    println!("{line}");
+    Ok(())
+}
+
+fn cmd_events(args: &[String]) -> Result<(), String> {
+    let (_report, service) = extract_dir(args, "events")?;
+    let journal = &service.obs().journal;
+    print!("{}", journal.to_jsonl());
+    if journal.dropped() > 0 {
+        eprintln!(
+            "note: {} earlier events were shed by the bounded journal",
+            journal.dropped()
+        );
+    }
     Ok(())
 }
 
@@ -278,6 +356,8 @@ fn main() {
         "search" => cmd_search(rest),
         "dedup" => cmd_dedup(rest),
         "campaign" => cmd_campaign(rest),
+        "report" => cmd_report(rest),
+        "events" => cmd_events(rest),
         "demo" => cmd_demo(),
         _ => usage(),
     };

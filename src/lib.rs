@@ -22,9 +22,13 @@
 //!   service and the campaign simulator.
 //! * [`index`] — the downstream search index validated records feed.
 //! * [`tika`] — the Apache-Tika-like baseline used in Table 2.
+//! * [`obs`] — campaign observability: the metrics hub, the event
+//!   journal, and per-phase span timings.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the full system inventory.
+
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub use xtract_core as core;
 pub use xtract_crawler as crawler;
@@ -32,6 +36,7 @@ pub use xtract_datafabric as datafabric;
 pub use xtract_extractors as extractors;
 pub use xtract_faas as faas;
 pub use xtract_index as index;
+pub use xtract_obs as obs;
 pub use xtract_sim as sim;
 pub use xtract_tika as tika;
 pub use xtract_types as types;

@@ -263,14 +263,14 @@ fn live_rand_offloading_splits_work_between_endpoints() {
         .unwrap()
         .counters()
         .executed
-        .load(std::sync::atomic::Ordering::Relaxed);
+        .get();
     let jetstream_exec = svc
         .faas()
         .endpoint(jetstream)
         .unwrap()
         .counters()
         .executed
-        .load(std::sync::atomic::Ordering::Relaxed);
+        .get();
     assert!(midway_exec > 0, "primary endpoint idle");
     assert!(jetstream_exec > 0, "secondary endpoint idle");
 }

@@ -25,8 +25,8 @@ fn crawl_count(backend: Arc<dyn StorageBackend>) -> (u64, u64) {
         .crawl(EndpointId::new(0), &backend, &["/".to_string()], tx)
         .unwrap();
     drop(rx);
-    let (_, files, _, groups) = crawler.metrics().snapshot();
-    (files, groups)
+    let snap = crawler.metrics().snapshot();
+    (snap.files, snap.groups)
 }
 
 #[test]

@@ -1,0 +1,115 @@
+//! End-to-end observability: a live job populates the shared metrics hub,
+//! the event journal, and the per-phase span timings, and all three
+//! survive their serialized round trips.
+
+use std::sync::Arc;
+use std::time::Instant;
+use xtract_core::{JobReport, XtractService};
+use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope};
+use xtract_obs::{Event, EventJournal, MetricsSnapshot, Phase};
+use xtract_sim::RngStreams;
+use xtract_types::config::ContainerRuntime;
+use xtract_types::{EndpointId, EndpointSpec, JobSpec};
+
+/// Runs one small live job and returns the service (with its accumulated
+/// observability state), the finished report, and the measured wall clock.
+fn run_job(files: u64) -> (XtractService, JobReport, f64) {
+    let fabric = Arc::new(DataFabric::new());
+    let ep = EndpointId::new(0);
+    let fs = Arc::new(MemFs::new(ep));
+    xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", files, &RngStreams::new(31));
+    fabric.register(ep, "midway", fs);
+    let auth = Arc::new(AuthService::new());
+    let token = auth.login(
+        "obs-user",
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
+    );
+    let service = XtractService::new(fabric, auth, 17);
+    let spec = JobSpec::single_endpoint(
+        EndpointSpec {
+            endpoint: ep,
+            read_path: "/data".into(),
+            store_path: Some("/stage".into()),
+            available_bytes: 1 << 30,
+            workers: Some(4),
+            runtime: ContainerRuntime::Docker,
+        },
+        "/data",
+    );
+    service.connect_endpoint(&spec.endpoints[0]).unwrap();
+    let started = Instant::now();
+    let report = service.run_job(token, &spec).unwrap();
+    let wall = started.elapsed().as_secs_f64();
+    (service, report, wall)
+}
+
+#[test]
+fn phase_timings_fit_inside_the_wall_clock() {
+    let (_service, report, wall) = run_job(24);
+    let total = report.phases.total();
+    assert!(total > 0.0, "no phase accumulated any time");
+    // Phases are measured sequentially inside the same run, so their sum
+    // cannot exceed the measured wall clock (plus scheduling slack).
+    assert!(
+        total <= wall + 0.25,
+        "phase sum {total:.3}s exceeds wall clock {wall:.3}s"
+    );
+    assert!(report.phases.get(Phase::Crawl) > 0.0);
+    assert!(report.phases.get(Phase::Extract) > 0.0);
+}
+
+#[test]
+fn hub_snapshot_covers_the_pipeline_and_round_trips() {
+    let (service, report, _wall) = run_job(24);
+    let snap = service.obs().hub.snapshot();
+    assert!(snap.counter("crawl.files") >= 24);
+    assert!(snap.counter("crawl.directories") >= 1);
+    assert_eq!(snap.counter("crawl.files"), report.crawled_files);
+    assert!(snap.counter("faas.ws_requests") >= 1);
+    assert!(snap.counter("faas.tasks_submitted") >= 1);
+    // Endpoint counters are labeled by endpoint.
+    let label = EndpointId::new(0).to_string();
+    assert!(snap.counter_with("endpoint.executed", Some(&label)) >= 1);
+
+    let json = serde_json::to_string(&snap).unwrap();
+    let restored: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored.counter("crawl.files"), snap.counter("crawl.files"));
+    assert_eq!(
+        restored.counter_with("endpoint.executed", Some(&label)),
+        snap.counter_with("endpoint.executed", Some(&label))
+    );
+}
+
+#[test]
+fn journal_records_the_job_and_exports_jsonl() {
+    let (service, _report, _wall) = run_job(24);
+    let journal = &service.obs().journal;
+    assert!(!journal.is_empty());
+    let events = journal.events();
+    assert!(events
+        .iter()
+        .any(|r| matches!(r.event, Event::CrawlProgress { .. })));
+    assert!(events
+        .iter()
+        .any(|r| matches!(r.event, Event::BatchSubmitted { .. })));
+    assert!(events
+        .iter()
+        .any(|r| matches!(r.event, Event::BatchPolled { .. })));
+
+    // The JSONL export parses back to the same sequence.
+    let jsonl = journal.to_jsonl();
+    let parsed = EventJournal::parse_jsonl(&jsonl).unwrap();
+    assert_eq!(parsed.len(), events.len());
+    for (a, b) in parsed.iter().zip(events.iter()) {
+        assert_eq!(a.seq, b.seq);
+    }
+    // Sequence numbers are strictly increasing.
+    for pair in parsed.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+}

@@ -82,10 +82,7 @@ fn batching_reduces_requests_in_both_modes() {
         spec.funcx_batch_size = fb;
         svc.connect_endpoint(&spec.endpoints[0]).unwrap();
         svc.run_job(token, &spec).unwrap();
-        svc.faas()
-            .stats()
-            .ws_requests
-            .load(std::sync::atomic::Ordering::Relaxed)
+        svc.faas().stats().ws_requests.get()
     };
     let live_small = live_requests(1, 1);
     let live_big = live_requests(8, 16);
@@ -140,10 +137,10 @@ fn crawl_model_and_threaded_crawler_see_the_same_tree() {
         .crawl(fabric_ep, &fs, &["/".to_string()], tx)
         .unwrap();
     drop(rx);
-    let (dirs, files, bytes, _groups) = crawler.metrics().snapshot();
-    assert_eq!(files, stats.files);
-    assert_eq!(bytes, stats.bytes);
+    let snap = crawler.metrics().snapshot();
+    assert_eq!(snap.files, stats.files);
+    assert_eq!(snap.bytes, stats.bytes);
     // +2: the crawler also lists the root "/" and the "/mdf" prefix the
     // generator does not count.
-    assert_eq!(dirs, stats.directories + 2);
+    assert_eq!(snap.directories, stats.directories + 2);
 }
