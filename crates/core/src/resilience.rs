@@ -38,6 +38,9 @@ struct EndpointHealth {
     opened_at: Option<u64>,
     /// Lifetime failure count (observability).
     total_failures: u64,
+    /// Whether this open cycle's half-open crossing has been journaled;
+    /// cleared whenever the breaker (re-)opens or closes.
+    reported_half_open: bool,
 }
 
 /// Tracks endpoint health on a logical clock.
@@ -81,18 +84,27 @@ impl HealthTracker {
     pub fn tick(&mut self) {
         self.clock += 1;
         if self.journal.is_some() {
-            // A breaker crosses into half-open exactly when the clock
-            // reaches `opened_at + cooldown`; report each crossing once.
-            let half_open: Vec<EndpointId> = self
+            // Report each open cycle's half-open crossing once. The state
+            // (not an exact clock equality) decides: a zero cooldown makes
+            // the breaker half-open at open time, and a re-open from a
+            // failed probe restarts the cycle mid-window — both would slip
+            // past a `clock == opened_at + cooldown` check.
+            let clock = self.clock;
+            let cooldown = self.cooldown;
+            let newly_half_open: Vec<EndpointId> = self
                 .health
-                .iter()
-                .filter(|(_, h)| {
-                    h.opened_at
-                        .is_some_and(|at| self.clock == at + self.cooldown)
+                .iter_mut()
+                .filter_map(|(ep, h)| {
+                    let half_open = h.opened_at.is_some_and(|at| clock >= at + cooldown);
+                    if half_open && !h.reported_half_open {
+                        h.reported_half_open = true;
+                        Some(*ep)
+                    } else {
+                        None
+                    }
                 })
-                .map(|(ep, _)| *ep)
                 .collect();
-            for endpoint in half_open {
+            for endpoint in newly_half_open {
                 self.journal_event(Event::BreakerHalfOpen { endpoint });
             }
         }
@@ -115,6 +127,7 @@ impl HealthTracker {
         h.total_failures += 1;
         if was_half_open || (h.opened_at.is_none() && h.consecutive_failures >= threshold) {
             h.opened_at = Some(clock);
+            h.reported_half_open = false;
             self.journal_event(Event::BreakerOpened { endpoint });
         }
     }
@@ -125,6 +138,7 @@ impl HealthTracker {
         let h = self.health.entry(endpoint).or_default();
         h.consecutive_failures = 0;
         let was_open = h.opened_at.take().is_some();
+        h.reported_half_open = false;
         if was_open {
             self.journal_event(Event::BreakerClosed { endpoint });
         }
@@ -289,6 +303,63 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds, vec!["opened", "half_open", "closed"]);
+    }
+
+    fn journal_kinds(journal: &EventJournal) -> Vec<&'static str> {
+        journal
+            .events()
+            .iter()
+            .map(|r| match r.event {
+                Event::BreakerOpened { .. } => "opened",
+                Event::BreakerHalfOpen { .. } => "half_open",
+                Event::BreakerClosed { .. } => "closed",
+                _ => "other",
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_cooldown_half_open_is_still_journaled() {
+        // Regression: the half-open report used to require the clock to
+        // equal `opened_at + cooldown` exactly, so a zero-cooldown breaker
+        // (half-open at open time) never journaled the transition.
+        let journal = Arc::new(EventJournal::default());
+        let p = RetryPolicy {
+            breaker_threshold: 1,
+            breaker_cooldown: 0,
+            family_budget: 4,
+            ..RetryPolicy::default()
+        };
+        let mut t = HealthTracker::with_journal(&p, journal.clone());
+        let ep = EndpointId::new(3);
+        t.record_failure(ep);
+        assert_eq!(t.state(ep), BreakerState::HalfOpen);
+        t.tick();
+        assert_eq!(journal_kinds(&journal), vec!["opened", "half_open"]);
+        // Later ticks must not re-report the same open cycle.
+        t.tick();
+        t.tick();
+        assert_eq!(journal_kinds(&journal), vec!["opened", "half_open"]);
+    }
+
+    #[test]
+    fn reopened_breaker_journals_a_fresh_half_open() {
+        let journal = Arc::new(EventJournal::default());
+        let mut t = HealthTracker::with_journal(&policy(), journal.clone());
+        let ep = EndpointId::new(4);
+        for _ in 0..3 {
+            t.record_failure(ep);
+        }
+        t.tick();
+        t.tick(); // cooldown=2: half-open journaled here
+        t.record_failure(ep); // failed probe re-opens a fresh cycle
+        t.tick();
+        t.tick(); // second cooldown elapses: half-open again
+        t.record_success(ep);
+        assert_eq!(
+            journal_kinds(&journal),
+            vec!["opened", "half_open", "opened", "half_open", "closed"]
+        );
     }
 
     #[test]

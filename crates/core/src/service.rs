@@ -403,7 +403,16 @@ impl XtractService {
             let grouping = spec.grouping;
             let obs = self.obs.clone();
             crawl_threads.push(std::thread::spawn(move || {
-                let crawler = Crawler::with_obs(CrawlerConfig { workers, grouping }, obs);
+                // Label the crawl.* counters with this endpoint so the hub
+                // keeps per-endpoint crawl rates apart (Fig. 4, §5.8.1)
+                // and CrawlProgress events report the endpoint they name;
+                // counter_sum("crawl.files") recovers the aggregate.
+                let label = ep.to_string();
+                let crawler = Crawler::with_obs_labeled(
+                    CrawlerConfig { workers, grouping },
+                    obs,
+                    Some(&label),
+                );
                 crawler.crawl(ep, &backend, &[root], tx)
             }));
         }
@@ -1076,7 +1085,8 @@ mod tests {
         assert!(report.phases.get(Phase::Extract) > 0.0);
         // The shared hub saw every substrate of the same job.
         let snap = svc.obs().hub.snapshot();
-        assert!(snap.counter("crawl.files") >= 20);
+        // crawl.* is labeled per endpoint; the aggregate is the label sum.
+        assert!(snap.counter_sum("crawl.files") >= 20);
         assert!(snap.counter("faas.ws_requests") >= 2);
         assert!(!svc.obs().journal.is_empty(), "journal recorded nothing");
     }

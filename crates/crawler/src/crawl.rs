@@ -124,13 +124,27 @@ impl Crawler {
         }
     }
 
-    /// A crawler whose counters live in `obs.hub` (as `crawl.*`) and
-    /// which journals [`xtract_obs::Event::CrawlProgress`] as it walks.
+    /// A crawler whose counters live in `obs.hub` (as unlabeled
+    /// `crawl.*`) and which journals
+    /// [`xtract_obs::Event::CrawlProgress`] as it walks.
     pub fn with_obs(config: CrawlerConfig, obs: xtract_obs::Obs) -> Self {
+        Self::with_obs_labeled(config, obs, None)
+    }
+
+    /// Like [`Crawler::with_obs`], but the `crawl.*` counters carry
+    /// `label`. The orchestrator passes each endpoint's display form so
+    /// the hub snapshot keeps per-endpoint crawl rates apart and
+    /// `CrawlProgress` events report the counts of the endpoint they
+    /// name rather than a federation-wide total.
+    pub fn with_obs_labeled(
+        config: CrawlerConfig,
+        obs: xtract_obs::Obs,
+        label: Option<&str>,
+    ) -> Self {
         assert!(config.workers > 0, "need at least one crawl worker");
         Self {
             config,
-            metrics: Arc::new(CrawlMetrics::in_hub(&obs.hub)),
+            metrics: Arc::new(CrawlMetrics::in_hub_labeled(&obs.hub, label)),
             group_ids: Arc::new(IdAllocator::new()),
             obs: Some(obs),
         }
@@ -196,9 +210,17 @@ impl Crawler {
                                 }
                                 let groups = group_directory(grouping, &files, &ids);
                                 let bytes: u64 = files.iter().map(|f| f.size).sum();
-                                metrics.record_dir(files.len() as u64, bytes, groups.len() as u64);
+                                // record_dir returns this worker's own
+                                // post-increment count, so each stride
+                                // crossing journals exactly once even when
+                                // concurrent workers race the counter past
+                                // the boundary.
+                                let dirs = metrics.record_dir(
+                                    files.len() as u64,
+                                    bytes,
+                                    groups.len() as u64,
+                                );
                                 if let Some(obs) = &obs {
-                                    let dirs = metrics.directories.get();
                                     if dirs % PROGRESS_STRIDE == 1 {
                                         obs.journal.record(xtract_obs::Event::CrawlProgress {
                                             endpoint,
@@ -361,6 +383,69 @@ mod tests {
             )
         });
         assert!(progressed, "no CrawlProgress event journaled");
+    }
+
+    #[test]
+    fn progress_strides_are_never_skipped_under_concurrency() {
+        // Regression: the stride decision used to re-read the shared
+        // directory counter after record_dir, so two racing workers could
+        // both observe a post-crossing value and the crossing journaled
+        // nothing. Deriving it from record_dir's own return makes the
+        // event count exact: 301 directories (root + 300) cross the
+        // stride at 1, 129, and 257.
+        let paths: Vec<String> = (0..300).map(|i| format!("/d{i}/f.txt")).collect();
+        let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+        let backend = fs_with(&refs);
+        for _ in 0..20 {
+            let obs = xtract_obs::Obs::new();
+            let crawler = Crawler::with_obs(
+                CrawlerConfig {
+                    workers: 8,
+                    grouping: GroupingStrategy::SingleFile,
+                },
+                obs.clone(),
+            );
+            let (tx, rx) = unbounded();
+            crawler
+                .crawl(EndpointId::new(0), &backend, &["/".to_string()], tx)
+                .unwrap();
+            drop(rx);
+            let progress_events = obs
+                .journal
+                .events()
+                .iter()
+                .filter(|r| matches!(r.event, xtract_obs::Event::CrawlProgress { .. }))
+                .count();
+            assert_eq!(progress_events, 3, "a stride crossing was missed");
+        }
+    }
+
+    #[test]
+    fn labeled_crawlers_keep_per_endpoint_rates_apart() {
+        let backend_a = fs_with(&["/a/1.txt", "/a/2.txt"]);
+        let backend_b = fs_with(&["/b/3.txt"]);
+        let obs = xtract_obs::Obs::new();
+        for (ep, backend) in [(0u64, &backend_a), (1u64, &backend_b)] {
+            let ep = EndpointId::new(ep);
+            let label = ep.to_string();
+            let crawler = Crawler::with_obs_labeled(
+                CrawlerConfig {
+                    workers: 2,
+                    grouping: GroupingStrategy::SingleFile,
+                },
+                obs.clone(),
+                Some(&label),
+            );
+            let (tx, rx) = unbounded();
+            crawler.crawl(ep, backend, &["/".to_string()], tx).unwrap();
+            drop(rx);
+        }
+        let a = EndpointId::new(0).to_string();
+        let b = EndpointId::new(1).to_string();
+        assert_eq!(obs.hub.counter_value("crawl.files", Some(&a)), 2);
+        assert_eq!(obs.hub.counter_value("crawl.files", Some(&b)), 1);
+        assert_eq!(obs.hub.counter_value("crawl.files", None), 0);
+        assert_eq!(obs.hub.snapshot().counter_sum("crawl.files"), 3);
     }
 
     #[test]

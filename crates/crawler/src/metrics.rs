@@ -51,12 +51,22 @@ impl CrawlMetrics {
     /// Counters interned in `hub` under the `crawl.*` names, so the hub's
     /// snapshot and the crawler's view are the same numbers.
     pub fn in_hub(hub: &MetricsHub) -> Self {
+        Self::in_hub_labeled(hub, None)
+    }
+
+    /// Like [`CrawlMetrics::in_hub`], but each `crawl.*` counter carries
+    /// `label` (normally an endpoint's display form). The orchestrator
+    /// labels per endpoint so the hub snapshot can recover per-endpoint
+    /// crawl rates (Fig. 4, §5.8.1); sum across labels (e.g.
+    /// [`xtract_obs::MetricsSnapshot::counter_sum`]) for the
+    /// federation-wide aggregate.
+    pub fn in_hub_labeled(hub: &MetricsHub, label: Option<&str>) -> Self {
         Self {
-            directories: hub.counter("crawl.directories"),
-            files: hub.counter("crawl.files"),
-            bytes: hub.counter("crawl.bytes"),
-            groups: hub.counter("crawl.groups"),
-            list_ops: hub.counter("crawl.list_ops"),
+            directories: hub.counter_with("crawl.directories", label),
+            files: hub.counter_with("crawl.files", label),
+            bytes: hub.counter_with("crawl.bytes", label),
+            groups: hub.counter_with("crawl.groups", label),
+            list_ops: hub.counter_with("crawl.list_ops", label),
         }
     }
 
@@ -71,12 +81,18 @@ impl CrawlMetrics {
         }
     }
 
-    pub(crate) fn record_dir(&self, files: u64, bytes: u64, groups: u64) {
-        self.directories.incr();
+    /// Records one listed directory and returns the post-increment
+    /// directory count. The return value is this call's own crossing —
+    /// concurrent workers each see a distinct count, so stride-based
+    /// progress reporting derived from it never skips a crossing (a
+    /// re-read of the shared counter can).
+    pub(crate) fn record_dir(&self, files: u64, bytes: u64, groups: u64) -> u64 {
+        let dirs = self.directories.add_fetch(1);
         self.files.add(files);
         self.bytes.add(bytes);
         self.groups.add(groups);
         self.list_ops.incr();
+        dirs
     }
 }
 
@@ -121,5 +137,27 @@ mod tests {
         assert_eq!(hub.counter_value("crawl.files", None), 7);
         assert_eq!(hub.counter_value("crawl.list_ops", None), 1);
         assert_eq!(m.snapshot().bytes, 700);
+    }
+
+    #[test]
+    fn record_dir_returns_each_crossing_once() {
+        let m = CrawlMetrics::new();
+        assert_eq!(m.record_dir(1, 1, 1), 1);
+        assert_eq!(m.record_dir(1, 1, 1), 2);
+        // Clones share cells, so the count keeps advancing.
+        assert_eq!(m.clone().record_dir(0, 0, 0), 3);
+    }
+
+    #[test]
+    fn labeled_metrics_keep_endpoints_separate() {
+        let hub = MetricsHub::new();
+        let a = CrawlMetrics::in_hub_labeled(&hub, Some("ep-0"));
+        let b = CrawlMetrics::in_hub_labeled(&hub, Some("ep-1"));
+        a.record_dir(2, 20, 1);
+        b.record_dir(3, 30, 1);
+        assert_eq!(hub.counter_value("crawl.files", Some("ep-0")), 2);
+        assert_eq!(hub.counter_value("crawl.files", Some("ep-1")), 3);
+        // The federation-wide aggregate is the sum across labels.
+        assert_eq!(hub.snapshot().counter_sum("crawl.files"), 5);
     }
 }

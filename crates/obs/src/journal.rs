@@ -20,7 +20,10 @@ pub const DEFAULT_CAPACITY: usize = 4096;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
 pub enum Event {
-    /// A crawl worker finished listing one directory.
+    /// A crawl worker crossed a progress stride (every Nth directory,
+    /// the first always included). Counts are those of the crawler that
+    /// journaled the event — per endpoint when the orchestrator runs one
+    /// labeled crawler per endpoint, never a federation-wide total.
     CrawlProgress {
         /// Endpoint being crawled.
         endpoint: EndpointId,

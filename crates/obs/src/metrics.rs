@@ -30,6 +30,15 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds `n` and returns the post-add value. Each concurrent caller
+    /// observes a distinct value, so stride decisions ("every Nth
+    /// event") derived from the return cannot skip a crossing the way
+    /// an add-then-load pair can.
+    #[inline]
+    pub fn add_fetch(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
     /// Adds one.
     #[inline]
     pub fn incr(&self) {
@@ -82,13 +91,17 @@ impl Histogram {
         }))
     }
 
-    /// Records one observation.
+    /// Records one observation. NaN and negative values clamp to 0.0
+    /// (the first bucket); `+inf` lands in the overflow bucket but
+    /// contributes nothing to the sum, which must stay finite.
     pub fn observe(&self, value: f64) {
-        let v = if value.is_finite() && value > 0.0 {
-            value
-        } else {
+        let v = if value.is_nan() || value < 0.0 {
             0.0
+        } else {
+            value
         };
+        // `position` returns `None` for +inf (no finite bound can hold
+        // it), selecting the overflow bucket.
         let idx = self
             .0
             .bounds
@@ -97,9 +110,10 @@ impl Histogram {
             .unwrap_or(self.0.bounds.len());
         self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
+        let sum_v = if v.is_finite() { v } else { 0.0 };
         self.0
             .sum_micros
-            .fetch_add((v * SUM_SCALE) as u64, Ordering::Relaxed);
+            .fetch_add((sum_v * SUM_SCALE) as u64, Ordering::Relaxed);
     }
 
     /// Observations recorded.
@@ -190,6 +204,17 @@ impl MetricsSnapshot {
             .map(|c| c.value)
             .unwrap_or(0)
     }
+
+    /// The sum of counter `name` across every label (including the
+    /// unlabeled cell). This is how aggregate views of per-endpoint
+    /// metrics (e.g. `crawl.files` labeled by endpoint) are read.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
 }
 
 type Key = (String, Option<String>);
@@ -227,17 +252,30 @@ impl MetricsHub {
         self.histogram_with(name, None, bounds)
     }
 
-    /// Interns (or retrieves) histogram `name` with `label`.
+    /// Interns (or retrieves) histogram `name` with `label`. Bounds are
+    /// fixed by the first interning call; a later call requesting
+    /// different bounds gets the original layout (debug builds assert,
+    /// so divergent registrations are caught in tests).
     pub fn histogram_with(&self, name: &str, label: Option<&str>, bounds: &[f64]) -> Histogram {
         let key = (name.to_string(), label.map(str::to_string));
         if let Some(h) = self.histograms.read().get(&key) {
+            debug_assert_eq!(
+                h.0.bounds, bounds,
+                "histogram {name:?} (label {label:?}) re-interned with different bounds"
+            );
             return h.clone();
         }
-        self.histograms
+        let h = self
+            .histograms
             .write()
             .entry(key)
             .or_insert_with(|| Histogram::new(bounds))
-            .clone()
+            .clone();
+        debug_assert_eq!(
+            h.0.bounds, bounds,
+            "histogram {name:?} (label {label:?}) re-interned with different bounds"
+        );
+        h
     }
 
     /// The current value of counter `(name, label)`; 0 when never
@@ -322,6 +360,50 @@ mod tests {
         let s = h.sample("t", None);
         assert_eq!(s.buckets[0].count, 2);
         assert_eq!(s.buckets[1].count, 1);
+        // +inf contributes nothing to the sum, which stays finite.
+        assert_eq!(s.sum, 0.0);
+    }
+
+    #[test]
+    fn add_fetch_returns_distinct_post_values_under_contention() {
+        let c = Counter::new();
+        let threads = 8;
+        let per_thread = 1_000u64;
+        let seen: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let c = c.clone();
+                    s.spawn(move || (0..per_thread).map(|_| c.add_fetch(1)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut seen = seen;
+        seen.sort_unstable();
+        // Every crossing 1..=N observed exactly once across all threads.
+        let expected: Vec<u64> = (1..=threads * per_thread).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn counter_sum_aggregates_across_labels() {
+        let hub = MetricsHub::new();
+        hub.counter_with("crawl.files", Some("ep-0")).add(3);
+        hub.counter_with("crawl.files", Some("ep-1")).add(4);
+        hub.counter("crawl.files").add(1);
+        hub.counter("other").add(100);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter_sum("crawl.files"), 8);
+        assert_eq!(snap.counter_sum("absent"), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn divergent_histogram_bounds_are_caught_in_debug() {
+        let hub = MetricsHub::new();
+        hub.histogram("lat", &[0.5, 2.0]);
+        hub.histogram("lat", &[1.0, 4.0]);
     }
 
     #[test]

@@ -67,18 +67,28 @@ fn phase_timings_fit_inside_the_wall_clock() {
 fn hub_snapshot_covers_the_pipeline_and_round_trips() {
     let (service, report, _wall) = run_job(24);
     let snap = service.obs().hub.snapshot();
-    assert!(snap.counter("crawl.files") >= 24);
-    assert!(snap.counter("crawl.directories") >= 1);
-    assert_eq!(snap.counter("crawl.files"), report.crawled_files);
+    // crawl.* counters are labeled per endpoint (counter_sum gives the
+    // federation-wide aggregate; this job has a single endpoint, so the
+    // labeled cell and the sum agree).
+    let label = EndpointId::new(0).to_string();
+    assert!(snap.counter_sum("crawl.files") >= 24);
+    assert!(snap.counter_sum("crawl.directories") >= 1);
+    assert_eq!(snap.counter_sum("crawl.files"), report.crawled_files);
+    assert_eq!(
+        snap.counter_with("crawl.files", Some(&label)),
+        report.crawled_files
+    );
     assert!(snap.counter("faas.ws_requests") >= 1);
     assert!(snap.counter("faas.tasks_submitted") >= 1);
     // Endpoint counters are labeled by endpoint.
-    let label = EndpointId::new(0).to_string();
     assert!(snap.counter_with("endpoint.executed", Some(&label)) >= 1);
 
     let json = serde_json::to_string(&snap).unwrap();
     let restored: MetricsSnapshot = serde_json::from_str(&json).unwrap();
-    assert_eq!(restored.counter("crawl.files"), snap.counter("crawl.files"));
+    assert_eq!(
+        restored.counter_sum("crawl.files"),
+        snap.counter_sum("crawl.files")
+    );
     assert_eq!(
         restored.counter_with("endpoint.executed", Some(&label)),
         snap.counter_with("endpoint.executed", Some(&label))
