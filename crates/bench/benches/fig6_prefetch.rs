@@ -66,7 +66,9 @@ fn main() {
         crawl.completion_time(16).as_secs()
     );
 
-    println!("\n  nodes  workers  transfer-done(s)  extract-done(s)  extract-after-arrival(s)");
+    println!(
+        "\n  nodes  workers  transfer-done(s)  extract-done(s)  extract-after-arrival(s)  overlap(core-s)"
+    );
     let mut lag32 = 0.0;
     let mut extract_times = Vec::new();
     for &nodes in &[4usize, 8, 16, 32] {
@@ -85,8 +87,10 @@ fn main() {
         }
         extract_times.push(report.makespan);
         println!(
-            "  {nodes:>5}  {workers:>7}  {:>16.0}  {:>15.0}  {lag:>24.0}",
-            report.transfer_finish, report.makespan
+            "  {nodes:>5}  {workers:>7}  {:>16.0}  {:>15.0}  {lag:>24.0}  {:>15.0}",
+            report.transfer_finish,
+            report.makespan,
+            report.stage_overlap_s()
         );
     }
 

@@ -10,6 +10,10 @@
 //! worker per job: `submit` returns a [`JobId`] immediately; status reads
 //! observe live crawl/extraction counters (shared with the service's
 //! crawler metrics); results become available when the job completes.
+//! The retrieved report's [`JobReport::phases`] are overlap-aware: with
+//! the concurrent staging pool, `Stage` is the union of the pool's
+//! concurrent spans, so the phase total stays within the job's wall
+//! clock even while prefetch and extraction run at the same time.
 
 use crate::service::{JobReport, XtractService};
 use parking_lot::{Condvar, Mutex};
@@ -261,6 +265,25 @@ mod tests {
         // crawl.* is labeled per endpoint; the aggregate is the label sum.
         assert!(snap.counter_sum("crawl.files") >= 20);
         assert!(!mgr.obs().journal.is_empty());
+    }
+
+    #[test]
+    fn async_reports_carry_consistent_phase_timings() {
+        let (mgr, token, spec) = rig(16);
+        let started = std::time::Instant::now();
+        let id = mgr.submit(token, spec).unwrap();
+        mgr.wait(id, Duration::from_secs(30)).unwrap();
+        let wall = started.elapsed().as_secs_f64();
+        let report = mgr.take_report(id).unwrap().unwrap();
+        let total = report.phases.total();
+        assert!(total > 0.0, "no phase time recorded");
+        // Stage is the union of the staging pool's concurrent spans, so
+        // even through the async interface no phase accounting can exceed
+        // the wall clock (slop covers submit/notify scheduling).
+        assert!(
+            total <= wall + 0.25,
+            "phase total {total}s exceeds wall clock {wall}s"
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //!   tolerance & failure semantics");
 //! * [`jobs`] — the asynchronous submit/monitor/retrieve interface of §3
 //!   (Listing 2's `XtractClient` flow);
+//! * [`staging`] — the wire types of the concurrent staging pipeline
+//!   that overlaps family prefetch with extraction waves (§5.6);
 //! * [`dedup`] — exact + MinHash near-duplicate detection (§7 future
 //!   work);
 //! * [`utility`] — metadata utility scoring for utility-cost tradeoffs
@@ -53,6 +55,7 @@ pub mod payload;
 pub mod planner;
 pub mod resilience;
 pub mod service;
+pub mod staging;
 pub mod utility;
 pub mod validator;
 

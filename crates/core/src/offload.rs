@@ -62,9 +62,22 @@ impl Offloader {
 
     /// Decides a family's placement and returns the endpoint to run on.
     pub fn place(&mut self, family: &Family) -> EndpointId {
+        self.place_decision(family).0
+    }
+
+    /// Like [`Self::place`], but also returns the *typed* decision so the
+    /// orchestrator can distinguish "actively offload to the secondary"
+    /// from "no active decision" ([`Placement::Home`]). The distinction
+    /// matters for non-home-local families: `Offload` is an instruction
+    /// to move the family to the secondary, while `Home` means the
+    /// policy expressed no preference and source locality should stand —
+    /// the home endpoint is never a *forced* destination, because pulling
+    /// a family off the endpoint that already holds its bytes is pure
+    /// added transfer with no §4.3.3 rule asking for it.
+    pub fn place_decision(&mut self, family: &Family) -> (EndpointId, Placement) {
         self.decisions += 1;
         let Some(secondary) = self.secondary else {
-            return self.home;
+            return (self.home, Placement::Home);
         };
         let placement = match self.mode {
             OffloadMode::None => Placement::Home,
@@ -91,10 +104,10 @@ impl Offloader {
             }
         };
         match placement {
-            Placement::Home => self.home,
+            Placement::Home => (self.home, Placement::Home),
             Placement::Offload => {
                 self.offloaded += 1;
-                secondary
+                (secondary, Placement::Offload)
             }
         }
     }
@@ -177,6 +190,18 @@ mod tests {
     fn missing_secondary_disables_offload() {
         let mut o = Offloader::new(OffloadMode::Rand { percent: 100.0 }, HOME, None, 1);
         assert_eq!(o.place(&family(1)), HOME);
+    }
+
+    #[test]
+    fn place_decision_types_the_choice() {
+        let mut o = Offloader::new(OffloadMode::Rand { percent: 100.0 }, HOME, Some(SEC), 1);
+        assert_eq!(o.place_decision(&family(1)), (SEC, Placement::Offload));
+        let mut o = Offloader::new(OffloadMode::Rand { percent: 0.0 }, HOME, Some(SEC), 1);
+        assert_eq!(o.place_decision(&family(1)), (HOME, Placement::Home));
+        // No secondary: always an inactive Home decision, never Offload.
+        let mut o = Offloader::new(OffloadMode::Rand { percent: 100.0 }, HOME, None, 1);
+        assert_eq!(o.place_decision(&family(1)), (HOME, Placement::Home));
+        assert_eq!(o.offload_rate(), 0.0);
     }
 
     #[test]

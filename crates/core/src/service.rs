@@ -10,9 +10,12 @@
 //! 4. **place** each family (source-local if it has compute, otherwise
 //!    the primary compute endpoint; the offloader may redirect, §4.3.3);
 //! 5. **prefetch** families whose bytes are not at their execution site
-//!    (batch transfer + path rewrite, §4.1 "The prefetcher") — transient
-//!    link faults retry under the job's [`RetryPolicy`] with
-//!    deterministic exponential backoff;
+//!    (batch transfer + path rewrite, §4.1 "The prefetcher") on a bounded
+//!    pool of `staging_workers` that overlaps prefetch with the
+//!    extraction waves (§5.6, Fig. 8): already-local families dispatch
+//!    while remote ones are still in flight, and transient link faults
+//!    retry under the job's [`RetryPolicy`] with deterministic
+//!    exponential backoff;
 //! 6. run the **extraction waves**: each wave batches every family's next
 //!    pending extractor two-level (§4.3.2), submits through the FaaS
 //!    fabric, polls, merges results, extends plans with discoveries, and
@@ -34,13 +37,15 @@
 use crate::batcher::Batcher;
 use crate::checkpoint::CheckpointStore;
 use crate::families::build_families;
-use crate::offload::Offloader;
+use crate::offload::{Offloader, Placement};
 use crate::payload::{decode_results, encode_batch, make_function_body};
 use crate::planner::ExtractionPlan;
 use crate::resilience::{BreakerState, HealthTracker, RetryLedger};
+use crate::staging::{stage_salt_base, StageOutcome, StageRequest, StagedFamily};
 use crate::validator::{encode_record, validate};
 use bytes::Bytes;
 use crossbeam_channel::unbounded;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -48,7 +53,7 @@ use xtract_crawler::{Crawler, CrawlerConfig};
 use xtract_datafabric::{AuthService, DataFabric, Scope, Token, TransferRequest, TransferService};
 use xtract_extractors::{library, Extractor};
 use xtract_faas::{EndpointConfig, FaasService, FunctionRegistry, TaskSpec, TaskStatus};
-use xtract_obs::{Event, EventJournal, Obs, Phase, PhaseTimings};
+use xtract_obs::{Event, EventJournal, Obs, Phase, PhaseTimings, SpanUnion};
 use xtract_sim::RngStreams;
 use xtract_types::id::IdAllocator;
 use xtract_types::{
@@ -103,6 +108,16 @@ struct ActiveFamily {
     origin_files: Vec<FileRecord>,
     /// Where those records live.
     origin_source: EndpointId,
+    /// True while a staging request for this family is in flight on the
+    /// pool; the wave loop skips the family until its outcome lands.
+    staging: bool,
+    /// Every `(endpoint, base_path)` the family was ever staged under —
+    /// not just the current one, so cleanup after a reroute also removes
+    /// the copies abandoned on the endpoint that went dark.
+    staged_sites: Vec<(EndpointId, String)>,
+    /// 0 for the initial staging pass, bumped per breaker-reroute
+    /// restage; also decorrelates fault salts across generations.
+    stage_generation: u32,
 }
 
 /// Charges one lost/crashed step against every family in a funcX task:
@@ -151,6 +166,64 @@ fn charge_step_loss(
     }
     if let Some(ep) = endpoint {
         health.record_failure(ep);
+    }
+}
+
+/// Folds one staging-pool outcome back into the wave loop's state: the
+/// staged family replaces the origin view (success) or the family
+/// dead-letters with a timeline event (failure — restages included, so no
+/// dead letter ships with a silent reroute). Every outcome's span joins
+/// the overlap-aware `Stage` accounting.
+fn apply_stage_outcome(
+    outcome: StageOutcome,
+    active: &mut [ActiveFamily],
+    report: &mut JobReport,
+    health: &mut HealthTracker,
+    stage_spans: &mut SpanUnion,
+    journal: &EventJournal,
+) {
+    stage_spans.add(outcome.started_s, outcome.finished_s);
+    let af = &mut active[outcome.index];
+    af.staging = false;
+    // Even a failed pass may have landed some files before the fault hit;
+    // remember the site regardless so cleanup sweeps it (the fix for the
+    // staged-copy leak: *every* site, not just the final exec home).
+    af.staged_sites.push((outcome.exec, outcome.base));
+    journal.record(Event::StagingFinished {
+        family: af.family.id,
+        destination: outcome.exec,
+        ok: outcome.result.is_ok(),
+    });
+    match outcome.result {
+        Ok(staged) => {
+            af.family = staged.family;
+            report.bytes_prefetched += staged.bytes;
+            health.record_success(outcome.exec);
+            if outcome.generation > 0 {
+                let old = af.exec;
+                af.exec = outcome.exec;
+                report.rerouted += 1;
+                af.timeline.push(FailureEvent {
+                    wave: health.now(),
+                    endpoint: outcome.exec,
+                    note: format!("rerouted from {old} to {}", outcome.exec),
+                });
+            }
+        }
+        Err(reason) => {
+            health.record_failure(outcome.exec);
+            let note = if outcome.generation > 0 {
+                format!("restage at {} failed: {reason}", outcome.exec)
+            } else {
+                reason.to_string()
+            };
+            af.timeline.push(FailureEvent {
+                wave: health.now(),
+                endpoint: outcome.exec,
+                note,
+            });
+            af.failed = Some(reason);
+        }
     }
 }
 
@@ -273,7 +346,8 @@ impl XtractService {
     /// store, retrying transient faults under the retry policy: each
     /// attempt re-submits only the files that failed, under a fresh fault
     /// salt, after a deterministic exponential-backoff delay. On success
-    /// the family's records are rewritten to the staged copies.
+    /// the family's records are rewritten to the staged copies. Runs on
+    /// staging-pool workers, so the ledger arrives behind a mutex.
     #[allow(clippy::too_many_arguments)]
     fn stage_family(
         &self,
@@ -284,7 +358,7 @@ impl XtractService {
         exec: EndpointId,
         store: &str,
         retry: &RetryPolicy,
-        ledger: &mut RetryLedger,
+        ledger: &Mutex<RetryLedger>,
         salt_base: u64,
     ) -> std::result::Result<u64, FailureReason> {
         let base = format!("{store}/fam-{}", family.id.raw());
@@ -298,7 +372,7 @@ impl XtractService {
         };
         for attempt in 0..retry.transfer_attempts {
             if attempt > 0 {
-                ledger.charge(family.id);
+                ledger.lock().charge(family.id);
                 std::thread::sleep(Duration::from_millis(
                     retry.delay_ms(attempt, family.id.raw()),
                 ));
@@ -339,7 +413,7 @@ impl XtractService {
                         reason: receipt
                             .failed
                             .first()
-                            .map(|(_, why)| why.clone())
+                            .map(|(_, why)| why.to_string())
                             .unwrap_or_else(|| "transfer incomplete".to_string()),
                     };
                     pending = receipt
@@ -355,6 +429,43 @@ impl XtractService {
             endpoint: exec,
             error: last_err,
         })
+    }
+
+    /// One staging-pool work item: stage the request's family and stamp
+    /// the outcome with its concurrent span (offsets from `job_started`).
+    fn execute_stage_request(
+        &self,
+        token: Token,
+        req: StageRequest,
+        retry: &RetryPolicy,
+        ledger: &Mutex<RetryLedger>,
+        job_started: Instant,
+    ) -> StageOutcome {
+        let started_s = job_started.elapsed().as_secs_f64();
+        let base = format!("{}/fam-{}", req.store, req.family.id.raw());
+        let mut family = req.family;
+        let result = self
+            .stage_family(
+                token,
+                &mut family,
+                req.origin_source,
+                &req.origin_files,
+                req.exec,
+                &req.store,
+                retry,
+                ledger,
+                req.salt_base,
+            )
+            .map(|bytes| StagedFamily { family, bytes });
+        StageOutcome {
+            index: req.index,
+            generation: req.generation,
+            exec: req.exec,
+            base,
+            result,
+            started_s,
+            finished_s: job_started.elapsed().as_secs_f64(),
+        }
     }
 
     /// Runs a bulk extraction job to completion.
@@ -379,11 +490,13 @@ impl XtractService {
     }
 
     fn run_job_inner(&self, token: Token, spec: &JobSpec) -> Result<JobReport> {
+        let job_started = Instant::now();
         let mut report = JobReport::default();
         let checkpoint = CheckpointStore::with_obs(&self.obs.hub);
         let retry = &spec.retry;
         let mut health = HealthTracker::with_journal(retry, self.obs.journal.clone());
-        let mut ledger = RetryLedger::new(retry);
+        // Staging-pool workers and the wave loop share the ledger.
+        let ledger = Mutex::new(RetryLedger::new(retry));
         let journal = self.obs.journal.clone();
 
         // --- Stages 2+3, overlapped: crawl on background threads while the
@@ -477,384 +590,529 @@ impl XtractService {
             spec.endpoints.iter().map(|e| (e.endpoint, e)).collect();
 
         let mut active: Vec<ActiveFamily> = Vec::with_capacity(families.len());
-        for mut family in families {
-            let origin_files = family.files.clone();
-            let origin_source = family.source;
-            let source_spec = by_endpoint.get(&family.source);
-            let local_ok = source_spec.is_some_and(|e| e.has_compute());
-            let mut exec = if local_ok {
-                family.source
-            } else {
-                primary.endpoint
-            };
-            // The offloader may redirect anywhere (§4.3.3 RAND applies a
-            // percentage of all files).
-            let placed = offloader.place(&family);
-            if placed != primary.endpoint {
-                exec = placed;
-            }
-            let mut failed: Option<FailureReason> = None;
-            let mut timeline: Vec<FailureEvent> = Vec::new();
-            // --- Stage 5: prefetch if bytes are elsewhere. ----------------
-            if exec != family.source {
-                let store = by_endpoint
-                    .get(&exec)
-                    .copied()
-                    .and_then(|d| d.store_path.clone());
-                let stage_started = Instant::now();
-                let staged = match store {
-                    Some(store) => self.stage_family(
-                        token,
-                        &mut family,
-                        origin_source,
-                        &origin_files,
-                        exec,
-                        &store,
-                        retry,
-                        &mut ledger,
-                        0,
-                    ),
-                    None => Err(FailureReason::PrefetchFailed {
-                        endpoint: exec,
-                        error: XtractError::NoComputeLayer { endpoint: exec },
-                    }),
-                };
-                report
-                    .phases
-                    .add(Phase::Stage, stage_started.elapsed().as_secs_f64());
-                match staged {
-                    Ok(bytes) => {
-                        report.bytes_prefetched += bytes;
-                        health.record_success(exec);
-                    }
-                    Err(reason) => {
-                        // The family still flows through the wave loop and
-                        // stage 7 so it lands in exactly one place: the
-                        // dead-letter list.
-                        health.record_failure(exec);
-                        timeline.push(FailureEvent {
-                            wave: 0,
-                            endpoint: exec,
-                            note: reason.to_string(),
+        // Overlap-aware Stage accounting: every staging pass contributes
+        // its [start, finish] span; the union (never the sum) of the
+        // pool's concurrent spans is the phase's wall-clock coverage.
+        let mut stage_spans = SpanUnion::new();
+        let staging_workers = spec.staging_workers.max(1);
+        // The pool is the concurrency budget; bound each transfer link to
+        // the same width so one saturated link cannot be oversubscribed.
+        self.transfer.set_link_limit(Some(staging_workers));
+
+        std::thread::scope(|scope| -> Result<()> {
+            // --- The staging pool: a bounded set of workers prefetching
+            // families via the Arc-shared transfer service, streaming
+            // outcomes back into the wave loop. Restages after breaker
+            // reroutes ride the same channel. -------------------------------
+            let (req_tx, req_rx) = unbounded::<StageRequest>();
+            let (out_tx, out_rx) = unbounded::<StageOutcome>();
+            let pool_gauge = self.obs.hub.gauge("staging.in_flight");
+            for _ in 0..staging_workers {
+                let req_rx = req_rx.clone();
+                let out_tx = out_tx.clone();
+                let gauge = pool_gauge.clone();
+                let journal = journal.clone();
+                let ledger = &ledger;
+                scope.spawn(move || {
+                    while let Ok(req) = req_rx.recv() {
+                        gauge.inc();
+                        journal.record(Event::StagingStarted {
+                            family: req.family.id,
+                            destination: req.exec,
                         });
-                        failed = Some(reason);
+                        let outcome =
+                            self.execute_stage_request(token, req, retry, ledger, job_started);
+                        gauge.dec();
+                        if out_tx.send(outcome).is_err() {
+                            break;
+                        }
                     }
-                }
+                });
             }
-            let plan = ExtractionPlan::for_family(&family);
-            active.push(ActiveFamily {
-                family,
-                plan,
-                merged: Metadata::new(),
-                ran: Vec::new(),
-                exec,
-                attempts: HashMap::new(),
-                failed,
-                timeline,
-                origin_files,
-                origin_source,
-            });
-        }
-        // Planning time is the placement pass minus the staging transfers
-        // it kicked off (those already landed in the Stage bucket).
-        report.phases.add(
-            Phase::Plan,
-            plan_started.elapsed().as_secs_f64() - report.phases.get(Phase::Stage),
-        );
+            drop(req_rx);
+            drop(out_tx);
+            // Staging requests in flight on the pool; the wave loop may
+            // not end while any remain.
+            let mut inflight = 0usize;
 
-        // --- Stage 6: extraction waves. ------------------------------------
-        loop {
-            health.tick();
-
-            // Graceful degradation: a family whose endpoint's breaker is
-            // open moves to a healthy endpoint, its bytes re-staged from
-            // the origin. With no healthy alternative it stays parked and
-            // rides the half-open probe cycle instead.
-            for af in active.iter_mut() {
-                if af.failed.is_some() || af.plan.is_done() {
-                    continue;
-                }
-                if health.state(af.exec) != BreakerState::Open {
-                    continue;
-                }
-                let Some(new_exec) = self.healthy_alternative(af.exec, spec, &health) else {
-                    if self.faas.endpoint(af.exec).is_none() {
-                        // Not just tripped — the endpoint does not exist.
-                        af.failed = Some(FailureReason::NoHealthyEndpoint { endpoint: af.exec });
-                    }
-                    continue;
+            for mut family in families {
+                let origin_files = family.files.clone();
+                let origin_source = family.source;
+                let local_ok = by_endpoint
+                    .get(&family.source)
+                    .is_some_and(|e| e.has_compute());
+                // Default: source locality — a family already sitting on
+                // a compute endpoint runs there, otherwise the primary.
+                let default_exec = if local_ok {
+                    family.source
+                } else {
+                    primary.endpoint
                 };
-                if !ledger.charge(af.family.id) {
-                    af.failed = Some(FailureReason::RetryBudgetExhausted {
-                        extractor: af.plan.next().unwrap_or(ExtractorKind::Keyword),
-                        error: XtractError::EndpointDown { endpoint: af.exec },
-                    });
-                    continue;
+                // Honour the offloader's *typed* decision: `Offload` is an
+                // active instruction to move the family to the secondary
+                // (§4.3.3 RAND applies a percentage of all files), while
+                // `Home` means the policy expressed no preference and
+                // source locality stands — the primary is never a forced
+                // destination (see `Offloader::place_decision`).
+                let (placed, decision) = offloader.place_decision(&family);
+                let exec = if decision == Placement::Offload {
+                    placed
+                } else {
+                    default_exec
+                };
+                let index = active.len();
+                let mut af = ActiveFamily {
+                    plan: ExtractionPlan::for_family(&family),
+                    family,
+                    merged: Metadata::new(),
+                    ran: Vec::new(),
+                    exec,
+                    attempts: HashMap::new(),
+                    failed: None,
+                    timeline: Vec::new(),
+                    origin_files,
+                    origin_source,
+                    staging: false,
+                    staged_sites: Vec::new(),
+                    stage_generation: 0,
+                };
+                // --- Stage 5: prefetch if bytes are elsewhere — submitted
+                // to the pool, not awaited, so wave 1 of already-local
+                // families dispatches while remote ones are in flight. ------
+                if exec != af.family.source {
+                    let store = by_endpoint
+                        .get(&exec)
+                        .copied()
+                        .and_then(|d| d.store_path.clone());
+                    match store {
+                        Some(store) => {
+                            af.staging = true;
+                            inflight += 1;
+                            let _ = req_tx.send(StageRequest {
+                                index,
+                                family: af.family.clone(),
+                                origin_files: af.origin_files.clone(),
+                                origin_source,
+                                exec,
+                                store,
+                                // Satellite fix: the salt base derives from
+                                // the family id, so injected transfer
+                                // faults roll independently per family
+                                // instead of in lockstep.
+                                salt_base: stage_salt_base(af.family.id, 0),
+                                generation: 0,
+                            });
+                        }
+                        None => {
+                            // The family still flows through the wave loop
+                            // and stage 7 so it lands in exactly one place:
+                            // the dead-letter list.
+                            let reason = FailureReason::PrefetchFailed {
+                                endpoint: exec,
+                                error: XtractError::NoComputeLayer { endpoint: exec },
+                            };
+                            health.record_failure(exec);
+                            af.timeline.push(FailureEvent {
+                                wave: 0,
+                                endpoint: exec,
+                                note: reason.to_string(),
+                            });
+                            af.failed = Some(reason);
+                        }
+                    }
                 }
-                let old = af.exec;
-                // Reset to the origin view, then stage at the new home.
-                af.family.files = af.origin_files.clone();
-                af.family.source = af.origin_source;
-                af.family.base_path = None;
-                if new_exec != af.origin_source {
+                active.push(af);
+            }
+            // Placement is pure now that staging rides the pool: Plan is
+            // the decision pass alone; Stage lands after the loop as the
+            // union of the pool's concurrent spans.
+            report
+                .phases
+                .add(Phase::Plan, plan_started.elapsed().as_secs_f64());
+
+            // --- Stage 6: extraction waves, overlapped with staging. -------
+            loop {
+                // Fold in every family the pool finished since the last
+                // wave; newly staged families join this wave's batch.
+                while let Ok(outcome) = out_rx.try_recv() {
+                    inflight -= 1;
+                    apply_stage_outcome(
+                        outcome,
+                        &mut active,
+                        &mut report,
+                        &mut health,
+                        &mut stage_spans,
+                        &journal,
+                    );
+                }
+                health.tick();
+
+                // Graceful degradation: a family whose endpoint's breaker
+                // is open moves to a healthy endpoint, its bytes re-staged
+                // from the origin — through the pool, so the wave loop
+                // keeps dispatching healthy families meanwhile. With no
+                // healthy alternative it stays parked and rides the
+                // half-open probe cycle instead.
+                for i in 0..active.len() {
+                    let af = &mut active[i];
+                    if af.failed.is_some() || af.staging || af.plan.is_done() {
+                        continue;
+                    }
+                    if health.state(af.exec) != BreakerState::Open {
+                        continue;
+                    }
+                    let Some(new_exec) = self.healthy_alternative(af.exec, spec, &health) else {
+                        if self.faas.endpoint(af.exec).is_none() {
+                            // Not just tripped — the endpoint does not
+                            // exist.
+                            af.failed =
+                                Some(FailureReason::NoHealthyEndpoint { endpoint: af.exec });
+                        }
+                        continue;
+                    };
+                    if !ledger.lock().charge(af.family.id) {
+                        af.failed = Some(FailureReason::RetryBudgetExhausted {
+                            extractor: af.plan.next().unwrap_or(ExtractorKind::Keyword),
+                            error: XtractError::EndpointDown { endpoint: af.exec },
+                        });
+                        continue;
+                    }
+                    let old = af.exec;
+                    // Reset to the origin view, then stage at the new home.
+                    af.family.files = af.origin_files.clone();
+                    af.family.source = af.origin_source;
+                    af.family.base_path = None;
+                    if new_exec == af.origin_source {
+                        // The bytes already live at the new home: a purely
+                        // logical move, no transfer needed.
+                        af.exec = new_exec;
+                        report.rerouted += 1;
+                        af.timeline.push(FailureEvent {
+                            wave: health.now(),
+                            endpoint: new_exec,
+                            note: format!("rerouted from {old} to {new_exec}"),
+                        });
+                        continue;
+                    }
                     let store = by_endpoint
                         .get(&new_exec)
                         .copied()
                         .and_then(|d| d.store_path.clone());
-                    let stage_started = Instant::now();
-                    let staged = match store {
-                        Some(store) => self.stage_family(
-                            token,
-                            &mut af.family,
-                            af.origin_source,
-                            &af.origin_files,
-                            new_exec,
-                            &store,
-                            retry,
-                            &mut ledger,
-                            (health.now() + 1) * 1000,
-                        ),
-                        None => Err(FailureReason::PrefetchFailed {
-                            endpoint: new_exec,
-                            error: XtractError::NoComputeLayer { endpoint: new_exec },
-                        }),
-                    };
-                    report
-                        .phases
-                        .add(Phase::Stage, stage_started.elapsed().as_secs_f64());
-                    match staged {
-                        Ok(bytes) => {
-                            report.bytes_prefetched += bytes;
-                            health.record_success(new_exec);
+                    match store {
+                        Some(store) => {
+                            af.stage_generation += 1;
+                            af.staging = true;
+                            inflight += 1;
+                            let _ = req_tx.send(StageRequest {
+                                index: i,
+                                family: af.family.clone(),
+                                origin_files: af.origin_files.clone(),
+                                origin_source: af.origin_source,
+                                exec: new_exec,
+                                store,
+                                salt_base: stage_salt_base(af.family.id, af.stage_generation),
+                                generation: af.stage_generation,
+                            });
                         }
-                        Err(reason) => {
+                        None => {
+                            // Satellite fix: a failed restage records a
+                            // timeline event like every other failure path,
+                            // so the dead letter ships a complete history.
+                            let reason = FailureReason::PrefetchFailed {
+                                endpoint: new_exec,
+                                error: XtractError::NoComputeLayer { endpoint: new_exec },
+                            };
                             health.record_failure(new_exec);
+                            af.timeline.push(FailureEvent {
+                                wave: health.now(),
+                                endpoint: new_exec,
+                                note: format!("restage at {new_exec} failed: {reason}"),
+                            });
                             af.failed = Some(reason);
+                        }
+                    }
+                }
+
+                let dispatch_started = Instant::now();
+                let mut batcher = Batcher::new(spec.xtract_batch_size, spec.funcx_batch_size);
+                let mut wave = Vec::new();
+                let mut index: HashMap<FamilyId, usize> = HashMap::new();
+                for (i, af) in active.iter_mut().enumerate() {
+                    // A family with a staging pass in flight sits this wave
+                    // out; its outcome folds in at the top of a later one.
+                    if af.failed.is_some() || af.staging {
+                        continue;
+                    }
+                    // An open breaker parks the family until a reroute or
+                    // the cooldown's half-open probe readmits it.
+                    if health.state(af.exec) == BreakerState::Open {
+                        continue;
+                    }
+                    let Some(kind) = af.plan.next() else { continue };
+                    // Checkpointed output short-circuits re-execution after
+                    // a loss (§5.8.1: "the metadata are re-loaded").
+                    if spec.checkpoint {
+                        if let Some(md) = checkpoint.load(af.family.id, kind.name()) {
+                            af.merged.merge(&md);
+                            af.ran.push(kind.name().to_string());
+                            af.plan.complete_simple(kind);
                             continue;
                         }
                     }
+                    index.insert(af.family.id, i);
+                    wave.extend(batcher.push(af.family.clone(), kind, af.exec));
                 }
-                af.exec = new_exec;
-                report.rerouted += 1;
-                af.timeline.push(FailureEvent {
-                    wave: health.now(),
-                    endpoint: new_exec,
-                    note: format!("rerouted from {old} to {new_exec}"),
-                });
-            }
-
-            let dispatch_started = Instant::now();
-            let mut batcher = Batcher::new(spec.xtract_batch_size, spec.funcx_batch_size);
-            let mut wave = Vec::new();
-            let mut index: HashMap<FamilyId, usize> = HashMap::new();
-            for (i, af) in active.iter_mut().enumerate() {
-                if af.failed.is_some() {
-                    continue;
-                }
-                // An open breaker parks the family until a reroute or the
-                // cooldown's half-open probe readmits it.
-                if health.state(af.exec) == BreakerState::Open {
-                    continue;
-                }
-                let Some(kind) = af.plan.next() else { continue };
-                // Checkpointed output short-circuits re-execution after a
-                // loss (§5.8.1: "the metadata are re-loaded").
-                if spec.checkpoint {
-                    if let Some(md) = checkpoint.load(af.family.id, kind.name()) {
-                        af.merged.merge(&md);
-                        af.ran.push(kind.name().to_string());
-                        af.plan.complete_simple(kind);
-                        continue;
-                    }
-                }
-                index.insert(af.family.id, i);
-                wave.extend(batcher.push(af.family.clone(), kind, af.exec));
-            }
-            wave.extend(batcher.flush());
-            if wave.is_empty() {
-                // Checkpoint short-circuits may have advanced plans, and
-                // parked families wait out a breaker cooldown (the tick at
-                // the top of the loop is what ages it); loop again if
-                // anything is still pending.
-                if active
-                    .iter()
-                    .all(|af| af.failed.is_some() || af.plan.is_done())
-                {
-                    break;
-                }
-                continue;
-            }
-            report.waves += 1;
-
-            // Submit: one batch_submit per funcX batch (§4.3.2).
-            let mut submitted: Vec<(xtract_types::TaskId, ExtractorKind, Vec<FamilyId>)> =
-                Vec::new();
-            for funcx_batch in &wave {
-                let mut specs = Vec::with_capacity(funcx_batch.tasks.len());
-                let mut members: Vec<(ExtractorKind, Vec<FamilyId>)> = Vec::new();
-                for task in &funcx_batch.tasks {
-                    let function = self.function_for(task.extractor, task.endpoint)?;
-                    // Staged copies are cleaned after the *whole plan*
-                    // finishes (a family may still need them for later
-                    // extractors), so the per-batch flag stays off here.
-                    specs.push(TaskSpec {
-                        function,
-                        endpoint: task.endpoint,
-                        payload: encode_batch(task, false),
-                    });
-                    members.push((task.extractor, task.families.iter().map(|f| f.id).collect()));
-                }
-                let ids = self.faas.batch_submit(&specs);
-                for (id, (kind, fams)) in ids.into_iter().zip(members) {
-                    *report
-                        .invocations
-                        .entry(kind.name().to_string())
-                        .or_insert(0) += fams.len() as u64;
-                    submitted.push((id, kind, fams));
-                }
-            }
-            report
-                .phases
-                .add(Phase::Dispatch, dispatch_started.elapsed().as_secs_f64());
-
-            // Poll until terminal (batched polling, §4.3.2). A task still
-            // non-terminal when the window closes is handled as lost.
-            let extract_started = Instant::now();
-            let ids: Vec<_> = submitted.iter().map(|(id, _, _)| *id).collect();
-            self.faas.wait_all(&ids, Duration::from_secs(120));
-            let polled = self.faas.batch_poll(&ids);
-            for (p, (id, kind, fams)) in polled.iter().zip(&submitted) {
-                match &p.status {
-                    TaskStatus::Done(out) => match decode_results(&out.value) {
-                        Ok(results) => {
-                            for r in results {
-                                let Some(&i) = index.get(&r.family) else {
-                                    continue;
-                                };
-                                let af = &mut active[i];
-                                if let Some(err) = r.error {
-                                    // A poisoned family: terminal — §2.3's
-                                    // junk files must not wedge the job,
-                                    // and retrying cannot help.
-                                    af.failed = Some(FailureReason::ExtractionFailed {
-                                        extractor: *kind,
-                                        error: err,
-                                    });
-                                    continue;
-                                }
-                                if spec.checkpoint {
-                                    checkpoint.flush(r.family, kind.name(), r.metadata.clone());
-                                }
-                                af.merged.merge(&r.metadata);
-                                af.ran.push(kind.name().to_string());
-                                af.plan.complete(*kind, &r.discoveries);
+                wave.extend(batcher.flush());
+                if wave.is_empty() {
+                    if inflight > 0 {
+                        // Nothing dispatchable yet but prefetches are in
+                        // flight: block for the next outcome instead of
+                        // spinning on an empty wave.
+                        match out_rx.recv() {
+                            Ok(outcome) => {
+                                inflight -= 1;
+                                apply_stage_outcome(
+                                    outcome,
+                                    &mut active,
+                                    &mut report,
+                                    &mut health,
+                                    &mut stage_spans,
+                                    &journal,
+                                );
                             }
-                            if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
-                                health.record_success(active[i].exec);
+                            Err(_) => {
+                                // The pool died (a worker panicked): fail
+                                // the stranded families with a typed
+                                // reason rather than spin — the partition
+                                // invariant outlives even this.
+                                inflight = 0;
+                                for af in active.iter_mut().filter(|af| af.staging) {
+                                    af.staging = false;
+                                    af.failed = Some(FailureReason::Internal {
+                                        reason: "staging pool terminated mid-flight".to_string(),
+                                    });
+                                }
                             }
                         }
-                        Err(e) => {
+                        continue;
+                    }
+                    // Checkpoint short-circuits may have advanced plans,
+                    // and parked families wait out a breaker cooldown (the
+                    // tick at the top of the loop is what ages it); loop
+                    // again if anything is still pending.
+                    if active
+                        .iter()
+                        .all(|af| af.failed.is_some() || af.plan.is_done())
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                report.waves += 1;
+
+                // Submit: one batch_submit per funcX batch (§4.3.2).
+                let mut submitted: Vec<(xtract_types::TaskId, ExtractorKind, Vec<FamilyId>)> =
+                    Vec::new();
+                for funcx_batch in &wave {
+                    let mut specs = Vec::with_capacity(funcx_batch.tasks.len());
+                    let mut members: Vec<(ExtractorKind, Vec<FamilyId>)> = Vec::new();
+                    for task in &funcx_batch.tasks {
+                        let function = self.function_for(task.extractor, task.endpoint)?;
+                        // Staged copies are cleaned after the *whole plan*
+                        // finishes (a family may still need them for later
+                        // extractors), so the per-batch flag stays off.
+                        specs.push(TaskSpec {
+                            function,
+                            endpoint: task.endpoint,
+                            payload: encode_batch(task, false),
+                        });
+                        members
+                            .push((task.extractor, task.families.iter().map(|f| f.id).collect()));
+                    }
+                    let ids = self.faas.batch_submit(&specs);
+                    for (id, (kind, fams)) in ids.into_iter().zip(members) {
+                        *report
+                            .invocations
+                            .entry(kind.name().to_string())
+                            .or_insert(0) += fams.len() as u64;
+                        submitted.push((id, kind, fams));
+                    }
+                }
+                report
+                    .phases
+                    .add(Phase::Dispatch, dispatch_started.elapsed().as_secs_f64());
+
+                // Poll until terminal (batched polling, §4.3.2). The wait
+                // window comes from the job's retry policy — a fault-plan
+                // test can tighten it deliberately — and a task still
+                // non-terminal when it closes is handled as lost.
+                let extract_started = Instant::now();
+                let ids: Vec<_> = submitted.iter().map(|(id, _, _)| *id).collect();
+                let all_terminal = self
+                    .faas
+                    .wait_all(&ids, Duration::from_millis(retry.poll_window_ms));
+                let polled = self.faas.batch_poll(&ids);
+                if !all_terminal {
+                    // The *window* gave up, not the tasks: journal that
+                    // apart from the per-task loss accounting below.
+                    let stragglers = polled
+                        .iter()
+                        .filter(|p| {
+                            matches!(p.status, TaskStatus::Pending | TaskStatus::Running)
+                        })
+                        .count() as u64;
+                    if stragglers > 0 {
+                        journal.record(Event::PollWindowExpired {
+                            tasks: stragglers,
+                            window_ms: retry.poll_window_ms,
+                        });
+                    }
+                }
+                for (p, (id, kind, fams)) in polled.iter().zip(&submitted) {
+                    match &p.status {
+                        TaskStatus::Done(out) => match decode_results(&out.value) {
+                            Ok(results) => {
+                                for r in results {
+                                    let Some(&i) = index.get(&r.family) else {
+                                        continue;
+                                    };
+                                    let af = &mut active[i];
+                                    if let Some(err) = r.error {
+                                        // A poisoned family: terminal —
+                                        // §2.3's junk files must not wedge
+                                        // the job; retrying cannot help.
+                                        af.failed = Some(FailureReason::ExtractionFailed {
+                                            extractor: *kind,
+                                            error: err,
+                                        });
+                                        continue;
+                                    }
+                                    if spec.checkpoint {
+                                        checkpoint.flush(
+                                            r.family,
+                                            kind.name(),
+                                            r.metadata.clone(),
+                                        );
+                                    }
+                                    af.merged.merge(&r.metadata);
+                                    af.ran.push(kind.name().to_string());
+                                    af.plan.complete(*kind, &r.discoveries);
+                                }
+                                if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
+                                    health.record_success(active[i].exec);
+                                }
+                            }
+                            Err(e) => {
+                                for fid in fams {
+                                    let Some(&i) = index.get(fid) else { continue };
+                                    active[i].failed = Some(FailureReason::Internal {
+                                        reason: format!("undecodable result: {e}"),
+                                    });
+                                }
+                            }
+                        },
+                        TaskStatus::Failed(e) if e.is_retryable() => {
+                            // Transient executor failure (crashed worker,
+                            // downed endpoint): the step stays pending and
+                            // the next wave resubmits under a fresh id.
+                            charge_step_loss(
+                                &mut active,
+                                &index,
+                                fams,
+                                *kind,
+                                e,
+                                &format!("{} step failed: {e}", kind.name()),
+                                retry,
+                                &mut ledger.lock(),
+                                &mut health,
+                                &mut report,
+                                &journal,
+                            );
+                        }
+                        TaskStatus::Failed(e) => {
+                            for fid in fams {
+                                let Some(&i) = index.get(fid) else { continue };
+                                active[i].failed = Some(FailureReason::ExtractionFailed {
+                                    extractor: *kind,
+                                    error: e.to_string(),
+                                });
+                            }
+                            if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
+                                health.record_failure(active[i].exec);
+                            }
+                        }
+                        TaskStatus::Lost => {
+                            // Allocation expired, heartbeat vanished, or
+                            // the submission fell into a blackout: renew
+                            // the endpoint ("resubmit remaining tasks on a
+                            // second allocation", §5.8.1) and leave the
+                            // step pending so the next wave resubmits.
+                            charge_step_loss(
+                                &mut active,
+                                &index,
+                                fams,
+                                *kind,
+                                &XtractError::TaskLost { task: *id },
+                                &format!("{} task lost", kind.name()),
+                                retry,
+                                &mut ledger.lock(),
+                                &mut health,
+                                &mut report,
+                                &journal,
+                            );
+                            if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
+                                self.faas.renew_endpoint(active[i].exec);
+                            }
+                        }
+                        TaskStatus::Unknown => {
+                            // The fabric has no record of a task we believe
+                            // we submitted — state is corrupt for these
+                            // families; retrying cannot reconcile it, so
+                            // they dead-letter rather than spin.
                             for fid in fams {
                                 let Some(&i) = index.get(fid) else { continue };
                                 active[i].failed = Some(FailureReason::Internal {
-                                    reason: format!("undecodable result: {e}"),
+                                    reason: format!("task {id} unknown to the FaaS fabric"),
                                 });
                             }
                         }
-                    },
-                    TaskStatus::Failed(e) if e.is_retryable() => {
-                        // Transient executor failure (crashed worker,
-                        // downed endpoint): the step stays pending and the
-                        // next wave resubmits under a fresh task id.
-                        charge_step_loss(
-                            &mut active,
-                            &index,
-                            fams,
-                            *kind,
-                            e,
-                            &format!("{} step failed: {e}", kind.name()),
-                            retry,
-                            &mut ledger,
-                            &mut health,
-                            &mut report,
-                            &journal,
-                        );
-                    }
-                    TaskStatus::Failed(e) => {
-                        for fid in fams {
-                            let Some(&i) = index.get(fid) else { continue };
-                            active[i].failed = Some(FailureReason::ExtractionFailed {
-                                extractor: *kind,
-                                error: e.to_string(),
-                            });
+                        TaskStatus::Pending | TaskStatus::Running => {
+                            charge_step_loss(
+                                &mut active,
+                                &index,
+                                fams,
+                                *kind,
+                                &XtractError::TaskLost { task: *id },
+                                &format!("{} non-terminal after wait", kind.name()),
+                                retry,
+                                &mut ledger.lock(),
+                                &mut health,
+                                &mut report,
+                                &journal,
+                            );
                         }
-                        if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
-                            health.record_failure(active[i].exec);
-                        }
-                    }
-                    TaskStatus::Lost => {
-                        // Allocation expired, heartbeat vanished, or the
-                        // submission fell into a blackout: renew the
-                        // endpoint ("resubmit remaining tasks on a second
-                        // allocation", §5.8.1) and leave the step pending
-                        // so the next wave resubmits.
-                        charge_step_loss(
-                            &mut active,
-                            &index,
-                            fams,
-                            *kind,
-                            &XtractError::TaskLost { task: *id },
-                            &format!("{} task lost", kind.name()),
-                            retry,
-                            &mut ledger,
-                            &mut health,
-                            &mut report,
-                            &journal,
-                        );
-                        if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
-                            self.faas.renew_endpoint(active[i].exec);
-                        }
-                    }
-                    TaskStatus::Unknown => {
-                        // The fabric has no record of a task we believe we
-                        // submitted — state is corrupt for these families;
-                        // retrying cannot reconcile it, so they dead-letter
-                        // immediately rather than spin.
-                        for fid in fams {
-                            let Some(&i) = index.get(fid) else { continue };
-                            active[i].failed = Some(FailureReason::Internal {
-                                reason: format!("task {id} unknown to the FaaS fabric"),
-                            });
-                        }
-                    }
-                    TaskStatus::Pending | TaskStatus::Running => {
-                        charge_step_loss(
-                            &mut active,
-                            &index,
-                            fams,
-                            *kind,
-                            &XtractError::TaskLost { task: *id },
-                            &format!("{} non-terminal after wait", kind.name()),
-                            retry,
-                            &mut ledger,
-                            &mut health,
-                            &mut report,
-                            &journal,
-                        );
                     }
                 }
+                report
+                    .phases
+                    .add(Phase::Extract, extract_started.elapsed().as_secs_f64());
             }
-            report
-                .phases
-                .add(Phase::Extract, extract_started.elapsed().as_secs_f64());
-        }
+            // Closing the request channel retires the pool; the scope
+            // joins the workers on exit.
+            drop(req_tx);
+            Ok(())
+        })?;
+        report.phases.add(Phase::Stage, stage_spans.covered());
+        let ledger = ledger.into_inner();
 
-        // --- Stage 6.5: clean staged copies once plans are done. -----------
+        // --- Stage 6.5: clean staged copies once plans are done — every
+        // site the family ever staged at, not just the final one, so a
+        // reroute leaves nothing behind on the endpoint that went dark. ------
         let index_started = Instant::now();
         if spec.delete_after_extraction {
             for af in &active {
-                if let Some(base) = &af.family.base_path {
-                    if let Ok(ep) = self.fabric.get(af.exec) {
+                for (site, base) in &af.staged_sites {
+                    if let Ok(ep) = self.fabric.get(*site) {
                         let _ = ep.backend.remove(base);
                     }
                 }
@@ -1076,8 +1334,10 @@ mod tests {
         let wall = started.elapsed().as_secs_f64();
         let total = report.phases.total();
         assert!(total > 0.0, "no phase time recorded");
-        // The live orchestrator runs its phases sequentially, so their sum
-        // must fit inside the job's wall clock (plus measurement slop).
+        // Stage is accounted as the *union* of the pool's concurrent
+        // staging spans (never the sum), and the other phases run
+        // sequentially, so the phase total must still fit inside the
+        // job's wall clock (plus measurement slop).
         assert!(
             total <= wall + 0.25,
             "phase sum {total}s exceeds wall clock {wall}s"

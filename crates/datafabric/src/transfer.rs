@@ -18,10 +18,11 @@
 use crate::auth::{AuthService, Scope, Token};
 use crate::fabric::DataFabric;
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use xtract_types::id::IdAllocator;
 use xtract_types::{EndpointId, FaultPlan, FaultScope, Result, TransferId, XtractError};
 
@@ -83,6 +84,78 @@ fn corrupt(bytes: &Bytes) -> Bytes {
     Bytes::from(bytes.iter().map(|b| b ^ 0xA5).collect::<Vec<u8>>())
 }
 
+/// One directed link: (source, destination).
+type Link = (EndpointId, EndpointId);
+
+#[derive(Debug, Default)]
+struct LinkState {
+    /// Max concurrent submissions per link; `None` is unbounded.
+    limit: Option<usize>,
+    /// Current in-flight submissions per link (absent = 0).
+    in_flight: HashMap<Link, usize>,
+}
+
+/// A per-link concurrency gate: concurrent staging workers all funnel
+/// through the transfer service, and a real WAN link saturates — the gate
+/// bounds how many batch submissions can be in flight on one
+/// (source, destination) pair at once, blocking excess callers until a
+/// slot frees.
+#[derive(Debug, Default)]
+struct LinkGate {
+    state: Mutex<LinkState>,
+    freed: Condvar,
+}
+
+impl LinkGate {
+    /// Blocks until the link has a free slot, then claims it.
+    fn acquire(&self, link: Link) {
+        let mut st = self.state.lock();
+        loop {
+            let current = st.in_flight.get(&link).copied().unwrap_or(0);
+            match st.limit {
+                Some(limit) if current >= limit => self.freed.wait(&mut st),
+                _ => break,
+            }
+        }
+        *st.in_flight.entry(link).or_insert(0) += 1;
+    }
+
+    /// Releases a slot claimed by [`Self::acquire`].
+    fn release(&self, link: Link) {
+        let mut st = self.state.lock();
+        if let Some(n) = st.in_flight.get_mut(&link) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                st.in_flight.remove(&link);
+            }
+        }
+        drop(st);
+        self.freed.notify_all();
+    }
+
+    /// Total in-flight submissions across every link.
+    fn total_in_flight(&self) -> usize {
+        self.state.lock().in_flight.values().sum()
+    }
+}
+
+/// RAII slot on a link: released (and the in-flight gauge decremented)
+/// on every exit path out of `submit_with_salt`, including errors.
+struct LinkPermit<'a> {
+    gate: &'a LinkGate,
+    link: Link,
+    gauge: Option<xtract_obs::Gauge>,
+}
+
+impl Drop for LinkPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.release(self.link);
+        if let Some(g) = &self.gauge {
+            g.dec();
+        }
+    }
+}
+
 /// The transfer service.
 pub struct TransferService {
     fabric: Arc<DataFabric>,
@@ -96,6 +169,8 @@ pub struct TransferService {
     /// Monotonic submit counter — the operation index blackout windows
     /// are expressed in.
     submit_ops: AtomicU64,
+    /// Per-link concurrency gate for concurrent staging callers.
+    gate: LinkGate,
 }
 
 impl TransferService {
@@ -111,6 +186,7 @@ impl TransferService {
             fault: RwLock::new(None),
             obs: None,
             submit_ops: AtomicU64::new(0),
+            gate: LinkGate::default(),
         }
     }
 
@@ -140,6 +216,19 @@ impl TransferService {
         *self.fault.write() = None;
     }
 
+    /// Bounds concurrent batch submissions per (source, destination)
+    /// link; `None` (the default) is unbounded. Callers past the bound
+    /// block inside [`Self::submit_with_salt`] until a slot frees.
+    pub fn set_link_limit(&self, limit: Option<usize>) {
+        self.gate.state.lock().limit = limit.filter(|&l| l > 0);
+        self.gate.freed.notify_all();
+    }
+
+    /// Batch submissions currently in flight across every link.
+    pub fn in_flight(&self) -> usize {
+        self.gate.total_in_flight()
+    }
+
     /// Submits a batch transfer and runs it to completion, returning the
     /// job id. The receipt is retrievable via [`Self::status`] — the
     /// submit/poll split mirrors the real service even though live-mode
@@ -162,6 +251,21 @@ impl TransferService {
         self.auth.check(token, Scope::Transfer)?;
         let src = self.fabric.get(request.source)?;
         let dst = self.fabric.get(request.destination)?;
+
+        // Claim a slot on the link before doing any work; the permit's
+        // Drop releases it on every path out, error or success.
+        let link = (request.source, request.destination);
+        self.gate.acquire(link);
+        let gauge = self.obs.as_ref().map(|obs| {
+            let g = obs.hub.gauge("transfer.in_flight");
+            g.inc();
+            g
+        });
+        let _permit = LinkPermit {
+            gate: &self.gate,
+            link,
+            gauge,
+        };
 
         let plan = self.fault.read().clone();
         let op = self.submit_ops.fetch_add(1, Ordering::Relaxed);
@@ -206,8 +310,16 @@ impl TransferService {
                 ));
                 continue;
             }
-            if plan.as_ref().is_some_and(|p| p.link_degraded(from, salt)) {
-                receipt.throttled_files += 1;
+            if let Some(p) = plan.as_ref() {
+                if p.link_degraded(from, salt) {
+                    receipt.throttled_files += 1;
+                    // Pay the degraded link's latency for real: concurrent
+                    // staging overlaps these sleeps across workers, which
+                    // is exactly the overlap the pipeline exists to buy.
+                    if p.slow_link_delay_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(p.slow_link_delay_ms));
+                    }
+                }
             }
             let poisoned = plan.as_ref().is_some_and(|p| p.poisoned(from));
             let outcome = match src.backend.read(from) {
@@ -566,8 +678,9 @@ mod tests {
             .collect();
         let mut plan = FaultPlan::new(11);
         plan.slow_link_rate = 0.5;
-        plan.slow_link_delay_ms = 25;
+        plan.slow_link_delay_ms = 2;
         r.svc.arm_fault_plan(plan);
+        let started = std::time::Instant::now();
         let receipt = r
             .svc
             .status(
@@ -586,6 +699,89 @@ mod tests {
         assert!(receipt.is_complete());
         assert_eq!(receipt.files_moved, 100);
         assert!(receipt.throttled_files > 10 && receipt.throttled_files < 90);
+        // Each throttled file pays the plan's delay for real — a serial
+        // submit is at least the sum of its throttles.
+        assert!(started.elapsed() >= Duration::from_millis(2 * receipt.throttled_files as u64));
+    }
+
+    #[test]
+    fn link_limit_serializes_concurrent_submits() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        for i in 0..4 {
+            src.backend
+                .write(&format!("/f{i}"), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        // Every file throttled 20 ms, so each submit takes >= 20 ms of
+        // wall clock while it holds its link slot.
+        let mut plan = FaultPlan::new(3);
+        plan.slow_link_rate = 1.0;
+        plan.slow_link_delay_ms = 20;
+        r.svc.arm_fault_plan(plan);
+        r.svc.set_link_limit(Some(1));
+        let started = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let svc = &r.svc;
+                let (token, a, b) = (r.token, r.a, r.b);
+                s.spawn(move || {
+                    let p = format!("/f{i}");
+                    svc.submit(
+                        token,
+                        &TransferRequest {
+                            source: a,
+                            destination: b,
+                            files: vec![(p.clone(), p)],
+                        },
+                    )
+                    .unwrap();
+                });
+            }
+        });
+        // With one slot on the link the four submits cannot overlap:
+        // total wall clock is at least the sum of their delays.
+        assert!(started.elapsed() >= Duration::from_millis(4 * 20));
+        assert_eq!(r.svc.in_flight(), 0);
+    }
+
+    #[test]
+    fn lifting_the_link_limit_wakes_blocked_submitters() {
+        let r = rig();
+        let src = r.fabric.get(r.a).unwrap();
+        for i in 0..8 {
+            src.backend
+                .write(&format!("/f{i}"), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        let mut plan = FaultPlan::new(3);
+        plan.slow_link_rate = 1.0;
+        plan.slow_link_delay_ms = 5;
+        r.svc.arm_fault_plan(plan);
+        r.svc.set_link_limit(Some(2));
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let svc = &r.svc;
+                let (token, a, b) = (r.token, r.a, r.b);
+                s.spawn(move || {
+                    let p = format!("/f{i}");
+                    svc.submit(
+                        token,
+                        &TransferRequest {
+                            source: a,
+                            destination: b,
+                            files: vec![(p.clone(), p)],
+                        },
+                    )
+                    .unwrap();
+                });
+            }
+            // Un-bound the link mid-flight; waiters must wake and drain.
+            std::thread::sleep(Duration::from_millis(2));
+            r.svc.set_link_limit(None);
+        });
+        assert_eq!(r.svc.in_flight(), 0);
+        assert_eq!(r.fabric.get(r.b).unwrap().backend.file_count(), 8);
     }
 
     #[test]
@@ -672,6 +868,10 @@ mod tests {
         assert_eq!(obs.hub.counter_value("transfer.files_moved", None), 1);
         assert_eq!(obs.hub.counter_value("transfer.bytes_moved", None), 4);
         assert_eq!(obs.hub.counter_value("transfer.file_failures", None), 1);
+        // The in-flight gauge was interned by the submit and is back to
+        // zero now that the permit has dropped.
+        assert_eq!(obs.hub.gauge_value("transfer.in_flight", None), 0);
+        assert!(obs.hub.snapshot().gauges.iter().any(|g| g.name == "transfer.in_flight"));
         let events = obs.journal.events();
         assert!(events.iter().any(|rec| matches!(
             rec.event,

@@ -109,6 +109,31 @@ pub enum Event {
         /// The unknown id.
         task: TaskId,
     },
+    /// A staging worker picked up a family prefetch.
+    StagingStarted {
+        /// The family being staged.
+        family: FamilyId,
+        /// The compute endpoint the bytes are headed to.
+        destination: EndpointId,
+    },
+    /// A staging worker finished a family prefetch (either way).
+    StagingFinished {
+        /// The family.
+        family: FamilyId,
+        /// The compute endpoint the bytes were headed to.
+        destination: EndpointId,
+        /// Whether the family is now staged and dispatchable.
+        ok: bool,
+    },
+    /// A wave's poll window elapsed with tasks still non-terminal; the
+    /// *window* gave up, not the tasks — stragglers are charged as lost
+    /// and resubmitted under fresh ids.
+    PollWindowExpired {
+        /// Tasks still non-terminal when the window closed.
+        tasks: u64,
+        /// The configured window, milliseconds.
+        window_ms: u64,
+    },
 }
 
 /// One journal entry: a monotonic sequence number plus the event. The
@@ -299,12 +324,27 @@ mod tests {
         j.record(Event::UnknownTask {
             task: TaskId::new(12345),
         });
+        j.record(Event::StagingStarted {
+            family: FamilyId::new(4),
+            destination: EndpointId::new(1),
+        });
+        j.record(Event::StagingFinished {
+            family: FamilyId::new(4),
+            destination: EndpointId::new(1),
+            ok: true,
+        });
+        j.record(Event::PollWindowExpired {
+            tasks: 3,
+            window_ms: 120_000,
+        });
         let dump = j.to_jsonl();
-        assert_eq!(dump.lines().count(), 12);
+        assert_eq!(dump.lines().count(), 15);
         let parsed = EventJournal::parse_jsonl(&dump).unwrap();
         assert_eq!(parsed, j.events());
         // The tag is snake_case and self-describing.
         assert!(dump.contains("\"type\":\"breaker_half_open\""));
+        assert!(dump.contains("\"type\":\"staging_finished\""));
+        assert!(dump.contains("\"type\":\"poll_window_expired\""));
     }
 
     #[test]

@@ -8,17 +8,19 @@
 //! every substrate reports into and every bench reads out of:
 //!
 //! * [`metrics`] — a lock-light [`MetricsHub`] of named, optionally
-//!   labeled atomic [`Counter`]s and fixed-bucket [`Histogram`]s. Handles
-//!   are interned once (one `RwLock` write) and then update with plain
-//!   relaxed atomics — safe to bump from every crawl worker, FaaS worker,
-//!   and transfer call without contending.
+//!   labeled atomic [`Counter`]s, up/down [`Gauge`]s, and fixed-bucket
+//!   [`Histogram`]s. Handles are interned once (one `RwLock` write) and
+//!   then update with plain relaxed atomics — safe to bump from every
+//!   crawl worker, FaaS worker, and transfer call without contending.
 //! * [`journal`] — a bounded [`EventJournal`]: a ring buffer of typed
 //!   [`Event`]s (crawl progress, batch submit/poll, cold starts, transfer
 //!   start/finish, retries, breaker transitions, dead letters) replacing
 //!   scattered prints, with JSON-lines export for offline analysis.
 //! * [`span`] — [`Phase`]/[`PhaseTimings`]: the crawl → plan → stage →
 //!   dispatch → extract → index breakdown surfaced in `JobReport` and
-//!   `CampaignReport`.
+//!   `CampaignReport`, plus [`SpanUnion`] for phases whose work overlaps
+//!   (concurrent staging) and must be reported as merged wall-clock
+//!   coverage rather than a sum that can exceed the job's wall clock.
 //!
 //! The [`Obs`] bundle ties one hub and one journal together so services
 //! can thread a single handle through their substrates.
@@ -31,9 +33,10 @@ pub mod span;
 
 pub use journal::{Event, EventJournal, EventRecord};
 pub use metrics::{
-    Counter, CounterSample, Histogram, HistogramSample, MetricsHub, MetricsSnapshot,
+    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, MetricsHub,
+    MetricsSnapshot,
 };
-pub use span::{Phase, PhaseTimings};
+pub use span::{Phase, PhaseTimings, SpanUnion};
 
 use std::sync::Arc;
 

@@ -11,7 +11,7 @@
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A shared monotonic counter. Cloning shares the underlying cell.
@@ -48,6 +48,50 @@ impl Counter {
     /// The current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared up/down gauge: a point-in-time level (staging transfers in
+/// flight, queue depth) rather than a monotonic count. Cloning shares the
+/// underlying cell, so one handle can be incremented from worker threads
+/// while another reads the level.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh standalone gauge (not registered in any hub).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` (negative to decrease).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Sets the level outright.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -156,6 +200,17 @@ pub struct CounterSample {
     pub value: u64,
 }
 
+/// A gauge's level at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name, e.g. `transfer.in_flight`.
+    pub name: String,
+    /// Optional label (endpoint, substrate, …).
+    pub label: Option<String>,
+    /// The level.
+    pub value: i64,
+}
+
 /// One histogram bucket at snapshot time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BucketSample {
@@ -186,6 +241,10 @@ pub struct HistogramSample {
 pub struct MetricsSnapshot {
     /// All counters.
     pub counters: Vec<CounterSample>,
+    /// All gauges. `default` so snapshots serialized before gauges
+    /// existed still deserialize.
+    #[serde(default)]
+    pub gauges: Vec<GaugeSample>,
     /// All histograms.
     pub histograms: Vec<HistogramSample>,
 }
@@ -215,6 +274,20 @@ impl MetricsSnapshot {
             .map(|c| c.value)
             .sum()
     }
+
+    /// The level of gauge `name` with no label (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauge_with(name, None)
+    }
+
+    /// The level of gauge `name` with the given label (0 when absent).
+    pub fn gauge_with(&self, name: &str, label: Option<&str>) -> i64 {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.label.as_deref() == label)
+            .map(|g| g.value)
+            .unwrap_or(0)
+    }
 }
 
 type Key = (String, Option<String>);
@@ -223,6 +296,7 @@ type Key = (String, Option<String>);
 #[derive(Debug, Default)]
 pub struct MetricsHub {
     counters: RwLock<HashMap<Key, Counter>>,
+    gauges: RwLock<HashMap<Key, Gauge>>,
     histograms: RwLock<HashMap<Key, Histogram>>,
 }
 
@@ -244,6 +318,20 @@ impl MetricsHub {
             return c.clone();
         }
         self.counters.write().entry(key).or_default().clone()
+    }
+
+    /// Interns (or retrieves) the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, None)
+    }
+
+    /// Interns (or retrieves) gauge `name` with `label`.
+    pub fn gauge_with(&self, name: &str, label: Option<&str>) -> Gauge {
+        let key = (name.to_string(), label.map(str::to_string));
+        if let Some(g) = self.gauges.read().get(&key) {
+            return g.clone();
+        }
+        self.gauges.write().entry(key).or_default().clone()
     }
 
     /// Interns (or retrieves) the unlabeled histogram `name` with the
@@ -289,6 +377,12 @@ impl MetricsHub {
             .unwrap_or(0)
     }
 
+    /// The current level of gauge `(name, label)`; 0 when never interned.
+    pub fn gauge_value(&self, name: &str, label: Option<&str>) -> i64 {
+        let key = (name.to_string(), label.map(str::to_string));
+        self.gauges.read().get(&key).map(Gauge::get).unwrap_or(0)
+    }
+
     /// A deterministic snapshot of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut counters: Vec<CounterSample> = self
@@ -302,6 +396,17 @@ impl MetricsHub {
             })
             .collect();
         counters.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        let mut gauges: Vec<GaugeSample> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|((name, label), g)| GaugeSample {
+                name: name.clone(),
+                label: label.clone(),
+                value: g.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
         let mut histograms: Vec<HistogramSample> = self
             .histograms
             .read()
@@ -311,6 +416,7 @@ impl MetricsHub {
         histograms.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
         MetricsSnapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -383,6 +489,36 @@ mod tests {
         // Every crossing 1..=N observed exactly once across all threads.
         let expected: Vec<u64> = (1..=threads * per_thread).collect();
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn gauges_intern_share_and_go_both_ways() {
+        let hub = MetricsHub::new();
+        let a = hub.gauge("transfer.in_flight");
+        let b = hub.gauge("transfer.in_flight");
+        a.inc();
+        a.inc();
+        b.dec();
+        assert_eq!(hub.gauge_value("transfer.in_flight", None), 1);
+        b.add(-5);
+        assert_eq!(a.get(), -4);
+        b.set(7);
+        assert_eq!(hub.gauge_value("transfer.in_flight", None), 7);
+        assert_eq!(hub.gauge_value("absent", None), 0);
+        let snap = hub.snapshot();
+        assert_eq!(snap.gauge("transfer.in_flight"), 7);
+        assert_eq!(snap.gauge_with("transfer.in_flight", Some("ep-0")), 0);
+    }
+
+    #[test]
+    fn snapshots_without_gauges_still_deserialize() {
+        // A snapshot serialized before gauges existed has no `gauges`
+        // key; `#[serde(default)]` must fill in an empty vec.
+        let json = r#"{"counters":[{"name":"x","label":null,"value":3}],"histograms":[]}"#;
+        let snap: MetricsSnapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(snap.counter("x"), 3);
+        assert!(snap.gauges.is_empty());
+        assert_eq!(snap.gauge("anything"), 0);
     }
 
     #[test]

@@ -118,6 +118,64 @@ impl PhaseTimings {
     }
 }
 
+/// A union of possibly-overlapping time intervals, for phases whose work
+/// runs concurrently (staging transfers in flight while waves extract).
+///
+/// Summing concurrent spans into a [`PhaseTimings`] bucket can exceed the
+/// job's wall clock — four 10-second transfers in flight together are 40
+/// bucket-seconds but 10 wall-seconds. `SpanUnion` merges the intervals
+/// first, so [`SpanUnion::covered`] is the wall-clock time during which
+/// *at least one* span was active: always ≤ the enclosing wall clock.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanUnion {
+    /// Disjoint intervals, sorted by start.
+    intervals: Vec<(f64, f64)>,
+}
+
+impl SpanUnion {
+    /// An empty union.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the interval `[start, end]` (seconds, any common origin),
+    /// merging it into whatever overlaps. Degenerate inputs — non-finite
+    /// bounds or `end <= start` — are ignored.
+    pub fn add(&mut self, start: f64, end: f64) {
+        if !start.is_finite() || !end.is_finite() || end <= start {
+            return;
+        }
+        let mut merged = (start, end);
+        let mut kept = Vec::with_capacity(self.intervals.len() + 1);
+        for &(s, e) in &self.intervals {
+            if e < merged.0 || s > merged.1 {
+                kept.push((s, e));
+            } else {
+                merged.0 = merged.0.min(s);
+                merged.1 = merged.1.max(e);
+            }
+        }
+        kept.push(merged);
+        kept.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.intervals = kept;
+    }
+
+    /// Total seconds covered by at least one span.
+    pub fn covered(&self) -> f64 {
+        self.intervals.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// True when no span has been added.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Number of disjoint intervals after merging.
+    pub fn span_count(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +199,53 @@ mod tests {
         t.add(Phase::Plan, f64::NAN);
         t.add(Phase::Plan, f64::INFINITY);
         assert_eq!(t.get(Phase::Plan), 0.0);
+    }
+
+    #[test]
+    fn span_union_merges_overlaps() {
+        let mut u = SpanUnion::new();
+        assert!(u.is_empty());
+        u.add(0.0, 10.0);
+        u.add(5.0, 12.0); // overlaps the first
+        u.add(20.0, 25.0); // disjoint
+        assert_eq!(u.span_count(), 2);
+        assert!((u.covered() - 17.0).abs() < 1e-12);
+        // A bridging span fuses the remaining gap.
+        u.add(9.0, 21.0);
+        assert_eq!(u.span_count(), 1);
+        assert!((u.covered() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_union_concurrent_spans_stay_under_wall_clock() {
+        // Four "workers" each busy for the same 10 seconds: the union is
+        // 10 wall-seconds, where a naive sum would report 40.
+        let mut u = SpanUnion::new();
+        for _ in 0..4 {
+            u.add(1.0, 11.0);
+        }
+        assert!((u.covered() - 10.0).abs() < 1e-12);
+        assert_eq!(u.span_count(), 1);
+    }
+
+    #[test]
+    fn span_union_ignores_degenerate_spans() {
+        let mut u = SpanUnion::new();
+        u.add(5.0, 5.0);
+        u.add(7.0, 3.0);
+        u.add(f64::NAN, 1.0);
+        u.add(0.0, f64::INFINITY);
+        assert!(u.is_empty());
+        assert_eq!(u.covered(), 0.0);
+    }
+
+    #[test]
+    fn span_union_touching_endpoints_merge() {
+        let mut u = SpanUnion::new();
+        u.add(0.0, 1.0);
+        u.add(1.0, 2.0);
+        assert_eq!(u.span_count(), 1);
+        assert!((u.covered() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -164,6 +164,11 @@ pub struct RetryPolicy {
     /// Logical ticks (extraction waves) an open breaker waits before
     /// admitting a half-open probe.
     pub breaker_cooldown: u64,
+    /// How long one extraction wave waits for its batch to reach a
+    /// terminal status before treating the stragglers as lost,
+    /// milliseconds. Tasks themselves are unaffected — a step abandoned by
+    /// the window is resubmitted in the next wave under a fresh id.
+    pub poll_window_ms: u64,
 }
 
 impl Default for RetryPolicy {
@@ -177,6 +182,7 @@ impl Default for RetryPolicy {
             jitter: 0.5,
             breaker_threshold: 3,
             breaker_cooldown: 2,
+            poll_window_ms: 120_000,
         }
     }
 }
@@ -210,8 +216,15 @@ impl RetryPolicy {
         if self.breaker_threshold == 0 {
             return Err("breaker_threshold must be > 0".into());
         }
+        if self.poll_window_ms == 0 {
+            return Err("poll_window_ms must be > 0".into());
+        }
         Ok(())
     }
+}
+
+fn default_staging_workers() -> usize {
+    4
 }
 
 /// A bulk metadata extraction job (§3 "Xtract User Interface": "a list of
@@ -249,6 +262,13 @@ pub struct JobSpec {
     pub checkpoint: bool,
     /// Number of crawler worker threads (swept in Fig. 4).
     pub crawl_workers: usize,
+    /// Staging worker threads: how many families the prefetcher moves
+    /// concurrently. With more than one worker, already-local families
+    /// start extracting while remote families are still in flight — the
+    /// paper's core overlap claim ("processes the data nearly as quickly
+    /// as it arrives", Fig. 6). `1` restores fully serial staging.
+    #[serde(default = "default_staging_workers")]
+    pub staging_workers: usize,
     /// Retry, backoff, and circuit-breaker policy.
     #[serde(default)]
     pub retry: RetryPolicy,
@@ -275,6 +295,7 @@ impl JobSpec {
             delete_after_extraction: false,
             checkpoint: false,
             crawl_workers: 4,
+            staging_workers: default_staging_workers(),
             retry: RetryPolicy::default(),
             fault_plan: None,
         }
@@ -297,6 +318,9 @@ impl JobSpec {
         }
         if self.crawl_workers == 0 {
             return Err("crawl_workers must be > 0".into());
+        }
+        if self.staging_workers == 0 {
+            return Err("staging_workers must be > 0".into());
         }
         if !self.endpoints.iter().any(EndpointSpec::has_compute) {
             return Err("no endpoint has a compute layer".into());
@@ -383,6 +407,30 @@ mod tests {
         let sparse: RetryPolicy = serde_json::from_str(r#"{"task_attempts": 3}"#).unwrap();
         assert_eq!(sparse.task_attempts, 3);
         assert_eq!(sparse.family_budget, RetryPolicy::default().family_budget);
+        // Poll-window defaults match the old hardcoded 120 s and survive
+        // sparse deserialization.
+        assert_eq!(sparse.poll_window_ms, 120_000);
+    }
+
+    #[test]
+    fn zero_poll_window_is_rejected() {
+        let mut job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        job.retry.poll_window_ms = 0;
+        assert!(job.validate().unwrap_err().contains("poll_window_ms"));
+    }
+
+    #[test]
+    fn staging_workers_default_and_validation() {
+        let job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        assert!(job.staging_workers > 1, "staging must overlap by default");
+        let mut bad = job.clone();
+        bad.staging_workers = 0;
+        assert!(bad.validate().unwrap_err().contains("staging_workers"));
+        // Specs serialized before the knob existed still deserialize.
+        let mut json: serde_json::Value = serde_json::to_value(&job).unwrap();
+        json.as_object_mut().unwrap().remove("staging_workers");
+        let back: JobSpec = serde_json::from_value(json).unwrap();
+        assert_eq!(back.staging_workers, job.staging_workers);
     }
 
     #[test]

@@ -200,11 +200,205 @@ fn compute_blackout_without_alternative_dead_letters_deterministically() {
         );
     }
     // Determinism: same plan + same seed -> identical dead-letter sets.
+    // (Wave *counts* are no longer compared: with the concurrent staging
+    // pool, wave boundaries depend on when staging outcomes arrive, which
+    // is scheduling- not seed-determined. The report itself — which
+    // families fail, and why — must still be identical.)
     fn keys(r: &xtract_core::JobReport) -> Vec<(xtract_types::FamilyId, &'static str)> {
         r.failures.iter().map(DeadLetter::key).collect()
     }
     assert_eq!(keys(&a), keys(&b));
-    assert_eq!(a.waves, b.waves);
+}
+
+#[test]
+fn reroute_cleans_staged_copies_on_every_site() {
+    // Regression: cleanup used to remove only the copy at the family's
+    // *final* execution site, so a blackout-driven reroute leaked the
+    // staged bytes abandoned at the endpoint that went dark. Every site a
+    // family ever staged at must be swept.
+    let fabric = Arc::new(DataFabric::new());
+    let src_ep = EndpointId::new(0);
+    let exec_ep = EndpointId::new(1);
+    let alt_ep = EndpointId::new(2);
+    let src = Arc::new(MemFs::new(src_ep));
+    xtract_workloads::materialize::sample_repo(src.as_ref(), "/data", 24, &RngStreams::new(230));
+    fabric.register(src_ep, "petrel", src);
+    let exec_fs = Arc::new(MemFs::new(exec_ep));
+    let alt_fs = Arc::new(MemFs::new(alt_ep));
+    fabric.register(exec_ep, "river", exec_fs.clone());
+    fabric.register(alt_ep, "backup", alt_fs.clone());
+
+    let auth = Arc::new(AuthService::new());
+    let token = full_token(&auth);
+    let svc = Arc::new(XtractService::new(fabric, auth, 61));
+
+    let mut spec = JobSpec::single_endpoint(compute_spec(exec_ep, 2), "/data");
+    spec.roots = vec![(src_ep, "/data".to_string())];
+    spec.endpoints.push(compute_spec(alt_ep, 2));
+    spec.endpoints.push(EndpointSpec {
+        endpoint: src_ep,
+        read_path: "/data".into(),
+        store_path: None,
+        available_bytes: 0,
+        workers: None,
+        runtime: ContainerRuntime::Docker,
+    });
+    let mut plan = FaultPlan::new(3);
+    plan.blackouts.push(Blackout::scoped(
+        exec_ep,
+        0,
+        u64::MAX,
+        FaultScope::Compute,
+    ));
+    spec.fault_plan = Some(plan);
+    spec.retry.breaker_threshold = 2;
+    spec.retry.task_attempts = 3;
+    spec.delete_after_extraction = true;
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    svc.connect_endpoint(&spec.endpoints[1]).unwrap();
+    let report = svc.run_job(token, &spec).unwrap();
+
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert!(report.rerouted >= report.families);
+    // Both the abandoned copies at the blacked-out primary and the live
+    // copies at the rescue endpoint are gone.
+    let staged = |fs: &MemFs| fs.list("/stage").map(|v| v.len()).unwrap_or(0);
+    assert_eq!(
+        staged(&exec_fs),
+        0,
+        "reroute leaked staged copies at the dark endpoint"
+    );
+    assert_eq!(staged(&alt_fs), 0, "staged copies left at the rescue site");
+}
+
+#[test]
+fn failed_restage_still_records_a_timeline_event() {
+    // Regression: when a reroute's restage failed, the family was
+    // dead-lettered without pushing a FailureEvent, so the dead letter
+    // shipped with a hole in its history. The alternative endpoint here
+    // has compute but no staging store, so every restage must fail — and
+    // every dead letter must carry a "restage" timeline entry.
+    let fabric = Arc::new(DataFabric::new());
+    let src_ep = EndpointId::new(0);
+    let exec_ep = EndpointId::new(1);
+    let alt_ep = EndpointId::new(2);
+    let src = Arc::new(MemFs::new(src_ep));
+    xtract_workloads::materialize::sample_repo(src.as_ref(), "/data", 16, &RngStreams::new(231));
+    fabric.register(src_ep, "petrel", src);
+    fabric.register(exec_ep, "river", Arc::new(MemFs::new(exec_ep)));
+    fabric.register(alt_ep, "storeless", Arc::new(MemFs::new(alt_ep)));
+
+    let auth = Arc::new(AuthService::new());
+    let token = full_token(&auth);
+    let svc = Arc::new(XtractService::new(fabric, auth, 62));
+
+    let mut spec = JobSpec::single_endpoint(compute_spec(exec_ep, 2), "/data");
+    spec.roots = vec![(src_ep, "/data".to_string())];
+    let mut storeless = compute_spec(alt_ep, 2);
+    storeless.store_path = None;
+    spec.endpoints.push(storeless);
+    spec.endpoints.push(EndpointSpec {
+        endpoint: src_ep,
+        read_path: "/data".into(),
+        store_path: None,
+        available_bytes: 0,
+        workers: None,
+        runtime: ContainerRuntime::Docker,
+    });
+    let mut plan = FaultPlan::new(4);
+    plan.blackouts.push(Blackout::scoped(
+        exec_ep,
+        0,
+        u64::MAX,
+        FaultScope::Compute,
+    ));
+    spec.fault_plan = Some(plan);
+    spec.retry.breaker_threshold = 2;
+    spec.retry.task_attempts = 3;
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    svc.connect_endpoint(&spec.endpoints[1]).unwrap();
+    let report = svc.run_job(token, &spec).unwrap();
+
+    assert!(report.records.is_empty());
+    assert_eq!(report.failures.len() as u64, report.families);
+    for letter in &report.failures {
+        assert!(
+            matches!(letter.reason, FailureReason::PrefetchFailed { .. }),
+            "unexpected terminal reason: {letter}"
+        );
+        assert!(
+            letter
+                .timeline
+                .iter()
+                .any(|ev| ev.note.contains("restage")),
+            "dead letter missing its restage timeline event: {:?}",
+            letter.timeline
+        );
+    }
+}
+
+#[test]
+fn transfer_fault_salts_decorrelate_per_family() {
+    // Regression: every family's staging pass used to roll its injected
+    // transfer faults from salt base 0, so retries re-rolled the same
+    // sequence job-wide. Salts now derive from the family id: under a
+    // probabilistic plan with a single attempt, per-family outcomes must
+    // be *mixed* — some families stage, some dead-letter — never
+    // all-or-nothing.
+    let fabric = Arc::new(DataFabric::new());
+    let src_ep = EndpointId::new(0);
+    let exec_ep = EndpointId::new(1);
+    let src = Arc::new(MemFs::new(src_ep));
+    xtract_workloads::materialize::sample_repo(src.as_ref(), "/data", 30, &RngStreams::new(232));
+    fabric.register(src_ep, "petrel", src);
+    fabric.register(exec_ep, "river", Arc::new(MemFs::new(exec_ep)));
+
+    let auth = Arc::new(AuthService::new());
+    let token = full_token(&auth);
+    let svc = XtractService::new(fabric, auth, 63);
+
+    let mut spec = JobSpec::single_endpoint(compute_spec(exec_ep, 4), "/data");
+    spec.roots = vec![(src_ep, "/data".to_string())];
+    spec.endpoints.push(EndpointSpec {
+        endpoint: src_ep,
+        read_path: "/data".into(),
+        store_path: None,
+        available_bytes: 0,
+        workers: None,
+        runtime: ContainerRuntime::Docker,
+    });
+    // Many small families, one fault roll each, and a breaker threshold
+    // high enough that staging failures alone never park the healthy
+    // compute endpoint.
+    spec.max_family_size = 1;
+    spec.retry.transfer_attempts = 1;
+    spec.retry.breaker_threshold = 1000;
+    spec.fault_plan = Some(FaultPlan {
+        transfer_fault_rate: 0.6,
+        ..FaultPlan::new(17)
+    });
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    let report = svc.run_job(token, &spec).unwrap();
+
+    assert_eq!(
+        report.records.len() as u64 + report.failures.len() as u64,
+        report.families
+    );
+    assert!(report.families >= 20, "workload too small to be meaningful");
+    assert!(
+        !report.records.is_empty(),
+        "correlated salts: every family's lone attempt faulted"
+    );
+    assert!(
+        !report.failures.is_empty(),
+        "a 60% per-file fault rate with one attempt must sink some families"
+    );
+    for letter in &report.failures {
+        assert!(matches!(
+            letter.reason,
+            FailureReason::PrefetchFailed { .. }
+        ));
+    }
 }
 
 #[test]

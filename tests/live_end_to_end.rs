@@ -274,3 +274,92 @@ fn live_rand_offloading_splits_work_between_endpoints() {
     assert!(midway_exec > 0, "primary endpoint idle");
     assert!(jetstream_exec > 0, "secondary endpoint idle");
 }
+
+#[test]
+fn offload_decision_moves_primary_local_families_to_secondary() {
+    // Pin the placement semantics: `Offload` is an *active instruction* —
+    // at RAND(100) every family leaves its home-local bytes behind and
+    // executes at the secondary, bytes staged first.
+    let fabric = Arc::new(DataFabric::new());
+    let midway = EndpointId::new(0);
+    let jetstream = EndpointId::new(1);
+    let fs = Arc::new(MemFs::new(midway));
+    xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", 40, &RngStreams::new(610));
+    fabric.register(midway, "midway", fs);
+    fabric.register(jetstream, "jetstream", Arc::new(MemFs::new(jetstream)));
+
+    let auth = Arc::new(AuthService::new());
+    let token = full_token(&auth);
+    let svc = XtractService::new(fabric, auth, 611);
+    let mut spec = JobSpec::single_endpoint(compute_spec(midway, 4), "/data");
+    spec.endpoints.push(EndpointSpec {
+        endpoint: jetstream,
+        read_path: "/".into(),
+        store_path: Some("/stage".into()),
+        available_bytes: 1 << 32,
+        workers: Some(4),
+        runtime: ContainerRuntime::Docker,
+    });
+    spec.offload = OffloadMode::Rand { percent: 100.0 };
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    svc.connect_endpoint(&spec.endpoints[1]).unwrap();
+
+    let report = svc.run_job(token, &spec).unwrap();
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert_eq!(report.records.len() as u64, report.families);
+    let moved = svc.transfer_service().pair_stats(midway, jetstream);
+    assert!(moved.bytes > 0, "offloaded families moved no bytes");
+    let midway_exec = svc
+        .faas()
+        .endpoint(midway)
+        .unwrap()
+        .counters()
+        .executed
+        .get();
+    assert_eq!(midway_exec, 0, "RAND(100) must leave the primary idle");
+}
+
+#[test]
+fn home_decision_never_forces_transfer_to_the_primary() {
+    // Pin the other half: `Home` means "no active decision", so a family
+    // whose bytes already sit on the *secondary* compute endpoint stays
+    // there — the primary is never a forced destination, and no transfer
+    // happens at all (see `Offloader::place_decision`).
+    let fabric = Arc::new(DataFabric::new());
+    let midway = EndpointId::new(0);
+    let jetstream = EndpointId::new(1);
+    let fs = Arc::new(MemFs::new(jetstream));
+    xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", 30, &RngStreams::new(620));
+    fabric.register(midway, "midway", Arc::new(MemFs::new(midway)));
+    fabric.register(jetstream, "jetstream", fs);
+
+    let auth = Arc::new(AuthService::new());
+    let token = full_token(&auth);
+    let svc = XtractService::new(fabric, auth, 621);
+    // Primary (first compute spec) is midway, but the data — and the job
+    // root — live on jetstream, which also has compute.
+    let mut spec = JobSpec::single_endpoint(compute_spec(midway, 4), "/data");
+    spec.roots = vec![(jetstream, "/data".to_string())];
+    spec.endpoints.push(compute_spec(jetstream, 4));
+    spec.offload = OffloadMode::None;
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    svc.connect_endpoint(&spec.endpoints[1]).unwrap();
+
+    let report = svc.run_job(token, &spec).unwrap();
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert_eq!(report.records.len() as u64, report.families);
+    assert_eq!(
+        report.bytes_prefetched, 0,
+        "source-local families must not be pulled to the primary"
+    );
+    let pulled = svc.transfer_service().pair_stats(jetstream, midway);
+    assert_eq!(pulled.files, 0, "bytes were dragged to the primary");
+    let jetstream_exec = svc
+        .faas()
+        .endpoint(jetstream)
+        .unwrap()
+        .counters()
+        .executed
+        .get();
+    assert!(jetstream_exec > 0, "work did not run at the data's home");
+}

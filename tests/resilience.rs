@@ -150,6 +150,103 @@ fn chaos_sweep_partitions_every_family() {
     }
 }
 
+/// Chaos over the *concurrent staging pipeline*: data on a storage-only
+/// endpoint, two compute endpoints, transfer faults plus a mid-job compute
+/// blackout forcing breaker reroutes — all with four staging workers
+/// prefetching in parallel. However the staging outcomes interleave with
+/// the waves, every family must land in exactly one of records or
+/// failures, and every dead letter must carry a typed reason.
+#[test]
+fn concurrent_staging_chaos_partitions_every_family() {
+    let fabric = Arc::new(DataFabric::new());
+    let src_ep = EndpointId::new(0);
+    let exec_ep = EndpointId::new(1);
+    let alt_ep = EndpointId::new(2);
+    let src = Arc::new(MemFs::new(src_ep));
+    xtract_workloads::materialize::sample_repo(src.as_ref(), "/data", 36, &RngStreams::new(310));
+    fabric.register(src_ep, "petrel", src);
+    fabric.register(exec_ep, "river", Arc::new(MemFs::new(exec_ep)));
+    fabric.register(alt_ep, "backup", Arc::new(MemFs::new(alt_ep)));
+
+    let auth = Arc::new(AuthService::new());
+    let token = auth.login(
+        "chaos",
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
+    );
+    let svc = XtractService::new(fabric, auth, 71);
+
+    let compute = |ep, workers| EndpointSpec {
+        endpoint: ep,
+        read_path: "/data".into(),
+        store_path: Some("/stage".into()),
+        available_bytes: 1 << 32,
+        workers: Some(workers),
+        runtime: ContainerRuntime::Docker,
+    };
+    let mut spec = JobSpec::single_endpoint(compute(exec_ep, 2), "/data");
+    spec.roots = vec![(src_ep, "/data".to_string())];
+    spec.endpoints.push(compute(alt_ep, 2));
+    spec.endpoints.push(EndpointSpec {
+        endpoint: src_ep,
+        read_path: "/data".into(),
+        store_path: None,
+        available_bytes: 0,
+        workers: None,
+        runtime: ContainerRuntime::Docker,
+    });
+    spec.staging_workers = 4;
+    spec.retry.breaker_threshold = 2;
+    spec.retry.task_attempts = 3;
+    let mut plan = FaultPlan::new(311);
+    plan.transfer_fault_rate = 0.15;
+    plan.slow_link_rate = 0.5;
+    plan.slow_link_delay_ms = 2;
+    // The primary's compute layer dies after its first few operations:
+    // in-flight staging, breaker trips, and pool-driven restages to the
+    // backup all overlap.
+    plan.blackouts.push(Blackout::scoped(
+        exec_ep,
+        4,
+        u64::MAX,
+        FaultScope::Compute,
+    ));
+    spec.fault_plan = Some(plan);
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    svc.connect_endpoint(&spec.endpoints[1]).unwrap();
+
+    let report = svc.run_job(token, &spec).unwrap();
+    assert!(report.families > 0);
+    assert_eq!(
+        report.records.len() as u64 + report.failures.len() as u64,
+        report.families,
+        "partition broken ({} records, {} dead letters, {} families)",
+        report.records.len(),
+        report.failures.len(),
+        report.families
+    );
+    // The blackout really bit: families moved to the backup endpoint.
+    assert!(
+        report.rerouted > 0 || report.failures.is_empty(),
+        "blackout neither rerouted nor cleanly absorbed"
+    );
+    for letter in &report.failures {
+        assert!(
+            matches!(
+                letter.reason,
+                FailureReason::PrefetchFailed { .. }
+                    | FailureReason::RetryBudgetExhausted { .. }
+                    | FailureReason::NoHealthyEndpoint { .. }
+            ),
+            "untyped dead letter: {letter}"
+        );
+    }
+}
+
 /// The same plan over the same corpus fails identically: dead-letter
 /// sets (family, reason-kind) match run for run.
 #[test]

@@ -1,0 +1,253 @@
+//! The concurrent staging pipeline (§5.6, Fig. 8): family prefetch
+//! overlaps with extraction waves on a bounded pool of staging workers.
+//!
+//! * The pool must be *measurably faster* than serial staging on a
+//!   workload dominated by link latency — while producing byte-identical
+//!   results in the same records/failures partition.
+//! * The report's phase accounting must stay internally consistent under
+//!   overlap: `Stage` is the union of concurrent spans, and no phase sum
+//!   may exceed the job's wall clock.
+//! * The extraction poll window comes from the job's `RetryPolicy`, and
+//!   an expired window journals a distinct event.
+
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xtract::prelude::*;
+use xtract_core::{JobReport, XtractService};
+use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope, StorageBackend, Token};
+use xtract_faas::EndpointConfig;
+use xtract_obs::{Event, Phase};
+use xtract_types::config::ContainerRuntime;
+use xtract_types::MetadataRecord;
+
+fn full_token(auth: &AuthService) -> Token {
+    auth.login(
+        "staging",
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
+    )
+}
+
+/// One job: 14 single-file families on a storage-only endpoint, every
+/// transfer throttled by a 30 ms degraded link, extraction on a second
+/// endpoint. Returns the wall clock and the report.
+fn run_prefetch_job(staging_workers: usize) -> (f64, JobReport) {
+    let fabric = Arc::new(DataFabric::new());
+    let src_ep = EndpointId::new(0);
+    let exec_ep = EndpointId::new(1);
+    let src = Arc::new(MemFs::new(src_ep));
+    for i in 0..14 {
+        src.write(
+            &format!("/data/doc{i:02}.txt"),
+            Bytes::from(format!(
+                "measurement log {i}: temperature pressure humidity sample \
+                 spectroscopy notes for run number {i}"
+            )),
+        )
+        .unwrap();
+    }
+    fabric.register(src_ep, "petrel", src);
+    fabric.register(exec_ep, "river", Arc::new(MemFs::new(exec_ep)));
+
+    let auth = Arc::new(AuthService::new());
+    let token = full_token(&auth);
+    let svc = XtractService::new(fabric, auth, 80);
+
+    let mut spec = JobSpec::single_endpoint(
+        EndpointSpec {
+            endpoint: exec_ep,
+            read_path: "/data".into(),
+            store_path: Some("/stage".into()),
+            available_bytes: 1 << 32,
+            workers: Some(4),
+            runtime: ContainerRuntime::Docker,
+        },
+        "/data",
+    );
+    spec.roots = vec![(src_ep, "/data".to_string())];
+    spec.endpoints.push(EndpointSpec {
+        endpoint: src_ep,
+        read_path: "/data".into(),
+        store_path: None,
+        available_bytes: 0,
+        workers: None,
+        runtime: ContainerRuntime::Docker,
+    });
+    spec.max_family_size = 1;
+    spec.staging_workers = staging_workers;
+    // Every file pays the degraded-link latency: staging cost is pure
+    // link time, which the pool can parallelize and serial staging
+    // cannot.
+    spec.fault_plan = Some(FaultPlan {
+        slow_link_rate: 1.0,
+        slow_link_delay_ms: 30,
+        ..FaultPlan::new(81)
+    });
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+
+    let started = Instant::now();
+    let report = svc.run_job(token, &spec).unwrap();
+    (started.elapsed().as_secs_f64(), report)
+}
+
+/// A comparison key for one record that is stable across runs: family
+/// ids and staging prefixes (`/stage/fam-<n>`) depend on crawl order, so
+/// both are stripped before documents are compared.
+fn doc_key(r: &MetadataRecord) -> String {
+    let s = serde_json::to_string(&r.document).unwrap();
+    let marker = "/stage/fam-";
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s.as_str();
+    while let Some(i) = rest.find(marker) {
+        out.push_str(&rest[..i]);
+        let tail = &rest[i + marker.len()..];
+        let digits = tail
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(tail.len());
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn staging_pool_overlaps_prefetch_and_beats_serial_staging() {
+    let (serial_wall, serial) = run_prefetch_job(1);
+    let (pooled_wall, pooled) = run_prefetch_job(4);
+
+    // Identical outcomes first — concurrency must not change *what* the
+    // job produces, only how fast.
+    assert!(serial.failures.is_empty(), "{:?}", serial.failures);
+    assert!(pooled.failures.is_empty(), "{:?}", pooled.failures);
+    assert_eq!(serial.families, 14, "expected one family per file");
+    assert_eq!(pooled.families, 14);
+    assert_eq!(serial.records.len(), pooled.records.len());
+    let keys = |r: &JobReport| {
+        let mut k: Vec<String> = r.records.iter().map(doc_key).collect();
+        k.sort();
+        k
+    };
+    assert_eq!(
+        keys(&serial),
+        keys(&pooled),
+        "staging concurrency changed the extracted records"
+    );
+
+    // 14 families × 30 ms of injected link latency: one staging worker
+    // must serialize at least 0.42 s of sleeps, so the serial wall clock
+    // is bounded below — while four workers overlap the same latency
+    // ~4-wide (≈0.12 s of sleeps on the longest worker chain).
+    assert!(
+        serial_wall >= 0.40,
+        "serial staging finished impossibly fast: {serial_wall}s"
+    );
+    assert!(
+        pooled_wall <= serial_wall - 0.15,
+        "staging_workers=4 not measurably faster: {pooled_wall}s vs {serial_wall}s"
+    );
+
+    // Overlap-aware phase accounting: Stage is the union of concurrent
+    // spans, so the pooled job's Stage coverage shrinks with the pool —
+    // and no report's phase total may exceed its own wall clock.
+    let serial_stage = serial.phases.get(Phase::Stage);
+    let pooled_stage = pooled.phases.get(Phase::Stage);
+    assert!(
+        serial_stage >= 0.40,
+        "serial Stage must cover the summed link latency: {serial_stage}s"
+    );
+    assert!(
+        pooled_stage <= serial_stage - 0.15,
+        "concurrent Stage span did not shrink: {pooled_stage}s vs {serial_stage}s"
+    );
+    for (wall, report, label) in [
+        (serial_wall, &serial, "serial"),
+        (pooled_wall, &pooled, "pooled"),
+    ] {
+        let slop = 0.25;
+        assert!(
+            report.phases.get(Phase::Stage) <= wall + slop,
+            "{label}: Stage exceeds wall clock"
+        );
+        assert!(
+            report.phases.total() <= wall + slop,
+            "{label}: phase total {} exceeds wall clock {wall}",
+            report.phases.total()
+        );
+    }
+}
+
+#[test]
+fn poll_window_comes_from_retry_policy_and_expiry_is_journaled() {
+    // A compute endpoint whose dispatcher is slower than the poll window:
+    // every wave's wait gives up, the journal records the expiry
+    // distinctly, and the families drain into typed dead letters instead
+    // of hanging the job for the old hardcoded 120 s.
+    let fabric = Arc::new(DataFabric::new());
+    let ep = EndpointId::new(0);
+    let fs = Arc::new(MemFs::new(ep));
+    for i in 0..6 {
+        fs.write(
+            &format!("/data/slow{i}.txt"),
+            Bytes::from(format!("text that will never be polled in time {i}")),
+        )
+        .unwrap();
+    }
+    fabric.register(ep, "midway", fs);
+    let auth = Arc::new(AuthService::new());
+    let token = full_token(&auth);
+    let svc = XtractService::new(fabric, auth, 82);
+    let mut spec = JobSpec::single_endpoint(
+        EndpointSpec {
+            endpoint: ep,
+            read_path: "/data".into(),
+            store_path: Some("/stage".into()),
+            available_bytes: 1 << 32,
+            workers: Some(2),
+            runtime: ContainerRuntime::Docker,
+        },
+        "/data",
+    );
+    spec.retry.poll_window_ms = 1;
+    spec.retry.task_attempts = 2;
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    // Re-connect the compute layer with a dispatch delay far beyond the
+    // poll window, so no task can turn terminal before the wait gives up.
+    svc.faas().connect_endpoint(EndpointConfig {
+        endpoint: ep,
+        workers: 2,
+        cold_start: Duration::ZERO,
+        dispatch_delay: Duration::from_millis(100),
+    });
+
+    let report = svc.run_job(token, &spec).unwrap();
+    assert!(report.records.is_empty(), "nothing can finish inside 1 ms");
+    assert_eq!(report.failures.len() as u64, report.families);
+    for letter in &report.failures {
+        assert!(
+            matches!(letter.reason, FailureReason::RetryBudgetExhausted { .. }),
+            "unexpected terminal reason: {letter}"
+        );
+    }
+    let expiries: Vec<_> = svc
+        .obs()
+        .journal
+        .events()
+        .into_iter()
+        .filter(|r| matches!(r.event, Event::PollWindowExpired { .. }))
+        .collect();
+    assert!(
+        !expiries.is_empty(),
+        "no PollWindowExpired event was journaled"
+    );
+    for r in &expiries {
+        if let Event::PollWindowExpired { tasks, window_ms } = &r.event {
+            assert_eq!(*window_ms, 1);
+            assert!(*tasks > 0);
+        }
+    }
+}
