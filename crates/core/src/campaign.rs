@@ -36,7 +36,7 @@ use xtract_sim::sites::{LinkSpec, Site};
 use xtract_sim::{RngStreams, ServerPool, SimTime};
 use xtract_types::fault::fault_roll;
 use xtract_types::{
-    DeadLetter, ExtractorKind, FailureReason, FamilyId, FaultPlan, TaskId, XtractError,
+    DeadLetter, ExtractorKind, FailureReason, FamilyId, FaultPlan, HedgePolicy, TaskId, XtractError,
 };
 use xtract_workloads::FamilyProfile;
 
@@ -88,6 +88,14 @@ pub struct CampaignConfig {
     /// the live service consumes, consulted deterministically from the
     /// plan's own seed.
     pub fault_plan: Option<FaultPlan>,
+    /// Straggler defense (`None` = no hedging): a crashed or
+    /// heartbeat-lost task is noticed at its adaptive deadline — the
+    /// class-mean estimate times the policy multiplier, clamped to the
+    /// policy floor/ceiling — and speculatively resubmitted then, instead
+    /// of waiting out the full (never-arriving) completion. Models the
+    /// live orchestrator's hedged re-execution on the virtual clock, for
+    /// Fig. 8-style rework-cost vs makespan comparisons.
+    pub hedge: Option<HedgePolicy>,
 }
 
 impl CampaignConfig {
@@ -109,6 +117,7 @@ impl CampaignConfig {
             cold_start_s: 0.0,
             max_attempts: 10,
             fault_plan: None,
+            hedge: None,
         }
     }
 }
@@ -147,6 +156,13 @@ pub struct CampaignReport {
     pub lost_families: u64,
     /// Families abandoned after `max_attempts` losses.
     pub failed_families: u64,
+    /// Hedged (deadline-triggered) speculative resubmissions launched.
+    pub hedges_launched: u64,
+    /// Hedged resubmissions whose task completed (or fully checkpointed
+    /// out). Always `hedges_launched == hedges_won + hedges_wasted`.
+    pub hedges_won: u64,
+    /// Hedged resubmissions lost again or abandoned.
+    pub hedges_wasted: u64,
     /// One typed record per abandoned family (same shape as the live
     /// report's dead letters).
     pub dead_letters: Vec<DeadLetter>,
@@ -446,6 +462,9 @@ impl Campaign {
             remaining: Vec<(usize, f64)>, // (family idx, remaining service)
             ready: SimTime,
             attempt: u32,
+            /// This attempt is a hedged (early, deadline-triggered)
+            /// resubmission; its fate decides hedges_won vs hedges_wasted.
+            hedged: bool,
         }
         let mut queue: std::collections::VecDeque<Pending> = dispatch_order
             .iter()
@@ -459,6 +478,7 @@ impl Campaign {
                     .collect(),
                 ready: task_worker_ready[t],
                 attempt: 1,
+                hedged: false,
             })
             .collect();
         // Heavy-class tasks run longest-processing-time-first: "The
@@ -497,6 +517,9 @@ impl Campaign {
         let mut restarts = 0u32;
         let mut lost_once: std::collections::HashSet<usize> = Default::default();
         let mut failed_families = 0u64;
+        let mut hedges_launched = 0u64;
+        let mut hedges_won = 0u64;
+        let mut hedges_wasted = 0u64;
         let mut dead_letters: Vec<DeadLetter> = Vec::new();
         let mut window_start = SimTime::ZERO;
         let mut safety = 0u32;
@@ -608,6 +631,9 @@ impl Campaign {
                     .is_some_and(|fp| fp.worker_crashes(crash_key) || fp.heartbeat_lost(crash_key));
                 if a.finish.as_secs() <= window_end_s && !crashed {
                     // Whole task fits: all member families complete.
+                    if p.hedged {
+                        hedges_won += 1;
+                    }
                     let mut t = a.start.as_secs() + faas::ENDPOINT_DISPATCH_S;
                     busy += service;
                     for &(fi, svc) in &p.remaining {
@@ -656,6 +682,17 @@ impl Campaign {
                         }
                         elapsed = done_at;
                     }
+                    if p.hedged {
+                        // A hedged attempt's fate lands exactly once: all
+                        // member families checkpointed out means the hedge
+                        // still paid off; any survivor means it was wasted
+                        // work (a further hedge may launch below).
+                        if survivors.is_empty() {
+                            hedges_won += 1;
+                        } else {
+                            hedges_wasted += 1;
+                        }
+                    }
                     if !survivors.is_empty() {
                         if p.attempt >= cfg.max_attempts {
                             failed_families += survivors.len() as u64;
@@ -674,9 +711,24 @@ impl Campaign {
                         } else {
                             // Crash resubmissions are ready as soon as the
                             // loss is noticed; expiry losses wait for the
-                            // next allocation window.
+                            // next allocation window. With the straggler
+                            // defense armed, a crashed task is noticed at
+                            // its adaptive deadline (estimate × multiplier,
+                            // clamped to the policy bounds) and hedged
+                            // then, instead of waiting out a completion
+                            // that never comes.
+                            let hedging =
+                                !straddled && cfg.hedge.as_ref().is_some_and(|h| h.enabled);
                             let retry_ready = if straddled {
                                 SimTime::from_secs(window_end_s + cfg.restart_overhead_s)
+                            } else if hedging {
+                                let hp = cfg.hedge.as_ref().expect("hedging implies a policy");
+                                let deadline_s = (estimate * hp.deadline_multiplier)
+                                    .max(hp.deadline_floor_ms as f64 / 1000.0)
+                                    .min(hp.deadline_ceiling_ms as f64 / 1000.0);
+                                hedges_launched += 1;
+                                a.finish
+                                    .min(SimTime::from_secs(a.start.as_secs() + deadline_s))
                             } else {
                                 a.finish
                             };
@@ -685,6 +737,7 @@ impl Campaign {
                                 remaining: survivors,
                                 ready: retry_ready,
                                 attempt: p.attempt + 1,
+                                hedged: hedging,
                             });
                         }
                     }
@@ -716,6 +769,9 @@ impl Campaign {
             restarts,
             lost_families: lost_once.len() as u64,
             failed_families,
+            hedges_launched,
+            hedges_won,
+            hedges_wasted,
             dead_letters,
             crawl_finish: crawl_finish.as_secs(),
             transfer_finish: transfer_finish.as_secs(),
@@ -908,6 +964,54 @@ mod tests {
         let keys = |r: &CampaignReport| r.dead_letters.iter().map(|d| d.key()).collect::<Vec<_>>();
         assert_eq!(keys(&a), keys(&b));
         assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn hedging_recovers_crashed_tasks_sooner() {
+        // A crashed task's unhedged retry waits until the (never-arriving)
+        // completion instant before it is noticed; the straggler defense
+        // notices it at the adaptive deadline instead. With an aggressive
+        // ceiling the hedged campaign finishes strictly sooner, and every
+        // launched hedge is accounted exactly once.
+        let run = |hedge: Option<HedgePolicy>| {
+            let mut cfg = CampaignConfig::new(sites::midway(), 8, 12);
+            cfg.fault_plan = Some(FaultPlan {
+                worker_crash_rate: 0.5,
+                ..FaultPlan::new(99)
+            });
+            cfg.hedge = hedge;
+            Campaign::new(cfg, profiles(100, "bert")).run()
+        };
+        let base = run(None);
+        let aggressive = HedgePolicy {
+            deadline_ceiling_ms: 1_000,
+            ..HedgePolicy::default()
+        };
+        let hedged = run(Some(aggressive));
+        assert!(base.lost_families > 0, "a 50% crash rate should lose tasks");
+        assert_eq!(base.hedges_launched, 0);
+        assert_eq!(
+            hedged.outcomes.len() as u64 + hedged.failed_families,
+            100,
+            "hedging must preserve the exactly-once partition"
+        );
+        assert!(hedged.hedges_launched > 0);
+        assert_eq!(
+            hedged.hedges_launched,
+            hedged.hedges_won + hedged.hedges_wasted,
+            "every hedge resolves exactly once"
+        );
+        assert!(
+            hedged.makespan < base.makespan,
+            "hedged {} !< unhedged {}",
+            hedged.makespan,
+            base.makespan
+        );
+        // Same seed + policy → identical counters and clock.
+        let again = run(Some(aggressive));
+        assert_eq!(hedged.makespan, again.makespan);
+        assert_eq!(hedged.hedges_launched, again.hedges_launched);
+        assert_eq!(hedged.hedges_won, again.hedges_won);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use xtract_obs::{Event, EventJournal};
-use xtract_types::{EndpointId, FamilyId, RetryPolicy};
+use xtract_types::{EndpointId, FamilyId, HedgePolicy, RetryPolicy};
 
 /// Circuit-breaker state for one endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,13 @@ struct EndpointHealth {
     /// Whether this open cycle's half-open crossing has been journaled;
     /// cleared whenever the breaker (re-)opens or closes.
     reported_half_open: bool,
+    /// Decaying straggler score: deadline breaches add
+    /// [`HedgePolicy::breach_weight`], every tick and every clean
+    /// completion multiplies by [`HedgePolicy::straggler_decay`]. Crossing
+    /// [`HedgePolicy::quarantine_threshold`] quarantines the endpoint —
+    /// the offloader deprioritizes it for new placements and hedges long
+    /// before the hard-failure breaker would trip.
+    straggler_score: f64,
 }
 
 /// Tracks endpoint health on a logical clock.
@@ -49,21 +56,38 @@ pub struct HealthTracker {
     threshold: u32,
     cooldown: u64,
     clock: u64,
+    breach_weight: f64,
+    straggler_decay: f64,
+    quarantine_threshold: f64,
     health: HashMap<EndpointId, EndpointHealth>,
     /// Optional sink for breaker state-transition events.
     journal: Option<Arc<EventJournal>>,
 }
 
 impl HealthTracker {
-    /// A tracker with the policy's breaker settings.
+    /// A tracker with the policy's breaker settings and default
+    /// quarantine scoring (see [`HealthTracker::with_quarantine`]).
     pub fn new(policy: &RetryPolicy) -> Self {
+        let hedge = HedgePolicy::default();
         Self {
             threshold: policy.breaker_threshold.max(1),
             cooldown: policy.breaker_cooldown,
             clock: 0,
+            breach_weight: hedge.breach_weight,
+            straggler_decay: hedge.straggler_decay,
+            quarantine_threshold: hedge.quarantine_threshold,
             health: HashMap::new(),
             journal: None,
         }
+    }
+
+    /// Adopts `hedge`'s straggler-scoring knobs (breach weight, decay,
+    /// quarantine threshold).
+    pub fn with_quarantine(mut self, hedge: &HedgePolicy) -> Self {
+        self.breach_weight = hedge.breach_weight;
+        self.straggler_decay = hedge.straggler_decay;
+        self.quarantine_threshold = hedge.quarantine_threshold;
+        self
     }
 
     /// Like [`HealthTracker::new`], but breaker transitions (open,
@@ -80,9 +104,15 @@ impl HealthTracker {
         }
     }
 
-    /// Advances the logical clock (call once per wave/step).
+    /// Advances the logical clock (call once per wave/step). Straggler
+    /// scores decay here, so quarantine is a statement about *recent*
+    /// slowness, not lifetime history.
     pub fn tick(&mut self) {
         self.clock += 1;
+        let decay = self.straggler_decay;
+        for h in self.health.values_mut() {
+            h.straggler_score *= decay;
+        }
         if self.journal.is_some() {
             // Report each open cycle's half-open crossing once. The state
             // (not an exact clock equality) decides: a zero cooldown makes
@@ -133,15 +163,46 @@ impl HealthTracker {
     }
 
     /// Records a success at `endpoint`: the breaker closes and the
-    /// consecutive-failure count resets.
+    /// consecutive-failure count resets. A clean completion also decays
+    /// the straggler score, so a quarantined endpoint that starts meeting
+    /// deadlines again earns its way back into the placement pool.
     pub fn record_success(&mut self, endpoint: EndpointId) {
+        let decay = self.straggler_decay;
         let h = self.health.entry(endpoint).or_default();
         h.consecutive_failures = 0;
+        h.straggler_score *= decay;
         let was_open = h.opened_at.take().is_some();
         h.reported_half_open = false;
         if was_open {
             self.journal_event(Event::BreakerClosed { endpoint });
         }
+    }
+
+    /// Records a deadline breach at `endpoint`: the straggler score grows
+    /// by the configured fractional breach weight. Breaches are *soft*
+    /// evidence — they never touch the consecutive-failure count, so a
+    /// merely-slow endpoint is deprioritized (quarantined) without ever
+    /// tripping the hard-failure breaker.
+    pub fn record_breach(&mut self, endpoint: EndpointId) {
+        let weight = self.breach_weight;
+        let h = self.health.entry(endpoint).or_default();
+        h.straggler_score += weight;
+    }
+
+    /// The current decaying straggler score at `endpoint`.
+    pub fn straggler_score(&self, endpoint: EndpointId) -> f64 {
+        self.health
+            .get(&endpoint)
+            .map(|h| h.straggler_score)
+            .unwrap_or(0.0)
+    }
+
+    /// True while `endpoint`'s straggler score sits at or above the
+    /// quarantine threshold: the endpoint still accepts work (its breaker
+    /// may be closed) but placement and hedging prefer any non-quarantined
+    /// alternative.
+    pub fn quarantined(&self, endpoint: EndpointId) -> bool {
+        self.straggler_score(endpoint) >= self.quarantine_threshold
     }
 
     /// The breaker state at the current logical time. Unknown endpoints
@@ -360,6 +421,51 @@ mod tests {
             journal_kinds(&journal),
             vec!["opened", "half_open", "opened", "half_open", "closed"]
         );
+    }
+
+    #[test]
+    fn breaches_quarantine_without_tripping_the_breaker() {
+        let hedge = HedgePolicy {
+            breach_weight: 0.5,
+            straggler_decay: 0.5,
+            quarantine_threshold: 2.0,
+            ..HedgePolicy::default()
+        };
+        let mut t = HealthTracker::new(&policy()).with_quarantine(&hedge);
+        let ep = EndpointId::new(5);
+        assert!(!t.quarantined(ep));
+        for _ in 0..4 {
+            t.record_breach(ep);
+        }
+        assert_eq!(t.straggler_score(ep), 2.0);
+        assert!(t.quarantined(ep));
+        // Soft evidence only: the hard-failure breaker stays closed.
+        assert_eq!(t.state(ep), BreakerState::Closed);
+        assert!(t.available(ep));
+    }
+
+    #[test]
+    fn straggler_score_decays_on_ticks_and_clean_completions() {
+        let hedge = HedgePolicy {
+            breach_weight: 1.0,
+            straggler_decay: 0.5,
+            quarantine_threshold: 2.0,
+            ..HedgePolicy::default()
+        };
+        let mut t = HealthTracker::new(&policy()).with_quarantine(&hedge);
+        let ep = EndpointId::new(6);
+        for _ in 0..4 {
+            t.record_breach(ep);
+        }
+        assert!(t.quarantined(ep));
+        t.tick();
+        assert_eq!(t.straggler_score(ep), 2.0);
+        assert!(t.quarantined(ep));
+        // A clean completion decays the score further and lifts the
+        // quarantine.
+        t.record_success(ep);
+        assert_eq!(t.straggler_score(ep), 1.0);
+        assert!(!t.quarantined(ep));
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! [`DeadLetter`]) — the chaos tests assert this partition at every
 //! injected fault rate.
 
-use crate::batcher::Batcher;
+use crate::batcher::{Batcher, XtractBatch};
 use crate::checkpoint::CheckpointStore;
 use crate::families::build_families;
 use crate::offload::{Offloader, Placement};
@@ -46,20 +46,20 @@ use crate::validator::{encode_record, validate};
 use bytes::Bytes;
 use crossbeam_channel::unbounded;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xtract_crawler::{Crawler, CrawlerConfig};
 use xtract_datafabric::{AuthService, DataFabric, Scope, Token, TransferRequest, TransferService};
 use xtract_extractors::{library, Extractor};
 use xtract_faas::{EndpointConfig, FaasService, FunctionRegistry, TaskSpec, TaskStatus};
-use xtract_obs::{Event, EventJournal, Obs, Phase, PhaseTimings, SpanUnion};
+use xtract_obs::{Event, EventJournal, Histogram, Obs, Phase, PhaseTimings, SpanUnion};
 use xtract_sim::RngStreams;
 use xtract_types::id::IdAllocator;
 use xtract_types::{
     ContainerId, DeadLetter, EndpointId, EndpointSpec, ExtractorKind, FailureEvent, FailureReason,
-    Family, FamilyId, FileRecord, FunctionId, JobSpec, Metadata, MetadataRecord, Result,
-    RetryPolicy, XtractError,
+    Family, FamilyId, FileRecord, FunctionId, HedgePolicy, JobSpec, Metadata, MetadataRecord,
+    Result, RetryPolicy, TaskId, XtractError,
 };
 
 /// Outcome of one job.
@@ -118,6 +118,58 @@ struct ActiveFamily {
     /// 0 for the initial staging pass, bumped per breaker-reroute
     /// restage; also decorrelates fault salts across generations.
     stage_generation: u32,
+    /// Extractor steps that consumed their one free deadline extension:
+    /// a merely-slow (not provably lost) straggler at poll-window expiry
+    /// is resubmitted once without charging the retry budget; the second
+    /// overrun charges like any other loss.
+    extended: HashSet<ExtractorKind>,
+}
+
+/// One submitted funcX task in the current wave, plus its speculative
+/// hedge (if any) and its resolution. The first *productive* terminal
+/// status (`Done`/`Failed`) between primary and hedge wins; the loser is
+/// cancelled, so only the winner's output is ever decoded — metadata,
+/// checkpoint flushes, and invocation counts can never double-count a
+/// `(family, extractor)` pair.
+struct WaveEntry {
+    id: TaskId,
+    kind: ExtractorKind,
+    fams: Vec<FamilyId>,
+    /// The original Xtract batch, kept so a hedge can re-encode the same
+    /// payload for a different endpoint.
+    batch: XtractBatch,
+    /// The speculative duplicate: `(task, endpoint)`.
+    hedge: Option<(TaskId, EndpointId)>,
+    /// The winning status and the endpoint that produced it.
+    resolved: Option<(TaskStatus, EndpointId)>,
+    /// The deadline breach already scored this entry's endpoint (breach
+    /// accounting and hedge launch are one-shot per entry).
+    breached: bool,
+}
+
+/// Bucket bounds (seconds) for the completion-latency histogram the
+/// adaptive deadline derives from.
+const LATENCY_BOUNDS_S: &[f64] = &[
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+];
+
+/// The wave's adaptive per-task deadline: the observed completion-latency
+/// quantile times the policy multiplier, clamped to the policy floor and
+/// ceiling (and never past the hard poll window). Falls back to the
+/// ceiling until enough samples accumulate, and to the flat poll window
+/// when the straggler defense is disabled.
+fn adaptive_deadline(latency: &Histogram, hedge: &HedgePolicy, retry: &RetryPolicy) -> Duration {
+    if !hedge.enabled {
+        return Duration::from_millis(retry.poll_window_ms);
+    }
+    let ceiling = hedge.deadline_ceiling_ms.min(retry.poll_window_ms).max(1);
+    if latency.count() >= hedge.min_latency_samples {
+        if let Some(q) = latency.quantile(hedge.latency_quantile) {
+            let ms = (q * 1000.0 * hedge.deadline_multiplier).ceil() as u64;
+            return Duration::from_millis(ms.max(hedge.deadline_floor_ms).min(ceiling));
+        }
+    }
+    Duration::from_millis(ceiling)
 }
 
 /// Charges one lost/crashed step against every family in a funcX task:
@@ -328,18 +380,42 @@ impl XtractService {
     }
 
     /// A connected compute endpoint other than `current` whose breaker
-    /// admits work, if any (the graceful-degradation target).
+    /// admits work, if any (the graceful-degradation and hedge target).
+    /// Endpoints whose decaying straggler score sits in quarantine are
+    /// deprioritized: any non-quarantined candidate wins first, and a
+    /// quarantined one is offered only when nothing cleaner exists.
     fn healthy_alternative(
         &self,
         current: EndpointId,
         spec: &JobSpec,
         health: &HealthTracker,
     ) -> Option<EndpointId> {
-        spec.endpoints
+        let mut fallback = None;
+        for ep in spec
+            .endpoints
             .iter()
             .filter(|e| e.has_compute() && e.endpoint != current)
             .map(|e| e.endpoint)
-            .find(|&ep| health.available(ep) && self.faas.endpoint(ep).is_some())
+            .filter(|&ep| health.available(ep) && self.faas.endpoint(ep).is_some())
+        {
+            if !health.quarantined(ep) {
+                return Some(ep);
+            }
+            fallback.get_or_insert(ep);
+        }
+        fallback
+    }
+
+    /// Submits a speculative duplicate of `batch` at `alt` (same payload,
+    /// re-encoded for the alternative endpoint's registered function).
+    fn submit_hedge(&self, batch: &XtractBatch, alt: EndpointId) -> Result<TaskId> {
+        let function = self.function_for(batch.extractor, alt)?;
+        let ids = self.faas.batch_submit(&[TaskSpec {
+            function,
+            endpoint: alt,
+            payload: encode_batch(batch, false),
+        }]);
+        Ok(ids[0])
     }
 
     /// Stages `origin_files` (living at `origin_source`) under `exec`'s
@@ -494,10 +570,27 @@ impl XtractService {
         let mut report = JobReport::default();
         let checkpoint = CheckpointStore::with_obs(&self.obs.hub);
         let retry = &spec.retry;
-        let mut health = HealthTracker::with_journal(retry, self.obs.journal.clone());
+        let mut health = HealthTracker::with_journal(retry, self.obs.journal.clone())
+            .with_quarantine(&spec.hedge);
         // Staging-pool workers and the wave loop share the ledger.
         let ledger = Mutex::new(RetryLedger::new(retry));
         let journal = self.obs.journal.clone();
+        // Straggler-defense instrumentation: the completion-latency
+        // histogram the adaptive deadline derives from, and the hedge
+        // lifecycle counters (`launched == won + wasted` at job end).
+        let latency_hist = self.obs.hub.histogram("task.latency_s", LATENCY_BOUNDS_S);
+        let hedge_launched = self.obs.hub.counter("hedge.launched");
+        let hedge_won = self.obs.hub.counter("hedge.won");
+        let hedge_wasted = self.obs.hub.counter("hedge.wasted");
+        // The allocation lease watchdog: notices lapsed leases in the
+        // background (flipping in-flight tasks to Lost immediately rather
+        // than after a poll window) and renews them after the policy
+        // cooldown. Held for the job's duration; dropping it stops the
+        // thread.
+        let _watchdog = spec.hedge.enabled.then(|| {
+            self.faas
+                .start_lease_watchdog(Duration::from_millis(spec.hedge.watchdog_renew_cooldown_ms))
+        });
 
         // --- Stages 2+3, overlapped: crawl on background threads while the
         // service packages min-transfers families from directories as they
@@ -675,6 +768,7 @@ impl XtractService {
                     staging: false,
                     staged_sites: Vec::new(),
                     stage_generation: 0,
+                    extended: HashSet::new(),
                 };
                 // --- Stage 5: prefetch if bytes are elsewhere — submitted
                 // to the pool, not awaited, so wave 1 of already-local
@@ -911,11 +1005,10 @@ impl XtractService {
                 report.waves += 1;
 
                 // Submit: one batch_submit per funcX batch (§4.3.2).
-                let mut submitted: Vec<(xtract_types::TaskId, ExtractorKind, Vec<FamilyId>)> =
-                    Vec::new();
+                let mut entries: Vec<WaveEntry> = Vec::new();
                 for funcx_batch in &wave {
                     let mut specs = Vec::with_capacity(funcx_batch.tasks.len());
-                    let mut members: Vec<(ExtractorKind, Vec<FamilyId>)> = Vec::new();
+                    let mut members: Vec<(ExtractorKind, Vec<FamilyId>, XtractBatch)> = Vec::new();
                     for task in &funcx_batch.tasks {
                         let function = self.function_for(task.extractor, task.endpoint)?;
                         // Staged copies are cleaned after the *whole plan*
@@ -926,50 +1019,236 @@ impl XtractService {
                             endpoint: task.endpoint,
                             payload: encode_batch(task, false),
                         });
-                        members
-                            .push((task.extractor, task.families.iter().map(|f| f.id).collect()));
+                        members.push((
+                            task.extractor,
+                            task.families.iter().map(|f| f.id).collect(),
+                            task.clone(),
+                        ));
                     }
                     let ids = self.faas.batch_submit(&specs);
-                    for (id, (kind, fams)) in ids.into_iter().zip(members) {
+                    for (id, (kind, fams, batch)) in ids.into_iter().zip(members) {
                         *report
                             .invocations
                             .entry(kind.name().to_string())
                             .or_insert(0) += fams.len() as u64;
-                        submitted.push((id, kind, fams));
+                        entries.push(WaveEntry {
+                            id,
+                            kind,
+                            fams,
+                            batch,
+                            hedge: None,
+                            resolved: None,
+                            breached: false,
+                        });
                     }
                 }
                 report
                     .phases
                     .add(Phase::Dispatch, dispatch_started.elapsed().as_secs_f64());
 
-                // Poll until terminal (batched polling, §4.3.2). The wait
-                // window comes from the job's retry policy — a fault-plan
-                // test can tighten it deliberately — and a task still
-                // non-terminal when it closes is handled as lost.
+                // Poll until terminal (batched polling, §4.3.2), under the
+                // straggler defense: every task in the wave gets an
+                // adaptive deadline derived from the observed
+                // completion-latency quantile (policy ceiling until enough
+                // samples accumulate). A breach scores the endpoint as a
+                // straggler and — when an alternative healthy endpoint
+                // exists — hedges the task there; the first productive
+                // result wins and the loser is cancelled. The flat poll
+                // window from the retry policy stays the hard cap, and a
+                // task still non-terminal when it closes is split into
+                // provably-lost vs merely-slow below.
                 let extract_started = Instant::now();
-                let ids: Vec<_> = submitted.iter().map(|(id, _, _)| *id).collect();
-                let all_terminal = self
-                    .faas
-                    .wait_all(&ids, Duration::from_millis(retry.poll_window_ms));
-                let polled = self.faas.batch_poll(&ids);
-                if !all_terminal {
-                    // The *window* gave up, not the tasks: journal that
-                    // apart from the per-task loss accounting below.
-                    let stragglers = polled
+                let deadline = adaptive_deadline(&latency_hist, &spec.hedge, retry);
+                let window = Duration::from_millis(retry.poll_window_ms);
+                let wave_started = Instant::now();
+                let productive =
+                    |s: &TaskStatus| matches!(s, TaskStatus::Done(_) | TaskStatus::Failed(_));
+                loop {
+                    let outstanding: Vec<TaskId> = entries
                         .iter()
-                        .filter(|p| {
-                            matches!(p.status, TaskStatus::Pending | TaskStatus::Running)
-                        })
-                        .count() as u64;
-                    if stragglers > 0 {
-                        journal.record(Event::PollWindowExpired {
-                            tasks: stragglers,
-                            window_ms: retry.poll_window_ms,
+                        .filter(|e| e.resolved.is_none())
+                        .flat_map(|e| std::iter::once(e.id).chain(e.hedge.map(|(h, _)| h)))
+                        .collect();
+                    if outstanding.is_empty() {
+                        break;
+                    }
+                    let status: HashMap<TaskId, TaskStatus> = self
+                        .faas
+                        .batch_poll(&outstanding)
+                        .into_iter()
+                        .map(|p| (p.id, p.status))
+                        .collect();
+                    let closing = wave_started.elapsed() >= window;
+                    for e in entries.iter_mut() {
+                        if e.resolved.is_some() {
+                            continue;
+                        }
+                        let primary = status.get(&e.id).cloned().unwrap_or(TaskStatus::Unknown);
+                        let hedge_status = e.hedge.map(|(h, ep)| {
+                            (status.get(&h).cloned().unwrap_or(TaskStatus::Unknown), ep)
                         });
+                        if productive(&primary) {
+                            // The original got there first: a hedge still
+                            // in flight lost the race and is cancelled so
+                            // its (discarded) result never double-counts.
+                            if let Some((_, hep)) = &hedge_status {
+                                let (hid, _) = e.hedge.expect("hedge status implies a hedge");
+                                self.faas.cancel(hid);
+                                hedge_wasted.incr();
+                                for fid in &e.fams {
+                                    journal.record(Event::HedgeLost {
+                                        family: *fid,
+                                        loser: *hep,
+                                    });
+                                }
+                            }
+                            latency_hist.observe(wave_started.elapsed().as_secs_f64());
+                            e.resolved = Some((primary, e.batch.endpoint));
+                            continue;
+                        }
+                        if let Some((hs, hep)) = &hedge_status {
+                            if productive(hs) {
+                                // The hedge won: cancel the original so its
+                                // eventual result (if any) is discarded —
+                                // only the winner's output is ever decoded.
+                                self.faas.cancel(e.id);
+                                hedge_won.incr();
+                                for fid in &e.fams {
+                                    journal.record(Event::HedgeWon {
+                                        family: *fid,
+                                        winner: *hep,
+                                    });
+                                }
+                                latency_hist.observe(wave_started.elapsed().as_secs_f64());
+                                e.resolved = Some((hs.clone(), *hep));
+                                continue;
+                            }
+                        }
+                        if primary.is_terminal() {
+                            // Lost (or unknown): no result is coming from
+                            // the original. A live hedge may still produce
+                            // one; failing that, a provably-dead primary is
+                            // the clearest hedge trigger of all.
+                            if let Some((hs, hep)) = &hedge_status {
+                                if !hs.is_terminal() && !closing {
+                                    continue;
+                                }
+                                // Both runners dead (or the window closed):
+                                // the hedge never produced a result.
+                                let (hid, _) = e.hedge.expect("hedge status implies a hedge");
+                                self.faas.cancel(hid);
+                                hedge_wasted.incr();
+                                for fid in &e.fams {
+                                    journal.record(Event::HedgeLost {
+                                        family: *fid,
+                                        loser: *hep,
+                                    });
+                                }
+                                e.resolved = Some((primary, e.batch.endpoint));
+                                continue;
+                            }
+                            if matches!(primary, TaskStatus::Lost)
+                                && spec.hedge.enabled
+                                && !closing
+                                && !e.breached
+                            {
+                                e.breached = true;
+                                if let Some(alt) =
+                                    self.healthy_alternative(e.batch.endpoint, spec, &health)
+                                {
+                                    if let Ok(hid) = self.submit_hedge(&e.batch, alt) {
+                                        hedge_launched.incr();
+                                        for fid in &e.fams {
+                                            journal.record(Event::TaskHedged {
+                                                family: *fid,
+                                                original: e.batch.endpoint,
+                                                hedge: alt,
+                                            });
+                                        }
+                                        e.hedge = Some((hid, alt));
+                                        continue;
+                                    }
+                                }
+                            }
+                            e.resolved = Some((primary, e.batch.endpoint));
+                            continue;
+                        }
+                        // Still running. Past the adaptive deadline the
+                        // endpoint takes a fractional straggler score (soft
+                        // evidence — the breaker is untouched) and the task
+                        // hedges to the best alternative, if any.
+                        if !e.breached && wave_started.elapsed() >= deadline {
+                            e.breached = true;
+                            health.record_breach(e.batch.endpoint);
+                            if spec.hedge.enabled && !closing {
+                                if let Some(alt) =
+                                    self.healthy_alternative(e.batch.endpoint, spec, &health)
+                                {
+                                    if let Ok(hid) = self.submit_hedge(&e.batch, alt) {
+                                        hedge_launched.incr();
+                                        for fid in &e.fams {
+                                            journal.record(Event::TaskHedged {
+                                                family: *fid,
+                                                original: e.batch.endpoint,
+                                                hedge: alt,
+                                            });
+                                        }
+                                        e.hedge = Some((hid, alt));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if closing || entries.iter().all(|e| e.resolved.is_some()) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+
+                // The *window* gave up, not the tasks: split the leftovers
+                // into provably-lost (their endpoint's lease lapsed or is
+                // gone) and merely-slow, journal the disposition, and
+                // abandon the stale task ids (the next wave resubmits
+                // under fresh ones).
+                let mut lost_stragglers = 0u64;
+                let mut slow_stragglers = 0u64;
+                for e in entries.iter_mut().filter(|e| e.resolved.is_none()) {
+                    if let Some((hid, hep)) = e.hedge {
+                        self.faas.cancel(hid);
+                        hedge_wasted.incr();
+                        for fid in &e.fams {
+                            journal.record(Event::HedgeLost {
+                                family: *fid,
+                                loser: hep,
+                            });
+                        }
+                    }
+                    self.faas.cancel(e.id);
+                    let ep = e.batch.endpoint;
+                    let alive = self.faas.endpoint(ep).is_some_and(|c| !c.is_expired());
+                    if alive {
+                        slow_stragglers += 1;
+                        e.resolved = Some((TaskStatus::Running, ep));
+                    } else {
+                        lost_stragglers += 1;
+                        e.resolved = Some((TaskStatus::Lost, ep));
                     }
                 }
-                for (p, (id, kind, fams)) in polled.iter().zip(&submitted) {
-                    match &p.status {
+                if lost_stragglers + slow_stragglers > 0 {
+                    journal.record(Event::PollWindowExpired {
+                        tasks: lost_stragglers + slow_stragglers,
+                        window_ms: retry.poll_window_ms,
+                        lost: lost_stragglers,
+                        slow: slow_stragglers,
+                    });
+                }
+
+                for e in &entries {
+                    let Some((resolution, winner_ep)) = &e.resolved else {
+                        continue; // unreachable: every entry resolved above
+                    };
+                    let (id, kind, fams) = (e.id, e.kind, &e.fams);
+                    match resolution {
                         TaskStatus::Done(out) => match decode_results(&out.value) {
                             Ok(results) => {
                                 for r in results {
@@ -982,25 +1261,22 @@ impl XtractService {
                                         // §2.3's junk files must not wedge
                                         // the job; retrying cannot help.
                                         af.failed = Some(FailureReason::ExtractionFailed {
-                                            extractor: *kind,
+                                            extractor: kind,
                                             error: err,
                                         });
                                         continue;
                                     }
                                     if spec.checkpoint {
-                                        checkpoint.flush(
-                                            r.family,
-                                            kind.name(),
-                                            r.metadata.clone(),
-                                        );
+                                        checkpoint.flush(r.family, kind.name(), r.metadata.clone());
                                     }
                                     af.merged.merge(&r.metadata);
                                     af.ran.push(kind.name().to_string());
-                                    af.plan.complete(*kind, &r.discoveries);
+                                    af.plan.complete(kind, &r.discoveries);
                                 }
-                                if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
-                                    health.record_success(active[i].exec);
-                                }
+                                // Credit whichever endpoint actually
+                                // produced the result — the hedge winner's,
+                                // not necessarily the family's home.
+                                health.record_success(*winner_ep);
                             }
                             Err(e) => {
                                 for fid in fams {
@@ -1019,7 +1295,7 @@ impl XtractService {
                                 &mut active,
                                 &index,
                                 fams,
-                                *kind,
+                                kind,
                                 e,
                                 &format!("{} step failed: {e}", kind.name()),
                                 retry,
@@ -1033,13 +1309,11 @@ impl XtractService {
                             for fid in fams {
                                 let Some(&i) = index.get(fid) else { continue };
                                 active[i].failed = Some(FailureReason::ExtractionFailed {
-                                    extractor: *kind,
+                                    extractor: kind,
                                     error: e.to_string(),
                                 });
                             }
-                            if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
-                                health.record_failure(active[i].exec);
-                            }
+                            health.record_failure(*winner_ep);
                         }
                         TaskStatus::Lost => {
                             // Allocation expired, heartbeat vanished, or
@@ -1051,8 +1325,8 @@ impl XtractService {
                                 &mut active,
                                 &index,
                                 fams,
-                                *kind,
-                                &XtractError::TaskLost { task: *id },
+                                kind,
+                                &XtractError::TaskLost { task: id },
                                 &format!("{} task lost", kind.name()),
                                 retry,
                                 &mut ledger.lock(),
@@ -1060,9 +1334,14 @@ impl XtractService {
                                 &mut report,
                                 &journal,
                             );
-                            if let Some(&i) = fams.first().and_then(|f| index.get(f)) {
-                                self.faas.renew_endpoint(active[i].exec);
-                            }
+                            self.faas.renew_endpoint(*winner_ep);
+                        }
+                        TaskStatus::Cancelled => {
+                            // Only ever set by this orchestrator when a
+                            // hedge race was decided the other way; a
+                            // resolution can't carry it, and a cancelled
+                            // task must never be resubmitted — the family
+                            // already has its result.
                         }
                         TaskStatus::Unknown => {
                             // The fabric has no record of a task we believe
@@ -1077,19 +1356,43 @@ impl XtractService {
                             }
                         }
                         TaskStatus::Pending | TaskStatus::Running => {
-                            charge_step_loss(
-                                &mut active,
-                                &index,
-                                fams,
-                                *kind,
-                                &XtractError::TaskLost { task: *id },
-                                &format!("{} non-terminal after wait", kind.name()),
-                                retry,
-                                &mut ledger.lock(),
-                                &mut health,
-                                &mut report,
-                                &journal,
-                            );
+                            // Merely slow, not lost: each family's step
+                            // gets one free deadline extension — it stays
+                            // pending for the next wave without touching
+                            // the retry budget — and only a repeat overrun
+                            // charges like a loss.
+                            let mut repeat: Vec<FamilyId> = Vec::new();
+                            for fid in fams {
+                                let Some(&i) = index.get(fid) else { continue };
+                                let af = &mut active[i];
+                                if af.extended.insert(kind) {
+                                    af.timeline.push(FailureEvent {
+                                        wave: health.now(),
+                                        endpoint: af.exec,
+                                        note: format!(
+                                            "{} deadline extended (slow, not lost)",
+                                            kind.name()
+                                        ),
+                                    });
+                                } else {
+                                    repeat.push(*fid);
+                                }
+                            }
+                            if !repeat.is_empty() {
+                                charge_step_loss(
+                                    &mut active,
+                                    &index,
+                                    &repeat,
+                                    kind,
+                                    &XtractError::TaskLost { task: id },
+                                    &format!("{} non-terminal after extended wait", kind.name()),
+                                    retry,
+                                    &mut ledger.lock(),
+                                    &mut health,
+                                    &mut report,
+                                    &journal,
+                                );
+                            }
                         }
                     }
                 }

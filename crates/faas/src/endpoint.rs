@@ -17,7 +17,7 @@
 use crate::task::{TaskOutput, TaskStatus};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -80,6 +80,8 @@ pub struct EndpointCounters {
     pub lost: Counter,
     /// Tasks whose worker crashed mid-execution (fault injection).
     pub crashed: Counter,
+    /// Tasks dropped or discarded by cancellation (hedge losers).
+    pub cancelled: Counter,
 }
 
 impl EndpointCounters {
@@ -94,6 +96,7 @@ impl EndpointCounters {
             executed: hub.counter_with("endpoint.executed", label),
             lost: hub.counter_with("endpoint.lost", label),
             crashed: hub.counter_with("endpoint.crashed", label),
+            cancelled: hub.counter_with("endpoint.cancelled", label),
         }
     }
 }
@@ -106,6 +109,7 @@ pub struct ComputeEndpoint {
     expired: Arc<AtomicBool>,
     counters: Arc<EndpointCounters>,
     statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
+    cancelled: Arc<RwLock<HashSet<TaskId>>>,
 }
 
 impl ComputeEndpoint {
@@ -143,18 +147,20 @@ impl ComputeEndpoint {
             Some(obs) => EndpointCounters::in_hub(&obs.hub, config.endpoint),
             None => EndpointCounters::default(),
         });
+        let cancelled = Arc::new(RwLock::new(HashSet::new()));
         let handles = (0..config.workers)
             .map(|_| {
                 let rx: Receiver<WorkItem> = rx.clone();
-                let statuses = statuses.clone();
-                let expired = expired.clone();
-                let counters = counters.clone();
-                let cfg = config.clone();
-                let faults = faults.clone();
-                let obs = obs.clone();
-                std::thread::spawn(move || {
-                    worker_loop(&rx, &statuses, &expired, &counters, &cfg, &faults, &obs)
-                })
+                let ctx = WorkerCtx {
+                    statuses: statuses.clone(),
+                    expired: expired.clone(),
+                    counters: counters.clone(),
+                    cfg: config.clone(),
+                    faults: faults.clone(),
+                    obs: obs.clone(),
+                    cancelled: cancelled.clone(),
+                };
+                std::thread::spawn(move || worker_loop(&rx, &ctx))
             })
             .collect();
         Self {
@@ -164,6 +170,7 @@ impl ComputeEndpoint {
             expired,
             counters,
             statuses,
+            cancelled,
         }
     }
 
@@ -206,6 +213,15 @@ impl ComputeEndpoint {
         self.expired.store(false, Ordering::Release);
     }
 
+    /// Flags a task for cancellation. A task still queued is dropped at
+    /// dequeue; a task already running has its result discarded when the
+    /// worker checks the flag at completion (best-effort — a result that
+    /// lands first stays). Either way the flag is consumed, so ids never
+    /// accumulate for tasks the workers will still see.
+    pub fn cancel(&self, task: TaskId) {
+        self.cancelled.write().insert(task);
+    }
+
     /// True while the allocation is expired.
     pub fn is_expired(&self) -> bool {
         self.expired.load(Ordering::Acquire)
@@ -227,21 +243,46 @@ impl Drop for ComputeEndpoint {
     }
 }
 
-fn worker_loop(
-    rx: &Receiver<WorkItem>,
-    statuses: &RwLock<HashMap<TaskId, TaskStatus>>,
-    expired: &AtomicBool,
-    counters: &EndpointCounters,
-    cfg: &EndpointConfig,
-    faults: &SharedFaultPlan,
-    obs: &Option<Obs>,
-) {
+/// Everything a worker thread shares with its endpoint.
+struct WorkerCtx {
+    statuses: Arc<RwLock<HashMap<TaskId, TaskStatus>>>,
+    expired: Arc<AtomicBool>,
+    counters: Arc<EndpointCounters>,
+    cfg: EndpointConfig,
+    faults: SharedFaultPlan,
+    obs: Option<Obs>,
+    cancelled: Arc<RwLock<HashSet<TaskId>>>,
+}
+
+impl WorkerCtx {
+    /// Consumes the task's cancel flag, if set.
+    fn take_cancel(&self, task: TaskId) -> bool {
+        self.cancelled.write().remove(&task)
+    }
+}
+
+fn worker_loop(rx: &Receiver<WorkItem>, ctx: &WorkerCtx) {
+    let WorkerCtx {
+        statuses,
+        expired,
+        counters,
+        cfg,
+        faults,
+        obs,
+        ..
+    } = ctx;
     // The container this worker currently has warm.
     let mut warm: Option<ContainerId> = None;
     while let Ok(item) = rx.recv() {
         if expired.load(Ordering::Acquire) {
             statuses.write().insert(item.task, TaskStatus::Lost);
             counters.lost.incr();
+            continue;
+        }
+        // A task cancelled while queued is dropped without running.
+        if ctx.take_cancel(item.task) {
+            statuses.write().insert(item.task, TaskStatus::Cancelled);
+            counters.cancelled.incr();
             continue;
         }
         statuses.write().insert(item.task, TaskStatus::Running);
@@ -280,6 +321,19 @@ fn worker_loop(
             );
             continue;
         }
+        // A degraded link between this worker and its storage stalls the
+        // read: the task still completes, just late — exactly the
+        // straggler the hedging layer defends against. Reuses the
+        // transfer substrate's `slow_link_rate` knob, rolled
+        // independently per task id (a hedge resubmission gets a fresh
+        // id and therefore a fresh roll).
+        if let Some(p) = plan.as_ref() {
+            if p.slow_link_delay_ms > 0
+                && p.link_degraded(&format!("/worker-read/{}", item.task.raw()), 0)
+            {
+                std::thread::sleep(Duration::from_millis(p.slow_link_delay_ms));
+            }
+        }
         let body = item.body.clone();
         let payload = item.payload.clone();
         let outcome = catch_unwind(AssertUnwindSafe(move || body(payload)));
@@ -292,6 +346,12 @@ fn worker_loop(
         let status = if expired.load(Ordering::Acquire) || heartbeat_lost {
             counters.lost.incr();
             TaskStatus::Lost
+        } else if ctx.take_cancel(item.task) {
+            // Cancelled mid-run: the body's result is discarded (the hedge
+            // race was decided the other way). Unlike Lost, the owner must
+            // not resubmit.
+            counters.cancelled.incr();
+            TaskStatus::Cancelled
         } else {
             counters.executed.incr();
             match outcome {
@@ -487,6 +547,74 @@ mod tests {
     }
 
     #[test]
+    fn cancel_drops_queued_task_without_running_it() {
+        let table = statuses();
+        let ep = ComputeEndpoint::start(
+            EndpointConfig::instant(EndpointId::new(0), 1),
+            table.clone(),
+        );
+        // Occupy the single worker so the second task sits queued.
+        let slow: FunctionBody = Arc::new(|v| {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(v)
+        });
+        ep.enqueue(WorkItem {
+            task: TaskId::new(0),
+            container: ContainerId::new(0),
+            body: slow,
+            payload: json!(null),
+        })
+        .unwrap();
+        let bomb: FunctionBody = Arc::new(|_| panic!("cancelled task must never run"));
+        ep.enqueue(WorkItem {
+            task: TaskId::new(1),
+            container: ContainerId::new(0),
+            body: bomb,
+            payload: json!(null),
+        })
+        .unwrap();
+        ep.cancel(TaskId::new(1));
+        assert_eq!(wait_terminal(&table, TaskId::new(1)), TaskStatus::Cancelled);
+        assert!(matches!(
+            wait_terminal(&table, TaskId::new(0)),
+            TaskStatus::Done(_)
+        ));
+        assert_eq!(ep.counters().cancelled.get(), 1);
+    }
+
+    #[test]
+    fn cancel_mid_run_discards_the_result() {
+        let table = statuses();
+        let ep = ComputeEndpoint::start(
+            EndpointConfig::instant(EndpointId::new(0), 1),
+            table.clone(),
+        );
+        let slow: FunctionBody = Arc::new(|v| {
+            std::thread::sleep(Duration::from_millis(100));
+            Ok(v)
+        });
+        ep.enqueue(WorkItem {
+            task: TaskId::new(0),
+            container: ContainerId::new(0),
+            body: slow,
+            payload: json!(7),
+        })
+        .unwrap();
+        // Wait for the worker to pick the task up, then cancel while the
+        // body is still sleeping.
+        for _ in 0..2000 {
+            if table.read().get(&TaskId::new(0)) == Some(&TaskStatus::Running) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ep.cancel(TaskId::new(0));
+        assert_eq!(wait_terminal(&table, TaskId::new(0)), TaskStatus::Cancelled);
+        assert_eq!(ep.counters().cancelled.get(), 1);
+        assert_eq!(ep.counters().executed.get(), 0);
+    }
+
+    #[test]
     fn injected_worker_crash_fails_task_retryably() {
         let table = statuses();
         let mut plan = FaultPlan::new(3);
@@ -549,6 +677,32 @@ mod tests {
         assert_eq!(wait_terminal(&table, TaskId::new(0)), TaskStatus::Lost);
         // The body ran (the result was computed, then dropped in flight).
         assert_eq!(ep.counters().lost.get(), 1);
+    }
+
+    #[test]
+    fn injected_slow_link_stalls_execution_but_completes() {
+        let table = statuses();
+        let mut plan = FaultPlan::new(5);
+        plan.slow_link_rate = 1.0;
+        plan.slow_link_delay_ms = 50;
+        let faults: SharedFaultPlan = Arc::new(RwLock::new(Some(plan)));
+        let ep = ComputeEndpoint::start_with_faults(
+            EndpointConfig::instant(EndpointId::new(0), 1),
+            table.clone(),
+            faults,
+        );
+        let started = std::time::Instant::now();
+        ep.enqueue(WorkItem {
+            task: TaskId::new(0),
+            container: ContainerId::new(0),
+            body: body_ok(),
+            payload: json!(1),
+        })
+        .unwrap();
+        // Slow is not broken: the task still finishes — late.
+        let status = wait_terminal(&table, TaskId::new(0));
+        assert!(matches!(status, TaskStatus::Done(_)), "got {status:?}");
+        assert!(started.elapsed() >= Duration::from_millis(50));
     }
 
     #[test]

@@ -29,8 +29,10 @@ pub mod endpoint;
 pub mod registry;
 pub mod service;
 pub mod task;
+pub mod watchdog;
 
 pub use endpoint::{ComputeEndpoint, EndpointConfig, EndpointCounters};
 pub use registry::{ContainerSpec, FunctionRegistry, FunctionSpec};
 pub use service::{FaasService, ServiceStats};
 pub use task::{FunctionBody, TaskOutput, TaskSpec, TaskStatus};
+pub use watchdog::LeaseWatchdog;

@@ -14,8 +14,9 @@
 use crate::endpoint::{ComputeEndpoint, EndpointConfig, SharedFaultPlan, WorkItem};
 use crate::registry::FunctionRegistry;
 use crate::task::{PolledTask, TaskSpec, TaskStatus};
+use crate::watchdog::LeaseWatchdog;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,15 +35,19 @@ pub struct ServiceStats {
     pub tasks_submitted: Counter,
     /// Batch submissions.
     pub batches_submitted: Counter,
+    /// Allocations auto-renewed by the lease watchdog.
+    pub watchdog_renewals: Counter,
 }
 
 impl ServiceStats {
-    /// Counters interned in `hub` under the `faas.*` names.
+    /// Counters interned in `hub` under the `faas.*` names (the watchdog
+    /// renewal counter interns as `watchdog.renewals`).
     pub fn in_hub(hub: &MetricsHub) -> Self {
         Self {
             ws_requests: hub.counter("faas.ws_requests"),
             tasks_submitted: hub.counter("faas.tasks_submitted"),
             batches_submitted: hub.counter("faas.batches_submitted"),
+            watchdog_renewals: hub.counter("watchdog.renewals"),
         }
     }
 }
@@ -60,6 +65,10 @@ pub struct FaasService {
     /// Monotonic batch-submit counter — the operation index FaaS blackout
     /// windows are expressed in.
     submit_ops: AtomicU64,
+    /// Endpoints whose current expiry episode has already been journaled
+    /// and had its in-flight tasks flipped; cleared on renewal, so each
+    /// expire→renew cycle journals exactly one `AllocationExpired`.
+    expiry_noted: RwLock<HashSet<EndpointId>>,
 }
 
 impl FaasService {
@@ -75,6 +84,7 @@ impl FaasService {
             fault: Arc::new(RwLock::new(None)),
             obs: None,
             submit_ops: AtomicU64::new(0),
+            expiry_noted: RwLock::new(HashSet::new()),
         }
     }
 
@@ -91,6 +101,7 @@ impl FaasService {
             fault: Arc::new(RwLock::new(None)),
             obs: Some(obs),
             submit_ops: AtomicU64::new(0),
+            expiry_noted: RwLock::new(HashSet::new()),
         }
     }
 
@@ -153,6 +164,19 @@ impl FaasService {
         }
         let op = self.submit_ops.fetch_add(1, Ordering::Relaxed);
         let plan = self.fault.read().clone();
+        // Scheduled allocation expiries fire immediately before the batch
+        // routes, so chaos tests can land a lease lapse deterministically
+        // mid-wave (the campaign counterpart of a wall-clock expiry).
+        if let Some(p) = plan.as_ref() {
+            if !p.allocation_expiries.is_empty() {
+                let eps: Vec<EndpointId> = self.endpoints.read().keys().copied().collect();
+                for ep in eps {
+                    if p.allocation_expires_at(ep, op) {
+                        self.expire_endpoint(ep);
+                    }
+                }
+            }
+        }
         let mut out = Vec::with_capacity(specs.len());
         for spec in specs {
             let id = TaskId::new(self.ids.next());
@@ -265,28 +289,120 @@ impl FaasService {
         if let Some(ep) = self.endpoint(endpoint) {
             ep.expire_allocation();
         }
+        self.note_allocation_expired(endpoint);
+    }
+
+    /// Flips the endpoint's in-flight tasks to `Lost` and journals one
+    /// `AllocationExpired` per expiry episode. Idempotent until the next
+    /// renewal, so the lease watchdog and an explicit
+    /// [`Self::expire_endpoint`] call never double-journal one lapse.
+    pub(crate) fn note_allocation_expired(&self, endpoint: EndpointId) {
+        if !self.expiry_noted.write().insert(endpoint) {
+            return;
+        }
         // Tasks already queued inside the channel get marked Lost by the
         // workers; tasks that are Pending in the table but racing the flag
         // are handled identically. Mark Pending/Running now for
         // deterministic heartbeat visibility.
-        let owners = self.task_endpoint.read();
-        let mut statuses = self.statuses.write();
-        for (task, ep) in owners.iter() {
-            if *ep == endpoint {
-                if let Some(s) = statuses.get_mut(task) {
-                    if !s.is_terminal() {
-                        *s = TaskStatus::Lost;
+        let mut tasks_lost = 0u64;
+        {
+            let owners = self.task_endpoint.read();
+            let mut statuses = self.statuses.write();
+            for (task, ep) in owners.iter() {
+                if *ep == endpoint {
+                    if let Some(s) = statuses.get_mut(task) {
+                        if !s.is_terminal() {
+                            *s = TaskStatus::Lost;
+                            tasks_lost += 1;
+                        }
                     }
                 }
             }
         }
+        if let Some(obs) = &self.obs {
+            obs.journal.record(Event::AllocationExpired {
+                endpoint,
+                tasks_lost,
+            });
+        }
     }
 
-    /// Renews an endpoint's allocation after expiry.
+    /// Renews an endpoint's allocation after expiry, journaling
+    /// `AllocationRenewed` when the lease was actually lapsed.
     pub fn renew_endpoint(&self, endpoint: EndpointId) {
         if let Some(ep) = self.endpoint(endpoint) {
             ep.renew_allocation();
         }
+        let was_expired = self.expiry_noted.write().remove(&endpoint);
+        if was_expired {
+            if let Some(obs) = &self.obs {
+                obs.journal.record(Event::AllocationRenewed { endpoint });
+            }
+        }
+    }
+
+    /// Cancels a task (the losing side of a hedge race). Returns `true`
+    /// when the cancel took effect: a queued task is dropped before it
+    /// runs, a running task has its result discarded when the worker
+    /// checks the flag at completion (best-effort). Terminal tasks — and
+    /// ids the service has never seen — are a no-op returning `false`.
+    pub fn cancel(&self, task: TaskId) -> bool {
+        {
+            let statuses = self.statuses.read();
+            match statuses.get(&task) {
+                None => return false,
+                Some(s) if s.is_terminal() => return false,
+                Some(_) => {}
+            }
+        }
+        if let Some(ep) = self
+            .task_endpoint
+            .read()
+            .get(&task)
+            .copied()
+            .and_then(|e| self.endpoint(e))
+        {
+            ep.cancel(task);
+        }
+        // Pending tasks become terminal immediately so pollers stop
+        // waiting; the worker consumes the flag when it dequeues the item.
+        // Running tasks stay Running until the worker applies the flag —
+        // or wins the race and lands its result anyway.
+        let mut statuses = self.statuses.write();
+        match statuses.get(&task) {
+            Some(TaskStatus::Pending) => {
+                statuses.insert(task, TaskStatus::Cancelled);
+                true
+            }
+            Some(TaskStatus::Running) => true,
+            _ => false,
+        }
+    }
+
+    /// Starts the allocation lease watchdog: a background thread that
+    /// scans for lapsed allocations, eagerly flips their in-flight tasks
+    /// to `Lost` (journaling `AllocationExpired`), and auto-renews each
+    /// lease once it has been lapsed for `renew_cooldown` (journaling
+    /// `AllocationRenewed` and counting `watchdog.renewals`). The
+    /// watchdog stops when the returned handle is dropped; it holds only
+    /// a weak reference, so it never keeps the service alive.
+    pub fn start_lease_watchdog(self: &Arc<Self>, renew_cooldown: Duration) -> LeaseWatchdog {
+        LeaseWatchdog::start(Arc::downgrade(self), renew_cooldown)
+    }
+
+    /// Endpoint ids with a currently-lapsed allocation.
+    pub(crate) fn expired_endpoints(&self) -> Vec<EndpointId> {
+        self.endpoints
+            .read()
+            .iter()
+            .filter(|(_, ep)| ep.is_expired())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Bumps the watchdog renewal counter (watchdog thread only).
+    pub(crate) fn count_watchdog_renewal(&self) {
+        self.stats.watchdog_renewals.incr();
     }
 
     /// Heartbeat view: ids among `ids` currently reported lost.
@@ -449,6 +565,57 @@ mod tests {
             .batch_poll(&ids2)
             .iter()
             .all(|p| matches!(p.status, TaskStatus::Done(_))));
+    }
+
+    #[test]
+    fn cancel_covers_queued_running_and_terminal_states() {
+        let r = rig(1);
+        let registry = r.svc.registry();
+        let c = registry.register_container("slow:1", ContainerRuntime::Docker, 0);
+        let slow_body: FunctionBody = Arc::new(|v| {
+            std::thread::sleep(Duration::from_millis(80));
+            Ok(v)
+        });
+        let slow = registry
+            .register_function("slow", c, &[r.ep], slow_body)
+            .unwrap();
+        let ids = r.svc.batch_submit(&[
+            TaskSpec {
+                function: slow,
+                endpoint: r.ep,
+                payload: json!(0),
+            },
+            TaskSpec {
+                function: r.f,
+                endpoint: r.ep,
+                payload: json!(1),
+            },
+        ]);
+        // Queued → dropped: the second task sits behind the slow one on
+        // the single worker.
+        assert!(r.svc.cancel(ids[1]));
+        // Running (or still pending) → best-effort flag, applied by the
+        // worker at completion.
+        assert!(r.svc.cancel(ids[0]));
+        assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+        let polled = r.svc.batch_poll(&ids);
+        assert_eq!(polled[0].status, TaskStatus::Cancelled);
+        assert_eq!(polled[1].status, TaskStatus::Cancelled);
+        // Terminal → no-op; unknown ids too.
+        assert!(!r.svc.cancel(ids[0]));
+        assert!(!r.svc.cancel(TaskId::new(99_999)));
+    }
+
+    #[test]
+    fn cancel_after_completion_keeps_the_result() {
+        let r = rig(2);
+        let ids = r.svc.batch_submit(&specs(&r, 1));
+        assert!(r.svc.wait_all(&ids, Duration::from_secs(5)));
+        assert!(!r.svc.cancel(ids[0]), "terminal task must not cancel");
+        assert!(matches!(
+            r.svc.batch_poll(&ids)[0].status,
+            TaskStatus::Done(_)
+        ));
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub enum TaskStatus {
     /// The endpoint's allocation expired with the task in flight (§5.8.1);
     /// the owner should resubmit.
     Lost,
+    /// The owner cancelled the task (a hedge race was decided the other
+    /// way). Terminal, and — unlike [`TaskStatus::Lost`] — must **not**
+    /// be resubmitted: the family already has its result.
+    Cancelled,
     /// The service has never seen this task id. Terminal: waiting on an
     /// unknown id can never make progress, so pollers must not spin on it
     /// (the old behaviour reported `Pending` forever).
@@ -66,7 +70,11 @@ impl TaskStatus {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            TaskStatus::Done(_) | TaskStatus::Failed(_) | TaskStatus::Lost | TaskStatus::Unknown
+            TaskStatus::Done(_)
+                | TaskStatus::Failed(_)
+                | TaskStatus::Lost
+                | TaskStatus::Cancelled
+                | TaskStatus::Unknown
         )
     }
 }
@@ -89,6 +97,7 @@ mod tests {
         assert!(!TaskStatus::Pending.is_terminal());
         assert!(!TaskStatus::Running.is_terminal());
         assert!(TaskStatus::Lost.is_terminal());
+        assert!(TaskStatus::Cancelled.is_terminal());
         assert!(TaskStatus::Unknown.is_terminal());
         assert!(TaskStatus::Failed(XtractError::TaskLost {
             task: TaskId::new(0)

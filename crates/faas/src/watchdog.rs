@@ -1,0 +1,226 @@
+//! The allocation lease watchdog.
+//!
+//! §5.8.1's recovery story is reactive: a lapsed allocation is only
+//! noticed when a poll reports its tasks `Lost`, and nothing ever renews
+//! the lease — the orchestrator used to limp along re-rolling tasks
+//! against a dead endpoint until a poll happened to hit the one renewal
+//! call on its `Lost` arm. funcX keeps federated allocations live with
+//! heartbeats; this watchdog is that loop's reproduction: a background
+//! thread that notices lapses quickly (eagerly flipping in-flight tasks
+//! to `Lost` so the orchestrator re-routes immediately instead of
+//! waiting out a poll window) and renews each lease after a configurable
+//! cooldown, the way a batch scheduler grants a fresh allocation.
+
+use crate::service::FaasService;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xtract_types::EndpointId;
+
+/// Handle to a running lease watchdog. Dropping it stops the thread.
+pub struct LeaseWatchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl LeaseWatchdog {
+    /// Spawns the watchdog over a weak service reference. The scan
+    /// interval derives from the cooldown (a quarter of it, clamped to
+    /// [1 ms, 50 ms]) so renewals land close to the configured delay
+    /// without busy-spinning.
+    pub(crate) fn start(svc: Weak<FaasService>, renew_cooldown: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let interval = (renew_cooldown / 4)
+            .max(Duration::from_millis(1))
+            .min(Duration::from_millis(50));
+        let handle = std::thread::spawn(move || {
+            let mut lapsed_since: HashMap<EndpointId, Instant> = HashMap::new();
+            while !flag.load(Ordering::Relaxed) {
+                let Some(svc) = svc.upgrade() else { break };
+                let expired = svc.expired_endpoints();
+                // Leases that recovered without us (an eager orchestrator
+                // renewal) leave the ledger.
+                lapsed_since.retain(|ep, _| expired.contains(ep));
+                for ep in expired {
+                    let since = *lapsed_since.entry(ep).or_insert_with(Instant::now);
+                    // First observation journals the expiry and flips
+                    // in-flight tasks to Lost (idempotent per episode, so
+                    // an explicit expire_endpoint call is never doubled).
+                    svc.note_allocation_expired(ep);
+                    if since.elapsed() >= renew_cooldown {
+                        svc.renew_endpoint(ep);
+                        svc.count_watchdog_renewal();
+                        lapsed_since.remove(&ep);
+                    }
+                }
+                drop(svc);
+                std::thread::sleep(interval);
+            }
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the watchdog and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LeaseWatchdog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::EndpointConfig;
+    use crate::registry::FunctionRegistry;
+    use crate::task::{FunctionBody, TaskSpec, TaskStatus};
+    use serde_json::json;
+    use xtract_types::config::ContainerRuntime;
+
+    fn service_with_obs() -> (Arc<FaasService>, xtract_obs::Obs, EndpointId) {
+        let registry = Arc::new(FunctionRegistry::new());
+        let ep = EndpointId::new(0);
+        registry.declare_endpoint(ep, ContainerRuntime::Docker);
+        let c = registry.register_container("kw:1", ContainerRuntime::Docker, 0);
+        let body: FunctionBody = Arc::new(|v| Ok(v));
+        registry.register_function("kw", c, &[ep], body).unwrap();
+        let obs = xtract_obs::Obs::new();
+        let svc = Arc::new(FaasService::with_obs(registry, obs.clone()));
+        svc.connect_endpoint(EndpointConfig::instant(ep, 2));
+        (svc, obs, ep)
+    }
+
+    fn wait_until(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cond()
+    }
+
+    #[test]
+    fn watchdog_renews_lapsed_allocation_after_cooldown() {
+        let (svc, obs, ep) = service_with_obs();
+        let dog = svc.start_lease_watchdog(Duration::from_millis(10));
+        svc.endpoint(ep).unwrap().expire_allocation();
+        assert!(
+            wait_until(
+                || !svc.endpoint(ep).unwrap().is_expired(),
+                Duration::from_secs(5)
+            ),
+            "watchdog never renewed the lease"
+        );
+        assert!(svc.stats().watchdog_renewals.get() >= 1);
+        dog.stop();
+        let events = obs.journal.events();
+        let expired = events
+            .iter()
+            .filter(|r| matches!(r.event, xtract_obs::Event::AllocationExpired { .. }))
+            .count();
+        let renewed = events
+            .iter()
+            .filter(|r| matches!(r.event, xtract_obs::Event::AllocationRenewed { .. }))
+            .count();
+        assert_eq!(expired, 1, "one expiry episode journals once");
+        assert_eq!(renewed, 1);
+    }
+
+    #[test]
+    fn watchdog_eagerly_flips_in_flight_tasks_to_lost() {
+        let (svc, _obs, ep) = service_with_obs();
+        // Hold both workers busy so submitted tasks stay in flight.
+        let registry = svc.registry();
+        let c = registry.register_container("slow:1", ContainerRuntime::Docker, 0);
+        let slow: FunctionBody = Arc::new(|v| {
+            std::thread::sleep(Duration::from_millis(100));
+            Ok(v)
+        });
+        let f = registry.register_function("slow", c, &[ep], slow).unwrap();
+        let specs: Vec<TaskSpec> = (0..4)
+            .map(|i| TaskSpec {
+                function: f,
+                endpoint: ep,
+                payload: json!(i),
+            })
+            .collect();
+        let ids = svc.batch_submit(&specs);
+        // A long cooldown: the watchdog notices the lapse (and flips the
+        // tasks) long before it renews.
+        let dog = svc.start_lease_watchdog(Duration::from_secs(60));
+        svc.endpoint(ep).unwrap().expire_allocation();
+        assert!(
+            wait_until(|| !svc.lost_tasks(&ids).is_empty(), Duration::from_secs(5)),
+            "watchdog never flipped in-flight tasks to Lost"
+        );
+        dog.stop();
+        assert_eq!(svc.stats().watchdog_renewals.get(), 0);
+    }
+
+    #[test]
+    fn scheduled_fault_plan_expiry_fires_mid_campaign() {
+        let (svc, obs, ep) = service_with_obs();
+        let mut plan = xtract_types::FaultPlan::new(1);
+        plan.allocation_expiries
+            .push(xtract_types::AllocationExpiry {
+                endpoint: ep,
+                at_op: 1,
+            });
+        svc.arm_fault_plan(plan);
+        let f = {
+            let registry = svc.registry();
+            let c = registry.register_container("echo:1", ContainerRuntime::Docker, 0);
+            let body: FunctionBody = Arc::new(|v| Ok(v));
+            registry.register_function("echo", c, &[ep], body).unwrap()
+        };
+        let spec = |i: u64| TaskSpec {
+            function: f,
+            endpoint: ep,
+            payload: json!(i),
+        };
+        // Op 0: routes normally.
+        let first = svc.batch_submit(&[spec(0)]);
+        assert!(svc.wait_all(&first, Duration::from_secs(5)));
+        assert!(matches!(
+            svc.batch_poll(&first)[0].status,
+            TaskStatus::Done(_)
+        ));
+        // Op 1: the scheduled expiry fires before the batch routes, so
+        // its tasks are lost deterministically.
+        let second = svc.batch_submit(&[spec(1)]);
+        assert!(svc.wait_all(&second, Duration::from_secs(5)));
+        assert_eq!(svc.lost_tasks(&second).len(), 1);
+        assert!(obs
+            .journal
+            .events()
+            .iter()
+            .any(|r| matches!(r.event, xtract_obs::Event::AllocationExpired { endpoint, .. } if endpoint == ep)));
+        // Renewal recovers the endpoint for the rest of the run.
+        svc.renew_endpoint(ep);
+        let third = svc.batch_submit(&[spec(2)]);
+        assert!(svc.wait_all(&third, Duration::from_secs(5)));
+        assert!(matches!(
+            svc.batch_poll(&third)[0].status,
+            TaskStatus::Done(_)
+        ));
+    }
+}

@@ -133,6 +133,54 @@ pub enum Event {
         tasks: u64,
         /// The configured window, milliseconds.
         window_ms: u64,
+        /// Stragglers the fabric proved lost (endpoint reported `Lost`
+        /// or the allocation expired).
+        #[serde(default)]
+        lost: u64,
+        /// Stragglers that were merely slow (still pending/running) —
+        /// these earn one deadline-extension retry before dead-lettering.
+        #[serde(default)]
+        slow: u64,
+    },
+    /// A task breached its adaptive deadline and a speculative duplicate
+    /// was launched at an alternative healthy endpoint.
+    TaskHedged {
+        /// The family being hedged.
+        family: FamilyId,
+        /// Endpoint running the original (slow) attempt.
+        original: EndpointId,
+        /// Endpoint the hedge was submitted to.
+        hedge: EndpointId,
+    },
+    /// A hedged duplicate reached a terminal result first; the original
+    /// attempt was cancelled.
+    HedgeWon {
+        /// The family.
+        family: FamilyId,
+        /// The endpoint whose speculative attempt won.
+        winner: EndpointId,
+    },
+    /// The original attempt finished before its hedge; the speculative
+    /// duplicate was cancelled and its work written off as rework cost.
+    HedgeLost {
+        /// The family.
+        family: FamilyId,
+        /// The endpoint whose speculative attempt was cancelled.
+        loser: EndpointId,
+    },
+    /// A compute-allocation lease lapsed; in-flight tasks at the endpoint
+    /// were eagerly flipped to `Lost`.
+    AllocationExpired {
+        /// The endpoint whose lease lapsed.
+        endpoint: EndpointId,
+        /// In-flight tasks flipped to `Lost` by the expiry.
+        tasks_lost: u64,
+    },
+    /// A lapsed allocation lease was renewed (by the watchdog after its
+    /// cooldown, or eagerly by the orchestrator).
+    AllocationRenewed {
+        /// The endpoint whose lease was renewed.
+        endpoint: EndpointId,
     },
 }
 
@@ -336,15 +384,56 @@ mod tests {
         j.record(Event::PollWindowExpired {
             tasks: 3,
             window_ms: 120_000,
+            lost: 2,
+            slow: 1,
+        });
+        j.record(Event::TaskHedged {
+            family: FamilyId::new(4),
+            original: EndpointId::new(0),
+            hedge: EndpointId::new(1),
+        });
+        j.record(Event::HedgeWon {
+            family: FamilyId::new(4),
+            winner: EndpointId::new(1),
+        });
+        j.record(Event::HedgeLost {
+            family: FamilyId::new(5),
+            loser: EndpointId::new(1),
+        });
+        j.record(Event::AllocationExpired {
+            endpoint: EndpointId::new(0),
+            tasks_lost: 6,
+        });
+        j.record(Event::AllocationRenewed {
+            endpoint: EndpointId::new(0),
         });
         let dump = j.to_jsonl();
-        assert_eq!(dump.lines().count(), 15);
+        assert_eq!(dump.lines().count(), 20);
         let parsed = EventJournal::parse_jsonl(&dump).unwrap();
         assert_eq!(parsed, j.events());
         // The tag is snake_case and self-describing.
         assert!(dump.contains("\"type\":\"breaker_half_open\""));
         assert!(dump.contains("\"type\":\"staging_finished\""));
         assert!(dump.contains("\"type\":\"poll_window_expired\""));
+        assert!(dump.contains("\"type\":\"task_hedged\""));
+        assert!(dump.contains("\"type\":\"allocation_expired\""));
+    }
+
+    #[test]
+    fn poll_window_expired_disposition_defaults_for_legacy_lines() {
+        // Lines journaled before the lost/slow split still parse.
+        let legacy =
+            r#"{"seq":0,"event":{"type":"poll_window_expired","tasks":3,"window_ms":1000}}"#;
+        let parsed = EventJournal::parse_jsonl(legacy).unwrap();
+        assert_eq!(
+            parsed[0].event,
+            Event::PollWindowExpired {
+                tasks: 3,
+                window_ms: 1000,
+                lost: 0,
+                slow: 0,
+            }
+        );
     }
 
     #[test]

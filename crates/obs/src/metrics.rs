@@ -170,6 +170,54 @@ impl Histogram {
         self.0.sum_micros.load(Ordering::Relaxed) as f64 / SUM_SCALE
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the bucket
+    /// counts, interpolating linearly within the winning bucket.
+    ///
+    /// Returns `None` when no observations have been recorded. When the
+    /// quantile lands in the overflow bucket the highest finite bound is
+    /// returned (the histogram cannot see past its bounds) — callers
+    /// deriving deadlines clamp against their own ceiling anyway. The
+    /// estimate reads the buckets without a lock, so under concurrent
+    /// observation it is approximate; deadline derivation only needs the
+    /// right order of magnitude.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let q = q.clamp(0.0, 1.0);
+        let counts: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                let upper = match self.0.bounds.get(idx) {
+                    Some(&b) => b,
+                    // Overflow bucket: best estimate is the last bound.
+                    None => return Some(*self.0.bounds.last().expect("bounds non-empty")),
+                };
+                let lower = if idx == 0 {
+                    0.0
+                } else {
+                    self.0.bounds[idx - 1]
+                };
+                let into = (rank - (seen - c)) as f64 / c as f64;
+                return Some(lower + (upper - lower) * into);
+            }
+        }
+        // Unreachable when total > 0, but stay total-function safe.
+        None
+    }
+
     fn sample(&self, name: &str, label: Option<&str>) -> HistogramSample {
         HistogramSample {
             name: name.to_string(),
@@ -442,6 +490,30 @@ mod tests {
     }
 
     #[test]
+    fn quantile_interpolates_and_handles_edges() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(h.quantile(0.95), None, "empty histogram has no quantile");
+        for _ in 0..90 {
+            h.observe(0.5); // bucket [0, 1]
+        }
+        for _ in 0..10 {
+            h.observe(3.0); // bucket (2, 4]
+        }
+        // p50 sits well inside the first bucket.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((0.0..=1.0).contains(&p50), "p50 {p50}");
+        // p95 lands in the (2, 4] bucket, interpolated.
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((2.0..=4.0).contains(&p95), "p95 {p95}");
+        // Monotone in q.
+        assert!(h.quantile(0.99).unwrap() >= p95);
+        // Overflow bucket clamps to the last finite bound.
+        let o = Histogram::new(&[1.0]);
+        o.observe(100.0);
+        assert_eq!(o.quantile(0.9), Some(1.0));
+    }
+
+    #[test]
     fn histogram_buckets_partition_observations() {
         let h = Histogram::new(&[0.1, 1.0, 10.0]);
         for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
@@ -482,7 +554,10 @@ mod tests {
                     s.spawn(move || (0..per_thread).map(|_| c.add_fetch(1)).collect::<Vec<_>>())
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         let mut seen = seen;
         seen.sort_unstable();

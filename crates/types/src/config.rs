@@ -223,6 +223,121 @@ impl RetryPolicy {
     }
 }
 
+/// Straggler-defense policy: adaptive per-task deadlines, hedged
+/// speculative re-execution, and the allocation lease watchdog.
+///
+/// The paper's §5.8.1 recovery is purely reactive — a slow task stalls its
+/// wave until the flat poll window expires. This policy makes the wave
+/// loop proactive: deadlines derive from the observed completion-latency
+/// histogram (`latency_quantile` × `deadline_multiplier`, clamped to the
+/// floor/ceiling), a breached task is hedged to the best alternative
+/// healthy endpoint, and a background watchdog renews lapsed allocations
+/// after `watchdog_renew_cooldown_ms`. Deadline breaches also feed the
+/// [`HealthTracker`] straggler score fractionally (`breach_weight`,
+/// decayed by `straggler_decay` per wave) so chronically slow endpoints
+/// are deprioritized before their breaker trips.
+///
+/// [`HealthTracker`]: https://docs.rs/xtract-core
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct HedgePolicy {
+    /// Master switch; `false` restores the flat poll-window behavior.
+    pub enabled: bool,
+    /// Latency quantile the deadline derives from (e.g. 0.95 = p95).
+    pub latency_quantile: f64,
+    /// Deadline = quantile latency × this multiplier.
+    pub deadline_multiplier: f64,
+    /// Deadline floor, milliseconds — never hedge faster than this.
+    pub deadline_floor_ms: u64,
+    /// Deadline ceiling, milliseconds — never wait longer than this even
+    /// when the histogram is cold or heavy-tailed.
+    pub deadline_ceiling_ms: u64,
+    /// Completed-task samples required before the histogram is trusted;
+    /// below this the deadline stays at the ceiling.
+    pub min_latency_samples: u64,
+    /// Fractional failure a deadline breach charges against the endpoint's
+    /// straggler score (hard failures charge 1.0).
+    pub breach_weight: f64,
+    /// Multiplicative decay applied to every straggler score per wave
+    /// tick, in `[0, 1)`: old breaches fade instead of accumulating
+    /// forever.
+    pub straggler_decay: f64,
+    /// Straggler score at or above which an endpoint is quarantined
+    /// (deprioritized when choosing hedge/reroute targets).
+    pub quarantine_threshold: f64,
+    /// How long the allocation lease watchdog waits after an expiry
+    /// before auto-renewing, milliseconds.
+    pub watchdog_renew_cooldown_ms: u64,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            latency_quantile: 0.95,
+            deadline_multiplier: 3.0,
+            deadline_floor_ms: 250,
+            deadline_ceiling_ms: 120_000,
+            min_latency_samples: 8,
+            breach_weight: 0.5,
+            straggler_decay: 0.5,
+            quarantine_threshold: 2.0,
+            watchdog_renew_cooldown_ms: 25,
+        }
+    }
+}
+
+impl HedgePolicy {
+    /// A disabled policy (flat poll-window behavior everywhere).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Checks the policy is internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.latency_quantile && self.latency_quantile < 1.0) {
+            return Err(format!(
+                "latency_quantile {} outside (0, 1)",
+                self.latency_quantile
+            ));
+        }
+        if self.deadline_multiplier < 1.0 {
+            return Err(format!(
+                "deadline_multiplier {} must be >= 1",
+                self.deadline_multiplier
+            ));
+        }
+        if self.deadline_ceiling_ms == 0 {
+            return Err("deadline_ceiling_ms must be > 0".into());
+        }
+        if self.deadline_floor_ms > self.deadline_ceiling_ms {
+            return Err(format!(
+                "deadline floor {}ms exceeds ceiling {}ms",
+                self.deadline_floor_ms, self.deadline_ceiling_ms
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.breach_weight) {
+            return Err(format!(
+                "breach_weight {} outside [0, 1]",
+                self.breach_weight
+            ));
+        }
+        if !(0.0..1.0).contains(&self.straggler_decay) {
+            return Err(format!(
+                "straggler_decay {} outside [0, 1)",
+                self.straggler_decay
+            ));
+        }
+        if self.quarantine_threshold <= 0.0 {
+            return Err("quarantine_threshold must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
 fn default_staging_workers() -> usize {
     4
 }
@@ -272,6 +387,10 @@ pub struct JobSpec {
     /// Retry, backoff, and circuit-breaker policy.
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Straggler defense: adaptive deadlines, hedged re-execution, and
+    /// the allocation lease watchdog.
+    #[serde(default)]
+    pub hedge: HedgePolicy,
     /// Structured fault plan for chaos testing; `None` injects nothing.
     #[serde(default)]
     pub fault_plan: Option<FaultPlan>,
@@ -297,6 +416,7 @@ impl JobSpec {
             crawl_workers: 4,
             staging_workers: default_staging_workers(),
             retry: RetryPolicy::default(),
+            hedge: HedgePolicy::default(),
             fault_plan: None,
         }
     }
@@ -341,6 +461,7 @@ impl JobSpec {
             }
         }
         self.retry.validate()?;
+        self.hedge.validate()?;
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;
         }
@@ -464,6 +585,40 @@ mod tests {
         plan.worker_crash_rate = 7.0;
         job.fault_plan = Some(plan);
         assert!(job.validate().is_err());
+    }
+
+    #[test]
+    fn hedge_policy_defaults_are_valid_and_deserialize_sparse() {
+        let policy = HedgePolicy::default();
+        assert!(policy.validate().is_ok());
+        assert!(policy.enabled, "hedging defends tails by default");
+        // Specs serialized before the knob existed still deserialize.
+        let job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        let mut json: serde_json::Value = serde_json::to_value(&job).unwrap();
+        json.as_object_mut().unwrap().remove("hedge");
+        let back: JobSpec = serde_json::from_value(json).unwrap();
+        assert_eq!(back.hedge, HedgePolicy::default());
+        // Sparse hedge config keeps unset fields at defaults.
+        let sparse: HedgePolicy = serde_json::from_str(r#"{"enabled": false}"#).unwrap();
+        assert!(!sparse.enabled);
+        assert_eq!(sparse.latency_quantile, 0.95);
+    }
+
+    #[test]
+    fn bad_hedge_policy_is_rejected() {
+        let mut job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        job.hedge.latency_quantile = 1.0;
+        assert!(job.validate().unwrap_err().contains("latency_quantile"));
+        job.hedge.latency_quantile = 0.95;
+        job.hedge.deadline_floor_ms = 10_000;
+        job.hedge.deadline_ceiling_ms = 100;
+        assert!(job.validate().unwrap_err().contains("ceiling"));
+        job.hedge = HedgePolicy::default();
+        job.hedge.straggler_decay = 1.0;
+        assert!(job.validate().unwrap_err().contains("straggler_decay"));
+        job.hedge = HedgePolicy::disabled();
+        assert!(job.validate().is_ok());
+        assert!(!job.hedge.enabled);
     }
 
     #[test]

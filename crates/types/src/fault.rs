@@ -121,6 +121,21 @@ impl Blackout {
     }
 }
 
+/// A scheduled compute-allocation expiry: the lease at `endpoint` lapses
+/// immediately before batch-submit operation `at_op` routes.
+///
+/// Expressed in the FaaS fabric's batch-submit operation index (the same
+/// counter [`Blackout`] windows use for [`FaultScope::Compute`]) so chaos
+/// tests can land an expiry deterministically mid-wave regardless of
+/// wall-clock timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationExpiry {
+    /// The endpoint whose allocation lapses.
+    pub endpoint: EndpointId,
+    /// The batch-submit operation index the expiry fires before.
+    pub at_op: u64,
+}
+
 /// The structured fault plan all substrates consult.
 ///
 /// Rates are per-decision probabilities in `[0, 1]`. The default plan
@@ -158,6 +173,9 @@ pub struct FaultPlan {
     /// Full endpoint outages.
     #[serde(default)]
     pub blackouts: Vec<Blackout>,
+    /// Scheduled compute-allocation expiries.
+    #[serde(default)]
+    pub allocation_expiries: Vec<AllocationExpiry>,
 }
 
 impl FaultPlan {
@@ -209,6 +227,15 @@ impl FaultPlan {
             && self.slow_link_rate == 0.0
             && self.poison_path_substrings.is_empty()
             && self.blackouts.is_empty()
+            && self.allocation_expiries.is_empty()
+    }
+
+    /// True when an allocation expiry is scheduled to fire at `endpoint`
+    /// before batch-submit operation `op` routes.
+    pub fn allocation_expires_at(&self, endpoint: EndpointId, op: u64) -> bool {
+        self.allocation_expiries
+            .iter()
+            .any(|e| e.endpoint == endpoint && e.at_op == op)
     }
 
     /// Should the transfer of `path` fault? `salt` distinguishes retries.
@@ -342,10 +369,33 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_allocation_expiries() {
+        let ep = EndpointId::new(5);
+        let mut plan = FaultPlan::new(0);
+        assert!(!plan.allocation_expires_at(ep, 3));
+        plan.allocation_expiries.push(AllocationExpiry {
+            endpoint: ep,
+            at_op: 3,
+        });
+        assert!(!plan.is_inert());
+        assert!(plan.allocation_expires_at(ep, 3));
+        assert!(!plan.allocation_expires_at(ep, 2));
+        assert!(!plan.allocation_expires_at(EndpointId::new(6), 3));
+        assert!(plan.validate().is_ok());
+        // Legacy JSON without the field still deserializes.
+        let sparse: FaultPlan = serde_json::from_str(r#"{"seed": 4}"#).unwrap();
+        assert!(sparse.allocation_expiries.is_empty());
+    }
+
+    #[test]
     fn plan_serde_roundtrips() {
         let mut plan = FaultPlan::transfer_faults(11, 0.1);
         plan.blackouts
             .push(Blackout::new(EndpointId::new(2), 0, u64::MAX));
+        plan.allocation_expiries.push(AllocationExpiry {
+            endpoint: EndpointId::new(2),
+            at_op: 7,
+        });
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);

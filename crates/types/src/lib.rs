@@ -37,12 +37,13 @@ pub mod metadata;
 pub mod sniff;
 
 pub use config::{
-    EndpointSpec, GroupingStrategy, JobSpec, OffloadMode, RetryPolicy, ValidationSchema,
+    EndpointSpec, GroupingStrategy, HedgePolicy, JobSpec, OffloadMode, RetryPolicy,
+    ValidationSchema,
 };
 pub use error::{Result, XtractError};
 pub use extractor::ExtractorKind;
 pub use failure::{DeadLetter, FailureEvent, FailureReason};
-pub use fault::{Blackout, FaultPlan, FaultScope};
+pub use fault::{AllocationExpiry, Blackout, FaultPlan, FaultScope};
 pub use file::{FileRecord, FileType};
 pub use group::{Family, FamilyBatch, Group};
 pub use id::{

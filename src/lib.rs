@@ -45,8 +45,9 @@ pub use xtract_workloads as workloads;
 /// Commonly-used items, one `use` away.
 pub mod prelude {
     pub use xtract_types::{
-        Blackout, DeadLetter, EndpointId, EndpointSpec, ExtractorKind, FailureReason, Family,
-        FamilyBatch, FaultPlan, FaultScope, FileRecord, FileType, GroupingStrategy, JobSpec,
-        Metadata, OffloadMode, RetryPolicy, ValidationSchema, XtractError,
+        AllocationExpiry, Blackout, DeadLetter, EndpointId, EndpointSpec, ExtractorKind,
+        FailureReason, Family, FamilyBatch, FaultPlan, FaultScope, FileRecord, FileType,
+        GroupingStrategy, HedgePolicy, JobSpec, Metadata, OffloadMode, RetryPolicy,
+        ValidationSchema, XtractError,
     };
 }

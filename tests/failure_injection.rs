@@ -23,6 +23,18 @@ fn full_token(auth: &AuthService) -> Token {
     )
 }
 
+/// The fault-plan seed: `XTRACT_CHAOS_SEED` when set (the CI chaos
+/// matrix sweeps several fixed seeds in `--release`), otherwise the
+/// test's historical default. Every assertion in this file is
+/// seed-robust: scheduled blackouts ignore the seed entirely, and the
+/// probabilistic plans assert properties that hold for any roll.
+fn chaos_seed(default: u64) -> u64 {
+    std::env::var("XTRACT_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 fn compute_spec(ep: EndpointId, workers: usize) -> EndpointSpec {
     EndpointSpec {
         endpoint: ep,
@@ -48,7 +60,7 @@ fn transfer_faults_are_retried_transparently() {
     let token = full_token(&auth);
     let svc = XtractService::new(fabric, auth, 50);
     // One fault in five: the per-family retry path must absorb them.
-    svc.transfer_service().inject_faults(0.2, 77);
+    svc.transfer_service().inject_faults(0.2, chaos_seed(77));
 
     let mut spec = JobSpec::single_endpoint(compute_spec(exec_ep, 4), "/data");
     spec.roots = vec![(src_ep, "/data".to_string())];
@@ -143,7 +155,7 @@ fn compute_blackout_reroutes_families_to_healthy_endpoint() {
     // The primary's compute layer goes permanently dark, but its data
     // layer (and the backup endpoint) stay reachable: the breaker must
     // open and every family must be re-staged and re-run at the backup.
-    let mut plan = FaultPlan::new(1);
+    let mut plan = FaultPlan::new(chaos_seed(1));
     plan.blackouts.push(Blackout::scoped(
         EndpointId::new(1),
         0,
@@ -181,7 +193,7 @@ fn compute_blackout_without_alternative_dead_letters_deterministically() {
     // spent every family is dead-lettered — identically across runs.
     let blackout = Blackout::scoped(EndpointId::new(1), 0, u64::MAX, FaultScope::Compute);
     let run = || {
-        let mut plan = FaultPlan::new(2);
+        let mut plan = FaultPlan::new(chaos_seed(2));
         plan.blackouts.push(blackout);
         run_blackout_job(211, plan, false).0
     };
@@ -243,13 +255,9 @@ fn reroute_cleans_staged_copies_on_every_site() {
         workers: None,
         runtime: ContainerRuntime::Docker,
     });
-    let mut plan = FaultPlan::new(3);
-    plan.blackouts.push(Blackout::scoped(
-        exec_ep,
-        0,
-        u64::MAX,
-        FaultScope::Compute,
-    ));
+    let mut plan = FaultPlan::new(chaos_seed(3));
+    plan.blackouts
+        .push(Blackout::scoped(exec_ep, 0, u64::MAX, FaultScope::Compute));
     spec.fault_plan = Some(plan);
     spec.retry.breaker_threshold = 2;
     spec.retry.task_attempts = 3;
@@ -305,13 +313,9 @@ fn failed_restage_still_records_a_timeline_event() {
         workers: None,
         runtime: ContainerRuntime::Docker,
     });
-    let mut plan = FaultPlan::new(4);
-    plan.blackouts.push(Blackout::scoped(
-        exec_ep,
-        0,
-        u64::MAX,
-        FaultScope::Compute,
-    ));
+    let mut plan = FaultPlan::new(chaos_seed(4));
+    plan.blackouts
+        .push(Blackout::scoped(exec_ep, 0, u64::MAX, FaultScope::Compute));
     spec.fault_plan = Some(plan);
     spec.retry.breaker_threshold = 2;
     spec.retry.task_attempts = 3;
@@ -327,10 +331,7 @@ fn failed_restage_still_records_a_timeline_event() {
             "unexpected terminal reason: {letter}"
         );
         assert!(
-            letter
-                .timeline
-                .iter()
-                .any(|ev| ev.note.contains("restage")),
+            letter.timeline.iter().any(|ev| ev.note.contains("restage")),
             "dead letter missing its restage timeline event: {:?}",
             letter.timeline
         );
@@ -375,7 +376,7 @@ fn transfer_fault_salts_decorrelate_per_family() {
     spec.retry.breaker_threshold = 1000;
     spec.fault_plan = Some(FaultPlan {
         transfer_fault_rate: 0.6,
-        ..FaultPlan::new(17)
+        ..FaultPlan::new(chaos_seed(17))
     });
     svc.connect_endpoint(&spec.endpoints[0]).unwrap();
     let report = svc.run_job(token, &spec).unwrap();

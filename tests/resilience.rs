@@ -7,11 +7,12 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use xtract::prelude::*;
 use xtract_core::resilience::RetryLedger;
+use xtract_core::{BreakerState, HealthTracker};
 use xtract_core::{JobReport, XtractService};
 use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope};
 use xtract_sim::RngStreams;
 use xtract_types::config::ContainerRuntime;
-use xtract_types::FamilyId;
+use xtract_types::{FamilyId, HedgePolicy};
 
 proptest! {
     /// Backoff delays never decrease with the attempt number, never
@@ -73,6 +74,89 @@ proptest! {
                 "family {fam} granted {n} charges over budget {budget}"
             );
         }
+    }
+
+    /// The straggler score is monotone in the number of deadline breaches
+    /// (more breaches never score lower), a breach never touches the
+    /// circuit breaker, and enough breaches always reach quarantine.
+    #[test]
+    fn straggler_score_is_monotone_in_breaches(
+        breaches_a in 0u32..=32,
+        breaches_b in 0u32..=32,
+        weight in 0.05f64..=2.0,
+        threshold in 0.1f64..=8.0,
+    ) {
+        let hedge = HedgePolicy {
+            breach_weight: weight,
+            quarantine_threshold: threshold,
+            ..HedgePolicy::default()
+        };
+        let score_after = |n: u32| {
+            let mut health = HealthTracker::new(&RetryPolicy::default())
+                .with_quarantine(&hedge);
+            let ep = EndpointId::new(0);
+            for _ in 0..n {
+                health.record_breach(ep);
+            }
+            prop_assert_eq!(health.state(ep), BreakerState::Closed);
+            prop_assert!(health.available(ep), "breaches must not trip the breaker");
+            Ok(health.straggler_score(ep))
+        };
+        let (lo, hi) = if breaches_a <= breaches_b {
+            (breaches_a, breaches_b)
+        } else {
+            (breaches_b, breaches_a)
+        };
+        let (s_lo, s_hi) = (score_after(lo)?, score_after(hi)?);
+        prop_assert!(
+            s_lo <= s_hi + 1e-9,
+            "score not monotone: {lo} breaches → {s_lo}, {hi} breaches → {s_hi}"
+        );
+        let enough = (threshold / weight).ceil() as u32 + 1;
+        let mut health = HealthTracker::new(&RetryPolicy::default()).with_quarantine(&hedge);
+        let ep = EndpointId::new(0);
+        for _ in 0..enough {
+            health.record_breach(ep);
+        }
+        prop_assert!(
+            health.quarantined(ep),
+            "{enough} breaches × {weight} should cross threshold {threshold}"
+        );
+    }
+
+    /// A quarantined endpoint always recovers under sustained clean
+    /// completions: the decaying score drops below the threshold within a
+    /// bounded number of successes, so quarantine is never a life
+    /// sentence.
+    #[test]
+    fn quarantine_recovers_after_sustained_clean_completions(
+        breaches in 1u32..=24,
+        weight in 0.1f64..=1.0,
+        decay in 0.2f64..=0.9,
+    ) {
+        let hedge = HedgePolicy {
+            breach_weight: weight,
+            straggler_decay: decay,
+            quarantine_threshold: 1.0,
+            ..HedgePolicy::default()
+        };
+        let mut health = HealthTracker::new(&RetryPolicy::default()).with_quarantine(&hedge);
+        let ep = EndpointId::new(0);
+        for _ in 0..breaches {
+            health.record_breach(ep);
+        }
+        let start = health.straggler_score(ep);
+        let mut successes = 0u32;
+        while health.quarantined(ep) {
+            health.record_success(ep);
+            successes += 1;
+            prop_assert!(
+                successes <= 128,
+                "score {start} never recovered under clean completions"
+            );
+        }
+        prop_assert!(health.straggler_score(ep) < start.max(1.0));
+        prop_assert!(health.available(ep));
     }
 }
 
@@ -209,12 +293,8 @@ fn concurrent_staging_chaos_partitions_every_family() {
     // The primary's compute layer dies after its first few operations:
     // in-flight staging, breaker trips, and pool-driven restages to the
     // backup all overlap.
-    plan.blackouts.push(Blackout::scoped(
-        exec_ep,
-        4,
-        u64::MAX,
-        FaultScope::Compute,
-    ));
+    plan.blackouts
+        .push(Blackout::scoped(exec_ep, 4, u64::MAX, FaultScope::Compute));
     spec.fault_plan = Some(plan);
     svc.connect_endpoint(&spec.endpoints[0]).unwrap();
     svc.connect_endpoint(&spec.endpoints[1]).unwrap();

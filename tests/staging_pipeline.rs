@@ -245,9 +245,17 @@ fn poll_window_comes_from_retry_policy_and_expiry_is_journaled() {
         "no PollWindowExpired event was journaled"
     );
     for r in &expiries {
-        if let Event::PollWindowExpired { tasks, window_ms } = &r.event {
+        if let Event::PollWindowExpired {
+            tasks,
+            window_ms,
+            lost,
+            slow,
+        } = &r.event
+        {
             assert_eq!(*window_ms, 1);
             assert!(*tasks > 0);
+            assert_eq!(*lost + *slow, *tasks, "disposition covers every straggler");
+            assert_eq!(*lost, 0, "the lease never lapsed: merely slow, not lost");
         }
     }
 }
