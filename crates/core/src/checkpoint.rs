@@ -14,7 +14,7 @@
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use xtract_obs::{Counter, MetricsHub};
 use xtract_types::{DeadLetter, FamilyId, Metadata, Result, XtractError};
 
@@ -31,17 +31,42 @@ pub struct CheckpointEntry {
 
 /// The serialized form: flushed outputs plus the job's dead letters, so a
 /// restart knows both what succeeded and what was terminally abandoned.
+/// Also the snapshot payload the recovery log compacts a job's history
+/// into, so the frame is public and round-trip-tested (JSON and the WAL
+/// framing) by proptests.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct CheckpointImage {
-    entries: Vec<CheckpointEntry>,
+pub struct CheckpointImage {
+    /// Flushed `(family, extractor)` outputs, sorted for determinism.
+    pub entries: Vec<CheckpointEntry>,
+    /// Terminally abandoned families.
     #[serde(default)]
-    dead_letters: Vec<DeadLetter>,
+    pub dead_letters: Vec<DeadLetter>,
+}
+
+/// Flushed outputs plus the per-family secondary index that makes
+/// resume-time skip checks O(extractors-per-family) instead of a scan of
+/// every entry in the job. Both structures live under one lock so they
+/// can never disagree.
+#[derive(Debug, Default)]
+struct Flushed {
+    entries: HashMap<(FamilyId, String), Metadata>,
+    by_family: HashMap<FamilyId, BTreeSet<String>>,
+}
+
+impl Flushed {
+    fn insert(&mut self, family: FamilyId, extractor: String, metadata: Metadata) {
+        self.by_family
+            .entry(family)
+            .or_default()
+            .insert(extractor.clone());
+        self.entries.insert((family, extractor), metadata);
+    }
 }
 
 /// A thread-safe checkpoint store for one job.
 #[derive(Debug, Default)]
 pub struct CheckpointStore {
-    entries: RwLock<HashMap<(FamilyId, String), Metadata>>,
+    flushed: RwLock<Flushed>,
     dead_letters: RwLock<Vec<DeadLetter>>,
     flushes: Counter,
     hits: Counter,
@@ -65,16 +90,28 @@ impl CheckpointStore {
     /// Flushes one completed extractor's output for a family.
     pub fn flush(&self, family: FamilyId, extractor: &str, metadata: Metadata) {
         self.flushes.incr();
-        self.entries
+        self.flushed
             .write()
-            .insert((family, extractor.to_string()), metadata);
+            .insert(family, extractor.to_string(), metadata);
+    }
+
+    /// Rehydrates one entry during log replay *without* charging the
+    /// `checkpoint.flushes` counter: the flush already happened (and was
+    /// counted) in the run that journaled it, so resume restoring it must
+    /// not make the cumulative flush count disagree with an uninterrupted
+    /// run's.
+    pub fn restore(&self, family: FamilyId, extractor: &str, metadata: Metadata) {
+        self.flushed
+            .write()
+            .insert(family, extractor.to_string(), metadata);
     }
 
     /// Loads a previously-flushed output, if any.
     pub fn load(&self, family: FamilyId, extractor: &str) -> Option<Metadata> {
         let found = self
-            .entries
+            .flushed
             .read()
+            .entries
             .get(&(family, extractor.to_string()))
             .cloned();
         if found.is_some() {
@@ -83,35 +120,39 @@ impl CheckpointStore {
         found
     }
 
-    /// Extractor names already completed for `family`.
+    /// Extractor names already completed for `family`, sorted. Served
+    /// from the per-family index: cost is proportional to the family's
+    /// own completed steps, not to every entry in the job.
     pub fn completed_extractors(&self, family: FamilyId) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .entries
+        self.flushed
             .read()
-            .keys()
-            .filter(|(f, _)| *f == family)
-            .map(|(_, e)| e.clone())
-            .collect();
-        v.sort();
-        v
+            .by_family
+            .get(&family)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Number of flushed entries.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.flushed.read().entries.len()
     }
 
     /// True when nothing has flushed.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.flushed.read().entries.is_empty()
     }
 
     /// Records a family's terminal dead letter, so a restarted job knows
     /// not to resubmit a family the previous run already gave up on.
+    ///
+    /// Latest wins: a later letter for the same family (e.g. a richer
+    /// timeline after a restage failure) replaces the earlier one in
+    /// place, keeping arrival order.
     pub fn record_dead_letter(&self, letter: DeadLetter) {
         let mut letters = self.dead_letters.write();
-        if !letters.iter().any(|l| l.family == letter.family) {
-            letters.push(letter);
+        match letters.iter_mut().find(|l| l.family == letter.family) {
+            Some(existing) => *existing = letter,
+            None => letters.push(letter),
         }
     }
 
@@ -125,11 +166,15 @@ impl CheckpointStore {
         self.dead_letters.read().iter().any(|l| l.family == family)
     }
 
-    /// Serializes the whole store (for persisting to a data layer).
-    pub fn serialize(&self) -> Vec<u8> {
-        let entries: Vec<CheckpointEntry> = self
-            .entries
+    /// A point-in-time image of the store: entries sorted by
+    /// `(family, extractor)` so two stores with the same contents always
+    /// produce byte-identical images (the recovery log's compaction
+    /// invariant leans on this).
+    pub fn image(&self) -> CheckpointImage {
+        let mut entries: Vec<CheckpointEntry> = self
+            .flushed
             .read()
+            .entries
             .iter()
             .map(|((family, extractor), metadata)| CheckpointEntry {
                 family: *family,
@@ -137,11 +182,30 @@ impl CheckpointStore {
                 metadata: metadata.clone(),
             })
             .collect();
-        let image = CheckpointImage {
+        entries.sort_by(|a, b| (a.family, &a.extractor).cmp(&(b.family, &b.extractor)));
+        CheckpointImage {
             entries,
             dead_letters: self.dead_letters.read().clone(),
-        };
-        serde_json::to_vec(&image).expect("checkpoint serialization is infallible")
+        }
+    }
+
+    /// Rebuilds a store from an image (counters start at zero — restored
+    /// entries were already counted by the run that flushed them).
+    pub fn from_image(image: CheckpointImage) -> Self {
+        let store = Self::new();
+        {
+            let mut flushed = store.flushed.write();
+            for e in image.entries {
+                flushed.insert(e.family, e.extractor, e.metadata);
+            }
+        }
+        *store.dead_letters.write() = image.dead_letters;
+        store
+    }
+
+    /// Serializes the whole store (for persisting to a data layer).
+    pub fn serialize(&self) -> Vec<u8> {
+        serde_json::to_vec(&self.image()).expect("checkpoint serialization is infallible")
     }
 
     /// Restores a store from serialized bytes. Accepts both the current
@@ -161,15 +225,7 @@ impl CheckpointStore {
                 }
             }
         };
-        let store = Self::new();
-        {
-            let mut map = store.entries.write();
-            for e in image.entries {
-                map.insert((e.family, e.extractor), e.metadata);
-            }
-        }
-        *store.dead_letters.write() = image.dead_letters;
-        Ok(store)
+        Ok(Self::from_image(image))
     }
 }
 
@@ -252,13 +308,106 @@ mod tests {
             3,
         );
         store.record_dead_letter(letter.clone());
-        store.record_dead_letter(letter.clone()); // same family: ignored
+        store.record_dead_letter(letter.clone()); // same family: replaced in place
         assert_eq!(store.dead_letters(), vec![letter]);
         assert!(store.is_dead(FamilyId::new(2)));
         assert!(!store.is_dead(FamilyId::new(1)));
         let restored = CheckpointStore::deserialize(&store.serialize()).unwrap();
         assert!(restored.is_dead(FamilyId::new(2)));
         assert_eq!(restored.load(FamilyId::new(1), "keyword"), Some(md("kw")));
+    }
+
+    #[test]
+    fn later_dead_letter_for_a_family_wins() {
+        use xtract_types::FailureReason;
+        let store = CheckpointStore::new();
+        let first = DeadLetter::new(
+            FamilyId::new(2),
+            FailureReason::Internal {
+                reason: "first attempt".into(),
+            },
+            1,
+        );
+        let other = DeadLetter::new(
+            FamilyId::new(3),
+            FailureReason::Internal {
+                reason: "other family".into(),
+            },
+            1,
+        );
+        // A later letter carries the richer timeline (e.g. a restage
+        // failure after the first abandonment); it must replace the
+        // first, not be silently dropped.
+        let richer = DeadLetter::new(
+            FamilyId::new(2),
+            FailureReason::Internal {
+                reason: "richer timeline".into(),
+            },
+            5,
+        );
+        store.record_dead_letter(first);
+        store.record_dead_letter(other.clone());
+        store.record_dead_letter(richer.clone());
+        // Latest-wins, and arrival order of *families* is preserved.
+        assert_eq!(store.dead_letters(), vec![richer.clone(), other]);
+        assert_eq!(store.dead_letters()[0].attempts, richer.attempts);
+    }
+
+    #[test]
+    fn completed_extractors_uses_the_family_index() {
+        let store = CheckpointStore::new();
+        for f in 0..50 {
+            store.flush(FamilyId::new(f), "keyword", md("k"));
+        }
+        store.flush(FamilyId::new(7), "tabular", md("t"));
+        // Sorted, and scoped to the one family regardless of job size.
+        assert_eq!(
+            store.completed_extractors(FamilyId::new(7)),
+            vec!["keyword".to_string(), "tabular".to_string()]
+        );
+        assert_eq!(store.completed_extractors(FamilyId::new(999)).len(), 0);
+        // Re-flushing the same step does not duplicate index entries.
+        store.flush(FamilyId::new(7), "tabular", md("t2"));
+        assert_eq!(store.completed_extractors(FamilyId::new(7)).len(), 2);
+    }
+
+    #[test]
+    fn restore_rehydrates_without_charging_the_flush_counter() {
+        let hub = MetricsHub::new();
+        let store = CheckpointStore::with_obs(&hub);
+        store.restore(FamilyId::new(1), "keyword", md("kw"));
+        assert_eq!(hub.counter_value("checkpoint.flushes", None), 0);
+        assert_eq!(store.load(FamilyId::new(1), "keyword"), Some(md("kw")));
+        assert_eq!(
+            store.completed_extractors(FamilyId::new(1)),
+            vec!["keyword".to_string()]
+        );
+    }
+
+    #[test]
+    fn image_is_sorted_and_deterministic() {
+        let a = CheckpointStore::new();
+        let b = CheckpointStore::new();
+        // Insert in different orders; images must be identical.
+        for (f, e) in [(3u64, "tabular"), (1, "keyword"), (3, "images"), (2, "kw")] {
+            a.flush(FamilyId::new(f), e, md(e));
+        }
+        for (f, e) in [(2u64, "kw"), (3, "images"), (3, "tabular"), (1, "keyword")] {
+            b.flush(FamilyId::new(f), e, md(e));
+        }
+        let ia = a.image();
+        assert_eq!(ia, b.image());
+        let keys: Vec<(FamilyId, String)> = ia
+            .entries
+            .iter()
+            .map(|e| (e.family, e.extractor.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // from_image round-trips.
+        let back = CheckpointStore::from_image(ia);
+        assert_eq!(back.image(), b.image());
     }
 
     #[test]

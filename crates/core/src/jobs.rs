@@ -18,6 +18,7 @@
 use crate::service::{JobReport, XtractService};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use xtract_datafabric::Token;
@@ -90,6 +91,25 @@ impl JobManager {
     /// `task_id = xmc.submit(...)`). Validation errors surface here, not
     /// in the background.
     pub fn submit(&self, token: Token, spec: JobSpec) -> Result<JobId> {
+        self.submit_inner(token, spec, None)
+    }
+
+    /// Submits a job that journals to a durable recovery log at `log_dir`.
+    /// If the directory already holds a prior run's log, the job resumes
+    /// from it — completed steps are replayed, not re-executed — and the
+    /// retrieved report carries `resumed` / `replayed_records`. The same
+    /// call therefore serves both "start durably" and "pick up where the
+    /// killed orchestrator left off".
+    pub fn submit_with_recovery(
+        &self,
+        token: Token,
+        spec: JobSpec,
+        log_dir: impl Into<PathBuf>,
+    ) -> Result<JobId> {
+        self.submit_inner(token, spec, Some(log_dir.into()))
+    }
+
+    fn submit_inner(&self, token: Token, spec: JobSpec, log_dir: Option<PathBuf>) -> Result<JobId> {
         spec.validate()
             .map_err(|reason| XtractError::InvalidJob { reason })?;
         let id = JobId::new(self.ids.next());
@@ -112,7 +132,10 @@ impl JobManager {
                     slot.status = Some(JobStatus::Running);
                 }
             }
-            let outcome = service.run_job(token, &spec);
+            let outcome = match &log_dir {
+                Some(dir) => service.run_job_with_recovery(token, &spec, dir),
+                None => service.run_job(token, &spec),
+            };
             let mut slots = shared.slots.lock();
             if let Some(slot) = slots.get_mut(&id) {
                 match outcome {
@@ -310,6 +333,39 @@ mod tests {
         let ra = mgr.take_report(a).unwrap().unwrap();
         let rb = mgr.take_report(b).unwrap().unwrap();
         assert_eq!(ra.records.len(), rb.records.len());
+    }
+
+    #[test]
+    fn recovery_jobs_resume_through_the_async_interface() {
+        let (mgr, token, spec) = rig(12);
+        let dir = std::env::temp_dir().join(format!(
+            "xtract-jobs-recovery-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let a = mgr.submit_with_recovery(token, spec.clone(), &dir).unwrap();
+        assert!(mgr.wait(a, Duration::from_secs(30)).unwrap().is_terminal());
+        let first = mgr.take_report(a).unwrap().unwrap();
+        assert!(!first.resumed);
+        assert!(!first.records.is_empty());
+
+        // Resubmitting against the same log replays the finished job:
+        // nothing re-executes, the same records come back.
+        let b = mgr.submit_with_recovery(token, spec, &dir).unwrap();
+        assert!(mgr.wait(b, Duration::from_secs(30)).unwrap().is_terminal());
+        let second = mgr.take_report(b).unwrap().unwrap();
+        assert!(second.resumed);
+        assert!(second.replayed_records > 0);
+        assert!(
+            second.invocations.is_empty(),
+            "resume of a finished job re-invoked extractors: {:?}",
+            second.invocations
+        );
+        assert_eq!(first.records.len(), second.records.len());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

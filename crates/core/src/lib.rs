@@ -17,6 +17,10 @@
 //!   (§3 "Validation");
 //! * [`checkpoint`] — the checkpoint-flag store behind the §5.8.1
 //!   restart;
+//! * [`recovery`] — the durable write-ahead recovery log (segmented,
+//!   CRC-framed) that makes orchestrator crashes survivable: every
+//!   commit-worthy transition is journaled, and `resume_job` replays the
+//!   log into the state an uninterrupted run would hold;
 //! * [`resilience`] — per-endpoint circuit breakers and per-family retry
 //!   budgets driving the recovery policy (see `DESIGN.md`, "Fault
 //!   tolerance & failure semantics");
@@ -53,6 +57,7 @@ pub mod jobs;
 pub mod offload;
 pub mod payload;
 pub mod planner;
+pub mod recovery;
 pub mod resilience;
 pub mod service;
 pub mod staging;
@@ -64,5 +69,6 @@ pub use campaign::{Campaign, CampaignConfig, CampaignReport};
 pub use families::{build_families, naive_families, FamilySet};
 pub use jobs::{JobManager, JobStatus};
 pub use planner::ExtractionPlan;
+pub use recovery::{spec_fingerprint, RecoveryLog, RecoveryRecord, Replay};
 pub use resilience::{BreakerState, HealthTracker, RetryLedger};
 pub use service::{JobReport, XtractService};

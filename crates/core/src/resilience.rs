@@ -260,6 +260,14 @@ impl RetryLedger {
         self.spent.get(&family).copied().unwrap_or(0)
     }
 
+    /// Pre-charges `n` attempts against `family` without consulting the
+    /// budget verdict: log replay re-applying charges a previous run
+    /// already made (and already acted on). A family the previous run
+    /// exhausted stays exhausted after rehydration.
+    pub fn precharge(&mut self, family: FamilyId, n: u32) {
+        *self.spent.entry(family).or_insert(0) += n;
+    }
+
     /// True once the family has exhausted its budget.
     pub fn exhausted(&self, family: FamilyId) -> bool {
         self.attempts(family) > self.budget
@@ -481,5 +489,23 @@ mod tests {
         // Other families are unaffected.
         assert!(!l.exhausted(FamilyId::new(8)));
         assert!(l.charge(FamilyId::new(8)));
+    }
+
+    #[test]
+    fn precharge_rehydrates_spent_attempts() {
+        let mut l = RetryLedger::new(&policy()); // family_budget = 4
+        let fam = FamilyId::new(9);
+        l.precharge(fam, 3);
+        assert_eq!(l.attempts(fam), 3);
+        assert!(!l.exhausted(fam));
+        // One live charge fits; the next one exhausts — exactly as if the
+        // first three charges had happened in this process.
+        assert!(l.charge(fam));
+        assert!(!l.charge(fam));
+        assert!(l.exhausted(fam));
+        // Pre-charging past the budget leaves the family exhausted.
+        let fam2 = FamilyId::new(10);
+        l.precharge(fam2, 5);
+        assert!(l.exhausted(fam2));
     }
 }

@@ -40,6 +40,7 @@ use crate::families::build_families;
 use crate::offload::{Offloader, Placement};
 use crate::payload::{decode_results, encode_batch, make_function_body};
 use crate::planner::ExtractionPlan;
+use crate::recovery::{spec_fingerprint, RecoveryLog, RecoveryRecord};
 use crate::resilience::{BreakerState, HealthTracker, RetryLedger};
 use crate::staging::{stage_salt_base, StageOutcome, StageRequest, StagedFamily};
 use crate::validator::{encode_record, validate};
@@ -47,6 +48,7 @@ use bytes::Bytes;
 use crossbeam_channel::unbounded;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xtract_crawler::{Crawler, CrawlerConfig};
@@ -57,9 +59,9 @@ use xtract_obs::{Event, EventJournal, Histogram, Obs, Phase, PhaseTimings, SpanU
 use xtract_sim::RngStreams;
 use xtract_types::id::IdAllocator;
 use xtract_types::{
-    ContainerId, DeadLetter, EndpointId, EndpointSpec, ExtractorKind, FailureEvent, FailureReason,
-    Family, FamilyId, FileRecord, FunctionId, HedgePolicy, JobSpec, Metadata, MetadataRecord,
-    Result, RetryPolicy, TaskId, XtractError,
+    ContainerId, CrashPoint, DeadLetter, EndpointId, EndpointSpec, ExtractorKind, FailureEvent,
+    FailureReason, Family, FamilyId, FaultPlan, FileRecord, FunctionId, HedgePolicy, JobSpec,
+    Metadata, MetadataRecord, OrchestratorCrash, Result, RetryPolicy, TaskId, XtractError,
 };
 
 /// Outcome of one job.
@@ -92,6 +94,14 @@ pub struct JobReport {
     /// Wall-clock seconds per pipeline phase (crawl → plan → stage →
     /// dispatch → extract → index).
     pub phases: PhaseTimings,
+    /// True when this report came from replaying a recovery log with
+    /// prior progress (a [`XtractService::resume_job`] that found work).
+    pub resumed: bool,
+    /// Valid records replayed from the recovery log at open (0 for jobs
+    /// run without a log).
+    pub replayed_records: u64,
+    /// Torn trailing records truncated from the recovery log at open.
+    pub truncated_records: u64,
 }
 
 struct ActiveFamily {
@@ -145,6 +155,77 @@ struct WaveEntry {
     /// The deadline breach already scored this entry's endpoint (breach
     /// accounting and hedge launch are one-shot per entry).
     breached: bool,
+}
+
+/// Everything a run needs from its recovery log: the open log itself plus
+/// the state replayed from it. Built once per job by
+/// [`XtractService::run_job_with_recovery`] / [`XtractService::resume_job`];
+/// `resumed` is false when the log held no prior progress.
+struct RecoveryCtx {
+    log: RecoveryLog,
+    /// [`spec_fingerprint`] of the owning spec, re-stated by snapshots.
+    fingerprint: u64,
+    resumed: bool,
+    replayed: u64,
+    truncated: u64,
+    /// Crawl totals from a replayed `CrawlCompleted` record.
+    crawl: Option<(u64, u64, u64)>,
+    /// The journaled family plan, in placement order — replaying it skips
+    /// the crawl and pins family identity across the resume.
+    planned: Vec<Family>,
+    /// Replayed `StepCompleted` records, in journal order.
+    steps: Vec<RecoveryRecord>,
+    /// Total retry attempts charged per family across prior runs.
+    charges: HashMap<FamilyId, u32>,
+    /// Dead letters from prior runs (latest per family wins).
+    dead: HashMap<FamilyId, DeadLetter>,
+    /// Crash points already recorded, in order — their count is the
+    /// cursor into the fault plan's ordered crash schedule.
+    crash_points: Vec<String>,
+}
+
+/// The run's armed scheduled-crash entry, if any: entry `k` of
+/// [`FaultPlan::orchestrator_crashes`] arms once `k` crashes are already
+/// in the log, and fires at its `at_occurrence`-th pass of its point
+/// (occurrences counted from the start of this run segment).
+#[derive(Default)]
+struct CrashSchedule {
+    armed: Option<OrchestratorCrash>,
+    seen: u64,
+}
+
+impl CrashSchedule {
+    fn arm(plan: Option<&FaultPlan>, crashes_done: u64) -> Self {
+        Self {
+            armed: plan.and_then(|p| p.scheduled_crash(crashes_done)).copied(),
+            seen: 0,
+        }
+    }
+
+    /// Reports a pass of `point`; true when the armed kill fires here.
+    fn hit(&mut self, point: CrashPoint) -> bool {
+        match self.armed {
+            Some(c) if c.point == point => {
+                self.seen += 1;
+                self.seen >= c.at_occurrence
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The error a scheduled kill surfaces as.
+fn killed(point: CrashPoint) -> XtractError {
+    XtractError::OrchestratorKilled {
+        point: point.name().to_string(),
+    }
+}
+
+/// A `CrashRecorded` record for `point`.
+fn crash_record(point: CrashPoint) -> RecoveryRecord {
+    RecoveryRecord::CrashRecorded {
+        point: point.name().to_string(),
+    }
 }
 
 /// Bucket bounds (seconds) for the completion-latency histogram the
@@ -544,60 +625,18 @@ impl XtractService {
         }
     }
 
-    /// Runs a bulk extraction job to completion.
-    pub fn run_job(&self, token: Token, spec: &JobSpec) -> Result<JobReport> {
-        spec.validate()
-            .map_err(|reason| XtractError::InvalidJob { reason })?;
-        self.auth.check(token, Scope::Crawl)?;
-        self.auth.check(token, Scope::Extract)?;
-
-        // Arm the job's structured fault plan on both substrates for the
-        // duration of the run (and disarm afterwards, pass or fail).
-        if let Some(plan) = &spec.fault_plan {
-            self.transfer.arm_fault_plan(plan.clone());
-            self.faas.arm_fault_plan(plan.clone());
-        }
-        let result = self.run_job_inner(token, spec);
-        if spec.fault_plan.is_some() {
-            self.transfer.clear_faults();
-            self.faas.clear_faults();
-        }
-        result
-    }
-
-    fn run_job_inner(&self, token: Token, spec: &JobSpec) -> Result<JobReport> {
-        let job_started = Instant::now();
-        let mut report = JobReport::default();
-        let checkpoint = CheckpointStore::with_obs(&self.obs.hub);
-        let retry = &spec.retry;
-        let mut health = HealthTracker::with_journal(retry, self.obs.journal.clone())
-            .with_quarantine(&spec.hedge);
-        // Staging-pool workers and the wave loop share the ledger.
-        let ledger = Mutex::new(RetryLedger::new(retry));
-        let journal = self.obs.journal.clone();
-        // Straggler-defense instrumentation: the completion-latency
-        // histogram the adaptive deadline derives from, and the hedge
-        // lifecycle counters (`launched == won + wasted` at job end).
-        let latency_hist = self.obs.hub.histogram("task.latency_s", LATENCY_BOUNDS_S);
-        let hedge_launched = self.obs.hub.counter("hedge.launched");
-        let hedge_won = self.obs.hub.counter("hedge.won");
-        let hedge_wasted = self.obs.hub.counter("hedge.wasted");
-        // The allocation lease watchdog: notices lapsed leases in the
-        // background (flipping in-flight tasks to Lost immediately rather
-        // than after a poll window) and renews them after the policy
-        // cooldown. Held for the job's duration; dropping it stops the
-        // thread.
-        let _watchdog = spec.hedge.enabled.then(|| {
-            self.faas
-                .start_lease_watchdog(Duration::from_millis(spec.hedge.watchdog_renew_cooldown_ms))
-        });
-
-        // --- Stages 2+3, overlapped: crawl on background threads while the
-        // service packages min-transfers families from directories as they
-        // stream in ("the crawler asynchronously enqueues it for processing
-        // by the Xtract service", §4.3.1; §5.8.1: extraction state is ready
-        // "within 3 seconds of the crawler being initiated"). ---------------
-        let crawl_started = Instant::now();
+    /// Stages 2+3, overlapped: crawl on background threads while the
+    /// service packages min-transfers families from directories as they
+    /// stream in ("the crawler asynchronously enqueues it for processing
+    /// by the Xtract service", §4.3.1; §5.8.1: extraction state is ready
+    /// "within 3 seconds of the crawler being initiated"). Fills the
+    /// report's crawl totals and `families` with the job's plan.
+    fn crawl_and_plan(
+        &self,
+        spec: &JobSpec,
+        report: &mut JobReport,
+        families: &mut Vec<Family>,
+    ) -> Result<()> {
         let (tx, rx) = unbounded();
         let mut crawl_threads = Vec::with_capacity(spec.roots.len());
         for (ep, root) in &spec.roots {
@@ -624,7 +663,6 @@ impl XtractService {
         }
         drop(tx);
 
-        let mut families: Vec<Family> = Vec::new();
         for (dir_i, dir) in rx.into_iter().enumerate() {
             report.crawled_files += dir.files.len() as u64;
             report.groups += dir.groups.len() as u64;
@@ -653,10 +691,299 @@ impl XtractService {
                 reason: "crawl thread panicked".to_string(),
             })??;
         }
+        Ok(())
+    }
+
+    /// Runs a bulk extraction job to completion.
+    pub fn run_job(&self, token: Token, spec: &JobSpec) -> Result<JobReport> {
+        self.run_job_at(token, spec, None)
+    }
+
+    /// Runs a job with a durable recovery log rooted at `dir`: every
+    /// commit-worthy transition (crawl done, family planned, step
+    /// flushed, retry charged, hedge resolved, family dead-lettered) is
+    /// journaled before the job advances past it, so a crash at any
+    /// point leaves a log [`Self::resume_job`] can replay. A log with
+    /// prior progress is resumed rather than restarted. Running with a
+    /// log implies checkpointing even when `spec.checkpoint` is off.
+    pub fn run_job_with_recovery(
+        &self,
+        token: Token,
+        spec: &JobSpec,
+        dir: &Path,
+    ) -> Result<JobReport> {
+        self.run_job_at(token, spec, Some(dir))
+    }
+
+    /// Resumes a previously-interrupted job from the recovery log at
+    /// `dir`: verifies the spec fingerprint (a log never replays into a
+    /// different job — [`XtractError::SpecFingerprintMismatch`]),
+    /// truncates any torn tail, finishes an interrupted compaction,
+    /// rehydrates the checkpoint store / retry ledger / dead letters,
+    /// skips the crawl and every journaled step, and runs whatever
+    /// remains — converging to a report equivalent to an uninterrupted
+    /// run's. A log with no prior records degrades to a fresh run.
+    pub fn resume_job(&self, token: Token, spec: &JobSpec, dir: &Path) -> Result<JobReport> {
+        self.run_job_at(token, spec, Some(dir))
+    }
+
+    fn run_job_at(&self, token: Token, spec: &JobSpec, dir: Option<&Path>) -> Result<JobReport> {
+        spec.validate()
+            .map_err(|reason| XtractError::InvalidJob { reason })?;
+        self.auth.check(token, Scope::Crawl)?;
+        self.auth.check(token, Scope::Extract)?;
+        let rec = match dir {
+            Some(dir) => Some(self.open_recovery(spec, dir)?),
+            None => None,
+        };
+
+        // Arm the job's structured fault plan on both substrates for the
+        // duration of the run (and disarm afterwards, pass or fail).
+        if let Some(plan) = &spec.fault_plan {
+            self.transfer.arm_fault_plan(plan.clone());
+            self.faas.arm_fault_plan(plan.clone());
+        }
+        let result = self.run_job_inner(token, spec, rec.as_ref());
+        if spec.fault_plan.is_some() {
+            self.transfer.clear_faults();
+            self.faas.clear_faults();
+        }
+        result
+    }
+
+    /// Opens the recovery log at `dir` and replays it into a
+    /// [`RecoveryCtx`], emitting the recovery observability surface:
+    /// `recovery.replayed` / `recovery.truncated` counters account for
+    /// every record the log held (valid and torn respectively), and the
+    /// journal records the open, any truncation, any finished
+    /// compaction, and the resume itself.
+    fn open_recovery(&self, spec: &JobSpec, dir: &Path) -> Result<RecoveryCtx> {
+        let fingerprint = spec_fingerprint(spec);
+        let (log, replay) = RecoveryLog::open(dir, spec.recovery)?;
+        self.obs
+            .hub
+            .counter("recovery.replayed")
+            .add(replay.records.len() as u64);
+        self.obs
+            .hub
+            .counter("recovery.truncated")
+            .add(replay.truncated_records);
+        self.obs.journal.record(Event::RecoveryLogOpened {
+            segments: replay.segments,
+            records: replay.records.len() as u64,
+        });
+        if let Some(segment) = replay.truncated_segment {
+            self.obs.journal.record(Event::RecordTruncated {
+                segment,
+                bytes: replay.truncated_bytes,
+            });
+        }
+        let mut ctx = RecoveryCtx {
+            log,
+            fingerprint,
+            resumed: false,
+            replayed: replay.records.len() as u64,
+            truncated: replay.truncated_records,
+            crawl: None,
+            planned: Vec::new(),
+            steps: Vec::new(),
+            charges: HashMap::new(),
+            dead: HashMap::new(),
+            crash_points: Vec::new(),
+        };
+        let effective = replay.effective();
+        if effective.is_empty() {
+            // A fresh log: stamp the job identity before anything else.
+            ctx.log
+                .append(&RecoveryRecord::JobStarted { fingerprint })?;
+            return Ok(ctx);
+        }
+        if let Some(found) = replay.fingerprint() {
+            if found != fingerprint {
+                return Err(XtractError::SpecFingerprintMismatch {
+                    expected: fingerprint,
+                    found,
+                });
+            }
+        }
+        // Finish a compaction a crash interrupted: the snapshot segment
+        // is already durable, the stale history just never got unlinked.
+        if let Some(boundary) = replay.boundary_segment {
+            let removed = ctx.log.finish_compaction(boundary)?;
+            if removed > 0 {
+                self.obs.journal.record(Event::SnapshotCompacted {
+                    records: effective.len() as u64,
+                    segments_removed: removed,
+                });
+            }
+        }
+        ctx.resumed = true;
+        for r in effective {
+            match r {
+                RecoveryRecord::CrawlCompleted {
+                    crawled_files,
+                    groups,
+                    redundant_files,
+                } => {
+                    ctx.crawl = Some((*crawled_files, *groups, *redundant_files));
+                    // A fresh crawl supersedes any earlier plan.
+                    ctx.planned.clear();
+                }
+                RecoveryRecord::FamilyPlanned { family } => ctx.planned.push(family.clone()),
+                RecoveryRecord::StepCompleted { .. } => ctx.steps.push(r.clone()),
+                RecoveryRecord::RetryCharged { family, amount } => {
+                    *ctx.charges.entry(*family).or_insert(0) += amount;
+                }
+                RecoveryRecord::DeadLettered { letter } => {
+                    // Latest per family wins, matching the store.
+                    ctx.dead.insert(letter.family, letter.clone());
+                }
+                RecoveryRecord::CrashRecorded { point } => ctx.crash_points.push(point.clone()),
+                _ => {}
+            }
+        }
+        self.obs.journal.record(Event::JobResumed {
+            replayed: ctx.replayed,
+            truncated: ctx.truncated,
+        });
+        Ok(ctx)
+    }
+
+    fn run_job_inner(
+        &self,
+        token: Token,
+        spec: &JobSpec,
+        rec: Option<&RecoveryCtx>,
+    ) -> Result<JobReport> {
+        let job_started = Instant::now();
+        let mut report = JobReport::default();
+        let checkpoint = CheckpointStore::with_obs(&self.obs.hub);
+        let retry = &spec.retry;
+        let mut health = HealthTracker::with_journal(retry, self.obs.journal.clone())
+            .with_quarantine(&spec.hedge);
+        // Staging-pool workers and the wave loop share the ledger.
+        let ledger = Mutex::new(RetryLedger::new(retry));
+        let journal = self.obs.journal.clone();
+        // A recovery log implies checkpointing: journaled steps must also
+        // be loadable so a resumed family skips them.
+        let use_checkpoint = spec.checkpoint || rec.is_some();
+        // WAL bookkeeping (all idle when the job runs without a log):
+        // every StepCompleted journaled so far (snapshots restate them),
+        // charges already journaled per family (wave commits journal the
+        // delta), dead letters journaled per family (latest wins), and
+        // the crash points already recorded — plus the armed kill, if the
+        // fault plan schedules one for this run segment.
+        let mut wal_steps: Vec<RecoveryRecord> = Vec::new();
+        let mut wal_charges: HashMap<FamilyId, u32> = HashMap::new();
+        let mut wal_dead: HashMap<FamilyId, DeadLetter> = HashMap::new();
+        let mut wal_crashes: Vec<String> = Vec::new();
+        let mut crash = CrashSchedule::default();
+        if let Some(ctx) = rec {
+            report.resumed = ctx.resumed;
+            report.replayed_records = ctx.replayed;
+            report.truncated_records = ctx.truncated;
+            // Rehydrate: flushed steps restore without charging the flush
+            // counter (they were counted by the run that journaled them),
+            // dead letters re-arm the is-dead skip, and the retry ledger
+            // pre-charges attempts prior runs already spent.
+            for r in &ctx.steps {
+                if let RecoveryRecord::StepCompleted {
+                    family,
+                    kind,
+                    metadata,
+                    ..
+                } = r
+                {
+                    checkpoint.restore(*family, kind.name(), metadata.clone());
+                }
+            }
+            for letter in ctx.dead.values() {
+                checkpoint.record_dead_letter(letter.clone());
+            }
+            {
+                let mut l = ledger.lock();
+                for (f, n) in &ctx.charges {
+                    l.precharge(*f, *n);
+                }
+            }
+            wal_steps = ctx.steps.clone();
+            wal_charges = ctx.charges.clone();
+            wal_dead = ctx.dead.clone();
+            wal_crashes = ctx.crash_points.clone();
+            crash = CrashSchedule::arm(spec.fault_plan.as_ref(), ctx.crash_points.len() as u64);
+        }
+        // Straggler-defense instrumentation: the completion-latency
+        // histogram the adaptive deadline derives from, and the hedge
+        // lifecycle counters (`launched == won + wasted` at job end).
+        let latency_hist = self.obs.hub.histogram("task.latency_s", LATENCY_BOUNDS_S);
+        let hedge_launched = self.obs.hub.counter("hedge.launched");
+        let hedge_won = self.obs.hub.counter("hedge.won");
+        let hedge_wasted = self.obs.hub.counter("hedge.wasted");
+        // The allocation lease watchdog: notices lapsed leases in the
+        // background (flipping in-flight tasks to Lost immediately rather
+        // than after a poll window) and renews them after the policy
+        // cooldown. Held for the job's duration; dropping it stops the
+        // thread.
+        let _watchdog = spec.hedge.enabled.then(|| {
+            self.faas
+                .start_lease_watchdog(Duration::from_millis(spec.hedge.watchdog_renew_cooldown_ms))
+        });
+
+        // --- Stages 2+3, overlapped: crawl on background threads while the
+        // service packages min-transfers families from directories as they
+        // stream in ("the crawler asynchronously enqueues it for processing
+        // by the Xtract service", §4.3.1; §5.8.1: extraction state is ready
+        // "within 3 seconds of the crawler being initiated"). ---------------
+        let crawl_started = Instant::now();
+        // A resumed job with a journaled plan skips the crawl entirely:
+        // replaying `FamilyPlanned` records both saves the re-crawl and
+        // pins family identity — ids match the original run even though
+        // the allocator has moved on.
+        let resumed_plan = rec.is_some_and(|c| c.resumed && !c.planned.is_empty());
+        let mut families: Vec<Family> = Vec::new();
+        if resumed_plan {
+            let ctx = rec.expect("resumed_plan implies a recovery ctx");
+            let (crawled, groups, redundant) = ctx.crawl.unwrap_or((0, 0, 0));
+            report.crawled_files = crawled;
+            report.groups = groups;
+            report.redundant_files = redundant;
+            families = ctx.planned.clone();
+        } else {
+            self.crawl_and_plan(spec, &mut report, &mut families)?;
+        }
         report.families = families.len() as u64;
         report
             .phases
             .add(Phase::Crawl, crawl_started.elapsed().as_secs_f64());
+        if let Some(ctx) = rec {
+            if !resumed_plan {
+                // One group commit makes the crawl + plan durable before
+                // any extraction work depends on it.
+                let mut batch = Vec::with_capacity(families.len() + 1);
+                batch.push(RecoveryRecord::CrawlCompleted {
+                    crawled_files: report.crawled_files,
+                    groups: report.groups,
+                    redundant_files: report.redundant_files,
+                });
+                batch.extend(
+                    families
+                        .iter()
+                        .map(|f| RecoveryRecord::FamilyPlanned { family: f.clone() }),
+                );
+                ctx.log.append_batch(&batch)?;
+            }
+            if crash.hit(CrashPoint::AfterCrawl) {
+                ctx.log.append(&crash_record(CrashPoint::AfterCrawl))?;
+                return Err(killed(CrashPoint::AfterCrawl));
+            }
+        }
+        // Retained for snapshot restatement during log compaction; the
+        // placement loop below consumes `families`.
+        let planned_families: Vec<Family> = if rec.is_some() {
+            families.clone()
+        } else {
+            Vec::new()
+        };
 
         // --- Stage 4: placement. -------------------------------------------
         let plan_started = Instant::now();
@@ -729,6 +1056,16 @@ impl XtractService {
             let mut inflight = 0usize;
 
             for mut family in families {
+                // A family a prior run segment already dead-lettered never
+                // activates again: its journaled letter ships straight to
+                // the report, and no extractor is re-invoked for it — the
+                // zero-duplicate-invocation invariant for poisoned files.
+                if let Some(ctx) = rec {
+                    if let Some(letter) = ctx.dead.get(&family.id) {
+                        report.failures.push(letter.clone());
+                        continue;
+                    }
+                }
                 let origin_files = family.files.clone();
                 let origin_source = family.source;
                 let local_ok = by_endpoint
@@ -770,10 +1107,34 @@ impl XtractService {
                     stage_generation: 0,
                     extended: HashSet::new(),
                 };
+                // Fast-forward a resumed family through its journaled
+                // steps: merged output, ran-list, and plan cursor land
+                // exactly where the original run left them — including
+                // extractors those completed steps *discovered*, which a
+                // fresh crawl-seeded plan would never schedule.
+                if let Some(ctx) = rec {
+                    for r in &ctx.steps {
+                        if let RecoveryRecord::StepCompleted {
+                            family: fid,
+                            kind,
+                            metadata,
+                            discoveries,
+                        } = r
+                        {
+                            if *fid == af.family.id {
+                                af.merged.merge(metadata);
+                                af.ran.push(kind.name().to_string());
+                                af.plan.complete(*kind, discoveries);
+                            }
+                        }
+                    }
+                }
                 // --- Stage 5: prefetch if bytes are elsewhere — submitted
                 // to the pool, not awaited, so wave 1 of already-local
-                // families dispatches while remote ones are in flight. ------
-                if exec != af.family.source {
+                // families dispatches while remote ones are in flight. A
+                // resumed family whose replayed plan is already done has
+                // nothing left to run and skips the transfer. ---------------
+                if exec != af.family.source && !(rec.is_some() && af.plan.is_done()) {
                     let store = by_endpoint
                         .get(&exec)
                         .copied()
@@ -945,7 +1306,7 @@ impl XtractService {
                     let Some(kind) = af.plan.next() else { continue };
                     // Checkpointed output short-circuits re-execution after
                     // a loss (§5.8.1: "the metadata are re-loaded").
-                    if spec.checkpoint {
+                    if use_checkpoint {
                         if let Some(md) = checkpoint.load(af.family.id, kind.name()) {
                             af.merged.merge(&md);
                             af.ran.push(kind.name().to_string());
@@ -1003,6 +1364,9 @@ impl XtractService {
                     continue;
                 }
                 report.waves += 1;
+                // Steps completed during this wave; journaled in one group
+                // commit at the wave boundary below.
+                let mut wave_flushes: Vec<RecoveryRecord> = Vec::new();
 
                 // Submit: one batch_submit per funcX batch (§4.3.2).
                 let mut entries: Vec<WaveEntry> = Vec::new();
@@ -1266,8 +1630,18 @@ impl XtractService {
                                         });
                                         continue;
                                     }
-                                    if spec.checkpoint {
+                                    if use_checkpoint {
                                         checkpoint.flush(r.family, kind.name(), r.metadata.clone());
+                                    }
+                                    if rec.is_some() {
+                                        let step = RecoveryRecord::StepCompleted {
+                                            family: r.family,
+                                            kind,
+                                            metadata: r.metadata.clone(),
+                                            discoveries: r.discoveries.clone(),
+                                        };
+                                        wal_steps.push(step.clone());
+                                        wave_flushes.push(step);
                                     }
                                     af.merged.merge(&r.metadata);
                                     af.ran.push(kind.name().to_string());
@@ -1396,6 +1770,137 @@ impl XtractService {
                         }
                     }
                 }
+                // --- Wave commit: one group commit journals everything
+                // this wave decided — completed steps, retry-budget deltas,
+                // hedge outcomes, newly dead families — then the wave
+                // marker. The scheduled kill-points sit exactly at this
+                // boundary, so a crashed run never leaves a half-journaled
+                // wave: either all of a wave's records are durable or none
+                // are. ----------------------------------------------------
+                if let Some(ctx) = rec {
+                    let wave_no = report.waves;
+                    let mut batch = std::mem::take(&mut wave_flushes);
+                    {
+                        // Charges vs. what the log already holds: the delta
+                        // also captures charges the staging pool spent on
+                        // this family between waves.
+                        let l = ledger.lock();
+                        for af in &active {
+                            let id = af.family.id;
+                            let total = l.attempts(id);
+                            let prior = wal_charges.get(&id).copied().unwrap_or(0);
+                            if total > prior {
+                                batch.push(RecoveryRecord::RetryCharged {
+                                    family: id,
+                                    amount: total - prior,
+                                });
+                                wal_charges.insert(id, total);
+                            }
+                        }
+                    }
+                    for e in &entries {
+                        if let (Some((_, hep)), Some((_, wep))) = (e.hedge, &e.resolved) {
+                            for fid in &e.fams {
+                                batch.push(RecoveryRecord::HedgeResolved {
+                                    family: *fid,
+                                    endpoint: hep,
+                                    won: *wep == hep,
+                                });
+                            }
+                        }
+                    }
+                    {
+                        let l = ledger.lock();
+                        for af in &active {
+                            if let Some(reason) = &af.failed {
+                                if !wal_dead.contains_key(&af.family.id) {
+                                    let mut letter = DeadLetter::new(
+                                        af.family.id,
+                                        reason.clone(),
+                                        l.attempts(af.family.id),
+                                    );
+                                    letter.timeline = af.timeline.clone();
+                                    wal_dead.insert(af.family.id, letter.clone());
+                                    batch.push(RecoveryRecord::DeadLettered { letter });
+                                }
+                            }
+                        }
+                    }
+                    batch.push(RecoveryRecord::WaveCommitted { wave: wave_no });
+                    if crash.hit(CrashPoint::MidWave) {
+                        // Clean kill at the commit boundary: the wave's
+                        // records land, then the process "dies".
+                        batch.push(crash_record(CrashPoint::MidWave));
+                        ctx.log.append_batch(&batch)?;
+                        return Err(killed(CrashPoint::MidWave));
+                    }
+                    if crash.hit(CrashPoint::MidFlush) {
+                        // Dirty kill: the wave commits, then the process
+                        // dies halfway through writing one more frame. The
+                        // next open truncates the torn tail without losing
+                        // the committed prefix.
+                        batch.push(crash_record(CrashPoint::MidFlush));
+                        ctx.log.append_batch(&batch)?;
+                        ctx.log
+                            .append_torn(&RecoveryRecord::WaveCommitted { wave: wave_no })?;
+                        return Err(killed(CrashPoint::MidFlush));
+                    }
+                    ctx.log.append_batch(&batch)?;
+
+                    // Compaction: once the log spreads over enough
+                    // segments, restate live state as a snapshot in a fresh
+                    // segment and drop the history it supersedes.
+                    if ctx.log.segment_count()? >= ctx.log.policy().compact_segments as u64 {
+                        let mut snapshot = vec![RecoveryRecord::JobStarted {
+                            fingerprint: ctx.fingerprint,
+                        }];
+                        snapshot.extend(
+                            wal_crashes
+                                .iter()
+                                .map(|p| RecoveryRecord::CrashRecorded { point: p.clone() }),
+                        );
+                        snapshot.push(RecoveryRecord::CrawlCompleted {
+                            crawled_files: report.crawled_files,
+                            groups: report.groups,
+                            redundant_files: report.redundant_files,
+                        });
+                        snapshot.extend(
+                            planned_families
+                                .iter()
+                                .map(|f| RecoveryRecord::FamilyPlanned { family: f.clone() }),
+                        );
+                        snapshot.extend(wal_steps.iter().cloned());
+                        let mut charges: Vec<(FamilyId, u32)> = wal_charges
+                            .iter()
+                            .filter(|(_, n)| **n > 0)
+                            .map(|(f, n)| (*f, *n))
+                            .collect();
+                        charges.sort_unstable_by_key(|(f, _)| *f);
+                        snapshot.extend(charges.into_iter().map(|(family, amount)| {
+                            RecoveryRecord::RetryCharged { family, amount }
+                        }));
+                        let mut dead: Vec<&DeadLetter> = wal_dead.values().collect();
+                        dead.sort_unstable_by_key(|l| l.family);
+                        snapshot.extend(dead.into_iter().map(|letter| {
+                            RecoveryRecord::DeadLettered {
+                                letter: letter.clone(),
+                            }
+                        }));
+                        let keep = ctx.log.begin_compaction(&snapshot)?;
+                        if crash.hit(CrashPoint::MidCompaction) {
+                            // Killed between writing the snapshot and
+                            // unlinking the old segments: the next open
+                            // finds both and finishes the unlink itself.
+                            ctx.log.append(&crash_record(CrashPoint::MidCompaction))?;
+                            return Err(killed(CrashPoint::MidCompaction));
+                        }
+                        let removed = ctx.log.finish_compaction(keep)?;
+                        journal.record(Event::SnapshotCompacted {
+                            records: snapshot.len() as u64 + 1,
+                            segments_removed: removed,
+                        });
+                    }
+                }
                 report
                     .phases
                     .add(Phase::Extract, extract_started.elapsed().as_secs_f64());
@@ -1434,7 +1939,7 @@ impl XtractService {
             if let Some(reason) = af.failed.take() {
                 let mut letter = DeadLetter::new(af.family.id, reason, attempts);
                 letter.timeline = std::mem::take(&mut af.timeline);
-                if spec.checkpoint {
+                if use_checkpoint {
                     checkpoint.record_dead_letter(letter.clone());
                 }
                 report.failures.push(letter);
@@ -1482,6 +1987,23 @@ impl XtractService {
         report
             .phases
             .add(Phase::Index, index_started.elapsed().as_secs_f64());
+        // Terminal journal entries: dead letters minted after the wave
+        // loop (validation rejections, shipping failures) that the log
+        // does not hold yet, then the completion marker — resuming a
+        // finished job replays to a no-op.
+        if let Some(ctx) = rec {
+            let mut tail: Vec<RecoveryRecord> = Vec::new();
+            for letter in &report.failures {
+                if wal_dead.get(&letter.family) != Some(letter) {
+                    wal_dead.insert(letter.family, letter.clone());
+                    tail.push(RecoveryRecord::DeadLettered {
+                        letter: letter.clone(),
+                    });
+                }
+            }
+            tail.push(RecoveryRecord::JobCompleted);
+            ctx.log.append_batch(&tail)?;
+        }
         Ok(report)
     }
 }
@@ -1677,5 +2199,74 @@ mod tests {
         let (svc2, token2, spec2, _f2) = rig(8);
         let clean = svc2.run_job(token2, &spec2).unwrap();
         assert!(clean.failures.is_empty());
+    }
+
+    fn recovery_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xtract-service-recovery-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn recovery_logged_job_completes_and_resume_is_a_noop() {
+        let (svc, token, spec, _fabric) = rig(20);
+        let dir = recovery_dir("noop");
+        let report = svc.run_job_with_recovery(token, &spec, &dir).unwrap();
+        assert!(!report.resumed);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.records.len() as u64, report.families);
+
+        // Resuming a finished job replays everything and re-runs nothing:
+        // same records, zero extractor invocations.
+        let (svc2, token2, ..) = rig(20);
+        let resumed = svc2.resume_job(token2, &spec, &dir).unwrap();
+        assert!(resumed.resumed);
+        assert!(resumed.replayed_records > 0);
+        assert!(resumed.invocations.is_empty(), "resume re-invoked work");
+        assert_eq!(resumed.records.len(), report.records.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_after_crawl_resumes_to_the_full_record_set() {
+        let (svc, token, mut spec, _fabric) = rig(18);
+        spec.fault_plan = Some(FaultPlan {
+            orchestrator_crashes: vec![xtract_types::OrchestratorCrash {
+                point: CrashPoint::AfterCrawl,
+                at_occurrence: 1,
+            }],
+            ..FaultPlan::new(7)
+        });
+        let dir = recovery_dir("after-crawl");
+        let err = svc.run_job_with_recovery(token, &spec, &dir).unwrap_err();
+        assert!(matches!(err, XtractError::OrchestratorKilled { .. }));
+
+        // A fresh service (nothing shared but the log) finishes the job.
+        let (svc2, token2, ..) = rig(18);
+        let resumed = svc2.resume_job(token2, &spec, &dir).unwrap();
+        assert!(resumed.resumed);
+        assert!(resumed.failures.is_empty());
+        assert_eq!(resumed.records.len() as u64, resumed.families);
+        assert!(!resumed.records.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_spec() {
+        let (svc, token, spec, _fabric) = rig(8);
+        let dir = recovery_dir("fingerprint");
+        svc.run_job_with_recovery(token, &spec, &dir).unwrap();
+        let mut other = spec.clone();
+        other.max_family_size += 1;
+        assert!(matches!(
+            svc.resume_job(token, &other, &dir),
+            Err(XtractError::SpecFingerprintMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

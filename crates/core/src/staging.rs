@@ -15,7 +15,7 @@
 //! The types live in their own module so the worker-pool plumbing in
 //! `service.rs` stays about control flow, not payload shape.
 
-use xtract_types::{EndpointId, Family, FailureReason, FileRecord};
+use xtract_types::{EndpointId, FailureReason, Family, FileRecord};
 
 /// One family prefetch for the staging pool, either the initial staging
 /// pass (`generation == 0`) or a post-reroute restage (`generation > 0`).

@@ -871,7 +871,12 @@ mod tests {
         // The in-flight gauge was interned by the submit and is back to
         // zero now that the permit has dropped.
         assert_eq!(obs.hub.gauge_value("transfer.in_flight", None), 0);
-        assert!(obs.hub.snapshot().gauges.iter().any(|g| g.name == "transfer.in_flight"));
+        assert!(obs
+            .hub
+            .snapshot()
+            .gauges
+            .iter()
+            .any(|g| g.name == "transfer.in_flight"));
         let events = obs.journal.events();
         assert!(events.iter().any(|rec| matches!(
             rec.event,

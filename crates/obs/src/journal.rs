@@ -182,6 +182,36 @@ pub enum Event {
         /// The endpoint whose lease was renewed.
         endpoint: EndpointId,
     },
+    /// A durable recovery log was opened (fresh or existing).
+    RecoveryLogOpened {
+        /// Live segments found on open.
+        segments: u64,
+        /// Valid records replayable across those segments.
+        records: u64,
+    },
+    /// A torn tail was truncated from a recovery-log segment on open:
+    /// bytes past the last whole, checksum-valid record were discarded.
+    RecordTruncated {
+        /// Sequence number of the segment that carried the torn tail.
+        segment: u64,
+        /// Bytes discarded.
+        bytes: u64,
+    },
+    /// The recovery log was compacted: live state was rewritten into a
+    /// snapshot segment and the superseded segments unlinked.
+    SnapshotCompacted {
+        /// Records in the snapshot segment.
+        records: u64,
+        /// Old segments removed.
+        segments_removed: u64,
+    },
+    /// A job was resumed from its recovery log.
+    JobResumed {
+        /// Records replayed into orchestrator state.
+        replayed: u64,
+        /// Torn-tail records truncated during replay.
+        truncated: u64,
+    },
 }
 
 /// One journal entry: a monotonic sequence number plus the event. The
@@ -407,8 +437,24 @@ mod tests {
         j.record(Event::AllocationRenewed {
             endpoint: EndpointId::new(0),
         });
+        j.record(Event::RecoveryLogOpened {
+            segments: 2,
+            records: 37,
+        });
+        j.record(Event::RecordTruncated {
+            segment: 2,
+            bytes: 13,
+        });
+        j.record(Event::SnapshotCompacted {
+            records: 30,
+            segments_removed: 2,
+        });
+        j.record(Event::JobResumed {
+            replayed: 37,
+            truncated: 1,
+        });
         let dump = j.to_jsonl();
-        assert_eq!(dump.lines().count(), 20);
+        assert_eq!(dump.lines().count(), 24);
         let parsed = EventJournal::parse_jsonl(&dump).unwrap();
         assert_eq!(parsed, j.events());
         // The tag is snake_case and self-describing.
@@ -417,6 +463,10 @@ mod tests {
         assert!(dump.contains("\"type\":\"poll_window_expired\""));
         assert!(dump.contains("\"type\":\"task_hedged\""));
         assert!(dump.contains("\"type\":\"allocation_expired\""));
+        assert!(dump.contains("\"type\":\"recovery_log_opened\""));
+        assert!(dump.contains("\"type\":\"record_truncated\""));
+        assert!(dump.contains("\"type\":\"snapshot_compacted\""));
+        assert!(dump.contains("\"type\":\"job_resumed\""));
     }
 
     #[test]

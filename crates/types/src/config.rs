@@ -338,6 +338,53 @@ impl HedgePolicy {
     }
 }
 
+/// Durable-recovery (write-ahead log) configuration.
+///
+/// Governs the segmented recovery log a durable job journals its progress
+/// into: when segments rotate, whether each group commit is fsynced, and
+/// how many segments accumulate before resume compacts them into a
+/// snapshot. The policy shapes *performance*, never correctness — every
+/// setting yields a log that replays to the same state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RecoveryPolicy {
+    /// Rotate to a fresh segment once the active one exceeds this many
+    /// bytes. Small segments bound the blast radius of a torn tail and
+    /// keep compaction unlink batches cheap.
+    pub segment_bytes: u64,
+    /// `fsync` after every group commit. Disabling trades the durability
+    /// of the most recent wave for throughput (the OS still flushes
+    /// eventually); torn-tail truncation makes the weaker mode safe, just
+    /// lossier after power failure.
+    pub sync_each_commit: bool,
+    /// Number of live segments at or above which `resume_job` compacts
+    /// the log into a snapshot segment before continuing.
+    pub compact_segments: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 256 << 10,
+            sync_each_commit: true,
+            compact_segments: 4,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Checks the policy is internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segment_bytes == 0 {
+            return Err("recovery segment_bytes must be > 0".into());
+        }
+        if self.compact_segments < 2 {
+            return Err("recovery compact_segments must be >= 2".into());
+        }
+        Ok(())
+    }
+}
+
 fn default_staging_workers() -> usize {
     4
 }
@@ -391,6 +438,10 @@ pub struct JobSpec {
     /// the allocation lease watchdog.
     #[serde(default)]
     pub hedge: HedgePolicy,
+    /// Durable-recovery (write-ahead log) tuning; only consulted when the
+    /// job runs with a recovery log attached.
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
     /// Structured fault plan for chaos testing; `None` injects nothing.
     #[serde(default)]
     pub fault_plan: Option<FaultPlan>,
@@ -417,6 +468,7 @@ impl JobSpec {
             staging_workers: default_staging_workers(),
             retry: RetryPolicy::default(),
             hedge: HedgePolicy::default(),
+            recovery: RecoveryPolicy::default(),
             fault_plan: None,
         }
     }
@@ -462,6 +514,7 @@ impl JobSpec {
         }
         self.retry.validate()?;
         self.hedge.validate()?;
+        self.recovery.validate()?;
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;
         }
@@ -619,6 +672,36 @@ mod tests {
         job.hedge = HedgePolicy::disabled();
         assert!(job.validate().is_ok());
         assert!(!job.hedge.enabled);
+    }
+
+    #[test]
+    fn recovery_policy_defaults_are_valid_and_deserialize_sparse() {
+        let policy = RecoveryPolicy::default();
+        assert!(policy.validate().is_ok());
+        assert!(policy.sync_each_commit, "commits are durable by default");
+        // Specs serialized before the knob existed still deserialize.
+        let job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        let mut json: serde_json::Value = serde_json::to_value(&job).unwrap();
+        json.as_object_mut().unwrap().remove("recovery");
+        let back: JobSpec = serde_json::from_value(json).unwrap();
+        assert_eq!(back.recovery, RecoveryPolicy::default());
+        // Sparse recovery config keeps unset fields at defaults.
+        let sparse: RecoveryPolicy = serde_json::from_str(r#"{"segment_bytes": 64}"#).unwrap();
+        assert_eq!(sparse.segment_bytes, 64);
+        assert_eq!(
+            sparse.compact_segments,
+            RecoveryPolicy::default().compact_segments
+        );
+    }
+
+    #[test]
+    fn bad_recovery_policy_is_rejected() {
+        let mut job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        job.recovery.segment_bytes = 0;
+        assert!(job.validate().unwrap_err().contains("segment_bytes"));
+        job.recovery = RecoveryPolicy::default();
+        job.recovery.compact_segments = 1;
+        assert!(job.validate().unwrap_err().contains("compact_segments"));
     }
 
     #[test]

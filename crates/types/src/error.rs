@@ -59,6 +59,13 @@ pub enum XtractError {
     /// The worker executing a task crashed mid-execution (container died,
     /// node OOM). The task itself can be resubmitted.
     WorkerCrashed { task: TaskId },
+    /// A scheduled chaos kill fired: the orchestrator "crashed" at the
+    /// named commit boundary. The job's recovery log survives and the job
+    /// is expected to be resumed.
+    OrchestratorKilled { point: String },
+    /// A recovery log was replayed against a job spec it does not belong
+    /// to (the journaled fingerprint disagrees with the spec's).
+    SpecFingerprintMismatch { expected: u64, found: u64 },
     /// An orchestrator invariant broke; surfaced as a record, never a
     /// panic.
     Internal { reason: String },
@@ -107,6 +114,14 @@ impl std::fmt::Display for XtractError {
             XtractError::WorkerCrashed { task } => {
                 write!(f, "worker crashed while executing {task}")
             }
+            XtractError::OrchestratorKilled { point } => {
+                write!(f, "orchestrator killed at scheduled crash point {point}")
+            }
+            XtractError::SpecFingerprintMismatch { expected, found } => write!(
+                f,
+                "recovery log belongs to a different job: spec fingerprint \
+                 {expected:#018x} but log records {found:#018x}"
+            ),
             XtractError::Internal { reason } => write!(f, "internal error: {reason}"),
         }
     }
@@ -173,6 +188,17 @@ mod tests {
         .is_retryable());
         assert!(!XtractError::AuthDenied {
             scope: "transfer".into()
+        }
+        .is_retryable());
+        // A scheduled kill is not a task-level transient: the whole
+        // process is gone, and recovery happens via `resume_job`.
+        assert!(!XtractError::OrchestratorKilled {
+            point: "mid-wave".into()
+        }
+        .is_retryable());
+        assert!(!XtractError::SpecFingerprintMismatch {
+            expected: 1,
+            found: 2
         }
         .is_retryable());
     }

@@ -136,6 +136,52 @@ pub struct AllocationExpiry {
     pub at_op: u64,
 }
 
+/// A commit boundary in the orchestrator's wave loop where a scheduled
+/// crash may fire. Every point sits *between* durable commits, so a job
+/// killed there and resumed from its recovery log never re-invokes an
+/// extractor whose output was already journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashPoint {
+    /// After the crawl and family plan are journaled, before placement.
+    AfterCrawl,
+    /// At a wave-commit boundary: after the wave's records commit,
+    /// before the next wave dispatches.
+    MidWave,
+    /// After a wave's batch is committed: the crash additionally tears
+    /// the trailing wave marker so resume must truncate a torn record.
+    MidFlush,
+    /// During log compaction, after the snapshot segment is synced but
+    /// before the superseded segments are unlinked.
+    MidCompaction,
+}
+
+impl CrashPoint {
+    /// Stable lowercase name, used in errors and journal events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashPoint::AfterCrawl => "after-crawl",
+            CrashPoint::MidWave => "mid-wave",
+            CrashPoint::MidFlush => "mid-flush",
+            CrashPoint::MidCompaction => "mid-compaction",
+        }
+    }
+}
+
+/// One scheduled orchestrator crash. The plan's `orchestrator_crashes`
+/// vector is an *ordered schedule*: entry `k` arms only once `k` crashes
+/// have already been recorded in the recovery log, so each resume
+/// advances to the next scheduled kill instead of re-firing the first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrchestratorCrash {
+    /// Where in the wave loop the kill fires.
+    pub point: CrashPoint,
+    /// Which occurrence of that point fires the kill (1-based): `2` on
+    /// [`CrashPoint::MidWave`] means "kill at the second wave-commit
+    /// boundary reached after this entry arms". Occurrences are counted
+    /// from the moment the entry arms, not from job start.
+    pub at_occurrence: u64,
+}
+
 /// The structured fault plan all substrates consult.
 ///
 /// Rates are per-decision probabilities in `[0, 1]`. The default plan
@@ -176,6 +222,10 @@ pub struct FaultPlan {
     /// Scheduled compute-allocation expiries.
     #[serde(default)]
     pub allocation_expiries: Vec<AllocationExpiry>,
+    /// Ordered schedule of deterministic orchestrator kills (chaos tests
+    /// crash-and-resume a durable job until the schedule is exhausted).
+    #[serde(default)]
+    pub orchestrator_crashes: Vec<OrchestratorCrash>,
 }
 
 impl FaultPlan {
@@ -216,6 +266,14 @@ impl FaultPlan {
                 ));
             }
         }
+        for c in &self.orchestrator_crashes {
+            if c.at_occurrence == 0 {
+                return Err(format!(
+                    "orchestrator crash at {} has occurrence 0 (1-based)",
+                    c.point.name()
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -228,6 +286,14 @@ impl FaultPlan {
             && self.poison_path_substrings.is_empty()
             && self.blackouts.is_empty()
             && self.allocation_expiries.is_empty()
+            && self.orchestrator_crashes.is_empty()
+    }
+
+    /// The next scheduled orchestrator crash given how many crashes the
+    /// recovery log already records. Returns `None` once the schedule is
+    /// exhausted — the job then runs to completion.
+    pub fn scheduled_crash(&self, crashes_so_far: u64) -> Option<&OrchestratorCrash> {
+        self.orchestrator_crashes.get(crashes_so_far as usize)
     }
 
     /// True when an allocation expiry is scheduled to fire at `endpoint`
@@ -388,6 +454,38 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_orchestrator_crashes() {
+        let mut plan = FaultPlan::new(0);
+        assert!(plan.scheduled_crash(0).is_none());
+        plan.orchestrator_crashes = vec![
+            OrchestratorCrash {
+                point: CrashPoint::AfterCrawl,
+                at_occurrence: 1,
+            },
+            OrchestratorCrash {
+                point: CrashPoint::MidWave,
+                at_occurrence: 2,
+            },
+        ];
+        assert!(!plan.is_inert());
+        // The schedule is consumed in order, indexed by crashes already
+        // recorded: the first resume arms the second entry.
+        assert_eq!(
+            plan.scheduled_crash(0).unwrap().point,
+            CrashPoint::AfterCrawl
+        );
+        assert_eq!(plan.scheduled_crash(1).unwrap().point, CrashPoint::MidWave);
+        assert!(plan.scheduled_crash(2).is_none());
+        assert!(plan.validate().is_ok());
+        // Occurrences are 1-based; 0 is a schedule that can never fire.
+        plan.orchestrator_crashes[0].at_occurrence = 0;
+        assert!(plan.validate().is_err());
+        // Legacy JSON without the field still deserializes.
+        let sparse: FaultPlan = serde_json::from_str(r#"{"seed": 4}"#).unwrap();
+        assert!(sparse.orchestrator_crashes.is_empty());
+    }
+
+    #[test]
     fn plan_serde_roundtrips() {
         let mut plan = FaultPlan::transfer_faults(11, 0.1);
         plan.blackouts
@@ -395,6 +493,10 @@ mod tests {
         plan.allocation_expiries.push(AllocationExpiry {
             endpoint: EndpointId::new(2),
             at_op: 7,
+        });
+        plan.orchestrator_crashes.push(OrchestratorCrash {
+            point: CrashPoint::MidFlush,
+            at_occurrence: 1,
         });
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();

@@ -37,13 +37,13 @@ pub mod metadata;
 pub mod sniff;
 
 pub use config::{
-    EndpointSpec, GroupingStrategy, HedgePolicy, JobSpec, OffloadMode, RetryPolicy,
+    EndpointSpec, GroupingStrategy, HedgePolicy, JobSpec, OffloadMode, RecoveryPolicy, RetryPolicy,
     ValidationSchema,
 };
 pub use error::{Result, XtractError};
 pub use extractor::ExtractorKind;
 pub use failure::{DeadLetter, FailureEvent, FailureReason};
-pub use fault::{AllocationExpiry, Blackout, FaultPlan, FaultScope};
+pub use fault::{AllocationExpiry, Blackout, CrashPoint, FaultPlan, FaultScope, OrchestratorCrash};
 pub use file::{FileRecord, FileType};
 pub use group::{Family, FamilyBatch, Group};
 pub use id::{

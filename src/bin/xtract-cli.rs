@@ -4,9 +4,14 @@
 //! `LocalFs` backend) or synthetic in-memory corpora:
 //!
 //! ```text
-//! xtract-cli extract <dir> [--jsonl out.jsonl] [--workers N]
+//! xtract-cli extract <dir> [--jsonl out.jsonl] [--workers N] [--log DIR]
 //!     crawl a real directory, run every applicable extractor, print a
-//!     summary and optionally dump one JSON record per family
+//!     summary and optionally dump one JSON record per family; with
+//!     --log, journal progress to a durable recovery log as the job runs
+//!
+//! xtract-cli resume <dir> --log DIR [--jsonl out.jsonl] [--workers N]
+//!     resume an interrupted extract from its recovery log: replays the
+//!     journal, skips completed work, and finishes the job
 //!
 //! xtract-cli search <dir> <term> [<term>...]
 //!     extract (in memory) then query the search index
@@ -41,7 +46,11 @@ use xtract_types::{EndpointId, EndpointSpec, GroupingStrategy, JobSpec, Metadata
 fn usage() -> ! {
     eprintln!(
         "usage: xtract-cli <command>\n\
-         \n  extract <dir> [--jsonl FILE] [--workers N]   extract metadata from a real directory\
+         \n  extract <dir> [--jsonl FILE] [--workers N] [--log DIR]\
+         \n                                               extract metadata from a real directory\
+         \n                                               (--log journals to a recovery log)\
+         \n  resume <dir> --log DIR [--jsonl FILE] [--workers N]\
+         \n                                               resume an interrupted extract from its log\
          \n  search <dir> <term> [<term>...]              extract then search\
          \n  dedup <dir> [--threshold T]                  duplicate / near-duplicate screen\
          \n  campaign [groups]                            simulate the Fig. 8 MDF campaign\
@@ -63,15 +72,19 @@ fn extract_backend(
     backend: Arc<dyn StorageBackend>,
     workers: usize,
 ) -> Result<Vec<MetadataRecord>, String> {
-    run_extract(backend, workers).map(|(report, _)| report.records)
+    run_extract(backend, workers, None, false).map(|(report, _)| report.records)
 }
 
 /// Runs the full pipeline over a backend and returns the finished report
 /// together with the service, whose observability bundle (metrics hub +
-/// event journal) the `report`/`events` commands read back out.
+/// event journal) the `report`/`events` commands read back out. With
+/// `log`, the job journals to (or, with `resume`, replays from) a durable
+/// recovery log rooted at that directory.
 fn run_extract(
     backend: Arc<dyn StorageBackend>,
     workers: usize,
+    log: Option<&std::path::Path>,
+    resume: bool,
 ) -> Result<(JobReport, XtractService), String> {
     let fabric = Arc::new(DataFabric::new());
     let ep = EndpointId::new(0);
@@ -116,7 +129,12 @@ fn run_extract(
     service
         .connect_endpoint(&spec.endpoints[0])
         .map_err(|e| e.to_string())?;
-    let report = service.run_job(token, &spec).map_err(|e| e.to_string())?;
+    let report = match (log, resume) {
+        (Some(dir), true) => service.resume_job(token, &spec, dir),
+        (Some(dir), false) => service.run_job_with_recovery(token, &spec, dir),
+        (None, _) => service.run_job(token, &spec),
+    }
+    .map_err(|e| e.to_string())?;
     eprintln!(
         "crawled {} files -> {} groups -> {} families -> {} records ({} failures, {} waves)",
         report.crawled_files,
@@ -126,6 +144,12 @@ fn run_extract(
         report.failures.len(),
         report.waves
     );
+    if log.is_some() {
+        eprintln!(
+            "recovery: resumed={} replayed={} truncated={}",
+            report.resumed, report.replayed_records, report.truncated_records
+        );
+    }
     for letter in report.failures.iter().take(5) {
         eprintln!("  failure {letter}");
     }
@@ -133,13 +157,35 @@ fn run_extract(
 }
 
 fn cmd_extract(args: &[String]) -> Result<(), String> {
-    let dir = args.first().ok_or("extract needs a directory")?;
+    run_extract_cmd(args, "extract", false)
+}
+
+/// `resume <dir> --log DIR`: pick an interrupted extract back up from its
+/// recovery log and finish it.
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    if flag_value(args, "--log").is_none() {
+        return Err("resume needs --log DIR (the recovery log to replay)".into());
+    }
+    run_extract_cmd(args, "resume", true)
+}
+
+/// Shared body of `extract` / `resume`.
+fn run_extract_cmd(args: &[String], cmd: &str, resume: bool) -> Result<(), String> {
+    let dir = args
+        .first()
+        .filter(|d| !d.starts_with("--"))
+        .ok_or_else(|| format!("{cmd} needs a directory"))?;
     let workers: usize = flag_value(args, "--workers")
         .map(|v| v.parse().map_err(|_| "--workers must be a number"))
         .transpose()?
         .unwrap_or(4);
+    let log = flag_value(args, "--log").map(std::path::PathBuf::from);
+    if let Some(log) = &log {
+        std::fs::create_dir_all(log).map_err(|e| e.to_string())?;
+    }
     let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
-    let records = extract_backend(Arc::new(backend), workers)?;
+    let (report, _service) = run_extract(Arc::new(backend), workers, log.as_deref(), resume)?;
+    let records = report.records;
 
     if let Some(out_path) = flag_value(args, "--jsonl") {
         let mut out = std::fs::File::create(&out_path).map_err(|e| e.to_string())?;
@@ -292,7 +338,7 @@ fn extract_dir(args: &[String], cmd: &str) -> Result<(JobReport, XtractService),
         .transpose()?
         .unwrap_or(4);
     let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
-    run_extract(Arc::new(backend), workers)
+    run_extract(Arc::new(backend), workers, None, false)
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
@@ -306,6 +352,9 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             "records": report.records.len(),
             "failures": report.failures.len(),
             "waves": report.waves,
+            "resumed": report.resumed,
+            "replayed_records": report.replayed_records,
+            "truncated_records": report.truncated_records,
         },
         "phases_s": report.phases,
         "metrics": obs.hub.snapshot(),
@@ -353,6 +402,7 @@ fn main() {
     let rest = &args[1..];
     let outcome = match cmd.as_str() {
         "extract" => cmd_extract(rest),
+        "resume" => cmd_resume(rest),
         "search" => cmd_search(rest),
         "dedup" => cmd_dedup(rest),
         "campaign" => cmd_campaign(rest),
