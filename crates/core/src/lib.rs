@@ -25,7 +25,12 @@
 //!   budgets driving the recovery policy (see `DESIGN.md`, "Fault
 //!   tolerance & failure semantics");
 //! * [`jobs`] — the asynchronous submit/monitor/retrieve interface of §3
-//!   (Listing 2's `XtractClient` flow);
+//!   (Listing 2's `XtractClient` flow), and the multi-tenant `JobService`
+//!   built on it;
+//! * [`tenancy`] — per-tenant quota ledgers, shared breaker scope, and
+//!   the tenant registry;
+//! * [`queue`] — the weighted fair-share (stride-scheduled) admission
+//!   queue with graceful overload shedding;
 //! * [`staging`] — the wire types of the concurrent staging pipeline
 //!   that overlaps family prefetch with extraction waves (§5.6);
 //! * [`dedup`] — exact + MinHash near-duplicate detection (§7 future
@@ -57,18 +62,22 @@ pub mod jobs;
 pub mod offload;
 pub mod payload;
 pub mod planner;
+pub mod queue;
 pub mod recovery;
 pub mod resilience;
 pub mod service;
 pub mod staging;
+pub mod tenancy;
 pub mod utility;
 pub mod validator;
 
 pub use batcher::{Batcher, FuncxBatch, XtractBatch};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport};
 pub use families::{build_families, naive_families, FamilySet};
-pub use jobs::{JobManager, JobStatus};
+pub use jobs::{JobFailureKind, JobManager, JobService, JobStatus};
 pub use planner::ExtractionPlan;
-pub use recovery::{spec_fingerprint, RecoveryLog, RecoveryRecord, Replay};
+pub use queue::{Admission, JobQueue, Victim};
+pub use recovery::{spec_fingerprint, LogDirLease, RecoveryLog, RecoveryRecord, Replay};
 pub use resilience::{BreakerState, HealthTracker, RetryLedger};
 pub use service::{JobReport, XtractService};
+pub use tenancy::{QuotaLedger, TenantCtx, TenantRegistry};

@@ -130,6 +130,52 @@ pub fn spec_fingerprint(spec: &JobSpec) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Log-directory lease
+// ---------------------------------------------------------------------------
+
+/// Directories with a live lease, keyed by canonical path. `Vec` because
+/// `parking_lot::Mutex::new` is const while `HashSet::new` is not; the
+/// set is at most a handful of entries (one per in-flight recovery job).
+static ACTIVE_LOG_DIRS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+
+/// Exclusive in-process claim on a recovery-log directory.
+///
+/// Two jobs appending to one WAL directory interleave frames from
+/// unrelated specs and poison each other's replay, so the job interface
+/// takes a lease *synchronously at submit time* and holds it until the
+/// job reaches a terminal status. A second submission against a held
+/// directory fails immediately with [`XtractError::RecoveryLogBusy`]
+/// rather than corrupting the log. The lease releases on drop.
+#[derive(Debug)]
+pub struct LogDirLease {
+    key: PathBuf,
+}
+
+impl LogDirLease {
+    /// Claims `dir`, or fails with [`XtractError::RecoveryLogBusy`] if
+    /// another live job already holds it. Paths are compared by
+    /// canonical form when the directory exists, so `a/../b` and `b`
+    /// conflict as they should.
+    pub fn acquire(dir: &Path) -> Result<Self> {
+        let key = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+        let mut active = ACTIVE_LOG_DIRS.lock();
+        if active.contains(&key) {
+            return Err(XtractError::RecoveryLogBusy {
+                dir: dir.display().to_string(),
+            });
+        }
+        active.push(key.clone());
+        Ok(Self { key })
+    }
+}
+
+impl Drop for LogDirLease {
+    fn drop(&mut self) {
+        ACTIVE_LOG_DIRS.lock().retain(|k| k != &self.key);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Records
 // ---------------------------------------------------------------------------
 
@@ -659,7 +705,7 @@ impl RecoveryLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checkpoint::{CheckpointEntry, CheckpointImage, CheckpointStore};
+    use crate::checkpoint::{CheckpointImage, CheckpointStore};
     use proptest::prelude::*;
     use xtract_types::FailureReason;
 
@@ -910,6 +956,23 @@ mod tests {
         drop(log);
         let (_, replay) = RecoveryLog::open(&dir, policy).unwrap();
         assert_eq!(replay.crash_count(), 2);
+    }
+
+    #[test]
+    fn log_dir_lease_is_exclusive_until_dropped() {
+        let dir = tempdir("lease-excl");
+        let lease = LogDirLease::acquire(&dir).unwrap();
+        // A second claim on the same directory — even spelled through a
+        // relative hop — is refused with the typed busy error.
+        let aliased = dir.join("sub").join("..");
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        let err = LogDirLease::acquire(&aliased).unwrap_err();
+        assert!(matches!(err, XtractError::RecoveryLogBusy { .. }));
+        // Distinct directories do not conflict.
+        let other = tempdir("lease-other");
+        let _unrelated = LogDirLease::acquire(&other).unwrap();
+        drop(lease);
+        let _reclaimed = LogDirLease::acquire(&dir).unwrap();
     }
 
     #[test]

@@ -16,7 +16,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use xtract_obs::{Event, EventJournal};
-use xtract_types::{EndpointId, FamilyId, HedgePolicy, RetryPolicy};
+use xtract_types::{EndpointId, FamilyId, HedgePolicy, QuotaResource, RetryPolicy};
+
+use crate::tenancy::TenantCtx;
 
 /// Circuit-breaker state for one endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -232,10 +234,17 @@ impl HealthTracker {
 
 /// Bounds the total retry attempts a family may consume across all of its
 /// stages (transfers and extraction steps combined).
+///
+/// When the owning job belongs to a tenant, the ledger also charges each
+/// attempt against the tenant's [`QuotaResource::RetryBudget`]: the
+/// per-job budget still applies, but a tenant whose jobs collectively
+/// burn through the tenant-wide allowance has further retries refused
+/// across *all* of its jobs.
 #[derive(Debug)]
 pub struct RetryLedger {
     budget: u32,
     spent: HashMap<FamilyId, u32>,
+    tenant: Option<Arc<TenantCtx>>,
 }
 
 impl RetryLedger {
@@ -244,15 +253,37 @@ impl RetryLedger {
         Self {
             budget: policy.family_budget,
             spent: HashMap::new(),
+            tenant: None,
+        }
+    }
+
+    /// A ledger that additionally draws every attempt from `tenant`'s
+    /// retry-budget quota.
+    pub fn with_tenant(policy: &RetryPolicy, tenant: Arc<TenantCtx>) -> Self {
+        Self {
+            budget: policy.family_budget,
+            spent: HashMap::new(),
+            tenant: Some(tenant),
         }
     }
 
     /// Charges one attempt against `family`; returns `true` while the
-    /// family is still within budget.
+    /// family is still within budget *and* the owning tenant (if any)
+    /// still has tenant-wide retry allowance. A tenant-level refusal
+    /// marks the family exhausted so callers see one consistent verdict.
     pub fn charge(&mut self, family: FamilyId) -> bool {
         let n = self.spent.entry(family).or_insert(0);
         *n += 1;
-        *n <= self.budget
+        if *n > self.budget {
+            return false;
+        }
+        match &self.tenant {
+            Some(t) if t.charge(QuotaResource::RetryBudget, 1).is_err() => {
+                *n = self.budget + 1;
+                false
+            }
+            _ => true,
+        }
     }
 
     /// Attempts charged so far.
@@ -507,5 +538,34 @@ mod tests {
         let fam2 = FamilyId::new(10);
         l.precharge(fam2, 5);
         assert!(l.exhausted(fam2));
+    }
+
+    #[test]
+    fn tenant_retry_quota_caps_charges_across_families() {
+        use crate::tenancy::TenantRegistry;
+        use xtract_types::{TenantQuota, TenantSpec};
+        let registry = TenantRegistry::new(xtract_obs::Obs::new());
+        let id = registry
+            .register(TenantSpec::new("t", 1).with_quota(TenantQuota {
+                max_retry_attempts: Some(3),
+                ..TenantQuota::unlimited()
+            }))
+            .unwrap();
+        let tenant = registry.get(id).unwrap();
+        let mut l = RetryLedger::with_tenant(&policy(), tenant.clone());
+        // Three attempts fit the tenant allowance, spread over families
+        // that are each well inside their per-family budget of 4.
+        assert!(l.charge(FamilyId::new(0)));
+        assert!(l.charge(FamilyId::new(1)));
+        assert!(l.charge(FamilyId::new(2)));
+        // The fourth is refused by the tenant quota, and the refused
+        // family reads as exhausted from then on.
+        assert!(!l.charge(FamilyId::new(3)));
+        assert!(l.exhausted(FamilyId::new(3)));
+        assert_eq!(tenant.ledger().spent(QuotaResource::RetryBudget), 3);
+        // A second ledger for another of the tenant's jobs sees the same
+        // drained allowance immediately.
+        let mut l2 = RetryLedger::with_tenant(&policy(), tenant);
+        assert!(!l2.charge(FamilyId::new(9)));
     }
 }

@@ -43,6 +43,7 @@ use crate::planner::ExtractionPlan;
 use crate::recovery::{spec_fingerprint, RecoveryLog, RecoveryRecord};
 use crate::resilience::{BreakerState, HealthTracker, RetryLedger};
 use crate::staging::{stage_salt_base, StageOutcome, StageRequest, StagedFamily};
+use crate::tenancy::TenantCtx;
 use crate::validator::{encode_record, validate};
 use bytes::Bytes;
 use crossbeam_channel::unbounded;
@@ -61,7 +62,8 @@ use xtract_types::id::IdAllocator;
 use xtract_types::{
     ContainerId, CrashPoint, DeadLetter, EndpointId, EndpointSpec, ExtractorKind, FailureEvent,
     FailureReason, Family, FamilyId, FaultPlan, FileRecord, FunctionId, HedgePolicy, JobSpec,
-    Metadata, MetadataRecord, OrchestratorCrash, Result, RetryPolicy, TaskId, XtractError,
+    Metadata, MetadataRecord, OrchestratorCrash, QuotaResource, Result, RetryPolicy, TaskId,
+    XtractError,
 };
 
 /// Outcome of one job.
@@ -516,9 +518,14 @@ impl XtractService {
         store: &str,
         retry: &RetryPolicy,
         ledger: &Mutex<RetryLedger>,
+        tenant: Option<&Arc<TenantCtx>>,
         salt_base: u64,
     ) -> std::result::Result<u64, FailureReason> {
         let base = format!("{store}/fam-{}", family.id.raw());
+        let sizes: HashMap<&str, u64> = origin_files
+            .iter()
+            .map(|f| (f.path.as_str(), f.size))
+            .collect();
         let mut pending: Vec<(String, String)> = origin_files
             .iter()
             .map(|f| (f.path.clone(), format!("{base}{}", f.path)))
@@ -533,6 +540,22 @@ impl XtractService {
                 std::thread::sleep(Duration::from_millis(
                     retry.delay_ms(attempt, family.id.raw()),
                 ));
+            }
+            // Tenant quota: every attempt's bytes are charged before the
+            // transfer is requested (re-attempts resubmit only the failed
+            // remainder, so they charge only that remainder). A refusal
+            // fails the stage with the typed quota error in the reason.
+            if let Some(t) = tenant {
+                let attempt_bytes: u64 = pending
+                    .iter()
+                    .map(|(src, _)| sizes.get(src.as_str()).copied().unwrap_or(0))
+                    .sum();
+                if let Err(e) = t.charge(QuotaResource::TransferBytes, attempt_bytes) {
+                    return Err(FailureReason::PrefetchFailed {
+                        endpoint: exec,
+                        error: e,
+                    });
+                }
             }
             let request = TransferRequest {
                 source: origin_source,
@@ -596,6 +619,7 @@ impl XtractService {
         req: StageRequest,
         retry: &RetryPolicy,
         ledger: &Mutex<RetryLedger>,
+        tenant: Option<&Arc<TenantCtx>>,
         job_started: Instant,
     ) -> StageOutcome {
         let started_s = job_started.elapsed().as_secs_f64();
@@ -611,6 +635,7 @@ impl XtractService {
                 &req.store,
                 retry,
                 ledger,
+                tenant,
                 req.salt_base,
             )
             .map(|bytes| StagedFamily { family, bytes });
@@ -696,7 +721,22 @@ impl XtractService {
 
     /// Runs a bulk extraction job to completion.
     pub fn run_job(&self, token: Token, spec: &JobSpec) -> Result<JobReport> {
-        self.run_job_at(token, spec, None)
+        self.run_job_at(token, spec, None, None)
+    }
+
+    /// As [`Self::run_job`], with the job charged to a tenant: FaaS
+    /// invocations, staged transfer bytes, and retry attempts draw down
+    /// the tenant's quota ledger *before* they are consumed, and the
+    /// tenant's shared [`HealthTracker`] carries breaker and quarantine
+    /// state across all of its jobs. A `None` tenant behaves exactly
+    /// like [`Self::run_job`].
+    pub fn run_job_as(
+        &self,
+        token: Token,
+        spec: &JobSpec,
+        tenant: Option<&Arc<TenantCtx>>,
+    ) -> Result<JobReport> {
+        self.run_job_at(token, spec, None, tenant)
     }
 
     /// Runs a job with a durable recovery log rooted at `dir`: every
@@ -712,7 +752,19 @@ impl XtractService {
         spec: &JobSpec,
         dir: &Path,
     ) -> Result<JobReport> {
-        self.run_job_at(token, spec, Some(dir))
+        self.run_job_at(token, spec, Some(dir), None)
+    }
+
+    /// As [`Self::run_job_with_recovery`], charged to a tenant (see
+    /// [`Self::run_job_as`]).
+    pub fn run_job_with_recovery_as(
+        &self,
+        token: Token,
+        spec: &JobSpec,
+        dir: &Path,
+        tenant: Option<&Arc<TenantCtx>>,
+    ) -> Result<JobReport> {
+        self.run_job_at(token, spec, Some(dir), tenant)
     }
 
     /// Resumes a previously-interrupted job from the recovery log at
@@ -724,10 +776,16 @@ impl XtractService {
     /// remains — converging to a report equivalent to an uninterrupted
     /// run's. A log with no prior records degrades to a fresh run.
     pub fn resume_job(&self, token: Token, spec: &JobSpec, dir: &Path) -> Result<JobReport> {
-        self.run_job_at(token, spec, Some(dir))
+        self.run_job_at(token, spec, Some(dir), None)
     }
 
-    fn run_job_at(&self, token: Token, spec: &JobSpec, dir: Option<&Path>) -> Result<JobReport> {
+    fn run_job_at(
+        &self,
+        token: Token,
+        spec: &JobSpec,
+        dir: Option<&Path>,
+        tenant: Option<&Arc<TenantCtx>>,
+    ) -> Result<JobReport> {
         spec.validate()
             .map_err(|reason| XtractError::InvalidJob { reason })?;
         self.auth.check(token, Scope::Crawl)?;
@@ -743,7 +801,7 @@ impl XtractService {
             self.transfer.arm_fault_plan(plan.clone());
             self.faas.arm_fault_plan(plan.clone());
         }
-        let result = self.run_job_inner(token, spec, rec.as_ref());
+        let result = self.run_job_inner(token, spec, rec.as_ref(), tenant);
         if spec.fault_plan.is_some() {
             self.transfer.clear_faults();
             self.faas.clear_faults();
@@ -854,15 +912,27 @@ impl XtractService {
         token: Token,
         spec: &JobSpec,
         rec: Option<&RecoveryCtx>,
+        tenant: Option<&Arc<TenantCtx>>,
     ) -> Result<JobReport> {
         let job_started = Instant::now();
         let mut report = JobReport::default();
         let checkpoint = CheckpointStore::with_obs(&self.obs.hub);
         let retry = &spec.retry;
-        let mut health = HealthTracker::with_journal(retry, self.obs.journal.clone())
-            .with_quarantine(&spec.hedge);
+        // A tenant-owned job shares its tenant's health tracker, so
+        // breaker and quarantine evidence accumulates across all of the
+        // tenant's jobs; a bare job gets a private one.
+        let health = match tenant {
+            Some(t) => t.health(retry, &spec.hedge),
+            None => Arc::new(Mutex::new(
+                HealthTracker::with_journal(retry, self.obs.journal.clone())
+                    .with_quarantine(&spec.hedge),
+            )),
+        };
         // Staging-pool workers and the wave loop share the ledger.
-        let ledger = Mutex::new(RetryLedger::new(retry));
+        let ledger = Mutex::new(match tenant {
+            Some(t) => RetryLedger::with_tenant(retry, Arc::clone(t)),
+            None => RetryLedger::new(retry),
+        });
         let journal = self.obs.journal.clone();
         // A recovery log implies checkpointing: journaled steps must also
         // be loadable so a resumed family skips them.
@@ -1040,8 +1110,8 @@ impl XtractService {
                             family: req.family.id,
                             destination: req.exec,
                         });
-                        let outcome =
-                            self.execute_stage_request(token, req, retry, ledger, job_started);
+                        let outcome = self
+                            .execute_stage_request(token, req, retry, ledger, tenant, job_started);
                         gauge.dec();
                         if out_tx.send(outcome).is_err() {
                             break;
@@ -1055,7 +1125,7 @@ impl XtractService {
             // not end while any remain.
             let mut inflight = 0usize;
 
-            for mut family in families {
+            for family in families {
                 // A family a prior run segment already dead-lettered never
                 // activates again: its journaled letter ships straight to
                 // the report, and no extractor is re-invoked for it — the
@@ -1166,7 +1236,7 @@ impl XtractService {
                                 endpoint: exec,
                                 error: XtractError::NoComputeLayer { endpoint: exec },
                             };
-                            health.record_failure(exec);
+                            health.lock().record_failure(exec);
                             af.timeline.push(FailureEvent {
                                 wave: 0,
                                 endpoint: exec,
@@ -1195,12 +1265,12 @@ impl XtractService {
                         outcome,
                         &mut active,
                         &mut report,
-                        &mut health,
+                        &mut health.lock(),
                         &mut stage_spans,
                         &journal,
                     );
                 }
-                health.tick();
+                health.lock().tick();
 
                 // Graceful degradation: a family whose endpoint's breaker
                 // is open moves to a healthy endpoint, its bytes re-staged
@@ -1213,10 +1283,10 @@ impl XtractService {
                     if af.failed.is_some() || af.staging || af.plan.is_done() {
                         continue;
                     }
-                    if health.state(af.exec) != BreakerState::Open {
+                    if health.lock().state(af.exec) != BreakerState::Open {
                         continue;
                     }
-                    let Some(new_exec) = self.healthy_alternative(af.exec, spec, &health) else {
+                    let Some(new_exec) = self.healthy_alternative(af.exec, spec, &health.lock()) else {
                         if self.faas.endpoint(af.exec).is_none() {
                             // Not just tripped — the endpoint does not
                             // exist.
@@ -1243,7 +1313,7 @@ impl XtractService {
                         af.exec = new_exec;
                         report.rerouted += 1;
                         af.timeline.push(FailureEvent {
-                            wave: health.now(),
+                            wave: health.lock().now(),
                             endpoint: new_exec,
                             note: format!("rerouted from {old} to {new_exec}"),
                         });
@@ -1277,9 +1347,9 @@ impl XtractService {
                                 endpoint: new_exec,
                                 error: XtractError::NoComputeLayer { endpoint: new_exec },
                             };
-                            health.record_failure(new_exec);
+                            health.lock().record_failure(new_exec);
                             af.timeline.push(FailureEvent {
-                                wave: health.now(),
+                                wave: health.lock().now(),
                                 endpoint: new_exec,
                                 note: format!("restage at {new_exec} failed: {reason}"),
                             });
@@ -1300,7 +1370,7 @@ impl XtractService {
                     }
                     // An open breaker parks the family until a reroute or
                     // the cooldown's half-open probe readmits it.
-                    if health.state(af.exec) == BreakerState::Open {
+                    if health.lock().state(af.exec) == BreakerState::Open {
                         continue;
                     }
                     let Some(kind) = af.plan.next() else { continue };
@@ -1330,7 +1400,7 @@ impl XtractService {
                                     outcome,
                                     &mut active,
                                     &mut report,
-                                    &mut health,
+                                    &mut health.lock(),
                                     &mut stage_spans,
                                     &journal,
                                 );
@@ -1388,6 +1458,14 @@ impl XtractService {
                             task.families.iter().map(|f| f.id).collect(),
                             task.clone(),
                         ));
+                    }
+                    // Tenant quota: invocations are charged before the
+                    // batch reaches the fabric, so a refused charge means
+                    // nothing was submitted and nothing needs unwinding.
+                    if let Some(t) = tenant {
+                        let invocations: u64 =
+                            members.iter().map(|(_, fams, _)| fams.len() as u64).sum();
+                        t.charge(QuotaResource::Invocations, invocations)?;
                     }
                     let ids = self.faas.batch_submit(&specs);
                     for (id, (kind, fams, batch)) in ids.into_iter().zip(members) {
@@ -1517,8 +1595,21 @@ impl XtractService {
                                 && !e.breached
                             {
                                 e.breached = true;
-                                if let Some(alt) =
-                                    self.healthy_alternative(e.batch.endpoint, spec, &health)
+                                // A hedge is one speculative invocation; a
+                                // tenant out of invocation quota forgoes it
+                                // and rides the primary alone.
+                                let hedge_allowed = tenant.is_none_or(|t| {
+                                    t.charge(QuotaResource::Invocations, 1).is_ok()
+                                });
+                                if let Some(alt) = hedge_allowed
+                                    .then(|| {
+                                        self.healthy_alternative(
+                                            e.batch.endpoint,
+                                            spec,
+                                            &health.lock(),
+                                        )
+                                    })
+                                    .flatten()
                                 {
                                     if let Ok(hid) = self.submit_hedge(&e.batch, alt) {
                                         hedge_launched.incr();
@@ -1543,10 +1634,15 @@ impl XtractService {
                         // hedges to the best alternative, if any.
                         if !e.breached && wave_started.elapsed() >= deadline {
                             e.breached = true;
-                            health.record_breach(e.batch.endpoint);
-                            if spec.hedge.enabled && !closing {
+                            health.lock().record_breach(e.batch.endpoint);
+                            if spec.hedge.enabled
+                                && !closing
+                                && tenant.is_none_or(|t| {
+                                    t.charge(QuotaResource::Invocations, 1).is_ok()
+                                })
+                            {
                                 if let Some(alt) =
-                                    self.healthy_alternative(e.batch.endpoint, spec, &health)
+                                    self.healthy_alternative(e.batch.endpoint, spec, &health.lock())
                                 {
                                     if let Ok(hid) = self.submit_hedge(&e.batch, alt) {
                                         hedge_launched.incr();
@@ -1650,7 +1746,7 @@ impl XtractService {
                                 // Credit whichever endpoint actually
                                 // produced the result — the hedge winner's,
                                 // not necessarily the family's home.
-                                health.record_success(*winner_ep);
+                                health.lock().record_success(*winner_ep);
                             }
                             Err(e) => {
                                 for fid in fams {
@@ -1674,7 +1770,7 @@ impl XtractService {
                                 &format!("{} step failed: {e}", kind.name()),
                                 retry,
                                 &mut ledger.lock(),
-                                &mut health,
+                                &mut health.lock(),
                                 &mut report,
                                 &journal,
                             );
@@ -1687,7 +1783,7 @@ impl XtractService {
                                     error: e.to_string(),
                                 });
                             }
-                            health.record_failure(*winner_ep);
+                            health.lock().record_failure(*winner_ep);
                         }
                         TaskStatus::Lost => {
                             // Allocation expired, heartbeat vanished, or
@@ -1704,7 +1800,7 @@ impl XtractService {
                                 &format!("{} task lost", kind.name()),
                                 retry,
                                 &mut ledger.lock(),
-                                &mut health,
+                                &mut health.lock(),
                                 &mut report,
                                 &journal,
                             );
@@ -1741,7 +1837,7 @@ impl XtractService {
                                 let af = &mut active[i];
                                 if af.extended.insert(kind) {
                                     af.timeline.push(FailureEvent {
-                                        wave: health.now(),
+                                        wave: health.lock().now(),
                                         endpoint: af.exec,
                                         note: format!(
                                             "{} deadline extended (slow, not lost)",
@@ -1762,7 +1858,7 @@ impl XtractService {
                                     &format!("{} non-terminal after extended wait", kind.name()),
                                     retry,
                                     &mut ledger.lock(),
-                                    &mut health,
+                                    &mut health.lock(),
                                     &mut report,
                                     &journal,
                                 );
@@ -1778,7 +1874,7 @@ impl XtractService {
                 // wave: either all of a wave's records are durable or none
                 // are. ----------------------------------------------------
                 if let Some(ctx) = rec {
-                    let wave_no = report.waves;
+                    let wave_no = u64::from(report.waves);
                     let mut batch = std::mem::take(&mut wave_flushes);
                     {
                         // Charges vs. what the log already holds: the delta

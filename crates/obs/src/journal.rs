@@ -11,7 +11,7 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use xtract_types::{EndpointId, FamilyId, TaskId, TransferId};
+use xtract_types::{EndpointId, FamilyId, JobId, TaskId, TenantId, TransferId};
 
 /// Default ring capacity: generous for a job, bounded for a campaign.
 pub const DEFAULT_CAPACITY: usize = 4096;
@@ -211,6 +211,69 @@ pub enum Event {
         replayed: u64,
         /// Torn-tail records truncated during replay.
         truncated: u64,
+    },
+    /// A tenant job passed admission control and joined the queue.
+    JobAdmitted {
+        /// The owning tenant.
+        tenant: TenantId,
+        /// The admitted job.
+        job: JobId,
+    },
+    /// A tenant submission was refused at admission (quota pressure or a
+    /// saturated queue with nothing shed-worthy).
+    JobRejected {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// Why admission refused it.
+        reason: String,
+        /// How long the tenant should back off before retrying.
+        retry_after_ms: u64,
+    },
+    /// A *queued* (never a running) job was shed to admit higher-priority
+    /// work under overload.
+    JobShed {
+        /// The tenant whose job was shed.
+        tenant: TenantId,
+        /// The shed job.
+        job: JobId,
+        /// What displaced it.
+        reason: String,
+    },
+    /// The fair-share scheduler dispatched a queued job onto a worker.
+    JobDispatched {
+        /// The owning tenant.
+        tenant: TenantId,
+        /// The dispatched job.
+        job: JobId,
+    },
+    /// A dispatched tenant job reached a terminal status.
+    JobFinished {
+        /// The owning tenant.
+        tenant: TenantId,
+        /// The finished job.
+        job: JobId,
+        /// True when it completed with a report, false when it failed.
+        ok: bool,
+    },
+    /// A quota charge was accepted against a tenant's ledger. Summing
+    /// these per tenant/resource reproduces the ledger's spent totals —
+    /// the accounting cross-check the chaos tests scan for.
+    QuotaCharged {
+        /// The charged tenant.
+        tenant: TenantId,
+        /// Stable resource name (see `QuotaResource::name`).
+        resource: String,
+        /// Units charged (jobs, invocations, or bytes).
+        amount: u64,
+    },
+    /// A quota charge was refused: the ledger had insufficient headroom.
+    /// The charge is refused *before* the resource is consumed, so a
+    /// tenant can never overspend.
+    QuotaExhausted {
+        /// The refused tenant.
+        tenant: TenantId,
+        /// Stable resource name.
+        resource: String,
     },
 }
 
@@ -453,8 +516,40 @@ mod tests {
             replayed: 37,
             truncated: 1,
         });
+        j.record(Event::JobAdmitted {
+            tenant: TenantId::new(1),
+            job: JobId::new(5),
+        });
+        j.record(Event::JobRejected {
+            tenant: TenantId::new(2),
+            reason: "queue saturated".into(),
+            retry_after_ms: 250,
+        });
+        j.record(Event::JobShed {
+            tenant: TenantId::new(2),
+            job: JobId::new(6),
+            reason: "displaced by priority 9".into(),
+        });
+        j.record(Event::JobDispatched {
+            tenant: TenantId::new(1),
+            job: JobId::new(5),
+        });
+        j.record(Event::JobFinished {
+            tenant: TenantId::new(1),
+            job: JobId::new(5),
+            ok: true,
+        });
+        j.record(Event::QuotaCharged {
+            tenant: TenantId::new(1),
+            resource: "invocations".into(),
+            amount: 12,
+        });
+        j.record(Event::QuotaExhausted {
+            tenant: TenantId::new(2),
+            resource: "transfer_bytes".into(),
+        });
         let dump = j.to_jsonl();
-        assert_eq!(dump.lines().count(), 24);
+        assert_eq!(dump.lines().count(), 31);
         let parsed = EventJournal::parse_jsonl(&dump).unwrap();
         assert_eq!(parsed, j.events());
         // The tag is snake_case and self-describing.
@@ -467,6 +562,13 @@ mod tests {
         assert!(dump.contains("\"type\":\"record_truncated\""));
         assert!(dump.contains("\"type\":\"snapshot_compacted\""));
         assert!(dump.contains("\"type\":\"job_resumed\""));
+        assert!(dump.contains("\"type\":\"job_admitted\""));
+        assert!(dump.contains("\"type\":\"job_rejected\""));
+        assert!(dump.contains("\"type\":\"job_shed\""));
+        assert!(dump.contains("\"type\":\"job_dispatched\""));
+        assert!(dump.contains("\"type\":\"job_finished\""));
+        assert!(dump.contains("\"type\":\"quota_charged\""));
+        assert!(dump.contains("\"type\":\"quota_exhausted\""));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! validation) into a single per-family error record, and the failure-
 //! injection tests match on these variants.
 
-use crate::id::{EndpointId, TaskId, TransferId};
+use crate::id::{EndpointId, TaskId, TenantId, TransferId};
 use serde::{Deserialize, Serialize};
 
 /// Convenience alias used across the workspace.
@@ -66,6 +66,24 @@ pub enum XtractError {
     /// A recovery log was replayed against a job spec it does not belong
     /// to (the journaled fingerprint disagrees with the spec's).
     SpecFingerprintMismatch { expected: u64, found: u64 },
+    /// The job service declined to accept a submission: the queue is
+    /// saturated, the tenant is unknown, or every required endpoint is
+    /// gated by an open breaker. The caller should retry after the hinted
+    /// delay rather than treat this as a job failure.
+    AdmissionRejected {
+        tenant: TenantId,
+        reason: String,
+        retry_after_ms: u64,
+    },
+    /// A per-tenant quota ran dry mid-flight. Charged before the resource
+    /// is consumed, so the ledger never shows usage above the limit.
+    QuotaExhausted {
+        tenant: TenantId,
+        resource: String,
+    },
+    /// Another in-flight job already owns this recovery-log directory; a
+    /// second writer would interleave WAL segments and corrupt both.
+    RecoveryLogBusy { dir: String },
     /// An orchestrator invariant broke; surfaced as a record, never a
     /// panic.
     Internal { reason: String },
@@ -122,6 +140,20 @@ impl std::fmt::Display for XtractError {
                 "recovery log belongs to a different job: spec fingerprint \
                  {expected:#018x} but log records {found:#018x}"
             ),
+            XtractError::AdmissionRejected {
+                tenant,
+                reason,
+                retry_after_ms,
+            } => write!(
+                f,
+                "{tenant}: submission rejected ({reason}); retry after {retry_after_ms}ms"
+            ),
+            XtractError::QuotaExhausted { tenant, resource } => {
+                write!(f, "{tenant}: {resource} quota exhausted")
+            }
+            XtractError::RecoveryLogBusy { dir } => {
+                write!(f, "recovery log {dir:?} is owned by another in-flight job")
+            }
             XtractError::Internal { reason } => write!(f, "internal error: {reason}"),
         }
     }
@@ -201,6 +233,20 @@ mod tests {
             found: 2
         }
         .is_retryable());
+        // Admission rejection and quota exhaustion are caller-level
+        // conditions: the orchestrator must not burn retry budget on them.
+        assert!(!XtractError::AdmissionRejected {
+            tenant: TenantId::new(0),
+            reason: "queue full".into(),
+            retry_after_ms: 250
+        }
+        .is_retryable());
+        assert!(!XtractError::QuotaExhausted {
+            tenant: TenantId::new(0),
+            resource: "invocations".into()
+        }
+        .is_retryable());
+        assert!(!XtractError::RecoveryLogBusy { dir: "/tmp/x".into() }.is_retryable());
     }
 
     #[test]

@@ -103,6 +103,13 @@ define_id!(
     WorkerId,
     "wkr"
 );
+define_id!(
+    /// One registered tenant of the multi-tenant job service. Every job
+    /// submitted through the service is owned by a tenant; quotas, fair-share
+    /// weight, and breaker state are scoped to this id.
+    TenantId,
+    "tenant"
+);
 
 /// A process-wide monotonic id allocator.
 ///

@@ -35,10 +35,11 @@ pub mod group;
 pub mod id;
 pub mod metadata;
 pub mod sniff;
+pub mod tenancy;
 
 pub use config::{
-    EndpointSpec, GroupingStrategy, HedgePolicy, JobSpec, OffloadMode, RecoveryPolicy, RetryPolicy,
-    ValidationSchema,
+    ContainerRuntime, EndpointSpec, GroupingStrategy, HedgePolicy, JobSpec, OffloadMode,
+    RecoveryPolicy, RetryPolicy, ValidationSchema,
 };
 pub use error::{Result, XtractError};
 pub use extractor::ExtractorKind;
@@ -47,7 +48,9 @@ pub use fault::{AllocationExpiry, Blackout, CrashPoint, FaultPlan, FaultScope, O
 pub use file::{FileRecord, FileType};
 pub use group::{Family, FamilyBatch, Group};
 pub use id::{
-    ContainerId, EndpointId, FamilyId, FunctionId, GroupId, JobId, TaskId, TransferId, WorkerId,
+    ContainerId, EndpointId, FamilyId, FunctionId, GroupId, JobId, TaskId, TenantId, TransferId,
+    WorkerId,
 };
 pub use metadata::{Metadata, MetadataRecord};
 pub use sniff::{sniff_bytes, sniff_extension, sniff_path};
+pub use tenancy::{QuotaResource, ServicePolicy, TenantQuota, TenantSpec};

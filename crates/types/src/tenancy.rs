@@ -1,0 +1,279 @@
+//! Multi-tenant service vocabulary: tenants, quotas, and service policy.
+//!
+//! The paper's Xtract interface (§3, Listing 2) is an asynchronous
+//! multi-user service: many submitters share a federated pool of endpoints,
+//! and funcX — the substrate it rides on — enforces per-user limits so one
+//! user's burst cannot monopolize the fabric. These types give the job
+//! service the same vocabulary: a [`TenantSpec`] names a submitter and its
+//! fair-share weight, a [`TenantQuota`] bounds the resources a tenant may
+//! consume across *all* of its jobs, and a [`ServicePolicy`] sizes the
+//! shared worker pool and admission queue.
+//!
+//! Like the rest of this crate these are pure data — enforcement lives in
+//! `xtract-core`'s tenancy/queue modules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, XtractError};
+
+/// A resource dimension a tenant quota can bound.
+///
+/// The names are stable strings: they appear in journal events
+/// (`quota_charged`) and metric labels, and the accounting tests reconcile
+/// ledger state against a journal scan keyed by these names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum QuotaResource {
+    /// Jobs a tenant may have running at once (queued jobs are unbounded
+    /// up to the service queue capacity).
+    ConcurrentJobs,
+    /// Total FaaS extractor invocations across all of the tenant's jobs.
+    Invocations,
+    /// Total bytes staged through the transfer fabric on the tenant's
+    /// behalf.
+    TransferBytes,
+    /// Total retry attempts charged across all of the tenant's jobs — the
+    /// per-job retry budget lifted to tenant scope.
+    RetryBudget,
+}
+
+impl QuotaResource {
+    /// Stable label used in journal events and metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuotaResource::ConcurrentJobs => "concurrent_jobs",
+            QuotaResource::Invocations => "invocations",
+            QuotaResource::TransferBytes => "transfer_bytes",
+            QuotaResource::RetryBudget => "retry_budget",
+        }
+    }
+}
+
+impl std::fmt::Display for QuotaResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-tenant resource ceilings. `None` means unlimited on that axis.
+///
+/// Quotas are charged *before* the resource is consumed (invocations before
+/// batch-submit, bytes before a transfer is requested), so a tenant can
+/// never overspend: the ledger may show headroom that was charged for work
+/// that later failed, but never usage above the limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(default)]
+pub struct TenantQuota {
+    /// Maximum jobs running at once.
+    pub max_concurrent_jobs: Option<u64>,
+    /// Maximum total extractor invocations.
+    pub max_invocations: Option<u64>,
+    /// Maximum total bytes staged through the transfer fabric.
+    pub max_transfer_bytes: Option<u64>,
+    /// Maximum total retry attempts across the tenant's jobs.
+    pub max_retry_attempts: Option<u64>,
+}
+
+impl TenantQuota {
+    /// An unlimited quota (every axis `None`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Returns the configured limit for `resource`, if any.
+    pub fn limit(&self, resource: QuotaResource) -> Option<u64> {
+        match resource {
+            QuotaResource::ConcurrentJobs => self.max_concurrent_jobs,
+            QuotaResource::Invocations => self.max_invocations,
+            QuotaResource::TransferBytes => self.max_transfer_bytes,
+            QuotaResource::RetryBudget => self.max_retry_attempts,
+        }
+    }
+
+    /// Rejects degenerate limits (a zero concurrent-job cap can never
+    /// dispatch anything and is almost certainly a config mistake).
+    pub fn validate(&self) -> Result<()> {
+        if self.max_concurrent_jobs == Some(0) {
+            return Err(XtractError::InvalidJob {
+                reason: "tenant quota: max_concurrent_jobs must be >= 1 when set".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Registration record for one tenant of the job service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct TenantSpec {
+    /// Human-readable name; used as the metric label for per-tenant
+    /// counters.
+    pub name: String,
+    /// Fair-share weight. A weight-3 tenant receives three dispatch slots
+    /// for every one a weight-1 tenant receives when both have pending
+    /// work. Must be >= 1.
+    pub weight: u32,
+    /// Resource ceilings; defaults to unlimited.
+    pub quota: TenantQuota,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        Self {
+            name: String::new(),
+            weight: 1,
+            quota: TenantQuota::unlimited(),
+        }
+    }
+}
+
+impl TenantSpec {
+    /// A named tenant with the given weight and no quota.
+    pub fn new(name: impl Into<String>, weight: u32) -> Self {
+        Self {
+            name: name.into(),
+            weight,
+            quota: TenantQuota::unlimited(),
+        }
+    }
+
+    /// Builder: attach a quota.
+    pub fn with_quota(mut self, quota: TenantQuota) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    /// Checks the spec for registration.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(XtractError::InvalidJob {
+                reason: "tenant spec: name must not be empty".into(),
+            });
+        }
+        if self.weight == 0 {
+            return Err(XtractError::InvalidJob {
+                reason: format!("tenant spec {:?}: weight must be >= 1", self.name),
+            });
+        }
+        self.quota.validate()
+    }
+}
+
+/// Sizing and overload policy for the shared job service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ServicePolicy {
+    /// Worker threads in the shared pool. Each worker runs one job at a
+    /// time, so this bounds service-wide concurrency.
+    pub workers: usize,
+    /// Maximum jobs queued (pending) across all tenants. Submissions past
+    /// this either shed a lower-priority pending job or are rejected with
+    /// a retry-after hint.
+    pub queue_capacity: usize,
+    /// Retry-after hint (milliseconds) attached to admission rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServicePolicy {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+impl ServicePolicy {
+    /// Checks the policy before the service spins up its pool.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(XtractError::InvalidJob {
+                reason: "service policy: workers must be >= 1".into(),
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(XtractError::InvalidJob {
+                reason: "service policy: queue_capacity must be >= 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_limits_map_to_resources() {
+        let q = TenantQuota {
+            max_concurrent_jobs: Some(2),
+            max_invocations: Some(100),
+            max_transfer_bytes: Some(1 << 20),
+            max_retry_attempts: None,
+        };
+        assert_eq!(q.limit(QuotaResource::ConcurrentJobs), Some(2));
+        assert_eq!(q.limit(QuotaResource::Invocations), Some(100));
+        assert_eq!(q.limit(QuotaResource::TransferBytes), Some(1 << 20));
+        assert_eq!(q.limit(QuotaResource::RetryBudget), None);
+        assert!(q.validate().is_ok());
+        assert!(TenantQuota {
+            max_concurrent_jobs: Some(0),
+            ..TenantQuota::unlimited()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn tenant_spec_validates_name_and_weight() {
+        assert!(TenantSpec::new("alpha", 3).validate().is_ok());
+        assert!(TenantSpec::new("", 1).validate().is_err());
+        assert!(TenantSpec::new("beta", 0).validate().is_err());
+    }
+
+    #[test]
+    fn service_policy_rejects_zero_sizes() {
+        assert!(ServicePolicy::default().validate().is_ok());
+        assert!(ServicePolicy {
+            workers: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ServicePolicy {
+            queue_capacity: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn sparse_deserialization_fills_defaults() {
+        let spec: TenantSpec = serde_json::from_str(r#"{"name":"alpha"}"#).unwrap();
+        assert_eq!(spec.weight, 1);
+        assert_eq!(spec.quota, TenantQuota::unlimited());
+
+        let quota: TenantQuota = serde_json::from_str(r#"{"max_invocations":7}"#).unwrap();
+        assert_eq!(quota.max_invocations, Some(7));
+        assert_eq!(quota.max_transfer_bytes, None);
+
+        let policy: ServicePolicy = serde_json::from_str(r#"{"workers":2}"#).unwrap();
+        assert_eq!(policy.workers, 2);
+        assert_eq!(policy.queue_capacity, ServicePolicy::default().queue_capacity);
+    }
+
+    #[test]
+    fn quota_resource_names_are_stable() {
+        // Journal events and metric labels key off these strings; changing
+        // them silently breaks accounting reconciliation.
+        assert_eq!(QuotaResource::ConcurrentJobs.name(), "concurrent_jobs");
+        assert_eq!(QuotaResource::Invocations.name(), "invocations");
+        assert_eq!(QuotaResource::TransferBytes.name(), "transfer_bytes");
+        assert_eq!(QuotaResource::RetryBudget.name(), "retry_budget");
+        let json = serde_json::to_string(&QuotaResource::TransferBytes).unwrap();
+        assert_eq!(json, r#""transfer_bytes""#);
+    }
+}

@@ -34,5 +34,7 @@ pub mod materialize;
 pub mod mdf;
 pub mod profile;
 pub mod table1;
+pub mod tenants;
 
 pub use profile::{FamilyProfile, RepoStats};
+pub use tenants::{arrival_schedule, Arrival, TenantLoadProfile};

@@ -31,6 +31,11 @@
 //!
 //! xtract-cli demo
 //!     self-contained end-to-end demo on a synthetic repository
+//!
+//! xtract-cli tenants [jobs-per-tenant]
+//!     multi-tenant job-service demo: two tenants of different weights
+//!     (and one with a tight invocation quota) share one worker pool;
+//!     prints the per-tenant service counters and quota ledgers
 //! ```
 
 use std::io::Write;
@@ -56,7 +61,8 @@ fn usage() -> ! {
          \n  campaign [groups]                            simulate the Fig. 8 MDF campaign\
          \n  report <dir> [--workers N]                   extract, print JSON phase timings + metrics\
          \n  events <dir> [--workers N]                   extract, dump the event journal as JSONL\
-         \n  demo                                         synthetic end-to-end demo"
+         \n  demo                                         synthetic end-to-end demo\
+         \n  tenants [jobs-per-tenant]                    multi-tenant fair-share service demo"
     );
     std::process::exit(2);
 }
@@ -396,6 +402,130 @@ fn cmd_demo() -> Result<(), String> {
     Ok(())
 }
 
+/// `tenants`: two tenants of different weights (plus a quota-pinched
+/// third) share one `JobService` worker pool over a synthetic repository.
+fn cmd_tenants(args: &[String]) -> Result<(), String> {
+    use xtract_core::{JobService, JobStatus};
+    use xtract_types::{QuotaResource, ServicePolicy, TenantQuota, TenantSpec};
+
+    let jobs_per: usize = args
+        .first()
+        .map(|v| v.parse().map_err(|_| "jobs-per-tenant must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+
+    let fabric = Arc::new(DataFabric::new());
+    let ep = EndpointId::new(0);
+    let fs = Arc::new(MemFs::new(ep));
+    let (_, stats) =
+        xtract_workloads::materialize::sample_repo(fs.as_ref(), "/data", 40, &RngStreams::new(9));
+    eprintln!("synthesized {} files ({} bytes)", stats.files, stats.bytes);
+    fabric.register(ep, "shared", fs);
+    let auth = Arc::new(AuthService::new());
+    let token = auth.login(
+        "tenants-demo",
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
+    );
+    let service = Arc::new(XtractService::new(fabric, auth, 0xC12));
+    let spec = JobSpec::single_endpoint(
+        EndpointSpec {
+            endpoint: ep,
+            read_path: "/data".into(),
+            store_path: Some("/stage".into()),
+            available_bytes: 1 << 30,
+            workers: Some(4),
+            runtime: ContainerRuntime::Docker,
+        },
+        "/data",
+    );
+    service
+        .connect_endpoint(&spec.endpoints[0])
+        .map_err(|e| e.to_string())?;
+
+    let svc = JobService::new(
+        service,
+        ServicePolicy {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    // "heavy" gets three dispatch slots for every one "light" gets;
+    // "metered" demonstrates admission control by running out of
+    // invocation quota partway through its submissions.
+    let heavy = svc
+        .register_tenant(TenantSpec::new("heavy", 3))
+        .map_err(|e| e.to_string())?;
+    let light = svc
+        .register_tenant(TenantSpec::new("light", 1))
+        .map_err(|e| e.to_string())?;
+    let metered = svc
+        .register_tenant(TenantSpec::new("metered", 1).with_quota(TenantQuota {
+            max_invocations: Some(60),
+            ..TenantQuota::unlimited()
+        }))
+        .map_err(|e| e.to_string())?;
+
+    let profiles = [
+        xtract_workloads::TenantLoadProfile::new("heavy", 3, jobs_per),
+        xtract_workloads::TenantLoadProfile::new("light", 1, jobs_per),
+        xtract_workloads::TenantLoadProfile::new("metered", 1, jobs_per),
+    ];
+    let tenant_ids = [heavy, light, metered];
+    let mut submitted = Vec::new();
+    let mut rejected = 0usize;
+    for arrival in xtract_workloads::arrival_schedule(&profiles, 7) {
+        let tenant = tenant_ids[arrival.tenant_index];
+        match svc.submit(tenant, arrival.priority, token, spec.clone()) {
+            Ok(id) => submitted.push(id),
+            Err(e) => {
+                rejected += 1;
+                eprintln!("  rejected: {e}");
+            }
+        }
+    }
+    for id in &submitted {
+        match svc.wait(*id, std::time::Duration::from_secs(120)) {
+            Some(JobStatus::Complete { .. }) => {}
+            Some(other) => eprintln!("  {id} ended {other:?}"),
+            None => eprintln!("  {id} unknown"),
+        }
+    }
+
+    let snap = svc.obs().hub.snapshot();
+    println!("tenant    weight  admitted  dispatched  completed  failed  rejected");
+    for (spec_p, id) in profiles.iter().zip(tenant_ids) {
+        let n = &spec_p.name;
+        println!(
+            "{:<9} {:>6}  {:>8}  {:>10}  {:>9}  {:>6}  {:>8}",
+            n,
+            spec_p.weight,
+            snap.counter_with("service.admitted", Some(n)),
+            snap.counter_with("service.dispatched", Some(n)),
+            snap.counter_with("service.completed", Some(n)),
+            snap.counter_with("service.failed", Some(n)),
+            snap.counter_with("service.rejected", Some(n)),
+        );
+        let ctx = svc.tenant(id).expect("registered");
+        println!(
+            "          quota: invocations {} / {:?}, transfer bytes {}, retries {}",
+            ctx.ledger().spent(QuotaResource::Invocations),
+            ctx.ledger().limits().max_invocations,
+            ctx.ledger().spent(QuotaResource::TransferBytes),
+            ctx.ledger().spent(QuotaResource::RetryBudget),
+        );
+    }
+    if rejected > 0 {
+        println!("{rejected} submission(s) rejected at admission (quota exhausted)");
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -409,6 +539,7 @@ fn main() {
         "report" => cmd_report(rest),
         "events" => cmd_events(rest),
         "demo" => cmd_demo(),
+        "tenants" => cmd_tenants(rest),
         _ => usage(),
     };
     if let Err(e) = outcome {

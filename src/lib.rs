@@ -47,7 +47,8 @@ pub mod prelude {
     pub use xtract_types::{
         AllocationExpiry, Blackout, DeadLetter, EndpointId, EndpointSpec, ExtractorKind,
         FailureReason, Family, FamilyBatch, FaultPlan, FaultScope, FileRecord, FileType,
-        GroupingStrategy, HedgePolicy, JobSpec, Metadata, OffloadMode, RetryPolicy,
-        ValidationSchema, XtractError,
+        GroupingStrategy, HedgePolicy, JobSpec, Metadata, OffloadMode, QuotaResource,
+        RetryPolicy, ServicePolicy, TenantId, TenantQuota, TenantSpec, ValidationSchema,
+        XtractError,
     };
 }
