@@ -41,30 +41,16 @@ pub fn image_sort_profiles(n: u64, seed: u64) -> Vec<FamilyProfile> {
 }
 
 /// `n` long-duration MaterialsIO group profiles (§5.2's MDF subset:
-/// 200 000 groups, 1.1 TB ⇒ ≈5.5 MB per group).
+/// 200 000 groups, 1.1 TB ⇒ ≈5.5 MB per group). Delegates to
+/// [`xtract_workloads::matio`] (same RNG stream names, so profiles are
+/// byte-identical to what this crate used to generate itself).
 pub fn matio_profiles(n: u64, seed: u64) -> Vec<FamilyProfile> {
-    use rand::Rng;
-    let mut rng = xtract_sim::RngStreams::new(seed).stream("matio-profiles");
-    (0..n)
-        .map(|_| FamilyProfile {
-            class: "matio",
-            files: rng.gen_range(2..9),
-            bytes: xtract_sim::dist::lognormal_clamped(&mut rng, 15.0, 1.0, 1.0e4, 1.0e9) as u64,
-        })
-        .collect()
+    xtract_workloads::matio::profiles(n, &xtract_sim::RngStreams::new(seed))
 }
 
 /// `n` small MaterialsIO task profiles (the Fig. 5 batching workload).
 pub fn matio_lite_profiles(n: u64, seed: u64) -> Vec<FamilyProfile> {
-    use rand::Rng;
-    let mut rng = xtract_sim::RngStreams::new(seed).stream("matio-lite");
-    (0..n)
-        .map(|_| FamilyProfile {
-            class: "matio-lite",
-            files: 1,
-            bytes: rng.gen_range(10_000..200_000),
-        })
-        .collect()
+    xtract_workloads::matio::lite_profiles(n, &xtract_sim::RngStreams::new(seed))
 }
 
 #[cfg(test)]

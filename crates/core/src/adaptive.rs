@@ -1,0 +1,518 @@
+//! Adaptive two-level batching: the per-endpoint feedback controller.
+//!
+//! The paper freezes `(xtract_batch_size, funcx_batch_size)` per job and
+//! sweeps them offline (Fig. 5). This module closes the loop online: an
+//! AIMD-style controller watches each wave's per-family completion pace
+//! and walks both knobs toward the throughput knee, backing off hard when
+//! an endpoint shows distress (adaptive-deadline breaches, an open
+//! breaker, or a pace regression).
+//!
+//! **Control law.** For each endpoint the controller keeps fractional
+//! knobs `(x, f)` clamped to the policy's `[floor, ceiling]` boxes. After
+//! each wave it receives a [`WaveEvidence`]:
+//!
+//! * distress (`breaches > 0` or `breaker_open`) → multiplicative
+//!   decrease: `x *= backoff`, `f *= backoff`; the pace baseline resets
+//!   so the next clean wave re-anchors it.
+//! * a trusted pace (`samples >= min_wave_samples`) within `tolerance`
+//!   of the *best pace seen since the last backoff* → additive increase:
+//!   `x += grow_step`, `f += grow_step`.
+//! * a trusted pace that regressed beyond `tolerance` of that best →
+//!   multiplicative decrease.
+//! * too few samples → hold.
+//!
+//! Anchoring against the best-so-far (not the previous wave) is what
+//! makes the controller converge: near the throughput knee each single
+//! growth step degrades pace by less than `tolerance`, and a
+//! previous-wave baseline would ratchet straight past the knee to the
+//! ceiling. Against the best anchor the small regressions *accumulate*
+//! until they cross `tolerance`, producing the classic AIMD sawtooth
+//! around the optimum.
+//!
+//! "Pace" is the wave's p50 per-family completion latency divided by the
+//! number of families the wave carried — a size-normalized cost, so waves
+//! of different widths compare fairly. Decisions are a pure function of
+//! the evidence sequence: no clocks, no randomness. A resumed job
+//! replays its journal, counts committed waves, and [`warm-starts`]
+//! the controller with that many clean growth steps — controller state
+//! is *recomputed* from evidence, never persisted.
+//!
+//! [`warm-starts`]: AdaptiveTuner::with_replayed_waves
+//!
+//! The poll-request width rides the same limits: a wave polling `n`
+//! outstanding tasks chunks them into requests of
+//! `(x * f).clamp(poll_floor, poll_ceiling)` ids, so poll fan-out grows
+//! and shrinks with dispatch fan-out.
+
+use std::collections::BTreeMap;
+use xtract_types::{AdaptiveBatching, EndpointId};
+
+/// The batching limits in force for one endpoint at one wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchLimits {
+    /// Families per Xtract batch (level 1).
+    pub xtract: usize,
+    /// Xtract batches per funcX web request (level 2).
+    pub funcx: usize,
+    /// Task ids per batch-poll request.
+    pub poll_chunk: usize,
+}
+
+impl BatchLimits {
+    /// Caps the funcX batch so one full request's invocation charge
+    /// (`xtract * funcx` families) fits inside a tenant's remaining
+    /// invocation budget. The cap never drops below `funcx_floor`:
+    /// when the budget is nearly spent the job still makes progress
+    /// (and the quota ledger — which charges *before* submit — remains
+    /// the authority that finally stops it).
+    pub fn cap_to_invocations(self, headroom: Option<u64>, funcx_floor: usize) -> Self {
+        let Some(headroom) = headroom else {
+            return self;
+        };
+        let per_task = self.xtract.max(1) as u64;
+        let affordable = (headroom / per_task) as usize;
+        Self {
+            funcx: self.funcx.min(affordable.max(funcx_floor)),
+            ..self
+        }
+    }
+}
+
+/// What one completed wave tells the controller about one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveEvidence {
+    /// p50 of per-family completion latency this wave, seconds from wave
+    /// start. `None` when the wave resolved nothing productive.
+    pub p50_latency_s: Option<f64>,
+    /// Latency samples backing `p50_latency_s`.
+    pub samples: u64,
+    /// Families this endpoint carried in the wave (the pace normalizer).
+    pub families: u64,
+    /// Adaptive-deadline breaches charged to this endpoint in the wave.
+    pub breaches: u64,
+    /// Whether the endpoint's circuit breaker was open at wave end.
+    pub breaker_open: bool,
+}
+
+/// What the controller did with a wave's evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuneDecision {
+    /// Additive increase applied.
+    Grew,
+    /// Multiplicative decrease applied.
+    BackedOff,
+    /// Evidence too thin (or limits already pinned); nothing changed.
+    Held,
+}
+
+/// The wave loop's view of a batch-size source. `StaticTuner` freezes
+/// the spec's sizes (today's behavior); `AdaptiveTuner` closes the loop.
+pub trait BatchTuner {
+    /// Limits to build the next wave's batches with, for `endpoint`.
+    fn limits(&mut self, endpoint: EndpointId) -> BatchLimits;
+    /// Feeds one completed wave's evidence back.
+    fn observe_wave(&mut self, endpoint: EndpointId, evidence: &WaveEvidence) -> TuneDecision;
+}
+
+/// The no-op tuner: spec sizes, unbounded polls, evidence ignored.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticTuner {
+    limits: BatchLimits,
+}
+
+impl StaticTuner {
+    /// Static limits from the spec's two batch knobs.
+    pub fn new(xtract: usize, funcx: usize) -> Self {
+        Self {
+            limits: BatchLimits {
+                xtract,
+                funcx,
+                poll_chunk: usize::MAX,
+            },
+        }
+    }
+}
+
+impl BatchTuner for StaticTuner {
+    fn limits(&mut self, _endpoint: EndpointId) -> BatchLimits {
+        self.limits
+    }
+
+    fn observe_wave(&mut self, _endpoint: EndpointId, _evidence: &WaveEvidence) -> TuneDecision {
+        TuneDecision::Held
+    }
+}
+
+/// Per-endpoint controller state. Knobs are fractional so repeated
+/// multiplicative backoff accumulates below integer resolution instead
+/// of sticking at a rounded value.
+#[derive(Debug, Clone, Copy)]
+struct EndpointCtl {
+    xtract: f64,
+    funcx: f64,
+    /// Best (lowest) trusted pace since the last backoff; `None` right
+    /// after a backoff (or at birth) so the next clean wave re-anchors
+    /// the baseline.
+    best_pace: Option<f64>,
+}
+
+/// The AIMD feedback controller (see module docs for the law).
+#[derive(Debug, Clone)]
+pub struct AdaptiveTuner {
+    policy: AdaptiveBatching,
+    start_xtract: usize,
+    start_funcx: usize,
+    /// Clean growth steps to pre-apply when an endpoint is first seen —
+    /// the replay warm start. `BTreeMap` keeps any iteration
+    /// deterministic.
+    warm_steps: u64,
+    states: BTreeMap<EndpointId, EndpointCtl>,
+}
+
+impl AdaptiveTuner {
+    /// A controller governed by `policy`, starting every endpoint at the
+    /// spec's static sizes clamped into the policy's boxes.
+    pub fn new(policy: AdaptiveBatching, start_xtract: usize, start_funcx: usize) -> Self {
+        debug_assert!(policy.validate().is_ok());
+        Self {
+            policy,
+            start_xtract,
+            start_funcx,
+            warm_steps: 0,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// Warm start after WAL replay: `waves` committed waves were replayed
+    /// from the journal, so every endpoint first seen by this controller
+    /// behaves as if it had already survived that many clean growth
+    /// steps. Deterministic given the journal; nothing is persisted.
+    pub fn with_replayed_waves(mut self, waves: u64) -> Self {
+        self.warm_steps = waves;
+        self
+    }
+
+    fn clamp(&self, ctl: &mut EndpointCtl) {
+        let p = &self.policy;
+        ctl.xtract = ctl
+            .xtract
+            .clamp(p.xtract_floor as f64, p.xtract_ceiling as f64);
+        ctl.funcx = ctl
+            .funcx
+            .clamp(p.funcx_floor as f64, p.funcx_ceiling as f64);
+    }
+
+    fn grow(&self, ctl: &mut EndpointCtl) {
+        ctl.xtract += self.policy.grow_step as f64;
+        ctl.funcx += self.policy.grow_step as f64;
+        self.clamp(ctl);
+    }
+
+    fn back_off(&self, ctl: &mut EndpointCtl) {
+        ctl.xtract *= self.policy.backoff;
+        ctl.funcx *= self.policy.backoff;
+        self.clamp(ctl);
+        ctl.best_pace = None;
+    }
+
+    fn state(&mut self, endpoint: EndpointId) -> &mut EndpointCtl {
+        if !self.states.contains_key(&endpoint) {
+            let mut ctl = EndpointCtl {
+                xtract: self.start_xtract as f64,
+                funcx: self.start_funcx as f64,
+                best_pace: None,
+            };
+            self.clamp(&mut ctl);
+            for _ in 0..self.warm_steps {
+                self.grow(&mut ctl);
+            }
+            self.states.insert(endpoint, ctl);
+        }
+        self.states.get_mut(&endpoint).expect("state just inserted")
+    }
+
+    fn limits_of(&self, ctl: &EndpointCtl) -> BatchLimits {
+        let xtract = (ctl.xtract.round() as usize)
+            .clamp(self.policy.xtract_floor, self.policy.xtract_ceiling);
+        let funcx =
+            (ctl.funcx.round() as usize).clamp(self.policy.funcx_floor, self.policy.funcx_ceiling);
+        BatchLimits {
+            xtract,
+            funcx,
+            poll_chunk: (xtract * funcx).clamp(self.policy.poll_floor, self.policy.poll_ceiling),
+        }
+    }
+
+    /// The policy this controller enforces.
+    pub fn policy(&self) -> &AdaptiveBatching {
+        &self.policy
+    }
+}
+
+impl BatchTuner for AdaptiveTuner {
+    fn limits(&mut self, endpoint: EndpointId) -> BatchLimits {
+        let ctl = *self.state(endpoint);
+        self.limits_of(&ctl)
+    }
+
+    fn observe_wave(&mut self, endpoint: EndpointId, evidence: &WaveEvidence) -> TuneDecision {
+        let mut ctl = *self.state(endpoint);
+        let decision = if evidence.breaches > 0 || evidence.breaker_open {
+            self.back_off(&mut ctl);
+            TuneDecision::BackedOff
+        } else if evidence.samples < self.policy.min_wave_samples || evidence.families == 0 {
+            TuneDecision::Held
+        } else if let Some(p50) = evidence.p50_latency_s {
+            let pace = p50 / evidence.families as f64;
+            let verdict = match ctl.best_pace {
+                // First trusted wave since (re)anchor: optimistic growth.
+                None => TuneDecision::Grew,
+                Some(best) if pace <= best * (1.0 + self.policy.tolerance) => TuneDecision::Grew,
+                Some(_) => TuneDecision::BackedOff,
+            };
+            match verdict {
+                TuneDecision::Grew => {
+                    self.grow(&mut ctl);
+                    ctl.best_pace = Some(ctl.best_pace.map_or(pace, |b| b.min(pace)));
+                }
+                TuneDecision::BackedOff => {
+                    self.back_off(&mut ctl);
+                }
+                TuneDecision::Held => {}
+            }
+            verdict
+        } else {
+            TuneDecision::Held
+        };
+        self.states.insert(endpoint, ctl);
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ep(id: u64) -> EndpointId {
+        EndpointId::new(id)
+    }
+
+    fn policy() -> AdaptiveBatching {
+        AdaptiveBatching::enabled()
+    }
+
+    fn clean(p50: f64, families: u64) -> WaveEvidence {
+        WaveEvidence {
+            p50_latency_s: Some(p50),
+            samples: families,
+            families,
+            breaches: 0,
+            breaker_open: false,
+        }
+    }
+
+    #[test]
+    fn grows_while_pace_improves() {
+        let mut t = AdaptiveTuner::new(policy(), 2, 2);
+        let start = t.limits(ep(0));
+        assert_eq!((start.xtract, start.funcx), (2, 2));
+        // Bigger batches keep amortizing cost: pace falls wave over wave.
+        for i in 0..8u64 {
+            let d = t.observe_wave(ep(0), &clean(10.0 / (i + 1) as f64, 100));
+            assert_eq!(d, TuneDecision::Grew);
+        }
+        let grown = t.limits(ep(0));
+        assert!(grown.xtract > start.xtract && grown.funcx > start.funcx);
+    }
+
+    #[test]
+    fn backs_off_on_breach_and_breaker() {
+        let mut t = AdaptiveTuner::new(policy(), 16, 16);
+        let before = t.limits(ep(0));
+        let d = t.observe_wave(
+            ep(0),
+            &WaveEvidence {
+                breaches: 1,
+                ..clean(1.0, 100)
+            },
+        );
+        assert_eq!(d, TuneDecision::BackedOff);
+        let after = t.limits(ep(0));
+        assert!(after.xtract < before.xtract && after.funcx < before.funcx);
+
+        let d = t.observe_wave(
+            ep(0),
+            &WaveEvidence {
+                breaker_open: true,
+                ..clean(1.0, 100)
+            },
+        );
+        assert_eq!(d, TuneDecision::BackedOff);
+        assert!(t.limits(ep(0)).xtract < after.xtract);
+    }
+
+    #[test]
+    fn backs_off_on_pace_regression() {
+        let mut t = AdaptiveTuner::new(policy(), 8, 8);
+        assert_eq!(t.observe_wave(ep(0), &clean(1.0, 100)), TuneDecision::Grew);
+        // Same families, much slower: pace regressed beyond tolerance.
+        assert_eq!(
+            t.observe_wave(ep(0), &clean(2.0, 100)),
+            TuneDecision::BackedOff
+        );
+    }
+
+    #[test]
+    fn creeping_regression_accumulates_to_a_backoff() {
+        // Each wave is only ~8% worse than the one before — under
+        // tolerance wave-over-wave, but compounding past it against the
+        // anchored best. A previous-wave baseline would ratchet to the
+        // ceiling here; the best-pace anchor must eventually back off.
+        let mut t = AdaptiveTuner::new(policy(), 8, 8);
+        assert_eq!(t.observe_wave(ep(0), &clean(1.0, 100)), TuneDecision::Grew);
+        let mut p50 = 1.0;
+        let mut decisions = Vec::new();
+        for _ in 0..6 {
+            p50 *= 1.08;
+            decisions.push(t.observe_wave(ep(0), &clean(p50, 100)));
+        }
+        assert!(
+            decisions.contains(&TuneDecision::BackedOff),
+            "creeping regression never backed off: {decisions:?}"
+        );
+    }
+
+    #[test]
+    fn thin_waves_hold() {
+        let mut t = AdaptiveTuner::new(policy(), 8, 8);
+        let before = t.limits(ep(0));
+        let d = t.observe_wave(
+            ep(0),
+            &WaveEvidence {
+                samples: 1,
+                ..clean(1.0, 1)
+            },
+        );
+        assert_eq!(d, TuneDecision::Held);
+        assert_eq!(t.limits(ep(0)), before);
+    }
+
+    #[test]
+    fn endpoints_are_independent() {
+        let mut t = AdaptiveTuner::new(policy(), 8, 8);
+        t.observe_wave(
+            ep(0),
+            &WaveEvidence {
+                breaches: 3,
+                ..clean(1.0, 100)
+            },
+        );
+        assert!(t.limits(ep(0)).xtract < 8);
+        assert_eq!(t.limits(ep(1)).xtract, 8);
+    }
+
+    #[test]
+    fn warm_start_pre_applies_growth() {
+        let cold = AdaptiveTuner::new(policy(), 2, 2).limits(ep(0));
+        let warm = AdaptiveTuner::new(policy(), 2, 2)
+            .with_replayed_waves(4)
+            .limits(ep(0));
+        assert_eq!(cold.xtract, 2);
+        assert_eq!(warm.xtract, 2 + 4 * policy().grow_step);
+        // Warm start saturates at the ceiling, never past it.
+        let capped = AdaptiveTuner::new(policy(), 2, 2)
+            .with_replayed_waves(10_000)
+            .limits(ep(0));
+        assert_eq!(capped.xtract, policy().xtract_ceiling);
+        assert_eq!(capped.funcx, policy().funcx_ceiling);
+    }
+
+    #[test]
+    fn poll_chunk_tracks_limits_within_clamps() {
+        let p = policy();
+        let mut t = AdaptiveTuner::new(p, 2, 2);
+        let lim = t.limits(ep(0));
+        assert_eq!(
+            lim.poll_chunk,
+            (2usize * 2).clamp(p.poll_floor, p.poll_ceiling)
+        );
+        let stat = StaticTuner::new(8, 16).limits(ep(0));
+        assert_eq!(stat.poll_chunk, usize::MAX);
+    }
+
+    #[test]
+    fn tenant_headroom_caps_funcx() {
+        let lim = BatchLimits {
+            xtract: 8,
+            funcx: 16,
+            poll_chunk: 128,
+        };
+        // 40 invocations left / 8 per task → at most 5 tasks per request.
+        assert_eq!(lim.cap_to_invocations(Some(40), 1).funcx, 5);
+        // No quota → untouched.
+        assert_eq!(lim.cap_to_invocations(None, 1).funcx, 16);
+        // Exhausted budget still leaves the floor.
+        assert_eq!(lim.cap_to_invocations(Some(0), 2).funcx, 2);
+        // Ample budget never raises the limit.
+        assert_eq!(lim.cap_to_invocations(Some(1 << 40), 1).funcx, 16);
+    }
+
+    fn arbitrary_evidence() -> impl Strategy<Value = WaveEvidence> {
+        (
+            proptest::option::of(0.0f64..500.0),
+            0u64..400,
+            0u64..400,
+            0u64..3,
+            any::<bool>(),
+        )
+            .prop_map(
+                |(p50, samples, families, breaches, breaker_open)| WaveEvidence {
+                    p50_latency_s: p50,
+                    samples,
+                    families,
+                    breaches,
+                    breaker_open,
+                },
+            )
+    }
+
+    proptest! {
+        /// Limits stay inside the policy box for any evidence sequence.
+        #[test]
+        fn limits_always_within_bounds(
+            evidence in proptest::collection::vec(arbitrary_evidence(), 0..60),
+            start_x in 0usize..64,
+            start_f in 0usize..64,
+        ) {
+            let p = policy();
+            let mut t = AdaptiveTuner::new(p, start_x, start_f);
+            for ev in &evidence {
+                let lim = t.limits(ep(0));
+                prop_assert!((p.xtract_floor..=p.xtract_ceiling).contains(&lim.xtract));
+                prop_assert!((p.funcx_floor..=p.funcx_ceiling).contains(&lim.funcx));
+                prop_assert!((p.poll_floor..=p.poll_ceiling).contains(&lim.poll_chunk));
+                t.observe_wave(ep(0), ev);
+            }
+            let lim = t.limits(ep(0));
+            prop_assert!((p.xtract_floor..=p.xtract_ceiling).contains(&lim.xtract));
+            prop_assert!((p.funcx_floor..=p.funcx_ceiling).contains(&lim.funcx));
+        }
+
+        /// The controller is a pure function of the evidence sequence:
+        /// two controllers fed the same waves agree limit-for-limit and
+        /// decision-for-decision.
+        #[test]
+        fn decisions_are_deterministic(
+            evidence in proptest::collection::vec(arbitrary_evidence(), 0..60),
+        ) {
+            let mut a = AdaptiveTuner::new(policy(), 4, 4);
+            let mut b = AdaptiveTuner::new(policy(), 4, 4);
+            for ev in &evidence {
+                prop_assert_eq!(a.limits(ep(7)), b.limits(ep(7)));
+                prop_assert_eq!(a.observe_wave(ep(7), ev), b.observe_wave(ep(7), ev));
+            }
+            prop_assert_eq!(a.limits(ep(7)), b.limits(ep(7)));
+        }
+    }
+}

@@ -118,6 +118,44 @@ impl Batcher {
         out
     }
 
+    /// Retunes both batch knobs mid-stream (the adaptive controller's
+    /// entry point). Open level-1 slots that already meet the new Xtract
+    /// size are sealed in chunks of the new size — so every batch
+    /// respects the limits in force at the moment it seals — and any
+    /// newly full funcX batches are returned. No family is ever lost or
+    /// duplicated by a resize.
+    pub fn set_limits(
+        &mut self,
+        xtract_batch_size: usize,
+        funcx_batch_size: usize,
+    ) -> Vec<FuncxBatch> {
+        assert!(xtract_batch_size > 0 && funcx_batch_size > 0);
+        self.xtract_batch_size = xtract_batch_size;
+        self.funcx_batch_size = funcx_batch_size;
+        let mut keys: Vec<_> = self.open.keys().copied().collect();
+        keys.sort(); // deterministic seal order
+        for key in keys {
+            let slot = self.open.get_mut(&key).expect("key just listed");
+            while slot.len() >= self.xtract_batch_size {
+                let families: Vec<Family> = slot.drain(..self.xtract_batch_size).collect();
+                self.ready.push(XtractBatch {
+                    endpoint: key.0,
+                    extractor: key.1,
+                    families,
+                });
+            }
+            if slot.is_empty() {
+                self.open.remove(&key);
+            }
+        }
+        self.drain_full()
+    }
+
+    /// The current `(xtract_batch_size, funcx_batch_size)` pair.
+    pub fn limits(&self) -> (usize, usize) {
+        (self.xtract_batch_size, self.funcx_batch_size)
+    }
+
     /// Drains every partial batch (end of job). Families never get stuck.
     pub fn flush(&mut self) -> Vec<FuncxBatch> {
         let mut keys: Vec<_> = self.open.keys().copied().collect();
@@ -182,6 +220,7 @@ mod tests {
     fn distinct_extractors_never_share_a_task() {
         let mut b = Batcher::new(4, 1);
         let ep = EndpointId::new(0);
+        let mut pushed: HashMap<u64, ExtractorKind> = HashMap::new();
         let mut out = Vec::new();
         for i in 0..4 {
             let kind = if i % 2 == 0 {
@@ -189,15 +228,26 @@ mod tests {
             } else {
                 ExtractorKind::Tabular
             };
+            pushed.insert(i, kind);
             out.extend(b.push(family(i), kind, ep));
         }
         out.extend(b.flush());
+        let mut seen = 0;
         for fb in &out {
             for t in &fb.tasks {
-                // Every family in a task shares the task's extractor.
+                // Every family in a task shares the task's extractor:
+                // each member must have been pushed with exactly the
+                // extractor the task carries.
+                for fam in &t.families {
+                    assert_eq!(pushed[&fam.id.raw()], t.extractor);
+                    seen += 1;
+                }
+                // With two interleaved extractors and xtract size 4, no
+                // slot ever fills: tasks are per-extractor stragglers.
                 assert!(t.families.len() <= 2);
             }
         }
+        assert_eq!(seen, 4, "every pushed family is emitted exactly once");
     }
 
     #[test]
@@ -255,6 +305,51 @@ mod tests {
                 prop_assert!(f.tasks.len() <= fb);
                 for t in &f.tasks {
                     prop_assert!(t.families.len() <= xb);
+                }
+            }
+        }
+
+        /// `set_limits` mid-stream never loses or duplicates a family,
+        /// and every emitted batch respects the largest limits that were
+        /// ever in force (each batch in fact respects the limits at its
+        /// seal time; the max is the loosest sound bound to assert
+        /// without replaying the schedule).
+        #[test]
+        fn conservation_across_resizes(
+            start in (1usize..6, 1usize..6),
+            work in proptest::collection::vec(
+                // Each step: (endpoint, kind, resize-to (optional)).
+                (0u64..4, 0usize..3, proptest::option::of((1usize..9, 1usize..9))),
+                0..80,
+            ),
+        ) {
+            let kinds = [ExtractorKind::Keyword, ExtractorKind::Tabular, ExtractorKind::Images];
+            let mut b = Batcher::new(start.0, start.1);
+            let (mut max_xb, mut max_fb) = start;
+            let mut out = Vec::new();
+            for (i, (ep, k, resize)) in work.iter().enumerate() {
+                if let Some((xb, fb)) = resize {
+                    max_xb = max_xb.max(*xb);
+                    max_fb = max_fb.max(*fb);
+                    out.extend(b.set_limits(*xb, *fb));
+                }
+                out.extend(b.push(family(i as u64), kinds[*k], EndpointId::new(*ep)));
+            }
+            out.extend(b.flush());
+            prop_assert_eq!(b.buffered(), 0);
+            let mut ids: Vec<u64> = out
+                .iter()
+                .flat_map(|f| f.tasks.iter())
+                .flat_map(|t| t.families.iter())
+                .map(|fam| fam.id.raw())
+                .collect();
+            ids.sort_unstable();
+            let expected: Vec<u64> = (0..work.len() as u64).collect();
+            prop_assert_eq!(ids, expected);
+            for f in &out {
+                prop_assert!(f.tasks.len() <= max_fb);
+                for t in &f.tasks {
+                    prop_assert!(t.families.len() <= max_xb);
                 }
             }
         }

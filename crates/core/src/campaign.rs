@@ -25,6 +25,7 @@
 //!    work in flight at expiry is lost and resubmitted; the checkpoint
 //!    flag preserves finished families inside lost tasks (§5.8.1).
 
+use crate::adaptive::{AdaptiveTuner, BatchTuner, WaveEvidence};
 use crate::crawlmodel::CrawlModel;
 use rand::rngs::SmallRng;
 use xtract_obs::{Phase, PhaseTimings};
@@ -36,7 +37,8 @@ use xtract_sim::sites::{LinkSpec, Site};
 use xtract_sim::{RngStreams, ServerPool, SimTime};
 use xtract_types::fault::fault_roll;
 use xtract_types::{
-    DeadLetter, ExtractorKind, FailureReason, FamilyId, FaultPlan, HedgePolicy, TaskId, XtractError,
+    AdaptiveBatching, DeadLetter, EndpointId, ExtractorKind, FailureReason, FamilyId, FaultPlan,
+    HedgePolicy, TaskId, XtractError,
 };
 use xtract_workloads::FamilyProfile;
 
@@ -96,6 +98,17 @@ pub struct CampaignConfig {
     /// live orchestrator's hedged re-execution on the virtual clock, for
     /// Fig. 8-style rework-cost vs makespan comparisons.
     pub hedge: Option<HedgePolicy>,
+    /// Adaptive two-level batching (`None` = the static
+    /// `xtract_batch`/`funcx_batch` grid point). When set (and enabled),
+    /// the campaign runs *synchronous waves*: each wave batches with the
+    /// [`AdaptiveTuner`]'s current limits, executes to a barrier, and
+    /// feeds the observed per-family latency median back into the
+    /// controller — the simulated analogue of the live orchestrator's
+    /// latency-feedback loop. `xtract_batch`/`funcx_batch` become the
+    /// controller's starting point rather than fixed sizes. Adaptive
+    /// campaigns model fault-free sweeps: `fault_plan`, `hedge`, and
+    /// allocation limits must be unset.
+    pub adaptive: Option<AdaptiveBatching>,
 }
 
 impl CampaignConfig {
@@ -118,6 +131,7 @@ impl CampaignConfig {
             max_attempts: 10,
             fault_plan: None,
             hedge: None,
+            adaptive: None,
         }
     }
 }
@@ -172,6 +186,9 @@ pub struct CampaignReport {
     pub transfer_finish: f64,
     /// Total bytes moved by prefetch.
     pub bytes_transferred: u64,
+    /// Per-wave `(xtract, funcx)` limits the adaptive controller used, in
+    /// wave order — the tuning trajectory. Empty for static campaigns.
+    pub batch_trajectory: Vec<(usize, usize)>,
     /// Per-phase virtual-time marks, in the same shape the live
     /// [`crate::JobReport`] uses. Campaign phases *overlap* (families
     /// extract while the crawl still streams), so these are stage spans on
@@ -287,11 +304,21 @@ impl Campaign {
         lognormal(rng, mu, sigma).min(REF_SERVICE_CAP_S) / self.config.site.core_speed
     }
 
-    /// Runs the campaign.
+    /// Runs the campaign: the adaptive synchronous-wave path when
+    /// [`CampaignConfig::adaptive`] is set and enabled, the fully
+    /// pipelined static path otherwise.
     pub fn run(&self) -> CampaignReport {
+        match self.config.adaptive {
+            Some(policy) if policy.enabled => self.run_adaptive(policy),
+            _ => self.run_static(),
+        }
+    }
+
+    /// Stages 1–2 (crawl arrival + optional prefetch), shared by both
+    /// execution paths: per-family visibility instants, the crawl and
+    /// transfer finish marks, and bytes moved.
+    fn arrivals(&self) -> (Vec<SimTime>, SimTime, SimTime, u64) {
         let cfg = &self.config;
-        let streams = RngStreams::new(cfg.seed);
-        let mut service_rng = streams.stream("campaign-service");
         let n = self.profiles.len();
 
         // Stage 1: crawl arrival times.
@@ -354,6 +381,18 @@ impl Campaign {
             }
             bytes_transferred = jobs.iter().map(|j| j.bytes).sum();
         }
+        (ready, crawl_finish, transfer_finish, bytes_transferred)
+    }
+
+    /// The static pipeline: one batching pass over the whole campaign at
+    /// the configured grid point, fully pipelined through dispatcher and
+    /// workers.
+    fn run_static(&self) -> CampaignReport {
+        let cfg = &self.config;
+        let streams = RngStreams::new(cfg.seed);
+        let mut service_rng = streams.stream("campaign-service");
+        let n = self.profiles.len();
+        let (ready, crawl_finish, transfer_finish, bytes_transferred) = self.arrivals();
 
         // Stage 3: batching + dispatch. Families in ready order fuse into
         // per-class Xtract batches; full batches fuse into funcX requests
@@ -776,6 +815,206 @@ impl Campaign {
             crawl_finish: crawl_finish.as_secs(),
             transfer_finish: transfer_finish.as_secs(),
             bytes_transferred,
+            batch_trajectory: Vec::new(),
+            phases,
+        }
+    }
+
+    /// The adaptive path: the same pipelined dispatcher + worker pool as
+    /// the static path, re-tuned every *control block*. Each block:
+    ///
+    /// 1. asks the [`AdaptiveTuner`] for the current `(xtract, funcx)`
+    ///    limits,
+    /// 2. takes the next `workers × xtract × 2` families in ready order
+    ///    (about two batches per worker — enough samples to trust the
+    ///    block, short enough to re-tune frequently),
+    /// 3. fuses them per class (heavy classes still cap at one family per
+    ///    task, exactly like the static path), pushes the funcX chunks
+    ///    through the serial dispatcher with the same superlinear payload
+    ///    cost, and queues them on the shared worker pool — *no barrier*:
+    ///    workers drain block N+1 the moment they finish their share of
+    ///    block N,
+    /// 4. feeds the per-family latency median (seconds from the block's
+    ///    dispatch anchor) back into the controller.
+    ///
+    /// Because blocks pipeline, queueing backlog is part of the signal:
+    /// undersized limits drown the serial dispatcher in requests and the
+    /// backlog stretches block latency; oversized limits pay superlinear
+    /// payload serialization and long serial batches. Either way pace
+    /// degrades against the controller's best-pace anchor and it walks
+    /// back toward the knee where dispatch and execution balance.
+    fn run_adaptive(&self, policy: AdaptiveBatching) -> CampaignReport {
+        let cfg = &self.config;
+        assert!(
+            cfg.fault_plan.is_none() && cfg.hedge.is_none(),
+            "adaptive campaigns model fault-free sweeps; unset fault_plan/hedge"
+        );
+        assert!(
+            cfg.allocation_limit_s
+                .or(cfg.site.allocation_limit_s)
+                .is_none(),
+            "adaptive campaigns do not model allocation windows"
+        );
+        let streams = RngStreams::new(cfg.seed);
+        let mut service_rng = streams.stream("campaign-service");
+        let n = self.profiles.len();
+        let (ready, crawl_finish, transfer_finish, bytes_transferred) = self.arrivals();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| ready[a].cmp(&ready[b]).then(a.cmp(&b)));
+
+        // The campaign models one facility = one endpoint.
+        let ep = EndpointId::new(0);
+        let mut tuner = AdaptiveTuner::new(policy, cfg.xtract_batch, cfg.funcx_batch);
+
+        let mut outcomes: Vec<FamilyOutcome> = Vec::with_capacity(n);
+        let mut trajectory: Vec<(usize, usize)> = Vec::new();
+        let mut busy = 0.0f64;
+        let mut ws_requests = 0u64;
+        let mut dispatcher_busy_s = 0.0f64;
+        let mut dispatcher_free = SimTime::ZERO;
+        let mut pool = ServerPool::free_from(cfg.workers, SimTime::from_secs(cfg.cold_start_s));
+        let mut next = 0usize;
+        while next < n {
+            let lim = tuner.limits(ep);
+            trajectory.push((lim.xtract, lim.funcx));
+            let target = (cfg.workers * lim.xtract * 2).max(1);
+            let end = (next + target).min(n);
+            let wave = &order[next..end];
+            next = end;
+
+            // The block's latency origin: when its last member is
+            // visible and the dispatcher turns to it.
+            let wave_ready = wave
+                .iter()
+                .map(|&i| ready[i])
+                .max()
+                .expect("blocks are non-empty");
+            let wave_start = dispatcher_free.max(wave_ready);
+
+            // Per-class Xtract batching at the tuner's limit; heavy
+            // classes still ship one family per task (§4.3.1).
+            let mut open: std::collections::HashMap<&'static str, (Vec<usize>, Vec<f64>)> =
+                Default::default();
+            let mut wtasks: Vec<(Vec<usize>, Vec<f64>)> = Vec::new();
+            for &i in wave {
+                let p = &self.profiles[i];
+                let svc = self.sample_service(p.class, &mut service_rng);
+                let cap = if mean_ref_service(p.class) > 60.0 {
+                    1
+                } else {
+                    lim.xtract
+                };
+                let entry = open.entry(p.class).or_default();
+                entry.0.push(i);
+                entry.1.push(svc);
+                if entry.0.len() >= cap {
+                    wtasks.push(open.remove(p.class).expect("open"));
+                }
+            }
+            let mut leftovers: Vec<&'static str> = open.keys().copied().collect();
+            leftovers.sort_unstable();
+            for class in leftovers {
+                wtasks.push(open.remove(class).expect("open"));
+            }
+            // Longest-expected-first within the wave keeps a heavy task
+            // from landing last and overhanging the barrier.
+            let mut exec_order: Vec<usize> = (0..wtasks.len()).collect();
+            exec_order.sort_by(|&a, &b| {
+                let est = |t: usize| -> f64 {
+                    wtasks[t]
+                        .0
+                        .iter()
+                        .map(|&fi| mean_ref_service(self.profiles[fi].class))
+                        .sum()
+                };
+                est(b).total_cmp(&est(a)).then(a.cmp(&b))
+            });
+
+            // funcX chunks through the serial dispatcher (same payload
+            // physics as the static path).
+            let mut task_ready: Vec<SimTime> = vec![SimTime::ZERO; wtasks.len()];
+            for chunk in exec_order.chunks(lim.funcx.max(1)) {
+                let families: usize = chunk.iter().map(|&t| wtasks[t].0.len()).sum();
+                let payload_factor = 1.0 + families as f64 / faas::PAYLOAD_KNEE_FAMILIES;
+                let duration = SimTime::from_secs(
+                    faas::WS_REQUEST_S
+                        + families as f64 * faas::SERIALIZE_PER_FAMILY_S * payload_factor,
+                );
+                let start = dispatcher_free.max(wave_start);
+                dispatcher_free = start + duration;
+                dispatcher_busy_s += duration.as_secs();
+                ws_requests += 1;
+                for &t in chunk {
+                    task_ready[t] = dispatcher_free;
+                }
+            }
+
+            // Queue on the shared pool (no barrier; workers carry their
+            // own free times across blocks).
+            let mut lats: Vec<f64> = Vec::with_capacity(wave.len());
+            for &t in &exec_order {
+                let (fams, svcs) = &wtasks[t];
+                let service: f64 = faas::ENDPOINT_DISPATCH_S + svcs.iter().sum::<f64>();
+                let a = pool.assign(task_ready[t], SimTime::from_secs(service));
+                busy += service;
+                let mut tcur = a.start.as_secs() + faas::ENDPOINT_DISPATCH_S;
+                for (&fi, &svc) in fams.iter().zip(svcs.iter()) {
+                    tcur += svc;
+                    outcomes.push(FamilyOutcome {
+                        class: self.profiles[fi].class,
+                        ready: ready[fi].as_secs(),
+                        start: a.start.as_secs(),
+                        finish: tcur,
+                        attempts: 1,
+                        service: svc,
+                    });
+                    lats.push(tcur - wave_start.as_secs());
+                }
+            }
+
+            // Evidence → controller: the block-exact latency median.
+            lats.sort_by(f64::total_cmp);
+            let p50 = if lats.is_empty() {
+                None
+            } else {
+                Some(lats[(lats.len() - 1) / 2])
+            };
+            tuner.observe_wave(
+                ep,
+                &WaveEvidence {
+                    p50_latency_s: p50,
+                    samples: lats.len() as u64,
+                    families: wave.len() as u64,
+                    breaches: 0,
+                    breaker_open: false,
+                },
+            );
+        }
+
+        outcomes.sort_by(|a, b| a.finish.total_cmp(&b.finish));
+        let makespan = outcomes.last().map_or(0.0, |o| o.finish);
+        let mut phases = PhaseTimings::new();
+        phases.add(Phase::Crawl, crawl_finish.as_secs());
+        phases.add(Phase::Stage, transfer_finish.as_secs());
+        phases.add(Phase::Dispatch, dispatcher_busy_s);
+        phases.add(Phase::Extract, busy / cfg.workers as f64);
+        CampaignReport {
+            outcomes,
+            makespan,
+            busy_core_seconds: busy,
+            ws_requests,
+            restarts: 0,
+            lost_families: 0,
+            failed_families: 0,
+            hedges_launched: 0,
+            hedges_won: 0,
+            hedges_wasted: 0,
+            dead_letters: Vec::new(),
+            crawl_finish: crawl_finish.as_secs(),
+            transfer_finish: transfer_finish.as_secs(),
+            bytes_transferred,
+            batch_trajectory: trajectory,
             phases,
         }
     }
@@ -1085,6 +1324,90 @@ mod tests {
         )
         .run();
         assert_eq!(no_prefetch.stage_overlap_s(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_campaign_is_deterministic_and_exactly_once() {
+        let run = || {
+            let mut cfg = CampaignConfig::new(sites::midway(), 28, 21);
+            cfg.xtract_batch = 2;
+            cfg.funcx_batch = 2;
+            cfg.adaptive = Some(AdaptiveBatching::enabled());
+            Campaign::new(cfg, profiles(3000, "csv")).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcomes.len(), 3000);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.ws_requests, b.ws_requests);
+        assert_eq!(a.batch_trajectory, b.batch_trajectory);
+        assert!(!a.batch_trajectory.is_empty());
+    }
+
+    #[test]
+    fn adaptive_trajectory_moves_and_stays_within_policy_bounds() {
+        let mut cfg = CampaignConfig::new(sites::midway(), 56, 22);
+        cfg.xtract_batch = 2;
+        cfg.funcx_batch = 2;
+        let policy = AdaptiveBatching::enabled();
+        cfg.adaptive = Some(policy);
+        let report = Campaign::new(cfg, profiles(20_000, "csv")).run();
+        assert_eq!(report.outcomes.len(), 20_000);
+        for &(x, f) in &report.batch_trajectory {
+            assert!((policy.xtract_floor..=policy.xtract_ceiling).contains(&x));
+            assert!((policy.funcx_floor..=policy.funcx_ceiling).contains(&f));
+        }
+        // The controller actually tuned: the trajectory left its start.
+        assert!(
+            report
+                .batch_trajectory
+                .iter()
+                .any(|&(x, f)| (x, f) != (2, 2)),
+            "trajectory never moved: {:?}",
+            report.batch_trajectory
+        );
+    }
+
+    #[test]
+    fn adaptive_beats_the_static_extremes() {
+        // The acceptance sweep at smoke scale: from a deliberately bad
+        // starting point the controller must land a makespan below both
+        // degenerate grid corners — (1,1) drowns the serial dispatcher in
+        // requests, (32,32) pays superlinear payload serialization and a
+        // long straggler tail.
+        let static_run = |xb, fb| {
+            let mut cfg = CampaignConfig::new(sites::midway(), 56, 23);
+            cfg.xtract_batch = xb;
+            cfg.funcx_batch = fb;
+            Campaign::new(cfg, profiles(20_000, "csv")).run().makespan
+        };
+        let mut cfg = CampaignConfig::new(sites::midway(), 56, 23);
+        cfg.xtract_batch = 2;
+        cfg.funcx_batch = 2;
+        cfg.adaptive = Some(AdaptiveBatching::enabled());
+        let adaptive = Campaign::new(cfg, profiles(20_000, "csv")).run().makespan;
+        let tiny = static_run(1, 1);
+        let huge = static_run(32, 32);
+        assert!(adaptive < tiny, "adaptive {adaptive} !< static(1,1) {tiny}");
+        assert!(
+            adaptive < huge,
+            "adaptive {adaptive} !< static(32,32) {huge}"
+        );
+    }
+
+    #[test]
+    fn disabled_adaptive_policy_takes_the_static_path() {
+        let mut with_disabled = CampaignConfig::new(sites::midway(), 28, 9);
+        with_disabled.adaptive = Some(AdaptiveBatching::disabled());
+        let a = Campaign::new(with_disabled, profiles(300, "xml")).run();
+        let b = Campaign::new(
+            CampaignConfig::new(sites::midway(), 28, 9),
+            profiles(300, "xml"),
+        )
+        .run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.ws_requests, b.ws_requests);
+        assert!(a.batch_trajectory.is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use xtract_obs::{Counter, MetricsHub};
 use xtract_types::{DeadLetter, FamilyId, Metadata, Result, XtractError};
 
@@ -25,8 +26,12 @@ pub struct CheckpointEntry {
     pub family: FamilyId,
     /// Extractor name whose output this is.
     pub extractor: String,
-    /// The flushed metadata.
-    pub metadata: Metadata,
+    /// The flushed metadata, shared with the recovery log's
+    /// `StepCompleted` record for the same step — one allocation per
+    /// completed step, however many consumers hold it. Serializes
+    /// transparently (serde's `rc` feature), so the image's JSON is
+    /// byte-identical to the pre-`Arc` format.
+    pub metadata: Arc<Metadata>,
 }
 
 /// The serialized form: flushed outputs plus the job's dead letters, so a
@@ -49,12 +54,12 @@ pub struct CheckpointImage {
 /// can never disagree.
 #[derive(Debug, Default)]
 struct Flushed {
-    entries: HashMap<(FamilyId, String), Metadata>,
+    entries: HashMap<(FamilyId, String), Arc<Metadata>>,
     by_family: HashMap<FamilyId, BTreeSet<String>>,
 }
 
 impl Flushed {
-    fn insert(&mut self, family: FamilyId, extractor: String, metadata: Metadata) {
+    fn insert(&mut self, family: FamilyId, extractor: String, metadata: Arc<Metadata>) {
         self.by_family
             .entry(family)
             .or_default()
@@ -88,7 +93,7 @@ impl CheckpointStore {
     }
 
     /// Flushes one completed extractor's output for a family.
-    pub fn flush(&self, family: FamilyId, extractor: &str, metadata: Metadata) {
+    pub fn flush(&self, family: FamilyId, extractor: &str, metadata: Arc<Metadata>) {
         self.flushes.incr();
         self.flushed
             .write()
@@ -100,14 +105,15 @@ impl CheckpointStore {
     /// counted) in the run that journaled it, so resume restoring it must
     /// not make the cumulative flush count disagree with an uninterrupted
     /// run's.
-    pub fn restore(&self, family: FamilyId, extractor: &str, metadata: Metadata) {
+    pub fn restore(&self, family: FamilyId, extractor: &str, metadata: Arc<Metadata>) {
         self.flushed
             .write()
             .insert(family, extractor.to_string(), metadata);
     }
 
-    /// Loads a previously-flushed output, if any.
-    pub fn load(&self, family: FamilyId, extractor: &str) -> Option<Metadata> {
+    /// Loads a previously-flushed output, if any. The returned handle
+    /// shares the stored allocation (no deep copy).
+    pub fn load(&self, family: FamilyId, extractor: &str) -> Option<Arc<Metadata>> {
         let found = self
             .flushed
             .read()
@@ -179,7 +185,7 @@ impl CheckpointStore {
             .map(|((family, extractor), metadata)| CheckpointEntry {
                 family: *family,
                 extractor: extractor.clone(),
-                metadata: metadata.clone(),
+                metadata: Arc::clone(metadata),
             })
             .collect();
         entries.sort_by(|a, b| (a.family, &a.extractor).cmp(&(b.family, &b.extractor)));
@@ -233,10 +239,10 @@ impl CheckpointStore {
 mod tests {
     use super::*;
 
-    fn md(k: &str) -> Metadata {
+    fn md(k: &str) -> Arc<Metadata> {
         let mut m = Metadata::new();
         m.insert(k, 1);
-        m
+        Arc::new(m)
     }
 
     #[test]

@@ -40,9 +40,7 @@ use std::time::Duration;
 use xtract_datafabric::Token;
 use xtract_obs::Event;
 use xtract_types::id::IdAllocator;
-use xtract_types::{
-    JobId, JobSpec, Result, ServicePolicy, TenantId, TenantSpec, XtractError,
-};
+use xtract_types::{JobId, JobSpec, Result, ServicePolicy, TenantId, TenantSpec, XtractError};
 
 /// Why a job failed, as a matchable kind alongside the human-readable
 /// reason. Callers that react differently to "the service turned you
@@ -494,7 +492,9 @@ impl JobService {
                 reason: reason.clone(),
                 retry_after_ms: self.policy.retry_after_ms,
             });
-            obs.hub.counter_with("service.rejected", Some(&label)).incr();
+            obs.hub
+                .counter_with("service.rejected", Some(&label))
+                .incr();
             return Err(XtractError::AdmissionRejected {
                 tenant,
                 reason,
@@ -548,7 +548,9 @@ impl JobService {
                 drop(slots);
                 drop(state);
                 obs.journal.record(Event::JobAdmitted { tenant, job: id });
-                obs.hub.counter_with("service.admitted", Some(&label)).incr();
+                obs.hub
+                    .counter_with("service.admitted", Some(&label))
+                    .incr();
                 self.inner.shared.cv.notify_all();
                 Ok(id)
             }
@@ -559,7 +561,9 @@ impl JobService {
                     reason: reason.clone(),
                     retry_after_ms: self.policy.retry_after_ms,
                 });
-                obs.hub.counter_with("service.rejected", Some(&label)).incr();
+                obs.hub
+                    .counter_with("service.rejected", Some(&label))
+                    .incr();
                 Err(XtractError::AdmissionRejected {
                     tenant,
                     reason,
@@ -872,7 +876,10 @@ mod tests {
             .submit_with_recovery(token, spec.clone(), &dir)
             .unwrap_err();
         assert!(matches!(err, XtractError::RecoveryLogBusy { .. }));
-        assert!(mgr.jobs().is_empty(), "refused submit must not leave a slot");
+        assert!(
+            mgr.jobs().is_empty(),
+            "refused submit must not leave a slot"
+        );
         drop(held);
         // With the lease free the submit goes through; and because a
         // finishing job releases its lease *before* its terminal status

@@ -11,6 +11,9 @@
 //!   time and extended as extractors report discoveries (§3);
 //! * [`batcher`] — two-level batching: Xtract batches fused into funcX
 //!   batches (§4.3.2, swept in Fig. 5);
+//! * [`adaptive`] — the per-endpoint AIMD feedback controller that
+//!   retunes both batch knobs and the batch-poll fan-out online from
+//!   observed wave latencies (Fig. 5 made self-tuning);
 //! * [`offload`] — the ONB and RAND offloading policies (§4.3.3,
 //!   Table 2);
 //! * [`validator`] — schema validation/transformation of finished records
@@ -52,6 +55,7 @@
 
 #![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
+pub mod adaptive;
 pub mod batcher;
 pub mod campaign;
 pub mod checkpoint;
@@ -71,6 +75,9 @@ pub mod tenancy;
 pub mod utility;
 pub mod validator;
 
+pub use adaptive::{
+    AdaptiveTuner, BatchLimits, BatchTuner, StaticTuner, TuneDecision, WaveEvidence,
+};
 pub use batcher::{Batcher, FuncxBatch, XtractBatch};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport};
 pub use families::{build_families, naive_families, FamilySet};

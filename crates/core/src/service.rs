@@ -34,6 +34,7 @@
 //! [`DeadLetter`]) — the chaos tests assert this partition at every
 //! injected fault rate.
 
+use crate::adaptive::{AdaptiveTuner, BatchLimits, BatchTuner, TuneDecision, WaveEvidence};
 use crate::batcher::{Batcher, XtractBatch};
 use crate::checkpoint::CheckpointStore;
 use crate::families::build_families;
@@ -48,7 +49,7 @@ use crate::validator::{encode_record, validate};
 use bytes::Bytes;
 use crossbeam_channel::unbounded;
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -184,6 +185,10 @@ struct RecoveryCtx {
     /// Crash points already recorded, in order — their count is the
     /// cursor into the fault plan's ordered crash schedule.
     crash_points: Vec<String>,
+    /// Committed waves replayed from the log — the adaptive batching
+    /// controller warm-starts from this count (its state is recomputed
+    /// from replayed evidence, never persisted).
+    waves: u64,
 }
 
 /// The run's armed scheduled-crash entry, if any: entry `k` of
@@ -848,6 +853,7 @@ impl XtractService {
             charges: HashMap::new(),
             dead: HashMap::new(),
             crash_points: Vec::new(),
+            waves: 0,
         };
         let effective = replay.effective();
         if effective.is_empty() {
@@ -897,6 +903,7 @@ impl XtractService {
                     ctx.dead.insert(letter.family, letter.clone());
                 }
                 RecoveryRecord::CrashRecorded { point } => ctx.crash_points.push(point.clone()),
+                RecoveryRecord::WaveCommitted { .. } => ctx.waves += 1,
                 _ => {}
             }
         }
@@ -989,6 +996,21 @@ impl XtractService {
         let hedge_launched = self.obs.hub.counter("hedge.launched");
         let hedge_won = self.obs.hub.counter("hedge.won");
         let hedge_wasted = self.obs.hub.counter("hedge.wasted");
+        // Adaptive two-level batching: a per-endpoint AIMD controller
+        // retunes (xtract, funcx, poll_chunk) from each wave's latency
+        // evidence. With the policy disabled, the single static batcher
+        // below is used unchanged. On resume the controller warm-starts
+        // from the count of replayed committed waves — its state is
+        // recomputed from the journal, never persisted.
+        let adaptive_on = spec.adaptive.enabled;
+        let mut tuner =
+            AdaptiveTuner::new(spec.adaptive, spec.xtract_batch_size, spec.funcx_batch_size)
+                .with_replayed_waves(rec.map_or(0, |c| c.waves));
+        let tune_grow = self.obs.hub.counter("adaptive.grow");
+        let tune_backoff = self.obs.hub.counter("adaptive.backoff");
+        // Limits last journaled per endpoint, so `BatchTuned` is recorded
+        // only when a wave actually runs under different limits.
+        let mut last_tuned: HashMap<EndpointId, BatchLimits> = HashMap::new();
         // The allocation lease watchdog: notices lapsed leases in the
         // background (flipping in-flight tasks to Lost immediately rather
         // than after a poll window) and renews them after the policy
@@ -1110,8 +1132,14 @@ impl XtractService {
                             family: req.family.id,
                             destination: req.exec,
                         });
-                        let outcome = self
-                            .execute_stage_request(token, req, retry, ledger, tenant, job_started);
+                        let outcome = self.execute_stage_request(
+                            token,
+                            req,
+                            retry,
+                            ledger,
+                            tenant,
+                            job_started,
+                        );
                         gauge.dec();
                         if out_tx.send(outcome).is_err() {
                             break;
@@ -1286,7 +1314,8 @@ impl XtractService {
                     if health.lock().state(af.exec) != BreakerState::Open {
                         continue;
                     }
-                    let Some(new_exec) = self.healthy_alternative(af.exec, spec, &health.lock()) else {
+                    let Some(new_exec) = self.healthy_alternative(af.exec, spec, &health.lock())
+                    else {
                         if self.faas.endpoint(af.exec).is_none() {
                             // Not just tripped — the endpoint does not
                             // exist.
@@ -1359,7 +1388,14 @@ impl XtractService {
                 }
 
                 let dispatch_started = Instant::now();
+                // Static mode: one batcher spans endpoints, so a funcX
+                // request may mix endpoints' tasks — today's behavior,
+                // untouched. Adaptive mode: one batcher per endpoint at
+                // the tuner's current limits (BTreeMap keeps flush order
+                // deterministic), since limits are per-endpoint state.
                 let mut batcher = Batcher::new(spec.xtract_batch_size, spec.funcx_batch_size);
+                let mut ep_batchers: BTreeMap<EndpointId, Batcher> = BTreeMap::new();
+                let mut wave_poll_chunk: Option<usize> = None;
                 let mut wave = Vec::new();
                 let mut index: HashMap<FamilyId, usize> = HashMap::new();
                 for (i, af) in active.iter_mut().enumerate() {
@@ -1385,9 +1421,39 @@ impl XtractService {
                         }
                     }
                     index.insert(af.family.id, i);
-                    wave.extend(batcher.push(af.family.clone(), kind, af.exec));
+                    let b = if adaptive_on {
+                        ep_batchers.entry(af.exec).or_insert_with(|| {
+                            let mut lim = tuner.limits(af.exec);
+                            // A tenant's remaining invocation budget caps
+                            // funcX growth: requests shrink to fit the
+                            // budget instead of bouncing off the ledger.
+                            if let Some(t) = tenant {
+                                lim = lim.cap_to_invocations(
+                                    t.ledger().headroom(QuotaResource::Invocations),
+                                    spec.adaptive.funcx_floor,
+                                );
+                            }
+                            wave_poll_chunk =
+                                Some(wave_poll_chunk.unwrap_or(0).max(lim.poll_chunk));
+                            if last_tuned.insert(af.exec, lim) != Some(lim) {
+                                journal.record(Event::BatchTuned {
+                                    endpoint: af.exec,
+                                    xtract: lim.xtract as u64,
+                                    funcx: lim.funcx as u64,
+                                    poll_chunk: lim.poll_chunk as u64,
+                                });
+                            }
+                            Batcher::new(lim.xtract, lim.funcx)
+                        })
+                    } else {
+                        &mut batcher
+                    };
+                    wave.extend(b.push(af.family.clone(), kind, af.exec));
                 }
                 wave.extend(batcher.flush());
+                for b in ep_batchers.values_mut() {
+                    wave.extend(b.flush());
+                }
                 if wave.is_empty() {
                     if inflight > 0 {
                         // Nothing dispatchable yet but prefetches are in
@@ -1503,6 +1569,10 @@ impl XtractService {
                 let deadline = adaptive_deadline(&latency_hist, &spec.hedge, retry);
                 let window = Duration::from_millis(retry.poll_window_ms);
                 let wave_started = Instant::now();
+                // Per-endpoint completion latencies this wave — the
+                // adaptive controller's evidence. Untouched (and empty)
+                // when the policy is disabled.
+                let mut wave_lat: BTreeMap<EndpointId, Vec<f64>> = BTreeMap::new();
                 let productive =
                     |s: &TaskStatus| matches!(s, TaskStatus::Done(_) | TaskStatus::Failed(_));
                 loop {
@@ -1514,12 +1584,30 @@ impl XtractService {
                     if outstanding.is_empty() {
                         break;
                     }
-                    let status: HashMap<TaskId, TaskStatus> = self
-                        .faas
-                        .batch_poll(&outstanding)
-                        .into_iter()
-                        .map(|p| (p.id, p.status))
-                        .collect();
+                    // Adaptive mode bounds each poll request to the
+                    // tuned chunk, so poll fan-out tracks dispatch
+                    // fan-out; static mode polls everything in one
+                    // request, exactly as before.
+                    let status: HashMap<TaskId, TaskStatus> = match wave_poll_chunk {
+                        Some(chunk) if chunk < outstanding.len() => {
+                            let mut m = HashMap::with_capacity(outstanding.len());
+                            for ids in outstanding.chunks(chunk.max(1)) {
+                                m.extend(
+                                    self.faas
+                                        .batch_poll(ids)
+                                        .into_iter()
+                                        .map(|p| (p.id, p.status)),
+                                );
+                            }
+                            m
+                        }
+                        _ => self
+                            .faas
+                            .batch_poll(&outstanding)
+                            .into_iter()
+                            .map(|p| (p.id, p.status))
+                            .collect(),
+                    };
                     let closing = wave_started.elapsed() >= window;
                     for e in entries.iter_mut() {
                         if e.resolved.is_some() {
@@ -1544,7 +1632,11 @@ impl XtractService {
                                     });
                                 }
                             }
-                            latency_hist.observe(wave_started.elapsed().as_secs_f64());
+                            let latency = wave_started.elapsed().as_secs_f64();
+                            latency_hist.observe(latency);
+                            if adaptive_on {
+                                wave_lat.entry(e.batch.endpoint).or_default().push(latency);
+                            }
                             e.resolved = Some((primary, e.batch.endpoint));
                             continue;
                         }
@@ -1561,7 +1653,11 @@ impl XtractService {
                                         winner: *hep,
                                     });
                                 }
-                                latency_hist.observe(wave_started.elapsed().as_secs_f64());
+                                let latency = wave_started.elapsed().as_secs_f64();
+                                latency_hist.observe(latency);
+                                if adaptive_on {
+                                    wave_lat.entry(e.batch.endpoint).or_default().push(latency);
+                                }
                                 e.resolved = Some((hs.clone(), *hep));
                                 continue;
                             }
@@ -1637,9 +1733,8 @@ impl XtractService {
                             health.lock().record_breach(e.batch.endpoint);
                             if spec.hedge.enabled
                                 && !closing
-                                && tenant.is_none_or(|t| {
-                                    t.charge(QuotaResource::Invocations, 1).is_ok()
-                                })
+                                && tenant
+                                    .is_none_or(|t| t.charge(QuotaResource::Invocations, 1).is_ok())
                             {
                                 if let Some(alt) =
                                     self.healthy_alternative(e.batch.endpoint, spec, &health.lock())
@@ -1726,20 +1821,28 @@ impl XtractService {
                                         });
                                         continue;
                                     }
+                                    // One allocation owns the result's
+                                    // metadata; checkpoint, WAL batch,
+                                    // and flush list all share it.
+                                    let metadata = Arc::new(r.metadata);
                                     if use_checkpoint {
-                                        checkpoint.flush(r.family, kind.name(), r.metadata.clone());
+                                        checkpoint.flush(
+                                            r.family,
+                                            kind.name(),
+                                            Arc::clone(&metadata),
+                                        );
                                     }
                                     if rec.is_some() {
                                         let step = RecoveryRecord::StepCompleted {
                                             family: r.family,
                                             kind,
-                                            metadata: r.metadata.clone(),
+                                            metadata: Arc::clone(&metadata),
                                             discoveries: r.discoveries.clone(),
                                         };
                                         wal_steps.push(step.clone());
                                         wave_flushes.push(step);
                                     }
-                                    af.merged.merge(&r.metadata);
+                                    af.merged.merge(&metadata);
                                     af.ran.push(kind.name().to_string());
                                     af.plan.complete(kind, &r.discoveries);
                                 }
@@ -1863,6 +1966,50 @@ impl XtractService {
                                     &journal,
                                 );
                             }
+                        }
+                    }
+                }
+                // --- Adaptive feedback: fold this wave's observed latency,
+                // breach count, and breaker state into per-endpoint evidence
+                // and let the tuner adjust the next wave's batch limits. The
+                // wave-exact sample median is primary; the labeled histogram
+                // (fed here too, so it survives across waves) is the fallback
+                // when a wave resolved no productive samples. ---------------
+                if adaptive_on {
+                    let mut by_ep: BTreeMap<EndpointId, (u64, u64)> = BTreeMap::new();
+                    for e in &entries {
+                        let agg = by_ep.entry(e.batch.endpoint).or_default();
+                        agg.0 += e.fams.len() as u64;
+                        agg.1 += u64::from(e.breached);
+                    }
+                    for (ep, (fams, breaches)) in by_ep {
+                        let label = ep.to_string();
+                        let ep_hist = self.obs.hub.histogram_with(
+                            "task.latency_s",
+                            Some(&label),
+                            LATENCY_BOUNDS_S,
+                        );
+                        let mut samples = wave_lat.remove(&ep).unwrap_or_default();
+                        for &s in &samples {
+                            ep_hist.observe(s);
+                        }
+                        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+                        let p50 = if samples.is_empty() {
+                            ep_hist.quantile(0.5)
+                        } else {
+                            Some(samples[(samples.len() - 1) / 2])
+                        };
+                        let evidence = WaveEvidence {
+                            p50_latency_s: p50,
+                            samples: samples.len() as u64,
+                            families: fams,
+                            breaches,
+                            breaker_open: health.lock().state(ep) == BreakerState::Open,
+                        };
+                        match tuner.observe_wave(ep, &evidence) {
+                            TuneDecision::Grew => tune_grow.incr(),
+                            TuneDecision::BackedOff => tune_backoff.incr(),
+                            TuneDecision::Held => {}
                         }
                     }
                 }

@@ -21,8 +21,7 @@ use std::sync::Arc;
 use xtract_obs::{Event, Obs};
 use xtract_types::id::IdAllocator;
 use xtract_types::{
-    HedgePolicy, QuotaResource, Result, RetryPolicy, TenantId, TenantQuota, TenantSpec,
-    XtractError,
+    HedgePolicy, QuotaResource, Result, RetryPolicy, TenantId, TenantQuota, TenantSpec, XtractError,
 };
 
 /// Lock-free spent-so-far accounting for one tenant. Charges commit via
@@ -85,6 +84,17 @@ impl QuotaLedger {
     /// Units of `resource` charged so far.
     pub fn spent(&self, resource: QuotaResource) -> u64 {
         self.cell(resource).load(Ordering::Relaxed)
+    }
+
+    /// Units of `resource` still chargeable, or `None` for an unlimited
+    /// resource. The adaptive batching controller reads this to cap
+    /// effective funcX batch growth: a nearly-spent invocation budget
+    /// shrinks the request size so the final charges fit instead of
+    /// bouncing a whole oversized batch off the limit.
+    pub fn headroom(&self, resource: QuotaResource) -> Option<u64> {
+        self.limits
+            .limit(resource)
+            .map(|limit| limit.saturating_sub(self.spent(resource)))
     }
 
     /// True when `resource` has no headroom left for even one more unit.
@@ -189,8 +199,7 @@ impl TenantCtx {
         let mut slot = self.health.lock();
         slot.get_or_insert_with(|| {
             Arc::new(Mutex::new(
-                HealthTracker::with_journal(retry, self.obs.journal.clone())
-                    .with_quarantine(hedge),
+                HealthTracker::with_journal(retry, self.obs.journal.clone()).with_quarantine(hedge),
             ))
         })
         .clone()
@@ -331,10 +340,7 @@ mod tests {
             .sum();
         assert_eq!(journaled, ctx.ledger().spent(QuotaResource::Invocations));
         let label = id.to_string();
-        assert_eq!(
-            obs.hub.counter_value("quota.invocations", Some(&label)),
-            5
-        );
+        assert_eq!(obs.hub.counter_value("quota.invocations", Some(&label)), 5);
         assert_eq!(obs.hub.counter_value("quota.exhausted", Some(&label)), 1);
     }
 

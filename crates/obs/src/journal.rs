@@ -168,6 +168,19 @@ pub enum Event {
         /// The endpoint whose speculative attempt was cancelled.
         loser: EndpointId,
     },
+    /// The adaptive batching controller changed an endpoint's limits
+    /// (recorded when the new wave's batches are built, so the journal
+    /// shows the limits each wave actually ran with).
+    BatchTuned {
+        /// The endpoint whose limits changed.
+        endpoint: EndpointId,
+        /// Families per Xtract batch now in force.
+        xtract: u64,
+        /// Xtract batches per funcX request now in force.
+        funcx: u64,
+        /// Task ids per batch-poll request now in force.
+        poll_chunk: u64,
+    },
     /// A compute-allocation lease lapsed; in-flight tasks at the endpoint
     /// were eagerly flipped to `Lost`.
     AllocationExpired {

@@ -182,19 +182,19 @@ impl Histogram {
     /// right order of magnitude.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let q = q.clamp(0.0, 1.0);
-        let counts: Vec<u64> = self
-            .0
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
+        // One pass over the atomics, no scratch allocation: the adaptive
+        // batching controller calls this per endpoint per wave, and the
+        // hedging deadline derivation per wave — a `Vec` here was
+        // measurable churn. `count` is maintained by `observe`, so the
+        // total needs no summing pass either.
+        let total = self.count();
         if total == 0 {
             return None;
         }
         let rank = (q * total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
-        for (idx, &c) in counts.iter().enumerate() {
+        for (idx, bucket) in self.0.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
             if c == 0 {
                 continue;
             }
@@ -214,8 +214,9 @@ impl Histogram {
                 return Some(lower + (upper - lower) * into);
             }
         }
-        // Unreachable when total > 0, but stay total-function safe.
-        None
+        // Only reachable when a racing `observe` bumped `count` before
+        // its bucket; treat the missing observation like overflow.
+        Some(*self.0.bounds.last().expect("bounds non-empty"))
     }
 
     fn sample(&self, name: &str, label: Option<&str>) -> HistogramSample {
@@ -511,6 +512,68 @@ mod tests {
         let o = Histogram::new(&[1.0]);
         o.observe(100.0);
         assert_eq!(o.quantile(0.9), Some(1.0));
+    }
+
+    /// The two-pass reference implementation the allocation-free
+    /// `quantile` replaced: collect all bucket counts into a `Vec`, sum
+    /// for the total, then walk. Kept verbatim so the regression test
+    /// below can assert the rewrite changed nothing.
+    fn quantile_reference(h: &Histogram, q: f64) -> Option<f64> {
+        let q = q.clamp(0.0, 1.0);
+        let counts: Vec<u64> =
+            h.0.buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                let upper = match h.0.bounds.get(idx) {
+                    Some(&b) => b,
+                    None => return Some(*h.0.bounds.last().expect("bounds non-empty")),
+                };
+                let lower = if idx == 0 { 0.0 } else { h.0.bounds[idx - 1] };
+                let into = (rank - (seen - c)) as f64 / c as f64;
+                return Some(lower + (upper - lower) * into);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn quantile_matches_two_pass_reference() {
+        let h = Histogram::new(&[0.01, 0.1, 0.5, 1.0, 5.0, 30.0]);
+        // Empty: both say None.
+        assert_eq!(h.quantile(0.5), quantile_reference(&h, 0.5));
+        // A spread hitting every bucket including overflow, with skew.
+        for v in [
+            0.001, 0.002, 0.05, 0.05, 0.05, 0.3, 0.3, 0.7, 0.7, 0.7, 0.7, 2.0, 10.0, 100.0,
+        ] {
+            h.observe(v);
+        }
+        for i in 0..101 {
+            let q = i as f64 / 100.0;
+            assert_eq!(h.quantile(q), quantile_reference(&h, q), "q = {q}");
+        }
+        // Out-of-range q clamps identically.
+        assert_eq!(h.quantile(-1.0), quantile_reference(&h, -1.0));
+        assert_eq!(h.quantile(7.0), quantile_reference(&h, 7.0));
+        // Single-bucket degenerate histogram.
+        let o = Histogram::new(&[1.0]);
+        o.observe(0.2);
+        o.observe(42.0);
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(o.quantile(q), quantile_reference(&o, q), "q = {q}");
+        }
     }
 
     #[test]

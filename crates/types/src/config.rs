@@ -338,6 +338,129 @@ impl HedgePolicy {
     }
 }
 
+/// Adaptive two-level batching: the feedback controller's clamps and
+/// gains (§4.3.2 made self-tuning).
+///
+/// The paper's Fig. 5 shows throughput varying ~an order of magnitude
+/// across the `(xtract_batch_size, funcx_batch_size)` grid, with the
+/// optimum depending on workload and endpoint. This policy lets the wave
+/// loop *search* for that optimum instead of freezing the seed defaults:
+/// an AIMD law grows both batch knobs additively (`grow_step`) while the
+/// observed per-family p50 completion pace holds or improves (within
+/// `tolerance`), and backs off multiplicatively (`backoff`) when the pace
+/// degrades, a task breaches its adaptive deadline, or the endpoint's
+/// breaker opens. Both knobs stay clamped to `[floor, ceiling]`, the
+/// batch-poll request size derives from the same limits (clamped to
+/// `[poll_floor, poll_ceiling]`), and a tenant's remaining invocation
+/// budget caps effective funcX growth. Decisions are a pure function of
+/// the observed evidence sequence — no clocks, no randomness — so a
+/// resumed job re-derives controller state from its journal instead of
+/// persisting it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct AdaptiveBatching {
+    /// Master switch; `false` keeps the spec's static batch sizes,
+    /// byte-identical to the pre-controller wave loop.
+    pub enabled: bool,
+    /// Smallest families-per-Xtract-batch the controller may choose.
+    pub xtract_floor: usize,
+    /// Largest families-per-Xtract-batch the controller may choose.
+    pub xtract_ceiling: usize,
+    /// Smallest tasks-per-funcX-request the controller may choose.
+    pub funcx_floor: usize,
+    /// Largest tasks-per-funcX-request the controller may choose.
+    pub funcx_ceiling: usize,
+    /// Additive increase applied to both knobs after a good wave.
+    pub grow_step: usize,
+    /// Multiplicative decrease applied on pace regression, deadline
+    /// breaches, or a breaker open, in `(0, 1)`.
+    pub backoff: f64,
+    /// Relative per-family pace worsening tolerated before a wave counts
+    /// as a regression (absorbs sampling noise), `>= 0`.
+    pub tolerance: f64,
+    /// Completion-latency samples a wave must contribute before its pace
+    /// is trusted; thinner waves hold the current limits.
+    pub min_wave_samples: u64,
+    /// Fewest task ids bundled into one batch-poll request.
+    pub poll_floor: usize,
+    /// Most task ids bundled into one batch-poll request.
+    pub poll_ceiling: usize,
+}
+
+impl Default for AdaptiveBatching {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            xtract_floor: 1,
+            xtract_ceiling: 32,
+            funcx_floor: 1,
+            funcx_ceiling: 32,
+            grow_step: 2,
+            backoff: 0.65,
+            tolerance: 0.15,
+            min_wave_samples: 4,
+            poll_floor: 16,
+            poll_ceiling: 1024,
+        }
+    }
+}
+
+impl AdaptiveBatching {
+    /// A disabled policy: the spec's static batch sizes apply unchanged.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled policy with the default clamps and gains.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Checks the policy is internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.xtract_floor == 0 || self.funcx_floor == 0 {
+            return Err("adaptive batch floors must be > 0".into());
+        }
+        if self.xtract_floor > self.xtract_ceiling {
+            return Err(format!(
+                "adaptive xtract floor {} exceeds ceiling {}",
+                self.xtract_floor, self.xtract_ceiling
+            ));
+        }
+        if self.funcx_floor > self.funcx_ceiling {
+            return Err(format!(
+                "adaptive funcx floor {} exceeds ceiling {}",
+                self.funcx_floor, self.funcx_ceiling
+            ));
+        }
+        if self.grow_step == 0 {
+            return Err("adaptive grow_step must be > 0".into());
+        }
+        if !(0.0 < self.backoff && self.backoff < 1.0) {
+            return Err(format!("adaptive backoff {} outside (0, 1)", self.backoff));
+        }
+        if self.tolerance < 0.0 {
+            return Err(format!(
+                "adaptive tolerance {} must be >= 0",
+                self.tolerance
+            ));
+        }
+        if self.poll_floor == 0 {
+            return Err("adaptive poll_floor must be > 0".into());
+        }
+        if self.poll_floor > self.poll_ceiling {
+            return Err(format!(
+                "adaptive poll floor {} exceeds ceiling {}",
+                self.poll_floor, self.poll_ceiling
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Durable-recovery (write-ahead log) configuration.
 ///
 /// Governs the segmented recovery log a durable job journals its progress
@@ -438,6 +561,12 @@ pub struct JobSpec {
     /// the allocation lease watchdog.
     #[serde(default)]
     pub hedge: HedgePolicy,
+    /// Adaptive two-level batching: lets a per-endpoint feedback
+    /// controller retune `(xtract_batch_size, funcx_batch_size)` and the
+    /// batch-poll request size from observed wave latencies. Disabled by
+    /// default — the static sizes above then apply unchanged.
+    #[serde(default)]
+    pub adaptive: AdaptiveBatching,
     /// Durable-recovery (write-ahead log) tuning; only consulted when the
     /// job runs with a recovery log attached.
     #[serde(default)]
@@ -468,6 +597,7 @@ impl JobSpec {
             staging_workers: default_staging_workers(),
             retry: RetryPolicy::default(),
             hedge: HedgePolicy::default(),
+            adaptive: AdaptiveBatching::default(),
             recovery: RecoveryPolicy::default(),
             fault_plan: None,
         }
@@ -514,6 +644,7 @@ impl JobSpec {
         }
         self.retry.validate()?;
         self.hedge.validate()?;
+        self.adaptive.validate()?;
         self.recovery.validate()?;
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;
@@ -672,6 +803,55 @@ mod tests {
         job.hedge = HedgePolicy::disabled();
         assert!(job.validate().is_ok());
         assert!(!job.hedge.enabled);
+    }
+
+    #[test]
+    fn adaptive_batching_defaults_are_valid_and_deserialize_sparse() {
+        let policy = AdaptiveBatching::default();
+        assert!(policy.validate().is_ok());
+        assert!(!policy.enabled, "adaptive batching is opt-in");
+        assert_eq!(policy, AdaptiveBatching::disabled());
+        assert!(AdaptiveBatching::enabled().enabled);
+        // Specs serialized before the knob existed still deserialize.
+        let job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        let mut json: serde_json::Value = serde_json::to_value(&job).unwrap();
+        json.as_object_mut().unwrap().remove("adaptive");
+        let back: JobSpec = serde_json::from_value(json).unwrap();
+        assert_eq!(back.adaptive, AdaptiveBatching::default());
+        // Sparse adaptive config keeps unset fields at defaults.
+        let sparse: AdaptiveBatching = serde_json::from_str(r#"{"enabled": true}"#).unwrap();
+        assert!(sparse.enabled);
+        assert_eq!(sparse.xtract_ceiling, 32);
+        assert_eq!(sparse.backoff, AdaptiveBatching::default().backoff);
+    }
+
+    #[test]
+    fn bad_adaptive_batching_is_rejected() {
+        let mut job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        job.adaptive.xtract_floor = 0;
+        assert!(job.validate().unwrap_err().contains("floors"));
+        job.adaptive = AdaptiveBatching::default();
+        job.adaptive.xtract_floor = 8;
+        job.adaptive.xtract_ceiling = 4;
+        assert!(job.validate().unwrap_err().contains("ceiling"));
+        job.adaptive = AdaptiveBatching::default();
+        job.adaptive.funcx_floor = 16;
+        job.adaptive.funcx_ceiling = 2;
+        assert!(job.validate().unwrap_err().contains("funcx"));
+        job.adaptive = AdaptiveBatching::default();
+        job.adaptive.backoff = 1.0;
+        assert!(job.validate().unwrap_err().contains("backoff"));
+        job.adaptive = AdaptiveBatching::default();
+        job.adaptive.grow_step = 0;
+        assert!(job.validate().unwrap_err().contains("grow_step"));
+        job.adaptive = AdaptiveBatching::default();
+        job.adaptive.tolerance = -0.1;
+        assert!(job.validate().unwrap_err().contains("tolerance"));
+        job.adaptive = AdaptiveBatching::default();
+        job.adaptive.poll_floor = 4096;
+        assert!(job.validate().unwrap_err().contains("poll"));
+        job.adaptive = AdaptiveBatching::enabled();
+        assert!(job.validate().is_ok());
     }
 
     #[test]

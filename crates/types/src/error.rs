@@ -77,10 +77,7 @@ pub enum XtractError {
     },
     /// A per-tenant quota ran dry mid-flight. Charged before the resource
     /// is consumed, so the ledger never shows usage above the limit.
-    QuotaExhausted {
-        tenant: TenantId,
-        resource: String,
-    },
+    QuotaExhausted { tenant: TenantId, resource: String },
     /// Another in-flight job already owns this recovery-log directory; a
     /// second writer would interleave WAL segments and corrupt both.
     RecoveryLogBusy { dir: String },
@@ -246,7 +243,10 @@ mod tests {
             resource: "invocations".into()
         }
         .is_retryable());
-        assert!(!XtractError::RecoveryLogBusy { dir: "/tmp/x".into() }.is_retryable());
+        assert!(!XtractError::RecoveryLogBusy {
+            dir: "/tmp/x".into()
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -262,7 +262,10 @@ mod tests {
 
         let policy: ServicePolicy = serde_json::from_str(r#"{"workers":2}"#).unwrap();
         assert_eq!(policy.workers, 2);
-        assert_eq!(policy.queue_capacity, ServicePolicy::default().queue_capacity);
+        assert_eq!(
+            policy.queue_capacity,
+            ServicePolicy::default().queue_capacity
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod cdiac;
 pub mod coco;
 pub mod gdrive;
 pub mod materialize;
+pub mod matio;
 pub mod mdf;
 pub mod profile;
 pub mod table1;

@@ -1,0 +1,66 @@
+//! MaterialsIO workload profiles (§5.2, Fig. 5).
+//!
+//! Two populations of the same extractor family:
+//!
+//! * [`profiles`] — the long-duration MDF subset the §5.2 scaling study
+//!   runs (200 000 groups, 1.1 TB ⇒ ≈5.5 MB per group);
+//! * [`lite_profiles`] — the Fig. 5 batching workload ("100 000
+//!   MaterialsIO tasks"), small single-file groups whose ≈0.6
+//!   reference-core-seconds each make two-level batching the dominant
+//!   cost lever.
+
+use crate::profile::FamilyProfile;
+use rand::Rng;
+use xtract_sim::dist::lognormal_clamped;
+use xtract_sim::rng::RngStreams;
+
+/// `n` long-duration MaterialsIO group profiles (§5.2's MDF subset).
+pub fn profiles(n: u64, streams: &RngStreams) -> Vec<FamilyProfile> {
+    let mut rng = streams.stream("matio-profiles");
+    (0..n)
+        .map(|_| FamilyProfile {
+            class: "matio",
+            files: rng.gen_range(2..9),
+            bytes: lognormal_clamped(&mut rng, 15.0, 1.0, 1.0e4, 1.0e9) as u64,
+        })
+        .collect()
+}
+
+/// `n` small MaterialsIO task profiles (the Fig. 5 batching workload).
+pub fn lite_profiles(n: u64, streams: &RngStreams) -> Vec<FamilyProfile> {
+    let mut rng = streams.stream("matio-lite");
+    (0..n)
+        .map(|_| FamilyProfile {
+            class: "matio-lite",
+            files: 1,
+            bytes: rng.gen_range(10_000..200_000),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_counts_and_classes() {
+        let streams = RngStreams::new(5);
+        let heavy = profiles(50, &streams);
+        let lite = lite_profiles(50, &streams);
+        assert_eq!(heavy.len(), 50);
+        assert_eq!(lite.len(), 50);
+        assert!(heavy.iter().all(|p| p.class == "matio" && p.files >= 2));
+        assert!(lite.iter().all(|p| p.class == "matio-lite" && p.files == 1));
+        assert!(lite.iter().all(|p| (10_000..200_000).contains(&p.bytes)));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = lite_profiles(20, &RngStreams::new(7));
+        let b = lite_profiles(20, &RngStreams::new(7));
+        assert_eq!(
+            a.iter().map(|p| p.bytes).collect::<Vec<_>>(),
+            b.iter().map(|p| p.bytes).collect::<Vec<_>>()
+        );
+    }
+}

@@ -62,7 +62,9 @@ pub struct Arrival {
 pub fn arrival_schedule(profiles: &[TenantLoadProfile], seed: u64) -> Vec<Arrival> {
     let mut arrivals = Vec::new();
     for (tenant_index, p) in profiles.iter().enumerate() {
-        let mut rng = SmallRng::seed_from_u64(seed ^ (tenant_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng = SmallRng::seed_from_u64(
+            seed ^ (tenant_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
         let mut clock = 0.0f64;
         for _ in 0..p.jobs {
             // Inverse-CDF exponential draw; the uniform is pinned away
@@ -110,7 +112,9 @@ mod tests {
         assert!(a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms), "sorted");
         assert!(a.iter().all(|x| x.at_ms.is_finite() && x.at_ms > 0.0));
         assert!(
-            a.iter().filter(|x| x.tenant_index == 1).all(|x| x.priority == 2),
+            a.iter()
+                .filter(|x| x.tenant_index == 1)
+                .all(|x| x.priority == 2),
             "priority rides along from the profile"
         );
         assert_ne!(a, arrival_schedule(&profiles(), 43), "seed matters");

@@ -22,6 +22,12 @@
 //! xtract-cli campaign [groups]
 //!     simulate the paper's full-MDF campaign (Fig. 8) at any scale
 //!
+//! xtract-cli batching [families]
+//!     static-vs-adaptive two-level batching comparison on the Fig. 5
+//!     MaterialsIO workload: sweeps the static extremes, then runs the
+//!     adaptive controller from a bad starting point and prints its
+//!     tuning trajectory
+//!
 //! xtract-cli report <dir> [--workers N]
 //!     extract, then print a JSON job report: per-phase timings plus the
 //!     full metrics-hub snapshot
@@ -59,6 +65,7 @@ fn usage() -> ! {
          \n  search <dir> <term> [<term>...]              extract then search\
          \n  dedup <dir> [--threshold T]                  duplicate / near-duplicate screen\
          \n  campaign [groups]                            simulate the Fig. 8 MDF campaign\
+         \n  batching [families]                          static-vs-adaptive batching comparison (Fig. 5)\
          \n  report <dir> [--workers N]                   extract, print JSON phase timings + metrics\
          \n  events <dir> [--workers N]                   extract, dump the event journal as JSONL\
          \n  demo                                         synthetic end-to-end demo\
@@ -333,6 +340,55 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_batching(args: &[String]) -> Result<(), String> {
+    use xtract_core::campaign::{Campaign, CampaignConfig};
+    use xtract_sim::sites;
+    use xtract_types::AdaptiveBatching;
+    let families: u64 = args
+        .first()
+        .map(|v| v.parse().map_err(|_| "families must be a number"))
+        .transpose()?
+        .unwrap_or(100_000);
+    let profiles = || xtract_workloads::matio::lite_profiles(families, &RngStreams::new(5));
+    let config = |xb: usize, fb: usize| {
+        let mut cfg = CampaignConfig::new(sites::midway(), 224, 55);
+        cfg.xtract_batch = xb;
+        cfg.funcx_batch = fb;
+        cfg
+    };
+    println!("{families} MaterialsIO families on 224 Midway workers (Fig. 5 workload):");
+    for (xb, fb) in [(1, 1), (8, 16), (32, 32)] {
+        let r = Campaign::new(config(xb, fb), profiles()).run();
+        println!(
+            "  static ({xb:>2},{fb:>2}): makespan {:>8.1} s, {:>6.1} fam/s, {:>6} web requests",
+            r.makespan,
+            r.throughput(),
+            r.ws_requests
+        );
+    }
+    let mut cfg = config(2, 2);
+    cfg.adaptive = Some(AdaptiveBatching::enabled());
+    let r = Campaign::new(cfg, profiles()).run();
+    let (fx, ff) = r.batch_trajectory.last().copied().unwrap_or((2, 2));
+    println!(
+        "  adaptive (from (2,2)): makespan {:>8.1} s, {:>6.1} fam/s, {:>6} web requests",
+        r.makespan,
+        r.throughput(),
+        r.ws_requests
+    );
+    println!(
+        "  controller trajectory over {} control blocks, final limits ({fx}, {ff}):",
+        r.batch_trajectory.len()
+    );
+    let steps: Vec<String> = r
+        .batch_trajectory
+        .iter()
+        .map(|&(x, f)| format!("({x},{f})"))
+        .collect();
+    println!("    {}", steps.join(" -> "));
+    Ok(())
+}
+
 /// Shared front half of `report`/`events`: parse `<dir> [--workers N]`
 /// and run the pipeline over a real directory.
 fn extract_dir(args: &[String], cmd: &str) -> Result<(JobReport, XtractService), String> {
@@ -536,6 +592,7 @@ fn main() {
         "search" => cmd_search(rest),
         "dedup" => cmd_dedup(rest),
         "campaign" => cmd_campaign(rest),
+        "batching" => cmd_batching(rest),
         "report" => cmd_report(rest),
         "events" => cmd_events(rest),
         "demo" => cmd_demo(),

@@ -45,9 +45,9 @@ pub use xtract_workloads as workloads;
 /// Commonly-used items, one `use` away.
 pub mod prelude {
     pub use xtract_types::{
-        AllocationExpiry, Blackout, DeadLetter, EndpointId, EndpointSpec, ExtractorKind,
-        FailureReason, Family, FamilyBatch, FaultPlan, FaultScope, FileRecord, FileType,
-        GroupingStrategy, HedgePolicy, JobSpec, Metadata, OffloadMode, QuotaResource,
+        AdaptiveBatching, AllocationExpiry, Blackout, DeadLetter, EndpointId, EndpointSpec,
+        ExtractorKind, FailureReason, Family, FamilyBatch, FaultPlan, FaultScope, FileRecord,
+        FileType, GroupingStrategy, HedgePolicy, JobSpec, Metadata, OffloadMode, QuotaResource,
         RetryPolicy, ServicePolicy, TenantId, TenantQuota, TenantSpec, ValidationSchema,
         XtractError,
     };

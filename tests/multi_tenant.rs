@@ -159,9 +159,18 @@ fn chaos_on_one_tenant_never_leaks_into_neighbors() {
     // Mixed load, interleaved submissions.
     let mut jobs = Vec::new();
     for _ in 0..2 {
-        jobs.push(("steady", svc.submit(steady, 0, token, steady_spec.clone()).unwrap()));
-        jobs.push(("noisy", svc.submit(noisy, 0, token, noisy_spec.clone()).unwrap()));
-        jobs.push(("light", svc.submit(light, 0, token, light_spec.clone()).unwrap()));
+        jobs.push((
+            "steady",
+            svc.submit(steady, 0, token, steady_spec.clone()).unwrap(),
+        ));
+        jobs.push((
+            "noisy",
+            svc.submit(noisy, 0, token, noisy_spec.clone()).unwrap(),
+        ));
+        jobs.push((
+            "light",
+            svc.submit(light, 0, token, light_spec.clone()).unwrap(),
+        ));
     }
 
     for (owner, id) in &jobs {
@@ -193,7 +202,10 @@ fn chaos_on_one_tenant_never_leaks_into_neighbors() {
             // typed prefetch reason.
             _ => {
                 for letter in &report.failures {
-                    assert!(matches!(letter.reason, FailureReason::PrefetchFailed { .. }));
+                    assert!(matches!(
+                        letter.reason,
+                        FailureReason::PrefetchFailed { .. }
+                    ));
                 }
             }
         }
@@ -403,7 +415,10 @@ fn shed_job_resubmitted_with_recovery_converges() {
         JobStatus::Shed { .. }
     ));
     for id in [blocker, high] {
-        assert!(svc.wait(id, Duration::from_secs(120)).unwrap().is_terminal());
+        assert!(svc
+            .wait(id, Duration::from_secs(120))
+            .unwrap()
+            .is_terminal());
     }
 
     // Resubmit against the same log directory: the job runs (nothing was
@@ -430,7 +445,11 @@ fn shed_job_resubmitted_with_recovery_converges() {
     ));
     let replayed = svc.take_report(replay).unwrap().unwrap();
     assert!(replayed.resumed);
-    assert!(replayed.invocations.is_empty(), "{:?}", replayed.invocations);
+    assert!(
+        replayed.invocations.is_empty(),
+        "{:?}",
+        replayed.invocations
+    );
     assert_eq!(doc_keys(&replayed.records), baseline);
     let _ = std::fs::remove_dir_all(&dir);
 }
