@@ -1,0 +1,234 @@
+//! **BENCH_index** — the tracked perf trajectory for the sharded serving
+//! index.
+//!
+//! Measures read QPS at 1/2/4/8 reader threads while a writer sustains
+//! replacement-heavy ingest, for both designs:
+//!
+//! * the sharded snapshot index (`SearchIndex`): readers clone an `Arc`
+//!   snapshot and never block; a replacement tombstones one slot and
+//!   posts only the new document;
+//! * the historical single-lock index (`baseline::LockedIndex`): readers
+//!   queue behind a write lock under which every replacement rebuilds —
+//!   re-tokenizes — the entire corpus.
+//!
+//! Also times one replacement in isolation on each design, the direct
+//! measurement of the O(N)-rebuild bug the sharded index fixes. Writes
+//! `BENCH_index.json` at the repo root so every PR has a measured
+//! comparison.
+//!
+//! Acceptance encoded in the `criteria` object: sharded read QPS must
+//! strictly beat the single-lock baseline at every reader count, and at
+//! the max reader count by ≥ 2×.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use xtract_index::baseline::LockedIndex;
+use xtract_index::{Query, SearchIndex};
+use xtract_types::{FamilyId, Metadata, MetadataRecord};
+
+const FAMILIES: u64 = 4_000;
+const SHARDS: usize = 8;
+const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Measured window per (design, readers) cell.
+const WINDOW: Duration = Duration::from_millis(400);
+/// Families replaced per writer loop iteration.
+const REPLACE_CHUNK: u64 = 16;
+
+const VOCAB: [&str; 32] = [
+    "perovskite",
+    "graphene",
+    "anatase",
+    "rutile",
+    "spinel",
+    "zeolite",
+    "ferrite",
+    "garnet",
+    "voltage",
+    "current",
+    "pressure",
+    "temperature",
+    "yield",
+    "energy",
+    "bandgap",
+    "lattice",
+    "alpha",
+    "beta",
+    "gamma",
+    "delta",
+    "epsilon",
+    "zeta",
+    "eta",
+    "theta",
+    "anneal",
+    "quench",
+    "sinter",
+    "dope",
+    "etch",
+    "sputter",
+    "deposit",
+    "calcine",
+];
+
+/// Deterministic synthetic record: ~12 vocab words chosen by a cheap
+/// hash of (family, generation), so re-generation replaces content.
+fn synth(family: u64, generation: u64) -> MetadataRecord {
+    let mut words = Vec::with_capacity(12);
+    let mut x = family
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(generation.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        | 1;
+    for _ in 0..12 {
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        words.push(VOCAB[(x % VOCAB.len() as u64) as usize]);
+    }
+    let mut doc = serde_json::Map::new();
+    doc.insert("text".into(), serde_json::Value::from(words.join(" ")));
+    doc.insert("gen".into(), serde_json::Value::from(generation));
+    MetadataRecord {
+        family: FamilyId::new(family),
+        schema: "synthetic".to_string(),
+        document: Metadata(doc),
+        extractors: vec!["keyword".to_string()],
+    }
+}
+
+fn query_for(n: usize) -> Query {
+    let a = VOCAB[n % VOCAB.len()];
+    let b = VOCAB[(n * 7 + 3) % VOCAB.len()];
+    let mut q = Query::terms(&[a, b]);
+    q.limit = 10;
+    q
+}
+
+/// One writer sustaining replacement ingest + `readers` query threads
+/// for `WINDOW`. Returns (read QPS, writer generations completed).
+fn measure<I, Q>(readers: usize, ingest_chunk: I, query: Q) -> (f64, u64)
+where
+    I: Fn(u64) + Sync,
+    Q: Fn(usize) -> usize + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    let generations = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut g = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                ingest_chunk(g);
+                generations.fetch_add(1, Ordering::Relaxed);
+                g += 1;
+            }
+        });
+        for _ in 0..readers {
+            s.spawn(|| {
+                let mut n = 0usize;
+                let mut acc = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    acc += query(n);
+                    n += 1;
+                }
+                queries.fetch_add(n as u64, Ordering::Relaxed);
+                assert!(acc < usize::MAX);
+            });
+        }
+        std::thread::sleep(WINDOW);
+        stop.store(true, Ordering::Relaxed);
+    });
+    (
+        queries.load(Ordering::Relaxed) as f64 / WINDOW.as_secs_f64(),
+        generations.load(Ordering::Relaxed),
+    )
+}
+
+/// µs for one single-document replacement, measured in isolation — the
+/// direct before/after of the O(N)-rebuild fix.
+fn replace_us<F: FnMut(u64)>(iters: u64, mut replace: F) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        replace(i % FAMILIES);
+    }
+    t0.elapsed().as_micros() as f64 / iters as f64
+}
+
+fn main() {
+    xtract_bench::banner(
+        "BENCH_index: sharded snapshot index vs single-lock baseline, read QPS under sustained replacement ingest",
+        "sharded beats single-lock at every reader count, >= 2x at 8 readers",
+    );
+
+    let sharded = SearchIndex::with_shards(SHARDS);
+    sharded.ingest_all((0..FAMILIES).map(|f| synth(f, 0)));
+    let locked = LockedIndex::new();
+    locked.ingest_all((0..FAMILIES).map(|f| synth(f, 0)));
+    println!(
+        "\n  corpus: {FAMILIES} families, {} terms across {SHARDS} shards",
+        sharded.stats().terms
+    );
+
+    let mut rows = String::new();
+    let mut all_beat = true;
+    let mut speedup_at_max = 0.0f64;
+    println!("  readers   sharded QPS    locked QPS   speedup   (writer gens: sharded/locked)");
+    for readers in READER_COUNTS {
+        let (sharded_qps, sharded_gens) = measure(
+            readers,
+            |g| {
+                let base = (g * REPLACE_CHUNK) % FAMILIES;
+                sharded.ingest_all((0..REPLACE_CHUNK).map(|i| synth((base + i) % FAMILIES, g)));
+            },
+            |n| sharded.search(&query_for(n)).len(),
+        );
+        let (locked_qps, locked_gens) = measure(
+            readers,
+            |g| {
+                let base = (g * REPLACE_CHUNK) % FAMILIES;
+                locked.ingest_all((0..REPLACE_CHUNK).map(|i| synth((base + i) % FAMILIES, g)));
+            },
+            |n| locked.search(&query_for(n)).len(),
+        );
+        let speedup = sharded_qps / locked_qps.max(1.0);
+        all_beat &= sharded_qps > locked_qps;
+        if readers == *READER_COUNTS.last().unwrap() {
+            speedup_at_max = speedup;
+        }
+        println!(
+            "  {readers:>7}   {sharded_qps:>11.0}   {locked_qps:>11.0}   {speedup:>6.1}x   ({sharded_gens}/{locked_gens})"
+        );
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"readers\": {readers}, \"sharded_qps\": {sharded_qps:.0}, \"locked_qps\": {locked_qps:.0}, \"speedup\": {speedup:.2}, \"sharded_writer_gens\": {sharded_gens}, \"locked_writer_gens\": {locked_gens}}}"
+        ));
+    }
+
+    // The bugfix in isolation: one replacement, no concurrency.
+    let sharded_us = replace_us(2_000, |f| sharded.ingest(synth(f, 999)));
+    let locked_us = replace_us(50, |f| locked.ingest(synth(f, 999)));
+    println!(
+        "  single replacement: sharded {sharded_us:.1} us, single-lock (O(N) rebuild) {locked_us:.1} us"
+    );
+
+    let m = sharded.ingest_metrics();
+    let pass = all_beat && speedup_at_max >= 2.0;
+    let json = format!(
+        "{{\n  \"bench\": \"index\",\n  \"generated_by\": \"cargo bench --bench bench_index\",\n  \"workload\": {{\"families\": {FAMILIES}, \"shards\": {SHARDS}, \"vocab\": {}, \"replace_chunk\": {REPLACE_CHUNK}, \"window_ms\": {}}},\n  \"read_qps_under_ingest\": [{rows}\n  ],\n  \"single_replacement_us\": {{\"sharded\": {sharded_us:.2}, \"single_lock_rebuild\": {locked_us:.2}}},\n  \"sharded_ingest_metrics\": {{\"records\": {}, \"replacements\": {}, \"terms_posted\": {}, \"publishes\": {}, \"compactions\": {}}},\n  \"criteria\": {{\n    \"sharded_beats_single_lock_at_every_reader_count\": {all_beat},\n    \"speedup_at_8_readers\": {speedup_at_max:.2},\n    \"speedup_at_8_readers_ge_2x\": {}\n  }}\n}}\n",
+        VOCAB.len(),
+        WINDOW.as_millis(),
+        m.records,
+        m.replacements,
+        m.terms_posted,
+        m.publishes,
+        m.compactions,
+        speedup_at_max >= 2.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_index.json");
+    std::fs::write(path, &json).expect("write BENCH_index.json");
+    println!("  wrote {path}");
+
+    assert!(
+        pass,
+        "acceptance criteria failed: all_beat {all_beat}, speedup_at_max {speedup_at_max:.2}"
+    );
+}

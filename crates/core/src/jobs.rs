@@ -315,6 +315,13 @@ impl JobManager {
     pub fn obs(&self) -> &xtract_obs::Obs {
         self.service.obs()
     }
+
+    /// The live serving index, once any managed job has opted into index
+    /// ingest (`spec.index.enabled`). Queries run lock-free against
+    /// per-shard snapshots while jobs keep ingesting.
+    pub fn index(&self) -> Option<Arc<xtract_index::SearchIndex>> {
+        self.service.index()
+    }
 }
 
 impl Drop for JobManager {
@@ -601,6 +608,13 @@ impl JobService {
     /// The underlying service's observability bundle.
     pub fn obs(&self) -> &xtract_obs::Obs {
         self.service.obs()
+    }
+
+    /// The live serving index, once any tenant's job has opted into
+    /// index ingest (`spec.index.enabled`). The index is shared across
+    /// tenants — it is the downstream search service every job feeds.
+    pub fn index(&self) -> Option<Arc<xtract_index::SearchIndex>> {
+        self.service.index()
     }
 }
 

@@ -781,7 +781,7 @@ mod tests {
         let dir = tempdir("arc-frame");
         let policy = RecoveryPolicy::default();
         let (log, _) = RecoveryLog::open(&dir, policy).unwrap();
-        log.append_batch(&[record.clone()]).unwrap();
+        log.append_batch(std::slice::from_ref(&record)).unwrap();
         drop(log);
         let (_, replay) = RecoveryLog::open(&dir, policy).unwrap();
         assert_eq!(replay.records, vec![record]);

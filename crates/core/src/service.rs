@@ -57,6 +57,7 @@ use xtract_crawler::{Crawler, CrawlerConfig};
 use xtract_datafabric::{AuthService, DataFabric, Scope, Token, TransferRequest, TransferService};
 use xtract_extractors::{library, Extractor};
 use xtract_faas::{EndpointConfig, FaasService, FunctionRegistry, TaskSpec, TaskStatus};
+use xtract_index::SearchIndex;
 use xtract_obs::{Event, EventJournal, Histogram, Obs, Phase, PhaseTimings, SpanUnion};
 use xtract_sim::RngStreams;
 use xtract_types::id::IdAllocator;
@@ -379,6 +380,10 @@ pub struct XtractService {
     containers: parking_lot::RwLock<HashMap<ExtractorKind, Vec<ContainerId>>>,
     family_ids: IdAllocator,
     streams: RngStreams,
+    /// The live serving index, created on the first job that opts into
+    /// [`xtract_types::IndexPolicy`] ingest (that job's shard count
+    /// wins) and shared by every job thereafter.
+    serving: parking_lot::RwLock<Option<Arc<SearchIndex>>>,
 }
 
 impl XtractService {
@@ -404,6 +409,28 @@ impl XtractService {
             containers: parking_lot::RwLock::new(HashMap::new()),
             family_ids: IdAllocator::new(),
             streams: RngStreams::new(seed),
+            serving: parking_lot::RwLock::new(None),
+        }
+    }
+
+    /// The live serving index, if any job has opted into index ingest
+    /// yet. Readers query it lock-free against per-shard snapshots while
+    /// jobs continue to ingest.
+    pub fn index(&self) -> Option<Arc<SearchIndex>> {
+        self.serving.read().clone()
+    }
+
+    /// Gets or creates the serving index; the first opting job's shard
+    /// count wins.
+    fn serving_index(&self, shards: usize) -> Arc<SearchIndex> {
+        let mut slot = self.serving.write();
+        match &*slot {
+            Some(idx) => Arc::clone(idx),
+            None => {
+                let idx = Arc::new(SearchIndex::with_shards(shards));
+                *slot = Some(Arc::clone(&idx));
+                idx
+            }
         }
     }
 
@@ -955,6 +982,16 @@ impl XtractService {
         let mut wal_dead: HashMap<FamilyId, DeadLetter> = HashMap::new();
         let mut wal_crashes: Vec<String> = Vec::new();
         let mut crash = CrashSchedule::default();
+        // Live serving-index ingest (opt-in): touched families flow into
+        // the sharded index as each wave commits, and validation replaces
+        // their live records with the final ones.
+        let serving: Option<Arc<SearchIndex>> = spec
+            .index
+            .enabled
+            .then(|| self.serving_index(spec.index.shards));
+        let index_ingested = self.obs.hub.counter("index.ingested");
+        let index_replayed = self.obs.hub.counter("index.replayed");
+        let index_waves = self.obs.hub.counter("index.waves");
         if let Some(ctx) = rec {
             report.resumed = ctx.resumed;
             report.replayed_records = ctx.replayed;
@@ -988,6 +1025,42 @@ impl XtractService {
             wal_dead = ctx.dead.clone();
             wal_crashes = ctx.crash_points.clone();
             crash = CrashSchedule::arm(spec.fault_plan.as_ref(), ctx.crash_points.len() as u64);
+            // Re-converge the serving index: fold every journaled step
+            // into its family's merged document, in journal order — the
+            // same order the live run merged (and ingested) them — so a
+            // resumed job's index ends up identical to an uninterrupted
+            // run's.
+            if let Some(serving) = &serving {
+                let mut rebuilt: HashMap<FamilyId, (Metadata, Vec<String>)> = HashMap::new();
+                for r in &ctx.steps {
+                    if let RecoveryRecord::StepCompleted {
+                        family,
+                        kind,
+                        metadata,
+                        ..
+                    } = r
+                    {
+                        let (merged, ran) = rebuilt
+                            .entry(*family)
+                            .or_insert_with(|| (Metadata::new(), Vec::new()));
+                        merged.merge(metadata);
+                        ran.push(kind.name().to_string());
+                    }
+                }
+                let families = rebuilt.len() as u64;
+                if families > 0 {
+                    serving.ingest_all(rebuilt.into_iter().map(
+                        |(family, (document, extractors))| MetadataRecord {
+                            family,
+                            schema: "live".to_string(),
+                            document,
+                            extractors,
+                        },
+                    ));
+                    index_replayed.add(families);
+                    journal.record(Event::IndexReplayed { families });
+                }
+            }
         }
         // Straggler-defense instrumentation: the completion-latency
         // histogram the adaptive deadline derives from, and the hedge
@@ -1306,8 +1379,7 @@ impl XtractService {
                 // keeps dispatching healthy families meanwhile. With no
                 // healthy alternative it stays parked and rides the
                 // half-open probe cycle instead.
-                for i in 0..active.len() {
-                    let af = &mut active[i];
+                for (i, af) in active.iter_mut().enumerate() {
                     if af.failed.is_some() || af.staging || af.plan.is_done() {
                         continue;
                     }
@@ -1503,6 +1575,9 @@ impl XtractService {
                 // Steps completed during this wave; journaled in one group
                 // commit at the wave boundary below.
                 let mut wave_flushes: Vec<RecoveryRecord> = Vec::new();
+                // Families whose merged document grew this wave; ingested
+                // into the serving index at the commit boundary below.
+                let mut wave_touched: HashSet<FamilyId> = HashSet::new();
 
                 // Submit: one batch_submit per funcX batch (§4.3.2).
                 let mut entries: Vec<WaveEntry> = Vec::new();
@@ -1845,6 +1920,7 @@ impl XtractService {
                                     af.merged.merge(&metadata);
                                     af.ran.push(kind.name().to_string());
                                     af.plan.complete(kind, &r.discoveries);
+                                    wave_touched.insert(r.family);
                                 }
                                 // Credit whichever endpoint actually
                                 // produced the result — the hedge winner's,
@@ -2056,14 +2132,16 @@ impl XtractService {
                         let l = ledger.lock();
                         for af in &active {
                             if let Some(reason) = &af.failed {
-                                if !wal_dead.contains_key(&af.family.id) {
+                                if let std::collections::hash_map::Entry::Vacant(slot) =
+                                    wal_dead.entry(af.family.id)
+                                {
                                     let mut letter = DeadLetter::new(
                                         af.family.id,
                                         reason.clone(),
                                         l.attempts(af.family.id),
                                     );
                                     letter.timeline = af.timeline.clone();
-                                    wal_dead.insert(af.family.id, letter.clone());
+                                    slot.insert(letter.clone());
                                     batch.push(RecoveryRecord::DeadLettered { letter });
                                 }
                             }
@@ -2144,6 +2222,34 @@ impl XtractService {
                         });
                     }
                 }
+                // Live ingest at the commit boundary: each touched
+                // family's merged-so-far document lands in the serving
+                // index under schema "live" (validation replaces it with
+                // the final record). Running *after* the group commit
+                // keeps the index trailing the log, so a crash here is
+                // re-converged by replay on resume.
+                if let Some(serving) = &serving {
+                    if !wave_touched.is_empty() {
+                        let recs: Vec<MetadataRecord> = active
+                            .iter()
+                            .filter(|af| wave_touched.contains(&af.family.id))
+                            .map(|af| MetadataRecord {
+                                family: af.family.id,
+                                schema: "live".to_string(),
+                                document: af.merged.clone(),
+                                extractors: af.ran.clone(),
+                            })
+                            .collect();
+                        let n = recs.len() as u64;
+                        serving.ingest_all(recs);
+                        index_ingested.add(n);
+                        index_waves.incr();
+                        journal.record(Event::IndexWaveIngested {
+                            wave: u64::from(report.waves),
+                            records: n,
+                        });
+                    }
+                }
                 report
                     .phases
                     .add(Phase::Extract, extract_started.elapsed().as_secs_f64());
@@ -2195,7 +2301,15 @@ impl XtractService {
                         .backend
                         .write(&path, Bytes::from(encode_record(&record)))
                     {
-                        Ok(()) => report.records.push(record),
+                        Ok(()) => {
+                            // The validated record replaces the family's
+                            // live wave-loop version in the serving index.
+                            if let Some(serving) = &serving {
+                                serving.ingest(record.clone());
+                                index_ingested.incr();
+                            }
+                            report.records.push(record)
+                        }
                         Err(e) => report.failures.push(DeadLetter::new(
                             af.family.id,
                             FailureReason::Internal {

@@ -728,7 +728,7 @@ mod tests {
         let ep = EndpointId::new(3);
         registry.declare_endpoint(ep, ContainerRuntime::Docker);
         let c = registry.register_container("kw:1", ContainerRuntime::Docker, 0);
-        let body: FunctionBody = Arc::new(|v| Ok(v));
+        let body: FunctionBody = Arc::new(Ok);
         let f = registry.register_function("kw", c, &[ep], body).unwrap();
         let obs = xtract_obs::Obs::new();
         let svc = FaasService::with_obs(registry, obs.clone());

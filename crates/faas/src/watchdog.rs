@@ -99,7 +99,7 @@ mod tests {
         let ep = EndpointId::new(0);
         registry.declare_endpoint(ep, ContainerRuntime::Docker);
         let c = registry.register_container("kw:1", ContainerRuntime::Docker, 0);
-        let body: FunctionBody = Arc::new(|v| Ok(v));
+        let body: FunctionBody = Arc::new(Ok);
         registry.register_function("kw", c, &[ep], body).unwrap();
         let obs = xtract_obs::Obs::new();
         let svc = Arc::new(FaasService::with_obs(registry, obs.clone()));
@@ -189,7 +189,7 @@ mod tests {
         let f = {
             let registry = svc.registry();
             let c = registry.register_container("echo:1", ContainerRuntime::Docker, 0);
-            let body: FunctionBody = Arc::new(|v| Ok(v));
+            let body: FunctionBody = Arc::new(Ok);
             registry.register_function("echo", c, &[ep], body).unwrap()
         };
         let spec = |i: u64| TaskSpec {

@@ -17,6 +17,14 @@
 //! * **ranked term queries** (TF·IDF scoring with multi-term AND/OR);
 //! * **faceting** (value counts for a dotted field across matches).
 //!
+//! Serving-scale internals: records are sharded by [`FamilyId`] hash and
+//! each shard publishes an immutable snapshot behind an `Arc` — readers
+//! clone the pointer and query frozen data while writers batch updates
+//! and atomically publish the next snapshot, so queries never block on
+//! ingest. Replacement tombstones the old slot and posts only the new
+//! document (no rebuild); see [`index`] for the full design and
+//! [`baseline`] for the single-lock reference it is benchmarked against.
+//!
 //! See `examples/search_index.rs` for the end-to-end flow: extract a
 //! repository, ingest the records, and answer the §1 motivating question —
 //! "find the data relevant to my work".
@@ -41,10 +49,11 @@
 
 #![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
+pub mod baseline;
 pub mod index;
 pub mod query;
 
-pub use index::{IndexStats, SearchIndex};
+pub use index::{IndexStats, IngestMetrics, SearchIndex, DEFAULT_SHARDS};
 pub use query::{Filter, Hit, Query};
 
-pub use xtract_types::MetadataRecord;
+pub use xtract_types::{FamilyId, MetadataRecord};

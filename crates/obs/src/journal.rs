@@ -288,6 +288,20 @@ pub enum Event {
         /// Stable resource name.
         resource: String,
     },
+    /// A committed wave's touched families were ingested into the live
+    /// serving index.
+    IndexWaveIngested {
+        /// The wave just committed.
+        wave: u64,
+        /// Records ingested (one per family touched this wave).
+        records: u64,
+    },
+    /// A resumed job replayed its journaled progress into the serving
+    /// index, re-converging it with the uninterrupted run.
+    IndexReplayed {
+        /// Families whose merged metadata was re-ingested.
+        families: u64,
+    },
 }
 
 /// One journal entry: a monotonic sequence number plus the event. The
@@ -433,7 +447,7 @@ mod tests {
 
     #[test]
     fn jsonl_round_trips_every_variant() {
-        let j = EventJournal::with_capacity(32);
+        let j = EventJournal::with_capacity(64);
         j.record(Event::CrawlProgress {
             endpoint: EndpointId::new(1),
             directories: 10,
@@ -561,8 +575,13 @@ mod tests {
             tenant: TenantId::new(2),
             resource: "transfer_bytes".into(),
         });
+        j.record(Event::IndexWaveIngested {
+            wave: 3,
+            records: 12,
+        });
+        j.record(Event::IndexReplayed { families: 7 });
         let dump = j.to_jsonl();
-        assert_eq!(dump.lines().count(), 31);
+        assert_eq!(dump.lines().count(), 33);
         let parsed = EventJournal::parse_jsonl(&dump).unwrap();
         assert_eq!(parsed, j.events());
         // The tag is snake_case and self-describing.
@@ -582,6 +601,8 @@ mod tests {
         assert!(dump.contains("\"type\":\"job_finished\""));
         assert!(dump.contains("\"type\":\"quota_charged\""));
         assert!(dump.contains("\"type\":\"quota_exhausted\""));
+        assert!(dump.contains("\"type\":\"index_wave_ingested\""));
+        assert!(dump.contains("\"type\":\"index_replayed\""));
     }
 
     #[test]

@@ -508,6 +508,62 @@ impl RecoveryPolicy {
     }
 }
 
+/// Live serving-index configuration.
+///
+/// When enabled, the orchestrator feeds the sharded serving index as the
+/// job runs: each committed wave ingests the touched families' merged
+/// metadata (schema `"live"`), and validation replaces those live
+/// records with the final validated ones. A job resumed from its
+/// recovery log replays journaled steps into the index first, so the
+/// resumed job's index converges to exactly what an uninterrupted run
+/// would hold. Disabled by default — the index is then never touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct IndexPolicy {
+    /// Master switch for live wave-loop ingest.
+    pub enabled: bool,
+    /// Shard count for the serving index (families are hash-partitioned
+    /// across shards; readers see per-shard immutable snapshots). Only
+    /// consulted when this job is the first to initialize the service's
+    /// index.
+    pub shards: usize,
+}
+
+impl Default for IndexPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            shards: 8,
+        }
+    }
+}
+
+impl IndexPolicy {
+    /// A disabled policy: the serving index is never touched.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled policy with the default shard count.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Checks the policy is internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("index shards must be > 0".into());
+        }
+        if self.shards > 4096 {
+            return Err(format!("index shards {} exceeds 4096", self.shards));
+        }
+        Ok(())
+    }
+}
+
 fn default_staging_workers() -> usize {
     4
 }
@@ -571,6 +627,11 @@ pub struct JobSpec {
     /// job runs with a recovery log attached.
     #[serde(default)]
     pub recovery: RecoveryPolicy,
+    /// Live serving-index ingest: records flow into the sharded search
+    /// index as waves commit (and replay into it on resume). Disabled by
+    /// default.
+    #[serde(default)]
+    pub index: IndexPolicy,
     /// Structured fault plan for chaos testing; `None` injects nothing.
     #[serde(default)]
     pub fault_plan: Option<FaultPlan>,
@@ -599,6 +660,7 @@ impl JobSpec {
             hedge: HedgePolicy::default(),
             adaptive: AdaptiveBatching::default(),
             recovery: RecoveryPolicy::default(),
+            index: IndexPolicy::default(),
             fault_plan: None,
         }
     }
@@ -646,6 +708,7 @@ impl JobSpec {
         self.hedge.validate()?;
         self.adaptive.validate()?;
         self.recovery.validate()?;
+        self.index.validate()?;
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;
         }
@@ -823,6 +886,36 @@ mod tests {
         assert!(sparse.enabled);
         assert_eq!(sparse.xtract_ceiling, 32);
         assert_eq!(sparse.backoff, AdaptiveBatching::default().backoff);
+    }
+
+    #[test]
+    fn index_policy_defaults_are_valid_and_deserialize_sparse() {
+        let policy = IndexPolicy::default();
+        assert!(policy.validate().is_ok());
+        assert!(!policy.enabled, "live index ingest is opt-in");
+        assert_eq!(policy, IndexPolicy::disabled());
+        assert!(IndexPolicy::enabled().enabled);
+        // Specs serialized before the knob existed still deserialize.
+        let job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        let mut json: serde_json::Value = serde_json::to_value(&job).unwrap();
+        json.as_object_mut().unwrap().remove("index");
+        let back: JobSpec = serde_json::from_value(json).unwrap();
+        assert_eq!(back.index, IndexPolicy::default());
+        // Sparse index config keeps unset fields at defaults.
+        let sparse: IndexPolicy = serde_json::from_str(r#"{"enabled": true}"#).unwrap();
+        assert!(sparse.enabled);
+        assert_eq!(sparse.shards, IndexPolicy::default().shards);
+    }
+
+    #[test]
+    fn bad_index_policy_is_rejected() {
+        let mut job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        job.index.shards = 0;
+        assert!(job.validate().unwrap_err().contains("index shards"));
+        job.index.shards = 5000;
+        assert!(job.validate().unwrap_err().contains("4096"));
+        job.index = IndexPolicy::enabled();
+        assert!(job.validate().is_ok());
     }
 
     #[test]

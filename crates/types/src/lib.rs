@@ -38,8 +38,8 @@ pub mod sniff;
 pub mod tenancy;
 
 pub use config::{
-    AdaptiveBatching, ContainerRuntime, EndpointSpec, GroupingStrategy, HedgePolicy, JobSpec,
-    OffloadMode, RecoveryPolicy, RetryPolicy, ValidationSchema,
+    AdaptiveBatching, ContainerRuntime, EndpointSpec, GroupingStrategy, HedgePolicy, IndexPolicy,
+    JobSpec, OffloadMode, RecoveryPolicy, RetryPolicy, ValidationSchema,
 };
 pub use error::{Result, XtractError};
 pub use extractor::ExtractorKind;

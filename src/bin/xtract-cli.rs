@@ -16,6 +16,11 @@
 //! xtract-cli search <dir> <term> [<term>...]
 //!     extract (in memory) then query the search index
 //!
+//! xtract-cli query <dir> <term> [<term>...]
+//!     extract with live index ingest enabled (the wave loop feeds the
+//!     serving index as each wave commits), then query the service's
+//!     shared sharded index — no post-hoc batch ingest
+//!
 //! xtract-cli dedup <dir> [--threshold 0.7]
 //!     exact + near-duplicate screen over a real directory
 //!
@@ -63,6 +68,8 @@ fn usage() -> ! {
          \n  resume <dir> --log DIR [--jsonl FILE] [--workers N]\
          \n                                               resume an interrupted extract from its log\
          \n  search <dir> <term> [<term>...]              extract then search\
+         \n  query <dir> <term> [<term>...]               extract with live wave-loop index\
+         \n                                               ingest, then query the serving index\
          \n  dedup <dir> [--threshold T]                  duplicate / near-duplicate screen\
          \n  campaign [groups]                            simulate the Fig. 8 MDF campaign\
          \n  batching [families]                          static-vs-adaptive batching comparison (Fig. 5)\
@@ -85,19 +92,22 @@ fn extract_backend(
     backend: Arc<dyn StorageBackend>,
     workers: usize,
 ) -> Result<Vec<MetadataRecord>, String> {
-    run_extract(backend, workers, None, false).map(|(report, _)| report.records)
+    run_extract(backend, workers, None, false, false).map(|(report, _)| report.records)
 }
 
 /// Runs the full pipeline over a backend and returns the finished report
 /// together with the service, whose observability bundle (metrics hub +
 /// event journal) the `report`/`events` commands read back out. With
 /// `log`, the job journals to (or, with `resume`, replays from) a durable
-/// recovery log rooted at that directory.
+/// recovery log rooted at that directory. With `live_index`, the job
+/// opts into serving-index ingest: committed waves stream straight into
+/// the service's sharded index, readable via `service.index()`.
 fn run_extract(
     backend: Arc<dyn StorageBackend>,
     workers: usize,
     log: Option<&std::path::Path>,
     resume: bool,
+    live_index: bool,
 ) -> Result<(JobReport, XtractService), String> {
     let fabric = Arc::new(DataFabric::new());
     let ep = EndpointId::new(0);
@@ -139,6 +149,9 @@ fn run_extract(
     spec.results_endpoint = Some(results_ep);
     spec.validation = xtract_types::ValidationSchema::Mdf("mdf-generic".into());
     spec.grouping = GroupingStrategy::MaterialsAware;
+    if live_index {
+        spec.index = xtract_types::IndexPolicy::enabled();
+    }
     service
         .connect_endpoint(&spec.endpoints[0])
         .map_err(|e| e.to_string())?;
@@ -197,7 +210,8 @@ fn run_extract_cmd(args: &[String], cmd: &str, resume: bool) -> Result<(), Strin
         std::fs::create_dir_all(log).map_err(|e| e.to_string())?;
     }
     let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
-    let (report, _service) = run_extract(Arc::new(backend), workers, log.as_deref(), resume)?;
+    let (report, _service) =
+        run_extract(Arc::new(backend), workers, log.as_deref(), resume, false)?;
     let records = report.records;
 
     if let Some(out_path) = flag_value(args, "--jsonl") {
@@ -254,6 +268,41 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             })
             .unwrap_or_default();
         println!("  {:>8.4}  {}  {}", hit.score, hit.family, files.join(", "));
+    }
+    Ok(())
+}
+
+/// `query <dir> <term>...`: like `search`, but nothing is batch-ingested
+/// after the fact — the job opts into live index ingest, the wave loop
+/// streams committed waves into the service's sharded serving index, and
+/// the query runs against the snapshots that job published.
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("query needs a directory")?;
+    let terms: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+    if terms.is_empty() {
+        return Err("query needs at least one term".into());
+    }
+    let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
+    let (_report, service) = run_extract(Arc::new(backend), 4, None, false, true)?;
+    let index = service
+        .index()
+        .ok_or("job finished but the service has no serving index")?;
+    let stats = index.stats();
+    eprintln!(
+        "serving index: {} live docs, {} terms across {} shards ({} segments, {} tombstoned)",
+        stats.documents, stats.terms, stats.shards, stats.segments, stats.tombstoned
+    );
+    let hits = index.search(&Query::terms(&terms));
+    println!("{} hits for {:?}:", hits.len(), terms);
+    for hit in hits {
+        let rec = index.get(hit.family).expect("hit has a record");
+        println!(
+            "  {:>8.4}  {}  [{}]  {} keys",
+            hit.score,
+            hit.family,
+            rec.extractors.join("+"),
+            rec.document.len()
+        );
     }
     Ok(())
 }
@@ -400,7 +449,7 @@ fn extract_dir(args: &[String], cmd: &str) -> Result<(JobReport, XtractService),
         .transpose()?
         .unwrap_or(4);
     let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
-    run_extract(Arc::new(backend), workers, None, false)
+    run_extract(Arc::new(backend), workers, None, false, false)
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
@@ -590,6 +639,7 @@ fn main() {
         "extract" => cmd_extract(rest),
         "resume" => cmd_resume(rest),
         "search" => cmd_search(rest),
+        "query" => cmd_query(rest),
         "dedup" => cmd_dedup(rest),
         "campaign" => cmd_campaign(rest),
         "batching" => cmd_batching(rest),

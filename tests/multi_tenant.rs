@@ -278,7 +278,7 @@ fn dispatch_ratio_tracks_tenant_weights() {
         "weight-3 tenant took {heavy_share} of the first 8 slots: {dispatched:?}"
     );
     // No tenant starves: the tail still contains both.
-    assert!(dispatched[8..].iter().any(|t| *t == light));
+    assert!(dispatched[8..].contains(&light));
 }
 
 /// Overload: the lowest-priority *pending* job is shed (typed status,

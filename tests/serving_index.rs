@@ -1,0 +1,276 @@
+//! Serving-index integration: the wave loop feeds the sharded index
+//! *live* — records become searchable as each wave commits, not after the
+//! job ends — and the index rides the same durability story as the job
+//! itself. The acceptance differential: a job killed mid-flight and
+//! resumed from its recovery log by a brand-new service converges to the
+//! same serving index as an uninterrupted baseline.
+
+use bytes::Bytes;
+use std::path::PathBuf;
+use std::sync::Arc;
+use xtract::prelude::*;
+use xtract_core::XtractService;
+use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope, StorageBackend, Token};
+use xtract_index::{Query, SearchIndex};
+use xtract_types::config::{ContainerRuntime, IndexPolicy, RecoveryPolicy};
+use xtract_types::{CrashPoint, OrchestratorCrash};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xtract-serving-index-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn full_token(auth: &AuthService) -> Token {
+    auth.login(
+        "serving",
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
+    )
+}
+
+/// Tables whose keyword pass discovers tabular content, appending the
+/// tabular + null-value extractors: every family runs a multi-wave plan,
+/// so the index sees live mid-job records *and* their validated
+/// replacements.
+const CSV_TEXTS: [&str; 4] = [
+    "voltage,current\n1.2,0.4\n1.5,0.5\n1.9,0.7\n",
+    "sample,yield\nperovskite,0.82\nanatase,0.61\n",
+    "temp,pressure\n270,1.1\n280,1.4\n290,1.9\n",
+    "run,energy\nalpha,12.5\nbeta,13.1\ngamma,\n",
+];
+
+/// A fresh single-endpoint service over an identical corpus every call.
+/// The endpoint has a staging store, so every family completes and
+/// validates — the final index holds exactly the shipped records.
+fn rig(seed: u64, index: IndexPolicy) -> (XtractService, Token, JobSpec) {
+    let fabric = Arc::new(DataFabric::new());
+    let ep = EndpointId::new(0);
+    let fs = Arc::new(MemFs::new(ep));
+    for (i, text) in CSV_TEXTS.iter().enumerate() {
+        fs.write(&format!("/data/d{i}/notes.txt"), Bytes::from(*text))
+            .unwrap();
+    }
+    fabric.register(ep, "midway", fs);
+    let auth = Arc::new(AuthService::new());
+    let token = full_token(&auth);
+    let svc = XtractService::new(fabric, auth, seed);
+    let mut spec = JobSpec::single_endpoint(
+        EndpointSpec {
+            endpoint: ep,
+            read_path: "/data".into(),
+            store_path: Some("/stage".into()),
+            available_bytes: 1 << 30,
+            workers: Some(2),
+            runtime: ContainerRuntime::Docker,
+        },
+        "/data",
+    );
+    spec.validation = ValidationSchema::Mdf("mdf-generic".into());
+    spec.index = index;
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    (svc, token, spec)
+}
+
+/// Content dump of everything the index serves. Family ids are
+/// allocator-dependent (two crawl threads race), so records compare by
+/// schema + sorted extractor set + document — never by id.
+fn dump(index: &SearchIndex) -> Vec<String> {
+    let everything = Query {
+        terms: Vec::new(),
+        filters: Vec::new(),
+        require_all_terms: false,
+        limit: usize::MAX,
+    };
+    let mut keys: Vec<String> = index
+        .search(&everything)
+        .into_iter()
+        .map(|hit| {
+            let rec = index.get(hit.family).expect("hit has a record");
+            let mut extractors = rec.extractors.clone();
+            extractors.sort();
+            format!(
+                "{}|{}|{}",
+                rec.schema,
+                extractors.join("+"),
+                serde_json::to_string(&rec.document).unwrap()
+            )
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+#[test]
+fn wave_loop_feeds_the_serving_index_live() {
+    let (svc, token, spec) = rig(0x1DE, IndexPolicy::enabled());
+    assert!(svc.index().is_none(), "no index before any job opts in");
+
+    let report = svc.run_job(token, &spec).unwrap();
+    assert_eq!(report.records.len(), 4);
+    assert!(
+        report.waves >= 2,
+        "need a multi-wave plan, got {}",
+        report.waves
+    );
+
+    let index = svc.index().expect("opted-in job created the serving index");
+    // Every shipped record is served verbatim; nothing else is live.
+    for rec in &report.records {
+        assert_eq!(index.get(rec.family).as_ref(), Some(rec));
+    }
+    let stats = index.stats();
+    assert_eq!(stats.documents, report.records.len());
+    // The wave loop ingested provisional "live" records mid-job and the
+    // validated records replaced them slot-by-slot — the tombstones are
+    // the proof the index was populated *before* the job finished.
+    assert!(
+        stats.tombstoned >= report.records.len(),
+        "expected >= {} tombstoned live records, got {}",
+        report.records.len(),
+        stats.tombstoned
+    );
+
+    // Observability: ingest counters moved and the journal narrates the
+    // per-wave ingest.
+    let hub = &svc.obs().hub;
+    assert!(hub.counter_value("index.ingested", None) as usize >= 2 * report.records.len());
+    assert!(hub.counter_value("index.waves", None) >= 1);
+    assert!(svc
+        .obs()
+        .journal
+        .to_jsonl()
+        .contains("\"type\":\"index_wave_ingested\""));
+
+    // Search parity: the served index answers exactly like a fresh index
+    // built from the shipped records — same hits, bitwise-equal scores —
+    // so no stale live-record term leaks through a tombstone.
+    let fresh = SearchIndex::new();
+    fresh.ingest_all(report.records.clone());
+    for term in ["voltage", "perovskite", "temp", "energy", "notes"] {
+        let served: Vec<_> = index
+            .search(&Query::terms(&[term]))
+            .into_iter()
+            .map(|h| (h.family, h.score.to_bits()))
+            .collect();
+        let rebuilt: Vec<_> = fresh
+            .search(&Query::terms(&[term]))
+            .into_iter()
+            .map(|h| (h.family, h.score.to_bits()))
+            .collect();
+        assert_eq!(served, rebuilt, "term {term:?} diverged");
+    }
+}
+
+#[test]
+fn jobs_without_the_policy_leave_no_index() {
+    let (svc, token, spec) = rig(0x0FF, IndexPolicy::disabled());
+    let report = svc.run_job(token, &spec).unwrap();
+    assert_eq!(report.records.len(), 4);
+    assert!(
+        svc.index().is_none(),
+        "disabled policy must not build an index"
+    );
+    assert_eq!(svc.obs().hub.counter_value("index.ingested", None), 0);
+}
+
+#[test]
+fn first_opted_in_job_fixes_the_shard_count() {
+    let (svc, token, spec) = rig(
+        0x5AD,
+        IndexPolicy {
+            enabled: true,
+            shards: 3,
+        },
+    );
+    svc.run_job(token, &spec).unwrap();
+    assert_eq!(svc.index().unwrap().shard_count(), 3);
+}
+
+/// The acceptance differential: kill the job at three scheduled crash
+/// points, resume each time with a brand-new service sharing nothing with
+/// its predecessor but the log directory, and the survivor's serving
+/// index — rebuilt by WAL replay plus the remaining live waves — must
+/// equal the uninterrupted baseline's.
+#[test]
+fn resumed_job_converges_to_the_uninterrupted_index() {
+    let seed = 0xCAFE;
+    let policy = IndexPolicy::enabled();
+    let recovery = RecoveryPolicy {
+        segment_bytes: 1024,
+        sync_each_commit: true,
+        compact_segments: 2,
+    };
+
+    // Uninterrupted baseline, journaling to its own log.
+    let base_dir = tempdir("baseline");
+    let (svc, token, mut spec) = rig(seed, policy);
+    spec.recovery = recovery;
+    let baseline = svc.run_job_with_recovery(token, &spec, &base_dir).unwrap();
+    assert_eq!(baseline.records.len(), 4);
+    let base_dump = dump(&svc.index().expect("baseline built an index"));
+    assert_eq!(base_dump.len(), 4);
+
+    // Chaos run: same spec plus an ordered kill schedule.
+    let chaos_dir = tempdir("chaos");
+    let mut chaos_spec = spec.clone();
+    chaos_spec.fault_plan = Some(FaultPlan {
+        orchestrator_crashes: vec![
+            OrchestratorCrash {
+                point: CrashPoint::AfterCrawl,
+                at_occurrence: 1,
+            },
+            OrchestratorCrash {
+                point: CrashPoint::MidWave,
+                at_occurrence: 1,
+            },
+            OrchestratorCrash {
+                point: CrashPoint::MidFlush,
+                at_occurrence: 1,
+            },
+        ],
+        ..FaultPlan::new(seed)
+    });
+
+    let mut kills = 0usize;
+    let mut survivor = None;
+    for _attempt in 0..8 {
+        let (svc, token, _) = rig(seed, policy);
+        match svc.resume_job(token, &chaos_spec, &chaos_dir) {
+            Ok(report) => {
+                survivor = Some((svc, report));
+                break;
+            }
+            Err(XtractError::OrchestratorKilled { .. }) => kills += 1,
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+    let (svc, report) = survivor.expect("job never converged after the kill schedule");
+    assert_eq!(kills, 3, "all three scheduled kills must fire");
+    assert!(report.resumed);
+
+    // The survivor rehydrated the index from the log before running the
+    // remaining waves, and says so in its journal.
+    assert!(svc.obs().hub.counter_value("index.replayed", None) > 0);
+    assert!(svc
+        .obs()
+        .journal
+        .to_jsonl()
+        .contains("\"type\":\"index_replayed\""));
+
+    // The differential: identical served content, either path.
+    let chaos_dump = dump(&svc.index().expect("survivor built an index"));
+    assert_eq!(base_dump, chaos_dump);
+
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+}
