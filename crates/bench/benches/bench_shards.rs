@@ -1,0 +1,200 @@
+//! **BENCH_shards** — the tracked perf trajectory for the sharded
+//! orchestrator scale-out.
+//!
+//! Runs one live job — a heterogeneous corpus where a few huge families
+//! straggle behind many tiny ones — at 1, 2, and 4 orchestrator shards
+//! over the same 8-worker compute endpoint, each configuration against a
+//! fresh recovery-log directory (`sync_each_commit: false`, so WAL fsync
+//! noise never enters the measurement). The unsharded wave loop barriers
+//! *every* family on the slowest one each wave, idling workers; shards
+//! barrier only their own subset, and work stealing drains a shard whose
+//! stragglers pile up — so the makespan should fall as shards are added.
+//!
+//! Writes `BENCH_shards.json` at the repo root so every PR has a measured
+//! scale-out curve. Acceptance encoded in the `criteria` object: the
+//! best-of-N makespan improves monotonically from 1 to 2 to 4 shards.
+
+use bytes::Bytes;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope, StorageBackend, Token};
+use xtract_types::config::{ContainerRuntime, RecoveryPolicy};
+use xtract_types::{
+    EndpointId, EndpointSpec, GroupingStrategy, JobSpec, PartitionerKind, ShardPolicy,
+    ValidationSchema,
+};
+
+const FAMILIES: usize = 64;
+/// Every STRAGGLE_EVERY-th family is a huge three-wave table; the rest
+/// are tiny. The per-wave barrier cost the shards remove scales with
+/// this contrast.
+const STRAGGLE_EVERY: usize = 8;
+const WORKERS: usize = 8;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const RUNS_PER_CONFIG: usize = 5;
+const SEED: u64 = 0x5AD5;
+
+/// A three-wave CSV table: `rows` controls the parse cost.
+fn table(rows: usize, salt: usize) -> String {
+    let mut s = String::from("voltage,current,temp\n");
+    for r in 0..rows {
+        s.push_str(&format!("1.{r},0.{salt},2{r}\n"));
+    }
+    s
+}
+
+fn corpus() -> Arc<MemFs> {
+    let fs = Arc::new(MemFs::new(EndpointId::new(0)));
+    for i in 0..FAMILIES {
+        let rows = if i % STRAGGLE_EVERY == 0 { 4096 } else { 8 };
+        fs.write(
+            &format!("/data/f{i:03}/table.csv"),
+            Bytes::from(table(rows, i)),
+        )
+        .unwrap();
+    }
+    fs
+}
+
+fn rig() -> (xtract_core::XtractService, Token, JobSpec) {
+    let fabric = Arc::new(DataFabric::new());
+    let ep = EndpointId::new(0);
+    fabric.register(ep, "midway", corpus());
+    let auth = Arc::new(AuthService::new());
+    let token = auth.login(
+        "bench",
+        &[
+            Scope::Crawl,
+            Scope::Extract,
+            Scope::Transfer,
+            Scope::Validate,
+        ],
+    );
+    let svc = xtract_core::XtractService::new(fabric, auth, SEED);
+    let mut spec = JobSpec::single_endpoint(
+        EndpointSpec {
+            endpoint: ep,
+            read_path: "/data".into(),
+            store_path: None,
+            available_bytes: 1 << 30,
+            workers: Some(WORKERS),
+            runtime: ContainerRuntime::Docker,
+        },
+        "/data",
+    );
+    spec.grouping = GroupingStrategy::MaterialsAware;
+    spec.validation = ValidationSchema::Mdf("mdf-generic".into());
+    spec.crawl_workers = 1;
+    spec.recovery = RecoveryPolicy {
+        segment_bytes: 1 << 20,
+        sync_each_commit: false,
+        compact_segments: 1000,
+    };
+    svc.connect_endpoint(&spec.endpoints[0]).unwrap();
+    (svc, token, spec)
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtract-bench-shards-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Cell {
+    shards: usize,
+    best_ms: f64,
+    records: usize,
+    waves: u32,
+    stolen: u64,
+}
+
+fn measure(shards: usize) -> Cell {
+    let mut best_ms = f64::INFINITY;
+    let mut records = 0;
+    let mut waves = 0;
+    let mut stolen = 0;
+    for run in 0..RUNS_PER_CONFIG {
+        let dir = bench_dir(&format!("{shards}-{run}"));
+        let (svc, token, mut spec) = rig();
+        if shards > 1 {
+            spec.shard = ShardPolicy::sharded(shards);
+            spec.shard.partitioner = PartitionerKind::Range;
+        }
+        let t0 = Instant::now();
+        let report = svc
+            .run_job_with_recovery(token, &spec, &dir)
+            .expect("bench job failed");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.records.len(), FAMILIES, "lost records at {shards} shards");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        if ms < best_ms {
+            best_ms = ms;
+            records = report.records.len();
+            waves = report.waves;
+            stolen = report.stolen_families;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Cell {
+        shards,
+        best_ms,
+        records,
+        waves,
+        stolen,
+    }
+}
+
+fn main() {
+    xtract_bench::banner(
+        "BENCH_shards: sharded orchestrator scale-out, best-of-N makespan at 1/2/4 shards",
+        "makespan improves monotonically as orchestrator shards are added",
+    );
+    println!(
+        "\n  corpus: {FAMILIES} families ({} stragglers of 4096 rows), {WORKERS} workers, best of {RUNS_PER_CONFIG}",
+        FAMILIES / STRAGGLE_EVERY
+    );
+
+    let cells: Vec<Cell> = SHARD_COUNTS.iter().map(|&s| measure(s)).collect();
+    println!("  shards   makespan ms   speedup   waves   stolen");
+    let base = cells[0].best_ms;
+    let mut rows = String::new();
+    for c in &cells {
+        println!(
+            "  {:>6}   {:>11.1}   {:>6.2}x   {:>5}   {:>6}",
+            c.shards,
+            c.best_ms,
+            base / c.best_ms,
+            c.waves,
+            c.stolen
+        );
+        if !rows.is_empty() {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"shards\": {}, \"makespan_ms\": {:.2}, \"speedup\": {:.3}, \"records\": {}, \"waves\": {}, \"stolen_families\": {}}}",
+            c.shards,
+            c.best_ms,
+            base / c.best_ms,
+            c.records,
+            c.waves,
+            c.stolen
+        ));
+    }
+
+    let monotone = cells.windows(2).all(|w| w[1].best_ms < w[0].best_ms);
+    let speedup_at_4 = base / cells.last().unwrap().best_ms;
+    let json = format!(
+        "{{\n  \"bench\": \"shards\",\n  \"generated_by\": \"cargo bench --bench bench_shards\",\n  \"workload\": {{\"families\": {FAMILIES}, \"straggle_every\": {STRAGGLE_EVERY}, \"workers\": {WORKERS}, \"runs_per_config\": {RUNS_PER_CONFIG}}},\n  \"makespan\": [{rows}\n  ],\n  \"criteria\": {{\n    \"makespan_improves_monotonically_1_2_4\": {monotone},\n    \"speedup_at_4_shards\": {speedup_at_4:.3}\n  }}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shards.json");
+    std::fs::write(path, &json).expect("write BENCH_shards.json");
+    println!("  wrote {path}");
+
+    assert!(
+        monotone,
+        "acceptance criteria failed: makespans {:?} are not monotone over {SHARD_COUNTS:?}",
+        cells.iter().map(|c| c.best_ms).collect::<Vec<_>>()
+    );
+}

@@ -54,7 +54,10 @@ pub enum JobFailureKind {
     Quota,
     /// The job's recovery-log directory was leased to another live job.
     RecoveryLogBusy,
-    /// Any other orchestrator error (auth, transfer, fabric, ...).
+    /// Any other orchestrator error (auth, transfer, fabric, a shard
+    /// worker dying with no live sibling to adopt its families, ...).
+    /// Orchestrator failures of sharded jobs are retryable with
+    /// `resume_job`: every shard's WAL survives the crash.
     Orchestrator,
 }
 
@@ -903,6 +906,21 @@ mod tests {
         let b = mgr.submit_with_recovery(token, spec, &dir).unwrap();
         assert!(mgr.wait(b, Duration::from_secs(30)).unwrap().is_terminal());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_death_classifies_as_orchestrator_failure() {
+        // A stranded shard death is an orchestrator-side fault: the
+        // async interface reports it as retryable (resume replays the
+        // shard WALs), not as admission/quota back-pressure.
+        let err = XtractError::ShardDied {
+            shard: 2,
+            point: "wave-3".into(),
+        };
+        assert_eq!(
+            JobFailureKind::classify(&err),
+            JobFailureKind::Orchestrator
+        );
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //! * [`resilience`] — per-endpoint circuit breakers and per-family retry
 //!   budgets driving the recovery policy (see `DESIGN.md`, "Fault
 //!   tolerance & failure semantics");
+//! * [`shard`] — the sharded orchestrator scale-out: family-space
+//!   partitioning across shard workers, heartbeat-driven work stealing,
+//!   and shard-death recovery with orphan adoption (see `DESIGN.md`,
+//!   "Sharded orchestrator");
 //! * [`jobs`] — the asynchronous submit/monitor/retrieve interface of §3
 //!   (Listing 2's `XtractClient` flow), and the multi-tenant `JobService`
 //!   built on it;
@@ -70,6 +74,7 @@ pub mod queue;
 pub mod recovery;
 pub mod resilience;
 pub mod service;
+pub mod shard;
 pub mod staging;
 pub mod tenancy;
 pub mod utility;
@@ -87,4 +92,5 @@ pub use queue::{Admission, JobQueue, Victim};
 pub use recovery::{spec_fingerprint, LogDirLease, RecoveryLog, RecoveryRecord, Replay};
 pub use resilience::{BreakerState, HealthTracker, RetryLedger};
 pub use service::{JobReport, XtractService};
+pub use shard::{build_partitioner, shard_of, HashPartitioner, Partitioner, RangePartitioner};
 pub use tenancy::{QuotaLedger, TenantCtx, TenantRegistry};

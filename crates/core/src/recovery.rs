@@ -253,6 +253,30 @@ pub enum RecoveryRecord {
         /// Wave number within its run.
         wave: u64,
     },
+    /// A family changed shards (work stealing or orphan adoption). The
+    /// record is *symmetric*: the donor journals it with `adopted:
+    /// false` before the family is handed over, the recipient journals
+    /// it with `adopted: true` when it takes the family in. Replaying
+    /// the donor's log drops the family from its plan; replaying the
+    /// recipient's log adds it — so neither crash side ever
+    /// double-dispatches. The record is self-contained (full family,
+    /// completed steps, retry charges) so an adoption can be replayed
+    /// from the recipient's log alone.
+    FamilyMigrated {
+        /// The migrated family, in full (the donor's planned view).
+        family: Family,
+        /// Donor shard index.
+        from: u64,
+        /// Recipient shard index.
+        to: u64,
+        /// False in the donor's log, true in the recipient's.
+        adopted: bool,
+        /// Steps the family had already completed on the donor; the
+        /// recipient fast-forwards past them instead of re-running.
+        steps: Vec<MigratedStep>,
+        /// Retry-ledger attempts already charged for the family.
+        charges: u32,
+    },
     /// A scheduled chaos kill fired here. The count of these records is
     /// the cursor into [`FaultPlan::orchestrator_crashes`].
     ///
@@ -266,6 +290,49 @@ pub enum RecoveryRecord {
     SnapshotBoundary,
     /// The job ran to completion; a resume of this log is a no-op.
     JobCompleted,
+}
+
+impl RecoveryRecord {
+    /// For a [`RecoveryRecord::FamilyMigrated`] record: the same
+    /// migration as seen from the other side (`adopted` toggled). The
+    /// coordinator uses this to repair a recipient's missing in-record
+    /// from the donor's out-record when a crash interrupted the
+    /// hand-over. Any other variant is returned unchanged.
+    pub fn flip_side(self) -> Self {
+        match self {
+            RecoveryRecord::FamilyMigrated {
+                family,
+                from,
+                to,
+                adopted,
+                steps,
+                charges,
+            } => RecoveryRecord::FamilyMigrated {
+                family,
+                from,
+                to,
+                adopted: !adopted,
+                steps,
+                charges,
+            },
+            other => other,
+        }
+    }
+}
+
+/// One completed `(extractor, metadata)` step carried inside a
+/// [`RecoveryRecord::FamilyMigrated`] record — the same payload a
+/// [`RecoveryRecord::StepCompleted`] holds, minus the family id (the
+/// enclosing migration names it once).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigratedStep {
+    /// The extractor that ran.
+    pub kind: ExtractorKind,
+    /// The step's metadata output (shared with the checkpoint store).
+    pub metadata: Arc<Metadata>,
+    /// Type discoveries the step reported.
+    #[serde(default)]
+    pub discoveries: Vec<(String, FileType)>,
 }
 
 // ---------------------------------------------------------------------------
@@ -1026,6 +1093,85 @@ mod tests {
         let _unrelated = LogDirLease::acquire(&other).unwrap();
         drop(lease);
         let _reclaimed = LogDirLease::acquire(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_subdir_leases_nest_under_the_root_lease() {
+        // A sharded job holds the root lease (taken at submit) while each
+        // shard runner leases its own `shard-{k}/` subdirectory. The
+        // canonical-path keying must treat those as distinct claims: the
+        // shards never collide with the root or with each other, but a
+        // duplicate claim on one shard's subdir is still refused typed.
+        let dir = tempdir("lease-nested");
+        let root = LogDirLease::acquire(&dir).unwrap();
+        let s0 = dir.join("shard-0");
+        let s1 = dir.join("shard-1");
+        std::fs::create_dir_all(&s0).unwrap();
+        std::fs::create_dir_all(&s1).unwrap();
+        let lease0 = LogDirLease::acquire(&s0).unwrap();
+        let _lease1 = LogDirLease::acquire(&s1).unwrap();
+        // A second writer on shard-0 — even via a relative hop — is the
+        // exact collision the lease exists to prevent.
+        let aliased = s1.join("..").join("shard-0");
+        let err = LogDirLease::acquire(&aliased).unwrap_err();
+        assert!(matches!(err, XtractError::RecoveryLogBusy { .. }), "{err}");
+        // Releasing the shard lease frees the subdir while the root
+        // lease stays held.
+        drop(lease0);
+        let _reclaimed = LogDirLease::acquire(&s0).unwrap();
+        drop(root);
+    }
+
+    #[test]
+    fn family_migrated_round_trips_and_is_side_symmetric() {
+        use xtract_types::Group;
+        let dir = tempdir("migrate");
+        let policy = RecoveryPolicy::default();
+        let family = Family::new(
+            FamilyId::new(5),
+            Vec::new(),
+            vec![Group::new(xtract_types::GroupId::new(1), Vec::new())],
+            EndpointId::new(0),
+        );
+        let out = RecoveryRecord::FamilyMigrated {
+            family: family.clone(),
+            from: 1,
+            to: 0,
+            adopted: false,
+            steps: vec![MigratedStep {
+                kind: ExtractorKind::Keyword,
+                metadata: Arc::new(md("kw")),
+                discoveries: vec![("/data/a.csv".into(), FileType::Tabular)],
+            }],
+            charges: 2,
+        };
+        let RecoveryRecord::FamilyMigrated {
+            family: f2,
+            adopted,
+            ..
+        } = out.clone()
+        else {
+            unreachable!()
+        };
+        let inr = RecoveryRecord::FamilyMigrated {
+            family: f2,
+            from: 1,
+            to: 0,
+            adopted: !adopted,
+            steps: vec![MigratedStep {
+                kind: ExtractorKind::Keyword,
+                metadata: Arc::new(md("kw")),
+                discoveries: vec![("/data/a.csv".into(), FileType::Tabular)],
+            }],
+            charges: 2,
+        };
+        let (log, _) = RecoveryLog::open(&dir, policy).unwrap();
+        log.append_batch(&[out.clone(), inr.clone()]).unwrap();
+        drop(log);
+        let (_, replay) = RecoveryLog::open(&dir, policy).unwrap();
+        assert_eq!(replay.records, vec![out, inr]);
+        assert_eq!(replay.records[0], replay.records[1].clone().flip_side());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -41,8 +41,9 @@ use crate::families::build_families;
 use crate::offload::{Offloader, Placement};
 use crate::payload::{decode_results, encode_batch, make_function_body};
 use crate::planner::ExtractionPlan;
-use crate::recovery::{spec_fingerprint, RecoveryLog, RecoveryRecord};
+use crate::recovery::{spec_fingerprint, MigratedStep, RecoveryLog, RecoveryRecord};
 use crate::resilience::{BreakerState, HealthTracker, RetryLedger};
+use crate::shard::{Migrant, ShardCtl};
 use crate::staging::{stage_salt_base, StageOutcome, StageRequest, StagedFamily};
 use crate::tenancy::TenantCtx;
 use crate::validator::{encode_record, validate};
@@ -106,6 +107,18 @@ pub struct JobReport {
     pub replayed_records: u64,
     /// Torn trailing records truncated from the recovery log at open.
     pub truncated_records: u64,
+    /// Job-relative `[start, end]` intervals (seconds) behind the phase
+    /// buckets. Sharded runs merge their shards' spans through a
+    /// [`SpanUnion`] per phase, so `phases` stays wall-clock-honest
+    /// while concurrent shard work overlaps.
+    pub phase_spans: Vec<(Phase, f64, f64)>,
+    /// Shard wave loops the job ran (0 for unsharded runs).
+    pub shards: u64,
+    /// Families migrated between shards (work stealing plus orphan
+    /// adoption).
+    pub stolen_families: u64,
+    /// Shard wave loops that died mid-run and had their work adopted.
+    pub shard_deaths: u64,
 }
 
 struct ActiveFamily {
@@ -137,6 +150,10 @@ struct ActiveFamily {
     /// is resubmitted once without charging the retry budget; the second
     /// overrun charges like any other loss.
     extended: HashSet<ExtractorKind>,
+    /// The family was donated to another shard: its out-record is
+    /// durable and the recipient owns it. The wave loop treats it as
+    /// terminal-here — never dispatched, dead-lettered, or shipped.
+    migrated: bool,
 }
 
 /// One submitted funcX task in the current wave, plus its speculative
@@ -165,31 +182,36 @@ struct WaveEntry {
 /// the state replayed from it. Built once per job by
 /// [`XtractService::run_job_with_recovery`] / [`XtractService::resume_job`];
 /// `resumed` is false when the log held no prior progress.
-struct RecoveryCtx {
-    log: RecoveryLog,
+pub(crate) struct RecoveryCtx {
+    pub(crate) log: RecoveryLog,
     /// [`spec_fingerprint`] of the owning spec, re-stated by snapshots.
-    fingerprint: u64,
-    resumed: bool,
-    replayed: u64,
-    truncated: u64,
+    pub(crate) fingerprint: u64,
+    pub(crate) resumed: bool,
+    pub(crate) replayed: u64,
+    pub(crate) truncated: u64,
     /// Crawl totals from a replayed `CrawlCompleted` record.
-    crawl: Option<(u64, u64, u64)>,
+    pub(crate) crawl: Option<(u64, u64, u64)>,
     /// The journaled family plan, in placement order — replaying it skips
     /// the crawl and pins family identity across the resume.
-    planned: Vec<Family>,
-    /// Replayed `StepCompleted` records, in journal order.
-    steps: Vec<RecoveryRecord>,
+    pub(crate) planned: Vec<Family>,
+    /// Replayed `StepCompleted` records, in journal order (migration
+    /// in-records contribute their carried steps here, so fast-forward
+    /// and checkpoint rehydration see cross-shard progress too).
+    pub(crate) steps: Vec<RecoveryRecord>,
     /// Total retry attempts charged per family across prior runs.
-    charges: HashMap<FamilyId, u32>,
+    pub(crate) charges: HashMap<FamilyId, u32>,
     /// Dead letters from prior runs (latest per family wins).
-    dead: HashMap<FamilyId, DeadLetter>,
+    pub(crate) dead: HashMap<FamilyId, DeadLetter>,
     /// Crash points already recorded, in order — their count is the
     /// cursor into the fault plan's ordered crash schedule.
-    crash_points: Vec<String>,
+    pub(crate) crash_points: Vec<String>,
     /// Committed waves replayed from the log — the adaptive batching
     /// controller warm-starts from this count (its state is recomputed
     /// from replayed evidence, never persisted).
-    waves: u64,
+    pub(crate) waves: u64,
+    /// Replayed `FamilyMigrated` records, in journal order — restated
+    /// by compaction snapshots so ownership survives segment pruning.
+    pub(crate) migrations: Vec<RecoveryRecord>,
 }
 
 /// The run's armed scheduled-crash entry, if any: entry `k` of
@@ -374,7 +396,7 @@ pub struct XtractService {
     auth: Arc<AuthService>,
     transfer: Arc<TransferService>,
     faas: Arc<FaasService>,
-    obs: Obs,
+    pub(crate) obs: Obs,
     library: HashMap<ExtractorKind, Arc<dyn Extractor>>,
     functions: parking_lot::RwLock<HashMap<(ExtractorKind, EndpointId), FunctionId>>,
     containers: parking_lot::RwLock<HashMap<ExtractorKind, Vec<ContainerId>>>,
@@ -688,7 +710,7 @@ impl XtractService {
     /// by the Xtract service", §4.3.1; §5.8.1: extraction state is ready
     /// "within 3 seconds of the crawler being initiated"). Fills the
     /// report's crawl totals and `families` with the job's plan.
-    fn crawl_and_plan(
+    pub(crate) fn crawl_and_plan(
         &self,
         spec: &JobSpec,
         report: &mut JobReport,
@@ -822,8 +844,28 @@ impl XtractService {
             .map_err(|reason| XtractError::InvalidJob { reason })?;
         self.auth.check(token, Scope::Crawl)?;
         self.auth.check(token, Scope::Extract)?;
+        // A sharded run fans the plan out over N wave loops, each with
+        // its own WAL subdirectory under the job's log dir.
+        if spec.shard.enabled && spec.shard.shards > 1 {
+            let Some(dir) = dir else {
+                return Err(XtractError::InvalidJob {
+                    reason: "sharded runs need a recovery log dir (shard WALs live under it)"
+                        .to_string(),
+                });
+            };
+            if let Some(plan) = &spec.fault_plan {
+                self.transfer.arm_fault_plan(plan.clone());
+                self.faas.arm_fault_plan(plan.clone());
+            }
+            let result = crate::shard::run_sharded(self, token, spec, dir, tenant);
+            if spec.fault_plan.is_some() {
+                self.transfer.clear_faults();
+                self.faas.clear_faults();
+            }
+            return result;
+        }
         let rec = match dir {
-            Some(dir) => Some(self.open_recovery(spec, dir)?),
+            Some(dir) => Some(self.open_recovery(spec, dir, None)?),
             None => None,
         };
 
@@ -833,7 +875,7 @@ impl XtractService {
             self.transfer.arm_fault_plan(plan.clone());
             self.faas.arm_fault_plan(plan.clone());
         }
-        let result = self.run_job_inner(token, spec, rec.as_ref(), tenant);
+        let result = self.run_job_inner(token, spec, rec.as_ref(), tenant, None);
         if spec.fault_plan.is_some() {
             self.transfer.clear_faults();
             self.faas.clear_faults();
@@ -847,16 +889,24 @@ impl XtractService {
     /// every record the log held (valid and torn respectively), and the
     /// journal records the open, any truncation, any finished
     /// compaction, and the resume itself.
-    fn open_recovery(&self, spec: &JobSpec, dir: &Path) -> Result<RecoveryCtx> {
+    pub(crate) fn open_recovery(
+        &self,
+        spec: &JobSpec,
+        dir: &Path,
+        label: Option<&str>,
+    ) -> Result<RecoveryCtx> {
         let fingerprint = spec_fingerprint(spec);
         let (log, replay) = RecoveryLog::open(dir, spec.recovery)?;
+        // Sharded runs label the recovery counters per shard WAL;
+        // `counter_sum` still recovers the aggregate, and the unsharded
+        // path stays on the unlabeled cells.
         self.obs
             .hub
-            .counter("recovery.replayed")
+            .counter_with("recovery.replayed", label)
             .add(replay.records.len() as u64);
         self.obs
             .hub
-            .counter("recovery.truncated")
+            .counter_with("recovery.truncated", label)
             .add(replay.truncated_records);
         self.obs.journal.record(Event::RecoveryLogOpened {
             segments: replay.segments,
@@ -881,6 +931,7 @@ impl XtractService {
             dead: HashMap::new(),
             crash_points: Vec::new(),
             waves: 0,
+            migrations: Vec::new(),
         };
         let effective = replay.effective();
         if effective.is_empty() {
@@ -931,6 +982,35 @@ impl XtractService {
                 }
                 RecoveryRecord::CrashRecorded { point } => ctx.crash_points.push(point.clone()),
                 RecoveryRecord::WaveCommitted { .. } => ctx.waves += 1,
+                RecoveryRecord::FamilyMigrated {
+                    family,
+                    adopted,
+                    steps,
+                    charges,
+                    ..
+                } => {
+                    if *adopted {
+                        // The family moved here: (re)plan it and carry
+                        // its cross-shard progress — steps re-stated as
+                        // StepCompleted so fast-forward and checkpoint
+                        // rehydration treat them like local history.
+                        ctx.planned.retain(|f| f.id != family.id);
+                        ctx.planned.push(family.clone());
+                        for s in steps {
+                            ctx.steps.push(RecoveryRecord::StepCompleted {
+                                family: family.id,
+                                kind: s.kind,
+                                metadata: Arc::clone(&s.metadata),
+                                discoveries: s.discoveries.clone(),
+                            });
+                        }
+                        let cur = ctx.charges.entry(family.id).or_insert(0);
+                        *cur = (*cur).max(*charges);
+                    } else {
+                        ctx.planned.retain(|f| f.id != family.id);
+                    }
+                    ctx.migrations.push(r.clone());
+                }
                 _ => {}
             }
         }
@@ -941,12 +1021,13 @@ impl XtractService {
         Ok(ctx)
     }
 
-    fn run_job_inner(
+    pub(crate) fn run_job_inner(
         &self,
         token: Token,
         spec: &JobSpec,
         rec: Option<&RecoveryCtx>,
         tenant: Option<&Arc<TenantCtx>>,
+        shard: Option<&ShardCtl>,
     ) -> Result<JobReport> {
         let job_started = Instant::now();
         let mut report = JobReport::default();
@@ -981,6 +1062,17 @@ impl XtractService {
         let mut wal_charges: HashMap<FamilyId, u32> = HashMap::new();
         let mut wal_dead: HashMap<FamilyId, DeadLetter> = HashMap::new();
         let mut wal_crashes: Vec<String> = Vec::new();
+        // Migration records journaled *this run segment* (sharded runs
+        // only). Snapshots restate them after the planned families, so
+        // compaction preserves mid-run ownership changes: an adopted
+        // family survives pruning, a donated one stays gone. Replayed
+        // migrations need no restating — the replayed plan and step list
+        // already reflect them.
+        let mut wal_migrations: Vec<RecoveryRecord> = Vec::new();
+        // Steps carried in by live adoptions, kept apart from
+        // `wal_steps` (they were journaled inside the in-record, not as
+        // StepCompleted) so donation hand-offs still forward them.
+        let mut adopted_steps: HashMap<FamilyId, Vec<MigratedStep>> = HashMap::new();
         let mut crash = CrashSchedule::default();
         // Live serving-index ingest (opt-in): touched families flow into
         // the sharded index as each wave commits, and validation replaces
@@ -1117,9 +1209,12 @@ impl XtractService {
             self.crawl_and_plan(spec, &mut report, &mut families)?;
         }
         report.families = families.len() as u64;
+        let crawl_s = crawl_started.elapsed().as_secs_f64();
+        let now_s = job_started.elapsed().as_secs_f64();
+        report.phases.add(Phase::Crawl, crawl_s);
         report
-            .phases
-            .add(Phase::Crawl, crawl_started.elapsed().as_secs_f64());
+            .phase_spans
+            .push((Phase::Crawl, now_s - crawl_s, now_s));
         if let Some(ctx) = rec {
             if !resumed_plan {
                 // One group commit makes the crawl + plan durable before
@@ -1277,12 +1372,16 @@ impl XtractService {
                     staged_sites: Vec::new(),
                     stage_generation: 0,
                     extended: HashSet::new(),
+                    migrated: false,
                 };
                 // Fast-forward a resumed family through its journaled
                 // steps: merged output, ran-list, and plan cursor land
                 // exactly where the original run left them — including
                 // extractors those completed steps *discovered*, which a
-                // fresh crawl-seeded plan would never schedule.
+                // fresh crawl-seeded plan would never schedule. The
+                // ran-guard makes the replay idempotent: a migrated
+                // family's carried steps can be restated both by its
+                // in-record and by the snapshot's step records.
                 if let Some(ctx) = rec {
                     for r in &ctx.steps {
                         if let RecoveryRecord::StepCompleted {
@@ -1292,7 +1391,7 @@ impl XtractService {
                             discoveries,
                         } = r
                         {
-                            if *fid == af.family.id {
+                            if *fid == af.family.id && !af.ran.iter().any(|n| n == kind.name()) {
                                 af.merged.merge(metadata);
                                 af.ran.push(kind.name().to_string());
                                 af.plan.complete(*kind, discoveries);
@@ -1352,9 +1451,10 @@ impl XtractService {
             // Placement is pure now that staging rides the pool: Plan is
             // the decision pass alone; Stage lands after the loop as the
             // union of the pool's concurrent spans.
-            report
-                .phases
-                .add(Phase::Plan, plan_started.elapsed().as_secs_f64());
+            let plan_s = plan_started.elapsed().as_secs_f64();
+            let now_s = job_started.elapsed().as_secs_f64();
+            report.phases.add(Phase::Plan, plan_s);
+            report.phase_spans.push((Phase::Plan, now_s - plan_s, now_s));
 
             // --- Stage 6: extraction waves, overlapped with staging. -------
             loop {
@@ -1373,6 +1473,207 @@ impl XtractService {
                 }
                 health.lock().tick();
 
+                // --- Shard coordination at the wave boundary. Waves are
+                // synchronous: nothing is in flight here except staging,
+                // so this is the one safe point to move families between
+                // shards. Order matters — adopt (journal the in-record,
+                // then acknowledge custody), donate (journal the
+                // out-record *before* handing over), then heartbeat. ----
+                if let Some(ctl) = shard {
+                    let ctx = rec.expect("sharded runners always carry a recovery log");
+                    let migrants = ctl.drain();
+                    if !migrants.is_empty() {
+                        let in_records: Vec<RecoveryRecord> = migrants
+                            .iter()
+                            .map(|m| RecoveryRecord::FamilyMigrated {
+                                family: m.family.clone(),
+                                from: m.from,
+                                to: ctl.shard as u64,
+                                adopted: true,
+                                steps: m.steps.clone(),
+                                charges: m.charges,
+                            })
+                            .collect();
+                        ctx.log.append_batch(&in_records)?;
+                        let ids: Vec<FamilyId> =
+                            migrants.iter().map(|m| m.family.id).collect();
+                        ctl.ack(&ids);
+                        wal_migrations.extend(in_records);
+                        for m in migrants {
+                            // Carried charges are the family's total at
+                            // hand-over; future wave commits journal only
+                            // the delta above this mark.
+                            let cur = wal_charges.entry(m.family.id).or_insert(0);
+                            *cur = (*cur).max(m.charges);
+                            ledger.lock().precharge(m.family.id, m.charges);
+                            let origin_files = m.family.files.clone();
+                            let origin_source = m.family.source;
+                            let local_ok = by_endpoint
+                                .get(&m.family.source)
+                                .is_some_and(|e| e.has_compute());
+                            let exec = if local_ok {
+                                m.family.source
+                            } else {
+                                primary.endpoint
+                            };
+                            let index = active.len();
+                            let mut af = ActiveFamily {
+                                plan: ExtractionPlan::for_family(&m.family),
+                                family: m.family,
+                                merged: Metadata::new(),
+                                ran: Vec::new(),
+                                exec,
+                                attempts: HashMap::new(),
+                                failed: None,
+                                timeline: Vec::new(),
+                                origin_files,
+                                origin_source,
+                                staging: false,
+                                staged_sites: Vec::new(),
+                                stage_generation: 0,
+                                extended: HashSet::new(),
+                                migrated: false,
+                            };
+                            // Fast-forward through the carried steps, as a
+                            // resumed family would through journaled ones.
+                            for s in &m.steps {
+                                if !af.ran.iter().any(|n| n == s.kind.name()) {
+                                    af.merged.merge(&s.metadata);
+                                    af.ran.push(s.kind.name().to_string());
+                                    af.plan.complete(s.kind, &s.discoveries);
+                                }
+                            }
+                            let carried = adopted_steps.entry(af.family.id).or_default();
+                            for s in &m.steps {
+                                if !carried.iter().any(|h| h.kind == s.kind) {
+                                    carried.push(s.clone());
+                                }
+                            }
+                            if exec != af.family.source && !af.plan.is_done() {
+                                let store = by_endpoint
+                                    .get(&exec)
+                                    .copied()
+                                    .and_then(|d| d.store_path.clone());
+                                match store {
+                                    Some(store) => {
+                                        af.staging = true;
+                                        inflight += 1;
+                                        let _ = req_tx.send(StageRequest {
+                                            index,
+                                            family: af.family.clone(),
+                                            origin_files: af.origin_files.clone(),
+                                            origin_source,
+                                            exec,
+                                            store,
+                                            salt_base: stage_salt_base(af.family.id, 0),
+                                            generation: 0,
+                                        });
+                                    }
+                                    None => {
+                                        let reason = FailureReason::PrefetchFailed {
+                                            endpoint: exec,
+                                            error: XtractError::NoComputeLayer {
+                                                endpoint: exec,
+                                            },
+                                        };
+                                        health.lock().record_failure(exec);
+                                        af.timeline.push(FailureEvent {
+                                            wave: u64::from(report.waves),
+                                            endpoint: exec,
+                                            note: reason.to_string(),
+                                        });
+                                        af.failed = Some(reason);
+                                    }
+                                }
+                            }
+                            active.push(af);
+                        }
+                    }
+                    // Donation: at the wave boundary any pending,
+                    // non-staging family can move with its completed
+                    // steps. Out-records go durable before delivery.
+                    if let Some(req) = ctl.take_steal() {
+                        let mut eligible: Vec<usize> = active
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, af)| {
+                                af.failed.is_none()
+                                    && !af.staging
+                                    && !af.migrated
+                                    && !af.plan.is_done()
+                            })
+                            .map(|(i, _)| i)
+                            .collect();
+                        let take = eligible.len().min(req.max);
+                        let chosen = eligible.split_off(eligible.len() - take);
+                        if !chosen.is_empty() {
+                            let mut outs = Vec::with_capacity(chosen.len());
+                            let mut handoff = Vec::with_capacity(chosen.len());
+                            for &i in &chosen {
+                                let af = &active[i];
+                                // The recipient re-stages from the origin
+                                // view, exactly like a breaker reroute.
+                                let mut family = af.family.clone();
+                                family.files = af.origin_files.clone();
+                                family.source = af.origin_source;
+                                family.base_path = None;
+                                let mut steps: Vec<MigratedStep> =
+                                    adopted_steps.get(&af.family.id).cloned().unwrap_or_default();
+                                for r in &wal_steps {
+                                    if let RecoveryRecord::StepCompleted {
+                                        family: fid,
+                                        kind,
+                                        metadata,
+                                        discoveries,
+                                    } = r
+                                    {
+                                        if *fid == af.family.id
+                                            && !steps.iter().any(|s| s.kind == *kind)
+                                        {
+                                            steps.push(MigratedStep {
+                                                kind: *kind,
+                                                metadata: Arc::clone(metadata),
+                                                discoveries: discoveries.clone(),
+                                            });
+                                        }
+                                    }
+                                }
+                                let charges = ledger
+                                    .lock()
+                                    .attempts(af.family.id)
+                                    .max(wal_charges.get(&af.family.id).copied().unwrap_or(0));
+                                outs.push(RecoveryRecord::FamilyMigrated {
+                                    family: family.clone(),
+                                    from: ctl.shard as u64,
+                                    to: req.to as u64,
+                                    adopted: false,
+                                    steps: steps.clone(),
+                                    charges,
+                                });
+                                handoff.push(Migrant {
+                                    family,
+                                    steps,
+                                    charges,
+                                    from: ctl.shard as u64,
+                                });
+                            }
+                            ctx.log.append_batch(&outs)?;
+                            wal_migrations.extend(outs);
+                            for (&i, m) in chosen.iter().zip(handoff) {
+                                active[i].migrated = true;
+                                ctl.deliver(req.to, m);
+                            }
+                        }
+                    }
+                    let pending = active
+                        .iter()
+                        .filter(|af| {
+                            af.failed.is_none() && !af.migrated && !af.plan.is_done()
+                        })
+                        .count() as u64;
+                    ctl.heartbeat(u64::from(report.waves), pending);
+                }
+
                 // Graceful degradation: a family whose endpoint's breaker
                 // is open moves to a healthy endpoint, its bytes re-staged
                 // from the origin — through the pool, so the wave loop
@@ -1380,7 +1681,7 @@ impl XtractService {
                 // healthy alternative it stays parked and rides the
                 // half-open probe cycle instead.
                 for (i, af) in active.iter_mut().enumerate() {
-                    if af.failed.is_some() || af.staging || af.plan.is_done() {
+                    if af.failed.is_some() || af.staging || af.migrated || af.plan.is_done() {
                         continue;
                     }
                     if health.lock().state(af.exec) != BreakerState::Open {
@@ -1473,7 +1774,9 @@ impl XtractService {
                 for (i, af) in active.iter_mut().enumerate() {
                     // A family with a staging pass in flight sits this wave
                     // out; its outcome folds in at the top of a later one.
-                    if af.failed.is_some() || af.staging {
+                    // A donated family is terminal here: its new shard
+                    // dispatches it.
+                    if af.failed.is_some() || af.staging || af.migrated {
                         continue;
                     }
                     // An open breaker parks the family until a reroute or
@@ -1565,9 +1868,19 @@ impl XtractService {
                     // again if anything is still pending.
                     if active
                         .iter()
-                        .all(|af| af.failed.is_some() || af.plan.is_done())
+                        .all(|af| af.failed.is_some() || af.migrated || af.plan.is_done())
                     {
-                        break;
+                        // A drained shard parks with the coordinator
+                        // instead of finishing: siblings may still donate
+                        // it work (idle-pull), and the run only concludes
+                        // once every shard is drained together.
+                        match shard {
+                            Some(ctl) => match ctl.idle_wait() {
+                                crate::shard::IdleVerdict::Adopt => continue,
+                                crate::shard::IdleVerdict::Finished => break,
+                            },
+                            None => break,
+                        }
                     }
                     continue;
                 }
@@ -1625,9 +1938,12 @@ impl XtractService {
                         });
                     }
                 }
+                let dispatch_s = dispatch_started.elapsed().as_secs_f64();
+                let now_s = job_started.elapsed().as_secs_f64();
+                report.phases.add(Phase::Dispatch, dispatch_s);
                 report
-                    .phases
-                    .add(Phase::Dispatch, dispatch_started.elapsed().as_secs_f64());
+                    .phase_spans
+                    .push((Phase::Dispatch, now_s - dispatch_s, now_s));
 
                 // Poll until terminal (batched polling, §4.3.2), under the
                 // straggler defense: every task in the wave gets an
@@ -2104,7 +2420,7 @@ impl XtractService {
                         // also captures charges the staging pool spent on
                         // this family between waves.
                         let l = ledger.lock();
-                        for af in &active {
+                        for af in active.iter().filter(|af| !af.migrated) {
                             let id = af.family.id;
                             let total = l.attempts(id);
                             let prior = wal_charges.get(&id).copied().unwrap_or(0);
@@ -2130,7 +2446,7 @@ impl XtractService {
                     }
                     {
                         let l = ledger.lock();
-                        for af in &active {
+                        for af in active.iter().filter(|af| !af.migrated) {
                             if let Some(reason) = &af.failed {
                                 if let std::collections::hash_map::Entry::Vacant(slot) =
                                     wal_dead.entry(af.family.id)
@@ -2200,6 +2516,14 @@ impl XtractService {
                         snapshot.extend(charges.into_iter().map(|(family, amount)| {
                             RecoveryRecord::RetryCharged { family, amount }
                         }));
+                        // Migrations journaled this run segment, in order,
+                        // *after* the restated totals: an in-record takes
+                        // the max of its carried count and the restated
+                        // total (≥ carried by construction), so replaying
+                        // the snapshot never double-charges. Adopted
+                        // families join the restated plan here; donated
+                        // ones leave it.
+                        snapshot.extend(wal_migrations.iter().cloned());
                         let mut dead: Vec<&DeadLetter> = wal_dead.values().collect();
                         dead.sort_unstable_by_key(|l| l.family);
                         snapshot.extend(dead.into_iter().map(|letter| {
@@ -2250,9 +2574,12 @@ impl XtractService {
                         });
                     }
                 }
+                let extract_s = extract_started.elapsed().as_secs_f64();
+                let now_s = job_started.elapsed().as_secs_f64();
+                report.phases.add(Phase::Extract, extract_s);
                 report
-                    .phases
-                    .add(Phase::Extract, extract_started.elapsed().as_secs_f64());
+                    .phase_spans
+                    .push((Phase::Extract, now_s - extract_s, now_s));
             }
             // Closing the request channel retires the pool; the scope
             // joins the workers on exit.
@@ -2260,6 +2587,9 @@ impl XtractService {
             Ok(())
         })?;
         report.phases.add(Phase::Stage, stage_spans.covered());
+        report
+            .phase_spans
+            .extend(stage_spans.intervals().iter().map(|&(s, e)| (Phase::Stage, s, e)));
         let ledger = ledger.into_inner();
 
         // --- Stage 6.5: clean staged copies once plans are done — every
@@ -2284,6 +2614,11 @@ impl XtractService {
             .fabric
             .get(spec.results_endpoint.unwrap_or(primary.endpoint))?;
         for af in &mut active {
+            // A donated family terminates on the shard that adopted it;
+            // this shard's out-record is its whole story here.
+            if af.migrated {
+                continue;
+            }
             let attempts = ledger.attempts(af.family.id);
             if let Some(reason) = af.failed.take() {
                 let mut letter = DeadLetter::new(af.family.id, reason, attempts);
@@ -2341,9 +2676,12 @@ impl XtractService {
                 reason: letter.reason.to_string(),
             });
         }
+        let index_s = index_started.elapsed().as_secs_f64();
+        let now_s = job_started.elapsed().as_secs_f64();
+        report.phases.add(Phase::Index, index_s);
         report
-            .phases
-            .add(Phase::Index, index_started.elapsed().as_secs_f64());
+            .phase_spans
+            .push((Phase::Index, now_s - index_s, now_s));
         // Terminal journal entries: dead letters minted after the wave
         // loop (validation rejections, shipping failures) that the log
         // does not hold yet, then the completion marker — resuming a

@@ -1,0 +1,1381 @@
+//! Sharded orchestrator scale-out: one job, N wave loops.
+//!
+//! A sharded run partitions the job's family plan across `N` shard
+//! workers (§5.8's scale-out direction: the single orchestrator wave
+//! loop is the bottleneck once crawling and extraction parallelize).
+//! Each shard runs the *unmodified* wave loop over its own subset,
+//! against its own WAL segment subdirectory (`wal/shard-{k}/`, guarded
+//! by a per-shard [`LogDirLease`]), while a [`ShardCoordinator`] tracks
+//! heartbeats and drives two recovery paths:
+//!
+//! * **work stealing** — a shard that lags past a quantile-derived
+//!   threshold (or simply goes idle while a sibling still holds a
+//!   backlog) triggers a migration: the donor journals a
+//!   [`RecoveryRecord::FamilyMigrated`] out-record *before* handing the
+//!   family over, and the recipient journals the symmetric in-record
+//!   when it takes the family in — replaying either log never
+//!   double-dispatches a `(family, extractor)` step;
+//! * **shard death** — a shard that dies mid-run (its scheduled
+//!   [`xtract_types::ShardCrash`] fired, or a real fault surfaced) is
+//!   adopted by the survivors: the coordinator re-acquires the dead
+//!   shard's lapsed lease, replays its WAL, and migrates every
+//!   non-terminal family to the least-loaded healthy shard. Only when
+//!   *no* survivor remains does the job surface
+//!   [`XtractError::ShardDied`]; `resume_job` then replays every
+//!   shard's log and re-adopts the orphans.
+//!
+//! The root WAL (at the job's log dir itself) journals the crawl and
+//! the full plan before any shard fans out, so family identity is
+//! pinned across resumes exactly as in the single-loop path.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use xtract_datafabric::Token;
+use xtract_obs::{Event, Phase, SpanUnion};
+use xtract_types::{
+    DeadLetter, Family, FamilyId, JobSpec, PartitionerKind, Result, XtractError,
+};
+
+use crate::recovery::{spec_fingerprint, LogDirLease, MigratedStep, RecoveryLog, RecoveryRecord};
+use crate::service::{JobReport, XtractService};
+use crate::tenancy::TenantCtx;
+
+// ---------------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------------
+
+/// Disperses a family id onto a shard — the same splitmix64 finalizer
+/// the search index uses for document dispersal, so sequential ids
+/// (the allocator hands them out in crawl order) spread evenly.
+pub fn shard_of(family: FamilyId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut z = family.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards as u64) as usize
+}
+
+/// Maps every family of a plan onto a shard. Implementations must be
+/// *deterministic*: a resumed job recomputes the base assignment from
+/// the replayed plan and applies journaled migrations on top, so the
+/// same ids must land on the same shards across runs.
+pub trait Partitioner: Send + Sync {
+    /// One shard index (`< shards`) per id, in order.
+    fn assign(&self, ids: &[FamilyId], shards: usize) -> Vec<usize>;
+    /// Stable name for reports and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Stateless hash partitioning via [`shard_of`].
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn assign(&self, ids: &[FamilyId], shards: usize) -> Vec<usize> {
+        ids.iter().map(|&id| shard_of(id, shards)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Contiguous range partitioning: ids are rank-sorted and cut into
+/// `shards` blocks whose sizes differ by at most one. Keeps
+/// crawl-adjacent families together (better staging locality) at the
+/// cost of hash's statistical balance under skewed file sizes.
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn assign(&self, ids: &[FamilyId], shards: usize) -> Vec<usize> {
+        let n = ids.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (ids[i].raw(), i));
+        let base = n / shards.max(1);
+        let extra = n % shards.max(1);
+        let mut out = vec![0usize; n];
+        let mut rank = 0usize;
+        for shard in 0..shards {
+            let len = base + usize::from(shard < extra);
+            for _ in 0..len {
+                out[order[rank]] = shard;
+                rank += 1;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "range"
+    }
+}
+
+/// The partitioner a [`PartitionerKind`] configures.
+pub fn build_partitioner(kind: PartitionerKind) -> Box<dyn Partitioner> {
+    match kind {
+        PartitionerKind::Hash => Box::new(HashPartitioner),
+        PartitionerKind::Range => Box::new(RangePartitioner),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator state
+// ---------------------------------------------------------------------------
+
+/// A family in flight between shards: the donor's planned view plus
+/// everything the recipient needs for exactly-once adoption.
+#[derive(Debug, Clone)]
+pub(crate) struct Migrant {
+    /// The family, as the donor had it planned (origin view).
+    pub family: Family,
+    /// Steps the family completed before migrating.
+    pub steps: Vec<MigratedStep>,
+    /// Retry attempts already charged against the family.
+    pub charges: u32,
+    /// Donor shard.
+    pub from: u64,
+}
+
+/// A pending steal directive against a donor shard: at its next wave
+/// boundary it donates up to `max` eligible families to shard `to`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StealRequest {
+    pub to: usize,
+    pub max: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotStatus {
+    /// The shard's wave loop is live.
+    Running,
+    /// The shard drained its subset and is parked in
+    /// [`ShardCtl::idle_wait`], available for adoptions.
+    Idle,
+    /// The shard's runner returned its report.
+    Done,
+    /// The shard died and its orphans were processed.
+    Dead,
+}
+
+struct Slot {
+    status: SlotStatus,
+    /// Non-terminal families, from the last heartbeat.
+    pending: u64,
+    /// Wave number from the last heartbeat.
+    wave: u64,
+    last_beat: Instant,
+    steal: Option<StealRequest>,
+    /// Delivered migrants the shard has not drained yet.
+    inbox: Vec<Migrant>,
+    /// Drained migrants whose in-record is not yet durable; the parent
+    /// redistributes these if the shard dies before acknowledging.
+    unacked: Vec<Migrant>,
+    /// Families whose adoption this shard acknowledged (its in-record
+    /// is durable). Never cleared: a dead donor's WAL can then be
+    /// audited for hand-overs that left no trace anywhere.
+    adopted: HashSet<FamilyId>,
+}
+
+impl Slot {
+    fn is_live(&self) -> bool {
+        matches!(self.status, SlotStatus::Running | SlotStatus::Idle)
+    }
+
+    fn custody_empty(&self) -> bool {
+        self.inbox.is_empty() && self.unacked.is_empty()
+    }
+}
+
+struct Inner {
+    slots: Vec<Slot>,
+    /// Observed wave durations (seconds) across all shards; the lag
+    /// threshold derives from their quantile.
+    wave_samples: Vec<f64>,
+    stolen: u64,
+    deaths: u64,
+}
+
+/// Shared coordination state for one sharded run: per-shard heartbeat
+/// and progress slots, the steal scheduler, and the migration mailbox.
+pub(crate) struct ShardCoordinator {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    policy: xtract_types::ShardPolicy,
+    obs: xtract_obs::Obs,
+}
+
+/// What an idle shard should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IdleVerdict {
+    /// Migrants landed in the inbox: drain them and keep looping.
+    Adopt,
+    /// Every shard is drained and no migration is in flight: break out
+    /// of the wave loop and finish.
+    Finished,
+}
+
+impl ShardCoordinator {
+    pub fn new(policy: xtract_types::ShardPolicy, obs: xtract_obs::Obs, shards: usize) -> Self {
+        let now = Instant::now();
+        Self {
+            inner: Mutex::new(Inner {
+                slots: (0..shards)
+                    .map(|_| Slot {
+                        status: SlotStatus::Running,
+                        pending: 0,
+                        wave: 0,
+                        last_beat: now,
+                        steal: None,
+                        inbox: Vec::new(),
+                        unacked: Vec::new(),
+                        adopted: HashSet::new(),
+                    })
+                    .collect(),
+                wave_samples: Vec::new(),
+                stolen: 0,
+                deaths: 0,
+            }),
+            cv: Condvar::new(),
+            policy,
+            obs,
+        }
+    }
+
+    /// Records a shard's wave-top heartbeat and runs a steal scan.
+    fn heartbeat(&self, shard: usize, wave: u64, pending: u64) {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        let sample = {
+            let slot = &inner.slots[shard];
+            // One completed wave between consecutive heartbeats.
+            (wave > slot.wave && slot.wave > 0)
+                .then(|| now.duration_since(slot.last_beat).as_secs_f64())
+        };
+        if let Some(sample) = sample {
+            if inner.wave_samples.len() < 4096 {
+                inner.wave_samples.push(sample);
+            }
+        }
+        let slot = &mut inner.slots[shard];
+        slot.status = SlotStatus::Running;
+        slot.wave = wave.max(slot.wave);
+        slot.pending = pending;
+        slot.last_beat = now;
+        self.obs.journal.record(Event::ShardHeartbeat {
+            shard: shard as u64,
+            wave,
+            pending,
+        });
+        self.obs
+            .hub
+            .counter_with("shard.heartbeats", Some(&format!("shard-{shard}")))
+            .add(1);
+        self.scan_locked(&mut inner, now);
+        self.cv.notify_all();
+    }
+
+    /// Takes and clears the shard's pending steal directive.
+    fn take_steal(&self, shard: usize) -> Option<StealRequest> {
+        self.inner.lock().slots[shard].steal.take()
+    }
+
+    /// Drains the shard's inbox. Drained migrants stay in custody until
+    /// [`Self::ack`] confirms their in-records are durable.
+    fn drain(&self, shard: usize) -> Vec<Migrant> {
+        let mut inner = self.inner.lock();
+        let slot = &mut inner.slots[shard];
+        let items = std::mem::take(&mut slot.inbox);
+        slot.unacked.extend(items.iter().cloned());
+        items
+    }
+
+    /// Confirms the shard journaled in-records for these families.
+    fn ack(&self, shard: usize, families: &[FamilyId]) {
+        let mut inner = self.inner.lock();
+        let slot = &mut inner.slots[shard];
+        slot.unacked.retain(|m| !families.contains(&m.family.id));
+        slot.adopted.extend(families.iter().copied());
+        self.cv.notify_all();
+    }
+
+    /// True when any slot holds the family — delivered, in unacked
+    /// custody, or acknowledged. Used when auditing a dead donor's
+    /// out-records for hand-overs that vanished in flight.
+    fn knows_any(&self, family: FamilyId) -> bool {
+        let inner = self.inner.lock();
+        inner.slots.iter().any(|s| {
+            s.adopted.contains(&family)
+                || s.inbox.iter().any(|m| m.family.id == family)
+                || s.unacked.iter().any(|m| m.family.id == family)
+        })
+    }
+
+    /// Hands a migrant to `to`'s inbox and journals the migration.
+    ///
+    /// If `to` stopped being live since the directive was issued (its
+    /// death raced the donor's hand-over), the delivery redirects to
+    /// the least-loaded live slot — falling back to the donor itself,
+    /// which is live by definition while donating. Resume resolution is
+    /// presence-first (the recipient's durable in-record decides
+    /// ownership), so the out-record's stale `to` is harmless.
+    pub fn deliver(&self, to: usize, migrant: Migrant) {
+        let mut inner = self.inner.lock();
+        let to = if inner.slots[to].is_live() {
+            to
+        } else {
+            inner
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_live())
+                .min_by_key(|(j, s)| (s.pending, *j))
+                .map(|(j, _)| j)
+                .unwrap_or(migrant.from as usize)
+        };
+        self.obs.journal.record(Event::FamilyMigrated {
+            family: migrant.family.id,
+            from: migrant.from,
+            to: to as u64,
+        });
+        self.obs.hub.counter("shard.stolen").add(1);
+        inner.stolen += 1;
+        inner.slots[to].inbox.push(migrant);
+        self.cv.notify_all();
+    }
+
+    /// The live (running or idle) shard with the smallest pending load,
+    /// excluding `not` — the adoption and steal target.
+    pub fn least_loaded_live(&self, not: Option<usize>) -> Option<usize> {
+        let inner = self.inner.lock();
+        inner
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(k, s)| s.is_live() && Some(*k) != not)
+            .min_by_key(|(k, s)| (s.pending, *k))
+            .map(|(k, _)| k)
+    }
+
+    pub fn mark_done(&self, shard: usize) {
+        let mut inner = self.inner.lock();
+        let slot = &mut inner.slots[shard];
+        slot.status = SlotStatus::Done;
+        slot.steal = None;
+        slot.pending = 0;
+        self.cv.notify_all();
+    }
+
+    pub fn mark_dead(&self, shard: usize) {
+        let mut inner = self.inner.lock();
+        let slot = &mut inner.slots[shard];
+        slot.status = SlotStatus::Dead;
+        slot.steal = None;
+        slot.pending = 0;
+        inner.deaths += 1;
+        self.cv.notify_all();
+    }
+
+    /// Everything delivered to the shard that it never acknowledged —
+    /// redistributed by the parent when the shard dies (or finishes
+    /// with a stale delivery it will never drain).
+    pub fn take_custody(&self, shard: usize) -> Vec<Migrant> {
+        let mut inner = self.inner.lock();
+        let slot = &mut inner.slots[shard];
+        let mut items = std::mem::take(&mut slot.inbox);
+        items.extend(std::mem::take(&mut slot.unacked));
+        items
+    }
+
+    pub fn stolen(&self) -> u64 {
+        self.inner.lock().stolen
+    }
+
+    pub fn deaths(&self) -> u64 {
+        self.inner.lock().deaths
+    }
+
+    /// Parks an idle shard until either migrants arrive or the whole
+    /// run is drained. Runs a steal scan on every wake-up so idle-pull
+    /// stealing fires even while every runner is blocked here or deep
+    /// in a slow wave.
+    fn idle_wait(&self, shard: usize) -> IdleVerdict {
+        let mut inner = self.inner.lock();
+        {
+            let slot = &mut inner.slots[shard];
+            slot.status = SlotStatus::Idle;
+            slot.steal = None;
+            slot.pending = 0;
+            slot.last_beat = Instant::now();
+        }
+        self.cv.notify_all();
+        loop {
+            if !inner.slots[shard].inbox.is_empty() {
+                inner.slots[shard].status = SlotStatus::Running;
+                return IdleVerdict::Adopt;
+            }
+            if self.finished_locked(&inner) {
+                return IdleVerdict::Finished;
+            }
+            let now = Instant::now();
+            self.scan_locked(&mut inner, now);
+            self.cv.wait_for(&mut inner, Duration::from_millis(20));
+        }
+    }
+
+    /// True when no shard can produce further work: every slot is
+    /// idle, done, or dead, and no migrant is awaiting adoption.
+    fn finished_locked(&self, inner: &Inner) -> bool {
+        inner
+            .slots
+            .iter()
+            .all(|s| s.status != SlotStatus::Running && s.custody_empty())
+    }
+
+    /// The steal scheduler. Two triggers, both one-directive-per-donor:
+    ///
+    /// * *quantile lag* — a running shard whose current wave has aged
+    ///   past `quantile(lag_quantile) * lag_multiplier` of the observed
+    ///   wave durations donates half its pending families to the least
+    ///   loaded live sibling;
+    /// * *idle pull* — an idle shard pulls half the backlog of the most
+    ///   loaded running shard holding at least `steal_min_pending`.
+    fn scan_locked(&self, inner: &mut Inner, now: Instant) {
+        let threshold_s = if inner.wave_samples.len() as u64 >= self.policy.min_lag_samples {
+            let mut sorted = inner.wave_samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let idx = ((self.policy.lag_quantile * (sorted.len() - 1) as f64).round() as usize)
+                .min(sorted.len() - 1);
+            Some(sorted[idx] * self.policy.lag_multiplier)
+        } else {
+            None
+        };
+        // Quantile lag.
+        if let Some(threshold) = threshold_s {
+            for k in 0..inner.slots.len() {
+                let slot = &inner.slots[k];
+                if slot.status != SlotStatus::Running || slot.steal.is_some() || slot.pending < 2 {
+                    continue;
+                }
+                let age = now.duration_since(slot.last_beat).as_secs_f64();
+                if age <= threshold {
+                    continue;
+                }
+                let to = inner
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, s)| *j != k && s.is_live())
+                    .min_by_key(|(j, s)| (s.pending, *j))
+                    .map(|(j, _)| j);
+                if let Some(to) = to {
+                    let max = (inner.slots[k].pending / 2).max(1) as usize;
+                    self.obs.journal.record(Event::ShardLagging {
+                        shard: k as u64,
+                        lag_ms: (age * 1000.0) as u64,
+                        threshold_ms: (threshold * 1000.0) as u64,
+                    });
+                    self.obs.hub.counter("shard.lagging").add(1);
+                    inner.slots[k].steal = Some(StealRequest { to, max });
+                }
+            }
+        }
+        // Idle pull.
+        let idle = inner
+            .slots
+            .iter()
+            .position(|s| s.status == SlotStatus::Idle && s.custody_empty());
+        if let Some(to) = idle {
+            let victim = inner
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.status == SlotStatus::Running
+                        && s.steal.is_none()
+                        && s.pending >= self.policy.steal_min_pending
+                })
+                .max_by_key(|(j, s)| (s.pending, usize::MAX - *j))
+                .map(|(j, _)| j);
+            if let Some(k) = victim {
+                let max = (inner.slots[k].pending / 2).max(1) as usize;
+                inner.slots[k].steal = Some(StealRequest { to, max });
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn steal_of(&self, shard: usize) -> Option<StealRequest> {
+        self.inner.lock().slots[shard].steal
+    }
+}
+
+/// One shard's handle into the coordinator, threaded through the wave
+/// loop (`run_job_inner` consults it at every wave boundary).
+pub(crate) struct ShardCtl {
+    coord: Arc<ShardCoordinator>,
+    pub shard: usize,
+}
+
+impl ShardCtl {
+    pub fn new(coord: Arc<ShardCoordinator>, shard: usize) -> Self {
+        Self { coord, shard }
+    }
+
+    pub fn heartbeat(&self, wave: u64, pending: u64) {
+        self.coord.heartbeat(self.shard, wave, pending);
+    }
+
+    pub fn drain(&self) -> Vec<Migrant> {
+        self.coord.drain(self.shard)
+    }
+
+    pub fn ack(&self, families: &[FamilyId]) {
+        self.coord.ack(self.shard, families);
+    }
+
+    pub fn take_steal(&self) -> Option<StealRequest> {
+        self.coord.take_steal(self.shard)
+    }
+
+    pub fn deliver(&self, to: usize, migrant: Migrant) {
+        self.coord.deliver(to, migrant);
+    }
+
+    pub fn idle_wait(&self) -> IdleVerdict {
+        self.coord.idle_wait(self.shard)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL folding (ownership resolution, orphan adoption)
+// ---------------------------------------------------------------------------
+
+/// A shard WAL's replayed family state: who it currently owns, what
+/// those families completed, and what it abandoned.
+struct WalState {
+    planned: Vec<Family>,
+    steps: HashMap<FamilyId, Vec<MigratedStep>>,
+    charges: HashMap<FamilyId, u32>,
+    dead: HashMap<FamilyId, DeadLetter>,
+    /// Families this WAL handed away and never took back: the last
+    /// out-record's payload, so an aborted hand-over can be audited
+    /// and re-routed from the donor's side alone.
+    departed: HashMap<FamilyId, (Family, Vec<MigratedStep>, u32)>,
+}
+
+fn fold_wal(records: &[RecoveryRecord]) -> WalState {
+    let mut st = WalState {
+        planned: Vec::new(),
+        steps: HashMap::new(),
+        charges: HashMap::new(),
+        dead: HashMap::new(),
+        departed: HashMap::new(),
+    };
+    for r in records {
+        match r {
+            RecoveryRecord::FamilyPlanned { family } => st.planned.push(family.clone()),
+            RecoveryRecord::StepCompleted {
+                family,
+                kind,
+                metadata,
+                discoveries,
+            } => st.steps.entry(*family).or_default().push(MigratedStep {
+                kind: *kind,
+                metadata: Arc::clone(metadata),
+                discoveries: discoveries.clone(),
+            }),
+            RecoveryRecord::RetryCharged { family, amount } => {
+                *st.charges.entry(*family).or_insert(0) += amount;
+            }
+            RecoveryRecord::DeadLettered { letter } => {
+                st.dead.insert(letter.family, letter.clone());
+            }
+            RecoveryRecord::FamilyMigrated {
+                family,
+                adopted,
+                steps,
+                charges,
+                ..
+            } => {
+                if *adopted {
+                    st.planned.retain(|f| f.id != family.id);
+                    st.planned.push(family.clone());
+                    st.departed.remove(&family.id);
+                    let slot = st.steps.entry(family.id).or_default();
+                    for s in steps {
+                        if !slot.iter().any(|have| have.kind == s.kind) {
+                            slot.push(s.clone());
+                        }
+                    }
+                    // The carried count is the family's total at
+                    // hand-over; local RetryCharged deltas appended
+                    // after this record add on top.
+                    let cur = st.charges.entry(family.id).or_insert(0);
+                    *cur = (*cur).max(*charges);
+                } else {
+                    st.planned.retain(|f| f.id != family.id);
+                    st.departed
+                        .insert(family.id, (family.clone(), steps.clone(), *charges));
+                }
+            }
+            _ => {}
+        }
+    }
+    st
+}
+
+// ---------------------------------------------------------------------------
+// The sharded run
+// ---------------------------------------------------------------------------
+
+/// Runs `spec` across `spec.shard.shards` wave loops. See the module
+/// docs for the protocol; the entry point is
+/// [`XtractService::run_job`] with a [`xtract_types::ShardPolicy`]
+/// enabled and a recovery-log dir supplied.
+pub(crate) fn run_sharded(
+    service: &XtractService,
+    token: Token,
+    spec: &JobSpec,
+    dir: &Path,
+    tenant: Option<&Arc<TenantCtx>>,
+) -> Result<JobReport> {
+    let started = Instant::now();
+    let shards = spec.shard.shards;
+    let fingerprint = spec_fingerprint(spec);
+
+    // Root WAL: crawl + plan, durable before any shard fans out.
+    let mut report = JobReport::default();
+    let root = service.open_recovery(spec, dir, Some("root"))?;
+    let t_crawl0 = started.elapsed().as_secs_f64();
+    let plan: Vec<Family> = if root.resumed && !root.planned.is_empty() {
+        let (crawled, groups, redundant) = root.crawl.unwrap_or((0, 0, 0));
+        report.crawled_files = crawled;
+        report.groups = groups;
+        report.redundant_files = redundant;
+        root.planned.clone()
+    } else {
+        let mut families = Vec::new();
+        service.crawl_and_plan(spec, &mut report, &mut families)?;
+        let mut batch = vec![RecoveryRecord::CrawlCompleted {
+            crawled_files: report.crawled_files,
+            groups: report.groups,
+            redundant_files: report.redundant_files,
+        }];
+        batch.extend(
+            families
+                .iter()
+                .map(|f| RecoveryRecord::FamilyPlanned { family: f.clone() }),
+        );
+        root.log.append_batch(&batch)?;
+        families
+    };
+    let t_crawl1 = started.elapsed().as_secs_f64();
+    report.phases.add(Phase::Crawl, t_crawl1 - t_crawl0);
+    report.phase_spans.push((Phase::Crawl, t_crawl0, t_crawl1));
+    report.families = plan.len() as u64;
+    report.resumed = root.resumed;
+    report.replayed_records = root.replayed;
+    report.truncated_records = root.truncated;
+
+    // Ownership resolution, presence first: the shard whose replayed
+    // WAL currently holds the family (its seed `FamilyPlanned` or a
+    // durable migration in-record, minus later out-records) owns it.
+    // Only a family *no* replay holds — a hand-over crashed between
+    // the donor's out-record and the recipient's in-record — falls
+    // back to walking the out-record chain from its base assignment.
+    // The walk is consumption-ordered (each out-record moves the
+    // family once), so even A→B→A round trips resolve.
+    let ids: Vec<FamilyId> = plan.iter().map(|f| f.id).collect();
+    let partitioner = build_partitioner(spec.shard.partitioner);
+    let mut owner = partitioner.assign(&ids, shards);
+    let shard_dirs: Vec<PathBuf> = (0..shards)
+        .map(|k| dir.join(format!("shard-{k}")))
+        .collect();
+    let mut replays: Vec<Option<Vec<RecoveryRecord>>> = Vec::with_capacity(shards);
+    for sd in &shard_dirs {
+        if sd.is_dir() {
+            let (_log, replay) = RecoveryLog::open(sd, spec.recovery)?;
+            replays.push(Some(replay.effective().to_vec()));
+        } else {
+            replays.push(None);
+        }
+    }
+    let states: Vec<WalState> = replays
+        .iter()
+        .map(|r| fold_wal(r.as_deref().unwrap_or_default()))
+        .collect();
+    let mut present_at: HashMap<FamilyId, usize> = HashMap::new();
+    for (k, st) in states.iter().enumerate() {
+        for f in &st.planned {
+            present_at.entry(f.id).or_insert(k);
+        }
+    }
+    let mut outs: Vec<HashMap<FamilyId, VecDeque<RecoveryRecord>>> = replays
+        .iter()
+        .map(|r| {
+            let mut m: HashMap<FamilyId, VecDeque<RecoveryRecord>> = HashMap::new();
+            for rec in r.as_deref().unwrap_or_default() {
+                if let RecoveryRecord::FamilyMigrated {
+                    family,
+                    adopted: false,
+                    ..
+                } = rec
+                {
+                    m.entry(family.id).or_default().push_back(rec.clone());
+                }
+            }
+            m
+        })
+        .collect();
+    let mut last_hop: HashMap<FamilyId, RecoveryRecord> = HashMap::new();
+    for (i, id) in ids.iter().enumerate() {
+        if let Some(&k) = present_at.get(id) {
+            owner[i] = k;
+            continue;
+        }
+        let mut cur = owner[i];
+        while let Some(rec) = outs
+            .get_mut(cur)
+            .and_then(|m| m.get_mut(id))
+            .and_then(|q| q.pop_front())
+        {
+            let RecoveryRecord::FamilyMigrated { to, .. } = &rec else {
+                break;
+            };
+            cur = (*to as usize).min(shards - 1);
+            last_hop.insert(*id, rec);
+        }
+        owner[i] = cur;
+    }
+
+    // Prepare each shard's WAL: seed a fresh one with the job identity
+    // and its subset of the plan; repair a crashed hand-over's missing
+    // in-record from the donor's out-record ([`RecoveryRecord::flip_side`]).
+    let subsets: Vec<Vec<Family>> = (0..shards)
+        .map(|k| {
+            plan.iter()
+                .enumerate()
+                .filter(|(i, _)| owner[*i] == k)
+                .map(|(_, f)| f.clone())
+                .collect()
+        })
+        .collect();
+    for (k, sd) in shard_dirs.iter().enumerate() {
+        let present: HashSet<FamilyId> = states[k].planned.iter().map(|f| f.id).collect();
+        let mut batch = Vec::new();
+        if replays[k].is_none() {
+            batch.push(RecoveryRecord::JobStarted { fingerprint });
+        }
+        let mut repaired = 0u64;
+        for f in &subsets[k] {
+            if present.contains(&f.id) {
+                continue;
+            }
+            match last_hop.get(&f.id) {
+                Some(out) => {
+                    batch.push(out.clone().flip_side());
+                    repaired += 1;
+                }
+                None => batch.push(RecoveryRecord::FamilyPlanned { family: f.clone() }),
+            }
+        }
+        if !batch.is_empty() {
+            let (log, _) = RecoveryLog::open(sd, spec.recovery)?;
+            log.append_batch(&batch)?;
+        }
+        if repaired > 0 {
+            service.obs.journal.record(Event::ShardAdopted {
+                shard: k as u64,
+                families: repaired,
+            });
+            service.obs.hub.counter("shard.adopted").add(repaired);
+        }
+    }
+
+    // Fan out: one runner per shard, each with its own lease, its own
+    // replayed RecoveryCtx, and its shard's slice of the kill schedule.
+    let coordinator = Arc::new(ShardCoordinator::new(
+        spec.shard.clone(),
+        service.obs.clone(),
+        shards,
+    ));
+    let sub_specs: Vec<JobSpec> = (0..shards)
+        .map(|k| {
+            let mut sub = spec.clone();
+            if let Some(plan) = &spec.fault_plan {
+                let mut p = plan.clone();
+                p.orchestrator_crashes = plan.crashes_for_shard(k);
+                p.shard_crashes = Vec::new();
+                sub.fault_plan = Some(p);
+            }
+            sub
+        })
+        .collect();
+
+    type ShardOutcome = (usize, f64, std::result::Result<(JobReport, LogDirLease), XtractError>);
+    let mut shard_reports: Vec<Option<(JobReport, f64)>> = (0..shards).map(|_| None).collect();
+    let mut orphan_letters: Vec<DeadLetter> = Vec::new();
+    let mut first_death: Option<(usize, String)> = None;
+    let mut stranded = false;
+
+    std::thread::scope(|scope| -> Result<()> {
+        let (tx, rx) = mpsc::channel::<ShardOutcome>();
+        for k in 0..shards {
+            let tx = tx.clone();
+            let ctl = ShardCtl::new(Arc::clone(&coordinator), k);
+            let sub_spec = &sub_specs[k];
+            let sd = &shard_dirs[k];
+            service.obs.journal.record(Event::ShardStarted {
+                shard: k as u64,
+                families: subsets[k].len() as u64,
+            });
+            service.obs.hub.counter("shard.started").add(1);
+            scope.spawn(move || {
+                let offset = started.elapsed().as_secs_f64();
+                let label = format!("shard-{k}");
+                let result = (|| {
+                    let lease = LogDirLease::acquire(sd)?;
+                    let ctx = service.open_recovery(sub_spec, sd, Some(&label))?;
+                    let rep = service.run_job_inner(token, sub_spec, Some(&ctx), tenant, Some(&ctl))?;
+                    Ok((rep, lease))
+                })();
+                let _ = tx.send((k, offset, result));
+            });
+        }
+        drop(tx);
+
+        for _ in 0..shards {
+            let (k, offset, result) = rx.recv().map_err(|_| XtractError::Internal {
+                reason: "shard runner exited without reporting".to_string(),
+            })?;
+            match result {
+                Ok((rep, lease)) => {
+                    coordinator.mark_done(k);
+                    // A delivery can race a shard's finish: the runner
+                    // exited its wave loop and will never drain it.
+                    // Redistribute from parent custody.
+                    let leftovers = coordinator.take_custody(k);
+                    if !leftovers.is_empty() {
+                        stranded |= redistribute(
+                            &coordinator,
+                            service,
+                            spec,
+                            &shard_dirs[k],
+                            k,
+                            leftovers,
+                        )?;
+                    }
+                    shard_reports[k] = Some((rep, offset));
+                    drop(lease);
+                }
+                Err(e) => {
+                    let point = match &e {
+                        XtractError::OrchestratorKilled { point } => point.clone(),
+                        other => other.to_string(),
+                    };
+                    service.obs.journal.record(Event::ShardDied {
+                        shard: k as u64,
+                        point: point.clone(),
+                    });
+                    service.obs.hub.counter("shard.deaths").add(1);
+                    // The runner's lease lapsed with it; re-acquire the
+                    // shard's WAL and hand every orphan to a survivor.
+                    // The slot stays Running until the orphans are
+                    // placed, so idle siblings cannot conclude Finished
+                    // while adoptions are still in flight.
+                    let _lease = LogDirLease::acquire(&shard_dirs[k])?;
+                    let start_owned: HashSet<FamilyId> =
+                        subsets[k].iter().map(|f| f.id).collect();
+                    stranded |= adopt_orphans(
+                        &coordinator,
+                        service,
+                        spec,
+                        &shard_dirs[k],
+                        k,
+                        &start_owned,
+                        &mut orphan_letters,
+                    )?;
+                    if first_death.is_none() {
+                        first_death = Some((k, point));
+                    }
+                    coordinator.mark_dead(k);
+                }
+            }
+        }
+        Ok(())
+    })?;
+
+    if stranded {
+        // No survivor was live to adopt the orphans: surface the first
+        // death; every WAL survives for `resume_job`.
+        let (shard, point) = first_death.unwrap_or((0, "unknown".to_string()));
+        return Err(XtractError::ShardDied { shard, point });
+    }
+
+    // Merge: concatenate record/letter sets (exactly-once by
+    // construction: a family lives in exactly one shard's plan at any
+    // instant), sum the scalar tallies, and union the phase spans on
+    // the coordinator's clock so concurrent shard work is not
+    // double-counted against the wall.
+    let mut spans: Vec<(Phase, f64, f64)> = report.phase_spans.clone();
+    for (rep, offset) in shard_reports.into_iter().flatten() {
+        report.records.extend(rep.records);
+        report.failures.extend(rep.failures);
+        for (name, n) in rep.invocations {
+            *report.invocations.entry(name).or_insert(0) += n;
+        }
+        report.bytes_prefetched += rep.bytes_prefetched;
+        report.waves += rep.waves;
+        report.resubmitted += rep.resubmitted;
+        report.rerouted += rep.rerouted;
+        report.replayed_records += rep.replayed_records;
+        report.truncated_records += rep.truncated_records;
+        for (phase, s, e) in rep.phase_spans {
+            spans.push((phase, s + offset, e + offset));
+        }
+    }
+    report.failures.extend(orphan_letters);
+    let mut phases = xtract_obs::PhaseTimings::new();
+    for phase in Phase::ALL {
+        let mut union = SpanUnion::new();
+        for &(_, s, e) in spans.iter().filter(|(p, _, _)| *p == phase) {
+            union.add(s, e);
+        }
+        phases.add(phase, union.covered());
+    }
+    report.phases = phases;
+    report.phase_spans = spans;
+    report.shards = shards as u64;
+    report.stolen_families = coordinator.stolen();
+    report.shard_deaths = coordinator.deaths();
+    root.log.append(&RecoveryRecord::JobCompleted)?;
+    Ok(report)
+}
+
+/// Replays a dead shard's WAL and migrates every non-terminal family
+/// to a surviving shard; terminal dead letters are collected into the
+/// merged report directly (the dead runner never returned one). Returns
+/// true when orphans were stranded because no survivor was live.
+fn adopt_orphans(
+    coordinator: &ShardCoordinator,
+    service: &XtractService,
+    spec: &JobSpec,
+    sd: &Path,
+    from: usize,
+    start_owned: &HashSet<FamilyId>,
+    orphan_letters: &mut Vec<DeadLetter>,
+) -> Result<bool> {
+    let (log, replay) = RecoveryLog::open(sd, spec.recovery)?;
+    let st = fold_wal(replay.effective());
+    let planned_ids: HashSet<FamilyId> = st.planned.iter().map(|f| f.id).collect();
+    let mut stranded = false;
+    let mut out_records = Vec::new();
+    let mut migrants: Vec<(usize, Migrant)> = Vec::new();
+    let mut adopted_per_shard: HashMap<usize, u64> = HashMap::new();
+    for f in &st.planned {
+        if let Some(letter) = st.dead.get(&f.id) {
+            orphan_letters.push(letter.clone());
+            continue;
+        }
+        let Some(to) = coordinator.least_loaded_live(None) else {
+            stranded = true;
+            continue;
+        };
+        let steps = st.steps.get(&f.id).cloned().unwrap_or_default();
+        let charges = st.charges.get(&f.id).copied().unwrap_or(0);
+        out_records.push(RecoveryRecord::FamilyMigrated {
+            family: f.clone(),
+            from: from as u64,
+            to: to as u64,
+            adopted: false,
+            steps: steps.clone(),
+            charges,
+        });
+        migrants.push((
+            to,
+            Migrant {
+                family: f.clone(),
+                steps,
+                charges,
+                from: from as u64,
+            },
+        ));
+        *adopted_per_shard.entry(to).or_insert(0) += 1;
+    }
+    // Migrants delivered to the dead shard that it never journaled in:
+    // re-route them, extending the chain through the dead shard's WAL
+    // so a later resume resolves ownership the same way.
+    for m in coordinator.take_custody(from) {
+        if planned_ids.contains(&m.family.id) {
+            continue; // the in-record made it; handled above
+        }
+        let Some(to) = coordinator.least_loaded_live(None) else {
+            stranded = true;
+            continue;
+        };
+        out_records.push(RecoveryRecord::FamilyMigrated {
+            family: m.family.clone(),
+            from: from as u64,
+            to: to as u64,
+            adopted: false,
+            steps: m.steps.clone(),
+            charges: m.charges,
+        });
+        migrants.push((
+            to,
+            Migrant {
+                from: from as u64,
+                ..m
+            },
+        ));
+        *adopted_per_shard.entry(to).or_insert(0) += 1;
+    }
+    // A hand-over whose out-record is durable but whose migrant never
+    // reached the coordinator (the donor died between journaling and
+    // delivering — a mid-batch I/O error surfacing as the death) would
+    // silently lose the family for this run. Re-route any departure of
+    // a family this shard owned at fan-out that no slot has a trace of.
+    for (id, (family, steps, charges)) in &st.departed {
+        if !start_owned.contains(id) || coordinator.knows_any(*id) {
+            continue;
+        }
+        let Some(to) = coordinator.least_loaded_live(None) else {
+            stranded = true;
+            continue;
+        };
+        out_records.push(RecoveryRecord::FamilyMigrated {
+            family: family.clone(),
+            from: from as u64,
+            to: to as u64,
+            adopted: false,
+            steps: steps.clone(),
+            charges: *charges,
+        });
+        migrants.push((
+            to,
+            Migrant {
+                family: family.clone(),
+                steps: steps.clone(),
+                charges: *charges,
+                from: from as u64,
+            },
+        ));
+        *adopted_per_shard.entry(to).or_insert(0) += 1;
+    }
+    if !out_records.is_empty() {
+        log.append_batch(&out_records)?;
+    }
+    for (to, m) in migrants {
+        coordinator.deliver(to, m);
+    }
+    for (shard, families) in adopted_per_shard {
+        service.obs.journal.record(Event::ShardAdopted {
+            shard: shard as u64,
+            families,
+        });
+        service.obs.hub.counter("shard.adopted").add(families);
+    }
+    Ok(stranded)
+}
+
+/// Re-routes custody leftovers of a shard that can no longer drain
+/// them, journaling the chain hop through that shard's WAL.
+fn redistribute(
+    coordinator: &ShardCoordinator,
+    service: &XtractService,
+    spec: &JobSpec,
+    sd: &Path,
+    from: usize,
+    items: Vec<Migrant>,
+) -> Result<bool> {
+    let (log, _) = RecoveryLog::open(sd, spec.recovery)?;
+    let mut stranded = false;
+    for m in items {
+        let Some(to) = coordinator.least_loaded_live(None) else {
+            stranded = true;
+            continue;
+        };
+        log.append(&RecoveryRecord::FamilyMigrated {
+            family: m.family.clone(),
+            from: from as u64,
+            to: to as u64,
+            adopted: false,
+            steps: m.steps.clone(),
+            charges: m.charges,
+        })?;
+        coordinator.deliver(
+            to,
+            Migrant {
+                from: from as u64,
+                ..m
+            },
+        );
+        service.obs.hub.counter("shard.adopted").add(1);
+    }
+    Ok(stranded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fam(id: u64) -> FamilyId {
+        FamilyId::new(id)
+    }
+
+    #[test]
+    fn hash_assignment_matches_shard_of_and_is_total() {
+        let ids: Vec<FamilyId> = (0..100).map(fam).collect();
+        for shards in 1..=16 {
+            let got = HashPartitioner.assign(&ids, shards);
+            assert_eq!(got.len(), ids.len());
+            for (i, &s) in got.iter().enumerate() {
+                assert!(s < shards);
+                assert_eq!(s, shard_of(ids[i], shards));
+            }
+        }
+        // One shard degenerates to the identity.
+        assert!(HashPartitioner.assign(&ids, 1).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn range_assignment_is_contiguous_by_rank_and_balanced() {
+        // Shuffled-ish ids: ranks must decide the blocks, not positions.
+        let ids: Vec<FamilyId> = [7u64, 3, 11, 1, 9, 5, 2, 10, 4, 8, 0, 6]
+            .iter()
+            .map(|&i| fam(i))
+            .collect();
+        let got = RangePartitioner.assign(&ids, 4);
+        // 12 ids over 4 shards: ranks 0..2 → 0, 3..5 → 1, etc.
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(got[i], (id.raw() / 3) as usize, "id {}", id.raw());
+        }
+        let mut load = [0usize; 4];
+        for &s in &got {
+            load[s] += 1;
+        }
+        assert!(load.iter().max().unwrap() - load.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn build_partitioner_honors_kind() {
+        assert_eq!(build_partitioner(PartitionerKind::Hash).name(), "hash");
+        assert_eq!(build_partitioner(PartitionerKind::Range).name(), "range");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Satellite invariant: every family lands on exactly one shard,
+        /// the assignment is deterministic across replays, and the load
+        /// ratio stays bounded for ≥ 64 families per shard.
+        #[test]
+        fn partitioners_are_total_deterministic_and_balanced(
+            start in any::<u64>(),
+            extra in 0usize..64,
+            shards in 1usize..=16,
+        ) {
+            // Sequential ids, as the allocator hands them out.
+            let n = 64 * shards + extra;
+            let ids: Vec<FamilyId> =
+                (0..n as u64).map(|i| fam(start.wrapping_add(i))).collect();
+            for kind in [PartitionerKind::Hash, PartitionerKind::Range] {
+                let p = build_partitioner(kind);
+                let got = p.assign(&ids, shards);
+                // Total: one shard per family, all in range.
+                prop_assert_eq!(got.len(), n);
+                prop_assert!(got.iter().all(|&s| s < shards));
+                // Deterministic across replays.
+                prop_assert_eq!(&got, &p.assign(&ids, shards));
+                // Balanced: mean load is ≥ 64, so max/min stays tight
+                // (range is exact; hash concentrates around the mean).
+                let mut load = vec![0usize; shards];
+                for &s in &got {
+                    load[s] += 1;
+                }
+                let max = *load.iter().max().unwrap() as f64;
+                let min = *load.iter().min().unwrap() as f64;
+                let mean = n as f64 / shards as f64;
+                prop_assert!(max <= 2.0 * mean, "max {max} mean {mean} ({})", p.name());
+                prop_assert!(min >= mean / 4.0, "min {min} mean {mean} ({})", p.name());
+                prop_assert!(
+                    max / min.max(1.0) <= 8.0,
+                    "ratio {} ({})", max / min.max(1.0), p.name()
+                );
+            }
+        }
+    }
+
+    fn test_coordinator(shards: usize, policy: xtract_types::ShardPolicy) -> Arc<ShardCoordinator> {
+        Arc::new(ShardCoordinator::new(
+            policy,
+            xtract_obs::Obs::new(),
+            shards,
+        ))
+    }
+
+    fn migrant(id: u64, from: u64) -> Migrant {
+        Migrant {
+            family: Family::new(
+                fam(id),
+                Vec::new(),
+                vec![xtract_types::Group::new(
+                    xtract_types::GroupId::new(id),
+                    Vec::new(),
+                )],
+                xtract_types::EndpointId::new(0),
+            ),
+            steps: Vec::new(),
+            charges: 0,
+            from,
+        }
+    }
+
+    #[test]
+    fn custody_tracks_deliveries_until_acked() {
+        let c = test_coordinator(2, xtract_types::ShardPolicy::sharded(2));
+        c.deliver(1, migrant(7, 0));
+        c.deliver(1, migrant(8, 0));
+        assert_eq!(c.stolen(), 2);
+        let drained = c.drain(1);
+        assert_eq!(drained.len(), 2);
+        // Drained but unacked: still in custody.
+        c.ack(1, &[fam(7)]);
+        let leftovers = c.take_custody(1);
+        assert_eq!(leftovers.len(), 1);
+        assert_eq!(leftovers[0].family.id, fam(8));
+        assert!(c.take_custody(1).is_empty());
+    }
+
+    #[test]
+    fn idle_pull_targets_the_most_loaded_running_shard() {
+        let mut policy = xtract_types::ShardPolicy::sharded(3);
+        policy.steal_min_pending = 2;
+        let c = test_coordinator(3, policy);
+        c.heartbeat(0, 1, 3);
+        c.heartbeat(1, 1, 9);
+        // Shard 2 drains and parks; its idle_wait scan should set a
+        // steal directive on shard 1 (the heavier donor).
+        let c2 = Arc::clone(&c);
+        let parked = std::thread::spawn(move || ShardCtl::new(c2, 2).idle_wait());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let steal = loop {
+            if let Some(s) = c.steal_of(1) {
+                break s;
+            }
+            assert!(Instant::now() < deadline, "no steal directive appeared");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(steal.to, 2);
+        assert_eq!(steal.max, 4); // half of 9, rounded down
+        assert!(c.steal_of(0).is_none(), "light shard must not be a victim");
+        // Consuming the directive and delivering wakes the idler.
+        assert!(c.take_steal(1).is_some());
+        c.deliver(2, migrant(3, 1));
+        assert_eq!(parked.join().unwrap(), IdleVerdict::Adopt);
+    }
+
+    #[test]
+    fn quantile_lag_flags_a_stuck_shard() {
+        let mut policy = xtract_types::ShardPolicy::sharded(2);
+        policy.min_lag_samples = 4;
+        policy.lag_quantile = 0.5;
+        policy.lag_multiplier = 2.0;
+        let c = test_coordinator(2, policy);
+        // Shard 0 turns several fast waves: its beats build the sample
+        // set (sub-millisecond wave durations).
+        for wave in 1..=6 {
+            c.heartbeat(0, wave, 4);
+        }
+        // Shard 1 started a wave long ago and never beat again.
+        c.heartbeat(1, 1, 6);
+        std::thread::sleep(Duration::from_millis(60));
+        // Any heartbeat triggers a scan on the fresh clock.
+        c.heartbeat(0, 7, 4);
+        let steal = c.steal_of(1).expect("lagging shard must be marked");
+        assert_eq!(steal.to, 0);
+        assert_eq!(steal.max, 3);
+    }
+
+    #[test]
+    fn all_idle_shards_conclude_finished() {
+        let c = test_coordinator(2, xtract_types::ShardPolicy::sharded(2));
+        let handles: Vec<_> = (0..2)
+            .map(|k| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || ShardCtl::new(c, k).idle_wait())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), IdleVerdict::Finished);
+        }
+    }
+
+    #[test]
+    fn dead_and_done_shards_are_not_adoption_targets() {
+        let c = test_coordinator(3, xtract_types::ShardPolicy::sharded(3));
+        c.heartbeat(0, 1, 5);
+        c.heartbeat(1, 1, 2);
+        c.heartbeat(2, 1, 0);
+        assert_eq!(c.least_loaded_live(None), Some(2));
+        c.mark_done(2);
+        assert_eq!(c.least_loaded_live(None), Some(1));
+        c.mark_dead(1);
+        assert_eq!(c.least_loaded_live(None), Some(0));
+        assert_eq!(c.least_loaded_live(Some(0)), None);
+        assert_eq!(c.deaths(), 1);
+    }
+
+    #[test]
+    fn fold_wal_applies_migrations_and_carried_state() {
+        let fam_a = migrant(1, 0).family;
+        let fam_b = migrant(2, 0).family;
+        let step = MigratedStep {
+            kind: xtract_types::ExtractorKind::Keyword,
+            metadata: Arc::new(xtract_types::Metadata::default()),
+            discoveries: Vec::new(),
+        };
+        let records = vec![
+            RecoveryRecord::FamilyPlanned {
+                family: fam_a.clone(),
+            },
+            RecoveryRecord::RetryCharged {
+                family: fam_a.id,
+                amount: 2,
+            },
+            // A left for shard 1...
+            RecoveryRecord::FamilyMigrated {
+                family: fam_a.clone(),
+                from: 0,
+                to: 1,
+                adopted: false,
+                steps: Vec::new(),
+                charges: 2,
+            },
+            // ...and B arrived carrying one completed step and a
+            // cross-shard total of 3 charges.
+            RecoveryRecord::FamilyMigrated {
+                family: fam_b.clone(),
+                from: 2,
+                to: 0,
+                adopted: true,
+                steps: vec![step.clone()],
+                charges: 3,
+            },
+            RecoveryRecord::RetryCharged {
+                family: fam_b.id,
+                amount: 1,
+            },
+        ];
+        let st = fold_wal(&records);
+        assert_eq!(st.planned.len(), 1);
+        assert_eq!(st.planned[0].id, fam_b.id);
+        assert_eq!(st.steps[&fam_b.id].len(), 1);
+        assert_eq!(st.charges[&fam_b.id], 4); // carried 3 + local 1
+        assert_eq!(st.charges[&fam_a.id], 2); // history kept, harmless
+    }
+}

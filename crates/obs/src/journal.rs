@@ -302,6 +302,60 @@ pub enum Event {
         /// Families whose merged metadata was re-ingested.
         families: u64,
     },
+    /// A shard runner of a sharded job started its wave loop.
+    ShardStarted {
+        /// The shard index (0-based).
+        shard: u64,
+        /// Families assigned to the shard by the partitioner (before any
+        /// migration).
+        families: u64,
+    },
+    /// A shard reported progress to the coordinator at a wave boundary.
+    ShardHeartbeat {
+        /// The reporting shard.
+        shard: u64,
+        /// The wave the shard just committed.
+        wave: u64,
+        /// Families on the shard still short of a terminal state.
+        pending: u64,
+    },
+    /// A shard's current wave has outlived the quantile-derived lag
+    /// threshold; the coordinator marked it a steal victim.
+    ShardLagging {
+        /// The lagging shard.
+        shard: u64,
+        /// Age of the shard's in-progress wave, milliseconds.
+        lag_ms: u64,
+        /// The threshold it breached (quantile × multiplier), ms.
+        threshold_ms: u64,
+    },
+    /// A family migrated between shards (work stealing or orphan
+    /// adoption). Journaled once per migration, by the coordinator.
+    FamilyMigrated {
+        /// The migrated family.
+        family: FamilyId,
+        /// The donor shard.
+        from: u64,
+        /// The receiving shard.
+        to: u64,
+    },
+    /// A shard runner died (scheduled chaos kill or unrecoverable error).
+    /// Its orphaned families are stolen by survivors, or re-adopted on
+    /// resume when no survivor was left.
+    ShardDied {
+        /// The dead shard.
+        shard: u64,
+        /// The crash point (or error summary) that killed it.
+        point: String,
+    },
+    /// A dead shard's orphaned families were adopted — by a survivor
+    /// in-run, or by the shard's own replacement runner on resume.
+    ShardAdopted {
+        /// The shard whose orphans were adopted.
+        shard: u64,
+        /// Orphaned families handed to new owners.
+        families: u64,
+    },
 }
 
 /// One journal entry: a monotonic sequence number plus the event. The
@@ -580,8 +634,35 @@ mod tests {
             records: 12,
         });
         j.record(Event::IndexReplayed { families: 7 });
+        j.record(Event::ShardStarted {
+            shard: 0,
+            families: 24,
+        });
+        j.record(Event::ShardHeartbeat {
+            shard: 0,
+            wave: 2,
+            pending: 9,
+        });
+        j.record(Event::ShardLagging {
+            shard: 1,
+            lag_ms: 900,
+            threshold_ms: 300,
+        });
+        j.record(Event::FamilyMigrated {
+            family: FamilyId::new(17),
+            from: 1,
+            to: 0,
+        });
+        j.record(Event::ShardDied {
+            shard: 1,
+            point: "mid-wave".into(),
+        });
+        j.record(Event::ShardAdopted {
+            shard: 1,
+            families: 8,
+        });
         let dump = j.to_jsonl();
-        assert_eq!(dump.lines().count(), 33);
+        assert_eq!(dump.lines().count(), 39);
         let parsed = EventJournal::parse_jsonl(&dump).unwrap();
         assert_eq!(parsed, j.events());
         // The tag is snake_case and self-describing.
@@ -603,6 +684,12 @@ mod tests {
         assert!(dump.contains("\"type\":\"quota_exhausted\""));
         assert!(dump.contains("\"type\":\"index_wave_ingested\""));
         assert!(dump.contains("\"type\":\"index_replayed\""));
+        assert!(dump.contains("\"type\":\"shard_started\""));
+        assert!(dump.contains("\"type\":\"shard_heartbeat\""));
+        assert!(dump.contains("\"type\":\"shard_lagging\""));
+        assert!(dump.contains("\"type\":\"family_migrated\""));
+        assert!(dump.contains("\"type\":\"shard_died\""));
+        assert!(dump.contains("\"type\":\"shard_adopted\""));
     }
 
     #[test]

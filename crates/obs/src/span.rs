@@ -174,6 +174,13 @@ impl SpanUnion {
     pub fn span_count(&self) -> usize {
         self.intervals.len()
     }
+
+    /// The merged disjoint intervals, sorted by start. Lets a caller
+    /// re-union spans under a different origin (shard reports merge their
+    /// phase spans into one job-relative union).
+    pub fn intervals(&self) -> &[(f64, f64)] {
+        &self.intervals
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +221,7 @@ mod tests {
         u.add(9.0, 21.0);
         assert_eq!(u.span_count(), 1);
         assert!((u.covered() - 25.0).abs() < 1e-12);
+        assert_eq!(u.intervals(), &[(0.0, 25.0)]);
     }
 
     #[test]

@@ -564,6 +564,111 @@ impl IndexPolicy {
     }
 }
 
+/// How a sharded job's family plan is split across shard workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum PartitionerKind {
+    /// SplitMix64 finalizer over the raw `FamilyId`, modulo the shard
+    /// count — the same hash the serving index shards by, so a family's
+    /// shard is a pure function of its identity.
+    #[default]
+    Hash,
+    /// Families sorted by id and cut into contiguous equal-rank blocks;
+    /// load differs by at most one family between any two shards.
+    Range,
+}
+
+/// Sharded orchestrator scale-out: partition the family plan across N
+/// shard workers, each running its own wave loop against its own WAL
+/// subdirectory (`<log_dir>/shard-{k}/`) under its own per-shard
+/// log-directory lease.
+///
+/// A coordinator tracks per-shard heartbeats, steals work from lagging
+/// or dead shards onto the least-loaded healthy one (journaled
+/// `FamilyMigrated` in both WALs, so replay of either side never
+/// double-dispatches), merges shard reports, and resumes every shard's
+/// log on `resume_job`. Disabled by default — the job then runs exactly
+/// as before, one wave loop, one WAL. Sharding requires a recovery-log
+/// directory; `run_job` without one rejects an enabled policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ShardPolicy {
+    /// Master switch for the sharded coordinator.
+    pub enabled: bool,
+    /// Number of shard workers the plan is partitioned across.
+    pub shards: usize,
+    /// How families map to shards.
+    pub partitioner: PartitionerKind,
+    /// Wave-duration quantile the lag threshold derives from: a shard
+    /// whose current wave has run longer than
+    /// `quantile(lag_quantile) * lag_multiplier` is flagged lagging and
+    /// marked for stealing.
+    pub lag_quantile: f64,
+    /// Multiplier over the observed quantile.
+    pub lag_multiplier: f64,
+    /// Wave-duration samples required (across all shards) before the
+    /// quantile threshold is trusted; below this, only idle-pull and
+    /// lease-lapse stealing fire.
+    pub min_lag_samples: u64,
+    /// A donor must hold at least this many eligible (pending,
+    /// non-staging) families before a steal takes any; the steal moves
+    /// half of what is eligible.
+    pub steal_min_pending: u64,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            shards: 4,
+            partitioner: PartitionerKind::Hash,
+            lag_quantile: 0.95,
+            lag_multiplier: 3.0,
+            min_lag_samples: 8,
+            steal_min_pending: 2,
+        }
+    }
+}
+
+impl ShardPolicy {
+    /// A disabled policy: one wave loop, one WAL, exactly as before.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled policy partitioning across `shards` workers.
+    pub fn sharded(shards: usize) -> Self {
+        Self {
+            enabled: true,
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Checks the policy is internally consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shard count must be > 0".into());
+        }
+        if self.shards > 256 {
+            return Err(format!("shard count {} exceeds 256", self.shards));
+        }
+        if !(self.lag_quantile > 0.0 && self.lag_quantile < 1.0) {
+            return Err(format!(
+                "lag_quantile {} outside (0, 1)",
+                self.lag_quantile
+            ));
+        }
+        if !(self.lag_multiplier >= 1.0 && self.lag_multiplier.is_finite()) {
+            return Err(format!("lag_multiplier {} must be >= 1", self.lag_multiplier));
+        }
+        if self.steal_min_pending == 0 {
+            return Err("steal_min_pending must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
 fn default_staging_workers() -> usize {
     4
 }
@@ -632,6 +737,11 @@ pub struct JobSpec {
     /// default.
     #[serde(default)]
     pub index: IndexPolicy,
+    /// Sharded orchestrator scale-out: partition the plan across N shard
+    /// workers with work stealing and per-shard WALs. Disabled by
+    /// default.
+    #[serde(default)]
+    pub shard: ShardPolicy,
     /// Structured fault plan for chaos testing; `None` injects nothing.
     #[serde(default)]
     pub fault_plan: Option<FaultPlan>,
@@ -661,6 +771,7 @@ impl JobSpec {
             adaptive: AdaptiveBatching::default(),
             recovery: RecoveryPolicy::default(),
             index: IndexPolicy::default(),
+            shard: ShardPolicy::default(),
             fault_plan: None,
         }
     }
@@ -709,8 +820,20 @@ impl JobSpec {
         self.adaptive.validate()?;
         self.recovery.validate()?;
         self.index.validate()?;
+        self.shard.validate()?;
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;
+            // Scheduled shard kills must name shards the policy creates.
+            if self.shard.enabled {
+                for c in &plan.shard_crashes {
+                    if c.shard >= self.shard.shards {
+                        return Err(format!(
+                            "shard crash names shard {} but the job has {}",
+                            c.shard, self.shard.shards
+                        ));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -905,6 +1028,57 @@ mod tests {
         let sparse: IndexPolicy = serde_json::from_str(r#"{"enabled": true}"#).unwrap();
         assert!(sparse.enabled);
         assert_eq!(sparse.shards, IndexPolicy::default().shards);
+    }
+
+    #[test]
+    fn shard_policy_defaults_are_valid_and_deserialize_sparse() {
+        let policy = ShardPolicy::default();
+        assert!(policy.validate().is_ok());
+        assert!(!policy.enabled, "sharded scale-out is opt-in");
+        assert_eq!(policy, ShardPolicy::disabled());
+        assert!(ShardPolicy::sharded(3).enabled);
+        assert_eq!(ShardPolicy::sharded(3).shards, 3);
+        // Specs serialized before the knob existed still deserialize.
+        let job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        let mut json: serde_json::Value = serde_json::to_value(&job).unwrap();
+        json.as_object_mut().unwrap().remove("shard");
+        let back: JobSpec = serde_json::from_value(json).unwrap();
+        assert_eq!(back.shard, ShardPolicy::default());
+        // Sparse shard config keeps unset fields at defaults.
+        let sparse: ShardPolicy =
+            serde_json::from_str(r#"{"enabled": true, "shards": 2}"#).unwrap();
+        assert!(sparse.enabled);
+        assert_eq!(sparse.shards, 2);
+        assert_eq!(sparse.partitioner, PartitionerKind::Hash);
+        assert_eq!(sparse.lag_quantile, ShardPolicy::default().lag_quantile);
+    }
+
+    #[test]
+    fn bad_shard_policy_is_rejected() {
+        let mut job = JobSpec::single_endpoint(ep(0, Some(4)), "/data");
+        job.shard.shards = 0;
+        assert!(job.validate().unwrap_err().contains("shard count"));
+        job.shard.shards = 300;
+        assert!(job.validate().unwrap_err().contains("256"));
+        job.shard = ShardPolicy::sharded(2);
+        job.shard.lag_quantile = 1.5;
+        assert!(job.validate().unwrap_err().contains("lag_quantile"));
+        job.shard = ShardPolicy::sharded(2);
+        job.shard.lag_multiplier = 0.5;
+        assert!(job.validate().unwrap_err().contains("lag_multiplier"));
+        job.shard = ShardPolicy::sharded(2);
+        assert!(job.validate().is_ok());
+        // A shard-kill schedule must name shards the policy creates.
+        let mut plan = FaultPlan::new(1);
+        plan.shard_crashes.push(crate::fault::ShardCrash {
+            shard: 2,
+            point: crate::fault::CrashPoint::MidWave,
+            at_occurrence: 1,
+        });
+        job.fault_plan = Some(plan);
+        assert!(job.validate().unwrap_err().contains("names shard 2"));
+        job.shard = ShardPolicy::sharded(3);
+        assert!(job.validate().is_ok());
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub enum XtractError {
     /// named commit boundary. The job's recovery log survives and the job
     /// is expected to be resumed.
     OrchestratorKilled { point: String },
+    /// Every shard of a sharded job died before the plan completed (each
+    /// at its scheduled crash point or on an unrecoverable error), so no
+    /// survivor was left to adopt the orphaned work. The per-shard WALs
+    /// survive and the job is expected to be resumed; `shard`/`point`
+    /// name the first death. A *partial* shard loss never surfaces here —
+    /// survivors steal the orphans and the job completes.
+    ShardDied { shard: usize, point: String },
     /// A recovery log was replayed against a job spec it does not belong
     /// to (the journaled fingerprint disagrees with the spec's).
     SpecFingerprintMismatch { expected: u64, found: u64 },
@@ -131,6 +138,12 @@ impl std::fmt::Display for XtractError {
             }
             XtractError::OrchestratorKilled { point } => {
                 write!(f, "orchestrator killed at scheduled crash point {point}")
+            }
+            XtractError::ShardDied { shard, point } => {
+                write!(
+                    f,
+                    "every shard died; shard {shard} first, at crash point {point}"
+                )
             }
             XtractError::SpecFingerprintMismatch { expected, found } => write!(
                 f,

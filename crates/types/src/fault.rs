@@ -182,6 +182,23 @@ pub struct OrchestratorCrash {
     pub at_occurrence: u64,
 }
 
+/// One scheduled *shard* kill in a sharded (multi-worker) job: shard `k`
+/// dies at crash point `p`, exactly like an [`OrchestratorCrash`] but
+/// scoped to one shard's wave loop. Entries for a given shard form an
+/// ordered schedule per shard — entry `j` for shard `k` arms only once
+/// `j` crashes are already recorded in shard `k`'s own WAL — so each
+/// resume advances every shard independently through its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardCrash {
+    /// Which shard (0-based index into the job's shard set) dies.
+    pub shard: usize,
+    /// Where in that shard's wave loop the kill fires.
+    pub point: CrashPoint,
+    /// Which occurrence of that point fires the kill (1-based), counted
+    /// from the moment the entry arms.
+    pub at_occurrence: u64,
+}
+
 /// The structured fault plan all substrates consult.
 ///
 /// Rates are per-decision probabilities in `[0, 1]`. The default plan
@@ -226,6 +243,12 @@ pub struct FaultPlan {
     /// crash-and-resume a durable job until the schedule is exhausted).
     #[serde(default)]
     pub orchestrator_crashes: Vec<OrchestratorCrash>,
+    /// Scheduled shard kills for sharded jobs. Filtered per shard and
+    /// ordered within each shard; a non-sharded job ignores them, and a
+    /// sharded job's shard runners consume these *instead of*
+    /// `orchestrator_crashes` (the coordinator itself is never killed).
+    #[serde(default)]
+    pub shard_crashes: Vec<ShardCrash>,
 }
 
 impl FaultPlan {
@@ -274,6 +297,15 @@ impl FaultPlan {
                 ));
             }
         }
+        for c in &self.shard_crashes {
+            if c.at_occurrence == 0 {
+                return Err(format!(
+                    "shard {} crash at {} has occurrence 0 (1-based)",
+                    c.shard,
+                    c.point.name()
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -287,6 +319,7 @@ impl FaultPlan {
             && self.blackouts.is_empty()
             && self.allocation_expiries.is_empty()
             && self.orchestrator_crashes.is_empty()
+            && self.shard_crashes.is_empty()
     }
 
     /// The next scheduled orchestrator crash given how many crashes the
@@ -294,6 +327,20 @@ impl FaultPlan {
     /// exhausted — the job then runs to completion.
     pub fn scheduled_crash(&self, crashes_so_far: u64) -> Option<&OrchestratorCrash> {
         self.orchestrator_crashes.get(crashes_so_far as usize)
+    }
+
+    /// Shard `shard`'s kill schedule, as the ordered [`OrchestratorCrash`]
+    /// list its runner arms against its own WAL's crash count. The sharded
+    /// coordinator rewrites each shard sub-spec's fault plan with this.
+    pub fn crashes_for_shard(&self, shard: usize) -> Vec<OrchestratorCrash> {
+        self.shard_crashes
+            .iter()
+            .filter(|c| c.shard == shard)
+            .map(|c| OrchestratorCrash {
+                point: c.point,
+                at_occurrence: c.at_occurrence,
+            })
+            .collect()
     }
 
     /// True when an allocation expiry is scheduled to fire at `endpoint`
@@ -505,6 +552,42 @@ mod tests {
         let sparse: FaultPlan = serde_json::from_str(r#"{"seed": 4}"#).unwrap();
         assert!(sparse.is_inert());
         assert_eq!(sparse.seed, 4);
+    }
+
+    #[test]
+    fn shard_crash_schedule_filters_and_orders_per_shard() {
+        let mut plan = FaultPlan::new(1);
+        assert!(plan.is_inert());
+        plan.shard_crashes = vec![
+            ShardCrash {
+                shard: 1,
+                point: CrashPoint::MidWave,
+                at_occurrence: 1,
+            },
+            ShardCrash {
+                shard: 0,
+                point: CrashPoint::AfterCrawl,
+                at_occurrence: 1,
+            },
+            ShardCrash {
+                shard: 1,
+                point: CrashPoint::MidFlush,
+                at_occurrence: 2,
+            },
+        ];
+        assert!(!plan.is_inert());
+        assert!(plan.validate().is_ok());
+        let s1 = plan.crashes_for_shard(1);
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s1[0].point, CrashPoint::MidWave);
+        assert_eq!(s1[1].point, CrashPoint::MidFlush);
+        assert!(plan.crashes_for_shard(2).is_empty());
+        // Occurrences are 1-based here too.
+        plan.shard_crashes[0].at_occurrence = 0;
+        assert!(plan.validate().is_err());
+        // Legacy JSON without the field still deserializes.
+        let sparse: FaultPlan = serde_json::from_str(r#"{"seed": 4}"#).unwrap();
+        assert!(sparse.shard_crashes.is_empty());
     }
 
     #[test]

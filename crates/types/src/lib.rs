@@ -39,12 +39,15 @@ pub mod tenancy;
 
 pub use config::{
     AdaptiveBatching, ContainerRuntime, EndpointSpec, GroupingStrategy, HedgePolicy, IndexPolicy,
-    JobSpec, OffloadMode, RecoveryPolicy, RetryPolicy, ValidationSchema,
+    JobSpec, OffloadMode, PartitionerKind, RecoveryPolicy, RetryPolicy, ShardPolicy,
+    ValidationSchema,
 };
 pub use error::{Result, XtractError};
 pub use extractor::ExtractorKind;
 pub use failure::{DeadLetter, FailureEvent, FailureReason};
-pub use fault::{AllocationExpiry, Blackout, CrashPoint, FaultPlan, FaultScope, OrchestratorCrash};
+pub use fault::{
+    AllocationExpiry, Blackout, CrashPoint, FaultPlan, FaultScope, OrchestratorCrash, ShardCrash,
+};
 pub use file::{FileRecord, FileType};
 pub use group::{Family, FamilyBatch, Group};
 pub use id::{

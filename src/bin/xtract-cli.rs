@@ -4,14 +4,17 @@
 //! `LocalFs` backend) or synthetic in-memory corpora:
 //!
 //! ```text
-//! xtract-cli extract <dir> [--jsonl out.jsonl] [--workers N] [--log DIR]
+//! xtract-cli extract <dir> [--jsonl out.jsonl] [--workers N] [--log DIR] [--shards N]
 //!     crawl a real directory, run every applicable extractor, print a
 //!     summary and optionally dump one JSON record per family; with
-//!     --log, journal progress to a durable recovery log as the job runs
+//!     --log, journal progress to a durable recovery log as the job runs;
+//!     with --shards N (requires --log), partition the family space
+//!     across N shard orchestrators with work stealing and per-shard WALs
 //!
-//! xtract-cli resume <dir> --log DIR [--jsonl out.jsonl] [--workers N]
+//! xtract-cli resume <dir> --log DIR [--jsonl out.jsonl] [--workers N] [--shards N]
 //!     resume an interrupted extract from its recovery log: replays the
-//!     journal, skips completed work, and finishes the job
+//!     journal (every shard's, when the run was sharded), skips completed
+//!     work, and finishes the job
 //!
 //! xtract-cli search <dir> <term> [<term>...]
 //!     extract (in memory) then query the search index
@@ -62,10 +65,11 @@ use xtract_types::{EndpointId, EndpointSpec, GroupingStrategy, JobSpec, Metadata
 fn usage() -> ! {
     eprintln!(
         "usage: xtract-cli <command>\n\
-         \n  extract <dir> [--jsonl FILE] [--workers N] [--log DIR]\
+         \n  extract <dir> [--jsonl FILE] [--workers N] [--log DIR] [--shards N]\
          \n                                               extract metadata from a real directory\
-         \n                                               (--log journals to a recovery log)\
-         \n  resume <dir> --log DIR [--jsonl FILE] [--workers N]\
+         \n                                               (--log journals to a recovery log;\
+         \n                                               --shards runs N shard orchestrators)\
+         \n  resume <dir> --log DIR [--jsonl FILE] [--workers N] [--shards N]\
          \n                                               resume an interrupted extract from its log\
          \n  search <dir> <term> [<term>...]              extract then search\
          \n  query <dir> <term> [<term>...]               extract with live wave-loop index\
@@ -92,7 +96,7 @@ fn extract_backend(
     backend: Arc<dyn StorageBackend>,
     workers: usize,
 ) -> Result<Vec<MetadataRecord>, String> {
-    run_extract(backend, workers, None, false, false).map(|(report, _)| report.records)
+    run_extract(backend, workers, None, false, false, 1).map(|(report, _)| report.records)
 }
 
 /// Runs the full pipeline over a backend and returns the finished report
@@ -108,6 +112,7 @@ fn run_extract(
     log: Option<&std::path::Path>,
     resume: bool,
     live_index: bool,
+    shards: usize,
 ) -> Result<(JobReport, XtractService), String> {
     let fabric = Arc::new(DataFabric::new());
     let ep = EndpointId::new(0);
@@ -152,6 +157,9 @@ fn run_extract(
     if live_index {
         spec.index = xtract_types::IndexPolicy::enabled();
     }
+    if shards > 1 {
+        spec.shard = xtract_types::ShardPolicy::sharded(shards);
+    }
     service
         .connect_endpoint(&spec.endpoints[0])
         .map_err(|e| e.to_string())?;
@@ -174,6 +182,12 @@ fn run_extract(
         eprintln!(
             "recovery: resumed={} replayed={} truncated={}",
             report.resumed, report.replayed_records, report.truncated_records
+        );
+    }
+    if report.shards > 1 {
+        eprintln!(
+            "shards: {} (stolen={} deaths={})",
+            report.shards, report.stolen_families, report.shard_deaths
         );
     }
     for letter in report.failures.iter().take(5) {
@@ -209,9 +223,16 @@ fn run_extract_cmd(args: &[String], cmd: &str, resume: bool) -> Result<(), Strin
     if let Some(log) = &log {
         std::fs::create_dir_all(log).map_err(|e| e.to_string())?;
     }
+    let shards: usize = flag_value(args, "--shards")
+        .map(|v| v.parse().map_err(|_| "--shards must be a number"))
+        .transpose()?
+        .unwrap_or(1);
+    if shards > 1 && log.is_none() {
+        return Err("--shards needs --log DIR (shard WALs live under it)".into());
+    }
     let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
     let (report, _service) =
-        run_extract(Arc::new(backend), workers, log.as_deref(), resume, false)?;
+        run_extract(Arc::new(backend), workers, log.as_deref(), resume, false, shards)?;
     let records = report.records;
 
     if let Some(out_path) = flag_value(args, "--jsonl") {
@@ -283,7 +304,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         return Err("query needs at least one term".into());
     }
     let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
-    let (_report, service) = run_extract(Arc::new(backend), 4, None, false, true)?;
+    let (_report, service) = run_extract(Arc::new(backend), 4, None, false, true, 1)?;
     let index = service
         .index()
         .ok_or("job finished but the service has no serving index")?;
@@ -449,7 +470,7 @@ fn extract_dir(args: &[String], cmd: &str) -> Result<(JobReport, XtractService),
         .transpose()?
         .unwrap_or(4);
     let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
-    run_extract(Arc::new(backend), workers, None, false, false)
+    run_extract(Arc::new(backend), workers, None, false, false, 1)
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
