@@ -96,7 +96,8 @@ fn rig() -> (xtract_core::XtractService, Token, JobSpec) {
 }
 
 fn bench_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("xtract-bench-shards-{tag}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("xtract-bench-shards-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -127,7 +128,11 @@ fn measure(shards: usize) -> Cell {
             .run_job_with_recovery(token, &spec, &dir)
             .expect("bench job failed");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(report.records.len(), FAMILIES, "lost records at {shards} shards");
+        assert_eq!(
+            report.records.len(),
+            FAMILIES,
+            "lost records at {shards} shards"
+        );
         assert!(report.failures.is_empty(), "{:?}", report.failures);
         if ms < best_ms {
             best_ms = ms;

@@ -917,10 +917,7 @@ mod tests {
             shard: 2,
             point: "wave-3".into(),
         };
-        assert_eq!(
-            JobFailureKind::classify(&err),
-            JobFailureKind::Orchestrator
-        );
+        assert_eq!(JobFailureKind::classify(&err), JobFailureKind::Orchestrator);
     }
 
     #[test]

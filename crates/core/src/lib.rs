@@ -31,6 +31,10 @@
 //!   partitioning across shard workers, heartbeat-driven work stealing,
 //!   and shard-death recovery with orphan adoption (see `DESIGN.md`,
 //!   "Sharded orchestrator");
+//! * [`transport`] — cross-process shard workers: the CRC-framed Unix
+//!   socket wire protocol, lease-fenced shard-WAL ownership, heartbeat
+//!   death detection, and restartable-coordinator custody journaling
+//!   (see `DESIGN.md`, "Cross-process sharding");
 //! * [`jobs`] — the asynchronous submit/monitor/retrieve interface of §3
 //!   (Listing 2's `XtractClient` flow), and the multi-tenant `JobService`
 //!   built on it;
@@ -77,6 +81,7 @@ pub mod service;
 pub mod shard;
 pub mod staging;
 pub mod tenancy;
+pub mod transport;
 pub mod utility;
 pub mod validator;
 
@@ -94,3 +99,4 @@ pub use resilience::{BreakerState, HealthTracker, RetryLedger};
 pub use service::{JobReport, XtractService};
 pub use shard::{build_partitioner, shard_of, HashPartitioner, Partitioner, RangePartitioner};
 pub use tenancy::{QuotaLedger, TenantCtx, TenantRegistry};
+pub use transport::{build_world_service, run_proc_sharded, run_worker, WorkerCmd, WorldSpec};

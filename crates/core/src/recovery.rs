@@ -139,25 +139,103 @@ pub fn spec_fingerprint(spec: &JobSpec) -> u64 {
 /// set is at most a handful of entries (one per in-flight recovery job).
 static ACTIVE_LOG_DIRS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
 
-/// Exclusive in-process claim on a recovery-log directory.
+/// True when a process with this id is currently alive. Linux: the
+/// kernel exposes every live pid under `/proc`. On other platforms the
+/// check degrades to "assume alive" — the conservative direction: a
+/// stale lease then still refuses acquisition rather than risking two
+/// writers.
+pub fn pid_alive(pid: u32) -> bool {
+    if pid == 0 {
+        return false;
+    }
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// The on-disk state of a lease file: the directory's epoch high-water
+/// mark plus the current holder (pid 0 = released cleanly).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct LeaseFile {
+    epoch: u64,
+    pid: u32,
+}
+
+fn read_lease_file(path: &Path) -> LeaseFile {
+    // Unreadable or missing ⇒ epoch floor 0, no holder. Torn contents
+    // cannot occur under the atomic rename below; a hand-corrupted file
+    // degrades to "never leased", which the caller then re-fences.
+    std::fs::read(path)
+        .ok()
+        .and_then(|b| serde_json::from_slice(&b).ok())
+        .unwrap_or(LeaseFile { epoch: 0, pid: 0 })
+}
+
+fn write_lease_file(path: &Path, state: LeaseFile) -> Result<()> {
+    let bytes = serde_json::to_vec(&state).expect("lease state serializes");
+    let tmp = path.with_extension("lease.tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| io_err("write lease", e))?;
+    // rename(2) is atomic on POSIX: readers see the old epoch or the
+    // new one, never a torn frame.
+    std::fs::rename(&tmp, path).map_err(|e| io_err("publish lease", e))?;
+    Ok(())
+}
+
+/// Exclusive claim on a recovery-log directory, fenced by an epoch.
 ///
 /// Two jobs appending to one WAL directory interleave frames from
 /// unrelated specs and poison each other's replay, so the job interface
 /// takes a lease *synchronously at submit time* and holds it until the
 /// job reaches a terminal status. A second submission against a held
 /// directory fails immediately with [`XtractError::RecoveryLogBusy`]
-/// rather than corrupting the log. The lease releases on drop.
+/// rather than corrupting the log.
+///
+/// The lease is two-layered:
+///
+/// * an **in-process registry** (canonical-path keyed) catches two
+///   threads of one process, synchronously and infallibly;
+/// * an **on-disk lease file** (`wal.lease`, holder pid + epoch) extends
+///   the claim across processes. A holder that died without releasing
+///   is detected by pid liveness and *fenced* — the epoch bumps and the
+///   directory is taken over — instead of blocking restart forever.
+///
+/// Every successful claim bumps the epoch; the file is never deleted
+/// (release rewrites it with pid 0), so the epoch is monotonic across
+/// the directory's whole life. [`RecoveryLog::set_fence`] checks the
+/// holder's epoch against the file on every group commit — a zombie
+/// writer whose lease was preempted gets [`XtractError::LeaseFenced`]
+/// and not a byte lands.
 #[derive(Debug)]
 pub struct LogDirLease {
     key: PathBuf,
+    file: PathBuf,
+    epoch: u64,
 }
 
 impl LogDirLease {
     /// Claims `dir`, or fails with [`XtractError::RecoveryLogBusy`] if
-    /// another live job already holds it. Paths are compared by
-    /// canonical form when the directory exists, so `a/../b` and `b`
-    /// conflict as they should.
+    /// another live job already holds it — in this process (registry
+    /// hit) or in another live process (lease file names a live pid).
+    /// A lease left by a *dead* process is fenced: the epoch bumps and
+    /// the claim succeeds. Paths are compared by canonical form when
+    /// the directory exists, so `a/../b` and `b` conflict as they
+    /// should.
     pub fn acquire(dir: &Path) -> Result<Self> {
+        Self::claim(dir, false)
+    }
+
+    /// Forcibly fences `dir` even if the on-disk holder is still alive —
+    /// the coordinator's takeover path for a worker it has declared
+    /// dead (heartbeat timeout) but whose process may linger as a
+    /// zombie. A claim held by *this* process is still refused: that is
+    /// a programming error, not a zombie.
+    pub fn preempt(dir: &Path) -> Result<Self> {
+        Self::claim(dir, true)
+    }
+
+    fn claim(dir: &Path, force: bool) -> Result<Self> {
         let key = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
         let mut active = ACTIVE_LOG_DIRS.lock();
         if active.contains(&key) {
@@ -165,14 +243,49 @@ impl LogDirLease {
                 dir: dir.display().to_string(),
             });
         }
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
+        let file = dir.join("wal.lease");
+        let prior = read_lease_file(&file);
+        let me = std::process::id();
+        if !force && prior.pid != 0 && prior.pid != me && pid_alive(prior.pid) {
+            return Err(XtractError::RecoveryLogBusy {
+                dir: dir.display().to_string(),
+            });
+        }
+        let epoch = prior.epoch + 1;
+        write_lease_file(&file, LeaseFile { epoch, pid: me })?;
         active.push(key.clone());
-        Ok(Self { key })
+        Ok(Self { key, file, epoch })
+    }
+
+    /// The fencing token this claim holds. Monotonic per directory:
+    /// strictly greater than every epoch any earlier claim ever held.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The lease file carrying the directory's current epoch.
+    pub fn lease_path(&self) -> &Path {
+        &self.file
     }
 }
 
 impl Drop for LogDirLease {
     fn drop(&mut self) {
         ACTIVE_LOG_DIRS.lock().retain(|k| k != &self.key);
+        // Mark the on-disk lease released — but only if it still names
+        // this claim. A successor that fenced us owns the file now; a
+        // release must not resurrect our stale epoch over theirs.
+        let cur = read_lease_file(&self.file);
+        if cur.epoch == self.epoch && cur.pid == std::process::id() {
+            let _ = write_lease_file(
+                &self.file,
+                LeaseFile {
+                    epoch: self.epoch,
+                    pid: 0,
+                },
+            );
+        }
     }
 }
 
@@ -276,6 +389,33 @@ pub enum RecoveryRecord {
         steps: Vec<MigratedStep>,
         /// Retry-ledger attempts already charged for the family.
         charges: u32,
+    },
+    /// Coordinator-side custody journal (root WAL only): shard `shard`'s
+    /// WAL lease reached `epoch`. Appended when a worker is admitted and
+    /// when a dead worker's WAL is fenced for adoption, so a restarted
+    /// coordinator can reconstruct the epoch floor each shard must
+    /// exceed before it re-admits a worker there.
+    ShardEpoch {
+        /// The shard whose lease moved.
+        shard: u64,
+        /// The lease epoch now in force.
+        epoch: u64,
+    },
+    /// Coordinator-side custody journal (root WAL only): the coordinator
+    /// brokered custody of `family` from shard `from` to shard `to` — a
+    /// work-stealing delivery or an orphan adoption. Lightweight (no
+    /// payload: the shard WALs carry the full symmetric
+    /// [`RecoveryRecord::FamilyMigrated`] pair); a restarted coordinator
+    /// replays these as placement *hints* for families whose hand-over
+    /// crashed between the donor's out-record and the recipient's
+    /// in-record.
+    CustodyMoved {
+        /// The family whose custody moved.
+        family: FamilyId,
+        /// Donor shard index.
+        from: u64,
+        /// Recipient shard index.
+        to: u64,
     },
     /// A scheduled chaos kill fired here. The count of these records is
     /// the cursor into [`FaultPlan::orchestrator_crashes`].
@@ -400,6 +540,9 @@ struct Writer {
     seq: u64,
     file: File,
     bytes: u64,
+    /// When set, every write first re-reads the lease file and verifies
+    /// it still carries this epoch: `(lease_path, held_epoch)`.
+    fence: Option<(PathBuf, u64)>,
 }
 
 /// A segmented write-ahead log rooted at one directory.
@@ -622,10 +765,40 @@ impl RecoveryLog {
             Self {
                 dir,
                 policy,
-                inner: Mutex::new(Writer { seq, file, bytes }),
+                inner: Mutex::new(Writer {
+                    seq,
+                    file,
+                    bytes,
+                    fence: None,
+                }),
             },
             replay,
         ))
+    }
+
+    /// Fences every future write to this log against `lease`: each group
+    /// commit re-reads the lease file under the writer lock and fails
+    /// with [`XtractError::LeaseFenced`] — before a single byte lands —
+    /// if the directory's epoch has moved past the lease's. This is the
+    /// zombie-writer guard for cross-process shard workers: a worker
+    /// whose WAL was preempted and adopted by a sibling cannot corrupt
+    /// the adopted log.
+    pub fn set_fence(&self, lease: &LogDirLease) {
+        self.inner.lock().fence = Some((lease.lease_path().to_path_buf(), lease.epoch()));
+    }
+
+    fn check_fence(&self, w: &Writer) -> Result<()> {
+        if let Some((path, held)) = &w.fence {
+            let current = read_lease_file(path).epoch;
+            if current != *held {
+                return Err(XtractError::LeaseFenced {
+                    dir: self.dir.display().to_string(),
+                    held: *held,
+                    current,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Read-only scan of a log directory: replays every valid record and
@@ -668,6 +841,7 @@ impl RecoveryLog {
             frame_into(&mut buf, record)?;
         }
         let mut w = self.inner.lock();
+        self.check_fence(&w)?;
         if w.bytes >= self.policy.segment_bytes {
             self.rotate(&mut w)?;
         }
@@ -691,6 +865,7 @@ impl RecoveryLog {
         // reader sees a frame, few enough that the CRC cannot match.
         let keep = HEADER_BYTES + (buf.len() - HEADER_BYTES) / 2;
         let mut w = self.inner.lock();
+        self.check_fence(&w)?;
         w.file
             .write_all(&buf[..keep])
             .map_err(|e| io_err("append torn", e))?;
@@ -737,6 +912,7 @@ impl RecoveryLog {
             frame_into(&mut buf, record)?;
         }
         let mut w = self.inner.lock();
+        self.check_fence(&w)?;
         let seq = w.seq + 1;
         let path = segment_path(&self.dir, seq);
         let mut file = OpenOptions::new()
@@ -1120,6 +1296,81 @@ mod tests {
         drop(lease0);
         let _reclaimed = LogDirLease::acquire(&s0).unwrap();
         drop(root);
+    }
+
+    #[test]
+    fn stale_lease_from_a_dead_process_is_fenced_not_busy() {
+        // Regression: a lease file left by a SIGKILLed process used to
+        // block restart forever with RecoveryLogBusy. A dead holder must
+        // be *fenced* — epoch bumped, directory taken — instead.
+        let dir = tempdir("lease-stale");
+        // Fabricated corpse: no Linux kernel hands out pids this large
+        // (pid_max caps at 2^22).
+        std::fs::write(dir.join("wal.lease"), r#"{"epoch":7,"pid":999999999}"#).unwrap();
+        let lease =
+            LogDirLease::acquire(&dir).expect("dead holder must be fenced, not refused busy");
+        assert_eq!(lease.epoch(), 8, "fencing bumps past the corpse's epoch");
+        drop(lease);
+        // Release keeps the epoch high-water mark on disk…
+        let again = LogDirLease::acquire(&dir).unwrap();
+        assert_eq!(again.epoch(), 9, "epochs are monotonic across releases");
+    }
+
+    #[test]
+    fn lease_held_by_a_live_foreign_process_is_busy_until_preempted() {
+        let dir = tempdir("lease-live");
+        // pid 1 (init) is alive on any Linux host this test runs on.
+        std::fs::write(dir.join("wal.lease"), r#"{"epoch":3,"pid":1}"#).unwrap();
+        let err = LogDirLease::acquire(&dir).unwrap_err();
+        assert!(matches!(err, XtractError::RecoveryLogBusy { .. }), "{err}");
+        // The coordinator's takeover path fences even a live holder.
+        let lease = LogDirLease::preempt(&dir).unwrap();
+        assert_eq!(lease.epoch(), 4);
+    }
+
+    #[test]
+    fn zombie_writer_is_fenced_before_a_byte_lands() {
+        let dir = tempdir("lease-zombie");
+        let policy = RecoveryPolicy::default();
+        let zombie_lease = LogDirLease::acquire(&dir).unwrap();
+        let (log, _) = RecoveryLog::open(&dir, policy).unwrap();
+        log.set_fence(&zombie_lease);
+        // Epoch current: writes land normally.
+        log.append(&step(1, "keyword")).unwrap();
+        let seg_len = std::fs::metadata(segment_path(&dir, 0)).unwrap().len();
+        // A sibling process fences the directory (the coordinator
+        // declared this writer dead and adopted its WAL). Simulated by
+        // advancing the lease file the way a foreign preempt would.
+        let usurped = zombie_lease.epoch() + 1;
+        std::fs::write(
+            dir.join("wal.lease"),
+            format!(r#"{{"epoch":{usurped},"pid":1}}"#),
+        )
+        .unwrap();
+        // Every write path is now rejected typed, with nothing written.
+        let err = log.append(&step(2, "keyword")).unwrap_err();
+        assert!(
+            matches!(err, XtractError::LeaseFenced { held, current, .. }
+                if held == zombie_lease.epoch() && current == usurped),
+            "{err}"
+        );
+        let err = log.append_torn(&step(3, "keyword")).unwrap_err();
+        assert!(matches!(err, XtractError::LeaseFenced { .. }), "{err}");
+        let err = log.begin_compaction(&[step(4, "keyword")]).unwrap_err();
+        assert!(matches!(err, XtractError::LeaseFenced { .. }), "{err}");
+        assert_eq!(
+            std::fs::metadata(segment_path(&dir, 0)).unwrap().len(),
+            seg_len,
+            "a fenced write must not land a single byte"
+        );
+        // The zombie's release must not clobber the successor's fence.
+        drop(zombie_lease);
+        let after = std::fs::read_to_string(dir.join("wal.lease")).unwrap();
+        assert!(after.contains(&format!("\"epoch\":{usurped}")), "{after}");
+        // And the adopted log replays only what landed before the fence.
+        drop(log);
+        let (_, replay) = RecoveryLog::open(&dir, policy).unwrap();
+        assert_eq!(replay.records, vec![step(1, "keyword")]);
     }
 
     #[test]

@@ -43,7 +43,7 @@ use crate::payload::{decode_results, encode_batch, make_function_body};
 use crate::planner::ExtractionPlan;
 use crate::recovery::{spec_fingerprint, MigratedStep, RecoveryLog, RecoveryRecord};
 use crate::resilience::{BreakerState, HealthTracker, RetryLedger};
-use crate::shard::{Migrant, ShardCtl};
+use crate::shard::{Migrant, ShardLink};
 use crate::staging::{stage_salt_base, StageOutcome, StageRequest, StagedFamily};
 use crate::tenancy::TenantCtx;
 use crate::validator::{encode_record, validate};
@@ -69,8 +69,10 @@ use xtract_types::{
     XtractError,
 };
 
-/// Outcome of one job.
-#[derive(Debug, Default)]
+/// Outcome of one job. Serde: a cross-process shard worker returns its
+/// report to the coordinator over the wire, and the CLI's coordinator
+/// entrypoint persists the merged report as JSON.
+#[derive(Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct JobReport {
     /// Files discovered by the crawl.
     pub crawled_files: u64,
@@ -212,6 +214,15 @@ pub(crate) struct RecoveryCtx {
     /// Replayed `FamilyMigrated` records, in journal order — restated
     /// by compaction snapshots so ownership survives segment pruning.
     pub(crate) migrations: Vec<RecoveryRecord>,
+    /// Root-WAL only: the last journaled lease epoch per shard
+    /// (`ShardEpoch` records). A restarted cross-process coordinator
+    /// replays these as the fencing floor each shard's next worker must
+    /// exceed before it is re-admitted.
+    pub(crate) shard_epochs: HashMap<u64, u64>,
+    /// Root-WAL only: the coordinator's last brokered placement per
+    /// family (`CustodyMoved` records) — the chain-walk hint for
+    /// hand-overs that crashed between out-record and in-record.
+    pub(crate) custody: HashMap<FamilyId, u64>,
 }
 
 /// The run's armed scheduled-crash entry, if any: entry `k` of
@@ -854,13 +865,11 @@ impl XtractService {
                 });
             };
             if let Some(plan) = &spec.fault_plan {
-                self.transfer.arm_fault_plan(plan.clone());
-                self.faas.arm_fault_plan(plan.clone());
+                self.arm_faults(plan);
             }
             let result = crate::shard::run_sharded(self, token, spec, dir, tenant);
             if spec.fault_plan.is_some() {
-                self.transfer.clear_faults();
-                self.faas.clear_faults();
+                self.clear_faults();
             }
             return result;
         }
@@ -872,15 +881,28 @@ impl XtractService {
         // Arm the job's structured fault plan on both substrates for the
         // duration of the run (and disarm afterwards, pass or fail).
         if let Some(plan) = &spec.fault_plan {
-            self.transfer.arm_fault_plan(plan.clone());
-            self.faas.arm_fault_plan(plan.clone());
+            self.arm_faults(plan);
         }
         let result = self.run_job_inner(token, spec, rec.as_ref(), tenant, None);
         if spec.fault_plan.is_some() {
-            self.transfer.clear_faults();
-            self.faas.clear_faults();
+            self.clear_faults();
         }
         result
+    }
+
+    /// Arms a structured fault plan on both substrates. Shard-worker
+    /// processes call this directly (via [`crate::transport::run_worker`]):
+    /// they enter the wave loop through [`Self::run_job_inner`], below
+    /// the [`Self::run_job_at`] dispatch that normally arms faults.
+    pub(crate) fn arm_faults(&self, plan: &FaultPlan) {
+        self.transfer.arm_fault_plan(plan.clone());
+        self.faas.arm_fault_plan(plan.clone());
+    }
+
+    /// Disarms any armed fault plan on both substrates.
+    pub(crate) fn clear_faults(&self) {
+        self.transfer.clear_faults();
+        self.faas.clear_faults();
     }
 
     /// Opens the recovery log at `dir` and replays it into a
@@ -932,6 +954,8 @@ impl XtractService {
             crash_points: Vec::new(),
             waves: 0,
             migrations: Vec::new(),
+            shard_epochs: HashMap::new(),
+            custody: HashMap::new(),
         };
         let effective = replay.effective();
         if effective.is_empty() {
@@ -1011,6 +1035,13 @@ impl XtractService {
                     }
                     ctx.migrations.push(r.clone());
                 }
+                RecoveryRecord::ShardEpoch { shard, epoch } => {
+                    let cur = ctx.shard_epochs.entry(*shard).or_insert(0);
+                    *cur = (*cur).max(*epoch);
+                }
+                RecoveryRecord::CustodyMoved { family, to, .. } => {
+                    ctx.custody.insert(*family, *to);
+                }
                 _ => {}
             }
         }
@@ -1027,7 +1058,7 @@ impl XtractService {
         spec: &JobSpec,
         rec: Option<&RecoveryCtx>,
         tenant: Option<&Arc<TenantCtx>>,
-        shard: Option<&ShardCtl>,
+        shard: Option<&dyn ShardLink>,
     ) -> Result<JobReport> {
         let job_started = Instant::now();
         let mut report = JobReport::default();
@@ -1454,7 +1485,9 @@ impl XtractService {
             let plan_s = plan_started.elapsed().as_secs_f64();
             let now_s = job_started.elapsed().as_secs_f64();
             report.phases.add(Phase::Plan, plan_s);
-            report.phase_spans.push((Phase::Plan, now_s - plan_s, now_s));
+            report
+                .phase_spans
+                .push((Phase::Plan, now_s - plan_s, now_s));
 
             // --- Stage 6: extraction waves, overlapped with staging. -------
             loop {
@@ -1481,23 +1514,22 @@ impl XtractService {
                 // out-record *before* handing over), then heartbeat. ----
                 if let Some(ctl) = shard {
                     let ctx = rec.expect("sharded runners always carry a recovery log");
-                    let migrants = ctl.drain();
+                    let migrants = ctl.drain()?;
                     if !migrants.is_empty() {
                         let in_records: Vec<RecoveryRecord> = migrants
                             .iter()
                             .map(|m| RecoveryRecord::FamilyMigrated {
                                 family: m.family.clone(),
                                 from: m.from,
-                                to: ctl.shard as u64,
+                                to: ctl.shard() as u64,
                                 adopted: true,
                                 steps: m.steps.clone(),
                                 charges: m.charges,
                             })
                             .collect();
                         ctx.log.append_batch(&in_records)?;
-                        let ids: Vec<FamilyId> =
-                            migrants.iter().map(|m| m.family.id).collect();
-                        ctl.ack(&ids);
+                        let ids: Vec<FamilyId> = migrants.iter().map(|m| m.family.id).collect();
+                        ctl.ack(&ids)?;
                         wal_migrations.extend(in_records);
                         for m in migrants {
                             // Carried charges are the family's total at
@@ -1572,9 +1604,7 @@ impl XtractService {
                                     None => {
                                         let reason = FailureReason::PrefetchFailed {
                                             endpoint: exec,
-                                            error: XtractError::NoComputeLayer {
-                                                endpoint: exec,
-                                            },
+                                            error: XtractError::NoComputeLayer { endpoint: exec },
                                         };
                                         health.lock().record_failure(exec);
                                         af.timeline.push(FailureEvent {
@@ -1592,7 +1622,7 @@ impl XtractService {
                     // Donation: at the wave boundary any pending,
                     // non-staging family can move with its completed
                     // steps. Out-records go durable before delivery.
-                    if let Some(req) = ctl.take_steal() {
+                    if let Some(req) = ctl.take_steal()? {
                         let mut eligible: Vec<usize> = active
                             .iter()
                             .enumerate()
@@ -1617,8 +1647,10 @@ impl XtractService {
                                 family.files = af.origin_files.clone();
                                 family.source = af.origin_source;
                                 family.base_path = None;
-                                let mut steps: Vec<MigratedStep> =
-                                    adopted_steps.get(&af.family.id).cloned().unwrap_or_default();
+                                let mut steps: Vec<MigratedStep> = adopted_steps
+                                    .get(&af.family.id)
+                                    .cloned()
+                                    .unwrap_or_default();
                                 for r in &wal_steps {
                                     if let RecoveryRecord::StepCompleted {
                                         family: fid,
@@ -1644,7 +1676,7 @@ impl XtractService {
                                     .max(wal_charges.get(&af.family.id).copied().unwrap_or(0));
                                 outs.push(RecoveryRecord::FamilyMigrated {
                                     family: family.clone(),
-                                    from: ctl.shard as u64,
+                                    from: ctl.shard() as u64,
                                     to: req.to as u64,
                                     adopted: false,
                                     steps: steps.clone(),
@@ -1654,24 +1686,22 @@ impl XtractService {
                                     family,
                                     steps,
                                     charges,
-                                    from: ctl.shard as u64,
+                                    from: ctl.shard() as u64,
                                 });
                             }
                             ctx.log.append_batch(&outs)?;
                             wal_migrations.extend(outs);
                             for (&i, m) in chosen.iter().zip(handoff) {
                                 active[i].migrated = true;
-                                ctl.deliver(req.to, m);
+                                ctl.deliver(req.to, m)?;
                             }
                         }
                     }
                     let pending = active
                         .iter()
-                        .filter(|af| {
-                            af.failed.is_none() && !af.migrated && !af.plan.is_done()
-                        })
+                        .filter(|af| af.failed.is_none() && !af.migrated && !af.plan.is_done())
                         .count() as u64;
-                    ctl.heartbeat(u64::from(report.waves), pending);
+                    ctl.heartbeat(u64::from(report.waves), pending)?;
                 }
 
                 // Graceful degradation: a family whose endpoint's breaker
@@ -1875,7 +1905,7 @@ impl XtractService {
                         // it work (idle-pull), and the run only concludes
                         // once every shard is drained together.
                         match shard {
-                            Some(ctl) => match ctl.idle_wait() {
+                            Some(ctl) => match ctl.idle_wait()? {
                                 crate::shard::IdleVerdict::Adopt => continue,
                                 crate::shard::IdleVerdict::Finished => break,
                             },
@@ -2587,9 +2617,12 @@ impl XtractService {
             Ok(())
         })?;
         report.phases.add(Phase::Stage, stage_spans.covered());
-        report
-            .phase_spans
-            .extend(stage_spans.intervals().iter().map(|&(s, e)| (Phase::Stage, s, e)));
+        report.phase_spans.extend(
+            stage_spans
+                .intervals()
+                .iter()
+                .map(|&(s, e)| (Phase::Stage, s, e)),
+        );
         let ledger = ledger.into_inner();
 
         // --- Stage 6.5: clean staged copies once plans are done — every

@@ -34,11 +34,10 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
 use xtract_datafabric::Token;
 use xtract_obs::{Event, Phase, SpanUnion};
-use xtract_types::{
-    DeadLetter, Family, FamilyId, JobSpec, PartitionerKind, Result, XtractError,
-};
+use xtract_types::{DeadLetter, Family, FamilyId, JobSpec, PartitionerKind, Result, XtractError};
 
 use crate::recovery::{spec_fingerprint, LogDirLease, MigratedStep, RecoveryLog, RecoveryRecord};
 use crate::service::{JobReport, XtractService};
@@ -126,8 +125,10 @@ pub fn build_partitioner(kind: PartitionerKind) -> Box<dyn Partitioner> {
 // ---------------------------------------------------------------------------
 
 /// A family in flight between shards: the donor's planned view plus
-/// everything the recipient needs for exactly-once adoption.
-#[derive(Debug, Clone)]
+/// everything the recipient needs for exactly-once adoption. Serde so
+/// the cross-process transport ([`crate::transport`]) can carry it over
+/// the coordinator socket unchanged.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct Migrant {
     /// The family, as the donor had it planned (origin view).
     pub family: Family,
@@ -141,7 +142,7 @@ pub(crate) struct Migrant {
 
 /// A pending steal directive against a donor shard: at its next wave
 /// boundary it donates up to `max` eligible families to shard `to`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub(crate) struct StealRequest {
     pub to: usize,
     pub max: usize,
@@ -245,8 +246,18 @@ impl ShardCoordinator {
     }
 
     /// Records a shard's wave-top heartbeat and runs a steal scan.
-    fn heartbeat(&self, shard: usize, wave: u64, pending: u64) {
+    pub fn heartbeat(&self, shard: usize, wave: u64, pending: u64) {
         let mut inner = self.inner.lock();
+        // Terminal slots stay terminal: a cross-process zombie's ping
+        // can race its own death handling (a heartbeat-timeout false
+        // positive fences a still-live worker), and must not resurrect
+        // a slot the coordinator already adopted.
+        if matches!(
+            inner.slots[shard].status,
+            SlotStatus::Done | SlotStatus::Dead
+        ) {
+            return;
+        }
         let now = Instant::now();
         let sample = {
             let slot = &inner.slots[shard];
@@ -278,13 +289,13 @@ impl ShardCoordinator {
     }
 
     /// Takes and clears the shard's pending steal directive.
-    fn take_steal(&self, shard: usize) -> Option<StealRequest> {
+    pub fn take_steal(&self, shard: usize) -> Option<StealRequest> {
         self.inner.lock().slots[shard].steal.take()
     }
 
     /// Drains the shard's inbox. Drained migrants stay in custody until
     /// [`Self::ack`] confirms their in-records are durable.
-    fn drain(&self, shard: usize) -> Vec<Migrant> {
+    pub fn drain(&self, shard: usize) -> Vec<Migrant> {
         let mut inner = self.inner.lock();
         let slot = &mut inner.slots[shard];
         let items = std::mem::take(&mut slot.inbox);
@@ -293,7 +304,7 @@ impl ShardCoordinator {
     }
 
     /// Confirms the shard journaled in-records for these families.
-    fn ack(&self, shard: usize, families: &[FamilyId]) {
+    pub fn ack(&self, shard: usize, families: &[FamilyId]) {
         let mut inner = self.inner.lock();
         let slot = &mut inner.slots[shard];
         slot.unacked.retain(|m| !families.contains(&m.family.id));
@@ -304,7 +315,7 @@ impl ShardCoordinator {
     /// True when any slot holds the family — delivered, in unacked
     /// custody, or acknowledged. Used when auditing a dead donor's
     /// out-records for hand-overs that vanished in flight.
-    fn knows_any(&self, family: FamilyId) -> bool {
+    pub fn knows_any(&self, family: FamilyId) -> bool {
         let inner = self.inner.lock();
         inner.slots.iter().any(|s| {
             s.adopted.contains(&family)
@@ -401,7 +412,7 @@ impl ShardCoordinator {
     /// run is drained. Runs a steal scan on every wake-up so idle-pull
     /// stealing fires even while every runner is blocked here or deep
     /// in a slow wave.
-    fn idle_wait(&self, shard: usize) -> IdleVerdict {
+    pub fn idle_wait(&self, shard: usize) -> IdleVerdict {
         let mut inner = self.inner.lock();
         {
             let slot = &mut inner.slots[shard];
@@ -413,7 +424,11 @@ impl ShardCoordinator {
         self.cv.notify_all();
         loop {
             if !inner.slots[shard].inbox.is_empty() {
+                // Re-arm the heartbeat deadline on the idle → running
+                // transition: the shard was exempt from the timeout
+                // while parked, and the next beat is a full wave away.
                 inner.slots[shard].status = SlotStatus::Running;
+                inner.slots[shard].last_beat = Instant::now();
                 return IdleVerdict::Adopt;
             }
             if self.finished_locked(&inner) {
@@ -506,6 +521,56 @@ impl ShardCoordinator {
         }
     }
 
+    /// Blocks until a *running* shard's heartbeat goes silent for longer
+    /// than `budget`, returning the expired slots — or returns empty
+    /// once every slot is terminal (done or dead). Slots listed in
+    /// `muted` are skipped: the caller has already been told about them
+    /// and is mid-recovery (they stay `Running` until their orphans are
+    /// placed, so idle siblings cannot conclude the run finished under
+    /// them).
+    ///
+    /// Condvar-driven, not a polling grid: a beat re-arms the deadline
+    /// and wakes the wait, a status change re-evaluates immediately, and
+    /// the sleep never overshoots the nearest live deadline — so a
+    /// silent death is detected within one heartbeat budget of the last
+    /// beat (plus scheduler noise). Idle slots are exempt: a parked
+    /// shard's handler is blocked in [`Self::idle_wait`] and cannot
+    /// beat; a dead idle *process* surfaces as its connection's EOF
+    /// instead.
+    pub fn await_timeout(&self, budget: Duration, muted: &[usize]) -> Vec<usize> {
+        let mut inner = self.inner.lock();
+        loop {
+            if inner.slots.iter().all(|s| !s.is_live()) {
+                return Vec::new();
+            }
+            let now = Instant::now();
+            let expired: Vec<usize> = inner
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(k, s)| {
+                    s.status == SlotStatus::Running
+                        && !muted.contains(k)
+                        && now.duration_since(s.last_beat) > budget
+                })
+                .map(|(k, _)| k)
+                .collect();
+            if !expired.is_empty() {
+                return expired;
+            }
+            let nearest = inner
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(k, s)| s.status == SlotStatus::Running && !muted.contains(k))
+                .map(|(_, s)| (s.last_beat + budget).saturating_duration_since(now))
+                .min()
+                .unwrap_or(budget);
+            self.cv
+                .wait_for(&mut inner, nearest.max(Duration::from_millis(1)));
+        }
+    }
+
     #[cfg(test)]
     fn steal_of(&self, shard: usize) -> Option<StealRequest> {
         self.inner.lock().slots[shard].steal
@@ -546,6 +611,64 @@ impl ShardCtl {
 
     pub fn idle_wait(&self) -> IdleVerdict {
         self.coord.idle_wait(self.shard)
+    }
+}
+
+/// The wave loop's view of its shard coordinator, abstracted over
+/// locality. [`ShardCtl`] calls straight into the shared in-process
+/// [`ShardCoordinator`] and never fails; a
+/// [`crate::transport::ShardClient`] speaks the same seven verbs over
+/// the coordinator's Unix socket, where a severed connection or a
+/// fencing refusal surfaces as an error — the wave loop propagates it
+/// and the worker exits, leaving its WAL for adoption.
+pub(crate) trait ShardLink: Sync {
+    /// This link's shard index.
+    fn shard(&self) -> usize;
+    /// Wave-top heartbeat: wave number and non-terminal family count.
+    fn heartbeat(&self, wave: u64, pending: u64) -> Result<()>;
+    /// Drains delivered migrants (they stay in coordinator custody
+    /// until [`Self::ack`]).
+    fn drain(&self) -> Result<Vec<Migrant>>;
+    /// Confirms in-records for these adopted families are durable.
+    fn ack(&self, families: &[FamilyId]) -> Result<()>;
+    /// Takes this shard's pending steal directive, if any.
+    fn take_steal(&self) -> Result<Option<StealRequest>>;
+    /// Hands a migrant to shard `to` (out-record already durable).
+    fn deliver(&self, to: usize, migrant: Migrant) -> Result<()>;
+    /// Parks until migrants arrive or the whole run is drained.
+    fn idle_wait(&self) -> Result<IdleVerdict>;
+}
+
+impl ShardLink for ShardCtl {
+    fn shard(&self) -> usize {
+        self.shard
+    }
+
+    fn heartbeat(&self, wave: u64, pending: u64) -> Result<()> {
+        ShardCtl::heartbeat(self, wave, pending);
+        Ok(())
+    }
+
+    fn drain(&self) -> Result<Vec<Migrant>> {
+        Ok(ShardCtl::drain(self))
+    }
+
+    fn ack(&self, families: &[FamilyId]) -> Result<()> {
+        ShardCtl::ack(self, families);
+        Ok(())
+    }
+
+    fn take_steal(&self) -> Result<Option<StealRequest>> {
+        Ok(ShardCtl::take_steal(self))
+    }
+
+    fn deliver(&self, to: usize, migrant: Migrant) -> Result<()> {
+        ShardCtl::deliver(self, to, migrant);
+        Ok(())
+    }
+
+    fn idle_wait(&self) -> Result<IdleVerdict> {
+        Ok(ShardCtl::idle_wait(self))
     }
 }
 
@@ -631,22 +754,27 @@ fn fold_wal(records: &[RecoveryRecord]) -> WalState {
 // The sharded run
 // ---------------------------------------------------------------------------
 
-/// Runs `spec` across `spec.shard.shards` wave loops. See the module
-/// docs for the protocol; the entry point is
-/// [`XtractService::run_job`] with a [`xtract_types::ShardPolicy`]
-/// enabled and a recovery-log dir supplied.
-pub(crate) fn run_sharded(
+/// Everything the root WAL pins before any shard fans out: the open
+/// root log, a report seeded with crawl totals and the crawl phase
+/// span, and the full family plan (journaled, so family identity
+/// survives resumes).
+pub(crate) struct RootPlan {
+    pub root: crate::service::RecoveryCtx,
+    pub report: JobReport,
+    pub plan: Vec<Family>,
+}
+
+/// Opens (or replays) the root WAL and produces the family plan: a
+/// fresh run crawls and journals `CrawlCompleted` plus the plan before
+/// returning; a resumed run replays the journaled plan and skips the
+/// crawl. Shared by the in-process fan-out ([`run_sharded`]) and the
+/// cross-process coordinator ([`crate::transport::run_proc_sharded`]).
+pub(crate) fn prepare_root(
     service: &XtractService,
-    token: Token,
     spec: &JobSpec,
     dir: &Path,
-    tenant: Option<&Arc<TenantCtx>>,
-) -> Result<JobReport> {
-    let started = Instant::now();
-    let shards = spec.shard.shards;
-    let fingerprint = spec_fingerprint(spec);
-
-    // Root WAL: crawl + plan, durable before any shard fans out.
+    started: Instant,
+) -> Result<RootPlan> {
     let mut report = JobReport::default();
     let root = service.open_recovery(spec, dir, Some("root"))?;
     let t_crawl0 = started.elapsed().as_secs_f64();
@@ -679,13 +807,215 @@ pub(crate) fn run_sharded(
     report.resumed = root.resumed;
     report.replayed_records = root.replayed;
     report.truncated_records = root.truncated;
+    Ok(RootPlan { root, report, plan })
+}
 
+/// A shard's copy of the job spec: the shared fault plan sliced to the
+/// shard's own kill schedule (its scheduled [`xtract_types::ShardCrash`]
+/// entries become that runner's orchestrator crashes; sibling schedules
+/// are dropped). The fingerprint is unaffected — fault plans are
+/// excluded from [`spec_fingerprint`] — so a sub-spec replays cleanly
+/// against a WAL the coordinator seeded from the parent spec.
+pub(crate) fn sub_spec_for(spec: &JobSpec, k: usize) -> JobSpec {
+    let mut sub = spec.clone();
+    if let Some(plan) = &spec.fault_plan {
+        let mut p = plan.clone();
+        p.orchestrator_crashes = plan.crashes_for_shard(k);
+        p.shard_crashes = Vec::new();
+        sub.fault_plan = Some(p);
+    }
+    sub
+}
+
+/// Per-shard WAL layout for one sharded run: the WAL subdirectories
+/// (`dir/shard-{k}`) and each shard's owned subset of the plan after
+/// ownership resolution.
+pub(crate) struct ShardLayout {
+    pub shard_dirs: Vec<PathBuf>,
+    pub subsets: Vec<Vec<Family>>,
+}
+
+/// Runs `spec` across `spec.shard.shards` wave loops. See the module
+/// docs for the protocol; the entry point is
+/// [`XtractService::run_job`] with a [`xtract_types::ShardPolicy`]
+/// enabled and a recovery-log dir supplied.
+pub(crate) fn run_sharded(
+    service: &XtractService,
+    token: Token,
+    spec: &JobSpec,
+    dir: &Path,
+    tenant: Option<&Arc<TenantCtx>>,
+) -> Result<JobReport> {
+    let started = Instant::now();
+    let shards = spec.shard.shards;
+
+    // Root WAL: crawl + plan, durable before any shard fans out.
+    let RootPlan {
+        root,
+        mut report,
+        plan,
+    } = prepare_root(service, spec, dir, started)?;
+    let ShardLayout {
+        shard_dirs,
+        subsets,
+    } = resolve_and_seed(service, spec, dir, &plan, None)?;
+
+    // Fan out: one runner per shard, each with its own lease, its own
+    // replayed RecoveryCtx, and its shard's slice of the kill schedule.
+    let coordinator = Arc::new(ShardCoordinator::new(
+        spec.shard,
+        service.obs.clone(),
+        shards,
+    ));
+    let sub_specs: Vec<JobSpec> = (0..shards).map(|k| sub_spec_for(spec, k)).collect();
+
+    type ShardOutcome = (
+        usize,
+        f64,
+        std::result::Result<(JobReport, LogDirLease), XtractError>,
+    );
+    let mut shard_reports: Vec<Option<(JobReport, f64)>> = (0..shards).map(|_| None).collect();
+    let mut orphan_letters: Vec<DeadLetter> = Vec::new();
+    let mut first_death: Option<(usize, String)> = None;
+    let mut stranded = false;
+
+    std::thread::scope(|scope| -> Result<()> {
+        let (tx, rx) = mpsc::channel::<ShardOutcome>();
+        for k in 0..shards {
+            let tx = tx.clone();
+            let ctl = ShardCtl::new(Arc::clone(&coordinator), k);
+            let sub_spec = &sub_specs[k];
+            let sd = &shard_dirs[k];
+            service.obs.journal.record(Event::ShardStarted {
+                shard: k as u64,
+                families: subsets[k].len() as u64,
+            });
+            service.obs.hub.counter("shard.started").add(1);
+            scope.spawn(move || {
+                let offset = started.elapsed().as_secs_f64();
+                let label = format!("shard-{k}");
+                let result = (|| {
+                    let lease = LogDirLease::acquire(sd)?;
+                    let ctx = service.open_recovery(sub_spec, sd, Some(&label))?;
+                    ctx.log.set_fence(&lease);
+                    let rep = service.run_job_inner(
+                        token,
+                        sub_spec,
+                        Some(&ctx),
+                        tenant,
+                        Some(&ctl as &dyn ShardLink),
+                    )?;
+                    Ok((rep, lease))
+                })();
+                let _ = tx.send((k, offset, result));
+            });
+        }
+        drop(tx);
+
+        for _ in 0..shards {
+            let (k, offset, result) = rx.recv().map_err(|_| XtractError::Internal {
+                reason: "shard runner exited without reporting".to_string(),
+            })?;
+            match result {
+                Ok((rep, lease)) => {
+                    coordinator.mark_done(k);
+                    // A delivery can race a shard's finish: the runner
+                    // exited its wave loop and will never drain it.
+                    // Redistribute from parent custody.
+                    let leftovers = coordinator.take_custody(k);
+                    if !leftovers.is_empty() {
+                        stranded |= redistribute(
+                            &coordinator,
+                            service,
+                            spec,
+                            &shard_dirs[k],
+                            k,
+                            leftovers,
+                            None,
+                        )?;
+                    }
+                    shard_reports[k] = Some((rep, offset));
+                    drop(lease);
+                }
+                Err(e) => {
+                    let point = match &e {
+                        XtractError::OrchestratorKilled { point } => point.clone(),
+                        other => other.to_string(),
+                    };
+                    service.obs.journal.record(Event::ShardDied {
+                        shard: k as u64,
+                        point: point.clone(),
+                    });
+                    service.obs.hub.counter("shard.deaths").add(1);
+                    // The runner's lease lapsed with it; re-acquire the
+                    // shard's WAL (fencing any straggling writer) and
+                    // hand every orphan to a survivor. The slot stays
+                    // Running until the orphans are placed, so idle
+                    // siblings cannot conclude Finished while adoptions
+                    // are still in flight.
+                    let lease = LogDirLease::acquire(&shard_dirs[k])?;
+                    let start_owned: HashSet<FamilyId> = subsets[k].iter().map(|f| f.id).collect();
+                    stranded |= adopt_orphans(
+                        &coordinator,
+                        service,
+                        spec,
+                        &shard_dirs[k],
+                        k,
+                        &start_owned,
+                        &mut orphan_letters,
+                        Some(&lease),
+                        None,
+                    )?;
+                    if first_death.is_none() {
+                        first_death = Some((k, point));
+                    }
+                    coordinator.mark_dead(k);
+                }
+            }
+        }
+        Ok(())
+    })?;
+
+    if stranded {
+        // No survivor was live to adopt the orphans: surface the first
+        // death; every WAL survives for `resume_job`.
+        let (shard, point) = first_death.unwrap_or((0, "unknown".to_string()));
+        return Err(XtractError::ShardDied { shard, point });
+    }
+
+    merge_reports(
+        &mut report,
+        shard_reports,
+        orphan_letters,
+        &coordinator,
+        shards,
+    );
+    root.log.append(&RecoveryRecord::JobCompleted)?;
+    Ok(report)
+}
+
+/// Resolves family ownership across the shard WALs and seeds or repairs
+/// each shard's WAL so every family of `plan` is planned in exactly
+/// one. `custody_hint` — a restarted coordinator's replayed view of the
+/// moves it brokered (root-WAL `CustodyMoved` records) — seeds the
+/// chain walk for families no WAL holds; `None` starts the walk at the
+/// base assignment.
+pub(crate) fn resolve_and_seed(
+    service: &XtractService,
+    spec: &JobSpec,
+    dir: &Path,
+    plan: &[Family],
+    custody_hint: Option<&HashMap<FamilyId, u64>>,
+) -> Result<ShardLayout> {
+    let shards = spec.shard.shards;
+    let fingerprint = spec_fingerprint(spec);
     // Ownership resolution, presence first: the shard whose replayed
     // WAL currently holds the family (its seed `FamilyPlanned` or a
     // durable migration in-record, minus later out-records) owns it.
     // Only a family *no* replay holds — a hand-over crashed between
     // the donor's out-record and the recipient's in-record — falls
-    // back to walking the out-record chain from its base assignment.
+    // back to walking the out-record chain from its base assignment
+    // (or from the coordinator's custody hint, when one replayed).
     // The walk is consumption-ordered (each out-record moves the
     // family once), so even A→B→A round trips resolve.
     let ids: Vec<FamilyId> = plan.iter().map(|f| f.id).collect();
@@ -736,7 +1066,10 @@ pub(crate) fn run_sharded(
             owner[i] = k;
             continue;
         }
-        let mut cur = owner[i];
+        let mut cur = custody_hint
+            .and_then(|hint| hint.get(id))
+            .map(|&s| (s as usize).min(shards - 1))
+            .unwrap_or(owner[i]);
         while let Some(rec) = outs
             .get_mut(cur)
             .and_then(|m| m.get_mut(id))
@@ -794,132 +1127,24 @@ pub(crate) fn run_sharded(
             service.obs.hub.counter("shard.adopted").add(repaired);
         }
     }
+    Ok(ShardLayout {
+        shard_dirs,
+        subsets,
+    })
+}
 
-    // Fan out: one runner per shard, each with its own lease, its own
-    // replayed RecoveryCtx, and its shard's slice of the kill schedule.
-    let coordinator = Arc::new(ShardCoordinator::new(
-        spec.shard.clone(),
-        service.obs.clone(),
-        shards,
-    ));
-    let sub_specs: Vec<JobSpec> = (0..shards)
-        .map(|k| {
-            let mut sub = spec.clone();
-            if let Some(plan) = &spec.fault_plan {
-                let mut p = plan.clone();
-                p.orchestrator_crashes = plan.crashes_for_shard(k);
-                p.shard_crashes = Vec::new();
-                sub.fault_plan = Some(p);
-            }
-            sub
-        })
-        .collect();
-
-    type ShardOutcome = (usize, f64, std::result::Result<(JobReport, LogDirLease), XtractError>);
-    let mut shard_reports: Vec<Option<(JobReport, f64)>> = (0..shards).map(|_| None).collect();
-    let mut orphan_letters: Vec<DeadLetter> = Vec::new();
-    let mut first_death: Option<(usize, String)> = None;
-    let mut stranded = false;
-
-    std::thread::scope(|scope| -> Result<()> {
-        let (tx, rx) = mpsc::channel::<ShardOutcome>();
-        for k in 0..shards {
-            let tx = tx.clone();
-            let ctl = ShardCtl::new(Arc::clone(&coordinator), k);
-            let sub_spec = &sub_specs[k];
-            let sd = &shard_dirs[k];
-            service.obs.journal.record(Event::ShardStarted {
-                shard: k as u64,
-                families: subsets[k].len() as u64,
-            });
-            service.obs.hub.counter("shard.started").add(1);
-            scope.spawn(move || {
-                let offset = started.elapsed().as_secs_f64();
-                let label = format!("shard-{k}");
-                let result = (|| {
-                    let lease = LogDirLease::acquire(sd)?;
-                    let ctx = service.open_recovery(sub_spec, sd, Some(&label))?;
-                    let rep = service.run_job_inner(token, sub_spec, Some(&ctx), tenant, Some(&ctl))?;
-                    Ok((rep, lease))
-                })();
-                let _ = tx.send((k, offset, result));
-            });
-        }
-        drop(tx);
-
-        for _ in 0..shards {
-            let (k, offset, result) = rx.recv().map_err(|_| XtractError::Internal {
-                reason: "shard runner exited without reporting".to_string(),
-            })?;
-            match result {
-                Ok((rep, lease)) => {
-                    coordinator.mark_done(k);
-                    // A delivery can race a shard's finish: the runner
-                    // exited its wave loop and will never drain it.
-                    // Redistribute from parent custody.
-                    let leftovers = coordinator.take_custody(k);
-                    if !leftovers.is_empty() {
-                        stranded |= redistribute(
-                            &coordinator,
-                            service,
-                            spec,
-                            &shard_dirs[k],
-                            k,
-                            leftovers,
-                        )?;
-                    }
-                    shard_reports[k] = Some((rep, offset));
-                    drop(lease);
-                }
-                Err(e) => {
-                    let point = match &e {
-                        XtractError::OrchestratorKilled { point } => point.clone(),
-                        other => other.to_string(),
-                    };
-                    service.obs.journal.record(Event::ShardDied {
-                        shard: k as u64,
-                        point: point.clone(),
-                    });
-                    service.obs.hub.counter("shard.deaths").add(1);
-                    // The runner's lease lapsed with it; re-acquire the
-                    // shard's WAL and hand every orphan to a survivor.
-                    // The slot stays Running until the orphans are
-                    // placed, so idle siblings cannot conclude Finished
-                    // while adoptions are still in flight.
-                    let _lease = LogDirLease::acquire(&shard_dirs[k])?;
-                    let start_owned: HashSet<FamilyId> =
-                        subsets[k].iter().map(|f| f.id).collect();
-                    stranded |= adopt_orphans(
-                        &coordinator,
-                        service,
-                        spec,
-                        &shard_dirs[k],
-                        k,
-                        &start_owned,
-                        &mut orphan_letters,
-                    )?;
-                    if first_death.is_none() {
-                        first_death = Some((k, point));
-                    }
-                    coordinator.mark_dead(k);
-                }
-            }
-        }
-        Ok(())
-    })?;
-
-    if stranded {
-        // No survivor was live to adopt the orphans: surface the first
-        // death; every WAL survives for `resume_job`.
-        let (shard, point) = first_death.unwrap_or((0, "unknown".to_string()));
-        return Err(XtractError::ShardDied { shard, point });
-    }
-
-    // Merge: concatenate record/letter sets (exactly-once by
-    // construction: a family lives in exactly one shard's plan at any
-    // instant), sum the scalar tallies, and union the phase spans on
-    // the coordinator's clock so concurrent shard work is not
-    // double-counted against the wall.
+/// Merges the shard reports into the root report: concatenated
+/// record/letter sets (exactly-once by construction: a family lives in
+/// exactly one shard's plan at any instant), summed scalar tallies, and
+/// phase spans unioned on the coordinator's clock so concurrent shard
+/// work is not double-counted against the wall.
+pub(crate) fn merge_reports(
+    report: &mut JobReport,
+    shard_reports: Vec<Option<(JobReport, f64)>>,
+    orphan_letters: Vec<DeadLetter>,
+    coordinator: &ShardCoordinator,
+    shards: usize,
+) {
     let mut spans: Vec<(Phase, f64, f64)> = report.phase_spans.clone();
     for (rep, offset) in shard_reports.into_iter().flatten() {
         report.records.extend(rep.records);
@@ -951,15 +1176,21 @@ pub(crate) fn run_sharded(
     report.shards = shards as u64;
     report.stolen_families = coordinator.stolen();
     report.shard_deaths = coordinator.deaths();
-    root.log.append(&RecoveryRecord::JobCompleted)?;
-    Ok(report)
 }
 
 /// Replays a dead shard's WAL and migrates every non-terminal family
 /// to a surviving shard; terminal dead letters are collected into the
 /// merged report directly (the dead runner never returned one). Returns
 /// true when orphans were stranded because no survivor was live.
-fn adopt_orphans(
+///
+/// `fence` is the adopter's freshly-bumped lease over the dead shard's
+/// WAL: the out-records written here carry its fencing token, so a
+/// zombie writer that raced the adoption cannot interleave. When
+/// `root_moves` is supplied (the cross-process coordinator), one
+/// [`RecoveryRecord::CustodyMoved`] per migration is pushed for the
+/// caller to journal to the root WAL.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn adopt_orphans(
     coordinator: &ShardCoordinator,
     service: &XtractService,
     spec: &JobSpec,
@@ -967,8 +1198,13 @@ fn adopt_orphans(
     from: usize,
     start_owned: &HashSet<FamilyId>,
     orphan_letters: &mut Vec<DeadLetter>,
+    fence: Option<&LogDirLease>,
+    root_moves: Option<&mut Vec<RecoveryRecord>>,
 ) -> Result<bool> {
     let (log, replay) = RecoveryLog::open(sd, spec.recovery)?;
+    if let Some(lease) = fence {
+        log.set_fence(lease);
+    }
     let st = fold_wal(replay.effective());
     let planned_ids: HashSet<FamilyId> = st.planned.iter().map(|f| f.id).collect();
     let mut stranded = false;
@@ -1068,6 +1304,20 @@ fn adopt_orphans(
     if !out_records.is_empty() {
         log.append_batch(&out_records)?;
     }
+    if let Some(moves) = root_moves {
+        for r in &out_records {
+            if let RecoveryRecord::FamilyMigrated {
+                family, from, to, ..
+            } = r
+            {
+                moves.push(RecoveryRecord::CustodyMoved {
+                    family: family.id,
+                    from: *from,
+                    to: *to,
+                });
+            }
+        }
+    }
     for (to, m) in migrants {
         coordinator.deliver(to, m);
     }
@@ -1082,16 +1332,21 @@ fn adopt_orphans(
 }
 
 /// Re-routes custody leftovers of a shard that can no longer drain
-/// them, journaling the chain hop through that shard's WAL.
-fn redistribute(
+/// them, journaling the chain hop through that shard's WAL (under the
+/// caller's fence, when one is held).
+pub(crate) fn redistribute(
     coordinator: &ShardCoordinator,
     service: &XtractService,
     spec: &JobSpec,
     sd: &Path,
     from: usize,
     items: Vec<Migrant>,
+    fence: Option<&LogDirLease>,
 ) -> Result<bool> {
     let (log, _) = RecoveryLog::open(sd, spec.recovery)?;
+    if let Some(lease) = fence {
+        log.set_fence(lease);
+    }
     let mut stranded = false;
     for m in items {
         let Some(to) = coordinator.least_loaded_live(None) else {
@@ -1313,6 +1568,60 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), IdleVerdict::Finished);
         }
+    }
+
+    /// Satellite regression: death detection is condvar-driven, not a
+    /// fixed-interval poll — a shard that stops beating is reported
+    /// within one heartbeat budget (plus scheduler slack), and the
+    /// monitor returns immediately once every slot is terminal.
+    #[test]
+    fn heartbeat_timeout_detects_a_silent_shard_within_one_budget() {
+        let c = test_coordinator(2, xtract_types::ShardPolicy::sharded(2));
+        c.heartbeat(0, 1, 3);
+        c.mark_done(1);
+        let budget = Duration::from_millis(100);
+        let t0 = Instant::now();
+        let expired = c.await_timeout(budget, &[]);
+        let waited = t0.elapsed();
+        assert_eq!(expired, vec![0]);
+        // One budget from the last beat, with generous CI slack — the
+        // old 20ms polling grid would still pass this, but a regression
+        // to sleep-per-interval scanning (or a lost wakeup) would not.
+        assert!(
+            waited >= Duration::from_millis(50),
+            "woke early: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_millis(1500),
+            "detection took {waited:?}, bound is one ~100ms budget + slack"
+        );
+        // A muted (already-reported) slot is not re-reported; marking
+        // it dead ends the watch immediately.
+        let c2 = Arc::clone(&c);
+        let monitor = std::thread::spawn(move || c2.await_timeout(budget, &[0]));
+        std::thread::sleep(Duration::from_millis(20));
+        c.mark_dead(0);
+        assert!(monitor.join().unwrap().is_empty());
+    }
+
+    /// A fresh beat re-arms the deadline: a shard beating faster than
+    /// the budget is never reported expired.
+    #[test]
+    fn steady_heartbeats_hold_off_the_timeout() {
+        let c = test_coordinator(1, xtract_types::ShardPolicy::sharded(2));
+        let beater = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for wave in 1..=20u64 {
+                    c.heartbeat(0, wave, 1);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                c.mark_done(0);
+            })
+        };
+        let expired = c.await_timeout(Duration::from_millis(500), &[]);
+        beater.join().unwrap();
+        assert!(expired.is_empty(), "live shard reported dead: {expired:?}");
     }
 
     #[test]

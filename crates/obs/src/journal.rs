@@ -356,6 +356,33 @@ pub enum Event {
         /// Orphaned families handed to new owners.
         families: u64,
     },
+    /// A cross-process shard worker completed its Hello handshake and
+    /// was admitted under a fencing epoch.
+    WorkerAdmitted {
+        /// The shard the worker serves.
+        shard: u64,
+        /// The worker's OS process id.
+        pid: u64,
+        /// The lease epoch its WAL writes are fenced to.
+        epoch: u64,
+    },
+    /// A cross-process shard worker was declared lost — its socket hit
+    /// EOF, or its heartbeat aged past the timeout while running.
+    WorkerLost {
+        /// The lost shard.
+        shard: u64,
+        /// Why the coordinator gave up on it.
+        reason: String,
+    },
+    /// A shard WAL's lease epoch was forcibly bumped (zombie fencing):
+    /// any writer still holding the old epoch is rejected on its next
+    /// group commit.
+    ShardFenced {
+        /// The fenced shard.
+        shard: u64,
+        /// The new lease epoch.
+        epoch: u64,
+    },
 }
 
 /// One journal entry: a monotonic sequence number plus the event. The
@@ -661,8 +688,18 @@ mod tests {
             shard: 1,
             families: 8,
         });
+        j.record(Event::WorkerAdmitted {
+            shard: 2,
+            pid: 4242,
+            epoch: 3,
+        });
+        j.record(Event::WorkerLost {
+            shard: 2,
+            reason: "heartbeat timeout".into(),
+        });
+        j.record(Event::ShardFenced { shard: 2, epoch: 4 });
         let dump = j.to_jsonl();
-        assert_eq!(dump.lines().count(), 39);
+        assert_eq!(dump.lines().count(), 42);
         let parsed = EventJournal::parse_jsonl(&dump).unwrap();
         assert_eq!(parsed, j.events());
         // The tag is snake_case and self-describing.
@@ -690,6 +727,9 @@ mod tests {
         assert!(dump.contains("\"type\":\"family_migrated\""));
         assert!(dump.contains("\"type\":\"shard_died\""));
         assert!(dump.contains("\"type\":\"shard_adopted\""));
+        assert!(dump.contains("\"type\":\"worker_admitted\""));
+        assert!(dump.contains("\"type\":\"worker_lost\""));
+        assert!(dump.contains("\"type\":\"shard_fenced\""));
     }
 
     #[test]

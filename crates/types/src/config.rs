@@ -614,6 +614,16 @@ pub struct ShardPolicy {
     /// non-staging) families before a steal takes any; the steal moves
     /// half of what is eligible.
     pub steal_min_pending: u64,
+    /// Cross-process mode: interval (ms) between a shard worker's
+    /// background heartbeat pings to the coordinator. In-process runs
+    /// heartbeat at wave boundaries and ignore this.
+    pub heartbeat_ms: u64,
+    /// Cross-process mode: a *running* worker whose last heartbeat is
+    /// older than this (ms) is declared dead and its WAL is fenced and
+    /// adopted. Must exceed `heartbeat_ms` with margin; idle workers
+    /// are exempt (they park in a blocking `idle_wait` RPC and their
+    /// death is caught by socket EOF instead).
+    pub heartbeat_timeout_ms: u64,
 }
 
 impl Default for ShardPolicy {
@@ -626,6 +636,8 @@ impl Default for ShardPolicy {
             lag_multiplier: 3.0,
             min_lag_samples: 8,
             steal_min_pending: 2,
+            heartbeat_ms: 25,
+            heartbeat_timeout_ms: 2_000,
         }
     }
 }
@@ -654,16 +666,25 @@ impl ShardPolicy {
             return Err(format!("shard count {} exceeds 256", self.shards));
         }
         if !(self.lag_quantile > 0.0 && self.lag_quantile < 1.0) {
-            return Err(format!(
-                "lag_quantile {} outside (0, 1)",
-                self.lag_quantile
-            ));
+            return Err(format!("lag_quantile {} outside (0, 1)", self.lag_quantile));
         }
         if !(self.lag_multiplier >= 1.0 && self.lag_multiplier.is_finite()) {
-            return Err(format!("lag_multiplier {} must be >= 1", self.lag_multiplier));
+            return Err(format!(
+                "lag_multiplier {} must be >= 1",
+                self.lag_multiplier
+            ));
         }
         if self.steal_min_pending == 0 {
             return Err("steal_min_pending must be > 0".into());
+        }
+        if self.heartbeat_ms == 0 {
+            return Err("heartbeat_ms must be > 0".into());
+        }
+        if self.heartbeat_timeout_ms <= self.heartbeat_ms {
+            return Err(format!(
+                "heartbeat_timeout_ms {} must exceed heartbeat_ms {}",
+                self.heartbeat_timeout_ms, self.heartbeat_ms
+            ));
         }
         Ok(())
     }

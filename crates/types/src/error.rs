@@ -88,6 +88,20 @@ pub enum XtractError {
     /// Another in-flight job already owns this recovery-log directory; a
     /// second writer would interleave WAL segments and corrupt both.
     RecoveryLogBusy { dir: String },
+    /// A fenced WAL write was rejected: the writer's lease epoch (`held`)
+    /// is no longer the lease file's epoch (`current`) — a sibling fenced
+    /// this directory and adopted it. The zombie writer must stop; not a
+    /// byte of its rejected batch reached the log.
+    LeaseFenced {
+        dir: String,
+        held: u64,
+        current: u64,
+    },
+    /// The shard-worker wire transport failed: the coordinator socket
+    /// closed, a frame failed its CRC, or the peer answered out of
+    /// protocol. The worker treats this as fatal (its coordinator is
+    /// gone or confused) and exits; the WAL survives for resume.
+    TransportFailed { reason: String },
     /// An orchestrator invariant broke; surfaced as a record, never a
     /// panic.
     Internal { reason: String },
@@ -163,6 +177,13 @@ impl std::fmt::Display for XtractError {
             }
             XtractError::RecoveryLogBusy { dir } => {
                 write!(f, "recovery log {dir:?} is owned by another in-flight job")
+            }
+            XtractError::LeaseFenced { dir, held, current } => write!(
+                f,
+                "write to {dir:?} fenced: lease epoch {held} was superseded by {current}"
+            ),
+            XtractError::TransportFailed { reason } => {
+                write!(f, "shard transport failed: {reason}")
             }
             XtractError::Internal { reason } => write!(f, "internal error: {reason}"),
         }

@@ -50,6 +50,16 @@
 //!     multi-tenant job-service demo: two tenants of different weights
 //!     (and one with a tight invocation quota) share one worker pool;
 //!     prints the per-tenant service counters and quota ledgers
+//!
+//! xtract-cli shard-coordinator <dir> --log DIR [--shards N] [--workers N]
+//!     cross-process sharded extract: the coordinator crawls, seeds one
+//!     WAL per shard, spawns one shard-worker *process* per shard, and
+//!     brokers work stealing + death recovery over <log>/coord.sock;
+//!     kill -9 a worker (or the coordinator itself — re-invoke with the
+//!     same arguments) and the run still converges
+//!
+//! xtract-cli shard-worker --root DIR --shard K
+//!     one shard worker process (internal; spawned by shard-coordinator)
 //! ```
 
 use std::io::Write;
@@ -80,7 +90,13 @@ fn usage() -> ! {
          \n  report <dir> [--workers N]                   extract, print JSON phase timings + metrics\
          \n  events <dir> [--workers N]                   extract, dump the event journal as JSONL\
          \n  demo                                         synthetic end-to-end demo\
-         \n  tenants [jobs-per-tenant]                    multi-tenant fair-share service demo"
+         \n  tenants [jobs-per-tenant]                    multi-tenant fair-share service demo\
+         \n  shard-coordinator <dir> --log DIR [--shards N] [--workers N]\
+         \n                                               cross-process sharded extract: spawns one\
+         \n                                               shard-worker process per shard, survives\
+         \n                                               worker (and its own) kill -9 + re-invoke\
+         \n  shard-worker --root DIR --shard K            one shard worker process (internal;\
+         \n                                               spawned by shard-coordinator)"
     );
     std::process::exit(2);
 }
@@ -231,8 +247,14 @@ fn run_extract_cmd(args: &[String], cmd: &str, resume: bool) -> Result<(), Strin
         return Err("--shards needs --log DIR (shard WALs live under it)".into());
     }
     let backend = LocalFs::new(EndpointId::new(0), dir).map_err(|e| e.to_string())?;
-    let (report, _service) =
-        run_extract(Arc::new(backend), workers, log.as_deref(), resume, false, shards)?;
+    let (report, _service) = run_extract(
+        Arc::new(backend),
+        workers,
+        log.as_deref(),
+        resume,
+        false,
+        shards,
+    )?;
     let records = report.records;
 
     if let Some(out_path) = flag_value(args, "--jsonl") {
@@ -530,6 +552,69 @@ fn cmd_demo() -> Result<(), String> {
 
 /// `tenants`: two tenants of different weights (plus a quota-pinched
 /// third) share one `JobService` worker pool over a synthetic repository.
+/// `shard-coordinator <dir> --log DIR [--shards N] [--workers N]`: the
+/// cross-process counterpart of `extract --shards`. The coordinator
+/// crawls `<dir>`, seeds one WAL per shard under the log directory,
+/// then spawns one `shard-worker` *process* per shard (this same
+/// binary, re-invoked) and brokers work stealing and death recovery
+/// over `<log>/coord.sock`. Kill it mid-run and re-invoke with the
+/// same arguments: it fences any zombie workers, replays its custody
+/// journal, and finishes the job. The merged report lands at
+/// `<log>/report.json`.
+fn cmd_shard_coordinator(args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .filter(|d| !d.starts_with("--"))
+        .ok_or("shard-coordinator needs a data directory")?;
+    let log = flag_value(args, "--log").ok_or("shard-coordinator needs --log DIR")?;
+    let shards: usize = flag_value(args, "--shards")
+        .map(|v| v.parse().map_err(|_| "--shards must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+    let workers: usize = flag_value(args, "--workers")
+        .map(|v| v.parse().map_err(|_| "--workers must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let log = std::path::PathBuf::from(log);
+    std::fs::create_dir_all(&log).map_err(|e| e.to_string())?;
+    let world = xtract_core::WorldSpec::standard(dir, workers, shards);
+    let (service, token) = xtract_core::build_world_service(&world).map_err(|e| e.to_string())?;
+    let cmd = xtract_core::WorkerCmd::current_exe(vec!["shard-worker".into()])
+        .map_err(|e| e.to_string())?;
+    let report = xtract_core::run_proc_sharded(&service, token, &world, &log, &cmd)
+        .map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(log.join("report.json"), json).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} records ({} failures) across {} shard processes \
+         ({} stolen, {} deaths); report at {}",
+        report.records.len(),
+        report.failures.len(),
+        report.shards,
+        report.stolen_families,
+        report.shard_deaths,
+        log.join("report.json").display()
+    );
+    Ok(())
+}
+
+/// `shard-worker --root DIR --shard K`: one cross-process shard worker.
+/// Spawned by `shard-coordinator`; not meant for interactive use. Reads
+/// the world from `<root>/proc-job.json`, claims `<root>/shard-K` under
+/// a fencing lease, and runs that shard's wave loop against the
+/// coordinator socket.
+fn cmd_shard_worker(args: &[String]) -> Result<(), String> {
+    let root = flag_value(args, "--root").ok_or("shard-worker needs --root DIR")?;
+    let shard: usize = flag_value(args, "--shard")
+        .ok_or("shard-worker needs --shard K")?
+        .parse()
+        .map_err(|_| "--shard must be a number")?;
+    xtract_core::run_worker(std::path::Path::new(&root), shard).map_err(|e| e.to_string())
+}
+
 fn cmd_tenants(args: &[String]) -> Result<(), String> {
     use xtract_core::{JobService, JobStatus};
     use xtract_types::{QuotaResource, ServicePolicy, TenantQuota, TenantSpec};
@@ -668,6 +753,8 @@ fn main() {
         "events" => cmd_events(rest),
         "demo" => cmd_demo(),
         "tenants" => cmd_tenants(rest),
+        "shard-coordinator" => cmd_shard_coordinator(rest),
+        "shard-worker" => cmd_shard_worker(rest),
         _ => usage(),
     };
     if let Err(e) = outcome {

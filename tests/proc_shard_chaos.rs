@@ -1,0 +1,343 @@
+//! Cross-process shard chaos: the `transport` module's kill-9
+//! differential. Scenario A runs the coordinator in-process with real
+//! worker *processes* (`xtract-cli shard-worker` via `CARGO_BIN_EXE`)
+//! and SIGKILLs every worker mid-wave — `die_hard` is a real `kill -9`,
+//! no destructors, the lease left claiming a dead pid — then resumes
+//! until the run converges byte-identically to the unsharded baseline.
+//! Scenario B spawns the whole `shard-coordinator` CLI as a child,
+//! SIGKILLs *it* mid-run (stranding live zombie workers holding shard
+//! leases), restarts the same command, and checks the restarted
+//! coordinator replays its custody journal, fences the zombies'
+//! epochs, and still converges to the baseline.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+use xtract_core::{
+    build_world_service, run_proc_sharded, RecoveryLog, RecoveryRecord, Replay, WorkerCmd,
+    WorldSpec,
+};
+use xtract_types::{CrashPoint, FamilyId, FaultPlan, ShardCrash, XtractError};
+
+fn chaos_seed(default: u64) -> u64 {
+    std::env::var("XTRACT_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xtract-proc-chaos-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A real on-disk corpus: `dirs` directories, each holding one CSV-ish
+/// text file whose keyword pass discovers tabular content — every
+/// family runs a multi-wave plan, so mid-wave kills always land between
+/// journaled progress and remaining work.
+fn write_corpus(tag: &str, dirs: usize) -> PathBuf {
+    let data = tempdir(tag);
+    for i in 0..dirs {
+        let d = data.join(format!("d{i}"));
+        std::fs::create_dir_all(&d).unwrap();
+        let mut s = String::from("voltage,current,temp\n");
+        for row in 0..24 {
+            s.push_str(&format!("1.{row},0.{row},2{i}{row}\n"));
+        }
+        std::fs::write(d.join("notes.txt"), s).unwrap();
+    }
+    data
+}
+
+/// Canonical content key for a record document: both sides (in-process
+/// structs and `report.json` round-trips) pass through `Value`, so key
+/// ordering cannot differ.
+fn doc_keys_json(records: &serde_json::Value) -> Vec<String> {
+    let mut keys: Vec<String> = records
+        .as_array()
+        .expect("records is an array")
+        .iter()
+        .map(|r| serde_json::to_string(&r["document"]).unwrap())
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn doc_keys(records: &[xtract_types::MetadataRecord]) -> Vec<String> {
+    let v = serde_json::to_value(records).unwrap();
+    doc_keys_json(&v)
+}
+
+/// Dead-letter keys, family id (allocator-dependent) stripped.
+fn letter_keys_json(letters: &serde_json::Value) -> Vec<String> {
+    let mut keys: Vec<String> = letters
+        .as_array()
+        .expect("failures is an array")
+        .iter()
+        .map(|l| {
+            let mut v = l.clone();
+            v.as_object_mut().unwrap().remove("family");
+            serde_json::to_string(&v).unwrap()
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Every `StepCompleted` across the replays, keyed by the family's
+/// sorted file paths + extractor, asserted globally unique — a
+/// duplicate means two processes both ran (and journaled) an extractor
+/// invocation some WAL already held.
+fn journaled_steps(replays: &[&Replay]) -> Vec<(Vec<String>, &'static str)> {
+    let mut fam_files: HashMap<FamilyId, Vec<String>> = HashMap::new();
+    for replay in replays {
+        for r in replay.effective() {
+            let family = match r {
+                RecoveryRecord::FamilyPlanned { family } => family,
+                RecoveryRecord::FamilyMigrated { family, .. } => family,
+                _ => continue,
+            };
+            let mut files: Vec<String> = family.files.iter().map(|f| f.path.clone()).collect();
+            files.sort();
+            fam_files.insert(family.id, files);
+        }
+    }
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for replay in replays {
+        for r in replay.effective() {
+            if let RecoveryRecord::StepCompleted { family, kind, .. } = r {
+                assert!(
+                    seen.insert((*family, *kind)),
+                    "duplicate (family, extractor) journaled across processes: {family} {kind}"
+                );
+                out.push((fam_files[family].clone(), kind.name()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn scan_shards(dir: &Path, shards: usize) -> Vec<Option<Replay>> {
+    (0..shards)
+        .map(|k| {
+            let sd = dir.join(format!("shard-{k}"));
+            sd.is_dir().then(|| RecoveryLog::scan(&sd).unwrap())
+        })
+        .collect()
+}
+
+/// Asserts the chaos run's journals against the unsharded baseline's:
+/// the union of steps across root + shard WALs equals the baseline's
+/// step set with zero duplicates, and every shard WAL holds a lease
+/// file whose epoch reflects at least one fencing preemption.
+fn assert_journals(base_dir: &Path, log_dir: &Path, shards: usize) {
+    let base_log = RecoveryLog::scan(base_dir).unwrap();
+    let root_log = RecoveryLog::scan(log_dir).unwrap();
+    assert!(base_log.completed() && root_log.completed());
+    let shard_logs: Vec<Replay> = scan_shards(log_dir, shards)
+        .into_iter()
+        .map(|s| s.expect("every shard dir exists after the run"))
+        .collect();
+    let mut all: Vec<&Replay> = vec![&root_log];
+    all.extend(shard_logs.iter());
+    assert_eq!(journaled_steps(&[&base_log]), journaled_steps(&all));
+    // The root WAL journals every fencing decision as a ShardEpoch
+    // floor; after any death the floor must have moved past 1.
+    let max_epoch: HashMap<u64, u64> = root_log
+        .effective()
+        .iter()
+        .filter_map(|r| match r {
+            RecoveryRecord::ShardEpoch { shard, epoch } => Some((*shard, *epoch)),
+            _ => None,
+        })
+        .fold(HashMap::new(), |mut m, (s, e)| {
+            let cur = m.entry(s).or_insert(0);
+            *cur = (*cur).max(e);
+            m
+        });
+    for k in 0..shards as u64 {
+        assert!(
+            max_epoch.get(&k).copied().unwrap_or(0) >= 1,
+            "shard {k} never journaled a fencing floor"
+        );
+    }
+}
+
+const BIN: &str = env!("CARGO_BIN_EXE_xtract-cli");
+
+/// Scenario A: every worker process SIGKILLs itself at its first wave
+/// boundary. The coordinator (in-process) sees the socket EOFs, fences
+/// each dead shard's WAL past the zombie's lease epoch, finds no
+/// survivor to adopt into, and strands; the next `run_proc_sharded`
+/// over the same log dir resolves custody from the surviving WALs and
+/// converges to the unsharded baseline.
+#[test]
+fn all_worker_processes_sigkilled_then_resumed_matches_baseline() {
+    let seed = chaos_seed(29);
+    const SHARDS: usize = 4;
+    let data = write_corpus("a-data", 10);
+
+    // Unsharded baseline over the same corpus, journaling to its own log.
+    let base_dir = tempdir("a-baseline");
+    let base_world = WorldSpec::standard(&data, 2, 0);
+    let (svc, token) = build_world_service(&base_world).unwrap();
+    let baseline = svc
+        .run_job_with_recovery(token, &base_world.spec, &base_dir)
+        .unwrap();
+    assert_eq!(baseline.records.len(), 10);
+
+    let log_dir = tempdir("a-log");
+    let mut world = WorldSpec::standard(&data, 2, SHARDS);
+    world.spec.fault_plan = Some(FaultPlan {
+        shard_crashes: (0..SHARDS)
+            .map(|k| ShardCrash {
+                shard: k,
+                point: CrashPoint::MidWave,
+                at_occurrence: 1,
+            })
+            .collect(),
+        ..FaultPlan::new(seed)
+    });
+    let cmd = WorkerCmd {
+        program: PathBuf::from(BIN),
+        args: vec!["shard-worker".into()],
+    };
+
+    let mut died: Vec<usize> = Vec::new();
+    let mut total_deaths = 0u64;
+    let mut final_report = None;
+    for _attempt in 0..10 {
+        let (svc, token) = build_world_service(&world).unwrap();
+        let outcome = run_proc_sharded(&svc, token, &world, &log_dir, &cmd);
+        total_deaths += svc.obs().hub.counter_value("transport.worker_deaths", None);
+        match outcome {
+            Ok(report) => {
+                final_report = Some(report);
+                break;
+            }
+            Err(XtractError::ShardDied { shard, .. }) => died.push(shard),
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+    let report = final_report.expect("job never converged after the kill schedule");
+
+    // Exactly one stranded run: all four workers real-SIGKILLed, nobody
+    // to adopt; the very next coordinator run finishes the job.
+    assert_eq!(died.len(), 1, "stranded runs: {died:?}");
+    assert_eq!(total_deaths, SHARDS as u64);
+    assert_eq!(report.shards, SHARDS as u64);
+    assert!(report.resumed);
+
+    assert_eq!(doc_keys(&baseline.records), doc_keys(&report.records));
+    assert_eq!(baseline.failures.len(), report.failures.len());
+    assert_journals(&base_dir, &log_dir, SHARDS);
+
+    let _ = std::fs::remove_dir_all(&data);
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&log_dir);
+}
+
+/// Scenario B: the whole coordinator CLI is SIGKILLed mid-run, leaving
+/// live zombie worker processes holding shard leases. The restarted
+/// command must replay the root WAL's custody journal, preempt every
+/// zombie's lease epoch (their next group commit is rejected at the
+/// fence, zero bytes written), and converge to the baseline.
+#[test]
+fn coordinator_process_sigkilled_then_restarted_matches_baseline() {
+    const SHARDS: usize = 2;
+    let data = write_corpus("b-data", 16);
+
+    // Unsharded baseline, in-process over the same corpus.
+    let base_dir = tempdir("b-baseline");
+    let base_world = WorldSpec::standard(&data, 2, 0);
+    let (svc, token) = build_world_service(&base_world).unwrap();
+    let baseline = svc
+        .run_job_with_recovery(token, &base_world.spec, &base_dir)
+        .unwrap();
+    assert_eq!(baseline.records.len(), 16);
+
+    let log_dir = tempdir("b-log");
+    let spawn = || {
+        Command::new(BIN)
+            .arg("shard-coordinator")
+            .arg(&data)
+            .arg("--log")
+            .arg(&log_dir)
+            .arg("--shards")
+            .arg(SHARDS.to_string())
+            .arg("--workers")
+            .arg("2")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn shard-coordinator")
+    };
+
+    // First incarnation: wait until the coordinator has crawled, seeded
+    // the shard WALs, and spawned its workers (the pid files land right
+    // after spawn), give the first waves a moment to journal, then
+    // SIGKILL the coordinator out from under its live workers.
+    let mut child = spawn();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !log_dir.join(format!("worker-{}.pid", SHARDS - 1)).exists() {
+        assert!(
+            Instant::now() < deadline,
+            "coordinator never spawned workers"
+        );
+        if let Some(status) = child.try_wait().unwrap() {
+            // The whole first run beat us to the kill: that can only
+            // happen on a success, and the report must already exist.
+            assert!(status.success(), "first run failed before kill: {status}");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    let killed_midway = child.try_wait().unwrap().is_none();
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Restart the same command until it converges: the first restart
+    // may race still-live zombies (their leases are preempted, their
+    // writes fenced), and its own workers can in principle strand again
+    // only if the restarted coordinator is itself unlucky — cap the
+    // loop rather than assume.
+    if !log_dir.join("report.json").exists() || killed_midway {
+        let mut ok = false;
+        for _ in 0..5 {
+            let status = spawn().wait().expect("wait shard-coordinator");
+            if status.success() {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "restarted coordinator never converged");
+    }
+
+    let report: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(log_dir.join("report.json")).unwrap()).unwrap();
+    assert_eq!(report["shards"], serde_json::json!(SHARDS));
+    assert_eq!(
+        doc_keys(&baseline.records),
+        doc_keys_json(&report["records"])
+    );
+    assert_eq!(
+        letter_keys_json(&serde_json::to_value(&baseline.failures).unwrap()),
+        letter_keys_json(&report["failures"])
+    );
+    assert_journals(&base_dir, &log_dir, SHARDS);
+
+    let _ = std::fs::remove_dir_all(&data);
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&log_dir);
+}

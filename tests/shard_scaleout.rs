@@ -16,10 +16,13 @@ use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use xtract::prelude::*;
+use xtract_core::recovery::MigratedStep;
 use xtract_core::{RecoveryLog, RecoveryRecord, Replay, XtractService};
 use xtract_datafabric::{AuthService, DataFabric, MemFs, Scope, StorageBackend, Token};
 use xtract_types::config::{ContainerRuntime, RecoveryPolicy};
-use xtract_types::{CrashPoint, FamilyId, MetadataRecord, PartitionerKind, ShardCrash, ShardPolicy};
+use xtract_types::{
+    CrashPoint, FamilyId, MetadataRecord, PartitionerKind, ShardCrash, ShardPolicy,
+};
 
 /// `XTRACT_CHAOS_SEED` when set (the CI chaos matrix sweeps several fixed
 /// seeds in `--release`), otherwise the test's historical default. Kill
@@ -445,4 +448,159 @@ fn sharded_runs_require_a_recovery_log_dir() {
         }
         other => panic!("expected InvalidJob, got {other:?}"),
     }
+}
+
+/// The mid-steal crash repair (the cross-process coordinator's worst
+/// window): a donor journals its out-record, then everything dies
+/// before the recipient's in-record lands — exactly what a coordinator
+/// killed between brokering a hand-over and the recipient's next group
+/// commit leaves behind. The resume must repair the half-finished
+/// hand-over into **exactly one owner** (the recipient, via
+/// `flip_side`), converge to the unsharded baseline, and journal zero
+/// duplicate `(family, extractor)` steps across every WAL.
+#[test]
+fn out_record_without_in_record_repairs_to_exactly_one_owner() {
+    let seed = chaos_seed(4021);
+    const SHARDS: usize = 2;
+
+    let base_dir = tempdir("midsteal-baseline");
+    let (svc, token, spec) = rig(seed);
+    let baseline = svc.run_job_with_recovery(token, &spec, &base_dir).unwrap();
+
+    // Both shards die at their first wave boundary: the run strands and
+    // every WAL freezes mid-flight with its first-wave progress.
+    let chaos_dir = tempdir("midsteal-chaos");
+    let mut chaos_spec = spec.clone();
+    chaos_spec.shard = ShardPolicy::sharded(SHARDS);
+    chaos_spec.shard.partitioner = PartitionerKind::Range;
+    chaos_spec.fault_plan = Some(FaultPlan {
+        shard_crashes: (0..SHARDS)
+            .map(|k| ShardCrash {
+                shard: k,
+                point: CrashPoint::MidWave,
+                at_occurrence: 1,
+            })
+            .collect(),
+        ..FaultPlan::new(seed)
+    });
+    let (svc, token, _) = rig(seed);
+    match svc.resume_job(token, &chaos_spec, &chaos_dir) {
+        Err(XtractError::ShardDied { .. }) => {}
+        other => panic!("expected a stranded run, got {other:?}"),
+    }
+
+    // Fabricate the torn hand-over exactly as the dead donor would have
+    // journaled it: pick a shard-0 family that is neither dead-lettered
+    // nor already migrated, carry its journaled steps and charges in the
+    // out-record (a real donor restates the history the recipient needs),
+    // and append only the donor half of the migration pair.
+    let sd0 = chaos_dir.join("shard-0");
+    let scan0 = RecoveryLog::scan(&sd0).unwrap();
+    let mut ineligible: HashSet<FamilyId> = HashSet::new();
+    let mut candidates = Vec::new();
+    let mut charges: HashMap<FamilyId, u32> = HashMap::new();
+    for r in scan0.effective() {
+        match r {
+            RecoveryRecord::FamilyPlanned { family } => candidates.push(family.clone()),
+            RecoveryRecord::FamilyMigrated { family, .. } => {
+                ineligible.insert(family.id);
+            }
+            RecoveryRecord::DeadLettered { letter } => {
+                ineligible.insert(letter.family);
+            }
+            RecoveryRecord::RetryCharged { family, amount } => {
+                *charges.entry(*family).or_insert(0) += amount;
+            }
+            _ => {}
+        }
+    }
+    let victim = candidates
+        .into_iter()
+        .find(|f| !ineligible.contains(&f.id))
+        .expect("some shard-0 family is still live");
+    let victim_id = victim.id;
+    let steps: Vec<MigratedStep> = scan0
+        .effective()
+        .iter()
+        .filter_map(|r| match r {
+            RecoveryRecord::StepCompleted {
+                family,
+                kind,
+                metadata,
+                discoveries,
+            } if *family == victim_id => Some(MigratedStep {
+                kind: *kind,
+                metadata: Arc::clone(metadata),
+                discoveries: discoveries.clone(),
+            }),
+            _ => None,
+        })
+        .collect();
+    {
+        let (log, _) = RecoveryLog::open(&sd0, chaos_spec.recovery).unwrap();
+        log.append(&RecoveryRecord::FamilyMigrated {
+            family: victim,
+            from: 0,
+            to: 1,
+            adopted: false,
+            steps,
+            charges: charges.get(&victim_id).copied().unwrap_or(0),
+        })
+        .unwrap();
+    }
+
+    // Resume: the crash schedule is exhausted (one crash per shard is
+    // already journaled), so this run must repair and converge.
+    let (svc, token, _) = rig(seed);
+    let report = svc.resume_job(token, &chaos_spec, &chaos_dir).unwrap();
+
+    assert_eq!(doc_keys(&baseline.records), doc_keys(&report.records));
+    assert_eq!(
+        letter_keys(&baseline.failures),
+        letter_keys(&report.failures)
+    );
+
+    // Exactly one owner: the donor half we fabricated is paired with
+    // exactly one adopted in-record, and it lives in shard 1's WAL.
+    let shard_logs: Vec<Replay> = scan_shards(&chaos_dir, SHARDS)
+        .into_iter()
+        .map(|s| s.expect("both shard dirs exist"))
+        .collect();
+    let mut outs = 0;
+    let mut ins_by_shard = [0usize; SHARDS];
+    for (k, log) in shard_logs.iter().enumerate() {
+        for r in log.effective() {
+            if let RecoveryRecord::FamilyMigrated {
+                family, adopted, ..
+            } = r
+            {
+                if family.id == victim_id {
+                    if *adopted {
+                        ins_by_shard[k] += 1;
+                    } else {
+                        outs += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(outs, 1, "the fabricated out-record must survive replay");
+    assert_eq!(
+        ins_by_shard,
+        [0, 1],
+        "flip_side repair must land exactly one in-record, on the recipient"
+    );
+
+    // Zero duplicate steps across the root + both shard WALs.
+    let root_log = RecoveryLog::scan(&chaos_dir).unwrap();
+    assert!(root_log.completed());
+    let mut all: Vec<&Replay> = vec![&root_log];
+    all.extend(shard_logs.iter());
+    assert_eq!(
+        journaled_steps(&[&RecoveryLog::scan(&base_dir).unwrap()]),
+        journaled_steps(&all)
+    );
+
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
 }
